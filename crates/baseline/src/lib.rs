@@ -1,0 +1,114 @@
+//! Baseline back-reference implementations used for comparison against
+//! Backlog, mirroring the configurations of the paper's evaluation:
+//!
+//! * [`NaiveBackrefs`] — the single conceptual table of Section 4.1, whose
+//!   deallocations are read-modify-writes against an update-in-place table.
+//!   The paper reports that this design collapses after a few hundred
+//!   consistency points; the `providers` benchmarks reproduce the gap.
+//! * [`BtrfsLikeBackrefs`] — reference-counted back references embedded in
+//!   the file system's metadata tree, as btrfs does natively (the *Original*
+//!   configuration of Table 1).
+//! * [`fsim::NullProvider`] — no back references at all (the *Base*
+//!   configuration), re-exported here as [`NoBackrefs`] for symmetry.
+//!
+//! All three implement [`fsim::BackrefProvider`], so any workload written
+//! against the simulator can be replayed against any of them, plus the real
+//! [`fsim::BacklogProvider`], to produce Table 1-style comparisons.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod btrfs_like;
+mod naive;
+
+pub use btrfs_like::BtrfsLikeBackrefs;
+pub use naive::{NaiveBackrefs, NaiveConfig};
+
+/// The "no back references" baseline (the paper's *Base* configuration).
+pub type NoBackrefs = fsim::NullProvider;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backlog::{BacklogConfig, LineId};
+    use fsim::{BackrefProvider, BacklogProvider, FileSystem, FsConfig};
+
+    /// Replays the same small workload against every provider and checks
+    /// they agree on who owns each block.
+    #[test]
+    fn all_providers_agree_on_live_owners() {
+        fn run<P: BackrefProvider>(provider: P) -> (Vec<Vec<backlog::Owner>>, FileSystem<P>) {
+            let mut fs = FileSystem::new(provider, FsConfig::minimal().with_seed(11));
+            let mut inodes = Vec::new();
+            for _ in 0..10 {
+                inodes.push(fs.create_file(LineId::ROOT, 4).unwrap());
+            }
+            fs.take_consistency_point().unwrap();
+            fs.delete_file(LineId::ROOT, inodes[0]).unwrap();
+            fs.overwrite(LineId::ROOT, inodes[1], 0, 2).unwrap();
+            fs.take_consistency_point().unwrap();
+            let mut owners = Vec::new();
+            let blocks: Vec<u64> = (1..=60).collect();
+            for b in blocks {
+                owners.push(fs.provider_mut().query_owners(b).unwrap());
+            }
+            (owners, fs)
+        }
+
+        let (backlog_owners, _) =
+            run(BacklogProvider::new(BacklogConfig::default().without_timing()));
+        let (naive_owners, _) = run(NaiveBackrefs::default());
+        let (btrfs_owners, _) = run(BtrfsLikeBackrefs::new());
+        assert_eq!(backlog_owners, naive_owners, "naive disagrees with backlog");
+        assert_eq!(backlog_owners, btrfs_owners, "btrfs-like disagrees with backlog");
+    }
+
+    /// The headline claim: Backlog's deallocation path never reads, while the
+    /// naive design's deallocations are read-modify-writes.
+    #[test]
+    fn backlog_avoids_reads_that_naive_needs() {
+        // Build up a table large enough that the naive provider's cache
+        // cannot hold it, then delete everything.
+        let blocks_per_file = 4u64;
+        let files = 400u64;
+
+        let mut naive_fs = FileSystem::new(
+            NaiveBackrefs::new(NaiveConfig { cached_pages: 4 }),
+            FsConfig::minimal().with_seed(5),
+        );
+        let mut backlog_fs = FileSystem::new(
+            BacklogProvider::new(BacklogConfig::default().without_timing()),
+            FsConfig::minimal().with_seed(5),
+        );
+
+        let mut naive_inodes = Vec::new();
+        let mut backlog_inodes = Vec::new();
+        for _ in 0..files {
+            naive_inodes.push(naive_fs.create_file(LineId::ROOT, blocks_per_file).unwrap());
+            backlog_inodes.push(backlog_fs.create_file(LineId::ROOT, blocks_per_file).unwrap());
+        }
+        naive_fs.take_consistency_point().unwrap();
+        backlog_fs.take_consistency_point().unwrap();
+
+        for &inode in &naive_inodes {
+            naive_fs.delete_file(LineId::ROOT, inode).unwrap();
+        }
+        for &inode in &backlog_inodes {
+            backlog_fs.delete_file(LineId::ROOT, inode).unwrap();
+        }
+        let naive_cp = naive_fs.take_consistency_point().unwrap();
+        let backlog_cp = backlog_fs.take_consistency_point().unwrap();
+
+        assert_eq!(backlog_cp.provider.pages_read, 0, "Backlog deallocations never read");
+        assert!(
+            naive_cp.provider.pages_read > 0,
+            "the naive design must read pages to complete deallocations"
+        );
+        assert!(
+            backlog_cp.provider.pages_written < naive_cp.provider.pages_written,
+            "Backlog writes fewer pages ({}) than the naive table ({})",
+            backlog_cp.provider.pages_written,
+            naive_cp.provider.pages_written
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! The naive conceptual-table back-reference design (paper Section 4.1).
+//!
+//! A single on-disk table holds one record per reference with explicit
+//! `from`/`to` columns. Allocation inserts a record; deallocation must find
+//! the record and replace its `to = ∞` with the current CP — a
+//! read-modify-write against a table indexed by block number. The paper
+//! reports that this design "slowed down to a crawl after only a few hundred
+//! consistency points"; the `providers` bench and Figure-ablation binaries
+//! reproduce that gap against Backlog.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use blockdev::{Device, DeviceConfig, PageNo, SimDisk, PAGE_SIZE};
+
+use backlog::{BlockNo, CpNumber, LineId, Owner, CP_INFINITY};
+use fsim::{BackrefProvider, ProviderCpStats};
+
+/// Encoded size of one conceptual record (block, inode, offset, line, length,
+/// from, to — all packed like Backlog's `Combined` tuple).
+const RECORD_BYTES: usize = 48;
+/// Conceptual records stored per table page.
+const RECORDS_PER_PAGE: u64 = (PAGE_SIZE / RECORD_BYTES) as u64;
+
+/// Key of a conceptual record (everything except the lifetime columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    block: BlockNo,
+    inode: u64,
+    offset: u64,
+    line: LineId,
+    from: CpNumber,
+}
+
+/// Configuration for [`NaiveBackrefs`].
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveConfig {
+    /// Number of table pages the provider may keep cached in memory between
+    /// consistency points. The paper's point is precisely that a large table
+    /// does not fit, so deallocations become random reads.
+    pub cached_pages: usize,
+}
+
+impl Default for NaiveConfig {
+    fn default() -> Self {
+        // 32 MB of cached table pages, matching the cache the paper grants
+        // Backlog in its micro-benchmarks.
+        NaiveConfig { cached_pages: 32 * 1024 * 1024 / PAGE_SIZE }
+    }
+}
+
+/// The naive single-table provider.
+///
+/// The logical table contents are kept in memory (the simulator never needs
+/// the bytes back), but every operation charges the simulated device exactly
+/// the I/O the design would perform: inserts dirty the record's home page,
+/// deallocations read the home page if it is not cached, and every
+/// consistency point writes all dirty pages back in place.
+#[derive(Debug)]
+pub struct NaiveBackrefs {
+    device: Arc<SimDisk>,
+    config: NaiveConfig,
+    /// The conceptual table: key -> `to` CP (∞ while live).
+    table: BTreeMap<Key, CpNumber>,
+    /// Live reference index so deallocation can find the open record.
+    current_cp: CpNumber,
+    /// Pages modified since the last CP.
+    dirty_pages: HashSet<PageNo>,
+    /// Pages that exist on the device (have been written at least once).
+    materialized: HashSet<PageNo>,
+    /// Simple FIFO cache of recently accessed pages.
+    cache: VecDeque<PageNo>,
+    cache_set: HashSet<PageNo>,
+    callback_ns: u64,
+    records_flushed: u64,
+    /// Device counters at the end of the previous CP, so each CP report
+    /// covers the whole interval (callbacks included), not just the flush.
+    last_cp_io: blockdev::IoStatsSnapshot,
+}
+
+impl Default for NaiveBackrefs {
+    fn default() -> Self {
+        Self::new(NaiveConfig::default())
+    }
+}
+
+impl NaiveBackrefs {
+    /// Creates the provider on a fresh simulated disk.
+    pub fn new(config: NaiveConfig) -> Self {
+        NaiveBackrefs {
+            device: SimDisk::new_shared(DeviceConfig::default().with_payloads(false)),
+            config,
+            table: BTreeMap::new(),
+            current_cp: 1,
+            dirty_pages: HashSet::new(),
+            materialized: HashSet::new(),
+            cache: VecDeque::new(),
+            cache_set: HashSet::new(),
+            callback_ns: 0,
+            records_flushed: 0,
+            last_cp_io: blockdev::IoStatsSnapshot::default(),
+        }
+    }
+
+    /// The simulated device holding the table (for I/O accounting).
+    pub fn device(&self) -> &Arc<SimDisk> {
+        &self.device
+    }
+
+    /// Number of records (live and historical) in the conceptual table.
+    pub fn record_count(&self) -> usize {
+        self.table.len()
+    }
+
+    fn home_page(block: BlockNo) -> PageNo {
+        block / RECORDS_PER_PAGE
+    }
+
+    fn touch_cache(&mut self, page: PageNo) {
+        if self.cache_set.contains(&page) {
+            return;
+        }
+        self.cache.push_back(page);
+        self.cache_set.insert(page);
+        while self.cache.len() > self.config.cached_pages.max(1) {
+            if let Some(evicted) = self.cache.pop_front() {
+                self.cache_set.remove(&evicted);
+            }
+        }
+    }
+
+    /// Charges the read-modify-write that modifying `page` implies: a device
+    /// read when the page exists on disk and is not cached.
+    fn charge_page_modification(&mut self, page: PageNo) {
+        if self.materialized.contains(&page) && !self.cache_set.contains(&page) {
+            // Read the page so it can be modified.
+            let _ = self.device.read_page(page);
+        }
+        self.touch_cache(page);
+        self.dirty_pages.insert(page);
+    }
+}
+
+impl BackrefProvider for NaiveBackrefs {
+    fn name(&self) -> &str {
+        "naive"
+    }
+
+    fn add_reference(&mut self, block: BlockNo, owner: Owner) {
+        let start = Instant::now();
+        let key = Key {
+            block,
+            inode: owner.inode,
+            offset: owner.offset,
+            line: owner.line,
+            from: self.current_cp,
+        };
+        self.table.insert(key, CP_INFINITY);
+        self.charge_page_modification(Self::home_page(block));
+        self.callback_ns += start.elapsed().as_nanos() as u64;
+    }
+
+    fn remove_reference(&mut self, block: BlockNo, owner: Owner) {
+        let start = Instant::now();
+        // Find the live record for this reference (to == ∞) and close it —
+        // the read-modify-write the paper calls out.
+        let live_key = self
+            .table
+            .range(
+                Key { block, inode: owner.inode, offset: owner.offset, line: owner.line, from: 0 }
+                    ..=Key {
+                        block,
+                        inode: owner.inode,
+                        offset: owner.offset,
+                        line: owner.line,
+                        from: CpNumber::MAX,
+                    },
+            )
+            .filter(|(_, &to)| to == CP_INFINITY)
+            .map(|(k, _)| *k)
+            .next();
+        if let Some(key) = live_key {
+            self.table.insert(key, self.current_cp);
+        }
+        self.charge_page_modification(Self::home_page(block));
+        self.callback_ns += start.elapsed().as_nanos() as u64;
+    }
+
+    fn consistency_point(&mut self, _cp: CpNumber) -> fsim::Result<ProviderCpStats> {
+        let start = Instant::now();
+        let dirty: Vec<PageNo> = self.dirty_pages.drain().collect();
+        let flushed = dirty.len() as u64;
+        for page in dirty {
+            // Write the page back in place (update-in-place table).
+            self.device
+                .write_page(page, &[0u8; 8])
+                .map_err(|e| fsim::FsError::Provider(e.to_string()))?;
+            self.materialized.insert(page);
+        }
+        // Attribute the whole interval's I/O (callback-time reads plus the
+        // flush writes) to this CP.
+        let io_now = self.device.stats().snapshot();
+        let interval = io_now.delta_since(&self.last_cp_io);
+        self.last_cp_io = io_now;
+        self.records_flushed += flushed;
+        self.current_cp += 1;
+        let stats = ProviderCpStats {
+            records_flushed: flushed,
+            pages_written: interval.page_writes,
+            pages_read: interval.page_reads,
+            callback_ns: std::mem::take(&mut self.callback_ns),
+            flush_ns: start.elapsed().as_nanos() as u64,
+        };
+        Ok(stats)
+    }
+
+    fn query_owners(&mut self, block: BlockNo) -> fsim::Result<Vec<Owner>> {
+        // Reading the home page is the only I/O a point query needs.
+        let page = Self::home_page(block);
+        if self.materialized.contains(&page) && !self.cache_set.contains(&page) {
+            let _ = self.device.read_page(page);
+        }
+        self.touch_cache(page);
+        let mut owners: Vec<Owner> = self
+            .table
+            .range(
+                Key { block, inode: 0, offset: 0, line: LineId(0), from: 0 }
+                    ..=Key {
+                        block,
+                        inode: u64::MAX,
+                        offset: u64::MAX,
+                        line: LineId(u32::MAX),
+                        from: CpNumber::MAX,
+                    },
+            )
+            .filter(|(_, &to)| to == CP_INFINITY)
+            .map(|(k, _)| Owner::block(k.inode, k.offset, k.line))
+            .collect();
+        owners.sort();
+        owners.dedup();
+        Ok(owners)
+    }
+
+    fn metadata_bytes(&self) -> u64 {
+        self.table.len() as u64 * RECORD_BYTES as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut p = NaiveBackrefs::default();
+        let owner = Owner::block(3, 1, LineId::ROOT);
+        p.add_reference(10, owner);
+        p.consistency_point(1).unwrap();
+        assert_eq!(p.query_owners(10).unwrap(), vec![owner]);
+        assert_eq!(p.name(), "naive");
+        assert!(p.metadata_bytes() > 0);
+        assert_eq!(p.record_count(), 1);
+    }
+
+    #[test]
+    fn remove_closes_the_live_record() {
+        let mut p = NaiveBackrefs::default();
+        let owner = Owner::block(3, 1, LineId::ROOT);
+        p.add_reference(10, owner);
+        p.consistency_point(1).unwrap();
+        p.remove_reference(10, owner);
+        p.consistency_point(2).unwrap();
+        assert!(p.query_owners(10).unwrap().is_empty());
+        // Historical record still exists in the table.
+        assert_eq!(p.record_count(), 1);
+    }
+
+    #[test]
+    fn cp_writes_one_page_per_dirty_page() {
+        let mut p = NaiveBackrefs::default();
+        // 85 records fit per page; 300 consecutive blocks span 4 pages.
+        for b in 0..300u64 {
+            p.add_reference(b, Owner::block(1, b, LineId::ROOT));
+        }
+        let stats = p.consistency_point(1).unwrap();
+        assert_eq!(stats.pages_written, 4);
+        assert_eq!(stats.records_flushed, 4);
+    }
+
+    #[test]
+    fn cold_deallocations_cause_reads() {
+        // A tiny cache forces the read-modify-write to hit the device.
+        let mut p = NaiveBackrefs::new(NaiveConfig { cached_pages: 1 });
+        let n = 2_000u64;
+        for b in 0..n {
+            p.add_reference(b * RECORDS_PER_PAGE, Owner::block(1, b, LineId::ROOT));
+        }
+        p.consistency_point(1).unwrap();
+        for b in 0..n {
+            p.remove_reference(b * RECORDS_PER_PAGE, Owner::block(1, b, LineId::ROOT));
+        }
+        let stats = p.consistency_point(2).unwrap();
+        assert!(
+            stats.pages_read as f64 >= 0.9 * n as f64,
+            "deallocations should be read-modify-writes: {} reads for {} ops",
+            stats.pages_read,
+            n
+        );
+        assert!(stats.pages_written as f64 >= 0.9 * n as f64);
+    }
+}

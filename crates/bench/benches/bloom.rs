@@ -1,0 +1,84 @@
+//! Criterion bench: Bloom filter operations and their effect on queries.
+//!
+//! The filters (4 hash functions, 32 KB default) let queries skip Level-0
+//! runs that cannot contain a block; this bench measures raw filter
+//! operations and the end-to-end effect of many runs on absent-key queries.
+
+use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lsm::{BloomConfig, BloomFilter};
+
+fn bench_filter_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert", |b| {
+        let mut filter = BloomFilter::for_entries(32_000, &BloomConfig::default());
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9e37_79b9);
+            filter.insert(key);
+        });
+    });
+    group.bench_function("lookup_hit", |b| {
+        let mut filter = BloomFilter::for_entries(32_000, &BloomConfig::default());
+        for k in 0..32_000u64 {
+            filter.insert(k);
+        }
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key + 1) % 32_000;
+            filter.may_contain(key)
+        });
+    });
+    group.bench_function("lookup_miss", |b| {
+        let mut filter = BloomFilter::for_entries(32_000, &BloomConfig::default());
+        for k in 0..32_000u64 {
+            filter.insert(k);
+        }
+        let mut key = 1_000_000u64;
+        b.iter(|| {
+            key += 1;
+            filter.may_contain(key)
+        });
+    });
+    group.finish();
+}
+
+/// End-to-end ablation: a query for a block that exists in only one of many
+/// Level-0 runs touches just that run thanks to the per-run filters.
+fn bench_absent_key_queries(c: &mut Criterion) {
+    let mut engine = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
+    // 100 Level-0 runs of 1,000 references each, in disjoint block ranges.
+    for run in 0..100u64 {
+        for i in 0..1_000u64 {
+            let block = run * 10_000 + i;
+            engine.add_reference(block, Owner::block(run, i, LineId::ROOT));
+        }
+        engine.consistency_point().expect("cp failed");
+    }
+    let mut group = c.benchmark_group("bloom_end_to_end");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("point_query_across_100_runs", |b| {
+        let mut block = 0u64;
+        b.iter(|| {
+            block = (block + 7) % 1_000;
+            engine.query_block(block).expect("query failed")
+        });
+    });
+    group.bench_function("absent_block_query_across_100_runs", |b| {
+        let mut block = 5_000u64;
+        b.iter(|| {
+            block = 5_000 + (block + 7) % 1_000; // gap: allocated in no run
+            engine.query_block(block).expect("query failed")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_ops, bench_absent_key_queries);
+criterion_main!(benches);

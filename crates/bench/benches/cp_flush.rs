@@ -1,0 +1,37 @@
+//! Criterion bench: consistency-point flush cost (write store → Level-0 run).
+//!
+//! The paper reports that a CP adds at most ~628 page writes and 0.5-0.6 s
+//! for 32,000 operations; this bench measures the flush for several write
+//! store sizes, confirming the bottom-up run build is linear and read-free.
+
+use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+fn loaded_engine(ops: u64) -> BacklogEngine {
+    let mut e = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
+    for i in 0..ops {
+        e.add_reference(i, Owner::block(i % 97, i, LineId::ROOT));
+    }
+    e
+}
+
+fn bench_cp_flush(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cp_flush");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for &ops in &[2_048u64, 8_192, 32_000] {
+        group.throughput(Throughput::Elements(ops));
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, &ops| {
+            b.iter_batched(
+                || loaded_engine(ops),
+                |mut e| e.consistency_point().expect("cp failed"),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cp_flush);
+criterion_main!(benches);

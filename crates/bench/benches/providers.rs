@@ -1,0 +1,45 @@
+//! Criterion bench: back-reference provider comparison (the ablation behind
+//! Table 1 and the Section 4.1 "slowed to a crawl" claim) — the same file
+//! create/delete workload run against no back references, btrfs-style back
+//! references, Backlog, and the naive conceptual table.
+
+use backlog::BacklogConfig;
+use baseline::{BtrfsLikeBackrefs, NaiveBackrefs, NoBackrefs};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fsim::{BackrefProvider, BacklogProvider, FileSystem, FsConfig};
+use workloads::{run_create, run_delete, MicrobenchSpec};
+
+fn workload<P: BackrefProvider>(provider: P) {
+    let mut fs = FileSystem::new(provider, FsConfig::minimal());
+    let spec = MicrobenchSpec::small_files(2_048, 512);
+    let (inodes, _) = run_create(&mut fs, spec).expect("create failed");
+    run_delete(&mut fs, spec, &inodes).expect("delete failed");
+}
+
+fn bench_providers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("providers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(4_096));
+    group.bench_function("base_no_backrefs", |b| {
+        b.iter_batched(NoBackrefs::new, workload, BatchSize::SmallInput);
+    });
+    group.bench_function("btrfs_like", |b| {
+        b.iter_batched(BtrfsLikeBackrefs::new, workload, BatchSize::SmallInput);
+    });
+    group.bench_function("backlog", |b| {
+        b.iter_batched(
+            || BacklogProvider::new(BacklogConfig::default().without_timing()),
+            workload,
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("naive_conceptual_table", |b| {
+        b.iter_batched(NaiveBackrefs::default, workload, BatchSize::SmallInput);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_providers);
+criterion_main!(benches);

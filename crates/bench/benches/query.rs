@@ -1,0 +1,64 @@
+//! Criterion bench: back-reference query cost by run length, before and
+//! after maintenance (the hot path behind Figures 9 and 10).
+
+use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Builds a database of `blocks` block references spread over `cps`
+/// consistency points, optionally maintained at the end.
+fn build(blocks: u64, cps: u64, maintain: bool) -> BacklogEngine {
+    let mut e = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
+    let per_cp = (blocks / cps).max(1);
+    for block in 0..blocks {
+        e.add_reference(block, Owner::block(block % 1_000, block, LineId::ROOT));
+        if block % per_cp == 0 {
+            e.consistency_point().expect("cp failed");
+        }
+    }
+    e.consistency_point().expect("cp failed");
+    if maintain {
+        e.maintenance().expect("maintenance failed");
+    }
+    e
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let blocks = 50_000u64;
+    let fresh = std::cell::RefCell::new(build(blocks, 50, true));
+    let aged = std::cell::RefCell::new(build(blocks, 50, false));
+    for &run_length in &[1u64, 64, 1_024] {
+        group.throughput(Throughput::Elements(run_length));
+        group.bench_with_input(
+            BenchmarkId::new("after_maintenance", run_length),
+            &run_length,
+            |b, &len| {
+                let mut start = 0u64;
+                b.iter(|| {
+                    let mut e = fresh.borrow_mut();
+                    start = (start + 7 * len) % (blocks - len);
+                    e.query_range(start, start + len - 1).expect("query failed")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("many_level0_runs", run_length),
+            &run_length,
+            |b, &len| {
+                let mut start = 0u64;
+                b.iter(|| {
+                    let mut e = aged.borrow_mut();
+                    start = (start + 7 * len) % (blocks - len);
+                    e.query_range(start, start + len - 1).expect("query failed")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

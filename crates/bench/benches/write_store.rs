@@ -1,0 +1,67 @@
+//! Criterion bench: write-store (C0) update cost.
+//!
+//! The paper attributes most of Backlog's 8-9 µs per-block-operation overhead
+//! to updating the in-memory write store; this bench isolates that cost for
+//! the add-reference and remove-reference callback paths, including the
+//! proactive-pruning fast path.
+
+use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn engine() -> BacklogEngine {
+    BacklogEngine::new_simulated(BacklogConfig::default().without_timing())
+}
+
+fn bench_add_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_store");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("add_reference", |b| {
+        b.iter_batched_ref(
+            engine,
+            |e| {
+                for i in 0..1_000u64 {
+                    e.add_reference(i, Owner::block(7, i, LineId::ROOT));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("add_then_remove_same_cp_pruned", |b| {
+        b.iter_batched_ref(
+            engine,
+            |e| {
+                for i in 0..1_000u64 {
+                    let owner = Owner::block(7, i, LineId::ROOT);
+                    e.add_reference(i, owner);
+                    e.remove_reference(i, owner);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("remove_reference_persistent", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut e = engine();
+                for i in 0..1_000u64 {
+                    e.add_reference(i, Owner::block(7, i, LineId::ROOT));
+                }
+                e.consistency_point().expect("cp failed");
+                e
+            },
+            |e| {
+                for i in 0..1_000u64 {
+                    e.remove_reference(i, Owner::block(7, i, LineId::ROOT));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_add_reference);
+criterion_main!(benches);

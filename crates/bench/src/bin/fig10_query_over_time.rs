@@ -1,0 +1,92 @@
+//! Figure 10 — the evolution of query performance over time, just before and
+//! just after each maintenance pass.
+//!
+//! Reproduces the paper's Figure 10: the workload runs for many CPs with
+//! database maintenance scheduled periodically; query batches of several
+//! sorted run lengths are evaluated immediately before and immediately after
+//! each maintenance pass. The paper's observations: maintenance improves
+//! throughput substantially, and once the database reaches a certain size the
+//! post-maintenance throughput levels off rather than degrading further.
+
+use std::time::Instant;
+
+use backlog_bench::{backlog_fs, print_series, scaled, synthetic_config, Series};
+use fsim::BackrefProvider;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use workloads::SyntheticWorkload;
+
+fn throughput(
+    fs: &mut fsim::FileSystem<fsim::BacklogProvider>,
+    max_block: u64,
+    run_length: u64,
+    queries: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(run_length ^ 0xf16);
+    let engine = fs.provider_mut().engine_mut();
+    let batches = (queries / run_length).max(1);
+    let io_before = engine.device().stats().snapshot();
+    let start = Instant::now();
+    for _ in 0..batches {
+        let first = rng.gen_range(1..max_block.max(2));
+        engine.query_range(first, first + run_length - 1).expect("query failed");
+    }
+    // Like Figure 9, charge the simulated device time so the throughput
+    // reflects the paper's disk-bound regime.
+    let io = engine.device().stats().snapshot().delta_since(&io_before);
+    let secs = start.elapsed().as_secs_f64() + io.device_ns as f64 / 1e9;
+    (batches * run_length) as f64 / secs.max(1e-9)
+}
+
+fn main() {
+    let total_cps = scaled(120, 24);
+    let maintenance_every = (total_cps / 6).max(4);
+    let ops_per_cp = scaled(1_500, 200);
+    let queries = scaled(2_048, 256);
+    let run_lengths = [256u64, 1_024];
+    println!(
+        "Figure 10 reproduction: {total_cps} CPs, maintenance every {maintenance_every} CPs, {queries} queries per evaluation"
+    );
+    println!("(paper: 1,000 CPs, maintenance and 8,192-query evaluations every 100 CPs, runs of 1,024-8,192)");
+
+    let mut fs = backlog_fs(ops_per_cp, 10);
+    let mut workload = SyntheticWorkload::new(synthetic_config(ops_per_cp));
+
+    let mut before_series: Vec<Series> =
+        run_lengths.iter().map(|l| Series::new(format!("runs of {l} (before maint.)"))).collect();
+    let mut after_series: Vec<Series> =
+        run_lengths.iter().map(|l| Series::new(format!("runs of {l} (after maint.)"))).collect();
+
+    for cp in 1..=total_cps {
+        workload.run_cp(&mut fs).expect("workload failed");
+        if cp % maintenance_every == 0 {
+            let max_block = fs.stats().blocks_written;
+            for (i, &len) in run_lengths.iter().enumerate() {
+                before_series[i].push(cp as f64, throughput(&mut fs, max_block, len, queries));
+            }
+            fs.provider_mut().maintenance().expect("maintenance failed");
+            for (i, &len) in run_lengths.iter().enumerate() {
+                after_series[i].push(cp as f64, throughput(&mut fs, max_block, len, queries));
+            }
+        }
+    }
+
+    let mut all = before_series.clone();
+    all.extend(after_series.clone());
+    print_series(
+        "Figure 10: query throughput over time, before vs after maintenance",
+        "global CP",
+        "queries per second",
+        &all,
+    );
+
+    println!();
+    for (i, &len) in run_lengths.iter().enumerate() {
+        println!(
+            "runs of {len}: mean before maintenance {:.0} q/s, after maintenance {:.0} q/s",
+            before_series[i].mean_y(),
+            after_series[i].mean_y()
+        );
+    }
+    println!("paper reference: maintenance improves throughput; post-maintenance throughput levels off as the database grows");
+}

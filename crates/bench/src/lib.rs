@@ -1,0 +1,211 @@
+//! Shared experiment harness for the Backlog reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (see `DESIGN.md` for the index); this library provides the
+//! pieces they share: scaled experiment sizing, standard configurations, and
+//! plain-text table/series output that mirrors what the paper plots.
+//!
+//! All experiments accept a scale factor through the `BACKLOG_SCALE`
+//! environment variable (default `1.0`, which is already scaled down from
+//! the paper's multi-hour runs to laptop-friendly sizes). `BACKLOG_SCALE=4`
+//! quadruples workload sizes for higher-fidelity curves.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use backlog::BacklogConfig;
+use fsim::{BacklogProvider, DedupConfig, FileSystem, FsConfig, SnapshotPolicy};
+use workloads::SyntheticConfig;
+
+/// Reads the experiment scale factor from `BACKLOG_SCALE` (default 1.0,
+/// clamped to a sane range).
+pub fn scale() -> f64 {
+    std::env::var("BACKLOG_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.05, 100.0)
+}
+
+/// Scales an integer quantity by [`scale`], keeping at least `min`.
+pub fn scaled(base: u64, min: u64) -> u64 {
+    ((base as f64 * scale()) as u64).max(min)
+}
+
+/// The standard synthetic-workload configuration used by the Figure 5/6/9/10
+/// experiments: the paper's shape (≥32,000 ops/CP, 10 % dedup, 90 % small
+/// files, ~7 clones per 100 CPs) scaled down so a full run finishes in
+/// seconds at scale 1.
+pub fn synthetic_config(ops_per_cp: u64) -> SyntheticConfig {
+    SyntheticConfig { ops_per_cp, ..SyntheticConfig::default() }
+}
+
+/// The standard simulator configuration for the synthetic experiments:
+/// 10 % deduplication, metadata COW modeling, and the paper's four-hourly /
+/// four-nightly snapshot rotation (with `cps_per_hour` CPs per "hour").
+pub fn synthetic_fs_config(cps_per_hour: u64) -> FsConfig {
+    FsConfig {
+        dedup: DedupConfig { probability: 0.10, pool_size: 1024 },
+        metadata_cow: true,
+        snapshot_policy: SnapshotPolicy::paper_default(cps_per_hour),
+        seed: 0x2010,
+    }
+}
+
+/// Creates the standard Backlog-backed simulated file system for the
+/// synthetic experiments.
+pub fn backlog_fs(ops_per_cp: u64, cps_per_hour: u64) -> FileSystem<BacklogProvider> {
+    let _ = ops_per_cp;
+    FileSystem::new(
+        BacklogProvider::new(BacklogConfig::default()),
+        synthetic_fs_config(cps_per_hour),
+    )
+}
+
+/// A named series of (x, y) points, printed like the paper's figures.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Series label (e.g. "Maintenance every 100 CPs").
+    pub label: String,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Mean of the y values (ignoring NaNs).
+    pub fn mean_y(&self) -> f64 {
+        let ys: Vec<f64> = self.points.iter().map(|p| p.1).filter(|y| y.is_finite()).collect();
+        if ys.is_empty() {
+            return 0.0;
+        }
+        ys.iter().sum::<f64>() / ys.len() as f64
+    }
+}
+
+/// Prints one or more series as aligned text columns: the shared x column
+/// followed by one y column per series. Points are matched by index.
+pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[Series]) {
+    println!();
+    println!("== {title} ==");
+    println!("   ({y_label} vs {x_label})");
+    print!("{:>12}", x_label);
+    for s in series {
+        print!("  {:>24}", truncate(&s.label, 24));
+    }
+    println!();
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.0))
+            .unwrap_or(i as f64);
+        print!("{:>12.1}", x);
+        for s in series {
+            match s.points.get(i) {
+                Some((_, y)) => print!("  {:>24.4}", y),
+                None => print!("  {:>24}", "-"),
+            }
+        }
+        println!();
+    }
+    for s in series {
+        println!("   mean {:<30} = {:.4}", s.label, s.mean_y());
+    }
+}
+
+/// Prints a table with a header row and aligned columns, Table 1-style.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!();
+    println!("== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> =
+        headers.iter().enumerate().map(|(i, h)| format!("{:<w$}", h, w = widths[i])).collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().enumerate().map(|(i, c)| format!("{:<w$}", c, w = widths[i])).collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a relative overhead (`candidate` vs `base`) as a percentage
+/// string, e.g. `"+7.9%"`.
+pub fn overhead_pct(base: f64, candidate: f64) -> String {
+    if base <= 0.0 {
+        return "n/a".to_owned();
+    }
+    format!("{:+.1}%", (candidate / base - 1.0) * 100.0)
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_one() {
+        // The env var is not set in tests.
+        assert!((scale() - 1.0).abs() < f64::EPSILON || scale() > 0.0);
+        assert_eq!(scaled(100, 10).max(10), scaled(100, 10));
+    }
+
+    #[test]
+    fn series_mean() {
+        let mut s = Series::new("x");
+        s.push(0.0, 1.0);
+        s.push(1.0, 3.0);
+        assert!((s.mean_y() - 2.0).abs() < 1e-12);
+        assert_eq!(Series::new("empty").mean_y(), 0.0);
+    }
+
+    #[test]
+    fn overhead_formatting() {
+        assert_eq!(overhead_pct(1.0, 1.079), "+7.9%");
+        assert_eq!(overhead_pct(0.0, 1.0), "n/a");
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        let mut a = Series::new("a");
+        a.push(1.0, 2.0);
+        let b = Series::new("a-very-long-label-that-needs-truncation-for-output");
+        print_series("t", "x", "y", &[a, b]);
+        print_table("t", &["col1", "c2"], &[vec!["x".into(), "y".into()]]);
+    }
+
+    #[test]
+    fn standard_configs_have_paper_shape() {
+        let c = synthetic_config(32_000);
+        assert_eq!(c.ops_per_cp, 32_000);
+        let f = synthetic_fs_config(10);
+        assert!((f.dedup.probability - 0.10).abs() < 1e-12);
+        assert_eq!(f.snapshot_policy.retain_recent, 4);
+        let fs = backlog_fs(100, 10);
+        assert_eq!(fs.stats().consistency_points, 0);
+    }
+}

@@ -1,0 +1,295 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{DeviceError, Result};
+use crate::latency::{LatencyModel, SimClock};
+use crate::stats::IoStats;
+use crate::{PageNo, PAGE_SIZE};
+
+/// Configuration for a [`SimDisk`].
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Device capacity in 4 KB pages. Defaults to 64 Gi pages (effectively
+    /// unbounded for simulation purposes).
+    pub capacity_pages: u64,
+    /// Latency model charged for every access.
+    pub latency: LatencyModel,
+    /// If false, page payloads are not retained (only counters are kept).
+    /// The LSM layer requires payload storage; pure overhead experiments that
+    /// never read data back may disable it to save host memory.
+    pub store_payloads: bool,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            capacity_pages: 64 * 1024 * 1024 * 1024 / PAGE_SIZE as u64 * 1024,
+            latency: LatencyModel::default(),
+            store_payloads: true,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// A config with zero-latency accesses, convenient in unit tests.
+    pub fn free_latency() -> Self {
+        DeviceConfig { latency: LatencyModel::free(), ..Default::default() }
+    }
+
+    /// Sets the capacity in pages.
+    pub fn with_capacity_pages(mut self, pages: u64) -> Self {
+        self.capacity_pages = pages;
+        self
+    }
+
+    /// Sets the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Enables or disables payload retention.
+    pub fn with_payloads(mut self, store: bool) -> Self {
+        self.store_payloads = store;
+        self
+    }
+}
+
+/// The interface shared by raw and cached devices.
+///
+/// `Device` is object-safe; higher layers hold `Arc<dyn Device>` so that the
+/// LSM store can run against either a raw [`SimDisk`] or a
+/// [`PageCache`](crate::PageCache)-wrapped one.
+pub trait Device: Send + Sync + std::fmt::Debug {
+    /// Reads page `page` into a freshly allocated buffer of [`PAGE_SIZE`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnwrittenPage`] if the page has never been
+    /// written and [`DeviceError::OutOfRange`] if it is beyond the capacity.
+    fn read_page(&self, page: PageNo) -> Result<Vec<u8>>;
+
+    /// Writes one page. `data` must be at most [`PAGE_SIZE`] bytes; shorter
+    /// buffers are implicitly zero-padded to a full page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BadBufferLength`] if `data` exceeds one page
+    /// and [`DeviceError::OutOfRange`] if the page is beyond the capacity.
+    fn write_page(&self, page: PageNo, data: &[u8]) -> Result<()>;
+
+    /// The I/O counters for this device.
+    fn stats(&self) -> &IoStats;
+
+    /// The simulated clock advanced by this device's accesses.
+    fn clock(&self) -> &SimClock;
+
+    /// Device capacity in pages.
+    fn capacity_pages(&self) -> u64;
+}
+
+/// An in-memory simulated disk with I/O accounting and a latency model.
+///
+/// All methods take `&self`; the disk is internally synchronized and can be
+/// shared between components through an [`Arc`].
+#[derive(Debug)]
+pub struct SimDisk {
+    config: DeviceConfig,
+    pages: Mutex<HashMap<PageNo, Box<[u8]>>>,
+    written: Mutex<std::collections::HashSet<PageNo>>,
+    last_page: Mutex<Option<PageNo>>,
+    stats: IoStats,
+    clock: Arc<SimClock>,
+}
+
+impl SimDisk {
+    /// Creates a new empty disk.
+    pub fn new(config: DeviceConfig) -> Self {
+        SimDisk {
+            config,
+            pages: Mutex::new(HashMap::new()),
+            written: Mutex::new(std::collections::HashSet::new()),
+            last_page: Mutex::new(None),
+            stats: IoStats::new(),
+            clock: Arc::new(SimClock::new()),
+        }
+    }
+
+    /// Creates a disk wrapped in an [`Arc`], the common usage pattern.
+    pub fn new_shared(config: DeviceConfig) -> Arc<Self> {
+        Arc::new(Self::new(config))
+    }
+
+    /// Number of distinct pages that have ever been written.
+    pub fn pages_written(&self) -> u64 {
+        self.written.lock().len() as u64
+    }
+
+    /// Returns the configuration this disk was created with.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    fn charge(&self, page: PageNo, bytes: usize) {
+        let mut last = self.last_page.lock();
+        let ns = self.config.latency.access_ns(*last, page, bytes);
+        if self.config.latency.is_seek(*last, page) {
+            self.stats.record_seek();
+        }
+        *last = Some(page);
+        drop(last);
+        self.stats.record_device_ns(ns);
+        self.clock.advance_ns(ns);
+    }
+
+    fn check_range(&self, page: PageNo) -> Result<()> {
+        if page >= self.config.capacity_pages {
+            Err(DeviceError::OutOfRange { page, capacity: self.config.capacity_pages })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Device for SimDisk {
+    fn read_page(&self, page: PageNo) -> Result<Vec<u8>> {
+        self.check_range(page)?;
+        if !self.written.lock().contains(&page) {
+            return Err(DeviceError::UnwrittenPage { page });
+        }
+        self.charge(page, PAGE_SIZE);
+        self.stats.record_read(PAGE_SIZE as u64);
+        let pages = self.pages.lock();
+        Ok(match pages.get(&page) {
+            Some(data) => data.to_vec(),
+            // Payload storage disabled: return a zero page.
+            None => vec![0u8; PAGE_SIZE],
+        })
+    }
+
+    fn write_page(&self, page: PageNo, data: &[u8]) -> Result<()> {
+        self.check_range(page)?;
+        if data.len() > PAGE_SIZE {
+            return Err(DeviceError::BadBufferLength { got: data.len() });
+        }
+        self.charge(page, PAGE_SIZE);
+        self.stats.record_write(PAGE_SIZE as u64);
+        self.written.lock().insert(page);
+        if self.config.store_payloads {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            buf[..data.len()].copy_from_slice(data);
+            self.pages.lock().insert(page, buf.into_boxed_slice());
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.config.capacity_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> SimDisk {
+        SimDisk::new(DeviceConfig::free_latency())
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let d = disk();
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[0] = 0xAB;
+        data[PAGE_SIZE - 1] = 0xCD;
+        d.write_page(5, &data).unwrap();
+        let back = d.read_page(5).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn short_writes_are_zero_padded() {
+        let d = disk();
+        d.write_page(1, &[1, 2, 3]).unwrap();
+        let back = d.read_page(1).unwrap();
+        assert_eq!(&back[..3], &[1, 2, 3]);
+        assert!(back[3..].iter().all(|&b| b == 0));
+        assert_eq!(back.len(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn reading_unwritten_page_errors() {
+        let d = disk();
+        assert_eq!(d.read_page(9).unwrap_err(), DeviceError::UnwrittenPage { page: 9 });
+    }
+
+    #[test]
+    fn oversized_write_errors() {
+        let d = disk();
+        let big = vec![0u8; PAGE_SIZE + 1];
+        assert_eq!(
+            d.write_page(0, &big).unwrap_err(),
+            DeviceError::BadBufferLength { got: PAGE_SIZE + 1 }
+        );
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let d = SimDisk::new(DeviceConfig::free_latency().with_capacity_pages(10));
+        assert!(matches!(d.write_page(10, &[0]), Err(DeviceError::OutOfRange { .. })));
+        assert!(matches!(d.read_page(11), Err(DeviceError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn counters_track_io() {
+        let d = disk();
+        d.write_page(0, &[0]).unwrap();
+        d.write_page(1, &[0]).unwrap();
+        d.read_page(0).unwrap();
+        let s = d.stats().snapshot();
+        assert_eq!(s.page_writes, 2);
+        assert_eq!(s.page_reads, 1);
+        assert_eq!(s.bytes_written, 2 * PAGE_SIZE as u64);
+        assert_eq!(d.pages_written(), 2);
+    }
+
+    #[test]
+    fn latency_advances_clock_and_counts_seeks() {
+        let d = SimDisk::new(DeviceConfig::default());
+        d.write_page(0, &[0]).unwrap();
+        d.write_page(1, &[0]).unwrap(); // sequential: no seek
+        d.write_page(1000, &[0]).unwrap(); // seek
+        let s = d.stats().snapshot();
+        assert_eq!(s.seeks, 2, "first access and the jump both seek");
+        assert!(d.clock().now_ns() > 0);
+        assert!(s.device_ns > 0);
+    }
+
+    #[test]
+    fn payloads_can_be_disabled() {
+        let d = SimDisk::new(DeviceConfig::free_latency().with_payloads(false));
+        d.write_page(3, &[9, 9, 9]).unwrap();
+        let back = d.read_page(3).unwrap();
+        assert!(back.iter().all(|&b| b == 0));
+        assert_eq!(d.stats().snapshot().page_writes, 1);
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let d = disk();
+        d.write_page(2, &[1; 16]).unwrap();
+        d.write_page(2, &[2; 16]).unwrap();
+        assert_eq!(&d.read_page(2).unwrap()[..16], &[2; 16]);
+        assert_eq!(d.pages_written(), 1);
+    }
+}

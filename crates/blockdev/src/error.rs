@@ -1,0 +1,97 @@
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+/// Errors returned by the simulated device and file layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A page was read before it was ever written.
+    UnwrittenPage {
+        /// The offending page number.
+        page: u64,
+    },
+    /// A page number is beyond the configured device capacity.
+    OutOfRange {
+        /// The offending page number.
+        page: u64,
+        /// The device capacity in pages.
+        capacity: u64,
+    },
+    /// A buffer passed to `read_page`/`write_page` was not exactly one page.
+    BadBufferLength {
+        /// The length that was supplied.
+        got: usize,
+    },
+    /// The device has no free pages left to satisfy an allocation.
+    OutOfSpace {
+        /// Number of pages requested.
+        requested: u64,
+    },
+    /// A file identifier does not name a live file.
+    NoSuchFile {
+        /// The offending file id.
+        file: u64,
+    },
+    /// An offset is beyond the end of a virtual file.
+    FileOffsetOutOfRange {
+        /// The offending page offset within the file.
+        offset: u64,
+        /// The file length in pages.
+        len: u64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::UnwrittenPage { page } => {
+                write!(f, "page {page} was read before being written")
+            }
+            DeviceError::OutOfRange { page, capacity } => {
+                write!(f, "page {page} is out of range for device of {capacity} pages")
+            }
+            DeviceError::BadBufferLength { got } => {
+                write!(f, "buffer of {got} bytes is not exactly one page")
+            }
+            DeviceError::OutOfSpace { requested } => {
+                write!(f, "device out of space while allocating {requested} pages")
+            }
+            DeviceError::NoSuchFile { file } => write!(f, "no such virtual file: {file}"),
+            DeviceError::FileOffsetOutOfRange { offset, len } => {
+                write!(f, "offset {offset} is beyond file length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            DeviceError::UnwrittenPage { page: 3 },
+            DeviceError::OutOfRange { page: 9, capacity: 4 },
+            DeviceError::BadBufferLength { got: 12 },
+            DeviceError::OutOfSpace { requested: 10 },
+            DeviceError::NoSuchFile { file: 1 },
+            DeviceError::FileOffsetOutOfRange { offset: 5, len: 2 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("page"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! Simulated block storage for the Backlog (FAST'10) reproduction.
+//!
+//! The paper's evaluation reports costs in *device-level units* — 4 KB page
+//! writes per block operation, page reads per query — plus a time overhead
+//! measured on a 15K RPM SAS drive. This crate provides the substrate that
+//! makes those units measurable in a deterministic, hardware-independent way:
+//!
+//! * [`SimDisk`] — a page-addressable in-memory device that stores real page
+//!   contents, counts every read and write, and charges a configurable
+//!   [`LatencyModel`] (seek + rotation + transfer) to a simulated clock.
+//! * [`PageCache`] — an LRU read cache layered on a device, mirroring the
+//!   32 MB cache used in the paper's micro-benchmarks.
+//! * [`FileStore`] / [`VFile`] — a minimal extent-allocating file layer used
+//!   by the LSM read-store runs; files are written append-only and read
+//!   randomly, exactly the access pattern of Stepped-Merge run files.
+//! * [`IoStats`] — cheap atomic counters with snapshot/delta support so
+//!   experiments can attribute I/O to phases (normal operation, consistency
+//!   points, maintenance, queries).
+//!
+//! Everything here is deterministic: no wall-clock time, no OS file system,
+//! no background threads. Two runs of the same workload produce identical
+//! counter values, which is what the experiment harness in `backlog-bench`
+//! relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use blockdev::{Device, DeviceConfig, SimDisk, PAGE_SIZE};
+//!
+//! let disk = SimDisk::new(DeviceConfig::default());
+//! let page = vec![7u8; PAGE_SIZE];
+//! disk.write_page(42, &page).unwrap();
+//! let back = disk.read_page(42).unwrap();
+//! assert_eq!(back[0], 7);
+//! assert_eq!(disk.stats().snapshot().page_writes, 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod cache;
+mod device;
+mod error;
+mod latency;
+mod stats;
+mod vfile;
+
+pub use cache::PageCache;
+pub use device::{Device, DeviceConfig, SimDisk};
+pub use error::{DeviceError, Result};
+pub use latency::{LatencyModel, SimClock};
+pub use stats::{IoStats, IoStatsSnapshot};
+pub use vfile::{FileId, FileStore, VFile};
+
+/// Size of a device page in bytes (the paper's 4 KB block size).
+pub const PAGE_SIZE: usize = 4096;
+
+/// A physical page number on a simulated device.
+pub type PageNo = u64;

@@ -1,0 +1,172 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic I/O counters attached to a device.
+///
+/// Counters are monotonically increasing; experiments take a
+/// [`snapshot`](IoStats::snapshot) before and after a phase and subtract the
+/// two with [`IoStatsSnapshot::delta_since`] to attribute cost to that phase.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    page_reads: AtomicU64,
+    page_writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    seeks: AtomicU64,
+    /// Simulated device busy time, nanoseconds.
+    device_ns: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a page read of `bytes` bytes.
+    pub fn record_read(&self, bytes: u64) {
+        self.page_reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a page write of `bytes` bytes.
+    pub fn record_write(&self, bytes: u64) {
+        self.page_writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a head seek (non-sequential access).
+    pub fn record_seek(&self) {
+        self.seeks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds simulated device busy time in nanoseconds.
+    pub fn record_device_ns(&self, ns: u64) {
+        self.device_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Returns a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            page_writes: self.page_writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+            device_ns: self.device_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    ///
+    /// Prefer snapshot/delta over reset when multiple observers share the
+    /// same device; reset is provided for single-owner tests.
+    pub fn reset(&self) {
+        self.page_reads.store(0, Ordering::Relaxed);
+        self.page_writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.seeks.store(0, Ordering::Relaxed);
+        self.device_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    /// Number of page reads issued to the device.
+    pub page_reads: u64,
+    /// Number of page writes issued to the device.
+    pub page_writes: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Number of non-sequential accesses (head seeks).
+    pub seeks: u64,
+    /// Simulated device busy time in nanoseconds.
+    pub device_ns: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Returns the difference `self - earlier`, saturating at zero.
+    ///
+    /// Counters are monotone, so a saturating subtraction only matters if the
+    /// caller mixes snapshots from different devices.
+    pub fn delta_since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            page_writes: self.page_writes.saturating_sub(earlier.page_writes),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            seeks: self.seeks.saturating_sub(earlier.seeks),
+            device_ns: self.device_ns.saturating_sub(earlier.device_ns),
+        }
+    }
+
+    /// Total number of page I/Os (reads plus writes).
+    pub fn total_ios(&self) -> u64 {
+        self.page_reads + self.page_writes
+    }
+
+    /// Simulated device busy time in microseconds.
+    pub fn device_micros(&self) -> f64 {
+        self.device_ns as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let stats = IoStats::new();
+        stats.record_read(4096);
+        stats.record_write(4096);
+        stats.record_write(4096);
+        stats.record_seek();
+        stats.record_device_ns(1500);
+        let s = stats.snapshot();
+        assert_eq!(s.page_reads, 1);
+        assert_eq!(s.page_writes, 2);
+        assert_eq!(s.bytes_read, 4096);
+        assert_eq!(s.bytes_written, 8192);
+        assert_eq!(s.seeks, 1);
+        assert_eq!(s.device_ns, 1500);
+        assert_eq!(s.total_ios(), 3);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let stats = IoStats::new();
+        stats.record_write(4096);
+        let before = stats.snapshot();
+        stats.record_write(4096);
+        stats.record_read(4096);
+        let after = stats.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.page_writes, 1);
+        assert_eq!(d.page_reads, 1);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let a = IoStatsSnapshot { page_reads: 1, ..Default::default() };
+        let b = IoStatsSnapshot { page_reads: 5, ..Default::default() };
+        assert_eq!(a.delta_since(&b).page_reads, 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let stats = IoStats::new();
+        stats.record_read(4096);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn micros_conversion() {
+        let s = IoStatsSnapshot { device_ns: 2_500, ..Default::default() };
+        assert!((s.device_micros() - 2.5).abs() < 1e-9);
+    }
+}

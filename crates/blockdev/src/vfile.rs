@@ -1,0 +1,346 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::device::Device;
+use crate::error::{DeviceError, Result};
+use crate::{PageNo, PAGE_SIZE};
+
+/// Identifier of a virtual file inside a [`FileStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u64);
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vfile#{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FileMeta {
+    /// Extents of contiguous device pages, in file order.
+    extents: Vec<(PageNo, u64)>,
+    /// Length in pages.
+    len_pages: u64,
+    /// Logical length in bytes (may not fill the last page).
+    len_bytes: u64,
+}
+
+impl FileMeta {
+    fn page_at(&self, offset: u64) -> Option<PageNo> {
+        let mut remaining = offset;
+        for &(start, len) in &self.extents {
+            if remaining < len {
+                return Some(start + remaining);
+            }
+            remaining -= len;
+        }
+        None
+    }
+}
+
+/// A simple extent-allocating file layer over a [`Device`].
+///
+/// Read-store run files (`Leaf`, `I1`, `I2`, ... in the paper's terminology)
+/// are created through this layer: each run file is written strictly
+/// append-only during a consistency point and later read randomly by the
+/// query engine. The store allocates device pages in contiguous extents so
+/// that sequential run writes stay sequential on the simulated disk, which is
+/// what makes consistency-point flushes cheap in the latency model.
+#[derive(Debug)]
+pub struct FileStore {
+    device: Arc<dyn Device>,
+    state: Mutex<StoreState>,
+}
+
+#[derive(Debug, Default)]
+struct StoreState {
+    files: HashMap<FileId, FileMeta>,
+    next_file: u64,
+    /// Next never-allocated device page (bump allocation).
+    next_page: PageNo,
+    /// Pages returned by deleted files, reused before extending `next_page`.
+    free: Vec<(PageNo, u64)>,
+}
+
+impl FileStore {
+    /// Creates a file store allocating from page 0 of `device`.
+    pub fn new(device: Arc<dyn Device>) -> Self {
+        FileStore { device, state: Mutex::new(StoreState::default()) }
+    }
+
+    /// Creates a file store whose allocations start at `first_page`, leaving
+    /// lower page numbers to other users of the device (e.g. file-system data).
+    pub fn with_base_page(device: Arc<dyn Device>, first_page: PageNo) -> Self {
+        let store = Self::new(device);
+        store.state.lock().next_page = first_page;
+        store
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<dyn Device> {
+        &self.device
+    }
+
+    /// Creates a new, empty file and returns a handle to it.
+    pub fn create(&self) -> VFile<'_> {
+        let mut st = self.state.lock();
+        let id = FileId(st.next_file);
+        st.next_file += 1;
+        st.files.insert(id, FileMeta { extents: Vec::new(), len_pages: 0, len_bytes: 0 });
+        VFile { store: self, id }
+    }
+
+    /// Opens an existing file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NoSuchFile`] if `id` does not name a live file.
+    pub fn open(&self, id: FileId) -> Result<VFile<'_>> {
+        if self.state.lock().files.contains_key(&id) {
+            Ok(VFile { store: self, id })
+        } else {
+            Err(DeviceError::NoSuchFile { file: id.0 })
+        }
+    }
+
+    /// Deletes a file, returning its pages to the free list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NoSuchFile`] if `id` does not name a live file.
+    pub fn delete(&self, id: FileId) -> Result<()> {
+        let mut st = self.state.lock();
+        let meta = st.files.remove(&id).ok_or(DeviceError::NoSuchFile { file: id.0 })?;
+        st.free.extend(meta.extents);
+        Ok(())
+    }
+
+    /// Number of live files.
+    pub fn file_count(&self) -> usize {
+        self.state.lock().files.len()
+    }
+
+    /// Total pages currently allocated to live files.
+    pub fn allocated_pages(&self) -> u64 {
+        self.state.lock().files.values().map(|f| f.len_pages).sum()
+    }
+
+    /// Total logical bytes across live files (the "database size" that the
+    /// paper's space-overhead figures report).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.state.lock().files.values().map(|f| f.len_bytes).sum()
+    }
+
+    fn allocate(&self, st: &mut StoreState, pages: u64) -> Result<Vec<(PageNo, u64)>> {
+        let mut out = Vec::new();
+        let mut need = pages;
+        while need > 0 {
+            if let Some((start, len)) = st.free.pop() {
+                let take = len.min(need);
+                out.push((start, take));
+                if take < len {
+                    st.free.push((start + take, len - take));
+                }
+                need -= take;
+            } else {
+                let start = st.next_page;
+                if start + need > self.device.capacity_pages() {
+                    return Err(DeviceError::OutOfSpace { requested: pages });
+                }
+                st.next_page += need;
+                out.push((start, need));
+                need = 0;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A handle to one virtual file inside a [`FileStore`].
+///
+/// The handle borrows the store; it is cheap to recreate from a [`FileId`]
+/// via [`FileStore::open`].
+#[derive(Debug)]
+pub struct VFile<'a> {
+    store: &'a FileStore,
+    id: FileId,
+}
+
+impl<'a> VFile<'a> {
+    /// This file's identifier, stable across open/close.
+    pub fn id(&self) -> FileId {
+        self.id
+    }
+
+    /// Length of the file in pages.
+    pub fn len_pages(&self) -> u64 {
+        self.store.state.lock().files.get(&self.id).map(|f| f.len_pages).unwrap_or(0)
+    }
+
+    /// Logical length of the file in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.store.state.lock().files.get(&self.id).map(|f| f.len_bytes).unwrap_or(0)
+    }
+
+    /// Appends one page of data (at most [`PAGE_SIZE`] bytes, zero padded)
+    /// and returns the page offset within the file at which it was written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and device errors.
+    pub fn append_page(&self, data: &[u8]) -> Result<u64> {
+        if data.len() > PAGE_SIZE {
+            return Err(DeviceError::BadBufferLength { got: data.len() });
+        }
+        let (device_page, offset) = {
+            let mut st = self.store.state.lock();
+            // Allocate one page, extending the last extent when contiguous.
+            let extents = self.store.allocate(&mut st, 1)?;
+            let (page, _) = extents[0];
+            let meta = st.files.get_mut(&self.id).ok_or(DeviceError::NoSuchFile { file: self.id.0 })?;
+            match meta.extents.last_mut() {
+                Some((start, len)) if *start + *len == page => *len += 1,
+                _ => meta.extents.push((page, 1)),
+            }
+            let offset = meta.len_pages;
+            meta.len_pages += 1;
+            meta.len_bytes += data.len() as u64;
+            (page, offset)
+        };
+        self.store.device.write_page(device_page, data)?;
+        Ok(offset)
+    }
+
+    /// Reads the page at file offset `offset` (in pages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::FileOffsetOutOfRange`] when `offset` is past
+    /// the end of the file.
+    pub fn read_page(&self, offset: u64) -> Result<Vec<u8>> {
+        let device_page = {
+            let st = self.store.state.lock();
+            let meta = st.files.get(&self.id).ok_or(DeviceError::NoSuchFile { file: self.id.0 })?;
+            meta.page_at(offset).ok_or(DeviceError::FileOffsetOutOfRange {
+                offset,
+                len: meta.len_pages,
+            })?
+        };
+        self.store.device.read_page(device_page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceConfig, SimDisk};
+
+    fn store() -> FileStore {
+        FileStore::new(SimDisk::new_shared(DeviceConfig::free_latency()))
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let fs = store();
+        let f = fs.create();
+        assert_eq!(f.append_page(b"hello").unwrap(), 0);
+        assert_eq!(f.append_page(b"world").unwrap(), 1);
+        assert_eq!(&f.read_page(0).unwrap()[..5], b"hello");
+        assert_eq!(&f.read_page(1).unwrap()[..5], b"world");
+        assert_eq!(f.len_pages(), 2);
+        assert_eq!(f.len_bytes(), 10);
+    }
+
+    #[test]
+    fn sequential_appends_are_contiguous_on_device() {
+        let disk = SimDisk::new_shared(DeviceConfig::default());
+        let fs = FileStore::new(disk.clone());
+        let f = fs.create();
+        for i in 0..64u8 {
+            f.append_page(&[i]).unwrap();
+        }
+        // One seek for the first write, none for the rest.
+        assert_eq!(disk.stats().snapshot().seeks, 1);
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let fs = store();
+        let f = fs.create();
+        f.append_page(&[1]).unwrap();
+        assert!(matches!(
+            f.read_page(3),
+            Err(DeviceError::FileOffsetOutOfRange { offset: 3, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn open_nonexistent_errors() {
+        let fs = store();
+        assert!(matches!(fs.open(FileId(99)), Err(DeviceError::NoSuchFile { file: 99 })));
+    }
+
+    #[test]
+    fn delete_frees_and_reuses_pages() {
+        let fs = store();
+        let f1 = fs.create();
+        for _ in 0..10 {
+            f1.append_page(&[1]).unwrap();
+        }
+        let id1 = f1.id();
+        assert_eq!(fs.allocated_pages(), 10);
+        fs.delete(id1).unwrap();
+        assert_eq!(fs.allocated_pages(), 0);
+        assert_eq!(fs.file_count(), 0);
+        // A new file should reuse the freed pages rather than extend the device.
+        let f2 = fs.create();
+        for _ in 0..5 {
+            f2.append_page(&[2]).unwrap();
+        }
+        let st = fs.state.lock();
+        assert_eq!(st.next_page, 10, "bump pointer did not grow");
+    }
+
+    #[test]
+    fn multiple_files_are_independent() {
+        let fs = store();
+        let a = fs.create();
+        let b = fs.create();
+        a.append_page(b"a").unwrap();
+        b.append_page(b"b").unwrap();
+        a.append_page(b"aa").unwrap();
+        assert_eq!(&a.read_page(0).unwrap()[..1], b"a");
+        assert_eq!(&b.read_page(0).unwrap()[..1], b"b");
+        assert_eq!(a.len_pages(), 2);
+        assert_eq!(b.len_pages(), 1);
+        assert_eq!(fs.file_count(), 2);
+        assert_eq!(fs.allocated_bytes(), 4);
+    }
+
+    #[test]
+    fn with_base_page_respects_reserved_region() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let fs = FileStore::with_base_page(disk, 1000);
+        let f = fs.create();
+        f.append_page(&[1]).unwrap();
+        let st = fs.state.lock();
+        assert_eq!(st.next_page, 1001);
+    }
+
+    #[test]
+    fn out_of_space_is_reported() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency().with_capacity_pages(2));
+        let fs = FileStore::new(disk);
+        let f = fs.create();
+        f.append_page(&[1]).unwrap();
+        f.append_page(&[2]).unwrap();
+        assert!(matches!(f.append_page(&[3]), Err(DeviceError::OutOfSpace { .. })));
+    }
+
+    #[test]
+    fn file_id_displays() {
+        assert_eq!(FileId(7).to_string(), "vfile#7");
+    }
+}

@@ -1,0 +1,71 @@
+use lsm::{BloomConfig, Partitioning};
+
+/// Configuration for a [`BacklogEngine`](crate::BacklogEngine).
+#[derive(Debug, Clone)]
+pub struct BacklogConfig {
+    /// Bloom filter sizing for the `From` and `To` tables' runs. The default
+    /// matches the paper: sized for 32,000 operations per CP (32 KB).
+    pub bloom: BloomConfig,
+    /// Bloom filter sizing for the `Combined` table, which the paper allows
+    /// to grow up to 1 MB.
+    pub combined_bloom: BloomConfig,
+    /// Horizontal partitioning of the read-store files by block number.
+    pub partitioning: Partitioning,
+    /// Whether to measure wall-clock time spent in callbacks and CP flushes.
+    /// Disable for pure I/O-count experiments to avoid timer overhead.
+    pub track_timing: bool,
+}
+
+impl Default for BacklogConfig {
+    fn default() -> Self {
+        BacklogConfig {
+            bloom: BloomConfig::default(),
+            combined_bloom: BloomConfig {
+                // The Combined RS participates in nearly every query, so the
+                // paper lets its filter grow to 1 MB.
+                max_bits: 1024 * 1024 * 8,
+                ..BloomConfig::default()
+            },
+            partitioning: Partitioning::single(),
+            track_timing: true,
+        }
+    }
+}
+
+impl BacklogConfig {
+    /// A configuration with `partitions` fixed-range partitions over a key
+    /// space of `total_blocks` physical blocks.
+    pub fn partitioned(partitions: u32, total_blocks: u64) -> Self {
+        BacklogConfig {
+            partitioning: Partitioning::for_key_space(partitions, total_blocks),
+            ..Default::default()
+        }
+    }
+
+    /// Disables wall-clock timing of callbacks.
+    pub fn without_timing(mut self) -> Self {
+        self.track_timing = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_sizing() {
+        let c = BacklogConfig::default();
+        assert_eq!(c.bloom.hashes, 4);
+        assert_eq!(c.combined_bloom.max_bits, 8 * 1024 * 1024);
+        assert_eq!(c.partitioning.partition_count(), 1);
+        assert!(c.track_timing);
+    }
+
+    #[test]
+    fn partitioned_builder() {
+        let c = BacklogConfig::partitioned(8, 80_000);
+        assert_eq!(c.partitioning.partition_count(), 8);
+        assert!(!c.without_timing().track_timing);
+    }
+}

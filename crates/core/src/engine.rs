@@ -1,0 +1,792 @@
+use std::sync::Arc;
+use std::time::Instant;
+
+use blockdev::{Device, DeviceConfig, FileStore, IoStatsSnapshot, SimDisk};
+use lsm::{LsmTable, TableConfig};
+
+use crate::config::BacklogConfig;
+use crate::error::Result;
+use crate::lineage::LineageTable;
+use crate::maintenance::join_and_purge;
+use crate::query::{assemble_query, QueryResult};
+use crate::record::{CombinedRecord, FromRecord, RefIdentity, ToRecord};
+use crate::stats::{BacklogStats, CpReport, IoDelta, MaintenanceReport};
+use crate::types::{BlockNo, CpNumber, LineId, Owner, SnapshotId};
+
+/// The log-structured back-reference engine (the paper's *Backlog*).
+///
+/// The engine is driven by three callbacks from the host file system —
+/// [`add_reference`](Self::add_reference),
+/// [`remove_reference`](Self::remove_reference) and
+/// [`consistency_point`](Self::consistency_point) — plus snapshot-lifecycle
+/// notifications ([`take_snapshot`](Self::take_snapshot),
+/// [`create_clone`](Self::create_clone),
+/// [`delete_snapshot`](Self::delete_snapshot)). It maintains the `From`, `To`
+/// and `Combined` tables in LSM form on a simulated device, answers
+/// back-reference queries, and periodically compacts the database
+/// ([`maintenance`](Self::maintenance)).
+///
+/// # Example
+///
+/// ```
+/// use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
+///
+/// # fn main() -> Result<(), backlog::BacklogError> {
+/// let mut engine = BacklogEngine::new_simulated(BacklogConfig::default());
+/// // Block 1000 is referenced by inode 7 at offset 0.
+/// engine.add_reference(1000, Owner::block(7, 0, LineId::ROOT));
+/// engine.consistency_point()?;
+/// let result = engine.query_block(1000)?;
+/// assert_eq!(result.refs.len(), 1);
+/// assert_eq!(result.refs[0].inode, 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BacklogEngine {
+    files: Arc<FileStore>,
+    config: BacklogConfig,
+    from_table: LsmTable<FromRecord>,
+    to_table: LsmTable<ToRecord>,
+    combined_table: LsmTable<CombinedRecord>,
+    lineage: LineageTable,
+    stats: BacklogStats,
+    // Per-CP-interval accounting, reset at every consistency point.
+    ops_since_cp: u64,
+    pruned_since_cp: u64,
+    callback_ns_since_cp: u64,
+}
+
+impl BacklogEngine {
+    /// Creates an engine whose tables live in `files`.
+    pub fn new(files: Arc<FileStore>, config: BacklogConfig) -> Self {
+        let from_table = LsmTable::new(
+            files.clone(),
+            TableConfig::named("From")
+                .with_bloom(config.bloom)
+                .with_partitioning(config.partitioning),
+        );
+        let to_table = LsmTable::new(
+            files.clone(),
+            TableConfig::named("To")
+                .with_bloom(config.bloom)
+                .with_partitioning(config.partitioning),
+        );
+        let combined_table = LsmTable::new(
+            files.clone(),
+            TableConfig::named("Combined")
+                .with_bloom(config.combined_bloom)
+                .with_partitioning(config.partitioning),
+        );
+        BacklogEngine {
+            files,
+            config,
+            from_table,
+            to_table,
+            combined_table,
+            lineage: LineageTable::new(),
+            stats: BacklogStats::default(),
+            ops_since_cp: 0,
+            pruned_since_cp: 0,
+            callback_ns_since_cp: 0,
+        }
+    }
+
+    /// Creates an engine backed by a fresh in-memory simulated disk with the
+    /// default latency model. Convenient for examples and tests.
+    pub fn new_simulated(config: BacklogConfig) -> Self {
+        let disk = SimDisk::new_shared(DeviceConfig::default());
+        let files = Arc::new(FileStore::new(disk));
+        Self::new(files, config)
+    }
+
+    /// The configuration this engine was created with.
+    pub fn config(&self) -> &BacklogConfig {
+        &self.config
+    }
+
+    /// The file store holding the back-reference database.
+    pub fn files(&self) -> &Arc<FileStore> {
+        &self.files
+    }
+
+    /// The underlying device (for I/O accounting in experiments).
+    pub fn device(&self) -> &Arc<dyn Device> {
+        self.files.device()
+    }
+
+    /// The lineage table (lines, snapshots, clones, zombies).
+    pub fn lineage(&self) -> &LineageTable {
+        &self.lineage
+    }
+
+    /// Cumulative engine statistics.
+    pub fn stats(&self) -> &BacklogStats {
+        &self.stats
+    }
+
+    /// The current global consistency-point number.
+    pub fn current_cp(&self) -> CpNumber {
+        self.lineage.current_cp()
+    }
+
+    fn io_snapshot(&self) -> IoStatsSnapshot {
+        self.device().stats().snapshot()
+    }
+
+    fn now(&self) -> Option<Instant> {
+        self.config.track_timing.then(Instant::now)
+    }
+
+    fn elapsed_ns(&self, start: Option<Instant>) -> u64 {
+        start.map(|s| s.elapsed().as_nanos() as u64).unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Callbacks from the file system
+    // ------------------------------------------------------------------
+
+    /// Records that `owner` now references physical block `block`.
+    ///
+    /// Called on every block allocation, reallocation, or new deduplicated
+    /// reference. The update is buffered in memory; no disk I/O is performed
+    /// until the next [`consistency_point`](Self::consistency_point).
+    pub fn add_reference(&mut self, block: BlockNo, owner: Owner) {
+        let start = self.now();
+        let identity = RefIdentity::new(block, owner);
+        let cp = self.lineage.current_cp();
+        // Proactive pruning: if the same reference was removed earlier in
+        // this CP interval, its To record is still in the write store;
+        // removing it splices the two lifetimes back together.
+        let pruned = self.to_table.ws_remove(&ToRecord::new(identity, cp));
+        if pruned {
+            self.stats.pruned_adds += 1;
+            self.stats.pruned_removes += 1;
+            self.pruned_since_cp += 2;
+        } else {
+            self.from_table.insert(FromRecord::new(identity, cp));
+        }
+        self.stats.refs_added += 1;
+        self.stats.block_ops += 1;
+        self.ops_since_cp += 1;
+        let ns = self.elapsed_ns(start);
+        self.stats.callback_ns += ns;
+        self.callback_ns_since_cp += ns;
+    }
+
+    /// Records that `owner` no longer references physical block `block`.
+    ///
+    /// Called on every block deallocation or copy-on-write replacement. Like
+    /// [`add_reference`](Self::add_reference), the update is buffered until
+    /// the next consistency point.
+    pub fn remove_reference(&mut self, block: BlockNo, owner: Owner) {
+        let start = self.now();
+        let identity = RefIdentity::new(block, owner);
+        let cp = self.lineage.current_cp();
+        // Proactive pruning: a reference added and removed within the same CP
+        // interval never needs to reach disk.
+        let pruned = self.from_table.ws_remove(&FromRecord::new(identity, cp));
+        if pruned {
+            self.stats.pruned_adds += 1;
+            self.stats.pruned_removes += 1;
+            self.pruned_since_cp += 2;
+        } else {
+            self.to_table.insert(ToRecord::new(identity, cp));
+        }
+        self.stats.refs_removed += 1;
+        self.stats.block_ops += 1;
+        self.ops_since_cp += 1;
+        let ns = self.elapsed_ns(start);
+        self.stats.callback_ns += ns;
+        self.callback_ns_since_cp += ns;
+    }
+
+    /// Takes a consistency point: writes the buffered `From`/`To` updates to
+    /// new Level-0 read-store runs, advances the global CP number, and
+    /// returns per-CP overhead accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from writing the run files.
+    pub fn consistency_point(&mut self) -> Result<CpReport> {
+        let io_before = self.io_snapshot();
+        let start = self.now();
+        let cp = self.lineage.current_cp();
+
+        let from_flush = self.from_table.flush_cp()?;
+        let to_flush = self.to_table.flush_cp()?;
+        let combined_flush = self.combined_table.flush_cp()?;
+
+        let flush_ns = self.elapsed_ns(start);
+        let io_after = self.io_snapshot();
+        let io = IoDelta::between(&io_before, &io_after);
+
+        let report = CpReport {
+            cp,
+            block_ops: self.ops_since_cp,
+            persistent_ops: self.ops_since_cp.saturating_sub(self.pruned_since_cp),
+            records_flushed: from_flush.records_flushed
+                + to_flush.records_flushed
+                + combined_flush.records_flushed,
+            runs_created: from_flush.runs_created
+                + to_flush.runs_created
+                + combined_flush.runs_created,
+            pages_written: io.writes,
+            pages_read: io.reads,
+            callback_ns: self.callback_ns_since_cp,
+            flush_ns,
+        };
+
+        self.lineage.advance_cp();
+        self.stats.consistency_points += 1;
+        self.stats.cp_flush_ns += flush_ns;
+        self.ops_since_cp = 0;
+        self.pruned_since_cp = 0;
+        self.callback_ns_since_cp = 0;
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot lifecycle (no I/O)
+    // ------------------------------------------------------------------
+
+    /// Registers the current CP of `line` as a retained snapshot. Incurs no
+    /// I/O — one of the key properties of the design.
+    pub fn take_snapshot(&mut self, line: LineId) -> SnapshotId {
+        self.lineage.take_snapshot(line)
+    }
+
+    /// Creates a writable clone of `parent` and returns the new line. Incurs
+    /// no I/O and copies no back-reference records (structural inheritance).
+    pub fn create_clone(&mut self, parent: SnapshotId) -> LineId {
+        self.lineage.create_clone(parent)
+    }
+
+    /// Registers a clone whose line identifier was assigned by the host file
+    /// system (e.g. the `fsim` simulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is already known to the engine.
+    pub fn register_clone(&mut self, parent: SnapshotId, line: LineId) {
+        self.lineage.register_clone(parent, line)
+    }
+
+    /// Registers an externally identified snapshot as retained (live).
+    pub fn register_snapshot(&mut self, snap: SnapshotId) {
+        self.lineage.register_snapshot(snap)
+    }
+
+    /// Deletes a snapshot. If it has been cloned, it becomes a zombie so its
+    /// back references survive maintenance until its descendants are gone.
+    pub fn delete_snapshot(&mut self, snap: SnapshotId) {
+        self.lineage.delete_snapshot(snap)
+    }
+
+    /// Deletes an entire line (e.g. a writable clone that is no longer
+    /// needed).
+    pub fn delete_line(&mut self, line: LineId) {
+        self.lineage.delete_line(line)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Returns all back references for a single physical block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from reading run files.
+    pub fn query_block(&mut self, block: BlockNo) -> Result<QueryResult> {
+        self.query_range(block, block)
+    }
+
+    /// Returns all back references for physical blocks in `min..=max`
+    /// ("Tell me all the objects containing this block", generalized to a
+    /// range as used by volume shrinking and defragmentation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from reading run files.
+    pub fn query_range(&mut self, min: BlockNo, max: BlockNo) -> Result<QueryResult> {
+        let io_before = self.io_snapshot();
+        let start = self.now();
+        let froms = self.from_table.query_range(min, max)?;
+        let tos = self.to_table.query_range(min, max)?;
+        let combined = self.combined_table.query_range(min, max)?;
+        let refs = assemble_query(&froms, &tos, &combined, &self.lineage);
+        let io = IoDelta::between(&io_before, &self.io_snapshot());
+        self.stats.queries += 1;
+        Ok(QueryResult { refs, io_reads: io.reads, elapsed_ns: self.elapsed_ns(start) })
+    }
+
+    /// The live owners of `block` (those reachable from the live file
+    /// system), the common input to pointer-update operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from reading run files.
+    pub fn live_owners(&mut self, block: BlockNo) -> Result<Vec<Owner>> {
+        let result = self.query_block(block)?;
+        let mut owners: Vec<Owner> =
+            result.refs.iter().filter(|r| r.is_live()).map(|r| r.owner()).collect();
+        owners.sort();
+        owners.dedup();
+        Ok(owners)
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Runs database maintenance: merges all Level-0 runs, precomputes the
+    /// Combined table (the From ⟗ To join), purges records that refer only to
+    /// deleted snapshots, and prunes the zombie list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn maintenance(&mut self) -> Result<MaintenanceReport> {
+        let io_before = self.io_snapshot();
+        let start = self.now();
+        let bytes_before = self.database_disk_bytes();
+        let runs_before = self.from_table.run_count()
+            + self.to_table.run_count()
+            + self.combined_table.run_count();
+
+        let froms = self.from_table.scan_disk()?;
+        let tos = self.to_table.scan_disk()?;
+        let combined = self.combined_table.scan_disk()?;
+        let output = join_and_purge(&froms, &tos, &combined, &self.lineage);
+
+        self.from_table.replace_disk_contents(&output.incomplete_from)?;
+        self.to_table.replace_disk_contents(&[])?;
+        self.combined_table.replace_disk_contents(&output.combined)?;
+
+        let zombies_pruned = self.lineage.prune_zombies() as u64;
+        let elapsed_ns = self.elapsed_ns(start);
+        let bytes_after = self.database_disk_bytes();
+        let report = MaintenanceReport {
+            runs_merged: runs_before,
+            combined_records: output.combined.len() as u64,
+            incomplete_records: output.incomplete_from.len() as u64,
+            purged_records: output.purged,
+            zombies_pruned,
+            bytes_before,
+            bytes_after,
+            io: IoDelta::between(&io_before, &self.io_snapshot()),
+            elapsed_ns,
+        };
+        self.stats.maintenance_runs += 1;
+        self.stats.maintenance_ns += elapsed_ns;
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Block relocation (the defragmentation / volume-shrink use case)
+    // ------------------------------------------------------------------
+
+    /// Relocates the back references of `old_block` to `new_block`, as a
+    /// defragmenter or volume shrinker does after physically moving the
+    /// block. Existing records for `old_block` are hidden through the
+    /// deletion vectors (the read-store files are not rewritten); equivalent
+    /// records for `new_block` are inserted. Returns the number of references
+    /// moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn relocate_block(&mut self, old_block: BlockNo, new_block: BlockNo) -> Result<usize> {
+        let result = self.query_block(old_block)?;
+        // Hide every record of the old block in all three tables.
+        for rec in self.from_table.query_range(old_block, old_block)? {
+            self.from_table.mark_deleted(rec);
+        }
+        for rec in self.to_table.query_range(old_block, old_block)? {
+            self.to_table.mark_deleted(rec);
+        }
+        for rec in self.combined_table.query_range(old_block, old_block)? {
+            self.combined_table.mark_deleted(rec);
+        }
+        // Re-create the same reference history for the new block.
+        let mut moved = 0usize;
+        for r in &result.refs {
+            let mut identity = RefIdentity::new(new_block, r.owner());
+            identity.length = r.length;
+            if r.is_live() {
+                self.from_table.insert(FromRecord::new(identity, r.from));
+            } else {
+                self.combined_table.insert(CombinedRecord::new(identity, r.from, r.to));
+            }
+            moved += 1;
+        }
+        Ok(moved)
+    }
+
+    // ------------------------------------------------------------------
+    // Size accounting
+    // ------------------------------------------------------------------
+
+    /// Bytes of back-reference data on disk (all runs of all three tables).
+    pub fn database_disk_bytes(&self) -> u64 {
+        self.from_table.disk_bytes() + self.to_table.disk_bytes() + self.combined_table.disk_bytes()
+    }
+
+    /// Approximate bytes of back-reference data buffered in the write stores.
+    pub fn write_store_bytes(&self) -> u64 {
+        (self.from_table.write_store().approx_bytes()
+            + self.to_table.write_store().approx_bytes()
+            + self.combined_table.write_store().approx_bytes()) as u64
+    }
+
+    /// Memory held by Bloom filters across all runs.
+    pub fn bloom_bytes(&self) -> u64 {
+        self.from_table.stats().bloom_bytes
+            + self.to_table.stats().bloom_bytes
+            + self.combined_table.stats().bloom_bytes
+    }
+
+    /// Number of Level-0 runs currently on disk across the three tables.
+    pub fn run_count(&self) -> u32 {
+        self.from_table.run_count() + self.to_table.run_count() + self.combined_table.run_count()
+    }
+
+    /// Per-table statistics `(from, to, combined)`.
+    pub fn table_stats(&self) -> (lsm::TableStats, lsm::TableStats, lsm::TableStats) {
+        (self.from_table.stats(), self.to_table.stats(), self.combined_table.stats())
+    }
+
+    /// Direct read access to the `From` table (used by the verification
+    /// walker and by white-box tests).
+    pub fn from_table(&self) -> &LsmTable<FromRecord> {
+        &self.from_table
+    }
+
+    /// Direct read access to the `To` table.
+    pub fn to_table(&self) -> &LsmTable<ToRecord> {
+        &self.to_table
+    }
+
+    /// Direct read access to the `Combined` table.
+    pub fn combined_table(&self) -> &LsmTable<CombinedRecord> {
+        &self.combined_table
+    }
+
+    /// Returns every back reference currently derivable from the database,
+    /// expanded and masked exactly like a query over the full block range.
+    /// Used by the verification utility; not intended for the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn dump_all(&mut self) -> Result<QueryResult> {
+        self.query_range(0, u64::MAX)
+    }
+}
+
+// The engine intentionally does not implement `Clone`: it owns on-disk state.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> BacklogEngine {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk));
+        BacklogEngine::new(files, BacklogConfig::default())
+    }
+
+    #[test]
+    fn add_query_roundtrip() {
+        let mut e = engine();
+        e.add_reference(500, Owner::block(3, 7, LineId::ROOT));
+        // Query works even before the CP (records still in the write store).
+        let r = e.query_block(500).unwrap();
+        assert_eq!(r.refs.len(), 1);
+        assert_eq!(r.refs[0].inode, 3);
+        assert_eq!(r.refs[0].offset, 7);
+        assert!(r.refs[0].is_live());
+        e.consistency_point().unwrap();
+        let r = e.query_block(500).unwrap();
+        assert_eq!(r.refs.len(), 1);
+    }
+
+    #[test]
+    fn remove_after_cp_produces_bounded_interval() {
+        let mut e = engine();
+        e.add_reference(500, Owner::block(3, 0, LineId::ROOT));
+        e.consistency_point().unwrap(); // cp 1 durable, now at cp 2
+        e.take_snapshot(LineId::ROOT); // retain cp 2
+        e.consistency_point().unwrap();
+        e.remove_reference(500, Owner::block(3, 0, LineId::ROOT));
+        e.consistency_point().unwrap();
+        let r = e.query_block(500).unwrap();
+        assert_eq!(r.refs.len(), 1);
+        assert_eq!(r.refs[0].from, 1);
+        assert_eq!(r.refs[0].to, 3);
+        assert!(!r.refs[0].is_live());
+        assert_eq!(r.refs[0].live_versions, vec![2]);
+    }
+
+    #[test]
+    fn removed_reference_with_no_snapshot_is_masked_out() {
+        let mut e = engine();
+        e.add_reference(500, Owner::block(3, 0, LineId::ROOT));
+        e.consistency_point().unwrap();
+        e.remove_reference(500, Owner::block(3, 0, LineId::ROOT));
+        e.consistency_point().unwrap();
+        // No snapshot retained the old state: the reference is unreachable.
+        let r = e.query_block(500).unwrap();
+        assert!(r.refs.is_empty());
+    }
+
+    #[test]
+    fn proactive_pruning_within_one_cp() {
+        let mut e = engine();
+        e.add_reference(1, Owner::block(9, 0, LineId::ROOT));
+        e.remove_reference(1, Owner::block(9, 0, LineId::ROOT));
+        assert_eq!(e.stats().pruned_adds, 1);
+        assert_eq!(e.stats().pruned_removes, 1);
+        let report = e.consistency_point().unwrap();
+        assert_eq!(report.records_flushed, 0, "pruned records never reach disk");
+        assert_eq!(report.persistent_ops, 0);
+        assert_eq!(report.block_ops, 2);
+        assert!(e.query_block(1).unwrap().refs.is_empty());
+    }
+
+    #[test]
+    fn prune_remove_then_readd_extends_lifetime() {
+        let mut e = engine();
+        let owner = Owner::block(9, 0, LineId::ROOT);
+        e.add_reference(1, owner);
+        e.consistency_point().unwrap(); // ref valid from cp 1
+        // Within cp 2: remove then re-add; the To record must be pruned so
+        // the reference keeps its original lifespan.
+        e.remove_reference(1, owner);
+        e.add_reference(1, owner);
+        e.consistency_point().unwrap();
+        let refs = e.query_block(1).unwrap().refs;
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].from, 1);
+        assert!(refs[0].is_live());
+    }
+
+    #[test]
+    fn cp_report_counts_io_and_ops() {
+        let mut e = engine();
+        for i in 0..1000u64 {
+            e.add_reference(i, Owner::block(1, i, LineId::ROOT));
+        }
+        let report = e.consistency_point().unwrap();
+        assert_eq!(report.block_ops, 1000);
+        assert_eq!(report.persistent_ops, 1000);
+        assert_eq!(report.records_flushed, 1000);
+        assert!(report.pages_written > 0);
+        assert_eq!(report.pages_read, 0, "CP flush never reads");
+        assert!(report.io_writes_per_persistent_op() < 0.05);
+        // Next CP with no activity is free.
+        let idle = e.consistency_point().unwrap();
+        assert_eq!(idle.pages_written, 0);
+        assert_eq!(idle.block_ops, 0);
+    }
+
+    #[test]
+    fn snapshot_and_clone_operations_do_no_io() {
+        let mut e = engine();
+        e.add_reference(10, Owner::block(1, 0, LineId::ROOT));
+        e.consistency_point().unwrap();
+        let before = e.device().stats().snapshot();
+        let snap = e.take_snapshot(LineId::ROOT);
+        let clone = e.create_clone(snap);
+        e.delete_snapshot(snap);
+        e.delete_line(clone);
+        let after = e.device().stats().snapshot();
+        assert_eq!(before, after, "snapshot lifecycle must not touch the device");
+    }
+
+    #[test]
+    fn clone_inherits_back_references() {
+        let mut e = engine();
+        let owner = Owner::block(4, 2, LineId::ROOT);
+        e.add_reference(77, owner);
+        e.consistency_point().unwrap();
+        let snap = e.take_snapshot(LineId::ROOT);
+        let clone = e.create_clone(snap);
+        let refs = e.query_block(77).unwrap().refs;
+        let lines: Vec<LineId> = refs.iter().map(|r| r.line).collect();
+        assert!(lines.contains(&LineId::ROOT));
+        assert!(lines.contains(&clone), "clone inherits the reference via structural inheritance");
+        // Overriding the block in the clone ends the inherited lifetime: the
+        // clone now references block 78 instead, and no clone version that
+        // still saw block 77 is retained, so the inherited record disappears.
+        e.remove_reference(77, Owner::block(4, 2, clone));
+        e.add_reference(78, Owner::block(4, 2, clone));
+        e.consistency_point().unwrap();
+        let refs = e.query_block(77).unwrap().refs;
+        assert!(refs.iter().all(|r| r.line != clone), "override ends the inherited reference");
+        assert!(refs.iter().any(|r| r.line == LineId::ROOT), "parent line still owns the block");
+        let refs78 = e.query_block(78).unwrap().refs;
+        assert_eq!(refs78.len(), 1);
+        assert_eq!(refs78[0].line, clone);
+    }
+
+    #[test]
+    fn maintenance_compacts_and_purges() {
+        let mut e = engine();
+        let owner = Owner::block(1, 0, LineId::ROOT);
+        // Create and destroy references over several CPs without snapshots:
+        // after maintenance they should all be purged.
+        for block in 0..200u64 {
+            e.add_reference(block, owner);
+            e.consistency_point().unwrap();
+            e.remove_reference(block, owner);
+            e.consistency_point().unwrap();
+        }
+        assert!(e.run_count() > 100);
+        let bytes_before = e.database_disk_bytes();
+        let report = e.maintenance().unwrap();
+        assert!(report.purged_records >= 200, "dead references are purged");
+        assert!(report.bytes_after < bytes_before);
+        assert!(e.run_count() <= 3);
+        assert_eq!(e.to_table().stats().disk_records, 0, "To table is empty after maintenance");
+    }
+
+    #[test]
+    fn maintenance_preserves_live_and_snapshotted_references() {
+        let mut e = engine();
+        e.add_reference(10, Owner::block(1, 0, LineId::ROOT));
+        e.add_reference(11, Owner::block(1, 1, LineId::ROOT));
+        e.consistency_point().unwrap();
+        e.take_snapshot(LineId::ROOT);
+        e.consistency_point().unwrap();
+        e.remove_reference(11, Owner::block(1, 1, LineId::ROOT));
+        e.consistency_point().unwrap();
+        let report = e.maintenance().unwrap();
+        assert_eq!(report.incomplete_records, 1, "block 10 is still live");
+        assert_eq!(report.combined_records, 1, "block 11 survives via the snapshot");
+        let refs = e.query_block(11).unwrap().refs;
+        assert_eq!(refs.len(), 1);
+        let refs = e.query_block(10).unwrap().refs;
+        assert_eq!(refs.len(), 1);
+    }
+
+    #[test]
+    fn queries_work_identically_before_and_after_maintenance() {
+        let mut e = engine();
+        for block in 0..50u64 {
+            e.add_reference(block, Owner::block(block % 7, block, LineId::ROOT));
+            if block % 5 == 0 {
+                e.consistency_point().unwrap();
+            }
+        }
+        e.consistency_point().unwrap();
+        e.take_snapshot(LineId::ROOT);
+        let before: Vec<_> = (0..50u64).map(|b| e.query_block(b).unwrap().refs).collect();
+        e.maintenance().unwrap();
+        let after: Vec<_> = (0..50u64).map(|b| e.query_block(b).unwrap().refs).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn clone_override_records_survive_maintenance() {
+        // Regression test: a clone that stops referencing an inherited block
+        // writes an override record whose interval covers no live snapshot.
+        // Maintenance must keep it anyway, or query expansion would
+        // resurrect the inherited reference.
+        let mut e = engine();
+        let owner = Owner::block(4, 2, LineId::ROOT);
+        e.add_reference(77, owner);
+        e.consistency_point().unwrap();
+        let snap = e.take_snapshot(LineId::ROOT);
+        let clone = e.create_clone(snap);
+        // The clone replaces block 77 with block 78.
+        e.remove_reference(77, Owner::block(4, 2, clone));
+        e.add_reference(78, Owner::block(4, 2, clone));
+        e.consistency_point().unwrap();
+        let before: Vec<_> =
+            e.query_block(77).unwrap().refs.iter().map(|r| (r.line, r.is_live())).collect();
+        e.maintenance().unwrap();
+        let after: Vec<_> =
+            e.query_block(77).unwrap().refs.iter().map(|r| (r.line, r.is_live())).collect();
+        assert_eq!(before, after, "maintenance must not change query results");
+        assert!(
+            e.query_block(77).unwrap().refs.iter().all(|r| r.line != clone),
+            "the clone must not reacquire block 77 after maintenance"
+        );
+    }
+
+    #[test]
+    fn relocate_block_moves_references() {
+        let mut e = engine();
+        let o1 = Owner::block(1, 0, LineId::ROOT);
+        let o2 = Owner::block(2, 5, LineId::ROOT);
+        e.add_reference(100, o1);
+        e.add_reference(100, o2); // deduplicated: two owners
+        e.consistency_point().unwrap();
+        let moved = e.relocate_block(100, 900).unwrap();
+        assert_eq!(moved, 2);
+        assert!(e.query_block(100).unwrap().refs.is_empty(), "old block has no owners");
+        let new_owners = e.live_owners(900).unwrap();
+        assert_eq!(new_owners, vec![o1, o2]);
+    }
+
+    #[test]
+    fn dedup_multiple_owners_of_one_block() {
+        let mut e = engine();
+        for inode in 0..10u64 {
+            e.add_reference(42, Owner::block(inode, 0, LineId::ROOT));
+        }
+        e.consistency_point().unwrap();
+        let owners = e.live_owners(42).unwrap();
+        assert_eq!(owners.len(), 10);
+    }
+
+    #[test]
+    fn range_query_returns_sorted_refs_for_all_blocks() {
+        let mut e = engine();
+        for block in 100..200u64 {
+            e.add_reference(block, Owner::block(1, block - 100, LineId::ROOT));
+        }
+        e.consistency_point().unwrap();
+        let result = e.query_range(150, 159).unwrap();
+        assert_eq!(result.refs.len(), 10);
+        assert!(result.refs.windows(2).all(|w| w[0].block <= w[1].block));
+        assert_eq!(result.blocks().len(), 10);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = engine();
+        e.add_reference(1, Owner::block(1, 0, LineId::ROOT));
+        e.remove_reference(2, Owner::block(1, 1, LineId::ROOT));
+        e.consistency_point().unwrap();
+        e.query_block(1).unwrap();
+        e.maintenance().unwrap();
+        let s = e.stats();
+        assert_eq!(s.block_ops, 2);
+        assert_eq!(s.refs_added, 1);
+        assert_eq!(s.refs_removed, 1);
+        assert_eq!(s.consistency_points, 1);
+        assert_eq!(s.queries, 1, "maintenance does not count as a query");
+        assert_eq!(s.maintenance_runs, 1);
+    }
+
+    #[test]
+    fn write_store_and_bloom_accounting() {
+        let mut e = engine();
+        for i in 0..100u64 {
+            e.add_reference(i, Owner::block(1, i, LineId::ROOT));
+        }
+        assert!(e.write_store_bytes() > 0);
+        assert_eq!(e.database_disk_bytes(), 0);
+        e.consistency_point().unwrap();
+        assert_eq!(e.write_store_bytes(), 0);
+        assert!(e.database_disk_bytes() > 0);
+        assert!(e.bloom_bytes() > 0);
+        let (f, t, c) = e.table_stats();
+        assert_eq!(f.disk_records, 100);
+        assert_eq!(t.disk_records, 0);
+        assert_eq!(c.disk_records, 0);
+    }
+}

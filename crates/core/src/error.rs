@@ -1,0 +1,73 @@
+use std::fmt;
+
+use blockdev::DeviceError;
+use lsm::LsmError;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, BacklogError>;
+
+/// Errors returned by the Backlog engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BacklogError {
+    /// The underlying LSM storage engine reported an error.
+    Storage(LsmError),
+    /// The back-reference database is inconsistent with the file system state
+    /// supplied to the verification walker.
+    VerificationFailed {
+        /// Number of mismatches discovered.
+        mismatches: u64,
+    },
+}
+
+impl fmt::Display for BacklogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BacklogError::Storage(e) => write!(f, "storage error: {e}"),
+            BacklogError::VerificationFailed { mismatches } => {
+                write!(f, "back reference verification failed with {mismatches} mismatches")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BacklogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BacklogError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LsmError> for BacklogError {
+    fn from(e: LsmError) -> Self {
+        BacklogError::Storage(e)
+    }
+}
+
+impl From<DeviceError> for BacklogError {
+    fn from(e: DeviceError) -> Self {
+        BacklogError::Storage(LsmError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: BacklogError = LsmError::UnsortedInput.into();
+        assert!(matches!(e, BacklogError::Storage(_)));
+        assert!(e.to_string().contains("storage error"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: BacklogError = DeviceError::NoSuchFile { file: 3 }.into();
+        assert!(matches!(e, BacklogError::Storage(LsmError::Device(_))));
+
+        let v = BacklogError::VerificationFailed { mismatches: 2 };
+        assert!(v.to_string().contains('2'));
+        assert!(std::error::Error::source(&v).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Database maintenance (compaction): merge the Level-0 runs, precompute the
+//! `Combined` table by joining `From` and `To`, and purge records that
+//! reference only deleted checkpoints (Section 5.2 of the paper).
+//!
+//! The pure join/purge logic lives here so it can be tested in isolation;
+//! [`BacklogEngine::maintenance`](crate::BacklogEngine::maintenance) wires it
+//! to the on-disk tables.
+
+use crate::lineage::LineageTable;
+use crate::query::join_from_to;
+use crate::record::{CombinedRecord, FromRecord, ToRecord};
+use crate::types::CP_INFINITY;
+
+/// The output of the join-and-purge computation: what the three tables should
+/// contain after maintenance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaintenanceOutput {
+    /// Complete records (with both endpoints) for the Combined table.
+    pub combined: Vec<CombinedRecord>,
+    /// Incomplete records (still-live references) for the From table.
+    pub incomplete_from: Vec<FromRecord>,
+    /// Number of records dropped because they refer only to deleted
+    /// snapshots.
+    pub purged: u64,
+}
+
+/// Joins the disk-resident `From`, `To` and previously-combined records and
+/// splits the result into complete records (destined for the Combined table)
+/// and incomplete records (which stay in the From table), purging records
+/// whose validity interval no longer covers any live or zombie snapshot.
+pub fn join_and_purge(
+    froms: &[FromRecord],
+    tos: &[ToRecord],
+    existing_combined: &[CombinedRecord],
+    lineage: &LineageTable,
+) -> MaintenanceOutput {
+    let mut all: Vec<CombinedRecord> = join_from_to(froms, tos);
+    all.extend(existing_combined.iter().copied());
+    all.sort();
+    all.dedup();
+
+    let mut out = MaintenanceOutput::default();
+    for rec in all {
+        if lineage.is_purgeable(rec.identity.line, rec.from, rec.to) {
+            out.purged += 1;
+            continue;
+        }
+        if rec.to == CP_INFINITY {
+            out.incomplete_from.push(FromRecord::new(rec.identity, rec.from));
+        } else {
+            out.combined.push(rec);
+        }
+    }
+    out.combined.sort();
+    out.incomplete_from.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RefIdentity;
+    use crate::types::{LineId, Owner, SnapshotId};
+
+    fn ident(block: u64, inode: u64, line: u32) -> RefIdentity {
+        RefIdentity::new(block, Owner::block(inode, 0, LineId(line)))
+    }
+
+    fn lineage_at(cp: u64) -> LineageTable {
+        let mut l = LineageTable::new();
+        while l.current_cp() < cp {
+            l.advance_cp();
+        }
+        l
+    }
+
+    #[test]
+    fn complete_and_incomplete_records_are_split() {
+        let lineage = lineage_at(100);
+        let froms = vec![
+            FromRecord::new(ident(1, 10, 0), 50), // still live -> incomplete
+            FromRecord::new(ident(2, 11, 0), 40), // completed below
+        ];
+        let tos = vec![ToRecord::new(ident(2, 11, 0), 95)];
+        // Keep interval [40,95) alive through a snapshot.
+        let mut lineage = lineage;
+        lineage.register_snapshot(SnapshotId::new(LineId::ROOT, 60));
+        let out = join_and_purge(&froms, &tos, &[], &lineage);
+        assert_eq!(out.incomplete_from, vec![FromRecord::new(ident(1, 10, 0), 50)]);
+        assert_eq!(out.combined, vec![CombinedRecord::new(ident(2, 11, 0), 40, 95)]);
+        assert_eq!(out.purged, 0);
+    }
+
+    #[test]
+    fn dead_intervals_are_purged() {
+        let lineage = lineage_at(100);
+        // No snapshots retained: a reference that lived only over [10, 20)
+        // refers to nothing reachable and is purged.
+        let froms = vec![FromRecord::new(ident(5, 1, 0), 10)];
+        let tos = vec![ToRecord::new(ident(5, 1, 0), 20)];
+        let out = join_and_purge(&froms, &tos, &[], &lineage);
+        assert!(out.combined.is_empty());
+        assert!(out.incomplete_from.is_empty());
+        assert_eq!(out.purged, 1);
+    }
+
+    #[test]
+    fn zombie_snapshot_blocks_purge() {
+        let mut lineage = lineage_at(100);
+        let snap = SnapshotId::new(LineId::ROOT, 15);
+        lineage.register_snapshot(snap);
+        let _clone = lineage.create_clone(snap);
+        lineage.delete_snapshot(snap);
+        let froms = vec![FromRecord::new(ident(5, 1, 0), 10)];
+        let tos = vec![ToRecord::new(ident(5, 1, 0), 20)];
+        let out = join_and_purge(&froms, &tos, &[], &lineage);
+        assert_eq!(out.purged, 0, "records of a zombie snapshot must survive");
+        assert_eq!(out.combined.len(), 1);
+    }
+
+    #[test]
+    fn existing_combined_records_are_recompacted_and_purged() {
+        let mut lineage = lineage_at(200);
+        lineage.register_snapshot(SnapshotId::new(LineId::ROOT, 150));
+        let existing = vec![
+            CombinedRecord::new(ident(7, 2, 0), 140, 160), // covers snapshot 150
+            CombinedRecord::new(ident(8, 3, 0), 10, 20),   // dead
+        ];
+        let out = join_and_purge(&[], &[], &existing, &lineage);
+        assert_eq!(out.combined, vec![CombinedRecord::new(ident(7, 2, 0), 140, 160)]);
+        assert_eq!(out.purged, 1);
+    }
+
+    #[test]
+    fn duplicate_records_across_sources_are_deduplicated() {
+        let lineage = lineage_at(50);
+        let froms = vec![FromRecord::new(ident(1, 1, 0), 10)];
+        let existing = vec![CombinedRecord::new(ident(1, 1, 0), 10, CP_INFINITY)];
+        let out = join_and_purge(&froms, &[], &existing, &lineage);
+        // The live reference appears exactly once, as an incomplete From.
+        assert_eq!(out.incomplete_from.len(), 1);
+        assert!(out.combined.is_empty());
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_output() {
+        let lineage = lineage_at(10);
+        let out = join_and_purge(&[], &[], &[], &lineage);
+        assert_eq!(out, MaintenanceOutput::default());
+    }
+}

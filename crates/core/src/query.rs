@@ -1,0 +1,415 @@
+//! The query pipeline: join `From`/`To`, expand structural inheritance,
+//! mask deleted snapshots.
+//!
+//! These are pure functions over record slices and a [`LineageTable`];
+//! [`BacklogEngine::query_range`](crate::BacklogEngine::query_range) collects
+//! the input records from the three LSM tables and then runs this pipeline.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::lineage::LineageTable;
+use crate::record::{CombinedRecord, FromRecord, RefIdentity, ToRecord};
+use crate::types::{BlockNo, CpNumber, LineId, Owner, CP_INFINITY};
+
+/// One back reference in a query result: the owner of a block together with
+/// the interval of consistency points over which the reference is valid and
+/// the live (still reachable) versions within that interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackRef {
+    /// The physical block.
+    pub block: BlockNo,
+    /// The referencing inode.
+    pub inode: u64,
+    /// Block offset within the inode.
+    pub offset: u64,
+    /// Extent length in blocks.
+    pub length: u32,
+    /// The snapshot line of the owner.
+    pub line: LineId,
+    /// First CP (inclusive) at which the reference is valid.
+    pub from: CpNumber,
+    /// First CP at which the reference is no longer valid
+    /// ([`CP_INFINITY`] if still live).
+    pub to: CpNumber,
+    /// The snapshot/CP versions within `[from, to)` that are still live
+    /// (never empty — fully dead references are masked out).
+    pub live_versions: Vec<CpNumber>,
+}
+
+impl BackRef {
+    /// Whether this reference is part of the live file system (it has not
+    /// been removed yet).
+    pub fn is_live(&self) -> bool {
+        self.to == CP_INFINITY
+    }
+
+    /// The owner described by this back reference.
+    pub fn owner(&self) -> Owner {
+        Owner { inode: self.inode, offset: self.offset, line: self.line, length: self.length }
+    }
+}
+
+/// The result of a back-reference query.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// The matching back references, sorted by (block, inode, offset, line,
+    /// from).
+    pub refs: Vec<BackRef>,
+    /// Device page reads performed to answer the query.
+    pub io_reads: u64,
+    /// Wall-clock nanoseconds spent answering the query.
+    pub elapsed_ns: u64,
+}
+
+impl QueryResult {
+    /// The distinct owners of `block` that are reachable from the live file
+    /// system or any live snapshot.
+    pub fn owners_of(&self, block: BlockNo) -> Vec<Owner> {
+        let mut owners: Vec<Owner> =
+            self.refs.iter().filter(|r| r.block == block).map(BackRef::owner).collect();
+        owners.sort();
+        owners.dedup();
+        owners
+    }
+
+    /// The distinct blocks that appear in the result.
+    pub fn blocks(&self) -> Vec<BlockNo> {
+        let mut blocks: Vec<BlockNo> = self.refs.iter().map(|r| r.block).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks
+    }
+
+    /// Back references that are still part of the live file system.
+    pub fn live_refs(&self) -> impl Iterator<Item = &BackRef> + '_ {
+        self.refs.iter().filter(|r| r.is_live())
+    }
+}
+
+/// Outer-joins `From` and `To` records into `Combined` records
+/// (Section 4.2.1 of the paper).
+///
+/// For each reference identity, every `From` record joins with the `To`
+/// record that has the smallest `to` greater than its `from`; a `From`
+/// without a matching `To` is still live (`to = ∞`); a `To` without a
+/// matching `From` is a structural-inheritance override and joins with an
+/// implicit `from = 0`.
+pub fn join_from_to(froms: &[FromRecord], tos: &[ToRecord]) -> Vec<CombinedRecord> {
+    let mut by_identity: BTreeMap<RefIdentity, (Vec<CpNumber>, Vec<CpNumber>)> = BTreeMap::new();
+    for f in froms {
+        by_identity.entry(f.identity).or_default().0.push(f.from);
+    }
+    for t in tos {
+        by_identity.entry(t.identity).or_default().1.push(t.to);
+    }
+    let mut out = Vec::new();
+    for (identity, (mut from_cps, mut to_cps)) in by_identity {
+        from_cps.sort_unstable();
+        to_cps.sort_unstable();
+        let mut used_to = vec![false; to_cps.len()];
+        let mut pairs: Vec<(CpNumber, CpNumber)> = Vec::new();
+        for &f in &from_cps {
+            // Find the smallest unused `to` strictly greater than `f`.
+            let mut chosen = None;
+            for (i, &t) in to_cps.iter().enumerate() {
+                if !used_to[i] && t > f {
+                    chosen = Some(i);
+                    break;
+                }
+            }
+            match chosen {
+                Some(i) => {
+                    used_to[i] = true;
+                    pairs.push((f, to_cps[i]));
+                }
+                None => pairs.push((f, CP_INFINITY)),
+            }
+        }
+        // Unmatched To records join with the implicit from = 0 (structural
+        // inheritance override created on a writable clone).
+        for (i, &t) in to_cps.iter().enumerate() {
+            if !used_to[i] {
+                pairs.push((0, t));
+            }
+        }
+        for (from, to) in pairs {
+            let rec = CombinedRecord::new(identity, from, to);
+            if !rec.is_empty_interval() {
+                out.push(rec);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Expands structural inheritance (Section 4.2.2): a back reference of
+/// snapshot `(l, v)` is implicitly present in every clone line created from
+/// `(l, v)` unless an override record (`line = l'`, `from = 0`) for the same
+/// block/inode/offset exists. Expansion repeats until no new records are
+/// added (clones of clones).
+pub fn expand_inheritance(
+    initial: Vec<CombinedRecord>,
+    lineage: &LineageTable,
+) -> Vec<CombinedRecord> {
+    let mut result: BTreeSet<CombinedRecord> = initial.into_iter().collect();
+    // Identities (ignoring interval) that already have an override record in
+    // a given line: (block, inode, offset, length, line).
+    let has_override = |set: &BTreeSet<CombinedRecord>, identity: &RefIdentity, line: LineId| {
+        set.iter().any(|c| {
+            c.identity.block == identity.block
+                && c.identity.inode == identity.inode
+                && c.identity.offset == identity.offset
+                && c.identity.length == identity.length
+                && c.identity.line == line
+                && c.from == 0
+        })
+    };
+    loop {
+        let mut to_add: Vec<CombinedRecord> = Vec::new();
+        for rec in result.iter() {
+            for (_snap, clone_line) in lineage.clones_within(rec.identity.line, rec.from, rec.to) {
+                if !has_override(&result, &rec.identity, clone_line) {
+                    let mut identity = rec.identity;
+                    identity.line = clone_line;
+                    let candidate = CombinedRecord::new(identity, 0, CP_INFINITY);
+                    if !result.contains(&candidate) {
+                        to_add.push(candidate);
+                    }
+                }
+            }
+        }
+        if to_add.is_empty() {
+            break;
+        }
+        result.extend(to_add);
+    }
+    result.into_iter().collect()
+}
+
+/// Applies the version mask (Section 4.2.1): drops records whose validity
+/// interval contains no live snapshot or consistency point, and annotates the
+/// survivors with their live versions.
+pub fn mask_deleted(records: Vec<CombinedRecord>, lineage: &LineageTable) -> Vec<BackRef> {
+    let mut out = Vec::new();
+    for rec in records {
+        let live = lineage.live_versions_in(rec.identity.line, rec.from, rec.to);
+        if live.is_empty() {
+            continue;
+        }
+        out.push(BackRef {
+            block: rec.identity.block,
+            inode: rec.identity.inode,
+            offset: rec.identity.offset,
+            length: rec.identity.length,
+            line: rec.identity.line,
+            from: rec.from,
+            to: rec.to,
+            live_versions: live,
+        });
+    }
+    out
+}
+
+/// Runs the complete query pipeline over raw records collected from the
+/// three tables.
+pub fn assemble_query(
+    froms: &[FromRecord],
+    tos: &[ToRecord],
+    combined: &[CombinedRecord],
+    lineage: &LineageTable,
+) -> Vec<BackRef> {
+    let mut joined = join_from_to(froms, tos);
+    joined.extend(combined.iter().copied());
+    joined.sort();
+    joined.dedup();
+    let expanded = expand_inheritance(joined, lineage);
+    mask_deleted(expanded, lineage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SnapshotId;
+
+    fn ident(block: u64, inode: u64, offset: u64, line: u32) -> RefIdentity {
+        RefIdentity::new(block, Owner::block(inode, offset, LineId(line)))
+    }
+
+    /// The paper's Section 4.2.1 example: inode 4 gets block 103 at CP 10,
+    /// truncates at 12, gets it back at 16, is removed at 20; inode 5 gets
+    /// the block at 30.
+    #[test]
+    fn join_reproduces_paper_example() {
+        let froms = vec![
+            FromRecord::new(ident(103, 4, 0, 0), 10),
+            FromRecord::new(ident(103, 4, 0, 0), 16),
+            FromRecord::new(ident(103, 5, 2, 0), 30),
+        ];
+        let tos = vec![
+            ToRecord::new(ident(103, 4, 0, 0), 12),
+            ToRecord::new(ident(103, 4, 0, 0), 20),
+        ];
+        let combined = join_from_to(&froms, &tos);
+        assert_eq!(
+            combined,
+            vec![
+                CombinedRecord::new(ident(103, 4, 0, 0), 10, 12),
+                CombinedRecord::new(ident(103, 4, 0, 0), 16, 20),
+                CombinedRecord::new(ident(103, 5, 2, 0), 30, CP_INFINITY),
+            ]
+        );
+    }
+
+    /// The paper's Section 4.2.2 example: block 103 allocated at CP 30 on
+    /// line 0; a clone (line 1) overwrites it at CP 43, producing an override
+    /// To record with no matching From, which joins with an implicit from=0.
+    #[test]
+    fn join_handles_clone_override() {
+        let froms = vec![
+            FromRecord::new(ident(103, 5, 2, 0), 30),
+            FromRecord::new(ident(107, 5, 2, 1), 43),
+        ];
+        let tos = vec![ToRecord::new(ident(103, 5, 2, 1), 43)];
+        let combined = join_from_to(&froms, &tos);
+        assert!(combined.contains(&CombinedRecord::new(ident(103, 5, 2, 0), 30, CP_INFINITY)));
+        assert!(combined.contains(&CombinedRecord::new(ident(103, 5, 2, 1), 0, 43)));
+        assert!(combined.contains(&CombinedRecord::new(ident(107, 5, 2, 1), 43, CP_INFINITY)));
+    }
+
+    #[test]
+    fn join_uses_strict_inequality_for_same_cp_records() {
+        // A From and a To with the same CP number cannot describe one empty
+        // interval (the engine's proactive pruning removes those before they
+        // ever reach the tables); the paper's join rule (`F.from < T.to`)
+        // instead reads them as an override that ended at CP 5 plus a new
+        // reference that started at CP 5.
+        let froms = vec![FromRecord::new(ident(9, 1, 0, 0), 5)];
+        let tos = vec![ToRecord::new(ident(9, 1, 0, 0), 5)];
+        let combined = join_from_to(&froms, &tos);
+        assert_eq!(
+            combined,
+            vec![
+                CombinedRecord::new(ident(9, 1, 0, 0), 0, 5),
+                CombinedRecord::new(ident(9, 1, 0, 0), 5, CP_INFINITY),
+            ]
+        );
+    }
+
+    #[test]
+    fn inheritance_adds_clone_records_unless_overridden() {
+        let mut lineage = LineageTable::new();
+        for _ in 0..49 {
+            lineage.advance_cp();
+        }
+        // Clone of (line0, cp 40) becomes line 1.
+        let clone = lineage.create_clone(SnapshotId::new(LineId::ROOT, 40));
+        assert_eq!(clone, LineId(1));
+
+        // Block 103 is valid on line 0 over [30, ∞); block 200 was overridden
+        // in the clone at cp 45.
+        let initial = vec![
+            CombinedRecord::new(ident(103, 5, 2, 0), 30, CP_INFINITY),
+            CombinedRecord::new(ident(200, 6, 0, 0), 10, CP_INFINITY),
+            CombinedRecord::new(ident(200, 6, 0, 1), 0, 45), // override
+        ];
+        let expanded = expand_inheritance(initial, &lineage);
+        // Block 103 gains an inherited record on line 1.
+        assert!(expanded.contains(&CombinedRecord::new(ident(103, 5, 2, 1), 0, CP_INFINITY)));
+        // Block 200 already has an override on line 1, so no new record.
+        assert!(!expanded.contains(&CombinedRecord::new(ident(200, 6, 0, 1), 0, CP_INFINITY)));
+        assert_eq!(expanded.iter().filter(|c| c.identity.block == 200).count(), 2);
+    }
+
+    #[test]
+    fn inheritance_expansion_is_recursive() {
+        let mut lineage = LineageTable::new();
+        for _ in 0..19 {
+            lineage.advance_cp();
+        }
+        let c1 = lineage.create_clone(SnapshotId::new(LineId::ROOT, 10));
+        lineage.advance_cp();
+        let c2 = lineage.create_clone(SnapshotId::new(c1, 21));
+        let initial = vec![CombinedRecord::new(ident(77, 3, 1, 0), 5, CP_INFINITY)];
+        let expanded = expand_inheritance(initial, &lineage);
+        let lines: Vec<u32> = expanded.iter().map(|c| c.identity.line.0).collect();
+        assert!(lines.contains(&c1.0), "clone inherits");
+        assert!(lines.contains(&c2.0), "clone of clone inherits recursively");
+        assert_eq!(expanded.len(), 3);
+    }
+
+    #[test]
+    fn masking_removes_dead_intervals_and_reports_live_versions() {
+        let mut lineage = LineageTable::new();
+        for _ in 0..99 {
+            lineage.advance_cp();
+        }
+        lineage.register_snapshot(SnapshotId::new(LineId::ROOT, 50));
+        let records = vec![
+            // Covers snapshot 50: survives.
+            CombinedRecord::new(ident(1, 1, 0, 0), 40, 60),
+            // Covers nothing live: dropped.
+            CombinedRecord::new(ident(2, 1, 1, 0), 60, 70),
+            // Still live: survives via the current CP.
+            CombinedRecord::new(ident(3, 1, 2, 0), 90, CP_INFINITY),
+        ];
+        let masked = mask_deleted(records, &lineage);
+        let blocks: Vec<u64> = masked.iter().map(|r| r.block).collect();
+        assert_eq!(blocks, vec![1, 3]);
+        assert_eq!(masked[0].live_versions, vec![50]);
+        assert!(masked[1].is_live());
+        assert!(masked[1].live_versions.contains(&lineage.current_cp()));
+    }
+
+    #[test]
+    fn assemble_query_end_to_end() {
+        let mut lineage = LineageTable::new();
+        for _ in 0..49 {
+            lineage.advance_cp();
+        }
+        let clone = lineage.create_clone(SnapshotId::new(LineId::ROOT, 40));
+        let froms = vec![FromRecord::new(ident(103, 5, 2, 0), 30)];
+        let tos = vec![];
+        let combined = vec![CombinedRecord::new(ident(50, 2, 0, 0), 10, 20)];
+        let refs = assemble_query(&froms, &tos, &combined, &lineage);
+        // Block 103 is live on line 0 and inherited on the clone; block 50's
+        // interval [10,20) covers no live snapshot and is masked out.
+        let blocks: Vec<(u64, u32)> = refs.iter().map(|r| (r.block, r.line.0)).collect();
+        assert!(blocks.contains(&(103, 0)));
+        assert!(blocks.contains(&(103, clone.0)));
+        assert!(!blocks.iter().any(|&(b, _)| b == 50));
+    }
+
+    #[test]
+    fn query_result_helpers() {
+        let refs = vec![
+            BackRef {
+                block: 7,
+                inode: 1,
+                offset: 0,
+                length: 1,
+                line: LineId(0),
+                from: 1,
+                to: CP_INFINITY,
+                live_versions: vec![5],
+            },
+            BackRef {
+                block: 7,
+                inode: 2,
+                offset: 3,
+                length: 1,
+                line: LineId(0),
+                from: 1,
+                to: 4,
+                live_versions: vec![2],
+            },
+        ];
+        let result = QueryResult { refs, io_reads: 0, elapsed_ns: 0 };
+        assert_eq!(result.owners_of(7).len(), 2);
+        assert_eq!(result.blocks(), vec![7]);
+        assert_eq!(result.live_refs().count(), 1);
+        assert!(result.owners_of(99).is_empty());
+    }
+}

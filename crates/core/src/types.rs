@@ -1,0 +1,145 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A physical block number on the volume.
+pub type BlockNo = u64;
+
+/// An inode number.
+pub type InodeNo = u64;
+
+/// A block offset within a file (in blocks, not bytes).
+pub type FileOffset = u64;
+
+/// A global consistency-point number ("time epoch" in the paper).
+///
+/// CP numbers increase monotonically across the whole volume; the pair
+/// (line, CP number) uniquely identifies a snapshot or consistency point.
+pub type CpNumber = u64;
+
+/// The CP number used to mean "still alive" in a back reference's `to` field
+/// (the paper's `∞`).
+pub const CP_INFINITY: CpNumber = u64::MAX;
+
+/// Identifier of a snapshot line.
+///
+/// A time-ordered set of snapshots of a file system forms a single line;
+/// creating a writable clone of a snapshot starts a new line (Figure 3 of the
+/// paper). Line 0 is the original, live file system.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineId(pub u32);
+
+impl LineId {
+    /// The root line of the volume (the live file system's history).
+    pub const ROOT: LineId = LineId(0);
+}
+
+impl fmt::Display for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line{}", self.0)
+    }
+}
+
+impl From<u32> for LineId {
+    fn from(v: u32) -> Self {
+        LineId(v)
+    }
+}
+
+/// A snapshot or consistency point: a specific version of a specific line.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SnapshotId {
+    /// The line the snapshot belongs to.
+    pub line: LineId,
+    /// The global CP number at which the snapshot was taken.
+    pub version: CpNumber,
+}
+
+impl SnapshotId {
+    /// Creates a snapshot identifier.
+    pub fn new(line: LineId, version: CpNumber) -> Self {
+        SnapshotId { line, version }
+    }
+}
+
+impl fmt::Display for SnapshotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@cp{}", self.line, self.version)
+    }
+}
+
+/// The logical owner of a block reference: which inode, at which file offset,
+/// in which snapshot line. Together with a block number this identifies one
+/// back reference (ignoring its lifetime).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Owner {
+    /// The inode that references the block.
+    pub inode: InodeNo,
+    /// The block offset within the inode.
+    pub offset: FileOffset,
+    /// The snapshot line containing the inode.
+    pub line: LineId,
+    /// Extent length in blocks (1 for single-block references; the btrfs port
+    /// in Section 6.3 adds this field for extent-based allocation).
+    pub length: u32,
+}
+
+impl Owner {
+    /// A single-block owner on the given line.
+    pub fn block(inode: InodeNo, offset: FileOffset, line: LineId) -> Self {
+        Owner { inode, offset, line, length: 1 }
+    }
+
+    /// An extent owner covering `length` blocks.
+    pub fn extent(inode: InodeNo, offset: FileOffset, line: LineId, length: u32) -> Self {
+        Owner { inode, offset, line, length }
+    }
+}
+
+impl fmt::Display for Owner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inode {} offset {} ({}, len {})", self.inode, self.offset, self.line, self.length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_display_and_conversion() {
+        assert_eq!(LineId::from(3u32), LineId(3));
+        assert_eq!(LineId(3).to_string(), "line3");
+        assert_eq!(LineId::ROOT, LineId(0));
+    }
+
+    #[test]
+    fn snapshot_id_orders_by_line_then_version() {
+        let a = SnapshotId::new(LineId(0), 10);
+        let b = SnapshotId::new(LineId(0), 11);
+        let c = SnapshotId::new(LineId(1), 5);
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(a.to_string(), "line0@cp10");
+    }
+
+    #[test]
+    fn owner_constructors() {
+        let o = Owner::block(7, 3, LineId(1));
+        assert_eq!(o.length, 1);
+        let e = Owner::extent(7, 3, LineId(1), 16);
+        assert_eq!(e.length, 16);
+        assert!(o.to_string().contains("inode 7"));
+    }
+
+    #[test]
+    fn infinity_is_max() {
+        assert_eq!(CP_INFINITY, u64::MAX);
+    }
+}

@@ -1,0 +1,143 @@
+//! Verification of the back-reference database against the file system tree.
+//!
+//! The paper verifies correctness with "a utility program that walks the
+//! entire file system tree, reconstructs the back references, and then
+//! compares them with the database produced by our algorithm". The file
+//! system simulator produces that ground truth as a list of
+//! [`ExpectedRef`]s; [`verify`] checks it against the engine's query results
+//! in both directions (missing references and spurious live references).
+
+use std::collections::BTreeSet;
+
+use crate::engine::BacklogEngine;
+use crate::error::Result;
+use crate::types::{BlockNo, Owner};
+
+/// One reference that the file system tree walk says must exist right now:
+/// `owner` points at `block` in the live state of the owner's line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ExpectedRef {
+    /// The physical block.
+    pub block: BlockNo,
+    /// The owner (inode, offset, line, extent length).
+    pub owner: Owner,
+}
+
+impl ExpectedRef {
+    /// Creates an expected reference.
+    pub fn new(block: BlockNo, owner: Owner) -> Self {
+        ExpectedRef { block, owner }
+    }
+}
+
+/// The outcome of a verification pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// References present in the file system but missing from the database.
+    pub missing: Vec<ExpectedRef>,
+    /// Live references reported by the database that the file system does not
+    /// have (restricted to the blocks that were checked).
+    pub spurious: Vec<ExpectedRef>,
+    /// Number of expected references checked.
+    pub checked: u64,
+}
+
+impl VerifyReport {
+    /// Whether the database matched the file system exactly.
+    pub fn is_consistent(&self) -> bool {
+        self.missing.is_empty() && self.spurious.is_empty()
+    }
+
+    /// Total number of mismatches.
+    pub fn mismatches(&self) -> u64 {
+        (self.missing.len() + self.spurious.len()) as u64
+    }
+}
+
+/// Compares the engine's live back references against the expected set
+/// produced by a file system tree walk.
+///
+/// Only the blocks mentioned in `expected` are queried, plus any blocks in
+/// `extra_blocks` that the caller knows should have *no* live owners (e.g.
+/// recently freed blocks).
+///
+/// # Errors
+///
+/// Propagates device errors from the underlying queries.
+pub fn verify(
+    engine: &mut BacklogEngine,
+    expected: &[ExpectedRef],
+    extra_blocks: &[BlockNo],
+) -> Result<VerifyReport> {
+    let expected_set: BTreeSet<ExpectedRef> = expected.iter().copied().collect();
+    let mut blocks: BTreeSet<BlockNo> = expected.iter().map(|e| e.block).collect();
+    blocks.extend(extra_blocks.iter().copied());
+
+    let mut actual_set: BTreeSet<ExpectedRef> = BTreeSet::new();
+    for &block in &blocks {
+        let owners = engine.live_owners(block)?;
+        for owner in owners {
+            actual_set.insert(ExpectedRef::new(block, owner));
+        }
+    }
+
+    let missing: Vec<ExpectedRef> = expected_set.difference(&actual_set).copied().collect();
+    let spurious: Vec<ExpectedRef> = actual_set.difference(&expected_set).copied().collect();
+    Ok(VerifyReport { missing, spurious, checked: expected.len() as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BacklogConfig;
+    use crate::types::LineId;
+
+    fn engine() -> BacklogEngine {
+        BacklogEngine::new_simulated(BacklogConfig::default().without_timing())
+    }
+
+    #[test]
+    fn consistent_database_verifies() {
+        let mut e = engine();
+        let mut expected = Vec::new();
+        for block in 0..50u64 {
+            let owner = Owner::block(block % 5, block, LineId::ROOT);
+            e.add_reference(block, owner);
+            expected.push(ExpectedRef::new(block, owner));
+        }
+        e.consistency_point().unwrap();
+        let report = verify(&mut e, &expected, &[]).unwrap();
+        assert!(report.is_consistent(), "missing={:?} spurious={:?}", report.missing, report.spurious);
+        assert_eq!(report.checked, 50);
+        assert_eq!(report.mismatches(), 0);
+    }
+
+    #[test]
+    fn missing_reference_is_detected() {
+        let mut e = engine();
+        e.add_reference(1, Owner::block(1, 0, LineId::ROOT));
+        e.consistency_point().unwrap();
+        let expected = vec![
+            ExpectedRef::new(1, Owner::block(1, 0, LineId::ROOT)),
+            ExpectedRef::new(2, Owner::block(1, 1, LineId::ROOT)), // never recorded
+        ];
+        let report = verify(&mut e, &expected, &[]).unwrap();
+        assert!(!report.is_consistent());
+        assert_eq!(report.missing.len(), 1);
+        assert_eq!(report.missing[0].block, 2);
+        assert!(report.spurious.is_empty());
+    }
+
+    #[test]
+    fn spurious_reference_is_detected() {
+        let mut e = engine();
+        e.add_reference(7, Owner::block(3, 0, LineId::ROOT));
+        e.consistency_point().unwrap();
+        // The file system says block 7 has no owners (e.g. it was freed but
+        // the removal callback was lost).
+        let report = verify(&mut e, &[], &[7]).unwrap();
+        assert!(!report.is_consistent());
+        assert_eq!(report.spurious.len(), 1);
+        assert_eq!(report.spurious[0].block, 7);
+    }
+}

@@ -1,0 +1,81 @@
+use std::fmt;
+
+use backlog::{BacklogError, LineId, SnapshotId};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, FsError>;
+
+/// Errors returned by the file system simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsError {
+    /// The named line does not exist or has been deleted.
+    NoSuchLine {
+        /// The offending line.
+        line: LineId,
+    },
+    /// The named file does not exist on the given line.
+    NoSuchFile {
+        /// The line that was addressed.
+        line: LineId,
+        /// The inode that was addressed.
+        inode: u64,
+    },
+    /// The named snapshot is not retained.
+    NoSuchSnapshot {
+        /// The offending snapshot.
+        snapshot: SnapshotId,
+    },
+    /// A file offset is beyond the end of the file.
+    OffsetOutOfRange {
+        /// The offending offset.
+        offset: u64,
+        /// The file length in blocks.
+        len: u64,
+    },
+    /// The back-reference provider reported an error.
+    Provider(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NoSuchLine { line } => write!(f, "no such line: {line}"),
+            FsError::NoSuchFile { line, inode } => {
+                write!(f, "no such file: inode {inode} on {line}")
+            }
+            FsError::NoSuchSnapshot { snapshot } => write!(f, "no such snapshot: {snapshot}"),
+            FsError::OffsetOutOfRange { offset, len } => {
+                write!(f, "offset {offset} is beyond file length {len}")
+            }
+            FsError::Provider(msg) => write!(f, "back reference provider error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<BacklogError> for FsError {
+    fn from(e: BacklogError) -> Self {
+        FsError::Provider(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = FsError::NoSuchLine { line: LineId(3) };
+        assert!(e.to_string().contains("line3"));
+        let e = FsError::NoSuchFile { line: LineId(0), inode: 9 };
+        assert!(e.to_string().contains("inode 9"));
+        let e: FsError = BacklogError::VerificationFailed { mismatches: 1 }.into();
+        assert!(matches!(e, FsError::Provider(_)));
+        let e = FsError::NoSuchSnapshot { snapshot: SnapshotId::new(LineId(1), 5) };
+        assert!(e.to_string().contains("line1@cp5"));
+        let e = FsError::OffsetOutOfRange { offset: 10, len: 2 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-line file tables.
+//!
+//! The simulator keeps all file-system metadata in memory (as the paper's
+//! fsim does); a [`FileTable`] is the block map of one line — either the live
+//! state of a writable line or the frozen state captured by a snapshot.
+
+use std::collections::{BTreeMap, HashSet};
+
+use backlog::{BlockNo, InodeNo};
+
+/// The block map of every file on one line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileTable {
+    files: BTreeMap<InodeNo, Vec<BlockNo>>,
+}
+
+impl FileTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a new file with the given block map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inode already exists (inode numbers are never reused by
+    /// the simulator).
+    pub fn insert(&mut self, inode: InodeNo, blocks: Vec<BlockNo>) {
+        let prev = self.files.insert(inode, blocks);
+        assert!(prev.is_none(), "inode {inode} already exists");
+    }
+
+    /// The block map of a file.
+    pub fn get(&self, inode: InodeNo) -> Option<&Vec<BlockNo>> {
+        self.files.get(&inode)
+    }
+
+    /// Mutable access to a file's block map.
+    pub fn get_mut(&mut self, inode: InodeNo) -> Option<&mut Vec<BlockNo>> {
+        self.files.get_mut(&inode)
+    }
+
+    /// Removes a file, returning its block map.
+    pub fn remove(&mut self, inode: InodeNo) -> Option<Vec<BlockNo>> {
+        self.files.remove(&inode)
+    }
+
+    /// Whether the file exists.
+    pub fn contains(&self, inode: InodeNo) -> bool {
+        self.files.contains_key(&inode)
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the table has no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Iterates over `(inode, blocks)` pairs in inode order.
+    pub fn iter(&self) -> impl Iterator<Item = (InodeNo, &Vec<BlockNo>)> + '_ {
+        self.files.iter().map(|(&i, b)| (i, b))
+    }
+
+    /// The inode numbers present, in ascending order.
+    pub fn inodes(&self) -> Vec<InodeNo> {
+        self.files.keys().copied().collect()
+    }
+
+    /// Total number of block references held by this table (logical size).
+    pub fn block_refs(&self) -> u64 {
+        self.files.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Adds every distinct physical block referenced by this table to `set`.
+    pub fn collect_blocks(&self, set: &mut HashSet<BlockNo>) {
+        for blocks in self.files.values() {
+            set.extend(blocks.iter().copied());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = FileTable::new();
+        t.insert(2, vec![10, 11, 12]);
+        assert!(t.contains(2));
+        assert_eq!(t.get(2).unwrap().len(), 3);
+        assert_eq!(t.file_count(), 1);
+        assert_eq!(t.block_refs(), 3);
+        t.get_mut(2).unwrap().push(13);
+        assert_eq!(t.block_refs(), 4);
+        assert_eq!(t.remove(2), Some(vec![10, 11, 12, 13]));
+        assert!(t.is_empty());
+        assert!(t.get(2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_inode_panics() {
+        let mut t = FileTable::new();
+        t.insert(2, vec![]);
+        t.insert(2, vec![]);
+    }
+
+    #[test]
+    fn collect_blocks_deduplicates() {
+        let mut t = FileTable::new();
+        t.insert(2, vec![10, 11]);
+        t.insert(3, vec![11, 12]); // block 11 shared (dedup)
+        let mut set = HashSet::new();
+        t.collect_blocks(&mut set);
+        assert_eq!(set.len(), 3);
+        assert_eq!(t.inodes(), vec![2, 3]);
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut t = FileTable::new();
+        t.insert(2, vec![10]);
+        let snapshot = t.clone();
+        t.get_mut(2).unwrap().push(11);
+        assert_eq!(snapshot.get(2).unwrap().len(), 1);
+        assert_eq!(t.get(2).unwrap().len(), 2);
+    }
+}

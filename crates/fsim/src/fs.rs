@@ -1,0 +1,881 @@
+//! The write-anywhere file system simulator.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use backlog::{BlockNo, CpNumber, ExpectedRef, InodeNo, LineId, Owner, SnapshotId};
+
+use crate::alloc::{BlockAllocator, DedupConfig};
+use crate::error::{FsError, Result};
+use crate::file::FileTable;
+use crate::provider::BackrefProvider;
+use crate::snapshot::{SnapshotPolicy, SnapshotScheduler};
+use crate::stats::{FsCpReport, FsStats};
+
+/// The inode number of the hidden "inode file" that owns per-file metadata
+/// blocks (write-anywhere file systems store inodes in hidden files, so every
+/// allocated block has a parent inode).
+pub const INODE_FILE: InodeNo = 1;
+
+/// The first inode number handed out to regular files.
+pub const FIRST_DATA_INODE: InodeNo = 2;
+
+/// Configuration of the file system simulator.
+#[derive(Debug, Clone)]
+pub struct FsConfig {
+    /// Deduplication emulation parameters.
+    pub dedup: DedupConfig,
+    /// If true, model the copy-on-write of per-file metadata (inode blocks):
+    /// each file modified within a CP interval has its inode block reallocated
+    /// at the CP, producing one extra remove/add reference pair.
+    pub metadata_cow: bool,
+    /// Automatic snapshot rotation applied to the root line at consistency
+    /// points.
+    pub snapshot_policy: SnapshotPolicy,
+    /// Seed for the deduplication RNG (the simulator itself is deterministic;
+    /// workload generators carry their own seeds).
+    pub seed: u64,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        FsConfig {
+            dedup: DedupConfig::default(),
+            metadata_cow: true,
+            snapshot_policy: SnapshotPolicy::none(),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl FsConfig {
+    /// Disables deduplication and metadata modeling — the configuration used
+    /// by microbenchmarks that need exact operation counts.
+    pub fn minimal() -> Self {
+        FsConfig {
+            dedup: DedupConfig::disabled(),
+            metadata_cow: false,
+            snapshot_policy: SnapshotPolicy::none(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the snapshot policy.
+    pub fn with_snapshots(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshot_policy = policy;
+        self
+    }
+
+    /// Sets the deduplication configuration.
+    pub fn with_dedup(mut self, dedup: DedupConfig) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A simulated write-anywhere file system with snapshots, writable clones and
+/// deduplication, driving a pluggable [`BackrefProvider`].
+///
+/// Like the paper's fsim, the simulator keeps all file-system metadata in
+/// memory and stores nothing but back-reference metadata on the (simulated)
+/// disk; its job is to produce a faithful stream of reference callbacks and
+/// consistency points for whichever back-reference implementation is plugged
+/// in.
+#[derive(Debug)]
+pub struct FileSystem<P: BackrefProvider> {
+    config: FsConfig,
+    provider: P,
+    rng: StdRng,
+    allocator: BlockAllocator,
+    cp: CpNumber,
+    next_inode: InodeNo,
+    next_line: u32,
+    /// Live (writable) lines and their current file tables.
+    lines: HashMap<LineId, FileTable>,
+    /// Frozen file tables of retained snapshots (needed to seed clones and to
+    /// account for physical space held by snapshots).
+    snapshot_tables: HashMap<SnapshotId, FileTable>,
+    /// Frozen per-file metadata blocks captured by each retained snapshot,
+    /// so that clones inherit the parent's inode-file blocks.
+    snapshot_meta: HashMap<SnapshotId, HashMap<InodeNo, BlockNo>>,
+    /// Per-file metadata block currently allocated for each live file.
+    inode_meta: HashMap<(LineId, InodeNo), BlockNo>,
+    /// Files modified since the last CP, per line (drives metadata COW).
+    dirty: HashMap<LineId, BTreeSet<InodeNo>>,
+    scheduler: SnapshotScheduler,
+    stats: FsStats,
+    ops_since_cp: u64,
+}
+
+impl<P: BackrefProvider> FileSystem<P> {
+    /// Creates a file system with one empty root line.
+    pub fn new(provider: P, config: FsConfig) -> Self {
+        let mut lines = HashMap::new();
+        lines.insert(LineId::ROOT, FileTable::new());
+        let scheduler = SnapshotScheduler::new(config.snapshot_policy, LineId::ROOT);
+        FileSystem {
+            rng: StdRng::seed_from_u64(config.seed),
+            allocator: BlockAllocator::new(1, config.dedup),
+            config,
+            provider,
+            cp: 1,
+            next_inode: FIRST_DATA_INODE,
+            next_line: 1,
+            lines,
+            snapshot_tables: HashMap::new(),
+            snapshot_meta: HashMap::new(),
+            inode_meta: HashMap::new(),
+            dirty: HashMap::new(),
+            scheduler,
+            stats: FsStats::default(),
+            ops_since_cp: 0,
+        }
+    }
+
+    /// The configuration this file system was created with.
+    pub fn config(&self) -> &FsConfig {
+        &self.config
+    }
+
+    /// The back-reference provider.
+    pub fn provider(&self) -> &P {
+        &self.provider
+    }
+
+    /// Mutable access to the back-reference provider (to run maintenance or
+    /// issue queries).
+    pub fn provider_mut(&mut self) -> &mut P {
+        &mut self.provider
+    }
+
+    /// Consumes the file system and returns the provider.
+    pub fn into_provider(self) -> P {
+        self.provider
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &FsStats {
+        &self.stats
+    }
+
+    /// The current (not yet durable) consistency-point number.
+    pub fn current_cp(&self) -> CpNumber {
+        self.cp
+    }
+
+    /// The identifiers of all live (writable) lines.
+    pub fn active_lines(&self) -> Vec<LineId> {
+        let mut v: Vec<LineId> = self.lines.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The snapshots currently retained (explicit and policy-driven).
+    pub fn retained_snapshots(&self) -> Vec<SnapshotId> {
+        let mut v: Vec<SnapshotId> = self.snapshot_tables.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Reference plumbing
+    // ------------------------------------------------------------------
+
+    fn add_ref(&mut self, block: BlockNo, owner: Owner) {
+        self.provider.add_reference(block, owner);
+        self.stats.block_ops += 1;
+        self.ops_since_cp += 1;
+    }
+
+    fn remove_ref(&mut self, block: BlockNo, owner: Owner) {
+        self.provider.remove_reference(block, owner);
+        self.stats.block_ops += 1;
+        self.ops_since_cp += 1;
+    }
+
+    fn mark_dirty(&mut self, line: LineId, inode: InodeNo) {
+        if self.config.metadata_cow {
+            self.dirty.entry(line).or_default().insert(inode);
+        }
+    }
+
+    fn table(&self, line: LineId) -> Result<&FileTable> {
+        self.lines.get(&line).ok_or(FsError::NoSuchLine { line })
+    }
+
+    fn table_mut(&mut self, line: LineId) -> Result<&mut FileTable> {
+        self.lines.get_mut(&line).ok_or(FsError::NoSuchLine { line })
+    }
+
+    // ------------------------------------------------------------------
+    // File operations
+    // ------------------------------------------------------------------
+
+    /// Creates a file of `nblocks` data blocks on `line` and returns its
+    /// inode number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchLine`] if `line` is not a live line.
+    pub fn create_file(&mut self, line: LineId, nblocks: u64) -> Result<InodeNo> {
+        self.table(line)?;
+        let inode = self.next_inode;
+        self.next_inode += 1;
+        let mut blocks = Vec::with_capacity(nblocks as usize);
+        for offset in 0..nblocks {
+            let alloc = self.allocator.allocate(&mut self.rng);
+            if alloc.deduplicated {
+                self.stats.dedup_hits += 1;
+            }
+            self.stats.blocks_written += 1;
+            blocks.push(alloc.block);
+            self.add_ref(alloc.block, Owner::block(inode, offset, line));
+        }
+        self.table_mut(line)?.insert(inode, blocks);
+        self.mark_dirty(line, inode);
+        self.stats.files_created += 1;
+        Ok(inode)
+    }
+
+    /// Deletes a file, removing every one of its block references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchFile`] if the file does not exist on `line`.
+    pub fn delete_file(&mut self, line: LineId, inode: InodeNo) -> Result<()> {
+        let blocks = self
+            .table_mut(line)?
+            .remove(inode)
+            .ok_or(FsError::NoSuchFile { line, inode })?;
+        for (offset, block) in blocks.iter().enumerate() {
+            self.remove_ref(*block, Owner::block(inode, offset as u64, line));
+        }
+        if let Some(meta_block) = self.inode_meta.remove(&(line, inode)) {
+            self.remove_ref(meta_block, Owner::block(INODE_FILE, inode, line));
+        }
+        if let Some(d) = self.dirty.get_mut(&line) {
+            d.remove(&inode);
+        }
+        self.stats.files_deleted += 1;
+        Ok(())
+    }
+
+    /// Overwrites `nblocks` blocks of the file starting at `offset`
+    /// (copy-on-write: each affected block is replaced by a newly allocated
+    /// one). Offsets beyond the current end of the file extend it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchFile`] if the file does not exist on `line`.
+    pub fn overwrite(
+        &mut self,
+        line: LineId,
+        inode: InodeNo,
+        offset: u64,
+        nblocks: u64,
+    ) -> Result<()> {
+        self.table(line)?;
+        if !self.table(line)?.contains(inode) {
+            return Err(FsError::NoSuchFile { line, inode });
+        }
+        for i in 0..nblocks {
+            let off = offset + i;
+            let old = self.table(line)?.get(inode).and_then(|b| b.get(off as usize).copied());
+            let alloc = self.allocator.allocate(&mut self.rng);
+            if alloc.deduplicated {
+                self.stats.dedup_hits += 1;
+            }
+            self.stats.blocks_written += 1;
+            if let Some(old_block) = old {
+                self.remove_ref(old_block, Owner::block(inode, off, line));
+            }
+            self.add_ref(alloc.block, Owner::block(inode, off, line));
+            let table = self.table_mut(line)?;
+            let blocks = table.get_mut(inode).expect("checked above");
+            if (off as usize) < blocks.len() {
+                blocks[off as usize] = alloc.block;
+            } else {
+                // Extending writes append; sparse holes are not modeled.
+                blocks.push(alloc.block);
+            }
+        }
+        self.mark_dirty(line, inode);
+        Ok(())
+    }
+
+    /// Appends `nblocks` newly allocated blocks to the end of the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchFile`] if the file does not exist on `line`.
+    pub fn append(&mut self, line: LineId, inode: InodeNo, nblocks: u64) -> Result<()> {
+        let len = self.file_len(line, inode)?;
+        self.overwrite(line, inode, len, nblocks)
+    }
+
+    /// Truncates the file to `new_len` blocks, removing the references of the
+    /// dropped blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchFile`] if the file does not exist on `line`.
+    pub fn truncate(&mut self, line: LineId, inode: InodeNo, new_len: u64) -> Result<()> {
+        let blocks =
+            self.table(line)?.get(inode).cloned().ok_or(FsError::NoSuchFile { line, inode })?;
+        if (new_len as usize) >= blocks.len() {
+            return Ok(());
+        }
+        for (offset, block) in blocks.iter().enumerate().skip(new_len as usize) {
+            self.remove_ref(*block, Owner::block(inode, offset as u64, line));
+        }
+        self.table_mut(line)?.get_mut(inode).expect("checked above").truncate(new_len as usize);
+        self.mark_dirty(line, inode);
+        Ok(())
+    }
+
+    /// The length of a file in blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchFile`] if the file does not exist on `line`.
+    pub fn file_len(&self, line: LineId, inode: InodeNo) -> Result<u64> {
+        self.table(line)?
+            .get(inode)
+            .map(|b| b.len() as u64)
+            .ok_or(FsError::NoSuchFile { line, inode })
+    }
+
+    /// The physical blocks of a file, in offset order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchFile`] if the file does not exist on `line`.
+    pub fn file_blocks(&self, line: LineId, inode: InodeNo) -> Result<Vec<BlockNo>> {
+        self.table(line)?
+            .get(inode)
+            .cloned()
+            .ok_or(FsError::NoSuchFile { line, inode })
+    }
+
+    /// Number of files on a line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchLine`] if `line` is not a live line.
+    pub fn file_count(&self, line: LineId) -> Result<usize> {
+        Ok(self.table(line)?.file_count())
+    }
+
+    /// The inode numbers of every file on `line`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchLine`] if `line` is not a live line.
+    pub fn files(&self, line: LineId) -> Result<Vec<InodeNo>> {
+        Ok(self.table(line)?.inodes())
+    }
+
+    /// Whether the file exists on `line`.
+    pub fn has_file(&self, line: LineId, inode: InodeNo) -> bool {
+        self.lines.get(&line).map(|t| t.contains(inode)).unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Consistency points
+    // ------------------------------------------------------------------
+
+    fn flush_metadata(&mut self) {
+        if !self.config.metadata_cow {
+            return;
+        }
+        let dirty: Vec<(LineId, InodeNo)> = self
+            .dirty
+            .iter()
+            .flat_map(|(&line, inodes)| inodes.iter().map(move |&i| (line, i)))
+            .collect();
+        self.dirty.clear();
+        for (line, inode) in dirty {
+            // The file may have been deleted after it was dirtied.
+            if !self.has_file(line, inode) {
+                continue;
+            }
+            let owner = Owner::block(INODE_FILE, inode, line);
+            if let Some(old) = self.inode_meta.get(&(line, inode)).copied() {
+                self.remove_ref(old, owner);
+            }
+            let new_block = self.allocator.allocate_unique();
+            self.add_ref(new_block, owner);
+            self.inode_meta.insert((line, inode), new_block);
+        }
+    }
+
+    /// Takes a consistency point: flushes modeled metadata, tells the
+    /// provider to make its buffered updates durable, applies the automatic
+    /// snapshot rotation, and advances the CP counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates provider errors.
+    pub fn take_consistency_point(&mut self) -> Result<FsCpReport> {
+        self.flush_metadata();
+        let durable_cp = self.cp;
+        let provider_stats = self.provider.consistency_point(durable_cp)?;
+
+        // Automatic snapshot rotation on the root line.
+        let mut snapshot_taken = None;
+        let mut snapshots_deleted = Vec::new();
+        if self.scheduler.should_snapshot(durable_cp) {
+            let snap = self.snapshot_at(LineId::ROOT, durable_cp)?;
+            snapshot_taken = Some(snap);
+            for old in self.scheduler.snapshot_taken(durable_cp) {
+                self.delete_snapshot(old)?;
+                snapshots_deleted.push(old);
+            }
+        }
+
+        let report = FsCpReport {
+            cp: durable_cp,
+            block_ops: self.ops_since_cp,
+            provider: provider_stats,
+            snapshot_taken,
+            snapshots_deleted,
+        };
+        self.cp += 1;
+        self.stats.consistency_points += 1;
+        self.ops_since_cp = 0;
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots and clones
+    // ------------------------------------------------------------------
+
+    fn snapshot_at(&mut self, line: LineId, version: CpNumber) -> Result<SnapshotId> {
+        let table = self.table(line)?.clone();
+        let snap = SnapshotId::new(line, version);
+        let meta: HashMap<InodeNo, BlockNo> = self
+            .inode_meta
+            .iter()
+            .filter(|((l, _), _)| *l == line)
+            .map(|((_, inode), &block)| (*inode, block))
+            .collect();
+        self.snapshot_tables.insert(snap, table);
+        self.snapshot_meta.insert(snap, meta);
+        self.provider.snapshot_created(snap);
+        self.stats.snapshots_taken += 1;
+        Ok(snap)
+    }
+
+    /// Takes an explicit snapshot of `line` at the current CP number.
+    ///
+    /// The snapshot captures the state that will become durable at the
+    /// current consistency point, so the modeled per-file metadata blocks are
+    /// flushed first: otherwise metadata created later in this CP interval
+    /// would carry the snapshot's version without being part of the captured
+    /// state, and clones of the snapshot would disagree with the
+    /// back-reference database about inherited metadata blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchLine`] if `line` is not a live line.
+    pub fn take_snapshot(&mut self, line: LineId) -> Result<SnapshotId> {
+        self.flush_metadata();
+        let version = self.cp;
+        self.snapshot_at(line, version)
+    }
+
+    /// Deletes a retained snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchSnapshot`] if the snapshot is not retained.
+    pub fn delete_snapshot(&mut self, snap: SnapshotId) -> Result<()> {
+        self.snapshot_tables
+            .remove(&snap)
+            .ok_or(FsError::NoSuchSnapshot { snapshot: snap })?;
+        self.snapshot_meta.remove(&snap);
+        self.provider.snapshot_deleted(snap);
+        self.stats.snapshots_deleted += 1;
+        Ok(())
+    }
+
+    /// Creates a writable clone of a retained snapshot and returns the new
+    /// line. No reference callbacks are issued: the clone shares every block
+    /// with its parent snapshot until it diverges (copy-on-write).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchSnapshot`] if the snapshot is not retained.
+    pub fn create_clone(&mut self, parent: SnapshotId) -> Result<LineId> {
+        let table = self
+            .snapshot_tables
+            .get(&parent)
+            .ok_or(FsError::NoSuchSnapshot { snapshot: parent })?
+            .clone();
+        let line = LineId(self.next_line);
+        self.next_line += 1;
+        self.lines.insert(line, table);
+        // The clone inherits the parent snapshot's inode-file blocks too
+        // (no callbacks: structural inheritance covers metadata as well).
+        if let Some(meta) = self.snapshot_meta.get(&parent) {
+            for (&inode, &block) in meta {
+                self.inode_meta.insert((line, inode), block);
+            }
+        }
+        self.provider.clone_created(parent, line);
+        self.stats.clones_created += 1;
+        Ok(line)
+    }
+
+    /// Deletes a writable clone. Like snapshot deletion, this issues no
+    /// per-block callbacks; the provider learns only that the line is gone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NoSuchLine`] if `line` is not a live line, and is
+    /// rejected for the root line.
+    pub fn delete_clone(&mut self, line: LineId) -> Result<()> {
+        if line == LineId::ROOT {
+            return Err(FsError::NoSuchLine { line });
+        }
+        self.lines.remove(&line).ok_or(FsError::NoSuchLine { line })?;
+        self.inode_meta.retain(|(l, _), _| *l != line);
+        self.dirty.remove(&line);
+        self.provider.line_deleted(line);
+        self.stats.clones_deleted += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Ground truth and space accounting
+    // ------------------------------------------------------------------
+
+    /// Walks every live line and reconstructs the set of references that the
+    /// back-reference database must report as live — the ground truth used by
+    /// [`backlog::verify`].
+    pub fn expected_refs(&self) -> Vec<ExpectedRef> {
+        let mut out = Vec::new();
+        for (&line, table) in &self.lines {
+            for (inode, blocks) in table.iter() {
+                for (offset, &block) in blocks.iter().enumerate() {
+                    out.push(ExpectedRef::new(block, Owner::block(inode, offset as u64, line)));
+                }
+            }
+        }
+        for (&(line, inode), &block) in &self.inode_meta {
+            if self.lines.contains_key(&line) {
+                out.push(ExpectedRef::new(block, Owner::block(INODE_FILE, inode, line)));
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Number of distinct physical blocks referenced by the live lines, the
+    /// retained snapshots and the modeled metadata — the "total physical data
+    /// size" denominator of the paper's space-overhead figures.
+    pub fn physical_block_count(&self) -> u64 {
+        let mut set: HashSet<BlockNo> = HashSet::new();
+        for table in self.lines.values() {
+            table.collect_blocks(&mut set);
+        }
+        for table in self.snapshot_tables.values() {
+            table.collect_blocks(&mut set);
+        }
+        for meta in self.snapshot_meta.values() {
+            set.extend(meta.values().copied());
+        }
+        set.extend(self.inode_meta.values().copied());
+        set.len() as u64
+    }
+
+    /// Total physical bytes of live data (block count × 4 KB).
+    pub fn physical_data_bytes(&self) -> u64 {
+        self.physical_block_count() * blockdev::PAGE_SIZE as u64
+    }
+
+    /// Total logical block references held by live lines (before
+    /// deduplication).
+    pub fn logical_block_count(&self) -> u64 {
+        self.lines.values().map(FileTable::block_refs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{BacklogProvider, NullProvider};
+    use backlog::BacklogConfig;
+
+    fn fs_with_backlog() -> FileSystem<BacklogProvider> {
+        FileSystem::new(
+            BacklogProvider::new(BacklogConfig::default().without_timing()),
+            FsConfig::minimal(),
+        )
+    }
+
+    #[test]
+    fn create_and_query_roundtrip() {
+        let mut fs = fs_with_backlog();
+        let inode = fs.create_file(LineId::ROOT, 4).unwrap();
+        assert_eq!(fs.file_len(LineId::ROOT, inode).unwrap(), 4);
+        fs.take_consistency_point().unwrap();
+        let blocks = fs.file_blocks(LineId::ROOT, inode).unwrap();
+        let owners = fs.provider_mut().query_owners(blocks[0]).unwrap();
+        assert_eq!(owners, vec![Owner::block(inode, 0, LineId::ROOT)]);
+    }
+
+    #[test]
+    fn expected_refs_match_database() {
+        let mut fs = FileSystem::new(
+            BacklogProvider::new(BacklogConfig::default().without_timing()),
+            FsConfig::default(), // dedup + metadata modeling on
+        );
+        for _ in 0..20 {
+            fs.create_file(LineId::ROOT, 3).unwrap();
+        }
+        let inode = fs.create_file(LineId::ROOT, 10).unwrap();
+        fs.take_consistency_point().unwrap();
+        fs.overwrite(LineId::ROOT, inode, 2, 4).unwrap();
+        fs.delete_file(LineId::ROOT, inode - 1).unwrap();
+        fs.take_consistency_point().unwrap();
+        let expected = fs.expected_refs();
+        assert!(!expected.is_empty());
+        let report = backlog::verify(
+            fs.provider_mut().engine_mut(),
+            &expected,
+            &[],
+        )
+        .unwrap();
+        assert!(report.is_consistent(), "missing: {:?}, spurious: {:?}", report.missing, report.spurious);
+    }
+
+    #[test]
+    fn overwrite_is_copy_on_write() {
+        let mut fs = fs_with_backlog();
+        let inode = fs.create_file(LineId::ROOT, 2).unwrap();
+        let before = fs.file_blocks(LineId::ROOT, inode).unwrap();
+        fs.take_consistency_point().unwrap();
+        fs.overwrite(LineId::ROOT, inode, 0, 1).unwrap();
+        let after = fs.file_blocks(LineId::ROOT, inode).unwrap();
+        assert_ne!(before[0], after[0], "overwritten block moved");
+        assert_eq!(before[1], after[1], "untouched block stayed");
+        assert_eq!(after.len(), 2);
+    }
+
+    #[test]
+    fn append_and_truncate_adjust_length() {
+        let mut fs = fs_with_backlog();
+        let inode = fs.create_file(LineId::ROOT, 1).unwrap();
+        fs.append(LineId::ROOT, inode, 3).unwrap();
+        assert_eq!(fs.file_len(LineId::ROOT, inode).unwrap(), 4);
+        fs.truncate(LineId::ROOT, inode, 1).unwrap();
+        assert_eq!(fs.file_len(LineId::ROOT, inode).unwrap(), 1);
+        // Truncating to a longer length is a no-op.
+        fs.truncate(LineId::ROOT, inode, 10).unwrap();
+        assert_eq!(fs.file_len(LineId::ROOT, inode).unwrap(), 1);
+    }
+
+    #[test]
+    fn delete_file_removes_all_references() {
+        let mut fs = fs_with_backlog();
+        let inode = fs.create_file(LineId::ROOT, 3).unwrap();
+        let blocks = fs.file_blocks(LineId::ROOT, inode).unwrap();
+        fs.take_consistency_point().unwrap();
+        fs.delete_file(LineId::ROOT, inode).unwrap();
+        fs.take_consistency_point().unwrap();
+        for b in blocks {
+            assert!(fs.provider_mut().query_owners(b).unwrap().is_empty());
+        }
+        assert_eq!(fs.stats().files_deleted, 1);
+    }
+
+    #[test]
+    fn errors_for_missing_files_and_lines() {
+        let mut fs = fs_with_backlog();
+        assert!(matches!(
+            fs.create_file(LineId(9), 1),
+            Err(FsError::NoSuchLine { .. })
+        ));
+        assert!(matches!(
+            fs.delete_file(LineId::ROOT, 999),
+            Err(FsError::NoSuchFile { .. })
+        ));
+        assert!(matches!(
+            fs.overwrite(LineId::ROOT, 999, 0, 1),
+            Err(FsError::NoSuchFile { .. })
+        ));
+        assert!(matches!(
+            fs.delete_snapshot(SnapshotId::new(LineId::ROOT, 1)),
+            Err(FsError::NoSuchSnapshot { .. })
+        ));
+        assert!(matches!(fs.delete_clone(LineId::ROOT), Err(FsError::NoSuchLine { .. })));
+        assert!(matches!(
+            fs.create_clone(SnapshotId::new(LineId::ROOT, 1)),
+            Err(FsError::NoSuchSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn clone_shares_blocks_then_diverges() {
+        let mut fs = fs_with_backlog();
+        let inode = fs.create_file(LineId::ROOT, 4).unwrap();
+        fs.take_consistency_point().unwrap();
+        let snap = fs.take_snapshot(LineId::ROOT).unwrap();
+        let clone = fs.create_clone(snap).unwrap();
+        // The clone sees the same blocks.
+        assert_eq!(
+            fs.file_blocks(LineId::ROOT, inode).unwrap(),
+            fs.file_blocks(clone, inode).unwrap()
+        );
+        let shared_block = fs.file_blocks(clone, inode).unwrap()[0];
+        // Both the root file and the clone are owners of the shared block.
+        let owners = fs.provider_mut().query_owners(shared_block).unwrap();
+        assert_eq!(owners.len(), 2, "root and clone both own the block: {owners:?}");
+        // Writing in the clone diverges it.
+        fs.overwrite(clone, inode, 0, 1).unwrap();
+        fs.take_consistency_point().unwrap();
+        assert_ne!(
+            fs.file_blocks(LineId::ROOT, inode).unwrap()[0],
+            fs.file_blocks(clone, inode).unwrap()[0]
+        );
+        let owners = fs.provider_mut().query_owners(shared_block).unwrap();
+        assert_eq!(owners.len(), 1, "only the root still references the old block");
+        assert_eq!(owners[0].line, LineId::ROOT);
+        // Verification still holds with a clone in play.
+        let expected = fs.expected_refs();
+        let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
+        assert!(report.is_consistent(), "{report:?}");
+    }
+
+    #[test]
+    fn clone_deletion_is_callback_free_and_consistent() {
+        let mut fs = fs_with_backlog();
+        fs.create_file(LineId::ROOT, 4).unwrap();
+        fs.take_consistency_point().unwrap();
+        let snap = fs.take_snapshot(LineId::ROOT).unwrap();
+        let clone = fs.create_clone(snap).unwrap();
+        let ops_before = fs.stats().block_ops;
+        fs.delete_clone(clone).unwrap();
+        assert_eq!(fs.stats().block_ops, ops_before, "clone deletion issues no callbacks");
+        fs.take_consistency_point().unwrap();
+        let expected = fs.expected_refs();
+        let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
+        assert!(report.is_consistent(), "{report:?}");
+    }
+
+    #[test]
+    fn snapshot_policy_rotates_automatically() {
+        let policy = SnapshotPolicy {
+            cps_per_snapshot: 2,
+            snapshots_per_promotion: 4,
+            retain_recent: 2,
+            retain_promoted: 2,
+        };
+        let mut fs = FileSystem::new(
+            NullProvider::new(),
+            FsConfig::minimal().with_snapshots(policy),
+        );
+        let mut taken = 0;
+        let mut deleted = 0;
+        for _ in 0..40 {
+            fs.create_file(LineId::ROOT, 1).unwrap();
+            let report = fs.take_consistency_point().unwrap();
+            taken += report.snapshot_taken.is_some() as u64;
+            deleted += report.snapshots_deleted.len() as u64;
+        }
+        assert_eq!(taken, 20);
+        assert!(deleted > 0);
+        assert!(fs.retained_snapshots().len() <= 4);
+        assert_eq!(fs.stats().snapshots_taken, taken);
+        assert_eq!(fs.stats().snapshots_deleted, deleted);
+    }
+
+    #[test]
+    fn metadata_cow_adds_inode_block_ops_per_dirty_file() {
+        let mut fs = FileSystem::new(NullProvider::new(), FsConfig {
+            dedup: DedupConfig::disabled(),
+            metadata_cow: true,
+            snapshot_policy: SnapshotPolicy::none(),
+            seed: 0,
+        });
+        let inode = fs.create_file(LineId::ROOT, 2).unwrap();
+        let report = fs.take_consistency_point().unwrap();
+        // 2 data adds + 1 metadata add.
+        assert_eq!(report.block_ops, 3);
+        fs.overwrite(LineId::ROOT, inode, 0, 1).unwrap();
+        let report = fs.take_consistency_point().unwrap();
+        // 1 remove + 1 add for data, 1 remove + 1 add for the inode block.
+        assert_eq!(report.block_ops, 4);
+        // An idle CP does nothing.
+        let report = fs.take_consistency_point().unwrap();
+        assert_eq!(report.block_ops, 0);
+    }
+
+    #[test]
+    fn physical_size_accounts_for_dedup_and_snapshots() {
+        let mut fs = FileSystem::new(NullProvider::new(), FsConfig {
+            dedup: DedupConfig { probability: 0.5, pool_size: 64 },
+            metadata_cow: false,
+            snapshot_policy: SnapshotPolicy::none(),
+            seed: 1,
+        });
+        for _ in 0..50 {
+            fs.create_file(LineId::ROOT, 4).unwrap();
+        }
+        let logical = fs.logical_block_count();
+        let physical = fs.physical_block_count();
+        assert_eq!(logical, 200);
+        assert!(physical < logical, "dedup makes physical < logical");
+        // A snapshot pins blocks: deleting files afterwards must not reduce
+        // the physical footprint below what the snapshot holds.
+        fs.take_consistency_point().unwrap();
+        fs.take_snapshot(LineId::ROOT).unwrap();
+        let pinned = fs.physical_block_count();
+        let inodes = fs.files(LineId::ROOT).unwrap();
+        for inode in inodes {
+            fs.delete_file(LineId::ROOT, inode).unwrap();
+        }
+        assert_eq!(fs.logical_block_count(), 0);
+        assert_eq!(fs.physical_block_count(), pinned);
+        assert_eq!(fs.physical_data_bytes(), pinned * 4096);
+    }
+
+    #[test]
+    fn dedup_produces_multi_owner_blocks() {
+        let mut fs = FileSystem::new(
+            BacklogProvider::new(BacklogConfig::default().without_timing()),
+            FsConfig {
+                dedup: DedupConfig { probability: 0.9, pool_size: 8 },
+                metadata_cow: false,
+                snapshot_policy: SnapshotPolicy::none(),
+                seed: 3,
+            },
+        );
+        for _ in 0..20 {
+            fs.create_file(LineId::ROOT, 4).unwrap();
+        }
+        fs.take_consistency_point().unwrap();
+        assert!(fs.stats().dedup_hits > 0);
+        // Find a block with more than one owner.
+        let mut found_shared = false;
+        for inode in fs.files(LineId::ROOT).unwrap() {
+            for block in fs.file_blocks(LineId::ROOT, inode).unwrap() {
+                if fs.provider_mut().query_owners(block).unwrap().len() > 1 {
+                    found_shared = true;
+                    break;
+                }
+            }
+        }
+        assert!(found_shared, "with 90% dedup some block must be shared");
+    }
+}

@@ -1,0 +1,56 @@
+//! A write-anywhere file system simulator with snapshots, writable clones
+//! and deduplication emulation.
+//!
+//! This crate reproduces *fsim*, the simulator the FAST'10 Backlog paper used
+//! to evaluate back-reference maintenance in isolation from a particular file
+//! system: it keeps all file-system metadata in memory, stores no data
+//! blocks, and drives a pluggable back-reference implementation (a
+//! [`BackrefProvider`]) with the exact callback stream a real write-anywhere
+//! file system would produce — reference additions and removals, consistency
+//! points, snapshot creations and deletions, and writable-clone lifecycle
+//! events.
+//!
+//! The interesting providers live elsewhere: [`BacklogProvider`] wraps the
+//! paper's engine from the [`backlog`] crate, and the `baseline` crate
+//! supplies the naive conceptual-table design and a btrfs-style
+//! reference-counting design for comparison. [`NullProvider`] does nothing
+//! and serves as the measurement baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use backlog::{BacklogConfig, LineId};
+//! use fsim::{BackrefProvider, BacklogProvider, FileSystem, FsConfig};
+//!
+//! # fn main() -> Result<(), fsim::FsError> {
+//! let provider = BacklogProvider::new(BacklogConfig::default());
+//! let mut fs = FileSystem::new(provider, FsConfig::default());
+//!
+//! let inode = fs.create_file(LineId::ROOT, 16)?; // a 64 KB file
+//! fs.take_consistency_point()?;
+//!
+//! let block = fs.file_blocks(LineId::ROOT, inode)?[0];
+//! let owners = fs.provider_mut().query_owners(block)?;
+//! assert_eq!(owners[0].inode, inode);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod alloc;
+mod error;
+mod file;
+mod fs;
+mod provider;
+mod snapshot;
+mod stats;
+
+pub use alloc::{Allocation, BlockAllocator, DedupConfig};
+pub use error::{FsError, Result};
+pub use file::FileTable;
+pub use fs::{FileSystem, FsConfig, FIRST_DATA_INODE, INODE_FILE};
+pub use provider::{BackrefProvider, BacklogProvider, NullProvider, ProviderCpStats};
+pub use snapshot::{SnapshotPolicy, SnapshotScheduler};
+pub use stats::{FsCpReport, FsStats};

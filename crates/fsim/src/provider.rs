@@ -1,0 +1,283 @@
+//! The pluggable back-reference provider interface.
+//!
+//! The simulator reports every reference change and every consistency point
+//! to a [`BackrefProvider`]. Three families of providers exist in this
+//! workspace, mirroring the paper's Table 1 configurations:
+//!
+//! * [`NullProvider`] — no back references at all (the *Base* configuration).
+//! * `baseline::BtrfsLikeBackrefs` — reference-counted, metadata-integrated
+//!   back references (the *Original* configuration).
+//! * [`BacklogProvider`] — the paper's contribution (the *Backlog*
+//!   configuration), wrapping a [`BacklogEngine`].
+//! * `baseline::NaiveBackrefs` — the strawman conceptual-table design from
+//!   Section 4.1, used to demonstrate why the log-structured design matters.
+
+use backlog::{
+    BacklogConfig, BacklogEngine, BlockNo, CpNumber, LineId, Owner, SnapshotId,
+};
+
+use crate::error::Result;
+
+/// Per-consistency-point accounting reported by a provider.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProviderCpStats {
+    /// Records (of whatever internal form) written to stable storage.
+    pub records_flushed: u64,
+    /// Device page writes attributable to back-reference maintenance.
+    pub pages_written: u64,
+    /// Device page reads attributable to back-reference maintenance.
+    pub pages_read: u64,
+    /// Wall-clock nanoseconds spent inside reference callbacks since the
+    /// previous CP.
+    pub callback_ns: u64,
+    /// Wall-clock nanoseconds spent flushing at this CP.
+    pub flush_ns: u64,
+}
+
+impl ProviderCpStats {
+    /// Total provider time (callbacks plus flush) in microseconds.
+    pub fn total_micros(&self) -> f64 {
+        (self.callback_ns + self.flush_ns) as f64 / 1_000.0
+    }
+}
+
+/// A back-reference implementation driven by file-system callbacks.
+///
+/// Providers must tolerate any callback order the file system produces; in
+/// particular a reference may be added and removed within one CP interval.
+pub trait BackrefProvider: std::fmt::Debug {
+    /// Short human-readable name used in benchmark output ("backlog",
+    /// "btrfs-like", "naive", "none").
+    fn name(&self) -> &str;
+
+    /// `owner` now references `block`.
+    fn add_reference(&mut self, block: BlockNo, owner: Owner);
+
+    /// `owner` no longer references `block`.
+    fn remove_reference(&mut self, block: BlockNo, owner: Owner);
+
+    /// The file system is taking consistency point `cp` (the CP that is now
+    /// being made durable). Returns the provider's overhead accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the provider's stable storage fails.
+    fn consistency_point(&mut self, cp: CpNumber) -> Result<ProviderCpStats>;
+
+    /// A snapshot was taken. Default: ignored.
+    fn snapshot_created(&mut self, _snap: SnapshotId) {}
+
+    /// A snapshot was deleted. Default: ignored.
+    fn snapshot_deleted(&mut self, _snap: SnapshotId) {}
+
+    /// A writable clone of `parent` was created as `line`. Default: ignored.
+    fn clone_created(&mut self, _parent: SnapshotId, _line: LineId) {}
+
+    /// An entire line (writable clone) was deleted. Default: ignored.
+    fn line_deleted(&mut self, _line: LineId) {}
+
+    /// The owners of `block` that are reachable from the live file system.
+    /// Providers that cannot answer queries return an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the provider's stable storage fails.
+    fn query_owners(&mut self, _block: BlockNo) -> Result<Vec<Owner>> {
+        Ok(Vec::new())
+    }
+
+    /// Bytes of back-reference metadata currently on stable storage.
+    fn metadata_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Runs the provider's periodic maintenance, if it has any.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the provider's stable storage fails.
+    fn maintenance(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A provider that maintains no back references at all — the paper's *Base*
+/// btrfs configuration, used to measure the intrinsic cost of the other
+/// providers.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullProvider;
+
+impl NullProvider {
+    /// Creates the provider.
+    pub fn new() -> Self {
+        NullProvider
+    }
+}
+
+impl BackrefProvider for NullProvider {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn add_reference(&mut self, _block: BlockNo, _owner: Owner) {}
+
+    fn remove_reference(&mut self, _block: BlockNo, _owner: Owner) {}
+
+    fn consistency_point(&mut self, _cp: CpNumber) -> Result<ProviderCpStats> {
+        Ok(ProviderCpStats::default())
+    }
+}
+
+/// The Backlog provider: adapts a [`BacklogEngine`] to the
+/// [`BackrefProvider`] interface.
+///
+/// The engine's internal CP counter starts at 1, like the simulator's, and is
+/// advanced exactly once per [`consistency_point`](BackrefProvider::consistency_point)
+/// call, so the two stay in lock step.
+#[derive(Debug)]
+pub struct BacklogProvider {
+    engine: BacklogEngine,
+}
+
+impl BacklogProvider {
+    /// Creates a provider around an engine backed by a fresh simulated disk.
+    pub fn new(config: BacklogConfig) -> Self {
+        BacklogProvider { engine: BacklogEngine::new_simulated(config) }
+    }
+
+    /// Creates a provider around an existing engine (e.g. one sharing a
+    /// device with other instrumentation).
+    pub fn with_engine(engine: BacklogEngine) -> Self {
+        BacklogProvider { engine }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &BacklogEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the wrapped engine (to run maintenance or queries
+    /// directly).
+    pub fn engine_mut(&mut self) -> &mut BacklogEngine {
+        &mut self.engine
+    }
+
+    /// Consumes the provider and returns the engine.
+    pub fn into_engine(self) -> BacklogEngine {
+        self.engine
+    }
+}
+
+impl BackrefProvider for BacklogProvider {
+    fn name(&self) -> &str {
+        "backlog"
+    }
+
+    fn add_reference(&mut self, block: BlockNo, owner: Owner) {
+        self.engine.add_reference(block, owner);
+    }
+
+    fn remove_reference(&mut self, block: BlockNo, owner: Owner) {
+        self.engine.remove_reference(block, owner);
+    }
+
+    fn consistency_point(&mut self, cp: CpNumber) -> Result<ProviderCpStats> {
+        debug_assert_eq!(cp, self.engine.current_cp(), "engine CP out of sync with fsim CP");
+        let report = self.engine.consistency_point()?;
+        Ok(ProviderCpStats {
+            records_flushed: report.records_flushed,
+            pages_written: report.pages_written,
+            pages_read: report.pages_read,
+            callback_ns: report.callback_ns,
+            flush_ns: report.flush_ns,
+        })
+    }
+
+    fn snapshot_created(&mut self, snap: SnapshotId) {
+        self.engine.register_snapshot(snap);
+    }
+
+    fn snapshot_deleted(&mut self, snap: SnapshotId) {
+        self.engine.delete_snapshot(snap);
+    }
+
+    fn clone_created(&mut self, parent: SnapshotId, line: LineId) {
+        self.engine.register_clone(parent, line);
+    }
+
+    fn line_deleted(&mut self, line: LineId) {
+        self.engine.delete_line(line);
+    }
+
+    fn query_owners(&mut self, block: BlockNo) -> Result<Vec<Owner>> {
+        Ok(self.engine.live_owners(block)?)
+    }
+
+    fn metadata_bytes(&self) -> u64 {
+        self.engine.database_disk_bytes()
+    }
+
+    fn maintenance(&mut self) -> Result<()> {
+        self.engine.maintenance()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_provider_is_free() {
+        let mut p = NullProvider::new();
+        p.add_reference(1, Owner::block(1, 0, LineId::ROOT));
+        p.remove_reference(1, Owner::block(1, 0, LineId::ROOT));
+        let stats = p.consistency_point(1).unwrap();
+        assert_eq!(stats, ProviderCpStats::default());
+        assert_eq!(p.name(), "none");
+        assert_eq!(p.metadata_bytes(), 0);
+        assert!(p.query_owners(1).unwrap().is_empty());
+        p.maintenance().unwrap();
+    }
+
+    #[test]
+    fn backlog_provider_tracks_references() {
+        let mut p = BacklogProvider::new(BacklogConfig::default().without_timing());
+        let owner = Owner::block(5, 2, LineId::ROOT);
+        p.add_reference(77, owner);
+        let stats = p.consistency_point(1).unwrap();
+        assert_eq!(stats.records_flushed, 1);
+        assert!(stats.pages_written > 0);
+        assert_eq!(p.query_owners(77).unwrap(), vec![owner]);
+        assert!(p.metadata_bytes() > 0);
+        assert_eq!(p.name(), "backlog");
+        p.maintenance().unwrap();
+        assert_eq!(p.query_owners(77).unwrap(), vec![owner]);
+    }
+
+    #[test]
+    fn backlog_provider_snapshot_lifecycle_roundtrip() {
+        let mut p = BacklogProvider::new(BacklogConfig::default().without_timing());
+        let owner = Owner::block(5, 2, LineId::ROOT);
+        p.add_reference(10, owner);
+        p.consistency_point(1).unwrap();
+        let snap = SnapshotId::new(LineId::ROOT, 2);
+        p.snapshot_created(snap);
+        p.clone_created(snap, LineId(7));
+        // The clone inherits the reference.
+        let owners = p.query_owners(10).unwrap();
+        assert!(owners.iter().any(|o| o.line == LineId(7)));
+        p.line_deleted(LineId(7));
+        p.snapshot_deleted(snap);
+        let owners = p.query_owners(10).unwrap();
+        assert!(owners.iter().all(|o| o.line == LineId::ROOT));
+        assert_eq!(p.engine().current_cp(), 2);
+        let _ = p.engine_mut();
+    }
+
+    #[test]
+    fn provider_cp_stats_micros() {
+        let s = ProviderCpStats { callback_ns: 1_500, flush_ns: 500, ..Default::default() };
+        assert!((s.total_micros() - 2.0).abs() < 1e-9);
+    }
+}

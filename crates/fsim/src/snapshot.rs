@@ -1,0 +1,212 @@
+//! Snapshot retention policy.
+//!
+//! The paper's synthetic-workload configuration "kept four hourly and four
+//! nightly snapshots": the most recent consistency points are periodically
+//! promoted to retained snapshots, old ones are deleted, and some are further
+//! promoted to a longer-lived tier. The [`SnapshotScheduler`] reproduces that
+//! two-tier rotation in CP-count space (how many CPs make an "hour" is a
+//! workload parameter).
+
+use std::collections::VecDeque;
+
+use backlog::{CpNumber, LineId, SnapshotId};
+
+/// Parameters of the two-tier snapshot rotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotPolicy {
+    /// Take a "recent"-tier (hourly) snapshot every this many CPs.
+    /// Zero disables automatic snapshots entirely.
+    pub cps_per_snapshot: u64,
+    /// Every Nth recent snapshot is promoted to the long-lived (nightly)
+    /// tier. Zero disables promotion.
+    pub snapshots_per_promotion: u64,
+    /// Number of recent-tier snapshots retained (4 in the paper).
+    pub retain_recent: usize,
+    /// Number of promoted-tier snapshots retained (4 in the paper).
+    pub retain_promoted: usize,
+}
+
+impl SnapshotPolicy {
+    /// The paper's configuration: four hourly and four nightly snapshots,
+    /// with `cps_per_hour` consistency points per "hour".
+    pub fn paper_default(cps_per_hour: u64) -> Self {
+        SnapshotPolicy {
+            cps_per_snapshot: cps_per_hour,
+            snapshots_per_promotion: 24,
+            retain_recent: 4,
+            retain_promoted: 4,
+        }
+    }
+
+    /// No automatic snapshots.
+    pub fn none() -> Self {
+        SnapshotPolicy {
+            cps_per_snapshot: 0,
+            snapshots_per_promotion: 0,
+            retain_recent: 0,
+            retain_promoted: 0,
+        }
+    }
+
+    /// Whether a snapshot should be taken at consistency point `cp`.
+    pub fn should_snapshot(&self, cp: CpNumber) -> bool {
+        self.cps_per_snapshot > 0 && cp % self.cps_per_snapshot == 0
+    }
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> Self {
+        SnapshotPolicy::none()
+    }
+}
+
+/// Executes a [`SnapshotPolicy`] for one line, tracking which snapshots are
+/// currently retained in each tier.
+#[derive(Debug, Clone)]
+pub struct SnapshotScheduler {
+    policy: SnapshotPolicy,
+    line: LineId,
+    /// Recent-tier snapshots, oldest first, with a flag saying whether the
+    /// snapshot has been promoted.
+    recent: VecDeque<(SnapshotId, bool)>,
+    promoted: VecDeque<SnapshotId>,
+    taken: u64,
+}
+
+impl SnapshotScheduler {
+    /// Creates a scheduler for `line`.
+    pub fn new(policy: SnapshotPolicy, line: LineId) -> Self {
+        SnapshotScheduler { policy, line, recent: VecDeque::new(), promoted: VecDeque::new(), taken: 0 }
+    }
+
+    /// The policy being executed.
+    pub fn policy(&self) -> &SnapshotPolicy {
+        &self.policy
+    }
+
+    /// Whether a snapshot should be taken at consistency point `cp`.
+    pub fn should_snapshot(&self, cp: CpNumber) -> bool {
+        self.policy.should_snapshot(cp)
+    }
+
+    /// Records that a snapshot was taken at `cp` and returns the snapshots
+    /// that should now be deleted to enforce the retention limits.
+    pub fn snapshot_taken(&mut self, cp: CpNumber) -> Vec<SnapshotId> {
+        let snap = SnapshotId::new(self.line, cp);
+        self.taken += 1;
+        let promoted = self.policy.snapshots_per_promotion > 0
+            && self.taken % self.policy.snapshots_per_promotion == 0;
+        self.recent.push_back((snap, promoted));
+        if promoted {
+            self.promoted.push_back(snap);
+        }
+        let mut delete = Vec::new();
+        while self.recent.len() > self.policy.retain_recent.max(1) {
+            let (old, was_promoted) = self.recent.pop_front().expect("non-empty");
+            if !was_promoted {
+                delete.push(old);
+            }
+        }
+        while self.promoted.len() > self.policy.retain_promoted.max(1) {
+            let old = self.promoted.pop_front().expect("non-empty");
+            // Only delete it if it already aged out of the recent tier.
+            if !self.recent.iter().any(|(s, _)| *s == old) {
+                delete.push(old);
+            }
+        }
+        delete
+    }
+
+    /// All snapshots currently retained by the scheduler, oldest first.
+    pub fn retained(&self) -> Vec<SnapshotId> {
+        let mut out: Vec<SnapshotId> = self.promoted.iter().copied().collect();
+        for (s, promoted) in &self.recent {
+            if !promoted {
+                out.push(*s);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Number of snapshots taken so far.
+    pub fn snapshots_taken(&self) -> u64 {
+        self.taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_policy_never_snapshots() {
+        let p = SnapshotPolicy::none();
+        assert!(!p.should_snapshot(100));
+        let s = SnapshotScheduler::new(p, LineId::ROOT);
+        assert!(!s.should_snapshot(5));
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let p = SnapshotPolicy::paper_default(10);
+        assert!(p.should_snapshot(10));
+        assert!(p.should_snapshot(20));
+        assert!(!p.should_snapshot(15));
+        assert_eq!(p.retain_recent, 4);
+        assert_eq!(p.retain_promoted, 4);
+    }
+
+    #[test]
+    fn rotation_keeps_at_most_retained() {
+        let p = SnapshotPolicy {
+            cps_per_snapshot: 1,
+            snapshots_per_promotion: 5,
+            retain_recent: 4,
+            retain_promoted: 2,
+        };
+        let mut sched = SnapshotScheduler::new(p, LineId::ROOT);
+        let mut deleted = Vec::new();
+        for cp in 1..=40u64 {
+            if sched.should_snapshot(cp) {
+                deleted.extend(sched.snapshot_taken(cp));
+            }
+        }
+        assert_eq!(sched.snapshots_taken(), 40);
+        let retained = sched.retained();
+        // 4 recent + at most 2 promoted.
+        assert!(retained.len() <= 6, "retained {retained:?}");
+        assert!(!retained.is_empty());
+        // Deletions plus retained should cover everything taken, without
+        // double-deleting.
+        assert_eq!(deleted.len() + retained.len(), 40);
+        let mut all: Vec<SnapshotId> = deleted.iter().chain(retained.iter()).copied().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 40, "no snapshot deleted twice or retained twice");
+    }
+
+    #[test]
+    fn promoted_snapshots_outlive_recent_tier() {
+        let p = SnapshotPolicy {
+            cps_per_snapshot: 1,
+            snapshots_per_promotion: 3,
+            retain_recent: 2,
+            retain_promoted: 4,
+        };
+        let mut sched = SnapshotScheduler::new(p, LineId::ROOT);
+        let mut deleted = Vec::new();
+        for cp in 1..=12u64 {
+            deleted.extend(sched.snapshot_taken(cp));
+        }
+        let retained = sched.retained();
+        // Snapshots 3, 6, 9, 12 were promoted; 11 and 12 are the recent tier.
+        assert!(retained.contains(&SnapshotId::new(LineId::ROOT, 3)));
+        assert!(retained.contains(&SnapshotId::new(LineId::ROOT, 6)));
+        assert!(retained.contains(&SnapshotId::new(LineId::ROOT, 9)));
+        assert!(retained.contains(&SnapshotId::new(LineId::ROOT, 11)));
+        assert!(deleted.contains(&SnapshotId::new(LineId::ROOT, 1)));
+        assert!(!deleted.contains(&SnapshotId::new(LineId::ROOT, 6)));
+    }
+}

@@ -1,0 +1,94 @@
+use backlog::{CpNumber, SnapshotId};
+
+use crate::provider::ProviderCpStats;
+
+/// Cumulative statistics for a simulated file system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsStats {
+    /// Files created.
+    pub files_created: u64,
+    /// Files deleted.
+    pub files_deleted: u64,
+    /// Data blocks written (copy-on-write allocations, including dedup hits).
+    pub blocks_written: u64,
+    /// Writes that deduplicated against an existing block.
+    pub dedup_hits: u64,
+    /// Reference callbacks issued to the provider (adds plus removes).
+    pub block_ops: u64,
+    /// Consistency points taken.
+    pub consistency_points: u64,
+    /// Snapshots taken.
+    pub snapshots_taken: u64,
+    /// Snapshots deleted.
+    pub snapshots_deleted: u64,
+    /// Writable clones created.
+    pub clones_created: u64,
+    /// Writable clones deleted.
+    pub clones_deleted: u64,
+}
+
+/// Report returned by [`FileSystem::take_consistency_point`](crate::FileSystem::take_consistency_point).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FsCpReport {
+    /// The CP number that was just made durable.
+    pub cp: CpNumber,
+    /// Reference callbacks issued since the previous CP (the denominator of
+    /// the paper's per-block-operation overhead metrics).
+    pub block_ops: u64,
+    /// The back-reference provider's own accounting for this CP.
+    pub provider: ProviderCpStats,
+    /// The snapshot automatically taken at this CP, if the policy fired.
+    pub snapshot_taken: Option<SnapshotId>,
+    /// Snapshots automatically deleted at this CP by the retention policy.
+    pub snapshots_deleted: Vec<SnapshotId>,
+}
+
+impl FsCpReport {
+    /// Provider page writes per block operation at this CP.
+    pub fn io_writes_per_op(&self) -> f64 {
+        if self.block_ops == 0 {
+            return 0.0;
+        }
+        self.provider.pages_written as f64 / self.block_ops as f64
+    }
+
+    /// Provider time (callbacks + flush) per block operation, microseconds.
+    pub fn micros_per_op(&self) -> f64 {
+        if self.block_ops == 0 {
+            return 0.0;
+        }
+        self.provider.total_micros() / self.block_ops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cp_report_rates() {
+        let r = FsCpReport {
+            cp: 5,
+            block_ops: 100,
+            provider: ProviderCpStats {
+                pages_written: 2,
+                callback_ns: 300_000,
+                flush_ns: 100_000,
+                ..Default::default()
+            },
+            snapshot_taken: None,
+            snapshots_deleted: vec![],
+        };
+        assert!((r.io_writes_per_op() - 0.02).abs() < 1e-12);
+        assert!((r.micros_per_op() - 4.0).abs() < 1e-9);
+        assert_eq!(FsCpReport::default().io_writes_per_op(), 0.0);
+        assert_eq!(FsCpReport::default().micros_per_op(), 0.0);
+    }
+
+    #[test]
+    fn stats_default_is_zero() {
+        let s = FsStats::default();
+        assert_eq!(s.files_created, 0);
+        assert_eq!(s.block_ops, 0);
+    }
+}

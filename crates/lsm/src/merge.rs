@@ -1,0 +1,113 @@
+//! K-way merge of sorted record streams.
+//!
+//! Queries merge the write store with every relevant read-store run; database
+//! maintenance merges all Level-0 runs of a partition into a single run. Both
+//! rely on the inputs being individually sorted, which the
+//! [`WriteStore`](crate::WriteStore) and [`Run`](crate::Run) guarantee.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Merges already-sorted vectors into one sorted vector, preserving
+/// duplicates from every input.
+///
+/// This is the eager form used by queries (result sets are small) and by
+/// maintenance (which immediately feeds the result to a run builder).
+pub fn merge_sorted<T: Ord + Clone>(inputs: Vec<Vec<T>>) -> Vec<T> {
+    let total: usize = inputs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut heap: BinaryHeap<Reverse<(T, usize, usize)>> = BinaryHeap::new();
+    for (src, v) in inputs.iter().enumerate() {
+        if let Some(first) = v.first() {
+            heap.push(Reverse((first.clone(), src, 0)));
+        }
+    }
+    while let Some(Reverse((item, src, idx))) = heap.pop() {
+        out.push(item);
+        let next = idx + 1;
+        if let Some(v) = inputs[src].get(next) {
+            heap.push(Reverse((v.clone(), src, next)));
+        }
+    }
+    out
+}
+
+/// A lazy k-way merging iterator over sorted input iterators.
+///
+/// Used when the merged stream is consumed incrementally (e.g. streaming a
+/// maintenance merge directly into a [`RunBuilder`](crate::RunBuilder))
+/// without materializing all inputs at once.
+#[derive(Debug)]
+pub struct KWayMerge<T: Ord, I: Iterator<Item = T>> {
+    sources: Vec<I>,
+    heap: BinaryHeap<Reverse<(T, usize)>>,
+}
+
+impl<T: Ord, I: Iterator<Item = T>> KWayMerge<T, I> {
+    /// Creates a merge over the given sorted iterators.
+    pub fn new(sources: Vec<I>) -> Self {
+        let mut sources = sources;
+        let mut heap = BinaryHeap::new();
+        for (i, src) in sources.iter_mut().enumerate() {
+            if let Some(first) = src.next() {
+                heap.push(Reverse((first, i)));
+            }
+        }
+        KWayMerge { sources, heap }
+    }
+}
+
+impl<T: Ord, I: Iterator<Item = T>> Iterator for KWayMerge<T, I> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        let Reverse((item, src)) = self.heap.pop()?;
+        if let Some(next) = self.sources[src].next() {
+            self.heap.push(Reverse((next, src)));
+        }
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_two_sorted_vectors() {
+        let merged = merge_sorted(vec![vec![1, 3, 5], vec![2, 4, 6]]);
+        assert_eq!(merged, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn merge_preserves_duplicates() {
+        let merged = merge_sorted(vec![vec![1, 2, 2], vec![2, 3]]);
+        assert_eq!(merged, vec![1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn merge_handles_empty_inputs() {
+        let merged: Vec<i32> = merge_sorted(vec![vec![], vec![1], vec![]]);
+        assert_eq!(merged, vec![1]);
+        let empty: Vec<i32> = merge_sorted(vec![]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn kway_merge_is_lazy_and_sorted() {
+        let a = vec![1u64, 4, 7].into_iter();
+        let b = vec![2u64, 5, 8].into_iter();
+        let c = vec![3u64, 6, 9].into_iter();
+        let merged: Vec<u64> = KWayMerge::new(vec![a, b, c]).collect();
+        assert_eq!(merged, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn kway_merge_many_skewed_sources() {
+        let sources: Vec<std::vec::IntoIter<u64>> =
+            (0..16u64).map(|s| (0..100).map(|i| i * 16 + s).collect::<Vec<_>>().into_iter()).collect();
+        let merged: Vec<u64> = KWayMerge::new(sources).collect();
+        assert_eq!(merged.len(), 1600);
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,145 @@
+/// Horizontal partitioning of a table by partition key (physical block
+/// number).
+///
+/// The paper partitions RS files "by block number to ensure that each of the
+/// files is of a manageable size", using fixed sequential ranges of block
+/// numbers per partition; maintenance can then process partitions
+/// independently (and, in future work, in parallel on different disks or
+/// cores). This type maps a partition key to a partition index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioning {
+    /// Number of partitions (at least 1).
+    partitions: u32,
+    /// Width of each partition's key range; the final partition absorbs the
+    /// remainder of the key space.
+    width: u64,
+}
+
+impl Default for Partitioning {
+    fn default() -> Self {
+        Partitioning::single()
+    }
+}
+
+impl Partitioning {
+    /// A single partition covering the whole key space (partitioning
+    /// effectively disabled).
+    pub fn single() -> Self {
+        Partitioning { partitions: 1, width: u64::MAX }
+    }
+
+    /// Fixed sequential ranges: `partitions` partitions each `width` keys
+    /// wide; keys at or beyond `partitions * width` fall into the last
+    /// partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero or `width` is zero.
+    pub fn fixed_ranges(partitions: u32, width: u64) -> Self {
+        assert!(partitions > 0, "at least one partition is required");
+        assert!(width > 0, "partition width must be positive");
+        Partitioning { partitions, width }
+    }
+
+    /// Sequential ranges sized so that a device of `total_keys` blocks is
+    /// split into `partitions` equal pieces.
+    pub fn for_key_space(partitions: u32, total_keys: u64) -> Self {
+        let partitions = partitions.max(1);
+        let width = (total_keys / partitions as u64).max(1);
+        Partitioning { partitions, width }
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> u32 {
+        self.partitions
+    }
+
+    /// The partition index for `key`.
+    pub fn partition_of(&self, key: u64) -> u32 {
+        if self.partitions == 1 {
+            return 0;
+        }
+        ((key / self.width).min(self.partitions as u64 - 1)) as u32
+    }
+
+    /// The inclusive key range `[min, max]` covered by partition `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn key_range(&self, index: u32) -> (u64, u64) {
+        assert!(index < self.partitions, "partition index out of range");
+        if self.partitions == 1 {
+            return (0, u64::MAX);
+        }
+        let min = index as u64 * self.width;
+        let max = if index == self.partitions - 1 {
+            u64::MAX
+        } else {
+            (index as u64 + 1) * self.width - 1
+        };
+        (min, max)
+    }
+
+    /// The partitions overlapped by the inclusive key range `[min, max]`.
+    pub fn partitions_for_range(&self, min: u64, max: u64) -> std::ops::RangeInclusive<u32> {
+        let lo = self.partition_of(min);
+        let hi = self.partition_of(max);
+        lo..=hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_partition_maps_everything_to_zero() {
+        let p = Partitioning::single();
+        assert_eq!(p.partition_count(), 1);
+        assert_eq!(p.partition_of(0), 0);
+        assert_eq!(p.partition_of(u64::MAX), 0);
+        assert_eq!(p.key_range(0), (0, u64::MAX));
+    }
+
+    #[test]
+    fn fixed_ranges_assign_sequentially() {
+        let p = Partitioning::fixed_ranges(4, 100);
+        assert_eq!(p.partition_of(0), 0);
+        assert_eq!(p.partition_of(99), 0);
+        assert_eq!(p.partition_of(100), 1);
+        assert_eq!(p.partition_of(399), 3);
+        // Overflow keys land in the last partition.
+        assert_eq!(p.partition_of(10_000), 3);
+        assert_eq!(p.key_range(1), (100, 199));
+        assert_eq!(p.key_range(3), (300, u64::MAX));
+    }
+
+    #[test]
+    fn for_key_space_divides_evenly() {
+        let p = Partitioning::for_key_space(8, 8_000);
+        assert_eq!(p.partition_count(), 8);
+        assert_eq!(p.partition_of(999), 0);
+        assert_eq!(p.partition_of(1_000), 1);
+        assert_eq!(p.partition_of(7_999), 7);
+    }
+
+    #[test]
+    fn partitions_for_range_spans() {
+        let p = Partitioning::fixed_ranges(4, 100);
+        assert_eq!(p.partitions_for_range(50, 250), 0..=2);
+        assert_eq!(p.partitions_for_range(150, 150), 1..=1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        Partitioning::fixed_ranges(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn key_range_out_of_bounds_panics() {
+        Partitioning::fixed_ranges(2, 10).key_range(2);
+    }
+}

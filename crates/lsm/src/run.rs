@@ -1,0 +1,628 @@
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use blockdev::{FileId, FileStore, PAGE_SIZE};
+
+use crate::bloom::{BloomConfig, BloomFilter};
+use crate::error::{LsmError, Result};
+use crate::record::Record;
+
+/// Number of bytes reserved at the start of every run page for the header
+/// (`u16` record count, `u8` page kind, `u8` reserved).
+const PAGE_HEADER: usize = 4;
+const KIND_LEAF: u8 = 1;
+const KIND_INTERNAL: u8 = 2;
+
+/// Summary statistics for a single on-disk run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Number of records stored in the run.
+    pub records: u64,
+    /// Number of leaf pages.
+    pub leaf_pages: u64,
+    /// Total pages including internal index pages.
+    pub total_pages: u64,
+    /// Logical size in bytes (records × encoded length).
+    pub record_bytes: u64,
+}
+
+/// An immutable on-disk read-store run: a densely packed B-tree built
+/// bottom-up from a sorted record stream.
+///
+/// A run is the unit the paper calls an *RS file* (a Stepped-Merge Level-0
+/// run, or the large merged run produced by database maintenance). Building
+/// one performs only sequential page writes — the internal index level
+/// `I(n+1)` is accumulated in memory while level `In` is written — so a
+/// consistency-point flush needs no disk reads.
+///
+/// Each run carries an in-memory [`BloomFilter`] over the partition keys of
+/// its records so queries can skip runs that cannot contain a block.
+#[derive(Debug)]
+pub struct Run<R: Record> {
+    files: Arc<FileStore>,
+    file: FileId,
+    /// Page offset of the root page within the run file.
+    root_page: u64,
+    leaf_pages: u64,
+    records: u64,
+    min_key: u64,
+    max_key: u64,
+    bloom: BloomFilter,
+    _marker: PhantomData<R>,
+}
+
+impl<R: Record> Run<R> {
+    /// Builds a run from records that are already sorted (ascending, by the
+    /// record's `Ord`). Returns `None` if `records` is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsmError::UnsortedInput`] if the input is not sorted and
+    /// propagates device errors from writing run pages.
+    pub fn build(
+        files: &Arc<FileStore>,
+        records: &[R],
+        bloom_config: &BloomConfig,
+    ) -> Result<Option<Self>> {
+        if records.is_empty() {
+            return Ok(None);
+        }
+        if R::ENCODED_LEN == 0 || R::ENCODED_LEN > PAGE_SIZE - PAGE_HEADER {
+            return Err(LsmError::RecordTooLarge { encoded_len: R::ENCODED_LEN });
+        }
+        if records.windows(2).any(|w| w[0] > w[1]) {
+            return Err(LsmError::UnsortedInput);
+        }
+        let mut builder = RunBuilder::new(files.clone(), bloom_config.clone_for_entries(records.len()));
+        for r in records {
+            builder.push(r)?;
+        }
+        builder.finish().map(Some)
+    }
+
+    /// This run's statistics.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            records: self.records,
+            leaf_pages: self.leaf_pages,
+            total_pages: self.total_pages(),
+            record_bytes: self.records * R::ENCODED_LEN as u64,
+        }
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.root_page + 1
+    }
+
+    /// Number of records in the run.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether the run holds no records (never true for a built run).
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Smallest partition key stored in the run.
+    pub fn min_key(&self) -> u64 {
+        self.min_key
+    }
+
+    /// Largest partition key stored in the run.
+    pub fn max_key(&self) -> u64 {
+        self.max_key
+    }
+
+    /// The Bloom filter over this run's partition keys.
+    pub fn bloom(&self) -> &BloomFilter {
+        &self.bloom
+    }
+
+    /// The identifier of the backing virtual file.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Whether a query for partition keys `min..=max` needs to read this run,
+    /// according to the key bounds and the Bloom filter.
+    pub fn may_contain_range(&self, min: u64, max: u64) -> bool {
+        if max < self.min_key || min > self.max_key {
+            return false;
+        }
+        self.bloom.may_contain_range(min, max, 256)
+    }
+
+    /// Deletes the backing file, consuming the run. Called by database
+    /// maintenance after the run has been merged into its replacement.
+    pub fn delete(self) -> Result<()> {
+        self.files.delete(self.file)?;
+        Ok(())
+    }
+
+    fn read_page(&self, page: u64) -> Result<Vec<u8>> {
+        let f = self.files.open(self.file)?;
+        Ok(f.read_page(page)?)
+    }
+
+    /// Returns every record whose partition key lies in `min..=max`, in
+    /// sorted order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; reports [`LsmError::CorruptRun`] if the run
+    /// pages are structurally invalid.
+    pub fn scan_range(&self, min: u64, max: u64) -> Result<Vec<R>> {
+        let mut out = Vec::new();
+        self.for_each_in_range(min, max, |r| {
+            out.push(r);
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Returns all records in the run, in sorted order.
+    pub fn scan_all(&self) -> Result<Vec<R>> {
+        self.scan_range(0, u64::MAX)
+    }
+
+    /// Visits records with partition keys in `min..=max` in order, stopping
+    /// early when `visit` returns `false`.
+    pub fn for_each_in_range<F: FnMut(R) -> bool>(
+        &self,
+        min: u64,
+        max: u64,
+        mut visit: F,
+    ) -> Result<()> {
+        if max < self.min_key || min > self.max_key {
+            return Ok(());
+        }
+        let (mut leaf, mut index) = self.find_first_ge(min)?;
+        'outer: while leaf < self.leaf_pages {
+            let page = self.read_page(leaf)?;
+            let (kind, count) = parse_header(&page)?;
+            if kind != KIND_LEAF {
+                return Err(LsmError::CorruptRun {
+                    detail: format!("expected leaf at page {leaf}"),
+                });
+            }
+            while index < count {
+                let start = PAGE_HEADER + index * R::ENCODED_LEN;
+                let rec = R::decode(&page[start..start + R::ENCODED_LEN]);
+                let key = rec.partition_key();
+                if key > max {
+                    break 'outer;
+                }
+                if key >= min && !visit(rec) {
+                    break 'outer;
+                }
+                index += 1;
+            }
+            leaf += 1;
+            index = 0;
+        }
+        Ok(())
+    }
+
+    /// Locates the first leaf slot whose record partition key is `>= key`.
+    /// Returns `(leaf_page, slot_index)`; the position may be one past the
+    /// last record, in which case iteration terminates immediately.
+    fn find_first_ge(&self, key: u64) -> Result<(u64, usize)> {
+        // Descend from the root through internal pages.
+        let mut page_no = self.root_page;
+        loop {
+            let page = self.read_page(page_no)?;
+            let (kind, count) = parse_header(&page)?;
+            match kind {
+                KIND_LEAF => {
+                    // Binary search within the leaf for the first record >= key.
+                    let mut lo = 0usize;
+                    let mut hi = count;
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        let start = PAGE_HEADER + mid * R::ENCODED_LEN;
+                        let rec = R::decode(&page[start..start + R::ENCODED_LEN]);
+                        if rec.partition_key() < key {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    return Ok((page_no, lo));
+                }
+                KIND_INTERNAL => {
+                    let entry_len = R::ENCODED_LEN + 8;
+                    // Find the last child whose separator key is strictly
+                    // less than the search key (default: the first child).
+                    // Using `<` rather than `<=` matters when duplicates of
+                    // the search key span a child boundary: the run of equal
+                    // keys may begin in the previous child, so we must start
+                    // there and let the leaf scan walk forward.
+                    let mut chosen = 0usize;
+                    let mut lo = 0usize;
+                    let mut hi = count;
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        let start = PAGE_HEADER + mid * entry_len;
+                        let rec = R::decode(&page[start..start + R::ENCODED_LEN]);
+                        if rec.partition_key() < key {
+                            chosen = mid;
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    let start = PAGE_HEADER + chosen * entry_len;
+                    let child_bytes: [u8; 8] =
+                        page[start + R::ENCODED_LEN..start + entry_len].try_into().unwrap();
+                    page_no = u64::from_be_bytes(child_bytes);
+                }
+                other => {
+                    return Err(LsmError::CorruptRun {
+                        detail: format!("unknown page kind {other} at page {page_no}"),
+                    })
+                }
+            }
+        }
+    }
+}
+
+trait CloneForEntries {
+    fn clone_for_entries(&self, entries: usize) -> BloomSizing;
+}
+
+/// Internal helper carrying both the config and the intended entry count to
+/// the builder.
+#[derive(Debug, Clone)]
+pub(crate) struct BloomSizing {
+    config: BloomConfig,
+    entries: usize,
+}
+
+impl CloneForEntries for BloomConfig {
+    fn clone_for_entries(&self, entries: usize) -> BloomSizing {
+        BloomSizing { config: *self, entries }
+    }
+}
+
+/// Incremental builder for a [`Run`].
+///
+/// Records must be pushed in sorted order. Leaf pages are written as they
+/// fill; separator entries for the next index level are kept in memory, so
+/// the build is a single sequential write pass.
+#[derive(Debug)]
+pub struct RunBuilder<R: Record> {
+    files: Arc<FileStore>,
+    file: FileId,
+    bloom: BloomFilter,
+    /// The leaf page currently being filled.
+    leaf_buf: Vec<u8>,
+    leaf_count_in_page: usize,
+    /// (first record bytes, page offset) of each completed page at the level
+    /// currently being produced.
+    pending_level: Vec<(Vec<u8>, u64)>,
+    pages_written: u64,
+    records: u64,
+    min_key: u64,
+    max_key: u64,
+    last: Option<R>,
+    records_per_leaf: usize,
+    entries_per_internal: usize,
+}
+
+impl<R: Record> RunBuilder<R> {
+    pub(crate) fn new(files: Arc<FileStore>, sizing: BloomSizing) -> Self {
+        let file = files.create().id();
+        let records_per_leaf = (PAGE_SIZE - PAGE_HEADER) / R::ENCODED_LEN;
+        let entries_per_internal = (PAGE_SIZE - PAGE_HEADER) / (R::ENCODED_LEN + 8);
+        RunBuilder {
+            files,
+            file,
+            bloom: BloomFilter::for_entries(sizing.entries, &sizing.config),
+            leaf_buf: new_page_buf(KIND_LEAF),
+            leaf_count_in_page: 0,
+            pending_level: Vec::new(),
+            pages_written: 0,
+            records: 0,
+            min_key: u64::MAX,
+            max_key: 0,
+            last: None,
+            records_per_leaf: records_per_leaf.max(1),
+            entries_per_internal: entries_per_internal.max(2),
+        }
+    }
+
+    /// Creates a builder sized for `expected_records` records.
+    pub fn with_capacity(
+        files: Arc<FileStore>,
+        bloom_config: &BloomConfig,
+        expected_records: usize,
+    ) -> Self {
+        Self::new(files, bloom_config.clone_for_entries(expected_records))
+    }
+
+    /// Appends the next record, which must not sort before the previous one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsmError::UnsortedInput`] on out-of-order input and
+    /// propagates device errors.
+    pub fn push(&mut self, record: &R) -> Result<()> {
+        if let Some(last) = &self.last {
+            if record < last {
+                return Err(LsmError::UnsortedInput);
+            }
+        }
+        self.last = Some(record.clone());
+        let key = record.partition_key();
+        self.min_key = self.min_key.min(key);
+        self.max_key = self.max_key.max(key);
+        self.bloom.insert(key);
+        if self.leaf_count_in_page == self.records_per_leaf {
+            self.flush_leaf()?;
+        }
+        if self.leaf_count_in_page == 0 {
+            // Remember the first record of this leaf as its separator.
+            self.pending_level.push((record.encode_to_vec(), self.pages_written));
+        }
+        let start = PAGE_HEADER + self.leaf_count_in_page * R::ENCODED_LEN;
+        record.encode(&mut self.leaf_buf[start..start + R::ENCODED_LEN]);
+        self.leaf_count_in_page += 1;
+        self.records += 1;
+        Ok(())
+    }
+
+    fn flush_leaf(&mut self) -> Result<()> {
+        if self.leaf_count_in_page == 0 {
+            return Ok(());
+        }
+        set_header(&mut self.leaf_buf, KIND_LEAF, self.leaf_count_in_page);
+        let f = self.files.open(self.file)?;
+        f.append_page(&self.leaf_buf)?;
+        self.pages_written += 1;
+        self.leaf_buf = new_page_buf(KIND_LEAF);
+        self.leaf_count_in_page = 0;
+        Ok(())
+    }
+
+    /// Finishes the run: flushes the last leaf and writes the internal index
+    /// levels bottom-up, returning the completed immutable [`Run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors. An empty builder produces a run with zero
+    /// records whose scans return nothing.
+    pub fn finish(mut self) -> Result<Run<R>> {
+        self.flush_leaf()?;
+        let leaf_pages = self.pages_written;
+        // Build index levels until a level fits in one page.
+        let mut level = std::mem::take(&mut self.pending_level);
+        if level.is_empty() {
+            // Empty run: write a single empty leaf so the root page exists.
+            let buf = new_page_buf(KIND_LEAF);
+            let f = self.files.open(self.file)?;
+            f.append_page(&buf)?;
+            self.pages_written += 1;
+        }
+        while level.len() > 1 {
+            let mut next_level = Vec::new();
+            for chunk in level.chunks(self.entries_per_internal) {
+                let mut buf = new_page_buf(KIND_INTERNAL);
+                for (i, (key_bytes, child)) in chunk.iter().enumerate() {
+                    let start = PAGE_HEADER + i * (R::ENCODED_LEN + 8);
+                    buf[start..start + R::ENCODED_LEN].copy_from_slice(key_bytes);
+                    buf[start + R::ENCODED_LEN..start + R::ENCODED_LEN + 8]
+                        .copy_from_slice(&child.to_be_bytes());
+                }
+                set_header(&mut buf, KIND_INTERNAL, chunk.len());
+                let f = self.files.open(self.file)?;
+                f.append_page(&buf)?;
+                next_level.push((chunk[0].0.clone(), self.pages_written));
+                self.pages_written += 1;
+            }
+            level = next_level;
+        }
+        let root_page = self.pages_written.saturating_sub(1);
+        // Right-size the Bloom filter if the run turned out much smaller than
+        // the sizing estimate (the paper shrinks by halving).
+        let cfg = BloomConfig::default();
+        let ideal_bits = cfg.bits_for(self.records as usize);
+        if ideal_bits < self.bloom.num_bits() {
+            self.bloom.shrink_to(ideal_bits);
+        }
+        Ok(Run {
+            files: self.files,
+            file: self.file,
+            root_page,
+            leaf_pages,
+            records: self.records,
+            min_key: if self.records == 0 { 0 } else { self.min_key },
+            max_key: self.max_key,
+            bloom: self.bloom,
+            _marker: PhantomData,
+        })
+    }
+}
+
+fn new_page_buf(kind: u8) -> Vec<u8> {
+    let mut buf = vec![0u8; PAGE_SIZE];
+    buf[2] = kind;
+    buf
+}
+
+fn set_header(buf: &mut [u8], kind: u8, count: usize) {
+    buf[0..2].copy_from_slice(&(count as u16).to_be_bytes());
+    buf[2] = kind;
+    buf[3] = 0;
+}
+
+fn parse_header(buf: &[u8]) -> Result<(u8, usize)> {
+    if buf.len() < PAGE_HEADER {
+        return Err(LsmError::CorruptRun { detail: "page shorter than header".into() });
+    }
+    let count = u16::from_be_bytes([buf[0], buf[1]]) as usize;
+    Ok((buf[2], count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_support::TestRec;
+    use blockdev::{Device, DeviceConfig, SimDisk};
+
+    fn files() -> Arc<FileStore> {
+        Arc::new(FileStore::new(SimDisk::new_shared(DeviceConfig::free_latency())))
+    }
+
+    fn build(records: &[TestRec]) -> (Arc<FileStore>, Run<TestRec>) {
+        let fs = files();
+        let run = Run::build(&fs, records, &BloomConfig::default()).unwrap().unwrap();
+        (fs, run)
+    }
+
+    #[test]
+    fn empty_input_builds_nothing() {
+        let fs = files();
+        assert!(Run::<TestRec>::build(&fs, &[], &BloomConfig::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn small_run_roundtrips() {
+        let recs: Vec<TestRec> = (0..10u64).map(|k| TestRec::new(k * 2, k)).collect();
+        let (_fs, run) = build(&recs);
+        assert_eq!(run.len(), 10);
+        assert_eq!(run.min_key(), 0);
+        assert_eq!(run.max_key(), 18);
+        assert_eq!(run.scan_all().unwrap(), recs);
+    }
+
+    #[test]
+    fn large_run_spans_multiple_levels_and_scans_correctly() {
+        // 16-byte records, ~255 per leaf; 10,000 records => ~40 leaves =>
+        // at least one internal level.
+        let recs: Vec<TestRec> = (0..10_000u64).map(|k| TestRec::new(k, k ^ 0xdead)).collect();
+        let (_fs, run) = build(&recs);
+        let stats = run.stats();
+        assert!(stats.leaf_pages > 1);
+        assert!(stats.total_pages > stats.leaf_pages, "has internal pages");
+        assert_eq!(run.scan_all().unwrap().len(), 10_000);
+        // Point query in the middle.
+        assert_eq!(run.scan_range(5_000, 5_000).unwrap(), vec![TestRec::new(5_000, 5_000 ^ 0xdead)]);
+        // Range query.
+        let r = run.scan_range(9_990, 10_005).unwrap();
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].key, 9_990);
+    }
+
+    #[test]
+    fn range_query_with_duplicate_partition_keys() {
+        let mut recs = Vec::new();
+        for k in 0..100u64 {
+            for p in 0..5u64 {
+                recs.push(TestRec::new(k, p));
+            }
+        }
+        recs.sort();
+        let (_fs, run) = build(&recs);
+        let hits = run.scan_range(50, 50).unwrap();
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|r| r.key == 50));
+    }
+
+    #[test]
+    fn duplicate_keys_spanning_leaf_boundaries_are_all_found() {
+        // 255 records fit per leaf. Put 200 records with smaller keys first
+        // so that the run of 300 duplicates of key 1000 straddles a leaf
+        // boundary, then verify a point range query returns every duplicate.
+        let mut recs: Vec<TestRec> = (0..200u64).map(|k| TestRec::new(k, 0)).collect();
+        recs.extend((0..300u64).map(|p| TestRec::new(1_000, p)));
+        recs.extend((0..200u64).map(|k| TestRec::new(2_000 + k, 0)));
+        recs.sort();
+        let (_fs, run) = build(&recs);
+        assert!(run.stats().leaf_pages >= 2);
+        let hits = run.scan_range(1_000, 1_000).unwrap();
+        assert_eq!(hits.len(), 300, "every duplicate across the leaf boundary is returned");
+        // And a range that starts mid-duplicates still works.
+        assert_eq!(run.scan_range(999, 1_001).unwrap().len(), 300);
+        assert_eq!(run.scan_range(0, 199).unwrap().len(), 200);
+    }
+
+    #[test]
+    fn unsorted_input_is_rejected() {
+        let fs = files();
+        let recs = vec![TestRec::new(5, 0), TestRec::new(1, 0)];
+        assert_eq!(
+            Run::build(&fs, &recs, &BloomConfig::default()).unwrap_err(),
+            LsmError::UnsortedInput
+        );
+        let mut b = RunBuilder::<TestRec>::with_capacity(files(), &BloomConfig::default(), 10);
+        b.push(&TestRec::new(5, 0)).unwrap();
+        assert_eq!(b.push(&TestRec::new(1, 0)).unwrap_err(), LsmError::UnsortedInput);
+    }
+
+    #[test]
+    fn building_needs_no_reads() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let fs = Arc::new(FileStore::new(disk.clone()));
+        let recs: Vec<TestRec> = (0..5_000u64).map(|k| TestRec::new(k, 0)).collect();
+        let _run = Run::build(&fs, &recs, &BloomConfig::default()).unwrap().unwrap();
+        assert_eq!(disk.stats().snapshot().page_reads, 0, "bottom-up build reads nothing");
+        assert!(disk.stats().snapshot().page_writes > 0);
+    }
+
+    #[test]
+    fn bloom_filter_rejects_absent_ranges() {
+        let recs: Vec<TestRec> = (0..1000u64).map(|k| TestRec::new(k * 1000, 0)).collect();
+        let (_fs, run) = build(&recs);
+        assert!(run.may_contain_range(0, 0));
+        assert!(!run.may_contain_range(2_000_000, 3_000_000), "outside key bounds");
+        // Inside bounds but between stored keys: the bloom filter usually
+        // rejects it (allow the rare false positive).
+        let rejected = (0..50).filter(|i| !run.may_contain_range(i * 1000 + 500, i * 1000 + 501)).count();
+        assert!(rejected > 25, "bloom filter should reject most absent point ranges");
+    }
+
+    #[test]
+    fn scan_outside_bounds_is_empty_without_io() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let fs = Arc::new(FileStore::new(disk.clone()));
+        let recs: Vec<TestRec> = (10..20u64).map(|k| TestRec::new(k, 0)).collect();
+        let run = Run::build(&fs, &recs, &BloomConfig::default()).unwrap().unwrap();
+        let before = disk.stats().snapshot();
+        assert!(run.scan_range(100, 200).unwrap().is_empty());
+        assert_eq!(disk.stats().snapshot().page_reads, before.page_reads);
+    }
+
+    #[test]
+    fn for_each_early_stop() {
+        let recs: Vec<TestRec> = (0..1000u64).map(|k| TestRec::new(k, 0)).collect();
+        let (_fs, run) = build(&recs);
+        let mut seen = 0;
+        run.for_each_in_range(0, u64::MAX, |_| {
+            seen += 1;
+            seen < 10
+        })
+        .unwrap();
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn delete_frees_file() {
+        let fs = files();
+        let recs: Vec<TestRec> = (0..100u64).map(|k| TestRec::new(k, 0)).collect();
+        let run = Run::build(&fs, &recs, &BloomConfig::default()).unwrap().unwrap();
+        assert_eq!(fs.file_count(), 1);
+        run.delete().unwrap();
+        assert_eq!(fs.file_count(), 0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let recs: Vec<TestRec> = (0..1000u64).map(|k| TestRec::new(k, 0)).collect();
+        let (_fs, run) = build(&recs);
+        let s = run.stats();
+        assert_eq!(s.records, 1000);
+        assert_eq!(s.record_bytes, 1000 * 16);
+        assert!(s.total_pages >= s.leaf_pages);
+    }
+}

@@ -1,0 +1,543 @@
+use std::sync::Arc;
+
+use blockdev::FileStore;
+
+use crate::bloom::BloomConfig;
+use crate::deletion_vector::DeletionVector;
+use crate::error::Result;
+use crate::merge::merge_sorted;
+use crate::partition::Partitioning;
+use crate::record::Record;
+use crate::run::{Run, RunStats};
+use crate::write_store::WriteStore;
+
+/// Configuration for an [`LsmTable`].
+#[derive(Debug, Clone)]
+pub struct TableConfig {
+    /// Human-readable table name used in diagnostics (`"From"`, `"To"`, ...).
+    pub name: String,
+    /// Bloom filter sizing for this table's runs.
+    pub bloom: BloomConfig,
+    /// Horizontal partitioning of runs by partition key.
+    pub partitioning: Partitioning,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig {
+            name: "table".to_owned(),
+            bloom: BloomConfig::default(),
+            partitioning: Partitioning::single(),
+        }
+    }
+}
+
+impl TableConfig {
+    /// Creates a config with the given diagnostic name and defaults otherwise.
+    pub fn named(name: impl Into<String>) -> Self {
+        TableConfig { name: name.into(), ..Default::default() }
+    }
+
+    /// Sets the partitioning scheme.
+    pub fn with_partitioning(mut self, partitioning: Partitioning) -> Self {
+        self.partitioning = partitioning;
+        self
+    }
+
+    /// Sets the Bloom filter configuration.
+    pub fn with_bloom(mut self, bloom: BloomConfig) -> Self {
+        self.bloom = bloom;
+        self
+    }
+}
+
+/// Statistics returned by [`LsmTable::flush_cp`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Records written out of the write store.
+    pub records_flushed: u64,
+    /// Level-0 runs created (one per non-empty partition).
+    pub runs_created: u32,
+    /// Total pages written for the new runs.
+    pub pages_written: u64,
+}
+
+/// Statistics returned by maintenance operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Runs that existed before the operation.
+    pub runs_before: u32,
+    /// Runs that exist after the operation.
+    pub runs_after: u32,
+    /// Disk-resident records before.
+    pub records_before: u64,
+    /// Disk-resident records after.
+    pub records_after: u64,
+    /// Pages occupied after the operation.
+    pub pages_after: u64,
+}
+
+/// Point-in-time statistics for a table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Records buffered in the write store.
+    pub ws_records: u64,
+    /// Number of on-disk runs.
+    pub run_count: u32,
+    /// Records stored across all runs.
+    pub disk_records: u64,
+    /// Pages occupied by all runs (leaves plus index pages).
+    pub disk_pages: u64,
+    /// Logical bytes of disk-resident records.
+    pub disk_record_bytes: u64,
+    /// Memory held by Bloom filters, in bytes.
+    pub bloom_bytes: u64,
+    /// Records currently masked by the deletion vector.
+    pub deleted_records: u64,
+}
+
+/// One logical LSM table: an in-memory write store plus the Level-0 runs
+/// accumulated since the last maintenance pass, horizontally partitioned by
+/// block number.
+///
+/// Backlog instantiates three of these — `From`, `To` and `Combined` — on a
+/// shared [`FileStore`]. The table is deliberately unaware of the semantics
+/// of its records; joining `From` and `To`, structural inheritance and
+/// version masking all live in the `backlog` crate.
+#[derive(Debug)]
+pub struct LsmTable<R: Record> {
+    files: Arc<FileStore>,
+    config: TableConfig,
+    ws: WriteStore<R>,
+    /// Runs per partition, oldest first.
+    runs: Vec<Vec<Run<R>>>,
+    deletions: DeletionVector<R>,
+}
+
+impl<R: Record> LsmTable<R> {
+    /// Creates an empty table whose runs will be stored in `files`.
+    pub fn new(files: Arc<FileStore>, config: TableConfig) -> Self {
+        let partitions = config.partitioning.partition_count() as usize;
+        LsmTable {
+            files,
+            config,
+            ws: WriteStore::new(),
+            runs: (0..partitions).map(|_| Vec::new()).collect(),
+            deletions: DeletionVector::new(),
+        }
+    }
+
+    /// The table configuration.
+    pub fn config(&self) -> &TableConfig {
+        &self.config
+    }
+
+    /// The file store holding this table's runs.
+    pub fn files(&self) -> &Arc<FileStore> {
+        &self.files
+    }
+
+    /// Buffers a record in the write store.
+    pub fn insert(&mut self, record: R) {
+        self.ws.insert(record);
+    }
+
+    /// Removes an exact record from the write store (proactive pruning).
+    /// Returns `true` if the record was buffered.
+    pub fn ws_remove(&mut self, record: &R) -> bool {
+        self.ws.remove(record)
+    }
+
+    /// Whether the exact record is currently buffered in the write store.
+    pub fn ws_contains(&self, record: &R) -> bool {
+        self.ws.contains(record)
+    }
+
+    /// Number of records buffered in the write store.
+    pub fn ws_len(&self) -> usize {
+        self.ws.len()
+    }
+
+    /// Iterates the buffered records in sorted order.
+    pub fn ws_iter(&self) -> impl Iterator<Item = &R> + '_ {
+        self.ws.iter()
+    }
+
+    /// Direct access to the write store (used by tests and by Backlog's
+    /// proactive pruning, which needs ordered scans of buffered records).
+    pub fn write_store(&self) -> &WriteStore<R> {
+        &self.ws
+    }
+
+    /// Number of on-disk runs across all partitions.
+    pub fn run_count(&self) -> u32 {
+        self.runs.iter().map(|p| p.len() as u32).sum()
+    }
+
+    /// Marks a record as deleted without touching the run files
+    /// (C-Store-style deletion vector).
+    pub fn mark_deleted(&mut self, record: R) {
+        // If the record is still in the write store it can simply be removed.
+        if !self.ws.remove(&record) {
+            self.deletions.insert(record);
+        }
+    }
+
+    /// The current deletion vector.
+    pub fn deletion_vector(&self) -> &DeletionVector<R> {
+        &self.deletions
+    }
+
+    /// Flushes the write store into one new Level-0 run per non-empty
+    /// partition. Called at every consistency point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; on error the write store has already been
+    /// drained (consistent with the paper's model where a failed CP is
+    /// recovered from the file-system journal).
+    pub fn flush_cp(&mut self) -> Result<FlushStats> {
+        let drained = self.ws.drain_sorted();
+        if drained.is_empty() {
+            return Ok(FlushStats::default());
+        }
+        let mut stats = FlushStats { records_flushed: drained.len() as u64, ..Default::default() };
+        let parts = self.config.partitioning;
+        if parts.partition_count() == 1 {
+            if let Some(run) = Run::build(&self.files, &drained, &self.config.bloom)? {
+                stats.runs_created += 1;
+                stats.pages_written += run.stats().total_pages;
+                self.runs[0].push(run);
+            }
+        } else {
+            let mut buckets: Vec<Vec<R>> =
+                (0..parts.partition_count() as usize).map(|_| Vec::new()).collect();
+            for r in drained {
+                buckets[parts.partition_of(r.partition_key()) as usize].push(r);
+            }
+            for (idx, bucket) in buckets.into_iter().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                if let Some(run) = Run::build(&self.files, &bucket, &self.config.bloom)? {
+                    stats.runs_created += 1;
+                    stats.pages_written += run.stats().total_pages;
+                    self.runs[idx].push(run);
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Returns every record (write store and runs) whose partition key falls
+    /// in `min..=max`, sorted, with deletion-vector records removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from reading run pages.
+    pub fn query_range(&self, min: u64, max: u64) -> Result<Vec<R>> {
+        let mut sources: Vec<Vec<R>> = Vec::new();
+        let ws_hits: Vec<R> = self.ws.range_by_partition_key(min..=max).cloned().collect();
+        if !ws_hits.is_empty() {
+            sources.push(ws_hits);
+        }
+        for pidx in self.config.partitioning.partitions_for_range(min, max) {
+            for run in &self.runs[pidx as usize] {
+                if run.may_contain_range(min, max) {
+                    let hits = run.scan_range(min, max)?;
+                    if !hits.is_empty() {
+                        sources.push(hits);
+                    }
+                }
+            }
+        }
+        let mut merged = merge_sorted(sources);
+        self.deletions.filter(&mut merged);
+        Ok(merged)
+    }
+
+    /// Returns all records in the table (write store and runs), sorted, with
+    /// deleted records removed.
+    pub fn scan_all(&self) -> Result<Vec<R>> {
+        self.query_range(0, u64::MAX)
+    }
+
+    /// Returns only the disk-resident records (ignores the write store),
+    /// sorted, with deleted records removed. Database maintenance operates on
+    /// this view: write-store records always survive maintenance untouched.
+    pub fn scan_disk(&self) -> Result<Vec<R>> {
+        let mut sources: Vec<Vec<R>> = Vec::new();
+        for part in &self.runs {
+            for run in part {
+                sources.push(run.scan_all()?);
+            }
+        }
+        let mut merged = merge_sorted(sources);
+        self.deletions.filter(&mut merged);
+        Ok(merged)
+    }
+
+    /// Replaces all on-disk runs with a single run per partition built from
+    /// `records` (which must be sorted). The deletion vector is cleared: the
+    /// caller is expected to have already applied it (e.g. via
+    /// [`scan_disk`](Self::scan_disk)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsmError::UnsortedInput`](crate::LsmError::UnsortedInput) if
+    /// `records` is not sorted and propagates device errors.
+    pub fn replace_disk_contents(&mut self, records: &[R]) -> Result<MaintenanceStats> {
+        let before = self.stats();
+        // Drop existing runs first so their pages can be reused.
+        for part in &mut self.runs {
+            for run in part.drain(..) {
+                run.delete()?;
+            }
+        }
+        self.deletions.clear();
+        let parts = self.config.partitioning;
+        let mut records_after = 0u64;
+        let mut pages_after = 0u64;
+        let mut runs_after = 0u32;
+        if parts.partition_count() == 1 {
+            if let Some(run) = Run::build(&self.files, records, &self.config.bloom)? {
+                records_after = run.len();
+                pages_after = run.stats().total_pages;
+                runs_after = 1;
+                self.runs[0].push(run);
+            }
+        } else {
+            let mut buckets: Vec<Vec<R>> =
+                (0..parts.partition_count() as usize).map(|_| Vec::new()).collect();
+            for r in records {
+                buckets[parts.partition_of(r.partition_key()) as usize].push(r.clone());
+            }
+            for (idx, bucket) in buckets.into_iter().enumerate() {
+                if let Some(run) = Run::build(&self.files, &bucket, &self.config.bloom)? {
+                    records_after += run.len();
+                    pages_after += run.stats().total_pages;
+                    runs_after += 1;
+                    self.runs[idx].push(run);
+                }
+            }
+        }
+        Ok(MaintenanceStats {
+            runs_before: before.run_count,
+            runs_after,
+            records_before: before.disk_records,
+            records_after,
+            pages_after,
+        })
+    }
+
+    /// Merges all Level-0 runs into a single run per partition, dropping
+    /// deletion-vector records. This is the generic compaction primitive;
+    /// Backlog's full maintenance additionally joins `From` and `To` into
+    /// `Combined` before calling [`replace_disk_contents`](Self::replace_disk_contents).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn compact(&mut self) -> Result<MaintenanceStats> {
+        let merged = self.scan_disk()?;
+        self.replace_disk_contents(&merged)
+    }
+
+    /// Rewrites the runs with deletion-vector records dropped. The paper
+    /// performs this "if the deletion vector becomes sufficiently large".
+    pub fn rewrite_purging_deletions(&mut self) -> Result<MaintenanceStats> {
+        self.compact()
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> TableStats {
+        let mut disk = RunStats::default();
+        let mut bloom_bytes = 0u64;
+        let mut run_count = 0u32;
+        for part in &self.runs {
+            for run in part {
+                let s = run.stats();
+                disk.records += s.records;
+                disk.total_pages += s.total_pages;
+                disk.record_bytes += s.record_bytes;
+                bloom_bytes += run.bloom().size_bytes() as u64;
+                run_count += 1;
+            }
+        }
+        TableStats {
+            ws_records: self.ws.len() as u64,
+            run_count,
+            disk_records: disk.records,
+            disk_pages: disk.total_pages,
+            disk_record_bytes: disk.record_bytes,
+            bloom_bytes,
+            deleted_records: self.deletions.len() as u64,
+        }
+    }
+
+    /// Total bytes the table occupies on the device (pages × page size).
+    pub fn disk_bytes(&self) -> u64 {
+        self.stats().disk_pages * blockdev::PAGE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_support::TestRec;
+    use blockdev::{Device, DeviceConfig, SimDisk};
+
+    fn table() -> (Arc<SimDisk>, LsmTable<TestRec>) {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk.clone()));
+        (disk, LsmTable::new(files, TableConfig::named("test")))
+    }
+
+    #[test]
+    fn query_sees_ws_and_runs() {
+        let (_d, mut t) = table();
+        t.insert(TestRec::new(1, 10));
+        t.insert(TestRec::new(2, 20));
+        t.flush_cp().unwrap();
+        t.insert(TestRec::new(3, 30));
+        let all = t.scan_all().unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(t.query_range(2, 3).unwrap().len(), 2);
+        assert_eq!(t.ws_len(), 1);
+        assert_eq!(t.run_count(), 1);
+    }
+
+    #[test]
+    fn flush_empty_ws_is_noop() {
+        let (_d, mut t) = table();
+        let stats = t.flush_cp().unwrap();
+        assert_eq!(stats, FlushStats::default());
+        assert_eq!(t.run_count(), 0);
+    }
+
+    #[test]
+    fn each_flush_creates_a_level0_run() {
+        let (_d, mut t) = table();
+        for cp in 0..5u64 {
+            for i in 0..100u64 {
+                t.insert(TestRec::new(cp * 100 + i, cp));
+            }
+            t.flush_cp().unwrap();
+        }
+        assert_eq!(t.run_count(), 5);
+        assert_eq!(t.stats().disk_records, 500);
+    }
+
+    #[test]
+    fn compaction_merges_runs_into_one() {
+        let (_d, mut t) = table();
+        for cp in 0..5u64 {
+            for i in 0..50u64 {
+                t.insert(TestRec::new(i * 10 + cp, cp));
+            }
+            t.flush_cp().unwrap();
+        }
+        let before = t.scan_all().unwrap();
+        let stats = t.compact().unwrap();
+        assert_eq!(stats.runs_before, 5);
+        assert_eq!(stats.runs_after, 1);
+        assert_eq!(stats.records_before, 250);
+        assert_eq!(stats.records_after, 250);
+        assert_eq!(t.scan_all().unwrap(), before, "compaction preserves contents");
+        assert_eq!(t.run_count(), 1);
+    }
+
+    #[test]
+    fn bloom_filters_avoid_reads_for_absent_keys() {
+        let (disk, mut t) = table();
+        for cp in 0..10u64 {
+            for i in 0..100u64 {
+                t.insert(TestRec::new(cp * 1_000 + i, 0));
+            }
+            t.flush_cp().unwrap();
+        }
+        let before = disk.stats().snapshot();
+        // Query a key far away from anything stored: every run is skipped by
+        // its key bounds / bloom filter.
+        assert!(t.query_range(500_000, 500_000).unwrap().is_empty());
+        let after = disk.stats().snapshot();
+        assert_eq!(after.page_reads, before.page_reads);
+    }
+
+    #[test]
+    fn deletion_vector_hides_records_until_rewrite() {
+        let (_d, mut t) = table();
+        for i in 0..10u64 {
+            t.insert(TestRec::new(i, i));
+        }
+        t.flush_cp().unwrap();
+        t.mark_deleted(TestRec::new(3, 3));
+        t.mark_deleted(TestRec::new(4, 4));
+        assert_eq!(t.scan_all().unwrap().len(), 8);
+        assert_eq!(t.stats().deleted_records, 2);
+        let stats = t.rewrite_purging_deletions().unwrap();
+        assert_eq!(stats.records_after, 8);
+        assert_eq!(t.stats().deleted_records, 0);
+        assert_eq!(t.scan_all().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn mark_deleted_on_buffered_record_prunes_ws() {
+        let (_d, mut t) = table();
+        t.insert(TestRec::new(7, 7));
+        t.mark_deleted(TestRec::new(7, 7));
+        assert_eq!(t.ws_len(), 0);
+        assert_eq!(t.stats().deleted_records, 0, "no deletion vector entry needed");
+    }
+
+    #[test]
+    fn partitioned_table_splits_runs_by_key_range() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk));
+        let config = TableConfig::named("parted")
+            .with_partitioning(Partitioning::fixed_ranges(4, 1_000));
+        let mut t = LsmTable::new(files, config);
+        for i in 0..4_000u64 {
+            t.insert(TestRec::new(i, 0));
+        }
+        let stats = t.flush_cp().unwrap();
+        assert_eq!(stats.runs_created, 4);
+        assert_eq!(t.run_count(), 4);
+        assert_eq!(t.query_range(1_500, 1_509).unwrap().len(), 10);
+        assert_eq!(t.scan_all().unwrap().len(), 4_000);
+        let m = t.compact().unwrap();
+        assert_eq!(m.runs_after, 4);
+    }
+
+    #[test]
+    fn scan_disk_ignores_write_store() {
+        let (_d, mut t) = table();
+        t.insert(TestRec::new(1, 1));
+        t.flush_cp().unwrap();
+        t.insert(TestRec::new(2, 2));
+        assert_eq!(t.scan_disk().unwrap().len(), 1);
+        assert_eq!(t.scan_all().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn replace_disk_contents_rejects_unsorted() {
+        let (_d, mut t) = table();
+        let recs = vec![TestRec::new(5, 0), TestRec::new(1, 0)];
+        assert!(t.replace_disk_contents(&recs).is_err());
+    }
+
+    #[test]
+    fn stats_track_sizes() {
+        let (_d, mut t) = table();
+        for i in 0..1000u64 {
+            t.insert(TestRec::new(i, i));
+        }
+        t.flush_cp().unwrap();
+        let s = t.stats();
+        assert_eq!(s.disk_records, 1000);
+        assert!(s.disk_pages > 0);
+        assert_eq!(s.disk_record_bytes, 1000 * 16);
+        assert!(s.bloom_bytes > 0);
+        assert!(t.disk_bytes() >= s.disk_record_bytes);
+    }
+}

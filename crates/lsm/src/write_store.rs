@@ -1,0 +1,173 @@
+use std::collections::BTreeSet;
+use std::ops::RangeInclusive;
+
+use crate::record::Record;
+
+/// The in-memory write store (WS, the LSM-tree's C0 component).
+///
+/// Updates between two consistency points accumulate here; at a consistency
+/// point the whole store is drained into a new on-disk run. The paper
+/// implements the WS with an in-memory Berkeley DB B-tree (fsim) or a Linux
+/// red/black tree (btrfs) and notes that "any efficient indexing structure
+/// would work"; we use a [`BTreeSet`].
+///
+/// The store keeps records sorted by their full `Ord`, so proactive pruning
+/// (removing a `From`/`To` pair born and dead within the same CP interval)
+/// is a logarithmic-time removal, as required by Section 5.1 of the paper.
+#[derive(Debug, Clone)]
+pub struct WriteStore<R: Record> {
+    records: BTreeSet<R>,
+}
+
+impl<R: Record> Default for WriteStore<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R: Record> WriteStore<R> {
+    /// Creates an empty write store.
+    pub fn new() -> Self {
+        WriteStore { records: BTreeSet::new() }
+    }
+
+    /// Inserts a record. Returns `true` if it was not already present.
+    pub fn insert(&mut self, record: R) -> bool {
+        self.records.insert(record)
+    }
+
+    /// Removes an exact record. Returns `true` if it was present.
+    ///
+    /// This is the hook for the paper's *proactive pruning*: a reference that
+    /// is added and removed within one CP interval is deleted here and never
+    /// reaches the read store.
+    pub fn remove(&mut self, record: &R) -> bool {
+        self.records.remove(record)
+    }
+
+    /// Whether the exact record is present.
+    pub fn contains(&self, record: &R) -> bool {
+        self.records.contains(record)
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Approximate memory footprint of the buffered records in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.records.len() * (std::mem::size_of::<R>() + 32)
+    }
+
+    /// Iterates over all records in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &R> + '_ {
+        self.records.iter()
+    }
+
+    /// Iterates over records whose partition key falls in `range`, in sorted
+    /// order. The record ordering sorts by partition key first, so this is a
+    /// contiguous slice of the tree walked lazily.
+    pub fn range_by_partition_key(
+        &self,
+        range: RangeInclusive<u64>,
+    ) -> impl Iterator<Item = &R> + '_ {
+        let (min, max) = (*range.start(), *range.end());
+        self.records.iter().filter(move |r| {
+            let k = r.partition_key();
+            k >= min && k <= max
+        })
+    }
+
+    /// Removes and returns all records in sorted order, leaving the store
+    /// empty. Called at every consistency point.
+    pub fn drain_sorted(&mut self) -> Vec<R> {
+        std::mem::take(&mut self.records).into_iter().collect()
+    }
+
+    /// Returns all records in sorted order without draining.
+    pub fn to_sorted_vec(&self) -> Vec<R> {
+        self.records.iter().cloned().collect()
+    }
+
+    /// Removes every record matching `predicate`, returning how many were
+    /// removed.
+    pub fn retain<F: FnMut(&R) -> bool>(&mut self, mut keep: F) -> usize {
+        let before = self.records.len();
+        self.records.retain(|r| keep(r));
+        before - self.records.len()
+    }
+}
+
+impl<R: Record> Extend<R> for WriteStore<R> {
+    fn extend<T: IntoIterator<Item = R>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl<R: Record> FromIterator<R> for WriteStore<R> {
+    fn from_iter<T: IntoIterator<Item = R>>(iter: T) -> Self {
+        WriteStore { records: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_support::TestRec;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut ws = WriteStore::new();
+        assert!(ws.insert(TestRec::new(5, 1)));
+        assert!(!ws.insert(TestRec::new(5, 1)), "duplicate insert reports false");
+        assert!(ws.contains(&TestRec::new(5, 1)));
+        assert!(ws.remove(&TestRec::new(5, 1)));
+        assert!(!ws.remove(&TestRec::new(5, 1)));
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn drain_returns_sorted_and_empties() {
+        let mut ws = WriteStore::new();
+        for k in [5u64, 1, 9, 3] {
+            ws.insert(TestRec::new(k, k * 10));
+        }
+        let drained = ws.drain_sorted();
+        let keys: Vec<u64> = drained.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn range_by_partition_key_filters() {
+        let mut ws = WriteStore::new();
+        for k in 0..20u64 {
+            ws.insert(TestRec::new(k, 0));
+        }
+        let hits: Vec<u64> = ws.range_by_partition_key(5..=8).map(|r| r.key).collect();
+        assert_eq!(hits, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn retain_removes_matching() {
+        let mut ws: WriteStore<TestRec> = (0..10u64).map(|k| TestRec::new(k, 0)).collect();
+        let removed = ws.retain(|r| r.key % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(ws.len(), 5);
+        assert!(ws.iter().all(|r| r.key % 2 == 0));
+    }
+
+    #[test]
+    fn extend_and_from_iterator() {
+        let mut ws: WriteStore<TestRec> = [TestRec::new(1, 1)].into_iter().collect();
+        ws.extend([TestRec::new(2, 2), TestRec::new(3, 3)]);
+        assert_eq!(ws.len(), 3);
+        assert!(ws.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,60 @@
+use std::fmt;
+
+use fsim::FsError;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, WorkloadError>;
+
+/// Errors returned by workload drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The simulated file system (or its back-reference provider) failed.
+    Fs(FsError),
+    /// A workload was configured with invalid parameters.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Fs(e) => write!(f, "file system error: {e}"),
+            WorkloadError::InvalidConfig { reason } => {
+                write!(f, "invalid workload configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for WorkloadError {
+    fn from(e: FsError) -> Self {
+        WorkloadError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backlog::LineId;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: WorkloadError = FsError::NoSuchLine { line: LineId(1) }.into();
+        assert!(e.to_string().contains("file system error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = WorkloadError::InvalidConfig { reason: "zero ops".into() };
+        assert!(e.to_string().contains("zero ops"));
+    }
+}

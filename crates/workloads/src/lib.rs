@@ -1,0 +1,33 @@
+//! Workload generators for the Backlog reproduction.
+//!
+//! Each module reproduces one of the workload families the FAST'10 paper
+//! evaluates with:
+//!
+//! * [`synthetic`] — the stochastic "as fast as possible" workload of
+//!   Section 6.2.1 (≥32,000 ops per CP, 90 % small files, EECS03-like
+//!   create/delete/update mix, ~7 clones per 100 CPs). Drives Figures 5
+//!   and 6.
+//! * [`trace`] — a synthetic NFS trace with the EECS03 trace's load shape
+//!   (diurnal pattern, write-rich mix, a truncation-heavy period), replayed
+//!   at a 10-second CP interval. Drives Figures 7 and 8.
+//! * [`microbench`] — the create/delete file microbenchmarks of Table 1.
+//! * [`apps`] — dbench-, FileBench-varmail- and PostMark-shaped op mixes for
+//!   the application rows of Table 1.
+//!
+//! All generators are deterministic given their seed, so experiments can be
+//! replayed bit-for-bit against different back-reference providers.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod apps;
+mod error;
+pub mod microbench;
+pub mod synthetic;
+pub mod trace;
+
+pub use apps::{run_app, AppConfig, AppProfile, AppResult};
+pub use error::{Result, WorkloadError};
+pub use microbench::{run_create, run_delete, MicrobenchResult, MicrobenchSpec};
+pub use synthetic::{SyntheticConfig, SyntheticWorkload};
+pub use trace::{TraceConfig, TraceGenerator, TraceOp, TracePlayer, TraceRecord};

@@ -1,0 +1,154 @@
+//! File create / delete microbenchmarks (paper Table 1, rows 1–6).
+//!
+//! The paper's microbenchmarks create a set of 4 KB or 64 KB files in the
+//! file system's root directory, sync them, and then delete them, taking a
+//! consistency point every 2048 or 8192 operations. The reported metric is
+//! average milliseconds per operation, including the CP (sync) time.
+
+use std::time::{Duration, Instant};
+
+use backlog::{InodeNo, LineId};
+use fsim::{BackrefProvider, FileSystem};
+
+use crate::error::Result;
+
+/// Specification of one microbenchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicrobenchSpec {
+    /// Number of files to create (and later delete).
+    pub files: u64,
+    /// File size in 4 KB blocks (1 for the 4 KB case, 16 for 64 KB).
+    pub blocks_per_file: u64,
+    /// Operations between consistency points (2048 or 8192 in the paper).
+    pub ops_per_cp: u64,
+}
+
+impl MicrobenchSpec {
+    /// The paper's "creation of a 4 KB file" benchmark shape.
+    pub fn small_files(files: u64, ops_per_cp: u64) -> Self {
+        MicrobenchSpec { files, blocks_per_file: 1, ops_per_cp }
+    }
+
+    /// The paper's "creation of a 64 KB file" benchmark shape.
+    pub fn large_files(files: u64, ops_per_cp: u64) -> Self {
+        MicrobenchSpec { files, blocks_per_file: 16, ops_per_cp }
+    }
+}
+
+/// The result of one microbenchmark phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MicrobenchResult {
+    /// Number of file operations performed.
+    pub operations: u64,
+    /// Total elapsed time including consistency points.
+    pub elapsed: Duration,
+    /// Provider page writes during the phase.
+    pub provider_pages_written: u64,
+    /// Provider page reads during the phase.
+    pub provider_pages_read: u64,
+}
+
+impl MicrobenchResult {
+    /// Average milliseconds per file operation (the unit of Table 1).
+    pub fn millis_per_op(&self) -> f64 {
+        if self.operations == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_secs_f64() * 1_000.0 / self.operations as f64
+    }
+}
+
+/// Creates `spec.files` files, taking a CP every `spec.ops_per_cp`
+/// operations, and returns the created inodes plus timing.
+///
+/// # Errors
+///
+/// Propagates simulator and provider errors.
+pub fn run_create<P: BackrefProvider>(
+    fs: &mut FileSystem<P>,
+    spec: MicrobenchSpec,
+) -> Result<(Vec<InodeNo>, MicrobenchResult)> {
+    let mut inodes = Vec::with_capacity(spec.files as usize);
+    let mut result = MicrobenchResult::default();
+    let start = Instant::now();
+    for i in 0..spec.files {
+        inodes.push(fs.create_file(LineId::ROOT, spec.blocks_per_file)?);
+        if (i + 1) % spec.ops_per_cp == 0 {
+            let cp = fs.take_consistency_point()?;
+            result.provider_pages_written += cp.provider.pages_written;
+            result.provider_pages_read += cp.provider.pages_read;
+        }
+    }
+    let cp = fs.take_consistency_point()?;
+    result.provider_pages_written += cp.provider.pages_written;
+    result.provider_pages_read += cp.provider.pages_read;
+    result.elapsed = start.elapsed();
+    result.operations = spec.files;
+    Ok((inodes, result))
+}
+
+/// Deletes the given files, taking a CP every `spec.ops_per_cp` operations.
+///
+/// # Errors
+///
+/// Propagates simulator and provider errors.
+pub fn run_delete<P: BackrefProvider>(
+    fs: &mut FileSystem<P>,
+    spec: MicrobenchSpec,
+    inodes: &[InodeNo],
+) -> Result<MicrobenchResult> {
+    let mut result = MicrobenchResult::default();
+    let start = Instant::now();
+    for (i, &inode) in inodes.iter().enumerate() {
+        fs.delete_file(LineId::ROOT, inode)?;
+        if (i as u64 + 1) % spec.ops_per_cp == 0 {
+            let cp = fs.take_consistency_point()?;
+            result.provider_pages_written += cp.provider.pages_written;
+            result.provider_pages_read += cp.provider.pages_read;
+        }
+    }
+    let cp = fs.take_consistency_point()?;
+    result.provider_pages_written += cp.provider.pages_written;
+    result.provider_pages_read += cp.provider.pages_read;
+    result.elapsed = start.elapsed();
+    result.operations = inodes.len() as u64;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backlog::BacklogConfig;
+    use fsim::{BacklogProvider, FsConfig, NullProvider};
+
+    #[test]
+    fn create_then_delete_roundtrip() {
+        let mut fs = FileSystem::new(NullProvider::new(), FsConfig::minimal());
+        let spec = MicrobenchSpec::small_files(100, 32);
+        let (inodes, create) = run_create(&mut fs, spec).unwrap();
+        assert_eq!(inodes.len(), 100);
+        assert_eq!(create.operations, 100);
+        assert!(create.millis_per_op() >= 0.0);
+        let delete = run_delete(&mut fs, spec, &inodes).unwrap();
+        assert_eq!(delete.operations, 100);
+        assert_eq!(fs.file_count(LineId::ROOT).unwrap(), 0);
+    }
+
+    #[test]
+    fn large_file_spec_uses_sixteen_blocks() {
+        let spec = MicrobenchSpec::large_files(10, 4);
+        assert_eq!(spec.blocks_per_file, 16);
+        let mut fs = FileSystem::new(
+            BacklogProvider::new(BacklogConfig::default().without_timing()),
+            FsConfig::minimal(),
+        );
+        let (inodes, result) = run_create(&mut fs, spec).unwrap();
+        assert_eq!(fs.file_len(LineId::ROOT, inodes[0]).unwrap(), 16);
+        assert!(result.provider_pages_written > 0, "backlog wrote run pages at the CPs");
+    }
+
+    #[test]
+    fn empty_result_rates_are_zero() {
+        assert_eq!(MicrobenchResult::default().millis_per_op(), 0.0);
+    }
+}

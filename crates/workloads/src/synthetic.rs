@@ -1,0 +1,304 @@
+//! The synthetic stochastic workload (paper Section 6.2.1).
+//!
+//! The generator "submits write requests as rapidly as possible", performing
+//! at least 32,000 block writes between consistency points, with file create
+//! / delete / update rates mirroring the EECS03 trace, 90 % small files, and
+//! roughly 7 writable-clone creations (and deletions) per 100 CPs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use backlog::{InodeNo, LineId};
+use fsim::{BackrefProvider, FileSystem, FsCpReport};
+
+use crate::error::Result;
+
+/// Configuration of the synthetic workload.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Minimum reference operations between two consistency points
+    /// (32,000 in the paper's WAFL-like configuration).
+    pub ops_per_cp: u64,
+    /// Relative rate of file creations.
+    pub create_weight: u32,
+    /// Relative rate of file deletions.
+    pub delete_weight: u32,
+    /// Relative rate of file overwrites (updates).
+    pub update_weight: u32,
+    /// Fraction of created files that are small (0.9 in the paper,
+    /// "reflecting home directories of developers").
+    pub small_file_fraction: f64,
+    /// Size range (blocks) of small files.
+    pub small_file_blocks: (u64, u64),
+    /// Size range (blocks) of large files.
+    pub large_file_blocks: (u64, u64),
+    /// Expected writable-clone creations per 100 CPs (~7 in the paper).
+    pub clones_per_100_cps: f64,
+    /// Maximum number of live clones before the oldest is deleted.
+    pub max_live_clones: usize,
+    /// Fraction of update operations directed at a live clone instead of the
+    /// root line.
+    pub clone_update_fraction: f64,
+    /// Minimum number of live files kept on the root line (deletions are
+    /// suppressed below this).
+    pub min_live_files: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            ops_per_cp: 32_000,
+            create_weight: 35,
+            delete_weight: 30,
+            update_weight: 35,
+            small_file_fraction: 0.9,
+            small_file_blocks: (1, 8),
+            large_file_blocks: (32, 256),
+            clones_per_100_cps: 7.0,
+            max_live_clones: 4,
+            clone_update_fraction: 0.05,
+            min_live_files: 64,
+            seed: 0xFA57_2010,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A scaled-down configuration for unit tests and smoke runs.
+    pub fn small() -> Self {
+        SyntheticConfig {
+            ops_per_cp: 500,
+            min_live_files: 16,
+            ..Default::default()
+        }
+    }
+}
+
+/// The synthetic workload driver.
+#[derive(Debug)]
+pub struct SyntheticWorkload {
+    config: SyntheticConfig,
+    rng: StdRng,
+    /// Live files per line, maintained incrementally to avoid rescanning the
+    /// simulator's tables.
+    files: Vec<(LineId, Vec<InodeNo>)>,
+    clones: Vec<LineId>,
+    cps_run: u64,
+}
+
+impl SyntheticWorkload {
+    /// Creates a workload driver.
+    pub fn new(config: SyntheticConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        SyntheticWorkload {
+            config,
+            rng,
+            files: vec![(LineId::ROOT, Vec::new())],
+            clones: Vec::new(),
+            cps_run: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+
+    /// Number of consistency points driven so far.
+    pub fn cps_run(&self) -> u64 {
+        self.cps_run
+    }
+
+    fn pick_file_size(&mut self) -> u64 {
+        if self.rng.gen_bool(self.config.small_file_fraction) {
+            self.rng.gen_range(self.config.small_file_blocks.0..=self.config.small_file_blocks.1)
+        } else {
+            self.rng.gen_range(self.config.large_file_blocks.0..=self.config.large_file_blocks.1)
+        }
+    }
+
+    fn line_files_mut(&mut self, line: LineId) -> &mut Vec<InodeNo> {
+        if let Some(idx) = self.files.iter().position(|(l, _)| *l == line) {
+            &mut self.files[idx].1
+        } else {
+            self.files.push((line, Vec::new()));
+            &mut self.files.last_mut().expect("just pushed").1
+        }
+    }
+
+    /// Performs enough operations to fill one CP interval, then takes the
+    /// consistency point and (probabilistically) performs clone churn.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and provider errors.
+    pub fn run_cp<P: BackrefProvider>(&mut self, fs: &mut FileSystem<P>) -> Result<FsCpReport> {
+        let target_ops = self.config.ops_per_cp;
+        let start_ops = fs.stats().block_ops;
+        while fs.stats().block_ops - start_ops < target_ops {
+            self.one_operation(fs)?;
+        }
+        self.clone_churn(fs)?;
+        let report = fs.take_consistency_point()?;
+        self.cps_run += 1;
+        Ok(report)
+    }
+
+    /// Runs `cps` consistency points, invoking `per_cp` after each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and provider errors.
+    pub fn run<P: BackrefProvider>(
+        &mut self,
+        fs: &mut FileSystem<P>,
+        cps: u64,
+        mut per_cp: impl FnMut(u64, &FsCpReport),
+    ) -> Result<()> {
+        for i in 0..cps {
+            let report = self.run_cp(fs)?;
+            per_cp(i, &report);
+        }
+        Ok(())
+    }
+
+    fn one_operation<P: BackrefProvider>(&mut self, fs: &mut FileSystem<P>) -> Result<()> {
+        let total =
+            self.config.create_weight + self.config.delete_weight + self.config.update_weight;
+        let roll = self.rng.gen_range(0..total);
+        let root_file_count = self.line_files_mut(LineId::ROOT).len();
+        if roll < self.config.create_weight || root_file_count < self.config.min_live_files {
+            // Create a file on the root line.
+            let size = self.pick_file_size();
+            let inode = fs.create_file(LineId::ROOT, size)?;
+            self.line_files_mut(LineId::ROOT).push(inode);
+        } else if roll < self.config.create_weight + self.config.delete_weight {
+            // Delete a random root file.
+            let len = self.line_files_mut(LineId::ROOT).len();
+            if len > 0 {
+                let idx = self.rng.gen_range(0..len);
+                let inode = self.line_files_mut(LineId::ROOT).swap_remove(idx);
+                fs.delete_file(LineId::ROOT, inode)?;
+            }
+        } else {
+            // Update (copy-on-write overwrite) of a random file, occasionally
+            // on a clone.
+            let line = if !self.clones.is_empty()
+                && self.rng.gen_bool(self.config.clone_update_fraction)
+            {
+                self.clones[self.rng.gen_range(0..self.clones.len())]
+            } else {
+                LineId::ROOT
+            };
+            let len = self.line_files_mut(line).len();
+            if len == 0 {
+                return Ok(());
+            }
+            let idx = self.rng.gen_range(0..len);
+            let inode = self.line_files_mut(line)[idx];
+            let len = match fs.file_len(line, inode) {
+                Ok(len) if len > 0 => len,
+                _ => return Ok(()),
+            };
+            let offset = self.rng.gen_range(0..len);
+            let span = self.rng.gen_range(1..=4.min(len - offset).max(1));
+            fs.overwrite(line, inode, offset, span)?;
+        }
+        Ok(())
+    }
+
+    fn clone_churn<P: BackrefProvider>(&mut self, fs: &mut FileSystem<P>) -> Result<()> {
+        let p = self.config.clones_per_100_cps / 100.0;
+        if p > 0.0 && self.rng.gen_bool(p.min(1.0)) {
+            // Prefer an existing retained snapshot, otherwise take one now.
+            let snap = match fs.retained_snapshots().into_iter().last() {
+                Some(s) => s,
+                None => fs.take_snapshot(LineId::ROOT)?,
+            };
+            let clone = fs.create_clone(snap)?;
+            let clone_files = fs.files(clone)?;
+            self.files.push((clone, clone_files));
+            self.clones.push(clone);
+            if self.clones.len() > self.config.max_live_clones {
+                let victim = self.clones.remove(0);
+                fs.delete_clone(victim)?;
+                self.files.retain(|(l, _)| *l != victim);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backlog::BacklogConfig;
+    use fsim::{BacklogProvider, FsConfig, NullProvider, SnapshotPolicy};
+
+    #[test]
+    fn fills_each_cp_with_the_configured_ops() {
+        let mut wl = SyntheticWorkload::new(SyntheticConfig::small());
+        let mut fs = FileSystem::new(NullProvider::new(), FsConfig::default());
+        for _ in 0..5 {
+            let report = wl.run_cp(&mut fs).unwrap();
+            assert!(report.block_ops >= 500, "CP had {} ops", report.block_ops);
+        }
+        assert_eq!(wl.cps_run(), 5);
+        assert!(fs.stats().files_created > 0);
+    }
+
+    #[test]
+    fn workload_is_deterministic_for_a_seed() {
+        let run = |seed: u64| {
+            let mut cfg = SyntheticConfig::small();
+            cfg.seed = seed;
+            let mut wl = SyntheticWorkload::new(cfg);
+            let mut fs = FileSystem::new(NullProvider::new(), FsConfig::default().with_seed(1));
+            wl.run(&mut fs, 3, |_, _| {}).unwrap();
+            (fs.stats().block_ops, fs.stats().files_created, fs.stats().files_deleted)
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn clone_churn_creates_and_deletes_clones() {
+        let mut cfg = SyntheticConfig::small();
+        cfg.clones_per_100_cps = 100.0; // force a clone every CP
+        cfg.max_live_clones = 2;
+        let mut wl = SyntheticWorkload::new(cfg);
+        let mut fs = FileSystem::new(
+            NullProvider::new(),
+            FsConfig::default().with_snapshots(SnapshotPolicy::paper_default(2)),
+        );
+        wl.run(&mut fs, 8, |_, _| {}).unwrap();
+        assert!(fs.stats().clones_created >= 6);
+        assert!(fs.stats().clones_deleted >= 4);
+        assert!(fs.active_lines().len() <= 4);
+    }
+
+    #[test]
+    fn backlog_database_stays_consistent_under_the_workload() {
+        let mut cfg = SyntheticConfig::small();
+        cfg.ops_per_cp = 200;
+        cfg.clones_per_100_cps = 50.0;
+        let mut wl = SyntheticWorkload::new(cfg);
+        let mut fs = FileSystem::new(
+            BacklogProvider::new(BacklogConfig::default().without_timing()),
+            FsConfig::default().with_snapshots(SnapshotPolicy::paper_default(4)),
+        );
+        wl.run(&mut fs, 12, |_, _| {}).unwrap();
+        fs.provider_mut().maintenance().unwrap();
+        let expected = fs.expected_refs();
+        let report =
+            backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
+        assert!(
+            report.is_consistent(),
+            "missing {} spurious {}",
+            report.missing.len(),
+            report.spurious.len()
+        );
+    }
+}

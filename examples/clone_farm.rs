@@ -1,0 +1,73 @@
+//! A clone farm: many writable clones of a production data set, as used for
+//! development and testing (the FlexClone-style use case the paper cites).
+//!
+//! Demonstrates that snapshot and clone lifecycle operations are free for the
+//! back-reference database, that clones inherit back references through
+//! structural inheritance, and that the database stays verifiably consistent
+//! as clones diverge and are destroyed.
+//!
+//! Run with `cargo run --example clone_farm`.
+
+use backlog::{BacklogConfig, LineId};
+use fsim::{BackrefProvider, BacklogProvider, FileSystem, FsConfig, SnapshotPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut fs = FileSystem::new(
+        BacklogProvider::new(BacklogConfig::default()),
+        FsConfig::default().with_snapshots(SnapshotPolicy::paper_default(5)),
+    );
+
+    // The "production database": a handful of large files.
+    let mut tables = Vec::new();
+    for _ in 0..8 {
+        tables.push(fs.create_file(LineId::ROOT, 64)?);
+    }
+    fs.take_consistency_point()?;
+    let baseline_io = fs.provider().engine().device().stats().snapshot();
+
+    // Spin up a farm of writable clones for developers.
+    let snap = fs.take_snapshot(LineId::ROOT)?;
+    let clones: Vec<LineId> = (0..6).map(|_| fs.create_clone(snap)).collect::<Result<_, _>>()?;
+    let after_clone_io = fs.provider().engine().device().stats().snapshot();
+    println!(
+        "created {} writable clones of {} with {} bytes of extra back-reference I/O",
+        clones.len(),
+        snap,
+        (after_clone_io.bytes_written - baseline_io.bytes_written)
+    );
+
+    // Each developer clone mutates a different table.
+    for (i, &clone) in clones.iter().enumerate() {
+        let table = tables[i % tables.len()];
+        fs.overwrite(clone, table, (i as u64) * 8, 8)?;
+    }
+    fs.take_consistency_point()?;
+
+    // Pick a block of the production copy and see everyone who shares it.
+    let shared_block = fs.file_blocks(LineId::ROOT, tables[0])?[0];
+    let owners = fs.provider_mut().query_owners(shared_block)?;
+    println!(
+        "block {shared_block} of table {} is referenced by {} line(s): {:?}",
+        tables[0],
+        owners.len(),
+        owners.iter().map(|o| o.line).collect::<Vec<_>>()
+    );
+
+    // Tear down half of the farm; deletion is also free.
+    for &clone in &clones[..3] {
+        fs.delete_clone(clone)?;
+    }
+    fs.take_consistency_point()?;
+    fs.provider_mut().maintenance()?;
+
+    // The database still matches a full tree walk of the surviving state.
+    let expected = fs.expected_refs();
+    let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[])?;
+    assert!(report.is_consistent(), "verification failed: {report:?}");
+    println!(
+        "verification: {} live references checked, database consistent; {} bytes of back-reference metadata on disk",
+        report.checked,
+        fs.provider().metadata_bytes()
+    );
+    Ok(())
+}

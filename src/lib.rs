@@ -1,0 +1,13 @@
+//! Umbrella crate for the Backlog reproduction workspace.
+//!
+//! This crate re-exports the public surface of the member crates so that the
+//! workspace-level examples and integration tests have a single, convenient
+//! entry point. Library users should normally depend on the individual
+//! crates ([`backlog`], [`fsim`], [`lsm`], ...) directly.
+
+pub use backlog;
+pub use baseline;
+pub use blockdev;
+pub use fsim;
+pub use lsm;
+pub use workloads;

@@ -1,0 +1,130 @@
+//! Property-based tests for the Backlog engine: random operation sequences
+//! are replayed against a trivial in-memory model of "who currently owns
+//! which block", and the engine must agree after any number of consistency
+//! points and maintenance passes.
+
+use std::collections::BTreeSet;
+
+use backlog::{
+    query::join_from_to, BacklogConfig, BacklogEngine, CombinedRecord, FromRecord, LineId, Owner,
+    RefIdentity, ToRecord, CP_INFINITY,
+};
+use proptest::prelude::*;
+
+/// One step of the random workload.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Add { block: u64, inode: u64, offset: u64 },
+    Remove { block: u64, inode: u64, offset: u64 },
+    ConsistencyPoint,
+    Maintenance,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0u64..40, 1u64..6, 0u64..8).prop_map(|(block, inode, offset)| Step::Add { block, inode, offset }),
+        3 => (0u64..40, 1u64..6, 0u64..8).prop_map(|(block, inode, offset)| Step::Remove { block, inode, offset }),
+        2 => Just(Step::ConsistencyPoint),
+        1 => Just(Step::Maintenance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine's live owners always equal the model's, no matter how the
+    /// operations are interleaved with CPs and maintenance.
+    #[test]
+    fn live_owners_match_reference_model(steps in proptest::collection::vec(step_strategy(), 1..120)) {
+        let mut engine = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
+        let mut model: BTreeSet<(u64, u64, u64)> = BTreeSet::new(); // (block, inode, offset)
+        for step in &steps {
+            match *step {
+                Step::Add { block, inode, offset } => {
+                    // The file system only adds a reference it does not
+                    // already hold (a block map slot holds one block).
+                    if model.insert((block, inode, offset)) {
+                        engine.add_reference(block, Owner::block(inode, offset, LineId::ROOT));
+                    }
+                }
+                Step::Remove { block, inode, offset } => {
+                    if model.remove(&(block, inode, offset)) {
+                        engine.remove_reference(block, Owner::block(inode, offset, LineId::ROOT));
+                    }
+                }
+                Step::ConsistencyPoint => {
+                    let report = engine.consistency_point().unwrap();
+                    prop_assert_eq!(report.pages_read, 0, "CP flush must never read");
+                }
+                Step::Maintenance => {
+                    engine.maintenance().unwrap();
+                }
+            }
+        }
+        engine.consistency_point().unwrap();
+        // Compare the engine's live owners with the model, block by block.
+        for block in 0..40u64 {
+            let expected: Vec<Owner> = model
+                .iter()
+                .filter(|(b, _, _)| *b == block)
+                .map(|&(_, inode, offset)| Owner::block(inode, offset, LineId::ROOT))
+                .collect();
+            let got = engine.live_owners(block).unwrap();
+            prop_assert_eq!(got, expected, "block {} owners diverged", block);
+        }
+    }
+
+    /// Joining From/To records reconstructs exactly the intervals they were
+    /// generated from (the conceptual table of Section 4.1).
+    #[test]
+    fn join_reconstructs_intervals(
+        interval_count in 1usize..6,
+        gaps in proptest::collection::vec((1u64..20, 1u64..20), 6),
+        still_live in any::<bool>(),
+    ) {
+        let identity = RefIdentity::new(7, Owner::block(3, 1, LineId::ROOT));
+        // Build non-overlapping intervals [from, to) with gaps between them.
+        let mut froms = Vec::new();
+        let mut tos = Vec::new();
+        let mut expected = Vec::new();
+        let mut clock = 1u64;
+        for (i, (gap, len)) in gaps.iter().take(interval_count).enumerate() {
+            let from = clock + gap;
+            let to = from + len;
+            clock = to;
+            froms.push(FromRecord::new(identity, from));
+            let last = i == interval_count - 1;
+            if last && still_live {
+                expected.push(CombinedRecord::new(identity, from, CP_INFINITY));
+            } else {
+                tos.push(ToRecord::new(identity, to));
+                expected.push(CombinedRecord::new(identity, from, to));
+            }
+        }
+        expected.sort();
+        let joined = join_from_to(&froms, &tos);
+        prop_assert_eq!(joined, expected);
+    }
+
+    /// Record encodings round-trip and preserve ordering.
+    #[test]
+    fn record_encoding_roundtrips(
+        block in any::<u64>(),
+        inode in any::<u64>(),
+        offset in any::<u64>(),
+        line in any::<u32>(),
+        length in any::<u32>(),
+        from in any::<u64>(),
+        to in any::<u64>(),
+    ) {
+        use lsm::Record as _;
+        let identity = RefIdentity::new(block, Owner::extent(inode, offset, LineId(line), length));
+        let f = FromRecord::new(identity, from);
+        let t = ToRecord::new(identity, to);
+        let c = CombinedRecord::new(identity, from, to);
+        prop_assert_eq!(FromRecord::decode(&f.encode_to_vec()), f);
+        prop_assert_eq!(ToRecord::decode(&t.encode_to_vec()), t);
+        prop_assert_eq!(CombinedRecord::decode(&c.encode_to_vec()), c);
+        prop_assert_eq!(f.partition_key(), block);
+    }
+}
