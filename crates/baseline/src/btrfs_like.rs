@@ -97,7 +97,11 @@ impl BackrefProvider for BtrfsLikeBackrefs {
 
     fn add_reference(&mut self, block: BlockNo, owner: Owner) {
         let start = Instant::now();
-        let key = OwnerKey { line: owner.line, inode: owner.inode, offset: owner.offset };
+        let key = OwnerKey {
+            line: owner.line,
+            inode: owner.inode,
+            offset: owner.offset,
+        };
         *self.refs.entry(block).or_default().entry(key).or_insert(0) += 1;
         self.dirty_leaves.insert(Self::leaf_for(block));
         self.callback_ns += start.elapsed().as_nanos() as u64;
@@ -105,7 +109,11 @@ impl BackrefProvider for BtrfsLikeBackrefs {
 
     fn remove_reference(&mut self, block: BlockNo, owner: Owner) {
         let start = Instant::now();
-        let key = OwnerKey { line: owner.line, inode: owner.inode, offset: owner.offset };
+        let key = OwnerKey {
+            line: owner.line,
+            inode: owner.inode,
+            offset: owner.offset,
+        };
         if let Some(owners) = self.refs.get_mut(&block) {
             if let Some(count) = owners.get_mut(&key) {
                 *count -= 1;
@@ -160,7 +168,11 @@ impl BackrefProvider for BtrfsLikeBackrefs {
         let mut owners: Vec<Owner> = self
             .refs
             .get(&block)
-            .map(|o| o.keys().map(|k| Owner::block(k.inode, k.offset, k.line)).collect())
+            .map(|o| {
+                o.keys()
+                    .map(|k| Owner::block(k.inode, k.offset, k.line))
+                    .collect()
+            })
             .unwrap_or_default();
         owners.sort();
         owners.dedup();
@@ -199,7 +211,11 @@ mod tests {
         p.add_reference(10, o);
         p.add_reference(10, o);
         p.remove_reference(10, o);
-        assert_eq!(p.query_owners(10).unwrap_or_default().len(), 1, "count 2 - 1 = 1 still live");
+        assert_eq!(
+            p.query_owners(10).unwrap_or_default().len(),
+            1,
+            "count 2 - 1 = 1 still live"
+        );
         p.remove_reference(10, o);
         assert!(p.refs.is_empty());
     }

@@ -31,7 +31,7 @@ pub type NoBackrefs = fsim::NullProvider;
 mod tests {
     use super::*;
     use backlog::{BacklogConfig, LineId};
-    use fsim::{BackrefProvider, BacklogProvider, FileSystem, FsConfig};
+    use fsim::{BacklogProvider, BackrefProvider, FileSystem, FsConfig};
 
     /// Replays the same small workload against every provider and checks
     /// they agree on who owns each block.
@@ -55,12 +55,16 @@ mod tests {
             (owners, fs)
         }
 
-        let (backlog_owners, _) =
-            run(BacklogProvider::new(BacklogConfig::default().without_timing()));
+        let (backlog_owners, _) = run(BacklogProvider::new(
+            BacklogConfig::default().without_timing(),
+        ));
         let (naive_owners, _) = run(NaiveBackrefs::default());
         let (btrfs_owners, _) = run(BtrfsLikeBackrefs::new());
         assert_eq!(backlog_owners, naive_owners, "naive disagrees with backlog");
-        assert_eq!(backlog_owners, btrfs_owners, "btrfs-like disagrees with backlog");
+        assert_eq!(
+            backlog_owners, btrfs_owners,
+            "btrfs-like disagrees with backlog"
+        );
     }
 
     /// The headline claim: Backlog's deallocation path never reads, while the
@@ -85,7 +89,11 @@ mod tests {
         let mut backlog_inodes = Vec::new();
         for _ in 0..files {
             naive_inodes.push(naive_fs.create_file(LineId::ROOT, blocks_per_file).unwrap());
-            backlog_inodes.push(backlog_fs.create_file(LineId::ROOT, blocks_per_file).unwrap());
+            backlog_inodes.push(
+                backlog_fs
+                    .create_file(LineId::ROOT, blocks_per_file)
+                    .unwrap(),
+            );
         }
         naive_fs.take_consistency_point().unwrap();
         backlog_fs.take_consistency_point().unwrap();
@@ -99,7 +107,10 @@ mod tests {
         let naive_cp = naive_fs.take_consistency_point().unwrap();
         let backlog_cp = backlog_fs.take_consistency_point().unwrap();
 
-        assert_eq!(backlog_cp.provider.pages_read, 0, "Backlog deallocations never read");
+        assert_eq!(
+            backlog_cp.provider.pages_read, 0,
+            "Backlog deallocations never read"
+        );
         assert!(
             naive_cp.provider.pages_read > 0,
             "the naive design must read pages to complete deallocations"

@@ -46,7 +46,9 @@ impl Default for NaiveConfig {
     fn default() -> Self {
         // 32 MB of cached table pages, matching the cache the paper grants
         // Backlog in its micro-benchmarks.
-        NaiveConfig { cached_pages: 32 * 1024 * 1024 / PAGE_SIZE }
+        NaiveConfig {
+            cached_pages: 32 * 1024 * 1024 / PAGE_SIZE,
+        }
     }
 }
 
@@ -168,14 +170,19 @@ impl BackrefProvider for NaiveBackrefs {
         let live_key = self
             .table
             .range(
-                Key { block, inode: owner.inode, offset: owner.offset, line: owner.line, from: 0 }
-                    ..=Key {
-                        block,
-                        inode: owner.inode,
-                        offset: owner.offset,
-                        line: owner.line,
-                        from: CpNumber::MAX,
-                    },
+                Key {
+                    block,
+                    inode: owner.inode,
+                    offset: owner.offset,
+                    line: owner.line,
+                    from: 0,
+                }..=Key {
+                    block,
+                    inode: owner.inode,
+                    offset: owner.offset,
+                    line: owner.line,
+                    from: CpNumber::MAX,
+                },
             )
             .filter(|(_, &to)| to == CP_INFINITY)
             .map(|(k, _)| *k)
@@ -225,14 +232,19 @@ impl BackrefProvider for NaiveBackrefs {
         let mut owners: Vec<Owner> = self
             .table
             .range(
-                Key { block, inode: 0, offset: 0, line: LineId(0), from: 0 }
-                    ..=Key {
-                        block,
-                        inode: u64::MAX,
-                        offset: u64::MAX,
-                        line: LineId(u32::MAX),
-                        from: CpNumber::MAX,
-                    },
+                Key {
+                    block,
+                    inode: 0,
+                    offset: 0,
+                    line: LineId(0),
+                    from: 0,
+                }..=Key {
+                    block,
+                    inode: u64::MAX,
+                    offset: u64::MAX,
+                    line: LineId(u32::MAX),
+                    from: CpNumber::MAX,
+                },
             )
             .filter(|(_, &to)| to == CP_INFINITY)
             .map(|(k, _)| Owner::block(k.inode, k.offset, k.line))

@@ -6,7 +6,7 @@
 use backlog::BacklogConfig;
 use baseline::{BtrfsLikeBackrefs, NaiveBackrefs, NoBackrefs};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use fsim::{BackrefProvider, BacklogProvider, FileSystem, FsConfig};
+use fsim::{BacklogProvider, BackrefProvider, FileSystem, FsConfig};
 use workloads::{run_create, run_delete, MicrobenchSpec};
 
 fn workload<P: BackrefProvider>(provider: P) {

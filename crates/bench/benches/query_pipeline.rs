@@ -1,0 +1,167 @@
+//! Criterion bench: the query-pipeline hot paths rewritten for PR 1 —
+//! the two-pointer `join_from_to` sweep, the worklist
+//! `expand_inheritance`, and the streaming `LsmTable::query_range` — each
+//! measured against the quadratic reference implementation it replaced
+//! (kept in `backlog::query::reference`).
+
+use backlog::query::{self, reference};
+use backlog::{CombinedRecord, FromRecord, LineId, Owner, RefIdentity, ToRecord};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn ident(block: u64, inode: u64, line: u32) -> RefIdentity {
+    RefIdentity::new(block, Owner::block(inode, 0, LineId(line)))
+}
+
+/// `identities` blocks, each reallocated `churn` times (a From/To pair per
+/// reallocation, the last one left live) — the shape that grows long
+/// From/To logs per identity.
+fn join_input(identities: u64, churn: u64) -> (Vec<FromRecord>, Vec<ToRecord>) {
+    let mut froms = Vec::new();
+    let mut tos = Vec::new();
+    for i in 0..identities {
+        let id = ident(i, i % 512, 0);
+        for round in 0..churn {
+            let cp = 1 + round * 3;
+            froms.push(FromRecord::new(id, cp));
+            if round + 1 < churn {
+                tos.push(ToRecord::new(id, cp + 2));
+            }
+        }
+    }
+    froms.sort_unstable();
+    tos.sort_unstable();
+    (froms, tos)
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_from_to");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &(identities, churn) in &[(10_000u64, 8u64), (1_000, 64)] {
+        let (froms, tos) = join_input(identities, churn);
+        group.throughput(Throughput::Elements(froms.len() as u64 + tos.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sweep", format!("{identities}ids_x{churn}")),
+            &(),
+            |b, _| b.iter(|| query::join_from_to(&froms, &tos)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("{identities}ids_x{churn}")),
+            &(),
+            |b, _| b.iter(|| reference::join_from_to(&froms, &tos)),
+        );
+    }
+    group.finish();
+}
+
+/// A lineage with a clone chain `depth` deep plus `fan_out` sibling clones
+/// of the root snapshot, and `identities` records on the root line that all
+/// inherit down the tree.
+fn inheritance_input(
+    depth: u32,
+    fan_out: u32,
+    identities: u64,
+) -> (Vec<CombinedRecord>, backlog::LineageTable) {
+    let mut lineage = backlog::LineageTable::new();
+    for _ in 0..9 {
+        lineage.advance_cp();
+    }
+    let root_snap = lineage.take_snapshot(LineId::ROOT);
+    let mut parent = root_snap;
+    for _ in 0..depth {
+        let clone = lineage.create_clone(parent);
+        lineage.advance_cp();
+        parent = lineage.take_snapshot(clone);
+    }
+    for _ in 0..fan_out {
+        lineage.create_clone(root_snap);
+    }
+    let initial: Vec<CombinedRecord> = (0..identities)
+        .map(|i| CombinedRecord::new(ident(i, i % 64, 0), 5, backlog::CP_INFINITY))
+        .collect();
+    (initial, lineage)
+}
+
+fn bench_inheritance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expand_inheritance");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &(depth, fan_out, ids, label) in &[
+        (8u32, 0u32, 200u64, "chain8_200ids"),
+        (1, 64, 200, "fanout64_200ids"),
+    ] {
+        let (initial, lineage) = inheritance_input(depth, fan_out, ids);
+        group.throughput(Throughput::Elements(ids));
+        group.bench_with_input(BenchmarkId::new("worklist", label), &(), |b, _| {
+            b.iter(|| query::expand_inheritance(initial.clone(), &lineage))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", label), &(), |b, _| {
+            b.iter(|| reference::expand_inheritance(initial.clone(), &lineage))
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_query(c: &mut Criterion) {
+    use lsm::{LsmTable, Record, TableConfig};
+    use std::sync::Arc;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+    struct Rec(u64, u64);
+    impl Record for Rec {
+        const ENCODED_LEN: usize = 16;
+        fn encode(&self, buf: &mut [u8]) {
+            buf[..8].copy_from_slice(&self.0.to_be_bytes());
+            buf[8..16].copy_from_slice(&self.1.to_be_bytes());
+        }
+        fn decode(buf: &[u8]) -> Self {
+            Rec(
+                u64::from_be_bytes(buf[..8].try_into().unwrap()),
+                u64::from_be_bytes(buf[8..16].try_into().unwrap()),
+            )
+        }
+        fn partition_key(&self) -> u64 {
+            self.0
+        }
+    }
+
+    let disk = blockdev::SimDisk::new_shared(blockdev::DeviceConfig::free_latency());
+    let files = Arc::new(blockdev::FileStore::new(disk));
+    let mut table: LsmTable<Rec> = LsmTable::new(files, TableConfig::named("bench"));
+    // 16 Level-0 runs of 20k records each: the many-runs shape queries see
+    // between maintenance passes.
+    for run in 0..16u64 {
+        for i in 0..20_000u64 {
+            table.insert(Rec(i * 16 + run, run));
+        }
+        table.flush_cp().expect("flush failed");
+    }
+
+    let mut group = c.benchmark_group("lsm_query_range");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &width in &[0u64, 127, 4_095] {
+        group.throughput(Throughput::Elements(width + 1));
+        group.bench_with_input(BenchmarkId::new("streaming", width + 1), &(), |b, _| {
+            let mut start = 0u64;
+            b.iter(|| {
+                start = (start + 7 * (width + 1)) % (320_000 - width - 1);
+                table
+                    .query_range(start, start + width)
+                    .expect("query failed")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_join,
+    bench_inheritance,
+    bench_streaming_query
+);
+criterion_main!(benches);

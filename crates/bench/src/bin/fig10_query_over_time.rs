@@ -29,7 +29,9 @@ fn throughput(
     let start = Instant::now();
     for _ in 0..batches {
         let first = rng.gen_range(1..max_block.max(2));
-        engine.query_range(first, first + run_length - 1).expect("query failed");
+        engine
+            .query_range(first, first + run_length - 1)
+            .expect("query failed");
     }
     // Like Figure 9, charge the simulated device time so the throughput
     // reflects the paper's disk-bound regime.
@@ -52,10 +54,14 @@ fn main() {
     let mut fs = backlog_fs(ops_per_cp, 10);
     let mut workload = SyntheticWorkload::new(synthetic_config(ops_per_cp));
 
-    let mut before_series: Vec<Series> =
-        run_lengths.iter().map(|l| Series::new(format!("runs of {l} (before maint.)"))).collect();
-    let mut after_series: Vec<Series> =
-        run_lengths.iter().map(|l| Series::new(format!("runs of {l} (after maint.)"))).collect();
+    let mut before_series: Vec<Series> = run_lengths
+        .iter()
+        .map(|l| Series::new(format!("runs of {l} (before maint.)")))
+        .collect();
+    let mut after_series: Vec<Series> = run_lengths
+        .iter()
+        .map(|l| Series::new(format!("runs of {l} (after maint.)")))
+        .collect();
 
     for cp in 1..=total_cps {
         workload.run_cp(&mut fs).expect("workload failed");

@@ -16,7 +16,9 @@ fn main() {
     let cps = scaled(200, 20);
     let ops_per_cp = scaled(2_000, 200);
     let cps_per_hour = 10;
-    println!("Figure 5 reproduction: {cps} CPs, {ops_per_cp} ops/CP (paper: ~9,000 CPs, 32,000 ops/CP)");
+    println!(
+        "Figure 5 reproduction: {cps} CPs, {ops_per_cp} ops/CP (paper: ~9,000 CPs, 32,000 ops/CP)"
+    );
 
     let mut fs = backlog_fs(ops_per_cp, cps_per_hour);
     let mut workload = SyntheticWorkload::new(synthetic_config(ops_per_cp));
@@ -28,7 +30,10 @@ fn main() {
     workload
         .run(&mut fs, cps, |i, report| {
             let persistent = report.block_ops.max(1);
-            io_series.push(i as f64, report.provider.pages_written as f64 / persistent as f64);
+            io_series.push(
+                i as f64,
+                report.provider.pages_written as f64 / persistent as f64,
+            );
             time_series.push(i as f64, report.micros_per_op());
             cpu_series.push(
                 i as f64,
@@ -60,7 +65,10 @@ fn main() {
         / (io_series.points.len() - halves).max(1) as f64;
     println!();
     println!("I/O writes per persistent op: early mean {early:.4}, late mean {late:.4}");
-    println!("CPU share of total time: {:.0}%", 100.0 * cpu_series.mean_y() / time_series.mean_y().max(1e-9));
+    println!(
+        "CPU share of total time: {:.0}%",
+        100.0 * cpu_series.mean_y() / time_series.mean_y().max(1e-9)
+    );
     println!(
         "paper reference: ~0.010 writes/op and 8-9 us/op, flat over time; >95% of time is CPU"
     );

@@ -56,6 +56,9 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     println!();
     println!("post-maintenance floor (frequent schedule): {floor:.2}%");
-    println!("no-maintenance final size: {:.2}%", none.points.last().map(|p| p.1).unwrap_or(0.0));
+    println!(
+        "no-maintenance final size: {:.2}%",
+        none.points.last().map(|p| p.1).unwrap_or(0.0)
+    );
     println!("paper reference: floor of 2.5-3.5% that does not grow over time; unmaintained growth is roughly linear");
 }

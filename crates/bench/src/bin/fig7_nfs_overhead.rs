@@ -18,7 +18,9 @@ use workloads::{TraceConfig, TraceGenerator, TracePlayer};
 fn main() {
     let hours = scaled(96, 12);
     let peak_ops = 30.0 * backlog_bench::scale();
-    println!("Figure 7 reproduction: {hours} trace hours (paper: 384 hours of EECS03), 10 s CP interval");
+    println!(
+        "Figure 7 reproduction: {hours} trace hours (paper: 384 hours of EECS03), 10 s CP interval"
+    );
 
     let config = TraceConfig {
         hours,
@@ -72,6 +74,12 @@ fn main() {
         &[time_series.clone()],
     );
     println!();
-    println!("mean I/O writes per op: {:.4}  (paper: ~0.010-0.015)", io_series.mean_y());
-    println!("mean time per op: {:.2} us  (paper: 8-9 us, spikes at low load)", time_series.mean_y());
+    println!(
+        "mean I/O writes per op: {:.4}  (paper: ~0.010-0.015)",
+        io_series.mean_y()
+    );
+    println!(
+        "mean time per op: {:.2} us  (paper: 8-9 us, spikes at low load)",
+        time_series.mean_y()
+    );
 }

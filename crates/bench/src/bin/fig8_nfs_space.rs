@@ -8,7 +8,7 @@
 
 use backlog::BacklogConfig;
 use backlog_bench::{print_series, scaled, synthetic_fs_config, Series};
-use fsim::{BackrefProvider, BacklogProvider, FileSystem};
+use fsim::{BacklogProvider, BackrefProvider, FileSystem};
 use workloads::{TraceConfig, TraceGenerator, TracePlayer};
 
 fn run(hours: u64, peak_ops: f64, maintenance_every_hours: Option<u64>, label: &str) -> Series {
@@ -28,14 +28,19 @@ fn run(hours: u64, peak_ops: f64, maintenance_every_hours: Option<u64>, label: &
     let mut series = Series::new(label);
     let mut hour = 0u64;
     while let Some(records) = generator.next_hour() {
-        player.play(&mut fs, &records, |_, _| {}).expect("trace replay failed");
+        player
+            .play(&mut fs, &records, |_, _| {})
+            .expect("trace replay failed");
         if let Some(every) = maintenance_every_hours {
-            if hour > 0 && hour % every == 0 {
+            if hour > 0 && hour.is_multiple_of(every) {
                 fs.provider_mut().maintenance().expect("maintenance failed");
             }
         }
         let data = fs.physical_data_bytes().max(1);
-        series.push(hour as f64, 100.0 * fs.provider().metadata_bytes() as f64 / data as f64);
+        series.push(
+            hour as f64,
+            100.0 * fs.provider().metadata_bytes() as f64 / data as f64,
+        );
         hour += 1;
     }
     series
@@ -61,9 +66,16 @@ fn main() {
         "space overhead (%)",
         &[none.clone(), s_sparse.clone(), s_frequent.clone()],
     );
-    let floor = s_frequent.points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let floor = s_frequent
+        .points
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::INFINITY, f64::min);
     println!();
     println!("post-maintenance floor (frequent schedule): {floor:.2}%");
-    println!("no-maintenance final size: {:.2}%", none.points.last().map(|p| p.1).unwrap_or(0.0));
+    println!(
+        "no-maintenance final size: {:.2}%",
+        none.points.last().map(|p| p.1).unwrap_or(0.0)
+    );
     println!("paper reference: floor of 6.1-6.3% that does not grow over time");
 }

@@ -35,7 +35,11 @@ fn build_db(total_cps: u64, ops_per_cp: u64, maintain_at: Option<u64>, label: &s
         }
     }
     let max_block = fs.stats().blocks_written;
-    AgedDb { label: label.to_owned(), fs, max_block }
+    AgedDb {
+        label: label.to_owned(),
+        fs,
+        max_block,
+    }
 }
 
 fn measure(db: &mut AgedDb, run_length: u64, queries: u64) -> (f64, f64) {
@@ -47,7 +51,9 @@ fn measure(db: &mut AgedDb, run_length: u64, queries: u64) -> (f64, f64) {
     let batches = (queries / run_length).max(1);
     for _ in 0..batches {
         let first = rng.gen_range(1..db.max_block.max(2));
-        let result = engine.query_range(first, first + run_length - 1).expect("query failed");
+        let result = engine
+            .query_range(first, first + run_length - 1)
+            .expect("query failed");
         returned += result.refs.len() as u64;
     }
     let cpu_secs = start.elapsed().as_secs_f64();
@@ -73,8 +79,18 @@ fn main() {
     println!("(paper: 1,000-CP database, 8,192 queries per point, run lengths 1-1000)");
 
     let mut databases = vec![
-        build_db(total_cps, ops_per_cp, Some(total_cps), "Immediately after maintenance"),
-        build_db(total_cps, ops_per_cp, Some(total_cps / 2), "Half the workload since maintenance"),
+        build_db(
+            total_cps,
+            ops_per_cp,
+            Some(total_cps),
+            "Immediately after maintenance",
+        ),
+        build_db(
+            total_cps,
+            ops_per_cp,
+            Some(total_cps / 2),
+            "Half the workload since maintenance",
+        ),
         build_db(total_cps, ops_per_cp, None, "No maintenance"),
     ];
 
@@ -107,9 +123,19 @@ fn main() {
     );
 
     println!();
-    let best = throughput_series[0].points.last().map(|p| p.1).unwrap_or(0.0);
-    let worst_single = throughput_series.last().and_then(|s| s.points.first()).map(|p| p.1).unwrap_or(0.0);
+    let best = throughput_series[0]
+        .points
+        .last()
+        .map(|p| p.1)
+        .unwrap_or(0.0);
+    let worst_single = throughput_series
+        .last()
+        .and_then(|s| s.points.first())
+        .map(|p| p.1)
+        .unwrap_or(0.0);
     println!("best case (long sorted runs, just-maintained database): {best:.0} queries/s");
-    println!("worst case (single-block queries, unmaintained database): {worst_single:.0} queries/s");
+    println!(
+        "worst case (single-block queries, unmaintained database): {worst_single:.0} queries/s"
+    );
     println!("paper reference: ~36,000 q/s best case; 43-290 q/s for single-block queries; long runs and fresh maintenance both help");
 }

@@ -19,7 +19,7 @@
 use backlog::BacklogConfig;
 use backlog_bench::{overhead_pct, print_table, scaled};
 use baseline::{BtrfsLikeBackrefs, NaiveBackrefs, NoBackrefs};
-use fsim::{BackrefProvider, BacklogProvider, FileSystem, FsConfig};
+use fsim::{BacklogProvider, BackrefProvider, FileSystem, FsConfig};
 use workloads::{run_app, run_create, run_delete, AppConfig, AppProfile, MicrobenchSpec};
 
 /// Milliseconds per operation for the three microbenchmark phases.
@@ -49,8 +49,13 @@ fn micro<P: BackrefProvider>(make: impl Fn() -> P, files: u64, ops_per_cp: u64) 
 
 fn apps<P: BackrefProvider>(make: impl Fn() -> P, transactions: u64) -> [f64; 3] {
     let mut out = [0.0; 3];
-    for (i, profile) in
-        [AppProfile::Dbench, AppProfile::Varmail, AppProfile::Postmark].into_iter().enumerate()
+    for (i, profile) in [
+        AppProfile::Dbench,
+        AppProfile::Varmail,
+        AppProfile::Postmark,
+    ]
+    .into_iter()
+    .enumerate()
     {
         let mut fs = FileSystem::new(make(), FsConfig::minimal());
         let result =
@@ -63,32 +68,71 @@ fn apps<P: BackrefProvider>(make: impl Fn() -> P, transactions: u64) -> [f64; 3]
 fn main() {
     let files = scaled(8_192, 1_024);
     let transactions = scaled(4_000, 500);
-    println!("Table 1 reproduction: {files} files per microbenchmark, {transactions} app transactions");
-    println!("(paper: microbenchmarks at 2048 and 8192 ops/CP on btrfs; values are ms/op and ops/s)");
+    println!(
+        "Table 1 reproduction: {files} files per microbenchmark, {transactions} app transactions"
+    );
+    println!(
+        "(paper: microbenchmarks at 2048 and 8192 ops/CP on btrfs; values are ms/op and ops/s)"
+    );
 
     for ops_per_cp in [2_048u64, 8_192] {
         let base = micro(NoBackrefs::new, files, ops_per_cp);
         let original = micro(BtrfsLikeBackrefs::new, files, ops_per_cp);
-        let backlog =
-            micro(|| BacklogProvider::new(BacklogConfig::default()), files, ops_per_cp);
+        let backlog = micro(
+            || BacklogProvider::new(BacklogConfig::default()),
+            files,
+            ops_per_cp,
+        );
         let naive = micro(NaiveBackrefs::default, files, ops_per_cp);
 
         let rows = vec![
-            row("Creation of a 4 KB file", base.create_4k, original.create_4k, backlog.create_4k, naive.create_4k),
-            row("Creation of a 64 KB file", base.create_64k, original.create_64k, backlog.create_64k, naive.create_64k),
-            row("Deletion of a 4 KB file", base.delete_4k, original.delete_4k, backlog.delete_4k, naive.delete_4k),
+            row(
+                "Creation of a 4 KB file",
+                base.create_4k,
+                original.create_4k,
+                backlog.create_4k,
+                naive.create_4k,
+            ),
+            row(
+                "Creation of a 64 KB file",
+                base.create_64k,
+                original.create_64k,
+                backlog.create_64k,
+                naive.create_64k,
+            ),
+            row(
+                "Deletion of a 4 KB file",
+                base.delete_4k,
+                original.delete_4k,
+                backlog.delete_4k,
+                naive.delete_4k,
+            ),
         ];
         print_table(
             &format!("Table 1 (microbenchmarks, {ops_per_cp} ops per CP) — ms per operation"),
-            &["Benchmark", "Base", "Original", "Backlog", "Naive", "Backlog vs Base"],
+            &[
+                "Benchmark",
+                "Base",
+                "Original",
+                "Backlog",
+                "Naive",
+                "Backlog vs Base",
+            ],
             &rows,
         );
     }
 
     let base = apps(NoBackrefs::new, transactions);
     let original = apps(BtrfsLikeBackrefs::new, transactions);
-    let backlog = apps(|| BacklogProvider::new(BacklogConfig::default()), transactions);
-    let labels = ["DBench-style CIFS workload", "FileBench /var/mail", "PostMark"];
+    let backlog = apps(
+        || BacklogProvider::new(BacklogConfig::default()),
+        transactions,
+    );
+    let labels = [
+        "DBench-style CIFS workload",
+        "FileBench /var/mail",
+        "PostMark",
+    ];
     let rows: Vec<Vec<String>> = (0..3)
         .map(|i| {
             vec![
@@ -102,12 +146,20 @@ fn main() {
         .collect();
     print_table(
         "Table 1 (application workloads) — throughput",
-        &["Benchmark", "Base", "Original", "Backlog", "Backlog vs Base"],
+        &[
+            "Benchmark",
+            "Base",
+            "Original",
+            "Backlog",
+            "Backlog vs Base",
+        ],
         &rows,
     );
     println!();
     println!("paper reference: Backlog within 0.6-11.2% of Base on microbenchmarks and 1.5-2.1% on applications,");
-    println!("comparable to the native btrfs (Original) implementation; the naive design is far slower.");
+    println!(
+        "comparable to the native btrfs (Original) implementation; the naive design is far slower."
+    );
 }
 
 fn row(name: &str, base: f64, original: f64, backlog: f64, naive: f64) -> Vec<String> {

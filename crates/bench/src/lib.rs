@@ -37,7 +37,10 @@ pub fn scaled(base: u64, min: u64) -> u64 {
 /// files, ~7 clones per 100 CPs) scaled down so a full run finishes in
 /// seconds at scale 1.
 pub fn synthetic_config(ops_per_cp: u64) -> SyntheticConfig {
-    SyntheticConfig { ops_per_cp, ..SyntheticConfig::default() }
+    SyntheticConfig {
+        ops_per_cp,
+        ..SyntheticConfig::default()
+    }
 }
 
 /// The standard simulator configuration for the synthetic experiments:
@@ -45,7 +48,10 @@ pub fn synthetic_config(ops_per_cp: u64) -> SyntheticConfig {
 /// four-nightly snapshot rotation (with `cps_per_hour` CPs per "hour").
 pub fn synthetic_fs_config(cps_per_hour: u64) -> FsConfig {
     FsConfig {
-        dedup: DedupConfig { probability: 0.10, pool_size: 1024 },
+        dedup: DedupConfig {
+            probability: 0.10,
+            pool_size: 1024,
+        },
         metadata_cow: true,
         snapshot_policy: SnapshotPolicy::paper_default(cps_per_hour),
         seed: 0x2010,
@@ -74,7 +80,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series.
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.
@@ -84,7 +93,12 @@ impl Series {
 
     /// Mean of the y values (ignoring NaNs).
     pub fn mean_y(&self) -> f64 {
-        let ys: Vec<f64> = self.points.iter().map(|p| p.1).filter(|y| y.is_finite()).collect();
+        let ys: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| p.1)
+            .filter(|y| y.is_finite())
+            .collect();
         if ys.is_empty() {
             return 0.0;
         }
@@ -135,13 +149,22 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let header_line: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{:<w$}", h, w = widths[i])).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
+        .collect();
     println!("{}", header_line.join("  "));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
-        let line: Vec<String> =
-            row.iter().enumerate().map(|(i, c)| format!("{:<w$}", c, w = widths[i])).collect();
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect();
         println!("{}", line.join("  "));
     }
 }

@@ -149,7 +149,10 @@ mod tests {
         let data = cache.read_page(1).unwrap();
         assert_eq!(&data[..8], &[7; 8]);
         let after = disk.stats().snapshot();
-        assert_eq!(after.page_reads, before.page_reads, "read served from cache");
+        assert_eq!(
+            after.page_reads, before.page_reads,
+            "read served from cache"
+        );
         assert_eq!(cache.hit_stats().snapshot().page_reads, 1);
     }
 
@@ -161,7 +164,11 @@ mod tests {
         cache.read_page(2).unwrap();
         assert_eq!(disk.stats().snapshot().page_reads, 1);
         cache.read_page(2).unwrap();
-        assert_eq!(disk.stats().snapshot().page_reads, 1, "second read is a hit");
+        assert_eq!(
+            disk.stats().snapshot().page_reads,
+            1,
+            "second read is a hit"
+        );
         assert_eq!(cache.len(), 1);
     }
 

@@ -35,7 +35,10 @@ impl Default for DeviceConfig {
 impl DeviceConfig {
     /// A config with zero-latency accesses, convenient in unit tests.
     pub fn free_latency() -> Self {
-        DeviceConfig { latency: LatencyModel::free(), ..Default::default() }
+        DeviceConfig {
+            latency: LatencyModel::free(),
+            ..Default::default()
+        }
     }
 
     /// Sets the capacity in pages.
@@ -100,6 +103,10 @@ pub struct SimDisk {
     pages: Mutex<HashMap<PageNo, Box<[u8]>>>,
     written: Mutex<std::collections::HashSet<PageNo>>,
     last_page: Mutex<Option<PageNo>>,
+    /// `Some(n)`: the next `n` writes succeed and every write after them
+    /// fails with [`DeviceError::InjectedFault`] until the injection is
+    /// cleared. `None`: no injection.
+    write_fault_after: Mutex<Option<u64>>,
     stats: IoStats,
     clock: Arc<SimClock>,
 }
@@ -112,6 +119,7 @@ impl SimDisk {
             pages: Mutex::new(HashMap::new()),
             written: Mutex::new(std::collections::HashSet::new()),
             last_page: Mutex::new(None),
+            write_fault_after: Mutex::new(None),
             stats: IoStats::new(),
             clock: Arc::new(SimClock::new()),
         }
@@ -132,6 +140,21 @@ impl SimDisk {
         &self.config
     }
 
+    /// Arms write-fault injection: the next `successful` writes complete
+    /// normally, then every subsequent write fails with
+    /// [`DeviceError::InjectedFault`] until
+    /// [`clear_write_fault`](Self::clear_write_fault) is called. Used by
+    /// tests that exercise error-recovery paths (e.g. a consistency-point
+    /// flush dying mid-run).
+    pub fn fail_writes_after(&self, successful: u64) {
+        *self.write_fault_after.lock() = Some(successful);
+    }
+
+    /// Disarms write-fault injection.
+    pub fn clear_write_fault(&self) {
+        *self.write_fault_after.lock() = None;
+    }
+
     fn charge(&self, page: PageNo, bytes: usize) {
         let mut last = self.last_page.lock();
         let ns = self.config.latency.access_ns(*last, page, bytes);
@@ -146,7 +169,10 @@ impl SimDisk {
 
     fn check_range(&self, page: PageNo) -> Result<()> {
         if page >= self.config.capacity_pages {
-            Err(DeviceError::OutOfRange { page, capacity: self.config.capacity_pages })
+            Err(DeviceError::OutOfRange {
+                page,
+                capacity: self.config.capacity_pages,
+            })
         } else {
             Ok(())
         }
@@ -173,6 +199,15 @@ impl Device for SimDisk {
         self.check_range(page)?;
         if data.len() > PAGE_SIZE {
             return Err(DeviceError::BadBufferLength { got: data.len() });
+        }
+        {
+            let mut fault = self.write_fault_after.lock();
+            if let Some(remaining) = fault.as_mut() {
+                if *remaining == 0 {
+                    return Err(DeviceError::InjectedFault { page });
+                }
+                *remaining -= 1;
+            }
         }
         self.charge(page, PAGE_SIZE);
         self.stats.record_write(PAGE_SIZE as u64);
@@ -230,7 +265,10 @@ mod tests {
     #[test]
     fn reading_unwritten_page_errors() {
         let d = disk();
-        assert_eq!(d.read_page(9).unwrap_err(), DeviceError::UnwrittenPage { page: 9 });
+        assert_eq!(
+            d.read_page(9).unwrap_err(),
+            DeviceError::UnwrittenPage { page: 9 }
+        );
     }
 
     #[test]
@@ -246,8 +284,14 @@ mod tests {
     #[test]
     fn out_of_range_errors() {
         let d = SimDisk::new(DeviceConfig::free_latency().with_capacity_pages(10));
-        assert!(matches!(d.write_page(10, &[0]), Err(DeviceError::OutOfRange { .. })));
-        assert!(matches!(d.read_page(11), Err(DeviceError::OutOfRange { .. })));
+        assert!(matches!(
+            d.write_page(10, &[0]),
+            Err(DeviceError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.read_page(11),
+            Err(DeviceError::OutOfRange { .. })
+        ));
     }
 
     #[test]

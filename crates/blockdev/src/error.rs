@@ -41,6 +41,13 @@ pub enum DeviceError {
         /// The file length in pages.
         len: u64,
     },
+    /// A fault injected through
+    /// [`SimDisk::fail_writes_after`](crate::SimDisk::fail_writes_after),
+    /// used by tests that exercise device-error recovery paths.
+    InjectedFault {
+        /// The page whose access was failed.
+        page: u64,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -50,7 +57,10 @@ impl fmt::Display for DeviceError {
                 write!(f, "page {page} was read before being written")
             }
             DeviceError::OutOfRange { page, capacity } => {
-                write!(f, "page {page} is out of range for device of {capacity} pages")
+                write!(
+                    f,
+                    "page {page} is out of range for device of {capacity} pages"
+                )
             }
             DeviceError::BadBufferLength { got } => {
                 write!(f, "buffer of {got} bytes is not exactly one page")
@@ -61,6 +71,9 @@ impl fmt::Display for DeviceError {
             DeviceError::NoSuchFile { file } => write!(f, "no such virtual file: {file}"),
             DeviceError::FileOffsetOutOfRange { offset, len } => {
                 write!(f, "offset {offset} is beyond file length {len}")
+            }
+            DeviceError::InjectedFault { page } => {
+                write!(f, "injected device fault at page {page}")
             }
         }
     }
@@ -76,7 +89,10 @@ mod tests {
     fn display_is_nonempty_and_lowercase_start() {
         let errors = [
             DeviceError::UnwrittenPage { page: 3 },
-            DeviceError::OutOfRange { page: 9, capacity: 4 },
+            DeviceError::OutOfRange {
+                page: 9,
+                capacity: 4,
+            },
             DeviceError::BadBufferLength { got: 12 },
             DeviceError::OutOfSpace { requested: 10 },
             DeviceError::NoSuchFile { file: 1 },

@@ -38,7 +38,11 @@ impl LatencyModel {
     /// A model with zero cost everywhere; useful for tests that only care
     /// about I/O counts.
     pub fn free() -> Self {
-        LatencyModel { seek_ns: 0, ns_per_byte: 0.0, sequential_window: 1 }
+        LatencyModel {
+            seek_ns: 0,
+            ns_per_byte: 0.0,
+            sequential_window: 1,
+        }
     }
 
     /// An SSD-like model: tiny uniform access cost, no seek penalty.

@@ -50,7 +50,7 @@ pub use device::{Device, DeviceConfig, SimDisk};
 pub use error::{DeviceError, Result};
 pub use latency::{LatencyModel, SimClock};
 pub use stats::{IoStats, IoStatsSnapshot};
-pub use vfile::{FileId, FileStore, VFile};
+pub use vfile::{FileId, FileMap, FileStore, VFile};
 
 /// Size of a device page in bytes (the paper's 4 KB block size).
 pub const PAGE_SIZE: usize = 4096;

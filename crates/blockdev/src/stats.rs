@@ -151,8 +151,14 @@ mod tests {
 
     #[test]
     fn delta_saturates() {
-        let a = IoStatsSnapshot { page_reads: 1, ..Default::default() };
-        let b = IoStatsSnapshot { page_reads: 5, ..Default::default() };
+        let a = IoStatsSnapshot {
+            page_reads: 1,
+            ..Default::default()
+        };
+        let b = IoStatsSnapshot {
+            page_reads: 5,
+            ..Default::default()
+        };
         assert_eq!(a.delta_since(&b).page_reads, 0);
     }
 
@@ -166,7 +172,10 @@ mod tests {
 
     #[test]
     fn micros_conversion() {
-        let s = IoStatsSnapshot { device_ns: 2_500, ..Default::default() };
+        let s = IoStatsSnapshot {
+            device_ns: 2_500,
+            ..Default::default()
+        };
         assert!((s.device_micros() - 2.5).abs() < 1e-9);
     }
 }

@@ -67,7 +67,10 @@ struct StoreState {
 impl FileStore {
     /// Creates a file store allocating from page 0 of `device`.
     pub fn new(device: Arc<dyn Device>) -> Self {
-        FileStore { device, state: Mutex::new(StoreState::default()) }
+        FileStore {
+            device,
+            state: Mutex::new(StoreState::default()),
+        }
     }
 
     /// Creates a file store whose allocations start at `first_page`, leaving
@@ -88,7 +91,14 @@ impl FileStore {
         let mut st = self.state.lock();
         let id = FileId(st.next_file);
         st.next_file += 1;
-        st.files.insert(id, FileMeta { extents: Vec::new(), len_pages: 0, len_bytes: 0 });
+        st.files.insert(
+            id,
+            FileMeta {
+                extents: Vec::new(),
+                len_pages: 0,
+                len_bytes: 0,
+            },
+        );
         VFile { store: self, id }
     }
 
@@ -112,9 +122,32 @@ impl FileStore {
     /// Returns [`DeviceError::NoSuchFile`] if `id` does not name a live file.
     pub fn delete(&self, id: FileId) -> Result<()> {
         let mut st = self.state.lock();
-        let meta = st.files.remove(&id).ok_or(DeviceError::NoSuchFile { file: id.0 })?;
+        let meta = st
+            .files
+            .remove(&id)
+            .ok_or(DeviceError::NoSuchFile { file: id.0 })?;
         st.free.extend(meta.extents);
         Ok(())
+    }
+
+    /// Takes an immutable extent-map snapshot of a file for lock-free page
+    /// reads (see [`FileMap`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NoSuchFile`] if `id` does not name a live file.
+    pub fn map_file(&self, id: FileId) -> Result<FileMap> {
+        let meta = self
+            .state
+            .lock()
+            .files
+            .get(&id)
+            .cloned()
+            .ok_or(DeviceError::NoSuchFile { file: id.0 })?;
+        Ok(FileMap {
+            device: self.device.clone(),
+            meta,
+        })
     }
 
     /// Number of live files.
@@ -158,6 +191,46 @@ impl FileStore {
     }
 }
 
+/// An owned, immutable snapshot of a file's extent map, resolving page reads
+/// directly against the device without going back through the store.
+///
+/// Reading through a [`VFile`] handle takes the store lock and walks the
+/// extent list on every call; a `FileMap` captures the extent list once, so
+/// repeated random reads of a finished file (the LSM read-store access
+/// pattern — run files are immutable once built) pay neither the lock nor
+/// the hash-map lookup. The snapshot does *not* track later appends; take it
+/// only once a file is fully written.
+#[derive(Debug, Clone)]
+pub struct FileMap {
+    device: Arc<dyn Device>,
+    meta: FileMeta,
+}
+
+impl FileMap {
+    /// Length of the mapped file in pages.
+    pub fn len_pages(&self) -> u64 {
+        self.meta.len_pages
+    }
+
+    /// Reads the page at file offset `offset` (in pages), translating through
+    /// the cached extent map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::FileOffsetOutOfRange`] when `offset` is past
+    /// the end of the snapshot and propagates device errors.
+    pub fn read_page(&self, offset: u64) -> Result<Vec<u8>> {
+        let device_page = self
+            .meta
+            .page_at(offset)
+            .ok_or(DeviceError::FileOffsetOutOfRange {
+                offset,
+                len: self.meta.len_pages,
+            })?;
+        self.device.read_page(device_page)
+    }
+}
+
 /// A handle to one virtual file inside a [`FileStore`].
 ///
 /// The handle borrows the store; it is cheap to recreate from a [`FileId`]
@@ -176,12 +249,24 @@ impl<'a> VFile<'a> {
 
     /// Length of the file in pages.
     pub fn len_pages(&self) -> u64 {
-        self.store.state.lock().files.get(&self.id).map(|f| f.len_pages).unwrap_or(0)
+        self.store
+            .state
+            .lock()
+            .files
+            .get(&self.id)
+            .map(|f| f.len_pages)
+            .unwrap_or(0)
     }
 
     /// Logical length of the file in bytes.
     pub fn len_bytes(&self) -> u64 {
-        self.store.state.lock().files.get(&self.id).map(|f| f.len_bytes).unwrap_or(0)
+        self.store
+            .state
+            .lock()
+            .files
+            .get(&self.id)
+            .map(|f| f.len_bytes)
+            .unwrap_or(0)
     }
 
     /// Appends one page of data (at most [`PAGE_SIZE`] bytes, zero padded)
@@ -199,7 +284,10 @@ impl<'a> VFile<'a> {
             // Allocate one page, extending the last extent when contiguous.
             let extents = self.store.allocate(&mut st, 1)?;
             let (page, _) = extents[0];
-            let meta = st.files.get_mut(&self.id).ok_or(DeviceError::NoSuchFile { file: self.id.0 })?;
+            let meta = st
+                .files
+                .get_mut(&self.id)
+                .ok_or(DeviceError::NoSuchFile { file: self.id.0 })?;
             match meta.extents.last_mut() {
                 Some((start, len)) if *start + *len == page => *len += 1,
                 _ => meta.extents.push((page, 1)),
@@ -222,11 +310,15 @@ impl<'a> VFile<'a> {
     pub fn read_page(&self, offset: u64) -> Result<Vec<u8>> {
         let device_page = {
             let st = self.store.state.lock();
-            let meta = st.files.get(&self.id).ok_or(DeviceError::NoSuchFile { file: self.id.0 })?;
-            meta.page_at(offset).ok_or(DeviceError::FileOffsetOutOfRange {
-                offset,
-                len: meta.len_pages,
-            })?
+            let meta = st
+                .files
+                .get(&self.id)
+                .ok_or(DeviceError::NoSuchFile { file: self.id.0 })?;
+            meta.page_at(offset)
+                .ok_or(DeviceError::FileOffsetOutOfRange {
+                    offset,
+                    len: meta.len_pages,
+                })?
         };
         self.store.device.read_page(device_page)
     }
@@ -279,7 +371,10 @@ mod tests {
     #[test]
     fn open_nonexistent_errors() {
         let fs = store();
-        assert!(matches!(fs.open(FileId(99)), Err(DeviceError::NoSuchFile { file: 99 })));
+        assert!(matches!(
+            fs.open(FileId(99)),
+            Err(DeviceError::NoSuchFile { file: 99 })
+        ));
     }
 
     #[test]
@@ -336,7 +431,10 @@ mod tests {
         let f = fs.create();
         f.append_page(&[1]).unwrap();
         f.append_page(&[2]).unwrap();
-        assert!(matches!(f.append_page(&[3]), Err(DeviceError::OutOfSpace { .. })));
+        assert!(matches!(
+            f.append_page(&[3]),
+            Err(DeviceError::OutOfSpace { .. })
+        ));
     }
 
     #[test]

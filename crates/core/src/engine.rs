@@ -318,7 +318,11 @@ impl BacklogEngine {
         let refs = assemble_query(&froms, &tos, &combined, &self.lineage);
         let io = IoDelta::between(&io_before, &self.io_snapshot());
         self.stats.queries += 1;
-        Ok(QueryResult { refs, io_reads: io.reads, elapsed_ns: self.elapsed_ns(start) })
+        Ok(QueryResult {
+            refs,
+            io_reads: io.reads,
+            elapsed_ns: self.elapsed_ns(start),
+        })
     }
 
     /// The live owners of `block` (those reachable from the live file
@@ -329,8 +333,12 @@ impl BacklogEngine {
     /// Propagates device errors from reading run files.
     pub fn live_owners(&mut self, block: BlockNo) -> Result<Vec<Owner>> {
         let result = self.query_block(block)?;
-        let mut owners: Vec<Owner> =
-            result.refs.iter().filter(|r| r.is_live()).map(|r| r.owner()).collect();
+        let mut owners: Vec<Owner> = result
+            .refs
+            .iter()
+            .filter(|r| r.is_live())
+            .map(|r| r.owner())
+            .collect();
         owners.sort();
         owners.dedup();
         Ok(owners)
@@ -360,9 +368,11 @@ impl BacklogEngine {
         let combined = self.combined_table.scan_disk()?;
         let output = join_and_purge(&froms, &tos, &combined, &self.lineage);
 
-        self.from_table.replace_disk_contents(&output.incomplete_from)?;
+        self.from_table
+            .replace_disk_contents(&output.incomplete_from)?;
         self.to_table.replace_disk_contents(&[])?;
-        self.combined_table.replace_disk_contents(&output.combined)?;
+        self.combined_table
+            .replace_disk_contents(&output.combined)?;
 
         let zombies_pruned = self.lineage.prune_zombies() as u64;
         let elapsed_ns = self.elapsed_ns(start);
@@ -417,7 +427,8 @@ impl BacklogEngine {
             if r.is_live() {
                 self.from_table.insert(FromRecord::new(identity, r.from));
             } else {
-                self.combined_table.insert(CombinedRecord::new(identity, r.from, r.to));
+                self.combined_table
+                    .insert(CombinedRecord::new(identity, r.from, r.to));
             }
             moved += 1;
         }
@@ -454,7 +465,11 @@ impl BacklogEngine {
 
     /// Per-table statistics `(from, to, combined)`.
     pub fn table_stats(&self) -> (lsm::TableStats, lsm::TableStats, lsm::TableStats) {
-        (self.from_table.stats(), self.to_table.stats(), self.combined_table.stats())
+        (
+            self.from_table.stats(),
+            self.to_table.stats(),
+            self.combined_table.stats(),
+        )
     }
 
     /// Direct read access to the `From` table (used by the verification
@@ -561,8 +576,8 @@ mod tests {
         let owner = Owner::block(9, 0, LineId::ROOT);
         e.add_reference(1, owner);
         e.consistency_point().unwrap(); // ref valid from cp 1
-        // Within cp 2: remove then re-add; the To record must be pruned so
-        // the reference keeps its original lifespan.
+                                        // Within cp 2: remove then re-add; the To record must be pruned so
+                                        // the reference keeps its original lifespan.
         e.remove_reference(1, owner);
         e.add_reference(1, owner);
         e.consistency_point().unwrap();
@@ -602,7 +617,10 @@ mod tests {
         e.delete_snapshot(snap);
         e.delete_line(clone);
         let after = e.device().stats().snapshot();
-        assert_eq!(before, after, "snapshot lifecycle must not touch the device");
+        assert_eq!(
+            before, after,
+            "snapshot lifecycle must not touch the device"
+        );
     }
 
     #[test]
@@ -616,7 +634,10 @@ mod tests {
         let refs = e.query_block(77).unwrap().refs;
         let lines: Vec<LineId> = refs.iter().map(|r| r.line).collect();
         assert!(lines.contains(&LineId::ROOT));
-        assert!(lines.contains(&clone), "clone inherits the reference via structural inheritance");
+        assert!(
+            lines.contains(&clone),
+            "clone inherits the reference via structural inheritance"
+        );
         // Overriding the block in the clone ends the inherited lifetime: the
         // clone now references block 78 instead, and no clone version that
         // still saw block 77 is retained, so the inherited record disappears.
@@ -624,8 +645,14 @@ mod tests {
         e.add_reference(78, Owner::block(4, 2, clone));
         e.consistency_point().unwrap();
         let refs = e.query_block(77).unwrap().refs;
-        assert!(refs.iter().all(|r| r.line != clone), "override ends the inherited reference");
-        assert!(refs.iter().any(|r| r.line == LineId::ROOT), "parent line still owns the block");
+        assert!(
+            refs.iter().all(|r| r.line != clone),
+            "override ends the inherited reference"
+        );
+        assert!(
+            refs.iter().any(|r| r.line == LineId::ROOT),
+            "parent line still owns the block"
+        );
         let refs78 = e.query_block(78).unwrap().refs;
         assert_eq!(refs78.len(), 1);
         assert_eq!(refs78[0].line, clone);
@@ -649,7 +676,11 @@ mod tests {
         assert!(report.purged_records >= 200, "dead references are purged");
         assert!(report.bytes_after < bytes_before);
         assert!(e.run_count() <= 3);
-        assert_eq!(e.to_table().stats().disk_records, 0, "To table is empty after maintenance");
+        assert_eq!(
+            e.to_table().stats().disk_records,
+            0,
+            "To table is empty after maintenance"
+        );
     }
 
     #[test]
@@ -664,7 +695,10 @@ mod tests {
         e.consistency_point().unwrap();
         let report = e.maintenance().unwrap();
         assert_eq!(report.incomplete_records, 1, "block 10 is still live");
-        assert_eq!(report.combined_records, 1, "block 11 survives via the snapshot");
+        assert_eq!(
+            report.combined_records, 1,
+            "block 11 survives via the snapshot"
+        );
         let refs = e.query_block(11).unwrap().refs;
         assert_eq!(refs.len(), 1);
         let refs = e.query_block(10).unwrap().refs;
@@ -704,16 +738,58 @@ mod tests {
         e.remove_reference(77, Owner::block(4, 2, clone));
         e.add_reference(78, Owner::block(4, 2, clone));
         e.consistency_point().unwrap();
-        let before: Vec<_> =
-            e.query_block(77).unwrap().refs.iter().map(|r| (r.line, r.is_live())).collect();
+        let before: Vec<_> = e
+            .query_block(77)
+            .unwrap()
+            .refs
+            .iter()
+            .map(|r| (r.line, r.is_live()))
+            .collect();
         e.maintenance().unwrap();
-        let after: Vec<_> =
-            e.query_block(77).unwrap().refs.iter().map(|r| (r.line, r.is_live())).collect();
+        let after: Vec<_> = e
+            .query_block(77)
+            .unwrap()
+            .refs
+            .iter()
+            .map(|r| (r.line, r.is_live()))
+            .collect();
         assert_eq!(before, after, "maintenance must not change query results");
         assert!(
-            e.query_block(77).unwrap().refs.iter().all(|r| r.line != clone),
+            e.query_block(77)
+                .unwrap()
+                .refs
+                .iter()
+                .all(|r| r.line != clone),
             "the clone must not reacquire block 77 after maintenance"
         );
+    }
+
+    #[test]
+    fn failed_cp_flush_loses_no_records() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk.clone()));
+        let mut e = BacklogEngine::new(files, BacklogConfig::default());
+        for i in 0..500u64 {
+            e.add_reference(i, Owner::block(1, i, LineId::ROOT));
+        }
+        // Let a handful of pages through so the failure lands mid-flush.
+        disk.fail_writes_after(2);
+        assert!(
+            e.consistency_point().is_err(),
+            "injected fault must surface"
+        );
+        // The failed CP did not advance the clock and the buffered records
+        // are still queryable (they went back to the write store).
+        assert_eq!(e.current_cp(), 1);
+        assert_eq!(e.query_block(123).unwrap().refs.len(), 1);
+        // After the device recovers, a retry flushes everything.
+        disk.clear_write_fault();
+        let report = e.consistency_point().unwrap();
+        assert_eq!(report.records_flushed, 500);
+        assert_eq!(e.current_cp(), 2);
+        for block in [0u64, 250, 499] {
+            assert_eq!(e.query_block(block).unwrap().refs.len(), 1, "block {block}");
+        }
     }
 
     #[test]
@@ -726,7 +802,10 @@ mod tests {
         e.consistency_point().unwrap();
         let moved = e.relocate_block(100, 900).unwrap();
         assert_eq!(moved, 2);
-        assert!(e.query_block(100).unwrap().refs.is_empty(), "old block has no owners");
+        assert!(
+            e.query_block(100).unwrap().refs.is_empty(),
+            "old block has no owners"
+        );
         let new_owners = e.live_owners(900).unwrap();
         assert_eq!(new_owners, vec![o1, o2]);
     }

@@ -25,7 +25,10 @@ impl fmt::Display for BacklogError {
         match self {
             BacklogError::Storage(e) => write!(f, "storage error: {e}"),
             BacklogError::VerificationFailed { mismatches } => {
-                write!(f, "back reference verification failed with {mismatches} mismatches")
+                write!(
+                    f,
+                    "back reference verification failed with {mismatches} mismatches"
+                )
             }
         }
     }

@@ -76,8 +76,16 @@ impl JournalEntry {
         let owner = rec.identity.owner();
         let block = rec.identity.block;
         match buf[0] {
-            1 => JournalEntry::Add { block, owner, cp: rec.from },
-            2 => JournalEntry::Remove { block, owner, cp: rec.from },
+            1 => JournalEntry::Add {
+                block,
+                owner,
+                cp: rec.from,
+            },
+            2 => JournalEntry::Remove {
+                block,
+                owner,
+                cp: rec.from,
+            },
             other => panic!("corrupt journal entry tag {other}"),
         }
     }
@@ -144,7 +152,9 @@ impl Journal {
         let mut entries = Vec::new();
         let mut at = 0;
         while at + JournalEntry::ENCODED_LEN <= bytes.len() {
-            entries.push(JournalEntry::decode(&bytes[at..at + JournalEntry::ENCODED_LEN]));
+            entries.push(JournalEntry::decode(
+                &bytes[at..at + JournalEntry::ENCODED_LEN],
+            ));
             at += JournalEntry::ENCODED_LEN;
         }
         Journal { entries }
@@ -181,8 +191,16 @@ mod tests {
 
     #[test]
     fn entry_roundtrip() {
-        let add = JournalEntry::Add { block: 9, owner: Owner::block(2, 3, LineId(1)), cp: 7 };
-        let rm = JournalEntry::Remove { block: 10, owner: Owner::extent(4, 5, LineId(0), 8), cp: 8 };
+        let add = JournalEntry::Add {
+            block: 9,
+            owner: Owner::block(2, 3, LineId(1)),
+            cp: 7,
+        };
+        let rm = JournalEntry::Remove {
+            block: 10,
+            owner: Owner::extent(4, 5, LineId(0), 8),
+            cp: 8,
+        };
         for e in [add, rm] {
             let mut buf = vec![0u8; JournalEntry::ENCODED_LEN];
             e.encode(&mut buf);

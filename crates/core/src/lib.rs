@@ -83,7 +83,5 @@ pub use lineage::{LineInfo, LineageTable};
 pub use query::{BackRef, QueryResult};
 pub use record::{CombinedRecord, FromRecord, RefIdentity, ToRecord};
 pub use stats::{BacklogStats, CpReport, IoDelta, MaintenanceReport};
-pub use types::{
-    BlockNo, CpNumber, FileOffset, InodeNo, LineId, Owner, SnapshotId, CP_INFINITY,
-};
+pub use types::{BlockNo, CpNumber, FileOffset, InodeNo, LineId, Owner, SnapshotId, CP_INFINITY};
 pub use verify::{verify, ExpectedRef, VerifyReport};

@@ -8,7 +8,7 @@
 //! expansion and for masking deleted snapshots out of query results, and
 //! everything maintenance needs to decide which records can be purged.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use crate::types::{CpNumber, LineId, SnapshotId, CP_INFINITY};
 
@@ -43,6 +43,11 @@ pub struct LineageTable {
     zombies: HashSet<SnapshotId>,
     /// Clone lines created from each snapshot.
     clones_of: HashMap<SnapshotId, Vec<LineId>>,
+    /// The same association indexed for interval lookup: parent line →
+    /// (parent version → clone lines). Inheritance expansion asks "which
+    /// clones hang off line `l` inside `[from, to)`" once per visited record,
+    /// so this must be a range scan, not a sweep over every clone parent.
+    clones_by_line: HashMap<LineId, BTreeMap<CpNumber, Vec<LineId>>>,
 }
 
 impl Default for LineageTable {
@@ -59,7 +64,12 @@ impl LineageTable {
         let mut lines = HashMap::new();
         lines.insert(
             LineId::ROOT,
-            LineInfo { id: LineId::ROOT, parent: None, created_at: 0, deleted: false },
+            LineInfo {
+                id: LineId::ROOT,
+                parent: None,
+                created_at: 0,
+                deleted: false,
+            },
         );
         LineageTable {
             lines,
@@ -68,6 +78,7 @@ impl LineageTable {
             live_versions: HashMap::new(),
             zombies: HashSet::new(),
             clones_of: HashMap::new(),
+            clones_by_line: HashMap::new(),
         }
     }
 
@@ -113,10 +124,24 @@ impl LineageTable {
         self.next_line += 1;
         self.lines.insert(
             id,
-            LineInfo { id, parent: Some(parent), created_at: self.current_cp, deleted: false },
+            LineInfo {
+                id,
+                parent: Some(parent),
+                created_at: self.current_cp,
+                deleted: false,
+            },
         );
         self.clones_of.entry(parent).or_default().push(id);
-        self.live_versions.entry(parent.line).or_default().insert(parent.version);
+        self.clones_by_line
+            .entry(parent.line)
+            .or_default()
+            .entry(parent.version)
+            .or_default()
+            .push(id);
+        self.live_versions
+            .entry(parent.line)
+            .or_default()
+            .insert(parent.version);
         id
     }
 
@@ -129,14 +154,31 @@ impl LineageTable {
     ///
     /// Panics if `line` already exists.
     pub fn register_clone(&mut self, parent: SnapshotId, line: LineId) {
-        assert!(!self.lines.contains_key(&line), "line {line} already exists");
+        assert!(
+            !self.lines.contains_key(&line),
+            "line {line} already exists"
+        );
         self.lines.insert(
             line,
-            LineInfo { id: line, parent: Some(parent), created_at: self.current_cp, deleted: false },
+            LineInfo {
+                id: line,
+                parent: Some(parent),
+                created_at: self.current_cp,
+                deleted: false,
+            },
         );
         self.next_line = self.next_line.max(line.0 + 1);
         self.clones_of.entry(parent).or_default().push(line);
-        self.live_versions.entry(parent.line).or_default().insert(parent.version);
+        self.clones_by_line
+            .entry(parent.line)
+            .or_default()
+            .entry(parent.version)
+            .or_default()
+            .push(line);
+        self.live_versions
+            .entry(parent.line)
+            .or_default()
+            .insert(parent.version);
     }
 
     /// Registers a snapshot (a retained consistency point) of `line` at the
@@ -149,7 +191,10 @@ impl LineageTable {
 
     /// Registers an explicit snapshot identifier as live.
     pub fn register_snapshot(&mut self, snap: SnapshotId) {
-        self.live_versions.entry(snap.line).or_default().insert(snap.version);
+        self.live_versions
+            .entry(snap.line)
+            .or_default()
+            .insert(snap.version);
     }
 
     /// Deletes a snapshot. If the snapshot has been cloned it becomes a
@@ -159,7 +204,12 @@ impl LineageTable {
         if let Some(set) = self.live_versions.get_mut(&snap.line) {
             set.remove(&snap.version);
         }
-        if self.clones_of.get(&snap).map(|c| !c.is_empty()).unwrap_or(false) {
+        if self
+            .clones_of
+            .get(&snap)
+            .map(|c| !c.is_empty())
+            .unwrap_or(false)
+        {
             self.zombies.insert(snap);
         }
     }
@@ -183,7 +233,10 @@ impl LineageTable {
 
     /// The retained snapshot versions of a line, in ascending order.
     pub fn snapshots_of(&self, line: LineId) -> Vec<CpNumber> {
-        self.live_versions.get(&line).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.live_versions
+            .get(&line)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// The clone lines created from snapshot `snap`.
@@ -194,15 +247,28 @@ impl LineageTable {
     /// All clones whose parent snapshot lies on `line` with a version in the
     /// half-open interval `[from, to)`. These are the clones that implicitly
     /// inherit a back reference valid over that interval.
-    pub fn clones_within(&self, line: LineId, from: CpNumber, to: CpNumber) -> Vec<(SnapshotId, LineId)> {
+    ///
+    /// Answered by a range scan over the per-line version index, so the cost
+    /// scales with the clones actually inside the interval rather than with
+    /// every clone parent in the system.
+    pub fn clones_within(
+        &self,
+        line: LineId,
+        from: CpNumber,
+        to: CpNumber,
+    ) -> Vec<(SnapshotId, LineId)> {
+        let Some(by_version) = self.clones_by_line.get(&line) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
-        for (snap, clones) in &self.clones_of {
-            if snap.line == line && snap.version >= from && snap.version < to {
-                for &c in clones {
-                    out.push((*snap, c));
-                }
+        for (&version, clones) in by_version.range(from..to) {
+            let snap = SnapshotId::new(line, version);
+            for &c in clones {
+                out.push((snap, c));
             }
         }
+        // Versions arrive ascending from the range scan; only the clone ids
+        // within one version may be out of creation order vs. `Ord`.
         out.sort();
         out
     }
@@ -216,10 +282,12 @@ impl LineageTable {
             .get(&line)
             .map(|s| s.range(from..to).copied().collect())
             .unwrap_or_default();
-        if self.is_line_active(line) && from <= self.current_cp && self.current_cp < to {
-            if !out.contains(&self.current_cp) {
-                out.push(self.current_cp);
-            }
+        if self.is_line_active(line)
+            && from <= self.current_cp
+            && self.current_cp < to
+            && !out.contains(&self.current_cp)
+        {
+            out.push(self.current_cp);
         }
         // A still-live reference (to == ∞) on an active line is always
         // reachable through the live file system even between CPs.
@@ -341,7 +409,10 @@ mod tests {
         assert_eq!(l.current_cp(), 10);
         assert!(l.is_interval_live(LineId::ROOT, 5, CP_INFINITY));
         assert!(l.is_interval_live(LineId::ROOT, 10, 11));
-        assert!(!l.is_interval_live(LineId::ROOT, 3, 7), "no snapshots retained in [3,7)");
+        assert!(
+            !l.is_interval_live(LineId::ROOT, 3, 7),
+            "no snapshots retained in [3,7)"
+        );
         // Snapshot at 6 makes the interval live.
         l.register_snapshot(SnapshotId::new(LineId::ROOT, 6));
         assert!(l.is_interval_live(LineId::ROOT, 3, 7));
@@ -360,7 +431,10 @@ mod tests {
         l.delete_snapshot(s);
         assert!(!l.is_interval_live(LineId::ROOT, 5, 6));
         assert!(l.is_purgeable(LineId::ROOT, 5, 6));
-        assert!(l.zombies().is_empty(), "uncloned snapshot deletion makes no zombie");
+        assert!(
+            l.zombies().is_empty(),
+            "uncloned snapshot deletion makes no zombie"
+        );
     }
 
     #[test]
@@ -374,7 +448,10 @@ mod tests {
         let clone = l.create_clone(s);
         l.delete_snapshot(s);
         assert_eq!(l.zombies(), vec![s]);
-        assert!(!l.is_purgeable(LineId::ROOT, 5, 6), "zombie keeps records alive");
+        assert!(
+            !l.is_purgeable(LineId::ROOT, 5, 6),
+            "zombie keeps records alive"
+        );
         // While the clone is alive pruning keeps the zombie.
         assert_eq!(l.prune_zombies(), 0);
         l.delete_line(clone);
@@ -395,7 +472,10 @@ mod tests {
         l.delete_line(clone);
         assert!(!l.is_line_active(clone));
         assert!(!l.is_interval_live(clone, 0, CP_INFINITY));
-        assert!(l.snapshots_of(clone).iter().all(|_| false) || l.live_versions_in(clone, 0, CP_INFINITY).is_empty());
+        assert!(
+            l.snapshots_of(clone).iter().all(|_| false)
+                || l.live_versions_in(clone, 0, CP_INFINITY).is_empty()
+        );
     }
 
     #[test]

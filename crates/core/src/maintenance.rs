@@ -46,7 +46,8 @@ pub fn join_and_purge(
             continue;
         }
         if rec.to == CP_INFINITY {
-            out.incomplete_from.push(FromRecord::new(rec.identity, rec.from));
+            out.incomplete_from
+                .push(FromRecord::new(rec.identity, rec.from));
         } else {
             out.combined.push(rec);
         }
@@ -86,8 +87,14 @@ mod tests {
         let mut lineage = lineage;
         lineage.register_snapshot(SnapshotId::new(LineId::ROOT, 60));
         let out = join_and_purge(&froms, &tos, &[], &lineage);
-        assert_eq!(out.incomplete_from, vec![FromRecord::new(ident(1, 10, 0), 50)]);
-        assert_eq!(out.combined, vec![CombinedRecord::new(ident(2, 11, 0), 40, 95)]);
+        assert_eq!(
+            out.incomplete_from,
+            vec![FromRecord::new(ident(1, 10, 0), 50)]
+        );
+        assert_eq!(
+            out.combined,
+            vec![CombinedRecord::new(ident(2, 11, 0), 40, 95)]
+        );
         assert_eq!(out.purged, 0);
     }
 
@@ -127,7 +134,10 @@ mod tests {
             CombinedRecord::new(ident(8, 3, 0), 10, 20),   // dead
         ];
         let out = join_and_purge(&[], &[], &existing, &lineage);
-        assert_eq!(out.combined, vec![CombinedRecord::new(ident(7, 2, 0), 140, 160)]);
+        assert_eq!(
+            out.combined,
+            vec![CombinedRecord::new(ident(7, 2, 0), 140, 160)]
+        );
         assert_eq!(out.purged, 1);
     }
 

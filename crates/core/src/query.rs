@@ -47,7 +47,12 @@ impl BackRef {
 
     /// The owner described by this back reference.
     pub fn owner(&self) -> Owner {
-        Owner { inode: self.inode, offset: self.offset, line: self.line, length: self.length }
+        Owner {
+            inode: self.inode,
+            offset: self.offset,
+            line: self.line,
+            length: self.length,
+        }
     }
 }
 
@@ -67,8 +72,12 @@ impl QueryResult {
     /// The distinct owners of `block` that are reachable from the live file
     /// system or any live snapshot.
     pub fn owners_of(&self, block: BlockNo) -> Vec<Owner> {
-        let mut owners: Vec<Owner> =
-            self.refs.iter().filter(|r| r.block == block).map(BackRef::owner).collect();
+        let mut owners: Vec<Owner> = self
+            .refs
+            .iter()
+            .filter(|r| r.block == block)
+            .map(BackRef::owner)
+            .collect();
         owners.sort();
         owners.dedup();
         owners
@@ -96,51 +105,70 @@ impl QueryResult {
 /// without a matching `To` is still live (`to = ∞`); a `To` without a
 /// matching `From` is a structural-inheritance override and joins with an
 /// implicit `from = 0`.
+///
+/// The join is a single two-pointer sweep over the two inputs sorted by
+/// `(identity, CP)` — `O((n + m) log(n + m))` in general and effectively
+/// linear for the common case where the inputs arrive already sorted from
+/// the LSM tables. Within one identity the sweep is exact: `From` CPs are
+/// visited in ascending order, and a `To` CP that is `<=` the current `From`
+/// can never match any later (larger) `From` either, so it is emitted as an
+/// unmatched override the moment it is skipped.
 pub fn join_from_to(froms: &[FromRecord], tos: &[ToRecord]) -> Vec<CombinedRecord> {
-    let mut by_identity: BTreeMap<RefIdentity, (Vec<CpNumber>, Vec<CpNumber>)> = BTreeMap::new();
-    for f in froms {
-        by_identity.entry(f.identity).or_default().0.push(f.from);
+    // The record `Ord` sorts by identity first, then CP — exactly the sweep
+    // order. Inputs from the LSM tables arrive already sorted and are used
+    // in place; anything else is copied and sorted first.
+    let mut froms: std::borrow::Cow<'_, [FromRecord]> = froms.into();
+    let mut tos: std::borrow::Cow<'_, [ToRecord]> = tos.into();
+    if !froms.is_sorted() {
+        froms.to_mut().sort_unstable();
     }
-    for t in tos {
-        by_identity.entry(t.identity).or_default().1.push(t.to);
+    if !tos.is_sorted() {
+        tos.to_mut().sort_unstable();
     }
-    let mut out = Vec::new();
-    for (identity, (mut from_cps, mut to_cps)) in by_identity {
-        from_cps.sort_unstable();
-        to_cps.sort_unstable();
-        let mut used_to = vec![false; to_cps.len()];
-        let mut pairs: Vec<(CpNumber, CpNumber)> = Vec::new();
-        for &f in &from_cps {
-            // Find the smallest unused `to` strictly greater than `f`.
-            let mut chosen = None;
-            for (i, &t) in to_cps.iter().enumerate() {
-                if !used_to[i] && t > f {
-                    chosen = Some(i);
-                    break;
-                }
+
+    let mut out: Vec<CombinedRecord> = Vec::with_capacity(froms.len() + tos.len());
+    let mut push = |identity: RefIdentity, from: CpNumber, to: CpNumber| {
+        let rec = CombinedRecord::new(identity, from, to);
+        if !rec.is_empty_interval() {
+            out.push(rec);
+        }
+    };
+
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < froms.len() || j < tos.len() {
+        // The smallest identity still present on either side.
+        let identity = match (froms.get(i), tos.get(j)) {
+            (Some(f), Some(t)) => f.identity.min(t.identity),
+            (Some(f), None) => f.identity,
+            (None, Some(t)) => t.identity,
+            (None, None) => unreachable!("loop condition guarantees a record"),
+        };
+        // Two-pointer sweep over this identity's CP-sorted records.
+        while i < froms.len() && froms[i].identity == identity {
+            let f = froms[i].from;
+            i += 1;
+            // To records at or before `f` can match no current or later From:
+            // they are overrides joining with the implicit from = 0.
+            while j < tos.len() && tos[j].identity == identity && tos[j].to <= f {
+                push(identity, 0, tos[j].to);
+                j += 1;
             }
-            match chosen {
-                Some(i) => {
-                    used_to[i] = true;
-                    pairs.push((f, to_cps[i]));
-                }
-                None => pairs.push((f, CP_INFINITY)),
+            if j < tos.len() && tos[j].identity == identity {
+                push(identity, f, tos[j].to);
+                j += 1;
+            } else {
+                push(identity, f, CP_INFINITY);
             }
         }
-        // Unmatched To records join with the implicit from = 0 (structural
-        // inheritance override created on a writable clone).
-        for (i, &t) in to_cps.iter().enumerate() {
-            if !used_to[i] {
-                pairs.push((0, t));
-            }
-        }
-        for (from, to) in pairs {
-            let rec = CombinedRecord::new(identity, from, to);
-            if !rec.is_empty_interval() {
-                out.push(rec);
-            }
+        // Leftover To records of this identity (all matches exhausted).
+        while j < tos.len() && tos[j].identity == identity {
+            push(identity, 0, tos[j].to);
+            j += 1;
         }
     }
+    // Identities were processed in ascending order; only override records
+    // emitted mid-group can be locally out of place, so this sort runs on
+    // nearly sorted data.
     out.sort();
     out
 }
@@ -148,45 +176,158 @@ pub fn join_from_to(froms: &[FromRecord], tos: &[ToRecord]) -> Vec<CombinedRecor
 /// Expands structural inheritance (Section 4.2.2): a back reference of
 /// snapshot `(l, v)` is implicitly present in every clone line created from
 /// `(l, v)` unless an override record (`line = l'`, `from = 0`) for the same
-/// block/inode/offset exists. Expansion repeats until no new records are
-/// added (clones of clones).
+/// block/inode/offset exists. Expansion is recursive (clones of clones).
+///
+/// The expansion is a worklist pass: each record is visited exactly once
+/// when it enters the result set, and overrides are answered by a dedicated
+/// index keyed on `(block, inode, offset, length, line)` — `O(k log k)` for
+/// `k` output records, versus the whole-set fixpoint rescan with a linear
+/// override probe this replaces (quadratic in the result, times the clone
+/// depth).
 pub fn expand_inheritance(
     initial: Vec<CombinedRecord>,
     lineage: &LineageTable,
 ) -> Vec<CombinedRecord> {
-    let mut result: BTreeSet<CombinedRecord> = initial.into_iter().collect();
-    // Identities (ignoring interval) that already have an override record in
-    // a given line: (block, inode, offset, length, line).
-    let has_override = |set: &BTreeSet<CombinedRecord>, identity: &RefIdentity, line: LineId| {
-        set.iter().any(|c| {
-            c.identity.block == identity.block
-                && c.identity.inode == identity.inode
-                && c.identity.offset == identity.offset
-                && c.identity.length == identity.length
-                && c.identity.line == line
-                && c.from == 0
-        })
+    type OverrideKey = (BlockNo, u64, u64, u32, LineId);
+    let key = |identity: &RefIdentity, line: LineId| -> OverrideKey {
+        (
+            identity.block,
+            identity.inode,
+            identity.offset,
+            identity.length,
+            line,
+        )
     };
-    loop {
-        let mut to_add: Vec<CombinedRecord> = Vec::new();
-        for rec in result.iter() {
-            for (_snap, clone_line) in lineage.clones_within(rec.identity.line, rec.from, rec.to) {
-                if !has_override(&result, &rec.identity, clone_line) {
-                    let mut identity = rec.identity;
-                    identity.line = clone_line;
-                    let candidate = CombinedRecord::new(identity, 0, CP_INFINITY);
-                    if !result.contains(&candidate) {
-                        to_add.push(candidate);
+    let mut result: BTreeSet<CombinedRecord> = initial.into_iter().collect();
+    // Identities (ignoring the interval) that already have an override
+    // record (`from == 0`) in a given line. Inherited records themselves
+    // carry `from == 0`, so inserting them here as they are produced keeps
+    // the index complete throughout the expansion.
+    let mut overrides: BTreeSet<OverrideKey> = result
+        .iter()
+        .filter(|c| c.from == 0)
+        .map(|c| key(&c.identity, c.identity.line))
+        .collect();
+    let mut worklist: Vec<CombinedRecord> = result.iter().copied().collect();
+    while let Some(rec) = worklist.pop() {
+        for (_snap, clone_line) in lineage.clones_within(rec.identity.line, rec.from, rec.to) {
+            if overrides.contains(&key(&rec.identity, clone_line)) {
+                continue;
+            }
+            let mut identity = rec.identity;
+            identity.line = clone_line;
+            let candidate = CombinedRecord::new(identity, 0, CP_INFINITY);
+            if result.insert(candidate) {
+                overrides.insert(key(&candidate.identity, clone_line));
+                worklist.push(candidate);
+            }
+        }
+    }
+    result.into_iter().collect()
+}
+
+/// Reference implementations of the join and expansion, kept verbatim from
+/// before the streaming rewrite.
+///
+/// These are intentionally naive — `join_from_to` probes the `To` list
+/// linearly per `From` record and `expand_inheritance` rescans the whole
+/// result set every fixpoint round — and exist only as differential-testing
+/// oracles and as the baseline the `query_pipeline` bench measures the
+/// optimized versions against. Do not call them from production paths.
+pub mod reference {
+    use super::*;
+
+    /// Quadratic per-identity join (the pre-optimization implementation).
+    pub fn join_from_to(froms: &[FromRecord], tos: &[ToRecord]) -> Vec<CombinedRecord> {
+        let mut by_identity: BTreeMap<RefIdentity, (Vec<CpNumber>, Vec<CpNumber>)> =
+            BTreeMap::new();
+        for f in froms {
+            by_identity.entry(f.identity).or_default().0.push(f.from);
+        }
+        for t in tos {
+            by_identity.entry(t.identity).or_default().1.push(t.to);
+        }
+        let mut out = Vec::new();
+        for (identity, (mut from_cps, mut to_cps)) in by_identity {
+            from_cps.sort_unstable();
+            to_cps.sort_unstable();
+            let mut used_to = vec![false; to_cps.len()];
+            let mut pairs: Vec<(CpNumber, CpNumber)> = Vec::new();
+            for &f in &from_cps {
+                // Find the smallest unused `to` strictly greater than `f`.
+                let mut chosen = None;
+                for (i, &t) in to_cps.iter().enumerate() {
+                    if !used_to[i] && t > f {
+                        chosen = Some(i);
+                        break;
                     }
+                }
+                match chosen {
+                    Some(i) => {
+                        used_to[i] = true;
+                        pairs.push((f, to_cps[i]));
+                    }
+                    None => pairs.push((f, CP_INFINITY)),
+                }
+            }
+            // Unmatched To records join with the implicit from = 0.
+            for (i, &t) in to_cps.iter().enumerate() {
+                if !used_to[i] {
+                    pairs.push((0, t));
+                }
+            }
+            for (from, to) in pairs {
+                let rec = CombinedRecord::new(identity, from, to);
+                if !rec.is_empty_interval() {
+                    out.push(rec);
                 }
             }
         }
-        if to_add.is_empty() {
-            break;
-        }
-        result.extend(to_add);
+        out.sort();
+        out
     }
-    result.into_iter().collect()
+
+    /// Whole-set fixpoint expansion with a linear override probe (the
+    /// pre-optimization implementation).
+    pub fn expand_inheritance(
+        initial: Vec<CombinedRecord>,
+        lineage: &LineageTable,
+    ) -> Vec<CombinedRecord> {
+        let mut result: BTreeSet<CombinedRecord> = initial.into_iter().collect();
+        let has_override =
+            |set: &BTreeSet<CombinedRecord>, identity: &RefIdentity, line: LineId| {
+                set.iter().any(|c| {
+                    c.identity.block == identity.block
+                        && c.identity.inode == identity.inode
+                        && c.identity.offset == identity.offset
+                        && c.identity.length == identity.length
+                        && c.identity.line == line
+                        && c.from == 0
+                })
+            };
+        loop {
+            let mut to_add: Vec<CombinedRecord> = Vec::new();
+            for rec in result.iter() {
+                for (_snap, clone_line) in
+                    lineage.clones_within(rec.identity.line, rec.from, rec.to)
+                {
+                    if !has_override(&result, &rec.identity, clone_line) {
+                        let mut identity = rec.identity;
+                        identity.line = clone_line;
+                        let candidate = CombinedRecord::new(identity, 0, CP_INFINITY);
+                        if !result.contains(&candidate) {
+                            to_add.push(candidate);
+                        }
+                    }
+                }
+            }
+            if to_add.is_empty() {
+                break;
+            }
+            result.extend(to_add);
+        }
+        result.into_iter().collect()
+    }
 }
 
 /// Applies the version mask (Section 4.2.1): drops records whose validity
@@ -221,11 +362,37 @@ pub fn assemble_query(
     combined: &[CombinedRecord],
     lineage: &LineageTable,
 ) -> Vec<BackRef> {
-    let mut joined = join_from_to(froms, tos);
-    joined.extend(combined.iter().copied());
-    joined.sort();
-    joined.dedup();
-    let expanded = expand_inheritance(joined, lineage);
+    let joined = join_from_to(froms, tos);
+    // `joined` leaves the join sorted and the Combined table scans come out
+    // of the LSM merge sorted, so a linear merge-dedup replaces the old
+    // sort-then-dedup of the concatenation. Guard against a caller handing
+    // in an unsorted slice anyway.
+    let mut combined: std::borrow::Cow<'_, [CombinedRecord]> = combined.into();
+    if !combined.is_sorted() {
+        combined.to_mut().sort();
+    }
+    let mut merged: Vec<CombinedRecord> = Vec::with_capacity(joined.len() + combined.len());
+    let mut a = joined.into_iter().peekable();
+    let mut b = combined.iter().copied().peekable();
+    loop {
+        let next = match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    a.next()
+                } else {
+                    b.next()
+                }
+            }
+            (Some(_), None) => a.next(),
+            (None, Some(_)) => b.next(),
+            (None, None) => break,
+        };
+        let rec = next.expect("peeked element exists");
+        if merged.last() != Some(&rec) {
+            merged.push(rec);
+        }
+    }
+    let expanded = expand_inheritance(merged, lineage);
     mask_deleted(expanded, lineage)
 }
 
@@ -320,7 +487,10 @@ mod tests {
         assert!(expanded.contains(&CombinedRecord::new(ident(103, 5, 2, 1), 0, CP_INFINITY)));
         // Block 200 already has an override on line 1, so no new record.
         assert!(!expanded.contains(&CombinedRecord::new(ident(200, 6, 0, 1), 0, CP_INFINITY)));
-        assert_eq!(expanded.iter().filter(|c| c.identity.block == 200).count(), 2);
+        assert_eq!(
+            expanded.iter().filter(|c| c.identity.block == 200).count(),
+            2
+        );
     }
 
     #[test]
@@ -382,6 +552,95 @@ mod tests {
         assert!(!blocks.iter().any(|&(b, _)| b == 50));
     }
 
+    /// A tiny LCG so the differential tests are deterministic without
+    /// depending on an RNG crate.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    #[test]
+    fn join_matches_reference_on_dense_random_input() {
+        let mut seed = 0x5eed;
+        for round in 0..8 {
+            let mut froms = Vec::new();
+            let mut tos = Vec::new();
+            for _ in 0..300 {
+                let id = ident(
+                    lcg(&mut seed) % 20,
+                    lcg(&mut seed) % 4,
+                    lcg(&mut seed) % 3,
+                    (lcg(&mut seed) % 3) as u32,
+                );
+                let cp = 1 + lcg(&mut seed) % 30;
+                if lcg(&mut seed).is_multiple_of(2) {
+                    froms.push(FromRecord::new(id, cp));
+                } else {
+                    tos.push(ToRecord::new(id, cp));
+                }
+            }
+            assert_eq!(
+                join_from_to(&froms, &tos),
+                reference::join_from_to(&froms, &tos),
+                "sweep join diverged from reference in round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn inheritance_matches_reference_on_clone_trees() {
+        let mut seed = 0xfeed;
+        for round in 0..6 {
+            let mut lineage = LineageTable::new();
+            let mut lines = vec![LineId::ROOT];
+            // Grow a random lineage: deep chains and wide fan-out mixed.
+            for _ in 0..12 {
+                for _ in 0..3 {
+                    lineage.advance_cp();
+                }
+                let parent_line = lines[(lcg(&mut seed) as usize) % lines.len()];
+                let version = 1 + lcg(&mut seed) % lineage.current_cp();
+                let clone = lineage.create_clone(SnapshotId::new(parent_line, version));
+                lines.push(clone);
+            }
+            let mut initial = Vec::new();
+            for _ in 0..40 {
+                let line = lines[(lcg(&mut seed) as usize) % lines.len()];
+                let from = lcg(&mut seed) % 20;
+                let to = if lcg(&mut seed).is_multiple_of(3) {
+                    CP_INFINITY
+                } else {
+                    from + 1 + lcg(&mut seed) % 20
+                };
+                let id = ident(lcg(&mut seed) % 10, lcg(&mut seed) % 3, 0, line.0);
+                initial.push(CombinedRecord::new(id, from, to));
+            }
+            assert_eq!(
+                expand_inheritance(initial.clone(), &lineage),
+                reference::expand_inheritance(initial, &lineage),
+                "worklist expansion diverged from reference in round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn assemble_query_accepts_unsorted_combined_input() {
+        let mut lineage = LineageTable::new();
+        for _ in 0..49 {
+            lineage.advance_cp();
+        }
+        lineage.register_snapshot(SnapshotId::new(LineId::ROOT, 20));
+        let combined = vec![
+            CombinedRecord::new(ident(9, 2, 0, 0), 10, 30),
+            CombinedRecord::new(ident(3, 1, 0, 0), 15, 25), // out of order
+        ];
+        let refs = assemble_query(&[], &[], &combined, &lineage);
+        let blocks: Vec<u64> = refs.iter().map(|r| r.block).collect();
+        assert_eq!(blocks, vec![3, 9]);
+    }
+
     #[test]
     fn query_result_helpers() {
         let refs = vec![
@@ -406,7 +665,11 @@ mod tests {
                 live_versions: vec![2],
             },
         ];
-        let result = QueryResult { refs, io_reads: 0, elapsed_ns: 0 };
+        let result = QueryResult {
+            refs,
+            io_reads: 0,
+            elapsed_ns: 0,
+        };
         assert_eq!(result.owners_of(7).len(), 2);
         assert_eq!(result.blocks(), vec![7]);
         assert_eq!(result.live_refs().count(), 1);

@@ -44,7 +44,12 @@ impl RefIdentity {
 
     /// The owner part of the identity.
     pub fn owner(&self) -> Owner {
-        Owner { inode: self.inode, offset: self.offset, line: self.line, length: self.length }
+        Owner {
+            inode: self.inode,
+            offset: self.offset,
+            line: self.line,
+            length: self.length,
+        }
     }
 }
 
@@ -111,7 +116,10 @@ impl Record for FromRecord {
     }
 
     fn decode(buf: &[u8]) -> Self {
-        FromRecord { identity: decode_identity(buf), from: get_u64(buf, 32) }
+        FromRecord {
+            identity: decode_identity(buf),
+            from: get_u64(buf, 32),
+        }
     }
 
     fn partition_key(&self) -> u64 {
@@ -145,7 +153,10 @@ impl Record for ToRecord {
     }
 
     fn decode(buf: &[u8]) -> Self {
-        ToRecord { identity: decode_identity(buf), to: get_u64(buf, 32) }
+        ToRecord {
+            identity: decode_identity(buf),
+            to: get_u64(buf, 32),
+        }
     }
 
     fn partition_key(&self) -> u64 {
@@ -178,7 +189,11 @@ impl CombinedRecord {
 
     /// A record describing a still-live reference.
     pub fn live(identity: RefIdentity, from: CpNumber) -> Self {
-        CombinedRecord { identity, from, to: CP_INFINITY }
+        CombinedRecord {
+            identity,
+            from,
+            to: CP_INFINITY,
+        }
     }
 
     /// Whether the reference is still alive (no `To` entry yet).

@@ -151,7 +151,10 @@ impl IoDelta {
     /// Computes the delta between two device snapshots.
     pub fn between(before: &IoStatsSnapshot, after: &IoStatsSnapshot) -> Self {
         let d = after.delta_since(before);
-        IoDelta { reads: d.page_reads, writes: d.page_writes }
+        IoDelta {
+            reads: d.page_reads,
+            writes: d.page_writes,
+        }
     }
 }
 
@@ -173,7 +176,12 @@ mod tests {
     #[test]
     fn micros_per_block_op_handles_zero() {
         assert_eq!(BacklogStats::default().micros_per_block_op(), 0.0);
-        let s = BacklogStats { block_ops: 10, callback_ns: 50_000, cp_flush_ns: 50_000, ..Default::default() };
+        let s = BacklogStats {
+            block_ops: 10,
+            callback_ns: 50_000,
+            cp_flush_ns: 50_000,
+            ..Default::default()
+        };
         assert!((s.micros_per_block_op() - 10.0).abs() < 1e-9);
     }
 
@@ -196,15 +204,33 @@ mod tests {
 
     #[test]
     fn maintenance_reduction_ratio() {
-        let r = MaintenanceReport { bytes_before: 100, bytes_after: 60, ..Default::default() };
+        let r = MaintenanceReport {
+            bytes_before: 100,
+            bytes_after: 60,
+            ..Default::default()
+        };
         assert!((r.reduction_ratio() - 0.4).abs() < 1e-12);
         assert_eq!(MaintenanceReport::default().reduction_ratio(), 0.0);
     }
 
     #[test]
     fn io_delta_between_snapshots() {
-        let before = IoStatsSnapshot { page_reads: 5, page_writes: 10, ..Default::default() };
-        let after = IoStatsSnapshot { page_reads: 8, page_writes: 25, ..Default::default() };
-        assert_eq!(IoDelta::between(&before, &after), IoDelta { reads: 3, writes: 15 });
+        let before = IoStatsSnapshot {
+            page_reads: 5,
+            page_writes: 10,
+            ..Default::default()
+        };
+        let after = IoStatsSnapshot {
+            page_reads: 8,
+            page_writes: 25,
+            ..Default::default()
+        };
+        assert_eq!(
+            IoDelta::between(&before, &after),
+            IoDelta {
+                reads: 3,
+                writes: 15
+            }
+        );
     }
 }

@@ -49,9 +49,7 @@ impl From<u32> for LineId {
 }
 
 /// A snapshot or consistency point: a specific version of a specific line.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SnapshotId {
     /// The line the snapshot belongs to.
     pub line: LineId,
@@ -75,9 +73,7 @@ impl fmt::Display for SnapshotId {
 /// The logical owner of a block reference: which inode, at which file offset,
 /// in which snapshot line. Together with a block number this identifies one
 /// back reference (ignoring its lifetime).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Owner {
     /// The inode that references the block.
     pub inode: InodeNo,
@@ -93,18 +89,32 @@ pub struct Owner {
 impl Owner {
     /// A single-block owner on the given line.
     pub fn block(inode: InodeNo, offset: FileOffset, line: LineId) -> Self {
-        Owner { inode, offset, line, length: 1 }
+        Owner {
+            inode,
+            offset,
+            line,
+            length: 1,
+        }
     }
 
     /// An extent owner covering `length` blocks.
     pub fn extent(inode: InodeNo, offset: FileOffset, line: LineId, length: u32) -> Self {
-        Owner { inode, offset, line, length }
+        Owner {
+            inode,
+            offset,
+            line,
+            length,
+        }
     }
 }
 
 impl fmt::Display for Owner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "inode {} offset {} ({}, len {})", self.inode, self.offset, self.line, self.length)
+        write!(
+            f,
+            "inode {} offset {} ({}, len {})",
+            self.inode, self.offset, self.line, self.length
+        )
     }
 }
 

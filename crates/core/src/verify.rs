@@ -83,7 +83,11 @@ pub fn verify(
 
     let missing: Vec<ExpectedRef> = expected_set.difference(&actual_set).copied().collect();
     let spurious: Vec<ExpectedRef> = actual_set.difference(&expected_set).copied().collect();
-    Ok(VerifyReport { missing, spurious, checked: expected.len() as u64 })
+    Ok(VerifyReport {
+        missing,
+        spurious,
+        checked: expected.len() as u64,
+    })
 }
 
 #[cfg(test)]
@@ -107,7 +111,12 @@ mod tests {
         }
         e.consistency_point().unwrap();
         let report = verify(&mut e, &expected, &[]).unwrap();
-        assert!(report.is_consistent(), "missing={:?} spurious={:?}", report.missing, report.spurious);
+        assert!(
+            report.is_consistent(),
+            "missing={:?} spurious={:?}",
+            report.missing,
+            report.spurious
+        );
         assert_eq!(report.checked, 50);
         assert_eq!(report.mismatches(), 0);
     }

@@ -28,14 +28,20 @@ pub struct DedupConfig {
 
 impl Default for DedupConfig {
     fn default() -> Self {
-        DedupConfig { probability: 0.10, pool_size: 1024 }
+        DedupConfig {
+            probability: 0.10,
+            pool_size: 1024,
+        }
     }
 }
 
 impl DedupConfig {
     /// Disables deduplication entirely.
     pub fn disabled() -> Self {
-        DedupConfig { probability: 0.0, pool_size: 0 }
+        DedupConfig {
+            probability: 0.0,
+            pool_size: 0,
+        }
     }
 }
 
@@ -88,7 +94,10 @@ impl BlockAllocator {
         {
             let target = self.pool[rng.gen_range(0..self.pool.len())];
             self.dedup_hits += 1;
-            return Allocation { block: target, deduplicated: true };
+            return Allocation {
+                block: target,
+                deduplicated: true,
+            };
         }
         let block = self.next_block;
         self.next_block += 1;
@@ -102,7 +111,10 @@ impl BlockAllocator {
                 self.pool_cursor = (self.pool_cursor + 1) % self.dedup.pool_size;
             }
         }
-        Allocation { block, deduplicated: false }
+        Allocation {
+            block,
+            deduplicated: false,
+        }
     }
 
     /// Allocates a block that must not be deduplicated (metadata blocks).
@@ -153,13 +165,22 @@ mod tests {
     #[test]
     fn dedup_rate_approximates_configuration() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut a = BlockAllocator::new(0, DedupConfig { probability: 0.10, pool_size: 1024 });
+        let mut a = BlockAllocator::new(
+            0,
+            DedupConfig {
+                probability: 0.10,
+                pool_size: 1024,
+            },
+        );
         let n = 100_000;
         for _ in 0..n {
             a.allocate(&mut rng);
         }
         let rate = a.dedup_hits() as f64 / n as f64;
-        assert!((rate - 0.10).abs() < 0.01, "dedup rate {rate} should be near 0.10");
+        assert!(
+            (rate - 0.10).abs() < 0.01,
+            "dedup rate {rate} should be near 0.10"
+        );
     }
 
     #[test]
@@ -183,7 +204,10 @@ mod tests {
         let three_plus = refcounts.values().filter(|&&c| c >= 3).count() as f64 / total;
         assert!(ones > 0.80 && ones < 0.95, "refcount-1 fraction {ones}");
         assert!(multi > 0.05, "shared-block fraction {multi}");
-        assert!(three_plus > 0.0, "some blocks are shared three or more ways");
+        assert!(
+            three_plus > 0.0,
+            "some blocks are shared three or more ways"
+        );
     }
 
     #[test]
@@ -191,7 +215,13 @@ mod tests {
         // A ~25% duplicate-write rate yields the paper's reported live
         // distribution (≈75-80% refcount 1, ≈15-20% refcount 2, ≈5% 3+).
         let mut rng = StdRng::seed_from_u64(7);
-        let mut a = BlockAllocator::new(0, DedupConfig { probability: 0.25, pool_size: 1024 });
+        let mut a = BlockAllocator::new(
+            0,
+            DedupConfig {
+                probability: 0.25,
+                pool_size: 1024,
+            },
+        );
         let mut refcounts: HashMap<BlockNo, u32> = HashMap::new();
         for _ in 0..200_000 {
             let alloc = a.allocate(&mut rng);

@@ -69,11 +69,16 @@ mod tests {
     fn display_and_conversion() {
         let e = FsError::NoSuchLine { line: LineId(3) };
         assert!(e.to_string().contains("line3"));
-        let e = FsError::NoSuchFile { line: LineId(0), inode: 9 };
+        let e = FsError::NoSuchFile {
+            line: LineId(0),
+            inode: 9,
+        };
         assert!(e.to_string().contains("inode 9"));
         let e: FsError = BacklogError::VerificationFailed { mismatches: 1 }.into();
         assert!(matches!(e, FsError::Provider(_)));
-        let e = FsError::NoSuchSnapshot { snapshot: SnapshotId::new(LineId(1), 5) };
+        let e = FsError::NoSuchSnapshot {
+            snapshot: SnapshotId::new(LineId(1), 5),
+        };
         assert!(e.to_string().contains("line1@cp5"));
         let e = FsError::OffsetOutOfRange { offset: 10, len: 2 };
         assert!(e.to_string().contains("10"));

@@ -212,7 +212,9 @@ impl<P: BackrefProvider> FileSystem<P> {
     }
 
     fn table_mut(&mut self, line: LineId) -> Result<&mut FileTable> {
-        self.lines.get_mut(&line).ok_or(FsError::NoSuchLine { line })
+        self.lines
+            .get_mut(&line)
+            .ok_or(FsError::NoSuchLine { line })
     }
 
     // ------------------------------------------------------------------
@@ -288,7 +290,10 @@ impl<P: BackrefProvider> FileSystem<P> {
         }
         for i in 0..nblocks {
             let off = offset + i;
-            let old = self.table(line)?.get(inode).and_then(|b| b.get(off as usize).copied());
+            let old = self
+                .table(line)?
+                .get(inode)
+                .and_then(|b| b.get(off as usize).copied());
             let alloc = self.allocator.allocate(&mut self.rng);
             if alloc.deduplicated {
                 self.stats.dedup_hits += 1;
@@ -328,15 +333,21 @@ impl<P: BackrefProvider> FileSystem<P> {
     ///
     /// Returns [`FsError::NoSuchFile`] if the file does not exist on `line`.
     pub fn truncate(&mut self, line: LineId, inode: InodeNo, new_len: u64) -> Result<()> {
-        let blocks =
-            self.table(line)?.get(inode).cloned().ok_or(FsError::NoSuchFile { line, inode })?;
+        let blocks = self
+            .table(line)?
+            .get(inode)
+            .cloned()
+            .ok_or(FsError::NoSuchFile { line, inode })?;
         if (new_len as usize) >= blocks.len() {
             return Ok(());
         }
         for (offset, block) in blocks.iter().enumerate().skip(new_len as usize) {
             self.remove_ref(*block, Owner::block(inode, offset as u64, line));
         }
-        self.table_mut(line)?.get_mut(inode).expect("checked above").truncate(new_len as usize);
+        self.table_mut(line)?
+            .get_mut(inode)
+            .expect("checked above")
+            .truncate(new_len as usize);
         self.mark_dirty(line, inode);
         Ok(())
     }
@@ -385,7 +396,10 @@ impl<P: BackrefProvider> FileSystem<P> {
 
     /// Whether the file exists on `line`.
     pub fn has_file(&self, line: LineId, inode: InodeNo) -> bool {
-        self.lines.get(&line).map(|t| t.contains(inode)).unwrap_or(false)
+        self.lines
+            .get(&line)
+            .map(|t| t.contains(inode))
+            .unwrap_or(false)
     }
 
     // ------------------------------------------------------------------
@@ -546,7 +560,9 @@ impl<P: BackrefProvider> FileSystem<P> {
         if line == LineId::ROOT {
             return Err(FsError::NoSuchLine { line });
         }
-        self.lines.remove(&line).ok_or(FsError::NoSuchLine { line })?;
+        self.lines
+            .remove(&line)
+            .ok_or(FsError::NoSuchLine { line })?;
         self.inode_meta.retain(|(l, _), _| *l != line);
         self.dirty.remove(&line);
         self.provider.line_deleted(line);
@@ -566,13 +582,19 @@ impl<P: BackrefProvider> FileSystem<P> {
         for (&line, table) in &self.lines {
             for (inode, blocks) in table.iter() {
                 for (offset, &block) in blocks.iter().enumerate() {
-                    out.push(ExpectedRef::new(block, Owner::block(inode, offset as u64, line)));
+                    out.push(ExpectedRef::new(
+                        block,
+                        Owner::block(inode, offset as u64, line),
+                    ));
                 }
             }
         }
         for (&(line, inode), &block) in &self.inode_meta {
             if self.lines.contains_key(&line) {
-                out.push(ExpectedRef::new(block, Owner::block(INODE_FILE, inode, line)));
+                out.push(ExpectedRef::new(
+                    block,
+                    Owner::block(INODE_FILE, inode, line),
+                ));
             }
         }
         out.sort();
@@ -650,13 +672,13 @@ mod tests {
         fs.take_consistency_point().unwrap();
         let expected = fs.expected_refs();
         assert!(!expected.is_empty());
-        let report = backlog::verify(
-            fs.provider_mut().engine_mut(),
-            &expected,
-            &[],
-        )
-        .unwrap();
-        assert!(report.is_consistent(), "missing: {:?}, spurious: {:?}", report.missing, report.spurious);
+        let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
+        assert!(
+            report.is_consistent(),
+            "missing: {:?}, spurious: {:?}",
+            report.missing,
+            report.spurious
+        );
     }
 
     #[test]
@@ -718,7 +740,10 @@ mod tests {
             fs.delete_snapshot(SnapshotId::new(LineId::ROOT, 1)),
             Err(FsError::NoSuchSnapshot { .. })
         ));
-        assert!(matches!(fs.delete_clone(LineId::ROOT), Err(FsError::NoSuchLine { .. })));
+        assert!(matches!(
+            fs.delete_clone(LineId::ROOT),
+            Err(FsError::NoSuchLine { .. })
+        ));
         assert!(matches!(
             fs.create_clone(SnapshotId::new(LineId::ROOT, 1)),
             Err(FsError::NoSuchSnapshot { .. })
@@ -740,7 +765,11 @@ mod tests {
         let shared_block = fs.file_blocks(clone, inode).unwrap()[0];
         // Both the root file and the clone are owners of the shared block.
         let owners = fs.provider_mut().query_owners(shared_block).unwrap();
-        assert_eq!(owners.len(), 2, "root and clone both own the block: {owners:?}");
+        assert_eq!(
+            owners.len(),
+            2,
+            "root and clone both own the block: {owners:?}"
+        );
         // Writing in the clone diverges it.
         fs.overwrite(clone, inode, 0, 1).unwrap();
         fs.take_consistency_point().unwrap();
@@ -749,7 +778,11 @@ mod tests {
             fs.file_blocks(clone, inode).unwrap()[0]
         );
         let owners = fs.provider_mut().query_owners(shared_block).unwrap();
-        assert_eq!(owners.len(), 1, "only the root still references the old block");
+        assert_eq!(
+            owners.len(),
+            1,
+            "only the root still references the old block"
+        );
         assert_eq!(owners[0].line, LineId::ROOT);
         // Verification still holds with a clone in play.
         let expected = fs.expected_refs();
@@ -766,7 +799,11 @@ mod tests {
         let clone = fs.create_clone(snap).unwrap();
         let ops_before = fs.stats().block_ops;
         fs.delete_clone(clone).unwrap();
-        assert_eq!(fs.stats().block_ops, ops_before, "clone deletion issues no callbacks");
+        assert_eq!(
+            fs.stats().block_ops,
+            ops_before,
+            "clone deletion issues no callbacks"
+        );
         fs.take_consistency_point().unwrap();
         let expected = fs.expected_refs();
         let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
@@ -802,12 +839,15 @@ mod tests {
 
     #[test]
     fn metadata_cow_adds_inode_block_ops_per_dirty_file() {
-        let mut fs = FileSystem::new(NullProvider::new(), FsConfig {
-            dedup: DedupConfig::disabled(),
-            metadata_cow: true,
-            snapshot_policy: SnapshotPolicy::none(),
-            seed: 0,
-        });
+        let mut fs = FileSystem::new(
+            NullProvider::new(),
+            FsConfig {
+                dedup: DedupConfig::disabled(),
+                metadata_cow: true,
+                snapshot_policy: SnapshotPolicy::none(),
+                seed: 0,
+            },
+        );
         let inode = fs.create_file(LineId::ROOT, 2).unwrap();
         let report = fs.take_consistency_point().unwrap();
         // 2 data adds + 1 metadata add.
@@ -823,12 +863,18 @@ mod tests {
 
     #[test]
     fn physical_size_accounts_for_dedup_and_snapshots() {
-        let mut fs = FileSystem::new(NullProvider::new(), FsConfig {
-            dedup: DedupConfig { probability: 0.5, pool_size: 64 },
-            metadata_cow: false,
-            snapshot_policy: SnapshotPolicy::none(),
-            seed: 1,
-        });
+        let mut fs = FileSystem::new(
+            NullProvider::new(),
+            FsConfig {
+                dedup: DedupConfig {
+                    probability: 0.5,
+                    pool_size: 64,
+                },
+                metadata_cow: false,
+                snapshot_policy: SnapshotPolicy::none(),
+                seed: 1,
+            },
+        );
         for _ in 0..50 {
             fs.create_file(LineId::ROOT, 4).unwrap();
         }
@@ -855,7 +901,10 @@ mod tests {
         let mut fs = FileSystem::new(
             BacklogProvider::new(BacklogConfig::default().without_timing()),
             FsConfig {
-                dedup: DedupConfig { probability: 0.9, pool_size: 8 },
+                dedup: DedupConfig {
+                    probability: 0.9,
+                    pool_size: 8,
+                },
                 metadata_cow: false,
                 snapshot_policy: SnapshotPolicy::none(),
                 seed: 3,

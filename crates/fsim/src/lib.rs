@@ -51,6 +51,6 @@ pub use alloc::{Allocation, BlockAllocator, DedupConfig};
 pub use error::{FsError, Result};
 pub use file::FileTable;
 pub use fs::{FileSystem, FsConfig, FIRST_DATA_INODE, INODE_FILE};
-pub use provider::{BackrefProvider, BacklogProvider, NullProvider, ProviderCpStats};
+pub use provider::{BacklogProvider, BackrefProvider, NullProvider, ProviderCpStats};
 pub use snapshot::{SnapshotPolicy, SnapshotScheduler};
 pub use stats::{FsCpReport, FsStats};

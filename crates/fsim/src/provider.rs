@@ -12,9 +12,7 @@
 //! * `baseline::NaiveBackrefs` — the strawman conceptual-table design from
 //!   Section 4.1, used to demonstrate why the log-structured design matters.
 
-use backlog::{
-    BacklogConfig, BacklogEngine, BlockNo, CpNumber, LineId, Owner, SnapshotId,
-};
+use backlog::{BacklogConfig, BacklogEngine, BlockNo, CpNumber, LineId, Owner, SnapshotId};
 
 use crate::error::Result;
 
@@ -142,7 +140,9 @@ pub struct BacklogProvider {
 impl BacklogProvider {
     /// Creates a provider around an engine backed by a fresh simulated disk.
     pub fn new(config: BacklogConfig) -> Self {
-        BacklogProvider { engine: BacklogEngine::new_simulated(config) }
+        BacklogProvider {
+            engine: BacklogEngine::new_simulated(config),
+        }
     }
 
     /// Creates a provider around an existing engine (e.g. one sharing a
@@ -182,7 +182,11 @@ impl BackrefProvider for BacklogProvider {
     }
 
     fn consistency_point(&mut self, cp: CpNumber) -> Result<ProviderCpStats> {
-        debug_assert_eq!(cp, self.engine.current_cp(), "engine CP out of sync with fsim CP");
+        debug_assert_eq!(
+            cp,
+            self.engine.current_cp(),
+            "engine CP out of sync with fsim CP"
+        );
         let report = self.engine.consistency_point()?;
         Ok(ProviderCpStats {
             records_flushed: report.records_flushed,
@@ -277,7 +281,11 @@ mod tests {
 
     #[test]
     fn provider_cp_stats_micros() {
-        let s = ProviderCpStats { callback_ns: 1_500, flush_ns: 500, ..Default::default() };
+        let s = ProviderCpStats {
+            callback_ns: 1_500,
+            flush_ns: 500,
+            ..Default::default()
+        };
         assert!((s.total_micros() - 2.0).abs() < 1e-9);
     }
 }

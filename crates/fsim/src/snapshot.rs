@@ -50,7 +50,7 @@ impl SnapshotPolicy {
 
     /// Whether a snapshot should be taken at consistency point `cp`.
     pub fn should_snapshot(&self, cp: CpNumber) -> bool {
-        self.cps_per_snapshot > 0 && cp % self.cps_per_snapshot == 0
+        self.cps_per_snapshot > 0 && cp.is_multiple_of(self.cps_per_snapshot)
     }
 }
 
@@ -76,7 +76,13 @@ pub struct SnapshotScheduler {
 impl SnapshotScheduler {
     /// Creates a scheduler for `line`.
     pub fn new(policy: SnapshotPolicy, line: LineId) -> Self {
-        SnapshotScheduler { policy, line, recent: VecDeque::new(), promoted: VecDeque::new(), taken: 0 }
+        SnapshotScheduler {
+            policy,
+            line,
+            recent: VecDeque::new(),
+            promoted: VecDeque::new(),
+            taken: 0,
+        }
     }
 
     /// The policy being executed.
@@ -95,7 +101,9 @@ impl SnapshotScheduler {
         let snap = SnapshotId::new(self.line, cp);
         self.taken += 1;
         let promoted = self.policy.snapshots_per_promotion > 0
-            && self.taken % self.policy.snapshots_per_promotion == 0;
+            && self
+                .taken
+                .is_multiple_of(self.policy.snapshots_per_promotion);
         self.recent.push_back((snap, promoted));
         if promoted {
             self.promoted.push_back(snap);

@@ -113,7 +113,8 @@ impl BloomFilter {
     /// Returns `true` if `key` *may* have been inserted; `false` means it
     /// definitely was not.
     pub fn may_contain(&self, key: u64) -> bool {
-        self.positions(key).all(|pos| self.bits[pos / 64] & (1 << (pos % 64)) != 0)
+        self.positions(key)
+            .all(|pos| self.bits[pos / 64] & (1 << (pos % 64)) != 0)
     }
 
     /// Returns `true` if any key in `min..=max` may be present.
@@ -199,7 +200,9 @@ mod tests {
         for k in 0..32_000u64 {
             f.insert(k);
         }
-        let fps = (1_000_000..1_100_000u64).filter(|&k| f.may_contain(k)).count();
+        let fps = (1_000_000..1_100_000u64)
+            .filter(|&k| f.may_contain(k))
+            .count();
         let rate = fps as f64 / 100_000.0;
         // Paper quotes ~2.4% expected; allow generous slack.
         assert!(rate < 0.06, "false positive rate too high: {rate}");
@@ -212,7 +215,10 @@ mod tests {
         // 32,000 ops -> 32 KB (= 262,144 bits) in the paper; with 8 bits per
         // entry rounded to a power of two we land on exactly 256 Kibit.
         assert_eq!(cfg.bits_for(32_000), 262_144);
-        assert_eq!(BloomFilter::for_entries(32_000, &cfg).size_bytes(), 32 * 1024);
+        assert_eq!(
+            BloomFilter::for_entries(32_000, &cfg).size_bytes(),
+            32 * 1024
+        );
         // Cap at 1 MB.
         assert_eq!(cfg.bits_for(10_000_000), 1024 * 1024 * 8);
     }
@@ -227,7 +233,10 @@ mod tests {
         assert!(f.halve());
         assert_eq!(f.num_bits(), 2048);
         for &k in &keys {
-            assert!(f.may_contain(k), "halving introduced a false negative for {k}");
+            assert!(
+                f.may_contain(k),
+                "halving introduced a false negative for {k}"
+            );
         }
     }
 
@@ -252,7 +261,10 @@ mod tests {
         let mut f = BloomFilter::new(4096, 4);
         f.insert(500);
         assert!(f.may_contain_range(490, 510, 64));
-        assert!(f.may_contain_range(0, u64::MAX, 64), "huge ranges answer true");
+        assert!(
+            f.may_contain_range(0, u64::MAX, 64),
+            "huge ranges answer true"
+        );
         assert!(!f.may_contain_range(10, 5, 64), "empty range answers false");
         // A range of unrelated keys is (very likely) rejected.
         let miss = f.may_contain_range(100_000, 100_003, 64);

@@ -26,7 +26,9 @@ impl<R: Record> Default for DeletionVector<R> {
 impl<R: Record> DeletionVector<R> {
     /// Creates an empty deletion vector.
     pub fn new() -> Self {
-        DeletionVector { deleted: BTreeSet::new() }
+        DeletionVector {
+            deleted: BTreeSet::new(),
+        }
     }
 
     /// Marks a record as deleted. Returns `true` if it was not already marked.

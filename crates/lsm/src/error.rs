@@ -33,7 +33,10 @@ impl fmt::Display for LsmError {
             LsmError::CorruptRun { detail } => write!(f, "corrupt run file: {detail}"),
             LsmError::UnsortedInput => write!(f, "bulk-load input records were not sorted"),
             LsmError::RecordTooLarge { encoded_len } => {
-                write!(f, "record encoded length {encoded_len} exceeds a device page")
+                write!(
+                    f,
+                    "record encoded length {encoded_len} exceeds a device page"
+                )
             }
         }
     }
@@ -69,7 +72,13 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(LsmError::UnsortedInput.to_string().contains("not sorted"));
-        assert!(LsmError::RecordTooLarge { encoded_len: 9000 }.to_string().contains("9000"));
-        assert!(LsmError::CorruptRun { detail: "bad".into() }.to_string().contains("bad"));
+        assert!(LsmError::RecordTooLarge { encoded_len: 9000 }
+            .to_string()
+            .contains("9000"));
+        assert!(LsmError::CorruptRun {
+            detail: "bad".into()
+        }
+        .to_string()
+        .contains("bad"));
     }
 }

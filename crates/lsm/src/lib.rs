@@ -88,6 +88,6 @@ pub use deletion_vector::DeletionVector;
 pub use error::{LsmError, Result};
 pub use partition::Partitioning;
 pub use record::Record;
-pub use run::{Run, RunBuilder, RunStats};
+pub use run::{Run, RunBuilder, RunRangeIter, RunStats};
 pub use store::{FlushStats, LsmTable, MaintenanceStats, TableConfig, TableStats};
 pub use write_store::WriteStore;

@@ -104,10 +104,57 @@ mod tests {
 
     #[test]
     fn kway_merge_many_skewed_sources() {
-        let sources: Vec<std::vec::IntoIter<u64>> =
-            (0..16u64).map(|s| (0..100).map(|i| i * 16 + s).collect::<Vec<_>>().into_iter()).collect();
+        let sources: Vec<std::vec::IntoIter<u64>> = (0..16u64)
+            .map(|s| (0..100).map(|i| i * 16 + s).collect::<Vec<_>>().into_iter())
+            .collect();
         let merged: Vec<u64> = KWayMerge::new(sources).collect();
         assert_eq!(merged.len(), 1600);
         assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn kway_merge_with_no_sources_is_empty() {
+        let merged: Vec<u64> = KWayMerge::new(Vec::<std::vec::IntoIter<u64>>::new()).collect();
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn kway_merge_with_empty_and_nonempty_sources() {
+        let sources = vec![
+            Vec::<u64>::new().into_iter(),
+            vec![2, 4].into_iter(),
+            Vec::new().into_iter(),
+            vec![1, 3].into_iter(),
+        ];
+        let merged: Vec<u64> = KWayMerge::new(sources).collect();
+        assert_eq!(merged, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn kway_merge_single_source_is_a_passthrough() {
+        let source = vec![vec![1u64, 1, 2, 5, 9].into_iter()];
+        let merged: Vec<u64> = KWayMerge::new(source).collect();
+        assert_eq!(merged, vec![1, 1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn kway_merge_all_duplicate_inputs_preserves_multiplicity() {
+        let sources: Vec<std::vec::IntoIter<u64>> =
+            (0..4).map(|_| vec![7u64; 10].into_iter()).collect();
+        let merged: Vec<u64> = KWayMerge::new(sources).collect();
+        assert_eq!(merged, vec![7u64; 40]);
+
+        let eager = merge_sorted(vec![vec![7u64; 10]; 4]);
+        assert_eq!(eager, merged, "lazy and eager merges agree on duplicates");
+    }
+
+    #[test]
+    fn kway_merge_handles_extreme_keys() {
+        let sources = vec![
+            vec![0u64, u64::MAX].into_iter(),
+            vec![u64::MAX - 1, u64::MAX].into_iter(),
+        ];
+        let merged: Vec<u64> = KWayMerge::new(sources).collect();
+        assert_eq!(merged, vec![0, u64::MAX - 1, u64::MAX, u64::MAX]);
     }
 }

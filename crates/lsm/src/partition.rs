@@ -25,7 +25,10 @@ impl Partitioning {
     /// A single partition covering the whole key space (partitioning
     /// effectively disabled).
     pub fn single() -> Self {
-        Partitioning { partitions: 1, width: u64::MAX }
+        Partitioning {
+            partitions: 1,
+            width: u64::MAX,
+        }
     }
 
     /// Fixed sequential ranges: `partitions` partitions each `width` keys
@@ -64,6 +67,10 @@ impl Partitioning {
 
     /// The inclusive key range `[min, max]` covered by partition `index`.
     ///
+    /// Arithmetic saturates so that configurations whose widths multiply
+    /// past `u64::MAX` still describe a valid (empty-at-the-top) range
+    /// rather than overflowing.
+    ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
@@ -72,11 +79,13 @@ impl Partitioning {
         if self.partitions == 1 {
             return (0, u64::MAX);
         }
-        let min = index as u64 * self.width;
+        let min = (index as u64).saturating_mul(self.width);
         let max = if index == self.partitions - 1 {
             u64::MAX
         } else {
-            (index as u64 + 1) * self.width - 1
+            (index as u64 + 1)
+                .saturating_mul(self.width)
+                .saturating_sub(1)
         };
         (min, max)
     }
@@ -129,6 +138,52 @@ mod tests {
         let p = Partitioning::fixed_ranges(4, 100);
         assert_eq!(p.partitions_for_range(50, 250), 0..=2);
         assert_eq!(p.partitions_for_range(150, 150), 1..=1);
+    }
+
+    #[test]
+    fn extreme_keys_land_in_the_last_partition() {
+        let p = Partitioning::fixed_ranges(4, 100);
+        assert_eq!(p.partition_of(u64::MAX), 3);
+        assert_eq!(p.partitions_for_range(u64::MAX, u64::MAX), 3..=3);
+        assert_eq!(p.partitions_for_range(0, u64::MAX), 0..=3);
+        assert_eq!(p.key_range(3).1, u64::MAX);
+        // Single partition: the whole key space, including the top key.
+        let single = Partitioning::single();
+        assert_eq!(single.partition_of(u64::MAX), 0);
+        assert_eq!(single.partitions_for_range(u64::MAX - 1, u64::MAX), 0..=0);
+    }
+
+    #[test]
+    fn huge_widths_do_not_overflow_key_ranges() {
+        let p = Partitioning::fixed_ranges(4, u64::MAX / 2);
+        // The whole key space fits in the first two partitions; the top key
+        // lands just past the second boundary.
+        assert_eq!(p.partition_of(0), 0);
+        assert_eq!(p.partition_of(u64::MAX / 2), 1);
+        assert_eq!(p.partition_of(u64::MAX), 2);
+        // Partitions 2 and 3's nominal bounds exceed u64::MAX; arithmetic
+        // saturates instead of panicking.
+        assert_eq!(p.key_range(2), (u64::MAX - 1, u64::MAX - 1));
+        assert_eq!(p.key_range(3), (u64::MAX, u64::MAX));
+        // Partition indices stay monotone in the key.
+        let keys = [0u64, 1, u64::MAX / 2, u64::MAX - 2, u64::MAX];
+        assert!(keys
+            .windows(2)
+            .all(|w| p.partition_of(w[0]) <= p.partition_of(w[1])));
+        // And range queries over the full space cover every useful partition.
+        assert_eq!(p.partitions_for_range(0, u64::MAX), 0..=2);
+    }
+
+    #[test]
+    fn partition_boundaries_are_exclusive_on_the_right() {
+        let p = Partitioning::fixed_ranges(3, 1_000);
+        for boundary in [1_000u64, 2_000] {
+            assert_eq!(p.partition_of(boundary - 1) + 1, p.partition_of(boundary));
+            let (lo, _) = p.key_range(p.partition_of(boundary));
+            assert_eq!(lo, boundary, "boundary key starts its partition");
+        }
+        // A range query straddling a boundary touches both partitions.
+        assert_eq!(p.partitions_for_range(999, 1_000), 0..=1);
     }
 
     #[test]

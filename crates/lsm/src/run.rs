@@ -1,7 +1,7 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use blockdev::{FileId, FileStore, PAGE_SIZE};
+use blockdev::{FileId, FileMap, FileStore, PAGE_SIZE};
 
 use crate::bloom::{BloomConfig, BloomFilter};
 use crate::error::{LsmError, Result};
@@ -41,6 +41,9 @@ pub struct RunStats {
 pub struct Run<R: Record> {
     files: Arc<FileStore>,
     file: FileId,
+    /// Cached extent map of the (immutable) run file, so page reads bypass
+    /// the file store's lock and hash lookup entirely.
+    map: FileMap,
     /// Page offset of the root page within the run file.
     root_page: u64,
     leaf_pages: u64,
@@ -68,14 +71,20 @@ impl<R: Record> Run<R> {
             return Ok(None);
         }
         if R::ENCODED_LEN == 0 || R::ENCODED_LEN > PAGE_SIZE - PAGE_HEADER {
-            return Err(LsmError::RecordTooLarge { encoded_len: R::ENCODED_LEN });
+            return Err(LsmError::RecordTooLarge {
+                encoded_len: R::ENCODED_LEN,
+            });
         }
-        if records.windows(2).any(|w| w[0] > w[1]) {
+        if !records.is_sorted() {
             return Err(LsmError::UnsortedInput);
         }
-        let mut builder = RunBuilder::new(files.clone(), bloom_config.clone_for_entries(records.len()));
+        let mut builder =
+            RunBuilder::new(files.clone(), bloom_config.clone_for_entries(records.len()));
         for r in records {
-            builder.push(r)?;
+            if let Err(e) = builder.push(r) {
+                builder.abandon();
+                return Err(e);
+            }
         }
         builder.finish().map(Some)
     }
@@ -141,8 +150,7 @@ impl<R: Record> Run<R> {
     }
 
     fn read_page(&self, page: u64) -> Result<Vec<u8>> {
-        let f = self.files.open(self.file)?;
-        Ok(f.read_page(page)?)
+        Ok(self.map.read_page(page)?)
     }
 
     /// Returns every record whose partition key lies in `min..=max`, in
@@ -153,12 +161,7 @@ impl<R: Record> Run<R> {
     /// Propagates device errors; reports [`LsmError::CorruptRun`] if the run
     /// pages are structurally invalid.
     pub fn scan_range(&self, min: u64, max: u64) -> Result<Vec<R>> {
-        let mut out = Vec::new();
-        self.for_each_in_range(min, max, |r| {
-            out.push(r);
-            true
-        })?;
-        Ok(out)
+        self.iter_range(min, max)?.collect()
     }
 
     /// Returns all records in the run, in sorted order.
@@ -174,34 +177,51 @@ impl<R: Record> Run<R> {
         max: u64,
         mut visit: F,
     ) -> Result<()> {
-        if max < self.min_key || min > self.max_key {
-            return Ok(());
-        }
-        let (mut leaf, mut index) = self.find_first_ge(min)?;
-        'outer: while leaf < self.leaf_pages {
-            let page = self.read_page(leaf)?;
-            let (kind, count) = parse_header(&page)?;
-            if kind != KIND_LEAF {
-                return Err(LsmError::CorruptRun {
-                    detail: format!("expected leaf at page {leaf}"),
-                });
+        for item in self.iter_range(min, max)? {
+            if !visit(item?) {
+                break;
             }
-            while index < count {
-                let start = PAGE_HEADER + index * R::ENCODED_LEN;
-                let rec = R::decode(&page[start..start + R::ENCODED_LEN]);
-                let key = rec.partition_key();
-                if key > max {
-                    break 'outer;
-                }
-                if key >= min && !visit(rec) {
-                    break 'outer;
-                }
-                index += 1;
-            }
-            leaf += 1;
-            index = 0;
         }
         Ok(())
+    }
+
+    /// Returns a lazy iterator over the records whose partition keys lie in
+    /// `min..=max`, in sorted order, reading leaf pages one at a time as the
+    /// iterator advances.
+    ///
+    /// This is the streaming read path: a query merges these iterators (one
+    /// per relevant run) with the write store instead of materializing each
+    /// run's hits into an intermediate vector. Pages touched are exactly the
+    /// B-tree descent to the first key `>= min` plus the leaves up to the
+    /// first key `> max` — a narrow query over a large run reads a handful
+    /// of pages no matter how many records the run holds.
+    ///
+    /// # Errors
+    ///
+    /// The initial descent errors are returned eagerly; page errors hit
+    /// while iterating are yielded as `Err` items (the iterator then fuses).
+    pub fn iter_range(&self, min: u64, max: u64) -> Result<RunRangeIter<'_, R>> {
+        if max < self.min_key || min > self.max_key || self.records == 0 {
+            return Ok(RunRangeIter {
+                run: self,
+                min,
+                max,
+                leaf: self.leaf_pages,
+                index: 0,
+                page: None,
+                done: true,
+            });
+        }
+        let (leaf, index) = self.find_first_ge(min)?;
+        Ok(RunRangeIter {
+            run: self,
+            min,
+            max,
+            leaf,
+            index,
+            page: None,
+            done: false,
+        })
     }
 
     /// Locates the first leaf slot whose record partition key is `>= key`.
@@ -253,8 +273,9 @@ impl<R: Record> Run<R> {
                         }
                     }
                     let start = PAGE_HEADER + chosen * entry_len;
-                    let child_bytes: [u8; 8] =
-                        page[start + R::ENCODED_LEN..start + entry_len].try_into().unwrap();
+                    let child_bytes: [u8; 8] = page[start + R::ENCODED_LEN..start + entry_len]
+                        .try_into()
+                        .unwrap();
                     page_no = u64::from_be_bytes(child_bytes);
                 }
                 other => {
@@ -262,6 +283,80 @@ impl<R: Record> Run<R> {
                         detail: format!("unknown page kind {other} at page {page_no}"),
                     })
                 }
+            }
+        }
+    }
+}
+
+/// Lazy iterator over a key range of a [`Run`], created by
+/// [`Run::iter_range`]. Yields records in sorted order, reading one leaf
+/// page at a time.
+#[derive(Debug)]
+pub struct RunRangeIter<'a, R: Record> {
+    run: &'a Run<R>,
+    min: u64,
+    max: u64,
+    /// The leaf page the iterator is positioned on.
+    leaf: u64,
+    /// The slot within the current leaf.
+    index: usize,
+    /// The current leaf's payload and record count, loaded on demand.
+    page: Option<(Vec<u8>, usize)>,
+    done: bool,
+}
+
+impl<R: Record> RunRangeIter<'_, R> {
+    fn load_page(&mut self) -> Result<bool> {
+        let page = self.run.read_page(self.leaf)?;
+        let (kind, count) = parse_header(&page)?;
+        if kind != KIND_LEAF {
+            return Err(LsmError::CorruptRun {
+                detail: format!("expected leaf at page {}", self.leaf),
+            });
+        }
+        self.page = Some((page, count));
+        Ok(true)
+    }
+}
+
+impl<R: Record> Iterator for RunRangeIter<'_, R> {
+    type Item = Result<R>;
+
+    fn next(&mut self) -> Option<Result<R>> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.page.is_none() {
+                if self.leaf >= self.run.leaf_pages {
+                    self.done = true;
+                    return None;
+                }
+                if let Err(e) = self.load_page() {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+            let (page, count) = self.page.as_ref().expect("leaf page loaded");
+            if self.index < *count {
+                let start = PAGE_HEADER + self.index * R::ENCODED_LEN;
+                let rec = R::decode(&page[start..start + R::ENCODED_LEN]);
+                self.index += 1;
+                let key = rec.partition_key();
+                if key > self.max {
+                    self.done = true;
+                    return None;
+                }
+                if key >= self.min {
+                    return Some(Ok(rec));
+                }
+                // Keys below `min` can only appear in the first leaf (the
+                // descent positions us at the first record >= min, but a run
+                // of duplicates may force a conservative start); skip them.
+            } else {
+                self.leaf += 1;
+                self.index = 0;
+                self.page = None;
             }
         }
     }
@@ -281,7 +376,10 @@ pub(crate) struct BloomSizing {
 
 impl CloneForEntries for BloomConfig {
     fn clone_for_entries(&self, entries: usize) -> BloomSizing {
-        BloomSizing { config: *self, entries }
+        BloomSizing {
+            config: *self,
+            entries,
+        }
     }
 }
 
@@ -363,7 +461,8 @@ impl<R: Record> RunBuilder<R> {
         }
         if self.leaf_count_in_page == 0 {
             // Remember the first record of this leaf as its separator.
-            self.pending_level.push((record.encode_to_vec(), self.pages_written));
+            self.pending_level
+                .push((record.encode_to_vec(), self.pages_written));
         }
         let start = PAGE_HEADER + self.leaf_count_in_page * R::ENCODED_LEN;
         record.encode(&mut self.leaf_buf[start..start + R::ENCODED_LEN]);
@@ -386,13 +485,55 @@ impl<R: Record> RunBuilder<R> {
     }
 
     /// Finishes the run: flushes the last leaf and writes the internal index
-    /// levels bottom-up, returning the completed immutable [`Run`].
+    /// levels bottom-up, returning the completed immutable [`Run`]. On error
+    /// the partially written run file is deleted.
     ///
     /// # Errors
     ///
     /// Propagates device errors. An empty builder produces a run with zero
     /// records whose scans return nothing.
     pub fn finish(mut self) -> Result<Run<R>> {
+        let leaf_pages = match self.write_index() {
+            Ok(leaves) => leaves,
+            Err(e) => {
+                self.abandon();
+                return Err(e);
+            }
+        };
+        let root_page = self.pages_written.saturating_sub(1);
+        // Snapshot the extent map: the run file is immutable from here on,
+        // so every future page read bypasses the file store.
+        let map = match self.files.map_file(self.file) {
+            Ok(map) => map,
+            Err(e) => {
+                self.abandon();
+                return Err(e.into());
+            }
+        };
+        // Right-size the Bloom filter if the run turned out much smaller than
+        // the sizing estimate (the paper shrinks by halving).
+        let cfg = BloomConfig::default();
+        let ideal_bits = cfg.bits_for(self.records as usize);
+        if ideal_bits < self.bloom.num_bits() {
+            self.bloom.shrink_to(ideal_bits);
+        }
+        Ok(Run {
+            files: self.files,
+            file: self.file,
+            map,
+            root_page,
+            leaf_pages,
+            records: self.records,
+            min_key: if self.records == 0 { 0 } else { self.min_key },
+            max_key: self.max_key,
+            bloom: self.bloom,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Flushes the last leaf and writes the internal index levels bottom-up,
+    /// returning the number of leaf pages.
+    fn write_index(&mut self) -> Result<u64> {
         self.flush_leaf()?;
         let leaf_pages = self.pages_written;
         // Build index levels until a level fits in one page.
@@ -422,25 +563,13 @@ impl<R: Record> RunBuilder<R> {
             }
             level = next_level;
         }
-        let root_page = self.pages_written.saturating_sub(1);
-        // Right-size the Bloom filter if the run turned out much smaller than
-        // the sizing estimate (the paper shrinks by halving).
-        let cfg = BloomConfig::default();
-        let ideal_bits = cfg.bits_for(self.records as usize);
-        if ideal_bits < self.bloom.num_bits() {
-            self.bloom.shrink_to(ideal_bits);
-        }
-        Ok(Run {
-            files: self.files,
-            file: self.file,
-            root_page,
-            leaf_pages,
-            records: self.records,
-            min_key: if self.records == 0 { 0 } else { self.min_key },
-            max_key: self.max_key,
-            bloom: self.bloom,
-            _marker: PhantomData,
-        })
+        Ok(leaf_pages)
+    }
+
+    /// Abandons the build, deleting the partially written run file. Called on
+    /// error paths so a failed consistency-point flush does not leak pages.
+    pub fn abandon(self) {
+        let _ = self.files.delete(self.file);
     }
 }
 
@@ -458,7 +587,9 @@ fn set_header(buf: &mut [u8], kind: u8, count: usize) {
 
 fn parse_header(buf: &[u8]) -> Result<(u8, usize)> {
     if buf.len() < PAGE_HEADER {
-        return Err(LsmError::CorruptRun { detail: "page shorter than header".into() });
+        return Err(LsmError::CorruptRun {
+            detail: "page shorter than header".into(),
+        });
     }
     let count = u16::from_be_bytes([buf[0], buf[1]]) as usize;
     Ok((buf[2], count))
@@ -471,19 +602,25 @@ mod tests {
     use blockdev::{Device, DeviceConfig, SimDisk};
 
     fn files() -> Arc<FileStore> {
-        Arc::new(FileStore::new(SimDisk::new_shared(DeviceConfig::free_latency())))
+        Arc::new(FileStore::new(SimDisk::new_shared(
+            DeviceConfig::free_latency(),
+        )))
     }
 
     fn build(records: &[TestRec]) -> (Arc<FileStore>, Run<TestRec>) {
         let fs = files();
-        let run = Run::build(&fs, records, &BloomConfig::default()).unwrap().unwrap();
+        let run = Run::build(&fs, records, &BloomConfig::default())
+            .unwrap()
+            .unwrap();
         (fs, run)
     }
 
     #[test]
     fn empty_input_builds_nothing() {
         let fs = files();
-        assert!(Run::<TestRec>::build(&fs, &[], &BloomConfig::default()).unwrap().is_none());
+        assert!(Run::<TestRec>::build(&fs, &[], &BloomConfig::default())
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -500,14 +637,19 @@ mod tests {
     fn large_run_spans_multiple_levels_and_scans_correctly() {
         // 16-byte records, ~255 per leaf; 10,000 records => ~40 leaves =>
         // at least one internal level.
-        let recs: Vec<TestRec> = (0..10_000u64).map(|k| TestRec::new(k, k ^ 0xdead)).collect();
+        let recs: Vec<TestRec> = (0..10_000u64)
+            .map(|k| TestRec::new(k, k ^ 0xdead))
+            .collect();
         let (_fs, run) = build(&recs);
         let stats = run.stats();
         assert!(stats.leaf_pages > 1);
         assert!(stats.total_pages > stats.leaf_pages, "has internal pages");
         assert_eq!(run.scan_all().unwrap().len(), 10_000);
         // Point query in the middle.
-        assert_eq!(run.scan_range(5_000, 5_000).unwrap(), vec![TestRec::new(5_000, 5_000 ^ 0xdead)]);
+        assert_eq!(
+            run.scan_range(5_000, 5_000).unwrap(),
+            vec![TestRec::new(5_000, 5_000 ^ 0xdead)]
+        );
         // Range query.
         let r = run.scan_range(9_990, 10_005).unwrap();
         assert_eq!(r.len(), 10);
@@ -541,7 +683,11 @@ mod tests {
         let (_fs, run) = build(&recs);
         assert!(run.stats().leaf_pages >= 2);
         let hits = run.scan_range(1_000, 1_000).unwrap();
-        assert_eq!(hits.len(), 300, "every duplicate across the leaf boundary is returned");
+        assert_eq!(
+            hits.len(),
+            300,
+            "every duplicate across the leaf boundary is returned"
+        );
         // And a range that starts mid-duplicates still works.
         assert_eq!(run.scan_range(999, 1_001).unwrap().len(), 300);
         assert_eq!(run.scan_range(0, 199).unwrap().len(), 200);
@@ -557,7 +703,10 @@ mod tests {
         );
         let mut b = RunBuilder::<TestRec>::with_capacity(files(), &BloomConfig::default(), 10);
         b.push(&TestRec::new(5, 0)).unwrap();
-        assert_eq!(b.push(&TestRec::new(1, 0)).unwrap_err(), LsmError::UnsortedInput);
+        assert_eq!(
+            b.push(&TestRec::new(1, 0)).unwrap_err(),
+            LsmError::UnsortedInput
+        );
     }
 
     #[test]
@@ -565,8 +714,14 @@ mod tests {
         let disk = SimDisk::new_shared(DeviceConfig::free_latency());
         let fs = Arc::new(FileStore::new(disk.clone()));
         let recs: Vec<TestRec> = (0..5_000u64).map(|k| TestRec::new(k, 0)).collect();
-        let _run = Run::build(&fs, &recs, &BloomConfig::default()).unwrap().unwrap();
-        assert_eq!(disk.stats().snapshot().page_reads, 0, "bottom-up build reads nothing");
+        let _run = Run::build(&fs, &recs, &BloomConfig::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            disk.stats().snapshot().page_reads,
+            0,
+            "bottom-up build reads nothing"
+        );
         assert!(disk.stats().snapshot().page_writes > 0);
     }
 
@@ -575,11 +730,19 @@ mod tests {
         let recs: Vec<TestRec> = (0..1000u64).map(|k| TestRec::new(k * 1000, 0)).collect();
         let (_fs, run) = build(&recs);
         assert!(run.may_contain_range(0, 0));
-        assert!(!run.may_contain_range(2_000_000, 3_000_000), "outside key bounds");
+        assert!(
+            !run.may_contain_range(2_000_000, 3_000_000),
+            "outside key bounds"
+        );
         // Inside bounds but between stored keys: the bloom filter usually
         // rejects it (allow the rare false positive).
-        let rejected = (0..50).filter(|i| !run.may_contain_range(i * 1000 + 500, i * 1000 + 501)).count();
-        assert!(rejected > 25, "bloom filter should reject most absent point ranges");
+        let rejected = (0..50)
+            .filter(|i| !run.may_contain_range(i * 1000 + 500, i * 1000 + 501))
+            .count();
+        assert!(
+            rejected > 25,
+            "bloom filter should reject most absent point ranges"
+        );
     }
 
     #[test]
@@ -587,7 +750,9 @@ mod tests {
         let disk = SimDisk::new_shared(DeviceConfig::free_latency());
         let fs = Arc::new(FileStore::new(disk.clone()));
         let recs: Vec<TestRec> = (10..20u64).map(|k| TestRec::new(k, 0)).collect();
-        let run = Run::build(&fs, &recs, &BloomConfig::default()).unwrap().unwrap();
+        let run = Run::build(&fs, &recs, &BloomConfig::default())
+            .unwrap()
+            .unwrap();
         let before = disk.stats().snapshot();
         assert!(run.scan_range(100, 200).unwrap().is_empty());
         assert_eq!(disk.stats().snapshot().page_reads, before.page_reads);
@@ -610,7 +775,9 @@ mod tests {
     fn delete_frees_file() {
         let fs = files();
         let recs: Vec<TestRec> = (0..100u64).map(|k| TestRec::new(k, 0)).collect();
-        let run = Run::build(&fs, &recs, &BloomConfig::default()).unwrap().unwrap();
+        let run = Run::build(&fs, &recs, &BloomConfig::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(fs.file_count(), 1);
         run.delete().unwrap();
         assert_eq!(fs.file_count(), 0);

@@ -1,11 +1,12 @@
+use std::cell::Cell;
 use std::sync::Arc;
 
 use blockdev::FileStore;
 
 use crate::bloom::BloomConfig;
 use crate::deletion_vector::DeletionVector;
-use crate::error::Result;
-use crate::merge::merge_sorted;
+use crate::error::{LsmError, Result};
+use crate::merge::KWayMerge;
 use crate::partition::Partitioning;
 use crate::record::Record;
 use crate::run::{Run, RunStats};
@@ -35,7 +36,10 @@ impl Default for TableConfig {
 impl TableConfig {
     /// Creates a config with the given diagnostic name and defaults otherwise.
     pub fn named(name: impl Into<String>) -> Self {
-        TableConfig { name: name.into(), ..Default::default() }
+        TableConfig {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Sets the partitioning scheme.
@@ -193,38 +197,58 @@ impl<R: Record> LsmTable<R> {
     ///
     /// # Errors
     ///
-    /// Propagates device errors; on error the write store has already been
-    /// drained (consistent with the paper's model where a failed CP is
-    /// recovered from the file-system journal).
+    /// Propagates device errors. On error, every record that did not make it
+    /// into a completed run is re-inserted into the write store, so a failed
+    /// consistency point loses nothing: the caller can retry the flush once
+    /// the device recovers (runs that were completed before the error stay
+    /// on disk and are already visible to queries).
     pub fn flush_cp(&mut self) -> Result<FlushStats> {
         let drained = self.ws.drain_sorted();
         if drained.is_empty() {
             return Ok(FlushStats::default());
         }
-        let mut stats = FlushStats { records_flushed: drained.len() as u64, ..Default::default() };
+        let mut stats = FlushStats {
+            records_flushed: drained.len() as u64,
+            ..Default::default()
+        };
         let parts = self.config.partitioning;
-        if parts.partition_count() == 1 {
-            if let Some(run) = Run::build(&self.files, &drained, &self.config.bloom)? {
-                stats.runs_created += 1;
-                stats.pages_written += run.stats().total_pages;
-                self.runs[0].push(run);
-            }
+        // (partition index, records) for each non-empty partition.
+        let mut buckets: Vec<(usize, Vec<R>)> = if parts.partition_count() == 1 {
+            vec![(0, drained)]
         } else {
-            let mut buckets: Vec<Vec<R>> =
-                (0..parts.partition_count() as usize).map(|_| Vec::new()).collect();
+            let mut split: Vec<Vec<R>> = (0..parts.partition_count() as usize)
+                .map(|_| Vec::new())
+                .collect();
             for r in drained {
-                buckets[parts.partition_of(r.partition_key()) as usize].push(r);
+                split[parts.partition_of(r.partition_key()) as usize].push(r);
             }
-            for (idx, bucket) in buckets.into_iter().enumerate() {
-                if bucket.is_empty() {
-                    continue;
-                }
-                if let Some(run) = Run::build(&self.files, &bucket, &self.config.bloom)? {
+            split
+                .into_iter()
+                .enumerate()
+                .filter(|(_, b)| !b.is_empty())
+                .collect()
+        };
+        let mut i = 0;
+        while i < buckets.len() {
+            let (pidx, bucket) = &buckets[i];
+            match Run::build(&self.files, bucket, &self.config.bloom) {
+                Ok(Some(run)) => {
                     stats.runs_created += 1;
                     stats.pages_written += run.stats().total_pages;
-                    self.runs[idx].push(run);
+                    let pidx = *pidx;
+                    self.runs[pidx].push(run);
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // Retain the data: this bucket and every unflushed one
+                    // go back into the write store for a later retry.
+                    for (_, bucket) in buckets.drain(i..) {
+                        self.ws.extend(bucket);
+                    }
+                    return Err(e);
                 }
             }
+            i += 1;
         }
         Ok(stats)
     }
@@ -232,28 +256,17 @@ impl<R: Record> LsmTable<R> {
     /// Returns every record (write store and runs) whose partition key falls
     /// in `min..=max`, sorted, with deletion-vector records removed.
     ///
+    /// The read path streams: each relevant run contributes a lazy
+    /// [`iter_range`](Run::iter_range) cursor, the write store contributes
+    /// its range iterator, and a [`KWayMerge`] produces the result directly,
+    /// applying the deletion vector record by record — no per-source
+    /// materialization.
+    ///
     /// # Errors
     ///
     /// Propagates device errors from reading run pages.
     pub fn query_range(&self, min: u64, max: u64) -> Result<Vec<R>> {
-        let mut sources: Vec<Vec<R>> = Vec::new();
-        let ws_hits: Vec<R> = self.ws.range_by_partition_key(min..=max).cloned().collect();
-        if !ws_hits.is_empty() {
-            sources.push(ws_hits);
-        }
-        for pidx in self.config.partitioning.partitions_for_range(min, max) {
-            for run in &self.runs[pidx as usize] {
-                if run.may_contain_range(min, max) {
-                    let hits = run.scan_range(min, max)?;
-                    if !hits.is_empty() {
-                        sources.push(hits);
-                    }
-                }
-            }
-        }
-        let mut merged = merge_sorted(sources);
-        self.deletions.filter(&mut merged);
-        Ok(merged)
+        self.merge_streams(min, max, true)
     }
 
     /// Returns all records in the table (write store and runs), sorted, with
@@ -266,15 +279,50 @@ impl<R: Record> LsmTable<R> {
     /// sorted, with deleted records removed. Database maintenance operates on
     /// this view: write-store records always survive maintenance untouched.
     pub fn scan_disk(&self) -> Result<Vec<R>> {
-        let mut sources: Vec<Vec<R>> = Vec::new();
-        for part in &self.runs {
-            for run in part {
-                sources.push(run.scan_all()?);
+        self.merge_streams(0, u64::MAX, false)
+    }
+
+    /// The shared streaming read path behind [`query_range`](Self::query_range)
+    /// and [`scan_disk`](Self::scan_disk).
+    fn merge_streams(&self, min: u64, max: u64, include_ws: bool) -> Result<Vec<R>> {
+        // Device errors hit mid-stream land in this cell (the merge operates
+        // on plain records); the first error aborts the query.
+        let error: Cell<Option<LsmError>> = Cell::new(None);
+        let mut sources: Vec<Box<dyn Iterator<Item = R> + '_>> = Vec::new();
+        if include_ws && !self.ws.is_empty() {
+            sources.push(Box::new(self.ws.range_by_partition_key(min..=max).cloned()));
+        }
+        for pidx in self.config.partitioning.partitions_for_range(min, max) {
+            for run in &self.runs[pidx as usize] {
+                if run.may_contain_range(min, max) {
+                    // Descent errors surface immediately; later page errors
+                    // are captured by the adapter below.
+                    let iter = run.iter_range(min, max)?;
+                    sources.push(Box::new(CaptureErrors {
+                        inner: iter,
+                        sink: &error,
+                    }));
+                }
             }
         }
-        let mut merged = merge_sorted(sources);
-        self.deletions.filter(&mut merged);
-        Ok(merged)
+        let mut out = Vec::new();
+        let apply_deletions = !self.deletions.is_empty();
+        let mut merge = KWayMerge::new(sources);
+        loop {
+            // Abort at the first captured error instead of draining the
+            // remaining sources into a result that will be thrown away.
+            if let Some(e) = error.take() {
+                return Err(e);
+            }
+            let Some(rec) = merge.next() else { break };
+            if !apply_deletions || !self.deletions.contains(&rec) {
+                out.push(rec);
+            }
+        }
+        match error.take() {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Replaces all on-disk runs with a single run per partition built from
@@ -307,8 +355,9 @@ impl<R: Record> LsmTable<R> {
                 self.runs[0].push(run);
             }
         } else {
-            let mut buckets: Vec<Vec<R>> =
-                (0..parts.partition_count() as usize).map(|_| Vec::new()).collect();
+            let mut buckets: Vec<Vec<R>> = (0..parts.partition_count() as usize)
+                .map(|_| Vec::new())
+                .collect();
             for r in records {
                 buckets[parts.partition_of(r.partition_key()) as usize].push(r.clone());
             }
@@ -381,6 +430,29 @@ impl<R: Record> LsmTable<R> {
     }
 }
 
+/// Adapts a fallible record stream into an infallible one for the k-way
+/// merge: the first error is parked in `sink` and the stream ends, which
+/// aborts the merge cleanly (the caller checks the cell afterwards).
+struct CaptureErrors<'a, R, I: Iterator<Item = Result<R>>> {
+    inner: I,
+    sink: &'a Cell<Option<LsmError>>,
+}
+
+impl<R, I: Iterator<Item = Result<R>>> Iterator for CaptureErrors<'_, R, I> {
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        match self.inner.next() {
+            Some(Ok(r)) => Some(r),
+            Some(Err(e)) => {
+                self.sink.set(Some(e));
+                None
+            }
+            None => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,7 +515,11 @@ mod tests {
         assert_eq!(stats.runs_after, 1);
         assert_eq!(stats.records_before, 250);
         assert_eq!(stats.records_after, 250);
-        assert_eq!(t.scan_all().unwrap(), before, "compaction preserves contents");
+        assert_eq!(
+            t.scan_all().unwrap(),
+            before,
+            "compaction preserves contents"
+        );
         assert_eq!(t.run_count(), 1);
     }
 
@@ -487,15 +563,19 @@ mod tests {
         t.insert(TestRec::new(7, 7));
         t.mark_deleted(TestRec::new(7, 7));
         assert_eq!(t.ws_len(), 0);
-        assert_eq!(t.stats().deleted_records, 0, "no deletion vector entry needed");
+        assert_eq!(
+            t.stats().deleted_records,
+            0,
+            "no deletion vector entry needed"
+        );
     }
 
     #[test]
     fn partitioned_table_splits_runs_by_key_range() {
         let disk = SimDisk::new_shared(DeviceConfig::free_latency());
         let files = Arc::new(FileStore::new(disk));
-        let config = TableConfig::named("parted")
-            .with_partitioning(Partitioning::fixed_ranges(4, 1_000));
+        let config =
+            TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(4, 1_000));
         let mut t = LsmTable::new(files, config);
         for i in 0..4_000u64 {
             t.insert(TestRec::new(i, 0));
@@ -524,6 +604,87 @@ mod tests {
         let (_d, mut t) = table();
         let recs = vec![TestRec::new(5, 0), TestRec::new(1, 0)];
         assert!(t.replace_disk_contents(&recs).is_err());
+    }
+
+    #[test]
+    fn failed_flush_returns_records_to_write_store() {
+        let (disk, mut t) = table();
+        for i in 0..1000u64 {
+            t.insert(TestRec::new(i, i));
+        }
+        disk.fail_writes_after(1);
+        assert!(t.flush_cp().is_err());
+        // Nothing was lost: the records are back in the write store and the
+        // partially written run file was deleted rather than leaked.
+        assert_eq!(t.ws_len(), 1000);
+        assert_eq!(t.run_count(), 0);
+        assert_eq!(
+            t.files().file_count(),
+            0,
+            "aborted run file must be deleted"
+        );
+        assert_eq!(t.scan_all().unwrap().len(), 1000);
+        // Retry after recovery flushes the same records.
+        disk.clear_write_fault();
+        let stats = t.flush_cp().unwrap();
+        assert_eq!(stats.records_flushed, 1000);
+        assert_eq!(t.ws_len(), 0);
+        assert_eq!(t.scan_all().unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn failed_flush_keeps_completed_partitions_and_retains_the_rest() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk.clone()));
+        let config =
+            TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(4, 1_000));
+        let mut t = LsmTable::new(files, config);
+        for i in 0..4_000u64 {
+            t.insert(TestRec::new(i, 0));
+        }
+        // Partition 0 holds 1000 16-byte records: 4 leaves + 1 root = 5
+        // pages. Let those through, then fail partition 1 mid-build.
+        disk.fail_writes_after(5);
+        assert!(t.flush_cp().is_err());
+        disk.clear_write_fault();
+        // Whatever completed is on disk; everything else is retained, and
+        // the union is intact.
+        assert_eq!(t.ws_len() as u64 + t.stats().disk_records, 4_000);
+        assert!(
+            t.ws_len() > 0,
+            "failed partitions must return to the write store"
+        );
+        assert_eq!(t.scan_all().unwrap().len(), 4_000, "no record lost");
+        t.flush_cp().unwrap();
+        assert_eq!(t.ws_len(), 0);
+        assert_eq!(t.scan_all().unwrap().len(), 4_000);
+    }
+
+    #[test]
+    fn narrow_queries_do_not_materialize_full_run_scans() {
+        let (disk, mut t) = table();
+        // One large run: 50k 16-byte records = ~197 leaves + index pages.
+        for i in 0..50_000u64 {
+            t.insert(TestRec::new(i, i));
+        }
+        t.flush_cp().unwrap();
+        let full_scan_pages = {
+            let before = disk.stats().snapshot().page_reads;
+            assert_eq!(t.scan_all().unwrap().len(), 50_000);
+            disk.stats().snapshot().page_reads - before
+        };
+        let narrow_pages = {
+            let before = disk.stats().snapshot().page_reads;
+            assert_eq!(t.query_range(25_000, 25_000).unwrap().len(), 1);
+            disk.stats().snapshot().page_reads - before
+        };
+        // A point query touches the B-tree descent plus one leaf — single
+        // digits — while the full scan touches every leaf.
+        assert!(narrow_pages <= 6, "point query read {narrow_pages} pages");
+        assert!(
+            full_scan_pages >= 190,
+            "full scan expected to touch every leaf, read {full_scan_pages}"
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ impl<R: Record> Default for WriteStore<R> {
 impl<R: Record> WriteStore<R> {
     /// Creates an empty write store.
     pub fn new() -> Self {
-        WriteStore { records: BTreeSet::new() }
+        WriteStore {
+            records: BTreeSet::new(),
+        }
     }
 
     /// Inserts a record. Returns `true` if it was not already present.
@@ -112,7 +114,9 @@ impl<R: Record> Extend<R> for WriteStore<R> {
 
 impl<R: Record> FromIterator<R> for WriteStore<R> {
     fn from_iter<T: IntoIterator<Item = R>>(iter: T) -> Self {
-        WriteStore { records: iter.into_iter().collect() }
+        WriteStore {
+            records: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -125,7 +129,10 @@ mod tests {
     fn insert_remove_contains() {
         let mut ws = WriteStore::new();
         assert!(ws.insert(TestRec::new(5, 1)));
-        assert!(!ws.insert(TestRec::new(5, 1)), "duplicate insert reports false");
+        assert!(
+            !ws.insert(TestRec::new(5, 1)),
+            "duplicate insert reports false"
+        );
         assert!(ws.contains(&TestRec::new(5, 1)));
         assert!(ws.remove(&TestRec::new(5, 1)));
         assert!(!ws.remove(&TestRec::new(5, 1)));

@@ -59,7 +59,12 @@ pub struct AppConfig {
 impl AppConfig {
     /// A reasonable default for the given profile.
     pub fn new(profile: AppProfile, transactions: u64) -> Self {
-        AppConfig { profile, transactions, ops_per_cp: 2048, seed: 0xA22 }
+        AppConfig {
+            profile,
+            transactions,
+            ops_per_cp: 2048,
+            seed: 0xA22,
+        }
     }
 }
 
@@ -93,26 +98,24 @@ impl AppResult {
 /// # Errors
 ///
 /// Propagates simulator and provider errors.
-pub fn run_app<P: BackrefProvider>(
-    fs: &mut FileSystem<P>,
-    config: AppConfig,
-) -> Result<AppResult> {
+pub fn run_app<P: BackrefProvider>(fs: &mut FileSystem<P>, config: AppConfig) -> Result<AppResult> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut live: Vec<InodeNo> = Vec::new();
     let mut ops_since_cp = 0u64;
     let mut result = AppResult::default();
     let start = Instant::now();
 
-    let bump = |fs: &mut FileSystem<P>, ops_since_cp: &mut u64, result: &mut AppResult| -> Result<()> {
-        *ops_since_cp += 1;
-        if *ops_since_cp >= config.ops_per_cp {
-            let cp = fs.take_consistency_point()?;
-            result.provider_pages_written += cp.provider.pages_written;
-            result.consistency_points += 1;
-            *ops_since_cp = 0;
-        }
-        Ok(())
-    };
+    let bump =
+        |fs: &mut FileSystem<P>, ops_since_cp: &mut u64, result: &mut AppResult| -> Result<()> {
+            *ops_since_cp += 1;
+            if *ops_since_cp >= config.ops_per_cp {
+                let cp = fs.take_consistency_point()?;
+                result.provider_pages_written += cp.provider.pages_written;
+                result.consistency_points += 1;
+                *ops_since_cp = 0;
+            }
+            Ok(())
+        };
 
     for _ in 0..config.transactions {
         match config.profile {
@@ -189,7 +192,11 @@ mod tests {
 
     #[test]
     fn all_profiles_run_to_completion() {
-        for profile in [AppProfile::Dbench, AppProfile::Varmail, AppProfile::Postmark] {
+        for profile in [
+            AppProfile::Dbench,
+            AppProfile::Varmail,
+            AppProfile::Postmark,
+        ] {
             let mut fs = FileSystem::new(NullProvider::new(), FsConfig::minimal());
             let mut config = AppConfig::new(profile, 200);
             config.ops_per_cp = 64;
@@ -208,7 +215,11 @@ mod tests {
             let mut config = AppConfig::new(AppProfile::Postmark, 300);
             config.ops_per_cp = 128;
             run_app(&mut fs, config).unwrap();
-            (fs.stats().files_created, fs.stats().files_deleted, fs.stats().block_ops)
+            (
+                fs.stats().files_created,
+                fs.stats().files_deleted,
+                fs.stats().block_ops,
+            )
         };
         assert_eq!(run(), run());
     }

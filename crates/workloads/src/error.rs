@@ -54,7 +54,9 @@ mod tests {
         let e: WorkloadError = FsError::NoSuchLine { line: LineId(1) }.into();
         assert!(e.to_string().contains("file system error"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = WorkloadError::InvalidConfig { reason: "zero ops".into() };
+        let e = WorkloadError::InvalidConfig {
+            reason: "zero ops".into(),
+        };
         assert!(e.to_string().contains("zero ops"));
     }
 }

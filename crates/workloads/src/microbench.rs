@@ -26,12 +26,20 @@ pub struct MicrobenchSpec {
 impl MicrobenchSpec {
     /// The paper's "creation of a 4 KB file" benchmark shape.
     pub fn small_files(files: u64, ops_per_cp: u64) -> Self {
-        MicrobenchSpec { files, blocks_per_file: 1, ops_per_cp }
+        MicrobenchSpec {
+            files,
+            blocks_per_file: 1,
+            ops_per_cp,
+        }
     }
 
     /// The paper's "creation of a 64 KB file" benchmark shape.
     pub fn large_files(files: u64, ops_per_cp: u64) -> Self {
-        MicrobenchSpec { files, blocks_per_file: 16, ops_per_cp }
+        MicrobenchSpec {
+            files,
+            blocks_per_file: 16,
+            ops_per_cp,
+        }
     }
 }
 
@@ -101,7 +109,7 @@ pub fn run_delete<P: BackrefProvider>(
     let start = Instant::now();
     for (i, &inode) in inodes.iter().enumerate() {
         fs.delete_file(LineId::ROOT, inode)?;
-        if (i as u64 + 1) % spec.ops_per_cp == 0 {
+        if (i as u64 + 1).is_multiple_of(spec.ops_per_cp) {
             let cp = fs.take_consistency_point()?;
             result.provider_pages_written += cp.provider.pages_written;
             result.provider_pages_read += cp.provider.pages_read;
@@ -144,7 +152,10 @@ mod tests {
         );
         let (inodes, result) = run_create(&mut fs, spec).unwrap();
         assert_eq!(fs.file_len(LineId::ROOT, inodes[0]).unwrap(), 16);
-        assert!(result.provider_pages_written > 0, "backlog wrote run pages at the CPs");
+        assert!(
+            result.provider_pages_written > 0,
+            "backlog wrote run pages at the CPs"
+        );
     }
 
     #[test]

@@ -113,9 +113,11 @@ impl SyntheticWorkload {
 
     fn pick_file_size(&mut self) -> u64 {
         if self.rng.gen_bool(self.config.small_file_fraction) {
-            self.rng.gen_range(self.config.small_file_blocks.0..=self.config.small_file_blocks.1)
+            self.rng
+                .gen_range(self.config.small_file_blocks.0..=self.config.small_file_blocks.1)
         } else {
-            self.rng.gen_range(self.config.large_file_blocks.0..=self.config.large_file_blocks.1)
+            self.rng
+                .gen_range(self.config.large_file_blocks.0..=self.config.large_file_blocks.1)
         }
     }
 
@@ -257,7 +259,11 @@ mod tests {
             let mut wl = SyntheticWorkload::new(cfg);
             let mut fs = FileSystem::new(NullProvider::new(), FsConfig::default().with_seed(1));
             wl.run(&mut fs, 3, |_, _| {}).unwrap();
-            (fs.stats().block_ops, fs.stats().files_created, fs.stats().files_deleted)
+            (
+                fs.stats().block_ops,
+                fs.stats().files_created,
+                fs.stats().files_deleted,
+            )
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
@@ -292,8 +298,7 @@ mod tests {
         wl.run(&mut fs, 12, |_, _| {}).unwrap();
         fs.provider_mut().maintenance().unwrap();
         let expected = fs.expected_refs();
-        let report =
-            backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
+        let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
         assert!(
             report.is_consistent(),
             "missing {} spurious {}",

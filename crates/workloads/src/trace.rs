@@ -137,7 +137,13 @@ impl TraceGenerator {
     /// Creates a generator.
     pub fn new(config: TraceConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        TraceGenerator { config, rng, next_file: 0, live_files: Vec::new(), hour: 0 }
+        TraceGenerator {
+            config,
+            rng,
+            next_file: 0,
+            live_files: Vec::new(),
+            hour: 0,
+        }
     }
 
     /// The configuration in use.
@@ -177,7 +183,11 @@ impl TraceGenerator {
         {
             let idx = self.rng.gen_range(0..self.live_files.len());
             let (file, len) = self.live_files[idx];
-            let new_len = if len > 1 { self.rng.gen_range(0..len) } else { 0 };
+            let new_len = if len > 1 {
+                self.rng.gen_range(0..len)
+            } else {
+                0
+            };
             self.live_files[idx].1 = new_len;
             return TraceOp::Truncate { file, new_len };
         }
@@ -202,7 +212,11 @@ impl TraceGenerator {
             let len = len.max(1);
             let offset = self.rng.gen_range(0..len);
             let blocks = self.rng.gen_range(1..=4.min(len - offset).max(1));
-            TraceOp::Write { file, offset, blocks }
+            TraceOp::Write {
+                file,
+                offset,
+                blocks,
+            }
         }
     }
 }
@@ -279,7 +293,11 @@ impl TracePlayer {
                 let inode = fs.create_file(LineId::ROOT, blocks)?;
                 self.file_map.insert(file, inode);
             }
-            TraceOp::Write { file, offset, blocks } => {
+            TraceOp::Write {
+                file,
+                offset,
+                blocks,
+            } => {
                 if let Some(&inode) = self.file_map.get(&file) {
                     let len = fs.file_len(LineId::ROOT, inode)?;
                     let offset = offset.min(len);
@@ -312,7 +330,9 @@ mod tests {
         let gen = |seed| {
             let mut cfg = TraceConfig::small();
             cfg.seed = seed;
-            TraceGenerator::new(cfg).flatten().collect::<Vec<TraceRecord>>()
+            TraceGenerator::new(cfg)
+                .flatten()
+                .collect::<Vec<TraceRecord>>()
         };
         let a = gen(1);
         let b = gen(1);
@@ -326,10 +346,16 @@ mod tests {
 
     #[test]
     fn diurnal_pattern_varies_load() {
-        let cfg = TraceConfig { hours: 48, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            hours: 48,
+            ..TraceConfig::default()
+        };
         assert!(cfg.is_peak_hour(10), "10:00 on day 0 (a weekday) is peak");
         assert!(!cfg.is_peak_hour(3), "03:00 is off-peak");
-        let mut g = TraceGenerator::new(TraceConfig { hours: 24, ..TraceConfig::default() });
+        let mut g = TraceGenerator::new(TraceConfig {
+            hours: 24,
+            ..TraceConfig::default()
+        });
         let mut per_hour = Vec::new();
         while let Some(records) = g.next_hour() {
             per_hour.push(records.len());
@@ -370,7 +396,10 @@ mod tests {
         let mut cps = 0;
         player.play(&mut fs, &records, |_, _| cps += 1).unwrap();
         player.finish(&mut fs).unwrap();
-        assert!(cps > 100, "one hour at a 10 s CP interval yields ~360 CPs, got {cps}");
+        assert!(
+            cps > 100,
+            "one hour at a 10 s CP interval yields ~360 CPs, got {cps}"
+        );
         assert!(fs.stats().files_created > 0);
     }
 

@@ -9,7 +9,7 @@
 //! Run with `cargo run --example clone_farm`.
 
 use backlog::{BacklogConfig, LineId};
-use fsim::{BackrefProvider, BacklogProvider, FileSystem, FsConfig, SnapshotPolicy};
+use fsim::{BacklogProvider, BackrefProvider, FileSystem, FsConfig, SnapshotPolicy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fs = FileSystem::new(
@@ -27,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Spin up a farm of writable clones for developers.
     let snap = fs.take_snapshot(LineId::ROOT)?;
-    let clones: Vec<LineId> = (0..6).map(|_| fs.create_clone(snap)).collect::<Result<_, _>>()?;
+    let clones: Vec<LineId> = (0..6)
+        .map(|_| fs.create_clone(snap))
+        .collect::<Result<_, _>>()?;
     let after_clone_io = fs.provider().engine().device().stats().snapshot();
     println!(
         "created {} writable clones of {} with {} bytes of extra back-reference I/O",

@@ -9,7 +9,7 @@
 //! Run with `cargo run --example defragment_shared`.
 
 use backlog::{BacklogConfig, LineId};
-use fsim::{BackrefProvider, BacklogProvider, FileSystem, FsConfig};
+use fsim::{BacklogProvider, BackrefProvider, FileSystem, FsConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fs = FileSystem::new(
@@ -74,7 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             target += 1;
         }
     }
-    println!("relocated {moved} private references into a contiguous region starting at block 1000000");
+    println!(
+        "relocated {moved} private references into a contiguous region starting at block 1000000"
+    );
 
     // The shared blocks were left untouched; VM B and the golden snapshot
     // still resolve correctly.

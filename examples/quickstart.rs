@@ -44,7 +44,11 @@ fn main() -> Result<(), backlog::BacklogError> {
             backref.offset,
             backref.line,
             backref.from,
-            if backref.to == backlog::CP_INFINITY { "now".to_owned() } else { backref.to.to_string() }
+            if backref.to == backlog::CP_INFINITY {
+                "now".to_owned()
+            } else {
+                backref.to.to_string()
+            }
         );
     }
 

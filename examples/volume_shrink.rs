@@ -9,7 +9,7 @@
 //! Run with `cargo run --example volume_shrink`.
 
 use backlog::{BacklogConfig, LineId};
-use fsim::{BackrefProvider, BacklogProvider, FileSystem, FsConfig};
+use fsim::{BacklogProvider, FileSystem, FsConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fs = FileSystem::new(
@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One range query over the vacated region tells us every owner of every
     // block that has to move — no tree walk required.
     let start = std::time::Instant::now();
-    let result = fs.provider_mut().engine_mut().query_range(cutoff, u64::MAX)?;
+    let result = fs
+        .provider_mut()
+        .engine_mut()
+        .query_range(cutoff, u64::MAX)?;
     let to_move: Vec<u64> = result.blocks();
     println!(
         "range query found {} blocks with {} references to update ({} page reads, {:?})",
@@ -49,19 +52,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         start.elapsed()
     );
 
-    // Move each block below the cutoff and update its references.
-    let mut target = high_water + 1; // staging area; a real shrink would pick free low blocks
+    // Move each block below the cutoff and update its references. The
+    // staging area starts just past the high-water mark; a real shrink would
+    // pick free low blocks.
     let mut moved_refs = 0usize;
-    for block in &to_move {
-        moved_refs += fs.provider_mut().engine_mut().relocate_block(*block, target)?;
-        target += 1;
+    for (target, block) in (high_water + 1..).zip(to_move.iter()) {
+        moved_refs += fs
+            .provider_mut()
+            .engine_mut()
+            .relocate_block(*block, target)?;
     }
     fs.take_consistency_point()?;
-    println!("updated {moved_refs} references while vacating {} blocks", to_move.len());
+    println!(
+        "updated {moved_refs} references while vacating {} blocks",
+        to_move.len()
+    );
 
     // Nothing above the cutoff (and below the staging area) is referenced
     // any more.
-    let leftover = fs.provider_mut().engine_mut().query_range(cutoff, high_water)?;
+    let leftover = fs
+        .provider_mut()
+        .engine_mut()
+        .query_range(cutoff, high_water)?;
     assert!(
         leftover.refs.is_empty(),
         "vacated region still referenced: {:?}",

@@ -4,16 +4,17 @@
 
 use backlog::{BacklogConfig, LineId};
 use baseline::{BtrfsLikeBackrefs, NaiveBackrefs};
-use fsim::{
-    BackrefProvider, BacklogProvider, DedupConfig, FileSystem, FsConfig, SnapshotPolicy,
-};
+use fsim::{BacklogProvider, BackrefProvider, DedupConfig, FileSystem, FsConfig, SnapshotPolicy};
 use workloads::{
     run_app, run_create, run_delete, AppConfig, AppProfile, MicrobenchSpec, SyntheticConfig,
     SyntheticWorkload, TraceConfig, TraceGenerator, TracePlayer,
 };
 
 fn backlog_fs(config: FsConfig) -> FileSystem<BacklogProvider> {
-    FileSystem::new(BacklogProvider::new(BacklogConfig::default().without_timing()), config)
+    FileSystem::new(
+        BacklogProvider::new(BacklogConfig::default().without_timing()),
+        config,
+    )
 }
 
 fn assert_consistent(fs: &mut FileSystem<BacklogProvider>) {
@@ -36,16 +37,26 @@ fn synthetic_workload_with_clones_verifies_across_maintenance() {
     cfg.clones_per_100_cps = 40.0;
     let mut workload = SyntheticWorkload::new(cfg);
     let mut fs = backlog_fs(
-        FsConfig::default().with_snapshots(SnapshotPolicy::paper_default(3)).with_seed(77),
+        FsConfig::default()
+            .with_snapshots(SnapshotPolicy::paper_default(3))
+            .with_seed(77),
     );
     for round in 0..3 {
-        workload.run(&mut fs, 6, |_, _| {}).expect("workload failed");
+        workload
+            .run(&mut fs, 6, |_, _| {})
+            .expect("workload failed");
         assert_consistent(&mut fs);
         fs.provider_mut().maintenance().expect("maintenance failed");
         assert_consistent(&mut fs);
-        assert!(fs.provider().engine().run_count() <= 3, "round {round}: maintenance left extra runs");
+        assert!(
+            fs.provider().engine().run_count() <= 3,
+            "round {round}: maintenance left extra runs"
+        );
     }
-    assert!(fs.stats().clones_created > 0, "workload should have exercised clones");
+    assert!(
+        fs.stats().clones_created > 0,
+        "workload should have exercised clones"
+    );
 }
 
 #[test]
@@ -57,7 +68,9 @@ fn nfs_trace_replay_matches_tree_walk() {
     let records: Vec<_> = TraceGenerator::new(cfg).flatten().collect();
     let mut fs = backlog_fs(FsConfig::default().with_snapshots(SnapshotPolicy::paper_default(50)));
     let mut player = TracePlayer::new(30);
-    player.play(&mut fs, &records, |_, _| {}).expect("replay failed");
+    player
+        .play(&mut fs, &records, |_, _| {})
+        .expect("replay failed");
     player.finish(&mut fs).expect("final CP failed");
     assert_consistent(&mut fs);
     fs.provider_mut().maintenance().expect("maintenance failed");
@@ -67,7 +80,10 @@ fn nfs_trace_replay_matches_tree_walk() {
 #[test]
 fn microbenchmark_and_dedup_heavy_fs_verify() {
     let mut fs = backlog_fs(FsConfig {
-        dedup: DedupConfig { probability: 0.25, pool_size: 128 },
+        dedup: DedupConfig {
+            probability: 0.25,
+            pool_size: 128,
+        },
         metadata_cow: true,
         snapshot_policy: SnapshotPolicy::none(),
         seed: 9,
@@ -83,7 +99,11 @@ fn microbenchmark_and_dedup_heavy_fs_verify() {
 
 #[test]
 fn application_mixes_verify_and_report_throughput() {
-    for profile in [AppProfile::Dbench, AppProfile::Varmail, AppProfile::Postmark] {
+    for profile in [
+        AppProfile::Dbench,
+        AppProfile::Varmail,
+        AppProfile::Postmark,
+    ] {
         let mut fs = backlog_fs(FsConfig::minimal());
         let mut config = AppConfig::new(profile, 400);
         config.ops_per_cp = 128;
@@ -110,7 +130,9 @@ fn all_providers_agree_after_a_mixed_workload() {
             fs.overwrite(LineId::ROOT, inode, 0, 1).unwrap();
         }
         fs.take_consistency_point().unwrap();
-        (1..=blocks).map(|b| fs.provider_mut().query_owners(b).unwrap()).collect()
+        (1..=blocks)
+            .map(|b| fs.provider_mut().query_owners(b).unwrap())
+            .collect()
     }
     let reference = owners_snapshot(
         BacklogProvider::new(BacklogConfig::default().without_timing()),
@@ -126,17 +148,24 @@ fn partitioned_engine_behaves_like_single_partition() {
     let partitioned = BacklogConfig::partitioned(8, 100_000).without_timing();
     let mut answers = Vec::new();
     for config in [single, partitioned] {
-        let mut fs = FileSystem::new(BacklogProvider::new(config), FsConfig::minimal().with_seed(5));
+        let mut fs = FileSystem::new(
+            BacklogProvider::new(config),
+            FsConfig::minimal().with_seed(5),
+        );
         for _ in 0..50 {
             fs.create_file(LineId::ROOT, 4).unwrap();
         }
         fs.take_consistency_point().unwrap();
         fs.provider_mut().maintenance().unwrap();
-        let owners: Vec<_> =
-            (1..=200u64).map(|b| fs.provider_mut().query_owners(b).unwrap()).collect();
+        let owners: Vec<_> = (1..=200u64)
+            .map(|b| fs.provider_mut().query_owners(b).unwrap())
+            .collect();
         answers.push(owners);
     }
-    assert_eq!(answers[0], answers[1], "partitioning must not change query results");
+    assert_eq!(
+        answers[0], answers[1],
+        "partitioning must not change query results"
+    );
 }
 
 #[test]
@@ -153,8 +182,11 @@ fn relocation_during_live_workload_stays_consistent() {
     let mut target = 1_000_000u64;
     for &inode in &inodes[..10] {
         let blocks = fs.file_blocks(LineId::ROOT, inode).unwrap();
-        for (_offset, block) in blocks.iter().enumerate() {
-            fs.provider_mut().engine_mut().relocate_block(*block, target).unwrap();
+        for block in blocks.iter() {
+            fs.provider_mut()
+                .engine_mut()
+                .relocate_block(*block, target)
+                .unwrap();
             target += 1;
         }
     }
@@ -180,7 +212,9 @@ fn maintenance_is_idempotent_and_preserves_queries() {
     cfg.ops_per_cp = 300;
     let mut workload = SyntheticWorkload::new(cfg);
     let mut fs = backlog_fs(FsConfig::default().with_snapshots(SnapshotPolicy::paper_default(4)));
-    workload.run(&mut fs, 10, |_, _| {}).expect("workload failed");
+    workload
+        .run(&mut fs, 10, |_, _| {})
+        .expect("workload failed");
     let blocks: Vec<u64> = (1..=500).collect();
     let before: Vec<_> = blocks
         .iter()

@@ -34,7 +34,9 @@ impl Record for Rec {
 }
 
 fn files() -> Arc<FileStore> {
-    Arc::new(FileStore::new(SimDisk::new_shared(DeviceConfig::free_latency())))
+    Arc::new(FileStore::new(SimDisk::new_shared(
+        DeviceConfig::free_latency(),
+    )))
 }
 
 fn rec_strategy(max_key: u64) -> impl Strategy<Value = Rec> {

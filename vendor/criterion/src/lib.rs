@@ -1,0 +1,326 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Offline builds cannot pull the real criterion, so this crate implements
+//! the subset of its API the workspace benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched` /
+//! `iter_batched_ref`, throughput annotation and the `criterion_group!` /
+//! `criterion_main!` macros. Measurements are straightforward wall-clock
+//! medians over a fixed number of samples — adequate for relative
+//! comparisons (which is how the benches are used), without criterion's
+//! statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export used by benches to defeat constant folding.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            throughput: None,
+        }
+    }
+}
+
+/// How per-iteration setup output is sized (ignored by the stand-in).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small setup values: criterion batches many per measurement.
+    SmallInput,
+    /// Large setup values.
+    LargeInput,
+    /// Each iteration gets exactly one setup value.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so `bench_function` accepts `&str`.
+pub trait IntoBenchmarkId {
+    /// Converts to the canonical id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.run(&id.id, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finishes the group (printing is done per benchmark; this is a no-op
+    /// provided for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            warm_up: self.warm_up_time,
+            samples: self.sample_size,
+            per_iter_ns: 0.0,
+        };
+        f(&mut b);
+        let ns = b.per_iter_ns;
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 * 1e9 / ns)
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 * 1e9 / ns / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{full:<56} time: {}{throughput}", format_ns(ns));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:8.3} s ", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:8.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:8.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:8.1} ns")
+    }
+}
+
+/// Runs the measured closure and records per-iteration timings.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    warm_up: Duration,
+    samples: usize,
+    per_iter_ns: f64,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` directly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm up and estimate the cost of one iteration.
+        let warm_end = Instant::now() + self.warm_up;
+        let mut est_ns = 0u128;
+        let mut warm_iters = 0u64;
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            est_ns += t.elapsed().as_nanos();
+            warm_iters += 1;
+            if Instant::now() >= warm_end && warm_iters >= 1 {
+                break;
+            }
+        }
+        let est = (est_ns / warm_iters as u128).max(1);
+        // Size each sample so the whole measurement fits the time budget.
+        let budget_ns = self.budget.as_nanos();
+        let iters_per_sample = (budget_ns / self.samples as u128 / est).clamp(1, 1_000_000) as u64;
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.per_iter_ns = samples_ns[samples_ns.len() / 2];
+    }
+
+    /// Benchmarks `routine` on values produced by `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.per_iter_ns = samples_ns[samples_ns.len() / 2];
+    }
+
+    /// Like [`iter_batched`](Self::iter_batched) but passes the input by
+    /// mutable reference.
+    pub fn iter_batched_ref<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> R,
+    {
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let t = Instant::now();
+            black_box(routine(&mut input));
+            samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.per_iter_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.bench_function("batched_ref", |b| {
+            b.iter_batched_ref(|| vec![1u8; 16], |v| v.pop(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

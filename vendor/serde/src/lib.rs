@@ -1,0 +1,19 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace builds offline; this crate provides just enough surface for
+//! `use serde::{Deserialize, Serialize}` plus the derive attributes to
+//! compile. No serialization machinery is implemented — nothing in the
+//! workspace serializes at runtime. Swap this out for the real `serde` by
+//! deleting the `vendor/` entries and restoring crates.io dependencies once
+//! network access is available.
+
+/// Marker trait mirroring `serde::Serialize` (no methods; never invoked).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; never invoked).
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! This workspace builds in an offline environment, so the real crates.io
+//! dependency graph is replaced by minimal local crates under `vendor/`.
+//! Nothing in the workspace actually serializes data — the derives are kept
+//! so the public types remain annotated exactly as they would be with real
+//! serde — so the derive macros here expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
