@@ -1,0 +1,52 @@
+//! Criterion bench: the streaming maintenance pipeline vs. the retained
+//! materialized reference path, on the same pre-built database
+//! ([`backlog_bench::maintenance_db`], shared with the
+//! `bench_maintenance_pipeline` JSON binary so the two report comparable
+//! numbers).
+//!
+//! The streaming pipeline (`BacklogEngine::maintenance`) flows per-run
+//! cursors through the identity-grouped join directly into replacement run
+//! builders, one partition at a time; the reference path
+//! (`BacklogEngine::maintenance_reference`) materializes all three tables
+//! before joining.
+
+use backlog_bench::maintenance_db;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+fn bench_maintenance_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance_pipeline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for &(live, dead, partitions) in &[(20_000u64, 10_000u64, 1u32), (20_000, 10_000, 8)] {
+        group.throughput(Throughput::Elements(live + 2 * dead));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("streaming_{live}live_{dead}dead_{partitions}p")),
+            &(live, dead, partitions),
+            |b, &(live, dead, partitions)| {
+                b.iter_batched(
+                    || maintenance_db(live, dead, partitions),
+                    |mut e| e.maintenance().expect("maintenance failed"),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "materialized_{live}live_{dead}dead_{partitions}p"
+            )),
+            &(live, dead, partitions),
+            |b, &(live, dead, partitions)| {
+                b.iter_batched(
+                    || maintenance_db(live, dead, partitions),
+                    |mut e| e.maintenance_reference().expect("maintenance failed"),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance_pipeline);
+criterion_main!(benches);

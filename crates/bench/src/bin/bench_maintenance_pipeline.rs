@@ -1,0 +1,70 @@
+//! Emits the before/after numbers for the streaming maintenance pipeline as
+//! JSON (captured in `BENCH_maintenance_pipeline.json` at the repo root).
+//!
+//! "before" is the retained materialized path
+//! (`BacklogEngine::maintenance_reference`): scan all three tables into RAM,
+//! join, purge, rebuild from the vectors. "after" is the shipping streaming
+//! pipeline (`BacklogEngine::maintenance`): per-run cursors → k-way merge →
+//! identity-grouped join/purge → replacement run builders, one partition at
+//! a time with a crash-safe build-then-swap. Both wall time and the peak
+//! number of records resident in memory are reported at three database
+//! sizes, for the unpartitioned and a partitioned configuration.
+//!
+//! Run with `cargo run --release --bin bench_maintenance_pipeline`.
+
+use std::time::Instant;
+
+use backlog_bench::maintenance_db;
+
+fn main() {
+    let mut entries: Vec<String> = Vec::new();
+    for &(live, dead, partitions) in &[
+        (10_000u64, 5_000u64, 1u32),
+        (30_000, 15_000, 1),
+        (60_000, 30_000, 1),
+        (60_000, 30_000, 8),
+    ] {
+        // Identical databases, maintained by the two implementations.
+        let mut streaming = maintenance_db(live, dead, partitions);
+        let mut materialized = maintenance_db(live, dead, partitions);
+
+        let t = Instant::now();
+        let after = streaming.maintenance().expect("maintenance failed");
+        let after_ns = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let before = materialized
+            .maintenance_reference()
+            .expect("maintenance failed");
+        let before_ns = t.elapsed().as_nanos() as u64;
+
+        // The two paths must agree record for record.
+        assert_eq!(
+            streaming.from_table().scan_disk().expect("scan"),
+            materialized.from_table().scan_disk().expect("scan"),
+            "From tables diverged"
+        );
+        assert_eq!(
+            streaming.combined_table().scan_disk().expect("scan"),
+            materialized.combined_table().scan_disk().expect("scan"),
+            "Combined tables diverged"
+        );
+        assert_eq!(after.purged_records, before.purged_records);
+
+        let records = live + 2 * dead;
+        entries.push(format!(
+            "  \"maintenance_{live}live_{dead}dead_{partitions}p\": {{ \"records_processed\": {records}, \
+\"before_ns\": {before_ns}, \"after_ns\": {after_ns}, \"speedup\": {:.2}, \
+\"before_peak_resident_records\": {}, \"after_peak_resident_records\": {}, \
+\"purged_records\": {}, \"combined_records\": {} }}",
+            before_ns as f64 / after_ns as f64,
+            before.peak_resident_records,
+            after.peak_resident_records,
+            after.purged_records,
+            after.combined_records,
+        ));
+    }
+    println!("{{");
+    println!("{}", entries.join(",\n"));
+    println!("}}");
+}

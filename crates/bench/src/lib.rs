@@ -13,7 +13,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
-use backlog::BacklogConfig;
+use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
 use fsim::{BacklogProvider, DedupConfig, FileSystem, FsConfig, SnapshotPolicy};
 use workloads::SyntheticConfig;
 
@@ -41,6 +41,54 @@ pub fn synthetic_config(ops_per_cp: u64) -> SyntheticConfig {
         ops_per_cp,
         ..SyntheticConfig::default()
     }
+}
+
+/// Builds the standard database for the maintenance-pipeline benches (the
+/// `maintenance_pipeline` criterion bench and the
+/// `bench_maintenance_pipeline` JSON binary measure the same databases):
+/// `live` live references plus `dead` references whose lifetime covers no
+/// retained snapshot (purgeable), spread over many Level-0 runs, with a
+/// snapshot retaining a third of the live references that are then removed —
+/// so maintenance exercises all three outcomes: retention into `Combined`,
+/// still-live records staying in `From`, and purging.
+pub fn maintenance_db(live: u64, dead: u64, partitions: u32) -> BacklogEngine {
+    let config = if partitions > 1 {
+        BacklogConfig::partitioned(partitions, live + dead).without_timing()
+    } else {
+        BacklogConfig::default().without_timing()
+    };
+    let mut e = BacklogEngine::new_simulated(config);
+    for i in 0..live {
+        e.add_reference(i, Owner::block(1 + i % 5, i, LineId::ROOT));
+        if i % 1_000 == 0 {
+            e.consistency_point().expect("cp failed");
+        }
+    }
+    e.consistency_point().expect("cp failed");
+    // Retain a snapshot so the removals below survive into Combined.
+    e.take_snapshot(LineId::ROOT);
+    e.consistency_point().expect("cp failed");
+    for i in 0..dead {
+        let block = live + i;
+        e.add_reference(block, Owner::block(2, i, LineId::ROOT));
+        if i % 500 == 0 {
+            e.consistency_point().expect("cp failed");
+        }
+    }
+    e.consistency_point().expect("cp failed");
+    for i in 0..dead {
+        let block = live + i;
+        e.remove_reference(block, Owner::block(2, i, LineId::ROOT));
+        if i % 500 == 0 {
+            e.consistency_point().expect("cp failed");
+        }
+    }
+    // Retire a third of the live references: they survive via the snapshot.
+    for i in (0..live).step_by(3) {
+        e.remove_reference(i, Owner::block(1 + i % 5, i, LineId::ROOT));
+    }
+    e.consistency_point().expect("cp failed");
+    e
 }
 
 /// The standard simulator configuration for the synthetic experiments:

@@ -7,7 +7,7 @@ use lsm::{LsmTable, TableConfig};
 use crate::config::BacklogConfig;
 use crate::error::Result;
 use crate::lineage::LineageTable;
-use crate::maintenance::join_and_purge;
+use crate::maintenance::{join_and_purge_streaming, reference, JoinPurgeStats};
 use crate::query::{assemble_query, QueryResult};
 use crate::record::{CombinedRecord, FromRecord, RefIdentity, ToRecord};
 use crate::stats::{BacklogStats, CpReport, IoDelta, MaintenanceReport};
@@ -352,21 +352,210 @@ impl BacklogEngine {
     /// Combined table (the From ⟗ To join), purges records that refer only to
     /// deleted snapshots, and prunes the zombie list.
     ///
+    /// The pass is a streaming pipeline, processed one partition at a time:
+    ///
+    /// ```text
+    /// From runs ──iter_range──┐
+    /// To runs ────iter_range──┼─ k-way merges ─ join_and_purge_streaming ─┬─ Combined RunBuilder
+    /// Combined runs ─iter_range┘   (per table)    (identity groups)       └─ From RunBuilder
+    /// ```
+    ///
+    /// Peak memory is one identity's record group plus the builders' output
+    /// pages — never a table or even a partition (reported as
+    /// [`peak_resident_records`](MaintenanceReport::peak_resident_records)).
+    /// The swap is crash-safe build-then-swap: a partition's replacement runs
+    /// are fully written before any of its old runs is deleted, so a device
+    /// fault at any point leaves every partition either fully old or fully
+    /// rebuilt and the database queryable with unchanged results. The price
+    /// is transient space: old and replacement runs coexist until the
+    /// partition commits, so the device must have roughly one partition's
+    /// worth of free pages (the pre-streaming path freed old runs first and
+    /// could complete on a fuller device — at the cost of losing the table
+    /// on a fault). Finer partitioning shrinks this headroom requirement
+    /// proportionally.
+    ///
     /// # Errors
     ///
-    /// Propagates device errors.
+    /// Propagates device errors. After an error the tables still hold their
+    /// contents (partitions already rebuilt are equivalent, the rest
+    /// untouched); maintenance can simply be retried — though a retry cannot
+    /// succeed on a device without the transient headroom described above.
     pub fn maintenance(&mut self) -> Result<MaintenanceReport> {
         let io_before = self.io_snapshot();
         let start = self.now();
         let bytes_before = self.database_disk_bytes();
-        let runs_before = self.from_table.run_count()
-            + self.to_table.run_count()
-            + self.combined_table.run_count();
+        let runs_before = self.run_count();
+        let partitions = self.config.partitioning.partition_count();
+
+        let mut totals = JoinPurgeStats::default();
+        for pidx in 0..partitions {
+            let pass = self.maintenance_partition_pass(pidx)?;
+            totals.combined += pass.combined;
+            totals.incomplete += pass.incomplete;
+            totals.purged += pass.purged;
+            totals.peak_group_records = totals.peak_group_records.max(pass.peak_group_records);
+        }
+
+        let zombies_pruned = self.lineage.prune_zombies() as u64;
+        let elapsed_ns = self.elapsed_ns(start);
+        let bytes_after = self.database_disk_bytes();
+        let report = MaintenanceReport {
+            runs_merged: runs_before,
+            combined_records: totals.combined,
+            incomplete_records: totals.incomplete,
+            purged_records: totals.purged,
+            zombies_pruned,
+            bytes_before,
+            bytes_after,
+            io: IoDelta::between(&io_before, &self.io_snapshot()),
+            elapsed_ns,
+            partitions,
+            peak_resident_records: totals.peak_group_records,
+        };
+        self.stats.maintenance_runs += 1;
+        self.stats.maintenance_ns += elapsed_ns;
+        Ok(report)
+    }
+
+    /// Targeted maintenance of a single partition — the incremental form of
+    /// [`maintenance`](Self::maintenance). Because the three tables share one
+    /// partitioning by block number, a reference identity's records never
+    /// cross partitions and each partition can be joined, purged and swapped
+    /// independently (and, with an engine per shard, concurrently).
+    ///
+    /// Zombie snapshots are *not* pruned: zombie liveness is a
+    /// whole-database property and other partitions may still hold records
+    /// that a zombie keeps alive. Run a full pass to prune them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; on error the partition's old runs remain
+    /// installed and queryable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn maintenance_partition(&mut self, partition: u32) -> Result<MaintenanceReport> {
+        let io_before = self.io_snapshot();
+        let start = self.now();
+        let bytes_before = self.database_disk_bytes();
+        let runs_before = self.from_table.partition_run_count(partition)
+            + self.to_table.partition_run_count(partition)
+            + self.combined_table.partition_run_count(partition);
+        let pass = self.maintenance_partition_pass(partition)?;
+        let elapsed_ns = self.elapsed_ns(start);
+        let bytes_after = self.database_disk_bytes();
+        let report = MaintenanceReport {
+            runs_merged: runs_before,
+            combined_records: pass.combined,
+            incomplete_records: pass.incomplete,
+            purged_records: pass.purged,
+            zombies_pruned: 0,
+            bytes_before,
+            bytes_after,
+            io: IoDelta::between(&io_before, &self.io_snapshot()),
+            elapsed_ns,
+            partitions: 1,
+            peak_resident_records: pass.peak_group_records,
+        };
+        self.stats.maintenance_runs += 1;
+        self.stats.maintenance_ns += elapsed_ns;
+        Ok(report)
+    }
+
+    /// Joins, purges and rebuilds one partition of all three tables,
+    /// streaming from the old runs into the replacement runs.
+    fn maintenance_partition_pass(&mut self, pidx: u32) -> Result<JoinPurgeStats> {
+        // Output stage: replacement runs under construction. Builders write
+        // fresh files through the shared store; the tables' current runs are
+        // untouched until the commit below.
+        let mut from_builder = self
+            .from_table
+            .new_run_builder(self.from_table.partition_disk_records(pidx) as usize);
+        // Every joined interval with a finite endpoint lands in Combined —
+        // including unmatched To overrides — so the Bloom sizing must count
+        // the To records too, or an override-heavy partition would saturate
+        // its filter.
+        let mut combined_builder = self.combined_table.new_run_builder(
+            (self.combined_table.partition_disk_records(pidx)
+                + self.from_table.partition_disk_records(pidx)
+                + self.to_table.partition_disk_records(pidx)) as usize,
+        );
+        // Input + transform stages: lazy per-run cursors, k-way merged per
+        // table, joined and purged one identity group at a time, flowing
+        // directly into the builders.
+        let streamed = (|| {
+            join_and_purge_streaming(
+                self.from_table.iter_disk_partition(pidx)?,
+                self.to_table.iter_disk_partition(pidx)?,
+                self.combined_table.iter_disk_partition(pidx)?,
+                &self.lineage,
+                |rec| combined_builder.push(&rec),
+                |rec| from_builder.push(&rec),
+            )
+        })();
+        let stats = match streamed {
+            Ok(stats) => stats,
+            Err(e) => {
+                from_builder.abandon();
+                combined_builder.abandon();
+                return Err(e.into());
+            }
+        };
+        // The builders received exactly what the sweep emitted — nothing was
+        // buffered, reordered or dropped between the stages.
+        debug_assert_eq!(from_builder.record_count(), stats.incomplete);
+        debug_assert_eq!(combined_builder.record_count(), stats.combined);
+        // Complete the replacement runs; every page is durable before any
+        // old run is considered for deletion.
+        let from_run = match from_builder.finish_nonempty() {
+            Ok(run) => run,
+            Err(e) => {
+                combined_builder.abandon();
+                return Err(e.into());
+            }
+        };
+        let combined_run = match combined_builder.finish_nonempty() {
+            Ok(run) => run,
+            Err(e) => {
+                if let Some(run) = from_run {
+                    let _ = run.delete();
+                }
+                return Err(e.into());
+            }
+        };
+        // Swap. No fallible device writes happen past this point: committing
+        // only installs the finished runs and frees the old ones.
+        self.from_table.commit_rebuilt_partition(pidx, from_run)?;
+        self.to_table.commit_rebuilt_partition(pidx, None)?;
+        self.combined_table
+            .commit_rebuilt_partition(pidx, combined_run)?;
+        Ok(stats)
+    }
+
+    /// The pre-streaming maintenance path: materializes all three tables,
+    /// runs the materialized [`reference::join_and_purge`] oracle and
+    /// rebuilds the tables from the resulting vectors. Retained as the
+    /// differential-testing oracle for [`maintenance`](Self::maintenance)
+    /// and as the baseline the `maintenance_pipeline` bench measures the
+    /// streaming pipeline against. Peak memory is the whole database, which
+    /// the report surfaces via
+    /// [`peak_resident_records`](MaintenanceReport::peak_resident_records).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn maintenance_reference(&mut self) -> Result<MaintenanceReport> {
+        let io_before = self.io_snapshot();
+        let start = self.now();
+        let bytes_before = self.database_disk_bytes();
+        let runs_before = self.run_count();
 
         let froms = self.from_table.scan_disk()?;
         let tos = self.to_table.scan_disk()?;
         let combined = self.combined_table.scan_disk()?;
-        let output = join_and_purge(&froms, &tos, &combined, &self.lineage);
+        let peak_resident_records = (froms.len() + tos.len() + combined.len()) as u64;
+        let output = reference::join_and_purge(&froms, &tos, &combined, &self.lineage);
 
         self.from_table
             .replace_disk_contents(&output.incomplete_from)?;
@@ -387,6 +576,9 @@ impl BacklogEngine {
             bytes_after,
             io: IoDelta::between(&io_before, &self.io_snapshot()),
             elapsed_ns,
+            partitions: self.config.partitioning.partition_count(),
+            peak_resident_records: peak_resident_records
+                + (output.combined.len() + output.incomplete_from.len()) as u64,
         };
         self.stats.maintenance_runs += 1;
         self.stats.maintenance_ns += elapsed_ns;
@@ -790,6 +982,202 @@ mod tests {
         for block in [0u64, 250, 499] {
             assert_eq!(e.query_block(block).unwrap().refs.len(), 1, "block {block}");
         }
+    }
+
+    /// Builds a workload with live, snapshotted and dead references spread
+    /// over many CPs, so maintenance has joining, purging and retention work
+    /// to do in every table.
+    fn populate(e: &mut BacklogEngine, blocks: u64) {
+        for block in 0..blocks {
+            e.add_reference(block, Owner::block(1 + block % 7, block, LineId::ROOT));
+            if block % 16 == 0 {
+                e.consistency_point().unwrap();
+            }
+        }
+        e.consistency_point().unwrap();
+        e.take_snapshot(LineId::ROOT);
+        e.consistency_point().unwrap();
+        // Remove a third of the references: they survive via the snapshot.
+        for block in (0..blocks).step_by(3) {
+            e.remove_reference(block, Owner::block(1 + block % 7, block, LineId::ROOT));
+        }
+        e.consistency_point().unwrap();
+    }
+
+    fn all_query_results(e: &mut BacklogEngine, blocks: u64) -> Vec<Vec<crate::BackRef>> {
+        (0..blocks)
+            .map(|b| e.query_block(b).unwrap().refs)
+            .collect()
+    }
+
+    #[test]
+    fn maintenance_matches_materialized_reference_oracle() {
+        // Two engines fed the identical workload; one maintained by the
+        // streaming pipeline, the other by the retained materialized path.
+        // Their on-disk tables must end up identical.
+        let mut streaming = engine();
+        let mut materialized = engine();
+        populate(&mut streaming, 300);
+        populate(&mut materialized, 300);
+        let a = streaming.maintenance().unwrap();
+        let b = materialized.maintenance_reference().unwrap();
+        assert_eq!(a.combined_records, b.combined_records);
+        assert_eq!(a.incomplete_records, b.incomplete_records);
+        assert_eq!(a.purged_records, b.purged_records);
+        assert_eq!(
+            streaming.from_table().scan_disk().unwrap(),
+            materialized.from_table().scan_disk().unwrap()
+        );
+        assert_eq!(
+            streaming.to_table().scan_disk().unwrap(),
+            materialized.to_table().scan_disk().unwrap()
+        );
+        assert_eq!(
+            streaming.combined_table().scan_disk().unwrap(),
+            materialized.combined_table().scan_disk().unwrap()
+        );
+        assert_eq!(
+            all_query_results(&mut streaming, 300),
+            all_query_results(&mut materialized, 300)
+        );
+        // The whole point of the pipeline: the streaming pass held a few
+        // records; the materialized pass held the database.
+        assert!(
+            a.peak_resident_records < 16,
+            "peak {}",
+            a.peak_resident_records
+        );
+        assert!(b.peak_resident_records > 300);
+    }
+
+    #[test]
+    fn failed_maintenance_leaves_tables_intact_at_every_fault_point() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk.clone()));
+        let mut e = BacklogEngine::new(files, BacklogConfig::default());
+        populate(&mut e, 200);
+        let baseline = all_query_results(&mut e, 200);
+        let from_before = e.from_table().scan_disk().unwrap();
+        let to_before = e.to_table().scan_disk().unwrap();
+        let combined_before = e.combined_table().scan_disk().unwrap();
+        // Kill the device at every maintenance write in turn (0, 1, 2, …
+        // until the pass survives): a fault at *any* point during the
+        // rebuild must leave the old runs installed with their
+        // pre-maintenance contents.
+        let mut fail_after = 0u64;
+        loop {
+            disk.fail_writes_after(fail_after);
+            let result = e.maintenance();
+            disk.clear_write_fault();
+            if result.is_ok() {
+                break;
+            }
+            assert_eq!(
+                e.from_table().scan_disk().unwrap(),
+                from_before,
+                "From table changed after fault at write {fail_after}"
+            );
+            assert_eq!(e.to_table().scan_disk().unwrap(), to_before);
+            assert_eq!(e.combined_table().scan_disk().unwrap(), combined_before);
+            assert_eq!(
+                all_query_results(&mut e, 200),
+                baseline,
+                "query results changed after fault at write {fail_after}"
+            );
+            fail_after += 1;
+        }
+        assert!(
+            fail_after >= 3,
+            "rebuild performed only {fail_after} writes"
+        );
+        // The pass that finally completed preserves results.
+        assert_eq!(all_query_results(&mut e, 200), baseline);
+    }
+
+    #[test]
+    fn failed_partitioned_maintenance_keeps_every_partition_queryable() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk.clone()));
+        let mut e = BacklogEngine::new(files, BacklogConfig::partitioned(4, 400));
+        populate(&mut e, 400);
+        let baseline = all_query_results(&mut e, 400);
+        // Walk the fault point through the whole pass: early faults leave
+        // every partition old; later ones leave a prefix of partitions
+        // rebuilt (with equivalent contents) and the rest old. Query results
+        // must be unchanged in every mixed state.
+        let mut fail_after = 0u64;
+        let mut failures = 0u32;
+        loop {
+            disk.fail_writes_after(fail_after);
+            let result = e.maintenance();
+            disk.clear_write_fault();
+            if result.is_ok() {
+                break;
+            }
+            failures += 1;
+            assert_eq!(
+                all_query_results(&mut e, 400),
+                baseline,
+                "query results changed after fault at write {fail_after}"
+            );
+            fail_after += 1;
+        }
+        assert!(failures >= 3, "only {failures} distinct fault points");
+        assert_eq!(all_query_results(&mut e, 400), baseline);
+    }
+
+    #[test]
+    fn maintenance_partition_rebuilds_only_its_partition() {
+        let mut e =
+            BacklogEngine::new_simulated(BacklogConfig::partitioned(4, 400).without_timing());
+        populate(&mut e, 400);
+        let baseline = all_query_results(&mut e, 400);
+        let runs_before_p1 = e.from_table().partition_run_count(1);
+        let from_runs_before: u32 = e.from_table().run_count();
+        assert!(runs_before_p1 > 1);
+        let report = e.maintenance_partition(1).unwrap();
+        assert_eq!(report.partitions, 1);
+        assert!(report.runs_merged >= runs_before_p1);
+        // Partition 1 is compacted to at most one run per table; the other
+        // partitions keep all their Level-0 runs.
+        assert!(e.from_table().partition_run_count(1) <= 1);
+        assert_eq!(
+            e.from_table().run_count(),
+            from_runs_before - runs_before_p1 + e.from_table().partition_run_count(1)
+        );
+        assert_eq!(all_query_results(&mut e, 400), baseline);
+        // Finishing the remaining partitions equals a full pass.
+        for pidx in [0u32, 2, 3] {
+            e.maintenance_partition(pidx).unwrap();
+        }
+        assert_eq!(all_query_results(&mut e, 400), baseline);
+        assert!(e.run_count() <= 8, "all partitions compacted");
+    }
+
+    #[test]
+    fn partitioned_maintenance_matches_reference_and_bounds_memory() {
+        let mut streaming =
+            BacklogEngine::new_simulated(BacklogConfig::partitioned(8, 600).without_timing());
+        let mut materialized =
+            BacklogEngine::new_simulated(BacklogConfig::partitioned(8, 600).without_timing());
+        populate(&mut streaming, 600);
+        populate(&mut materialized, 600);
+        let a = streaming.maintenance().unwrap();
+        materialized.maintenance_reference().unwrap();
+        assert_eq!(a.partitions, 8);
+        assert!(
+            a.peak_resident_records < 16,
+            "streaming pass must never hold a partition's records, peak {}",
+            a.peak_resident_records
+        );
+        assert_eq!(
+            streaming.from_table().scan_disk().unwrap(),
+            materialized.from_table().scan_disk().unwrap()
+        );
+        assert_eq!(
+            streaming.combined_table().scan_disk().unwrap(),
+            materialized.combined_table().scan_disk().unwrap()
+        );
     }
 
     #[test]

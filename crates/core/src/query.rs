@@ -115,16 +115,9 @@ impl QueryResult {
 /// unmatched override the moment it is skipped.
 pub fn join_from_to(froms: &[FromRecord], tos: &[ToRecord]) -> Vec<CombinedRecord> {
     // The record `Ord` sorts by identity first, then CP — exactly the sweep
-    // order. Inputs from the LSM tables arrive already sorted and are used
-    // in place; anything else is copied and sorted first.
-    let mut froms: std::borrow::Cow<'_, [FromRecord]> = froms.into();
-    let mut tos: std::borrow::Cow<'_, [ToRecord]> = tos.into();
-    if !froms.is_sorted() {
-        froms.to_mut().sort_unstable();
-    }
-    if !tos.is_sorted() {
-        tos.to_mut().sort_unstable();
-    }
+    // order.
+    let froms = sorted_cow(froms);
+    let tos = sorted_cow(tos);
 
     let mut out: Vec<CombinedRecord> = Vec::with_capacity(froms.len() + tos.len());
     let mut push = |identity: RefIdentity, from: CpNumber, to: CpNumber| {
@@ -143,34 +136,68 @@ pub fn join_from_to(froms: &[FromRecord], tos: &[ToRecord]) -> Vec<CombinedRecor
             (None, Some(t)) => t.identity,
             (None, None) => unreachable!("loop condition guarantees a record"),
         };
-        // Two-pointer sweep over this identity's CP-sorted records.
-        while i < froms.len() && froms[i].identity == identity {
-            let f = froms[i].from;
-            i += 1;
-            // To records at or before `f` can match no current or later From:
-            // they are overrides joining with the implicit from = 0.
-            while j < tos.len() && tos[j].identity == identity && tos[j].to <= f {
-                push(identity, 0, tos[j].to);
-                j += 1;
-            }
-            if j < tos.len() && tos[j].identity == identity {
-                push(identity, f, tos[j].to);
-                j += 1;
-            } else {
-                push(identity, f, CP_INFINITY);
-            }
-        }
-        // Leftover To records of this identity (all matches exhausted).
-        while j < tos.len() && tos[j].identity == identity {
-            push(identity, 0, tos[j].to);
-            j += 1;
-        }
+        // This identity's records are contiguous in both inputs.
+        let i2 = i + froms[i..]
+            .iter()
+            .take_while(|f| f.identity == identity)
+            .count();
+        let j2 = j + tos[j..]
+            .iter()
+            .take_while(|t| t.identity == identity)
+            .count();
+        join_identity_group(identity, &froms[i..i2], &tos[j..j2], &mut push);
+        i = i2;
+        j = j2;
     }
     // Identities were processed in ascending order; only override records
     // emitted mid-group can be locally out of place, so this sort runs on
     // nearly sorted data.
     out.sort();
     out
+}
+
+/// Borrows `records` as-is when already sorted (the common case — LSM scans
+/// arrive sorted), otherwise clones and sorts. Shared by every slice-based
+/// pipeline entry point that tolerates unsorted callers.
+pub(crate) fn sorted_cow<T: Ord + Clone>(records: &[T]) -> std::borrow::Cow<'_, [T]> {
+    let mut cow: std::borrow::Cow<'_, [T]> = records.into();
+    if !cow.is_sorted() {
+        cow.to_mut().sort_unstable();
+    }
+    cow
+}
+
+/// Joins one identity's `From` and `To` records (both CP-sorted) with the
+/// exact two-pointer sweep of [`join_from_to`], pushing each resulting
+/// interval. Shared by the slice-based query join above and the streaming
+/// maintenance join ([`crate::maintenance::join_and_purge_streaming`]),
+/// which groups its input streams by identity and hands each group here.
+pub(crate) fn join_identity_group(
+    identity: RefIdentity,
+    froms: &[FromRecord],
+    tos: &[ToRecord],
+    push: &mut impl FnMut(RefIdentity, CpNumber, CpNumber),
+) {
+    let mut j = 0usize;
+    for f in froms {
+        // To records at or before `f` can match no current or later From:
+        // they are overrides joining with the implicit from = 0.
+        while j < tos.len() && tos[j].to <= f.from {
+            push(identity, 0, tos[j].to);
+            j += 1;
+        }
+        if j < tos.len() {
+            push(identity, f.from, tos[j].to);
+            j += 1;
+        } else {
+            push(identity, f.from, CP_INFINITY);
+        }
+    }
+    // Leftover To records of this identity (all matches exhausted).
+    while j < tos.len() {
+        push(identity, 0, tos[j].to);
+        j += 1;
+    }
 }
 
 /// Expands structural inheritance (Section 4.2.2): a back reference of
@@ -367,10 +394,7 @@ pub fn assemble_query(
     // of the LSM merge sorted, so a linear merge-dedup replaces the old
     // sort-then-dedup of the concatenation. Guard against a caller handing
     // in an unsorted slice anyway.
-    let mut combined: std::borrow::Cow<'_, [CombinedRecord]> = combined.into();
-    if !combined.is_sorted() {
-        combined.to_mut().sort();
-    }
+    let combined = sorted_cow(combined);
     let mut merged: Vec<CombinedRecord> = Vec::with_capacity(joined.len() + combined.len());
     let mut a = joined.into_iter().peekable();
     let mut b = combined.iter().copied().peekable();

@@ -124,6 +124,17 @@ pub struct MaintenanceReport {
     pub io: IoDelta,
     /// Wall-clock nanoseconds the pass took.
     pub elapsed_ns: u64,
+    /// Partitions rebuilt by this pass (1 for an unpartitioned database; a
+    /// targeted [`maintenance_partition`](crate::BacklogEngine::maintenance_partition)
+    /// pass reports exactly 1 regardless of the partition count).
+    pub partitions: u32,
+    /// Peak number of records the pass held in memory at any instant — the
+    /// largest single identity's record group flowing through the streaming
+    /// join. The materialized reference path
+    /// ([`maintenance_reference`](crate::BacklogEngine::maintenance_reference))
+    /// reports the full record count here, which is what the streaming
+    /// pipeline exists to avoid.
+    pub peak_resident_records: u64,
 }
 
 impl MaintenanceReport {

@@ -97,6 +97,24 @@ pub trait BackrefProvider: std::fmt::Debug {
     fn maintenance(&mut self) -> Result<()> {
         Ok(())
     }
+
+    /// Number of independently maintainable pieces the provider's metadata is
+    /// split into (1 for providers without incremental maintenance).
+    fn maintenance_partitions(&self) -> u32 {
+        1
+    }
+
+    /// Runs maintenance on a single partition of the provider's metadata, so
+    /// the file system can amortize maintenance across idle periods instead
+    /// of taking one long pause. Providers without incremental maintenance
+    /// fall back to a full pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the provider's stable storage fails.
+    fn maintenance_partition(&mut self, _partition: u32) -> Result<()> {
+        self.maintenance()
+    }
 }
 
 /// A provider that maintains no back references at all — the paper's *Base*
@@ -225,6 +243,15 @@ impl BackrefProvider for BacklogProvider {
         self.engine.maintenance()?;
         Ok(())
     }
+
+    fn maintenance_partitions(&self) -> u32 {
+        self.engine.config().partitioning.partition_count()
+    }
+
+    fn maintenance_partition(&mut self, partition: u32) -> Result<()> {
+        self.engine.maintenance_partition(partition)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +304,26 @@ mod tests {
         assert!(owners.iter().all(|o| o.line == LineId::ROOT));
         assert_eq!(p.engine().current_cp(), 2);
         let _ = p.engine_mut();
+    }
+
+    #[test]
+    fn backlog_provider_incremental_maintenance_covers_all_partitions() {
+        let mut p = BacklogProvider::new(BacklogConfig::partitioned(4, 4_000).without_timing());
+        assert_eq!(p.maintenance_partitions(), 4);
+        for block in (0..4_000u64).step_by(13) {
+            p.add_reference(block, Owner::block(1, block, LineId::ROOT));
+        }
+        p.consistency_point(1).unwrap();
+        // Maintaining the partitions one by one leaves queries intact.
+        for partition in 0..p.maintenance_partitions() {
+            p.maintenance_partition(partition).unwrap();
+        }
+        assert_eq!(p.query_owners(13).unwrap().len(), 1);
+        assert_eq!(p.query_owners(3_900).unwrap().len(), 1);
+        // The null provider's default is a harmless full pass.
+        let mut null = NullProvider::new();
+        assert_eq!(null.maintenance_partitions(), 1);
+        null.maintenance_partition(0).unwrap();
     }
 
     #[test]

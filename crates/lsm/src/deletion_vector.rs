@@ -56,6 +56,15 @@ impl<R: Record> DeletionVector<R> {
         self.deleted.clear();
     }
 
+    /// Drops the marks whose partition key falls in `min..=max`, keeping the
+    /// rest. Partition-incremental rewrites use this: a rebuilt partition has
+    /// consumed its deletion marks in-stream, but marks belonging to other
+    /// partitions must survive until those partitions are rewritten too.
+    pub fn clear_key_range(&mut self, min: u64, max: u64) {
+        self.deleted
+            .retain(|r| !(min..=max).contains(&r.partition_key()));
+    }
+
     /// Filters a sorted result set in place, removing marked records.
     pub fn filter(&self, records: &mut Vec<R>) {
         if self.deleted.is_empty() {
@@ -102,6 +111,19 @@ mod tests {
         dv.filter(&mut results);
         assert_eq!(results.len(), 1);
         assert!(dv.is_empty());
+    }
+
+    #[test]
+    fn clear_key_range_is_partition_scoped() {
+        let mut dv = DeletionVector::new();
+        dv.insert(TestRec::new(5, 0));
+        dv.insert(TestRec::new(15, 0));
+        dv.insert(TestRec::new(25, 0));
+        dv.clear_key_range(10, 19);
+        assert_eq!(dv.len(), 2);
+        assert!(dv.contains(&TestRec::new(5, 0)));
+        assert!(!dv.contains(&TestRec::new(15, 0)));
+        assert!(dv.contains(&TestRec::new(25, 0)));
     }
 
     #[test]

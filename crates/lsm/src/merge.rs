@@ -69,6 +69,80 @@ impl<T: Ord, I: Iterator<Item = T>> Iterator for KWayMerge<T, I> {
     }
 }
 
+/// A lazy k-way merge over *fallible* sorted streams.
+///
+/// This is the merge the streaming maintenance pipeline runs on: each source
+/// is a [`Run::iter_range`](crate::Run::iter_range) cursor yielding
+/// `Result<R>` items, and a device error anywhere must abort the whole merge
+/// instead of silently truncating one source (which would make the merged
+/// output look complete while missing records). The first `Err` is yielded
+/// as an item and the iterator then fuses: no further records are produced,
+/// so a consumer writing the stream into a
+/// [`RunBuilder`](crate::RunBuilder) never builds a partial run that looks
+/// whole.
+#[derive(Debug)]
+pub struct TryKWayMerge<T: Ord, E, I: Iterator<Item = Result<T, E>>> {
+    sources: Vec<I>,
+    heap: BinaryHeap<Reverse<(T, usize)>>,
+    /// Error hit while priming the heap or refilling a source, delivered on
+    /// the next `next()` call.
+    pending_error: Option<E>,
+    done: bool,
+}
+
+impl<T: Ord, E, I: Iterator<Item = Result<T, E>>> TryKWayMerge<T, E, I> {
+    /// Creates a merge over the given individually sorted fallible streams.
+    pub fn new(sources: Vec<I>) -> Self {
+        let mut sources = sources;
+        let mut heap = BinaryHeap::new();
+        let mut pending_error = None;
+        for (i, src) in sources.iter_mut().enumerate() {
+            match src.next() {
+                Some(Ok(first)) => heap.push(Reverse((first, i))),
+                Some(Err(e)) => {
+                    pending_error = Some(e);
+                    break;
+                }
+                None => {}
+            }
+        }
+        TryKWayMerge {
+            sources,
+            heap,
+            pending_error,
+            done: false,
+        }
+    }
+}
+
+impl<T: Ord, E, I: Iterator<Item = Result<T, E>>> Iterator for TryKWayMerge<T, E, I> {
+    type Item = Result<T, E>;
+
+    fn next(&mut self) -> Option<Result<T, E>> {
+        if self.done {
+            return None;
+        }
+        if let Some(e) = self.pending_error.take() {
+            self.done = true;
+            return Some(Err(e));
+        }
+        let Some(Reverse((item, src))) = self.heap.pop() else {
+            self.done = true;
+            return None;
+        };
+        match self.sources[src].next() {
+            Some(Ok(next)) => self.heap.push(Reverse((next, src))),
+            Some(Err(e)) => {
+                // Deliver the record already popped (it is correct and in
+                // order), then fail on the following call.
+                self.pending_error = Some(e);
+            }
+            None => {}
+        }
+        Some(Ok(item))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +220,46 @@ mod tests {
 
         let eager = merge_sorted(vec![vec![7u64; 10]; 4]);
         assert_eq!(eager, merged, "lazy and eager merges agree on duplicates");
+    }
+
+    #[test]
+    fn try_kway_merge_without_errors_matches_infallible_merge() {
+        let sources: Vec<_> = vec![vec![1u64, 4, 7], vec![2, 5, 8], vec![3, 6, 9]]
+            .into_iter()
+            .map(|v| v.into_iter().map(Ok::<u64, ()>))
+            .collect();
+        let merged: Result<Vec<u64>, ()> = TryKWayMerge::new(sources).collect();
+        assert_eq!(merged.unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn try_kway_merge_surfaces_the_first_error_and_fuses() {
+        let good = vec![Ok(1u64), Ok(5)].into_iter();
+        let bad = vec![Ok(2u64), Err("boom"), Ok(4)].into_iter();
+        let mut merge = TryKWayMerge::new(vec![good, bad]);
+        assert_eq!(merge.next(), Some(Ok(1)));
+        assert_eq!(merge.next(), Some(Ok(2)));
+        // Refilling the failed source parks the error; it surfaces on the
+        // next call and the merge then ends for good.
+        assert_eq!(merge.next(), Some(Err("boom")));
+        assert_eq!(merge.next(), None);
+        assert_eq!(merge.next(), None);
+    }
+
+    #[test]
+    fn try_kway_merge_error_while_priming() {
+        let bad = vec![Err::<u64, _>("early")].into_iter();
+        let good = vec![Ok(1u64)].into_iter();
+        let mut merge = TryKWayMerge::new(vec![bad, good]);
+        assert_eq!(merge.next(), Some(Err("early")));
+        assert_eq!(merge.next(), None);
+    }
+
+    #[test]
+    fn try_kway_merge_empty_sources() {
+        let merged: Vec<Result<u64, ()>> =
+            TryKWayMerge::new(Vec::<std::vec::IntoIter<Result<u64, ()>>>::new()).collect();
+        assert!(merged.is_empty());
     }
 
     #[test]

@@ -439,6 +439,11 @@ impl<R: Record> RunBuilder<R> {
         Self::new(files, bloom_config.clone_for_entries(expected_records))
     }
 
+    /// Number of records pushed so far.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
     /// Appends the next record, which must not sort before the previous one.
     ///
     /// # Errors
@@ -529,6 +534,22 @@ impl<R: Record> RunBuilder<R> {
             bloom: self.bloom,
             _marker: PhantomData,
         })
+    }
+
+    /// Like [`finish`](Self::finish), but a builder that received no records
+    /// produces `None` instead of an empty run, deleting the (still empty)
+    /// backing file. This is the form streaming rebuilds use: a partition
+    /// whose records were all purged simply ends up with no run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; the partially written run file is deleted.
+    pub fn finish_nonempty(self) -> Result<Option<Run<R>>> {
+        if self.records == 0 {
+            self.abandon();
+            return Ok(None);
+        }
+        self.finish().map(Some)
     }
 
     /// Flushes the last leaf and writes the internal index levels bottom-up,

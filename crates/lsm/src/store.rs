@@ -6,10 +6,10 @@ use blockdev::FileStore;
 use crate::bloom::BloomConfig;
 use crate::deletion_vector::DeletionVector;
 use crate::error::{LsmError, Result};
-use crate::merge::KWayMerge;
+use crate::merge::{KWayMerge, TryKWayMerge};
 use crate::partition::Partitioning;
 use crate::record::Record;
-use crate::run::{Run, RunStats};
+use crate::run::{Run, RunBuilder, RunRangeIter, RunStats};
 use crate::write_store::WriteStore;
 
 /// Configuration for an [`LsmTable`].
@@ -178,6 +178,32 @@ impl<R: Record> LsmTable<R> {
         self.runs.iter().map(|p| p.len() as u32).sum()
     }
 
+    /// Number of horizontal partitions (from the table's
+    /// [`Partitioning`](crate::Partitioning)).
+    pub fn partition_count(&self) -> u32 {
+        self.config.partitioning.partition_count()
+    }
+
+    /// Number of on-disk runs in one partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pidx` is out of range.
+    pub fn partition_run_count(&self, pidx: u32) -> u32 {
+        self.runs[pidx as usize].len() as u32
+    }
+
+    /// Disk-resident records stored in partition `pidx` (before
+    /// deletion-vector masking). Streaming rebuilds use this to size the
+    /// replacement run's Bloom filter without scanning anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pidx` is out of range.
+    pub fn partition_disk_records(&self, pidx: u32) -> u64 {
+        self.runs[pidx as usize].iter().map(Run::len).sum()
+    }
+
     /// Marks a record as deleted without touching the run files
     /// (C-Store-style deletion vector).
     pub fn mark_deleted(&mut self, record: R) {
@@ -325,34 +351,142 @@ impl<R: Record> LsmTable<R> {
         }
     }
 
+    /// Returns a lazy, sorted stream over partition `pidx`'s disk-resident
+    /// records, with the deletion vector applied record by record. The write
+    /// store is not included: database maintenance operates on this view and
+    /// write-store records always survive maintenance untouched.
+    ///
+    /// This is the read stage of the streaming rebuild pipeline: each run of
+    /// the partition contributes one lazy [`Run::iter_range`] cursor and a
+    /// [`TryKWayMerge`] interleaves them, so the peak memory held is one leaf
+    /// page per run plus the merge heap — never the partition's record set.
+    ///
+    /// # Errors
+    ///
+    /// Descent errors surface immediately; page errors hit mid-stream are
+    /// yielded as `Err` items, after which the stream fuses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pidx` is out of range.
+    pub fn iter_disk_partition(&self, pidx: u32) -> Result<impl Iterator<Item = Result<R>> + '_> {
+        let (min, max) = self.config.partitioning.key_range(pidx);
+        let mut sources: Vec<RunRangeIter<'_, R>> = Vec::new();
+        for run in &self.runs[pidx as usize] {
+            sources.push(run.iter_range(min, max)?);
+        }
+        let deletions = &self.deletions;
+        Ok(TryKWayMerge::new(sources).filter(move |item| match item {
+            Ok(rec) => deletions.is_empty() || !deletions.contains(rec),
+            Err(_) => true,
+        }))
+    }
+
+    /// Creates a [`RunBuilder`] on this table's file store, with a Bloom
+    /// filter sized for `expected_records`, for assembling a replacement run
+    /// outside the table (the write stage of the streaming rebuild pipeline).
+    /// Install the finished run with
+    /// [`commit_rebuilt_partition`](Self::commit_rebuilt_partition).
+    pub fn new_run_builder(&self, expected_records: usize) -> RunBuilder<R> {
+        RunBuilder::with_capacity(self.files.clone(), &self.config.bloom, expected_records)
+    }
+
+    /// Atomically swaps partition `pidx`'s runs for `new_run` (build-then-
+    /// swap). The caller has already built `new_run` to completion — every
+    /// page of it is on the device — so this step performs no fallible
+    /// writes: it only installs the new run, prunes the deletion-vector marks
+    /// the rebuild consumed in-stream, and returns the old runs' pages to the
+    /// free list. A rebuild that failed before this point simply never calls
+    /// it, leaving the partition's old runs fully intact and queryable.
+    ///
+    /// Passing `None` empties the partition (e.g. every record was purged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-store bookkeeping errors from deleting the old runs
+    /// (the new run is installed first, so contents are never lost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pidx` is out of range; debug-asserts that `new_run`'s keys
+    /// lie inside the partition.
+    pub fn commit_rebuilt_partition(&mut self, pidx: u32, new_run: Option<Run<R>>) -> Result<()> {
+        let (min, max) = self.config.partitioning.key_range(pidx);
+        if let Some(run) = &new_run {
+            debug_assert!(
+                run.min_key() >= min && run.max_key() <= max,
+                "rebuilt run keys [{}, {}] escape partition {pidx} [{min}, {max}]",
+                run.min_key(),
+                run.max_key(),
+            );
+        }
+        let old: Vec<Run<R>> = std::mem::take(&mut self.runs[pidx as usize]);
+        self.runs[pidx as usize].extend(new_run);
+        self.deletions.clear_key_range(min, max);
+        for run in old {
+            run.delete()?;
+        }
+        Ok(())
+    }
+
+    /// Streams partition `pidx`'s disk-resident records (deletion vector
+    /// applied in-stream) into a single replacement run and swaps it in.
+    /// This is the streaming replace primitive: peak memory is one output
+    /// page plus the merge cursors, independent of the partition size, and
+    /// the old runs are deleted only after the replacement is fully on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors. On error the partially built replacement is
+    /// deleted and the partition's old runs remain installed and queryable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pidx` is out of range.
+    pub fn compact_partition(&mut self, pidx: u32) -> Result<()> {
+        let mut builder = self.new_run_builder(self.partition_disk_records(pidx) as usize);
+        let streamed: Result<()> = (|| {
+            for item in self.iter_disk_partition(pidx)? {
+                builder.push(&item?)?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = streamed {
+            builder.abandon();
+            return Err(e);
+        }
+        let new_run = builder.finish_nonempty()?;
+        self.commit_rebuilt_partition(pidx, new_run)
+    }
+
     /// Replaces all on-disk runs with a single run per partition built from
     /// `records` (which must be sorted). The deletion vector is cleared: the
     /// caller is expected to have already applied it (e.g. via
     /// [`scan_disk`](Self::scan_disk)).
+    ///
+    /// The swap is crash-safe (build-then-swap): every replacement run is
+    /// fully built before any old run is deleted, and on error the partial
+    /// replacements are deleted, leaving the previous contents installed.
+    /// Old and replacement runs therefore coexist briefly — the device needs
+    /// transient headroom for one copy of `records` (per-partition rebuilds
+    /// via [`compact_partition`](Self::compact_partition) bound the headroom
+    /// to one partition instead of the whole table).
     ///
     /// # Errors
     ///
     /// Returns [`LsmError::UnsortedInput`](crate::LsmError::UnsortedInput) if
     /// `records` is not sorted and propagates device errors.
     pub fn replace_disk_contents(&mut self, records: &[R]) -> Result<MaintenanceStats> {
-        let before = self.stats();
-        // Drop existing runs first so their pages can be reused.
-        for part in &mut self.runs {
-            for run in part.drain(..) {
-                run.delete()?;
-            }
+        if !records.is_sorted() {
+            return Err(LsmError::UnsortedInput);
         }
-        self.deletions.clear();
+        let before = self.stats();
         let parts = self.config.partitioning;
-        let mut records_after = 0u64;
-        let mut pages_after = 0u64;
-        let mut runs_after = 0u32;
-        if parts.partition_count() == 1 {
-            if let Some(run) = Run::build(&self.files, records, &self.config.bloom)? {
-                records_after = run.len();
-                pages_after = run.stats().total_pages;
-                runs_after = 1;
-                self.runs[0].push(run);
+        // Build every replacement run first, touching nothing on error.
+        let new_runs: Vec<(usize, Run<R>)> = if parts.partition_count() == 1 {
+            match Run::build(&self.files, records, &self.config.bloom)? {
+                Some(run) => vec![(0, run)],
+                None => Vec::new(),
             }
         } else {
             let mut buckets: Vec<Vec<R>> = (0..parts.partition_count() as usize)
@@ -361,14 +495,36 @@ impl<R: Record> LsmTable<R> {
             for r in records {
                 buckets[parts.partition_of(r.partition_key()) as usize].push(r.clone());
             }
+            let mut built = Vec::new();
             for (idx, bucket) in buckets.into_iter().enumerate() {
-                if let Some(run) = Run::build(&self.files, &bucket, &self.config.bloom)? {
-                    records_after += run.len();
-                    pages_after += run.stats().total_pages;
-                    runs_after += 1;
-                    self.runs[idx].push(run);
+                match Run::build(&self.files, &bucket, &self.config.bloom) {
+                    Ok(Some(run)) => built.push((idx, run)),
+                    Ok(None) => {}
+                    Err(e) => {
+                        // Unwind: delete the replacements built so far; the
+                        // old runs were never touched.
+                        for (_, run) in built {
+                            let _ = run.delete();
+                        }
+                        return Err(e);
+                    }
                 }
             }
+            built
+        };
+        // Swap: everything below performs no fallible device writes.
+        let mut records_after = 0u64;
+        let mut pages_after = 0u64;
+        let runs_after = new_runs.len() as u32;
+        let old: Vec<Run<R>> = self.runs.iter_mut().flat_map(std::mem::take).collect();
+        for (idx, run) in new_runs {
+            records_after += run.len();
+            pages_after += run.stats().total_pages;
+            self.runs[idx].push(run);
+        }
+        self.deletions.clear();
+        for run in old {
+            run.delete()?;
         }
         Ok(MaintenanceStats {
             runs_before: before.run_count,
@@ -382,18 +538,35 @@ impl<R: Record> LsmTable<R> {
     /// Merges all Level-0 runs into a single run per partition, dropping
     /// deletion-vector records. This is the generic compaction primitive;
     /// Backlog's full maintenance additionally joins `From` and `To` into
-    /// `Combined` before calling [`replace_disk_contents`](Self::replace_disk_contents).
+    /// `Combined` while streaming through the same per-partition machinery.
+    ///
+    /// Each partition is rebuilt independently through
+    /// [`compact_partition`](Self::compact_partition), so peak memory is one
+    /// output page per partition rather than the whole table, and a device
+    /// fault leaves every partition either fully old or fully rebuilt.
     ///
     /// # Errors
     ///
     /// Propagates device errors.
     pub fn compact(&mut self) -> Result<MaintenanceStats> {
-        let merged = self.scan_disk()?;
-        self.replace_disk_contents(&merged)
+        let before = self.stats();
+        for pidx in 0..self.config.partitioning.partition_count() {
+            self.compact_partition(pidx)?;
+        }
+        let after = self.stats();
+        Ok(MaintenanceStats {
+            runs_before: before.run_count,
+            runs_after: after.run_count,
+            records_before: before.disk_records,
+            records_after: after.disk_records,
+            pages_after: after.disk_pages,
+        })
     }
 
-    /// Rewrites the runs with deletion-vector records dropped. The paper
-    /// performs this "if the deletion vector becomes sufficiently large".
+    /// Rewrites the runs with deletion-vector records dropped (in-stream, via
+    /// the same per-partition streaming rebuild as [`compact`](Self::compact)).
+    /// The paper performs this "if the deletion vector becomes sufficiently
+    /// large".
     pub fn rewrite_purging_deletions(&mut self) -> Result<MaintenanceStats> {
         self.compact()
     }
@@ -658,6 +831,136 @@ mod tests {
         t.flush_cp().unwrap();
         assert_eq!(t.ws_len(), 0);
         assert_eq!(t.scan_all().unwrap().len(), 4_000);
+    }
+
+    #[test]
+    fn compact_fault_leaves_old_runs_intact() {
+        let (disk, mut t) = table();
+        for cp in 0..5u64 {
+            for i in 0..500u64 {
+                t.insert(TestRec::new(i * 5 + cp, cp));
+            }
+            t.flush_cp().unwrap();
+        }
+        let before = t.scan_disk().unwrap();
+        let files_before = t.files().file_count();
+        // Fail every failure point of the rebuild in turn: whichever page
+        // write dies, the old runs must stay installed and readable.
+        for fail_after in [0u64, 1, 3, 7] {
+            disk.fail_writes_after(fail_after);
+            assert!(
+                t.compact().is_err(),
+                "fault at write {fail_after} must surface"
+            );
+            disk.clear_write_fault();
+            assert_eq!(t.run_count(), 5, "old runs survive the failed rebuild");
+            assert_eq!(
+                t.scan_disk().unwrap(),
+                before,
+                "contents intact after fault at write {fail_after}"
+            );
+            assert_eq!(
+                t.files().file_count(),
+                files_before,
+                "partial replacement file must be deleted, not leaked"
+            );
+        }
+        // Once the device recovers, the same compaction succeeds.
+        let stats = t.compact().unwrap();
+        assert_eq!(stats.runs_after, 1);
+        assert_eq!(t.scan_disk().unwrap(), before);
+    }
+
+    #[test]
+    fn partitioned_compact_fault_leaves_every_partition_consistent() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk.clone()));
+        let config =
+            TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(4, 1_000));
+        let mut t = LsmTable::new(files, config);
+        for cp in 0..3u64 {
+            for i in 0..4_000u64 {
+                t.insert(TestRec::new(i, cp));
+            }
+            t.flush_cp().unwrap();
+        }
+        let before = t.scan_disk().unwrap();
+        // Partition 0's rebuild succeeds; a later partition's rebuild dies.
+        // Each partition must be either fully old or fully rebuilt, and the
+        // union of contents unchanged.
+        disk.fail_writes_after(8);
+        assert!(t.compact().is_err());
+        disk.clear_write_fault();
+        assert_eq!(
+            t.scan_disk().unwrap(),
+            before,
+            "no record lost or duplicated"
+        );
+        // Recovery completes the compaction.
+        let stats = t.compact().unwrap();
+        assert_eq!(stats.runs_after, 4);
+        assert_eq!(t.scan_disk().unwrap(), before);
+    }
+
+    #[test]
+    fn replace_disk_contents_fault_keeps_previous_contents() {
+        let (disk, mut t) = table();
+        for i in 0..1_000u64 {
+            t.insert(TestRec::new(i, i));
+        }
+        t.flush_cp().unwrap();
+        let before = t.scan_disk().unwrap();
+        let replacement: Vec<TestRec> = (0..2_000u64).map(|i| TestRec::new(i, 0)).collect();
+        disk.fail_writes_after(2);
+        assert!(t.replace_disk_contents(&replacement).is_err());
+        disk.clear_write_fault();
+        assert_eq!(
+            t.scan_disk().unwrap(),
+            before,
+            "old contents remain installed after a failed replace"
+        );
+        // And the replace goes through once the device recovers.
+        t.replace_disk_contents(&replacement).unwrap();
+        assert_eq!(t.scan_disk().unwrap(), replacement);
+    }
+
+    #[test]
+    fn compact_partition_consumes_deletion_marks_in_stream() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk));
+        let config =
+            TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(2, 1_000));
+        let mut t = LsmTable::new(files, config);
+        for i in 0..2_000u64 {
+            t.insert(TestRec::new(i, 0));
+        }
+        t.flush_cp().unwrap();
+        t.mark_deleted(TestRec::new(10, 0)); // partition 0
+        t.mark_deleted(TestRec::new(1_500, 0)); // partition 1
+                                                // Rebuilding partition 0 drops its mark but must keep partition 1's.
+        t.compact_partition(0).unwrap();
+        assert_eq!(t.stats().deleted_records, 1, "other partition's mark kept");
+        assert_eq!(t.scan_all().unwrap().len(), 1_998);
+        t.compact_partition(1).unwrap();
+        assert_eq!(t.stats().deleted_records, 0);
+        assert_eq!(t.scan_all().unwrap().len(), 1_998);
+    }
+
+    #[test]
+    fn iter_disk_partition_streams_sorted_and_masked() {
+        let (_d, mut t) = table();
+        for cp in 0..3u64 {
+            for i in 0..100u64 {
+                t.insert(TestRec::new(i * 3 + cp, cp));
+            }
+            t.flush_cp().unwrap();
+        }
+        t.mark_deleted(TestRec::new(0, 0));
+        let streamed: Result<Vec<TestRec>> = t.iter_disk_partition(0).unwrap().collect();
+        let streamed = streamed.unwrap();
+        assert_eq!(streamed.len(), 299);
+        assert!(streamed.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(streamed, t.scan_disk().unwrap());
     }
 
     #[test]

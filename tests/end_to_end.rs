@@ -207,6 +207,77 @@ fn relocation_during_live_workload_stays_consistent() {
 }
 
 #[test]
+fn maintenance_fault_mid_workload_keeps_database_consistent() {
+    use blockdev::{DeviceConfig, FileStore, SimDisk};
+    use std::sync::Arc;
+
+    let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+    let files = Arc::new(FileStore::new(disk.clone()));
+    let engine = backlog::BacklogEngine::new(
+        files,
+        BacklogConfig::partitioned(4, 100_000).without_timing(),
+    );
+    let mut fs = FileSystem::new(
+        BacklogProvider::with_engine(engine),
+        FsConfig::default()
+            .with_snapshots(SnapshotPolicy::paper_default(4))
+            .with_seed(23),
+    );
+    let mut cfg = SyntheticConfig::small();
+    cfg.ops_per_cp = 300;
+    let mut workload = SyntheticWorkload::new(cfg);
+    workload
+        .run(&mut fs, 8, |_, _| {})
+        .expect("workload failed");
+    assert_consistent(&mut fs);
+    // A device fault mid-maintenance must leave the database exactly as
+    // consistent as before: old runs intact wherever the swap did not
+    // complete, equivalent rebuilt runs where it did.
+    for fail_after in [0u64, 2, 6, 11] {
+        disk.fail_writes_after(fail_after);
+        assert!(
+            fs.provider_mut().maintenance().is_err(),
+            "fault at write {fail_after} must surface"
+        );
+        disk.clear_write_fault();
+        assert_consistent(&mut fs);
+    }
+    // The retry completes and the workload can continue.
+    fs.provider_mut().maintenance().expect("retry failed");
+    assert_consistent(&mut fs);
+    workload
+        .run(&mut fs, 2, |_, _| {})
+        .expect("post-recovery workload");
+    assert_consistent(&mut fs);
+}
+
+#[test]
+fn incremental_partition_maintenance_interleaves_with_workload() {
+    let mut fs = FileSystem::new(
+        BacklogProvider::new(BacklogConfig::partitioned(4, 100_000).without_timing()),
+        FsConfig::default()
+            .with_snapshots(SnapshotPolicy::paper_default(4))
+            .with_seed(31),
+    );
+    let mut cfg = SyntheticConfig::small();
+    cfg.ops_per_cp = 250;
+    let mut workload = SyntheticWorkload::new(cfg);
+    // Spread targeted maintenance over workload rounds — one partition per
+    // round, the way a file system amortizes maintenance into idle windows.
+    let partitions = fs.provider().maintenance_partitions();
+    assert_eq!(partitions, 4);
+    for round in 0..8u32 {
+        workload
+            .run(&mut fs, 2, |_, _| {})
+            .expect("workload failed");
+        fs.provider_mut()
+            .maintenance_partition(round % partitions)
+            .expect("targeted maintenance failed");
+        assert_consistent(&mut fs);
+    }
+}
+
+#[test]
 fn maintenance_is_idempotent_and_preserves_queries() {
     let mut cfg = SyntheticConfig::small();
     cfg.ops_per_cp = 300;

@@ -6,8 +6,8 @@
 use std::collections::BTreeSet;
 
 use backlog::{
-    query::join_from_to, BacklogConfig, BacklogEngine, CombinedRecord, FromRecord, LineId, Owner,
-    RefIdentity, ToRecord, CP_INFINITY,
+    maintenance, query::join_from_to, BacklogConfig, BacklogEngine, CombinedRecord, FromRecord,
+    LineId, LineageTable, Owner, RefIdentity, SnapshotId, ToRecord, CP_INFINITY,
 };
 use proptest::prelude::*;
 
@@ -27,6 +27,53 @@ fn step_strategy() -> impl Strategy<Value = Step> {
         2 => Just(Step::ConsistencyPoint),
         1 => Just(Step::Maintenance),
     ]
+}
+
+/// One mutation of the random lineage (snapshot/clone/zombie state) that the
+/// maintenance differential test purges against.
+#[derive(Debug, Clone, Copy)]
+enum LineageOp {
+    Advance,
+    Snapshot { line: usize },
+    Clone { snap: usize },
+    DeleteSnapshot { snap: usize },
+}
+
+fn lineage_op_strategy() -> impl Strategy<Value = LineageOp> {
+    prop_oneof![
+        4 => Just(LineageOp::Advance),
+        2 => (0usize..8).prop_map(|line| LineageOp::Snapshot { line }),
+        2 => (0usize..8).prop_map(|snap| LineageOp::Clone { snap }),
+        1 => (0usize..8).prop_map(|snap| LineageOp::DeleteSnapshot { snap }),
+    ]
+}
+
+/// Applies the ops, returning the lineage plus every line it ever created.
+fn build_lineage(ops: &[LineageOp]) -> (LineageTable, Vec<LineId>) {
+    let mut lineage = LineageTable::new();
+    let mut lines = vec![LineId::ROOT];
+    let mut snapshots: Vec<SnapshotId> = Vec::new();
+    for op in ops {
+        match *op {
+            LineageOp::Advance => {
+                lineage.advance_cp();
+            }
+            LineageOp::Snapshot { line } => {
+                snapshots.push(lineage.take_snapshot(lines[line % lines.len()]));
+            }
+            LineageOp::Clone { snap } => {
+                if !snapshots.is_empty() {
+                    lines.push(lineage.create_clone(snapshots[snap % snapshots.len()]));
+                }
+            }
+            LineageOp::DeleteSnapshot { snap } => {
+                if !snapshots.is_empty() {
+                    lineage.delete_snapshot(snapshots[snap % snapshots.len()]);
+                }
+            }
+        }
+    }
+    (lineage, lines)
 }
 
 proptest! {
@@ -104,6 +151,94 @@ proptest! {
         expected.sort();
         let joined = join_from_to(&froms, &tos);
         prop_assert_eq!(joined, expected);
+    }
+
+    /// The streaming maintenance join/purge agrees with the retained
+    /// materialized oracle on arbitrary `From`/`To`/`Combined` table states
+    /// and arbitrary lineage (snapshots, clones, zombies).
+    #[test]
+    fn streaming_join_and_purge_matches_reference_oracle(
+        ops in proptest::collection::vec(lineage_op_strategy(), 0..32),
+        recs in proptest::collection::vec(
+            (0u64..12, 1u64..4, 0u64..4, 0u32..3, 1u64..40, 0u64..12, 0usize..8),
+            0..150,
+        ),
+    ) {
+        let (lineage, lines) = build_lineage(&ops);
+        let mut froms = Vec::new();
+        let mut tos = Vec::new();
+        let mut combined = Vec::new();
+        for (block, inode, offset, kind, cp, span, line) in recs {
+            let line = lines[line % lines.len()];
+            let id = RefIdentity::new(block, Owner::block(inode, offset, line));
+            match kind {
+                0 => froms.push(FromRecord::new(id, cp)),
+                1 => tos.push(ToRecord::new(id, cp)),
+                _ => {
+                    let to = if span == 0 { CP_INFINITY } else { cp + span };
+                    combined.push(CombinedRecord::new(id, cp, to));
+                }
+            }
+        }
+        let streaming = maintenance::join_and_purge(&froms, &tos, &combined, &lineage);
+        let oracle = maintenance::reference::join_and_purge(&froms, &tos, &combined, &lineage);
+        prop_assert_eq!(streaming, oracle);
+    }
+
+    /// Full-engine differential: after the same workload, the streaming
+    /// maintenance pass and the materialized reference pass leave identical
+    /// tables on disk.
+    #[test]
+    fn engine_maintenance_matches_reference_pass(
+        steps in proptest::collection::vec(step_strategy(), 1..80),
+        partitions in 1u32..5,
+    ) {
+        let config = BacklogConfig::partitioned(partitions, 40).without_timing();
+        let mut streaming = BacklogEngine::new_simulated(config.clone());
+        let mut materialized = BacklogEngine::new_simulated(config);
+        let mut owned: BTreeSet<(u64, u64, u64)> = BTreeSet::new();
+        for step in &steps {
+            match *step {
+                Step::Add { block, inode, offset } => {
+                    if owned.insert((block, inode, offset)) {
+                        let owner = Owner::block(inode, offset, LineId::ROOT);
+                        streaming.add_reference(block, owner);
+                        materialized.add_reference(block, owner);
+                    }
+                }
+                Step::Remove { block, inode, offset } => {
+                    if owned.remove(&(block, inode, offset)) {
+                        let owner = Owner::block(inode, offset, LineId::ROOT);
+                        streaming.remove_reference(block, owner);
+                        materialized.remove_reference(block, owner);
+                    }
+                }
+                Step::ConsistencyPoint => {
+                    streaming.consistency_point().unwrap();
+                    materialized.consistency_point().unwrap();
+                }
+                Step::Maintenance => {
+                    streaming.maintenance().unwrap();
+                    materialized.maintenance_reference().unwrap();
+                }
+            }
+        }
+        streaming.consistency_point().unwrap();
+        materialized.consistency_point().unwrap();
+        streaming.maintenance().unwrap();
+        materialized.maintenance_reference().unwrap();
+        prop_assert_eq!(
+            streaming.from_table().scan_disk().unwrap(),
+            materialized.from_table().scan_disk().unwrap()
+        );
+        prop_assert_eq!(
+            streaming.to_table().scan_disk().unwrap(),
+            materialized.to_table().scan_disk().unwrap()
+        );
+        prop_assert_eq!(
+            streaming.combined_table().scan_disk().unwrap(),
+            materialized.combined_table().scan_disk().unwrap()
+        );
     }
 
     /// Record encodings round-trip and preserve ordering.
