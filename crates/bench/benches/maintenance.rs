@@ -47,7 +47,7 @@ fn bench_maintenance(c: &mut Criterion) {
             |b, &(live, dead)| {
                 b.iter_batched(
                     || build(live, dead),
-                    |mut e| e.maintenance().expect("maintenance failed"),
+                    |e| e.maintenance().expect("maintenance failed"),
                     BatchSize::SmallInput,
                 );
             },

@@ -26,7 +26,7 @@ fn bench_maintenance_pipeline(c: &mut Criterion) {
             |b, &(live, dead, partitions)| {
                 b.iter_batched(
                     || maintenance_db(live, dead, partitions),
-                    |mut e| e.maintenance().expect("maintenance failed"),
+                    |e| e.maintenance().expect("maintenance failed"),
                     BatchSize::SmallInput,
                 );
             },

@@ -28,8 +28,8 @@ fn bench_query(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_secs(1));
     let blocks = 50_000u64;
-    let fresh = std::cell::RefCell::new(build(blocks, 50, true));
-    let aged = std::cell::RefCell::new(build(blocks, 50, false));
+    let fresh = build(blocks, 50, true);
+    let aged = build(blocks, 50, false);
     for &run_length in &[1u64, 64, 1_024] {
         group.throughput(Throughput::Elements(run_length));
         group.bench_with_input(
@@ -38,9 +38,10 @@ fn bench_query(c: &mut Criterion) {
             |b, &len| {
                 let mut start = 0u64;
                 b.iter(|| {
-                    let mut e = fresh.borrow_mut();
                     start = (start + 7 * len) % (blocks - len);
-                    e.query_range(start, start + len - 1).expect("query failed")
+                    fresh
+                        .query_range(start, start + len - 1)
+                        .expect("query failed")
                 });
             },
         );
@@ -50,9 +51,9 @@ fn bench_query(c: &mut Criterion) {
             |b, &len| {
                 let mut start = 0u64;
                 b.iter(|| {
-                    let mut e = aged.borrow_mut();
                     start = (start + 7 * len) % (blocks - len);
-                    e.query_range(start, start + len - 1).expect("query failed")
+                    aged.query_range(start, start + len - 1)
+                        .expect("query failed")
                 });
             },
         );

@@ -25,7 +25,7 @@ fn main() {
         (60_000, 30_000, 8),
     ] {
         // Identical databases, maintained by the two implementations.
-        let mut streaming = maintenance_db(live, dead, partitions);
+        let streaming = maintenance_db(live, dead, partitions);
         let mut materialized = maintenance_db(live, dead, partitions);
 
         let t = Instant::now();

@@ -52,12 +52,28 @@ pub fn synthetic_config(ops_per_cp: u64) -> SyntheticConfig {
 /// so maintenance exercises all three outcomes: retention into `Combined`,
 /// still-live records staying in `From`, and purging.
 pub fn maintenance_db(live: u64, dead: u64, partitions: u32) -> BacklogEngine {
-    let config = if partitions > 1 {
+    maintenance_db_on(
+        BacklogEngine::new_simulated(maintenance_db_config(live, dead, partitions)),
+        live,
+        dead,
+    )
+}
+
+/// The engine configuration [`maintenance_db`] uses, exposed so concurrency
+/// benchmarks can build the same database on a device they control (e.g. a
+/// [`blockdev::SimDisk`] with real-time latency emulation).
+pub fn maintenance_db_config(live: u64, dead: u64, partitions: u32) -> BacklogConfig {
+    if partitions > 1 {
         BacklogConfig::partitioned(partitions, live + dead).without_timing()
     } else {
         BacklogConfig::default().without_timing()
-    };
-    let mut e = BacklogEngine::new_simulated(config);
+    }
+}
+
+/// Populates an existing engine with the standard maintenance workload (see
+/// [`maintenance_db`]); the engine should have been created with
+/// [`maintenance_db_config`].
+pub fn maintenance_db_on(mut e: BacklogEngine, live: u64, dead: u64) -> BacklogEngine {
     for i in 0..live {
         e.add_reference(i, Owner::block(1 + i % 5, i, LineId::ROOT));
         if i % 1_000 == 0 {

@@ -1,4 +1,5 @@
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -107,6 +108,10 @@ pub struct SimDisk {
     /// fails with [`DeviceError::InjectedFault`] until the injection is
     /// cleared. `None`: no injection.
     write_fault_after: Mutex<Option<u64>>,
+    /// When set, every access parks the calling thread for its modeled
+    /// latency in addition to advancing the simulated clock, so wall-clock
+    /// concurrency experiments see a device that really blocks.
+    emulate_latency: AtomicBool,
     stats: IoStats,
     clock: Arc<SimClock>,
 }
@@ -120,6 +125,7 @@ impl SimDisk {
             written: Mutex::new(std::collections::HashSet::new()),
             last_page: Mutex::new(None),
             write_fault_after: Mutex::new(None),
+            emulate_latency: AtomicBool::new(false),
             stats: IoStats::new(),
             clock: Arc::new(SimClock::new()),
         }
@@ -155,6 +161,17 @@ impl SimDisk {
         *self.write_fault_after.lock() = None;
     }
 
+    /// Switches real-time latency emulation on or off. While enabled, every
+    /// access blocks the calling thread for the latency the model charges
+    /// (in addition to advancing the simulated clock), which is how the
+    /// concurrency benchmarks measure wall-clock overlap: parallel
+    /// maintenance workers and readers genuinely wait on "the device" and
+    /// their waits genuinely overlap. Off by default so tests and
+    /// simulated-time experiments run at memory speed.
+    pub fn set_latency_emulation(&self, enabled: bool) {
+        self.emulate_latency.store(enabled, Ordering::Relaxed);
+    }
+
     fn charge(&self, page: PageNo, bytes: usize) {
         let mut last = self.last_page.lock();
         let ns = self.config.latency.access_ns(*last, page, bytes);
@@ -165,6 +182,11 @@ impl SimDisk {
         drop(last);
         self.stats.record_device_ns(ns);
         self.clock.advance_ns(ns);
+        // Park outside every lock: an emulated-latency access must stall only
+        // its own thread, never other threads' accesses.
+        if ns > 0 && self.emulate_latency.load(Ordering::Relaxed) {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
+        }
     }
 
     fn check_range(&self, page: PageNo) -> Result<()> {
@@ -326,6 +348,36 @@ mod tests {
         let back = d.read_page(3).unwrap();
         assert!(back.iter().all(|&b| b == 0));
         assert_eq!(d.stats().snapshot().page_writes, 1);
+    }
+
+    #[test]
+    fn latency_emulation_blocks_the_calling_thread() {
+        // 2 ms per random access is far above the scheduler's sleep
+        // granularity, so the wall-clock difference is unambiguous.
+        let model = LatencyModel {
+            seek_ns: 2_000_000,
+            ns_per_byte: 0.0,
+            sequential_window: 1,
+        };
+        let d = SimDisk::new(DeviceConfig::free_latency().with_latency(model));
+        let start = std::time::Instant::now();
+        d.write_page(0, &[0]).unwrap();
+        d.write_page(10_000, &[0]).unwrap();
+        // Generous upper bound: two in-memory writes take microseconds, but
+        // a loaded CI runner can preempt the thread mid-test.
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(500),
+            "without emulation the clock is simulated only"
+        );
+        d.set_latency_emulation(true);
+        let start = std::time::Instant::now();
+        d.write_page(20_000, &[0]).unwrap();
+        d.write_page(40_000, &[0]).unwrap();
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(4),
+            "two emulated random accesses must park for ~2 ms each"
+        );
+        d.set_latency_emulation(false);
     }
 
     #[test]

@@ -20,7 +20,14 @@
 //! Everything here is deterministic: no wall-clock time, no OS file system,
 //! no background threads. Two runs of the same workload produce identical
 //! counter values, which is what the experiment harness in `backlog-bench`
-//! relies on.
+//! relies on. (Concurrency benchmarks may opt into
+//! [`SimDisk::set_latency_emulation`], which additionally parks the calling
+//! thread for each access's modeled latency so wall-clock overlap between
+//! threads becomes measurable; counters stay deterministic either way.)
+//!
+//! Every type here is `Send + Sync`: devices, caches and the file store are
+//! internally synchronized so LSM tables can be read and rebuilt from
+//! multiple threads at once.
 //!
 //! # Example
 //!
@@ -57,3 +64,18 @@ pub const PAGE_SIZE: usize = 4096;
 
 /// A physical page number on a simulated device.
 pub type PageNo = u64;
+
+// Compile-time `Send + Sync` guarantees (static_assertions-style): the whole
+// concurrency model — shared runs, parallel partition maintenance, concurrent
+// readers — rests on these types being safely shareable across threads.
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<SimDisk>();
+    assert::<PageCache>();
+    assert::<FileStore>();
+    assert::<FileMap>();
+    assert::<IoStats>();
+    assert::<SimClock>();
+    assert::<std::sync::Arc<dyn Device>>();
+}

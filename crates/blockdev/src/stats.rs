@@ -14,6 +14,10 @@ pub struct IoStats {
     seeks: AtomicU64,
     /// Simulated device busy time, nanoseconds.
     device_ns: AtomicU64,
+    /// Times a thread found the owning layer's state lock already held and
+    /// had to wait (e.g. concurrent rebuilds contending on the file store's
+    /// allocation lock).
+    lock_contentions: AtomicU64,
 }
 
 impl IoStats {
@@ -44,6 +48,12 @@ impl IoStats {
         self.device_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Records one contended acquisition of a state lock (the acquiring
+    /// thread found the lock held and blocked).
+    pub fn record_lock_contention(&self) {
+        self.lock_contentions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Returns a point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -53,6 +63,7 @@ impl IoStats {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             seeks: self.seeks.load(Ordering::Relaxed),
             device_ns: self.device_ns.load(Ordering::Relaxed),
+            lock_contentions: self.lock_contentions.load(Ordering::Relaxed),
         }
     }
 
@@ -67,6 +78,7 @@ impl IoStats {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.seeks.store(0, Ordering::Relaxed);
         self.device_ns.store(0, Ordering::Relaxed);
+        self.lock_contentions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -85,6 +97,9 @@ pub struct IoStatsSnapshot {
     pub seeks: u64,
     /// Simulated device busy time in nanoseconds.
     pub device_ns: u64,
+    /// Contended state-lock acquisitions (see
+    /// [`IoStats::record_lock_contention`]).
+    pub lock_contentions: u64,
 }
 
 impl IoStatsSnapshot {
@@ -100,6 +115,9 @@ impl IoStatsSnapshot {
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             seeks: self.seeks.saturating_sub(earlier.seeks),
             device_ns: self.device_ns.saturating_sub(earlier.device_ns),
+            lock_contentions: self
+                .lock_contentions
+                .saturating_sub(earlier.lock_contentions),
         }
     }
 
@@ -126,6 +144,7 @@ mod tests {
         stats.record_write(4096);
         stats.record_seek();
         stats.record_device_ns(1500);
+        stats.record_lock_contention();
         let s = stats.snapshot();
         assert_eq!(s.page_reads, 1);
         assert_eq!(s.page_writes, 2);
@@ -133,6 +152,7 @@ mod tests {
         assert_eq!(s.bytes_written, 8192);
         assert_eq!(s.seeks, 1);
         assert_eq!(s.device_ns, 1500);
+        assert_eq!(s.lock_contentions, 1);
         assert_eq!(s.total_ios(), 3);
     }
 

@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::device::Device;
 use crate::error::{DeviceError, Result};
@@ -48,6 +48,15 @@ impl FileMeta {
 /// query engine. The store allocates device pages in contiguous extents so
 /// that sequential run writes stay sequential on the simulated disk, which is
 /// what makes consistency-point flushes cheap in the latency model.
+///
+/// # Concurrency
+///
+/// The store is internally synchronized and shared by every table (and, with
+/// parallel maintenance, every rebuild worker). One mutex guards the
+/// allocation/metadata state; every critical section is bookkeeping only —
+/// page I/O always happens after the lock is released, so a slow device never
+/// extends the lock hold time. Acquisitions that find the lock held are
+/// counted in the device's [`IoStats`](crate::IoStats) as `lock_contentions`.
 #[derive(Debug)]
 pub struct FileStore {
     device: Arc<dyn Device>,
@@ -86,9 +95,20 @@ impl FileStore {
         &self.device
     }
 
+    /// Acquires the state lock, recording a contention event in the device
+    /// stats when another thread already holds it. The guard protects pure
+    /// bookkeeping; callers must perform page I/O only after dropping it.
+    fn lock_state(&self) -> MutexGuard<'_, StoreState> {
+        if let Some(guard) = self.state.try_lock() {
+            return guard;
+        }
+        self.device.stats().record_lock_contention();
+        self.state.lock()
+    }
+
     /// Creates a new, empty file and returns a handle to it.
     pub fn create(&self) -> VFile<'_> {
-        let mut st = self.state.lock();
+        let mut st = self.lock_state();
         let id = FileId(st.next_file);
         st.next_file += 1;
         st.files.insert(
@@ -108,7 +128,7 @@ impl FileStore {
     ///
     /// Returns [`DeviceError::NoSuchFile`] if `id` does not name a live file.
     pub fn open(&self, id: FileId) -> Result<VFile<'_>> {
-        if self.state.lock().files.contains_key(&id) {
+        if self.lock_state().files.contains_key(&id) {
             Ok(VFile { store: self, id })
         } else {
             Err(DeviceError::NoSuchFile { file: id.0 })
@@ -121,7 +141,7 @@ impl FileStore {
     ///
     /// Returns [`DeviceError::NoSuchFile`] if `id` does not name a live file.
     pub fn delete(&self, id: FileId) -> Result<()> {
-        let mut st = self.state.lock();
+        let mut st = self.lock_state();
         let meta = st
             .files
             .remove(&id)
@@ -138,8 +158,7 @@ impl FileStore {
     /// Returns [`DeviceError::NoSuchFile`] if `id` does not name a live file.
     pub fn map_file(&self, id: FileId) -> Result<FileMap> {
         let meta = self
-            .state
-            .lock()
+            .lock_state()
             .files
             .get(&id)
             .cloned()
@@ -152,18 +171,18 @@ impl FileStore {
 
     /// Number of live files.
     pub fn file_count(&self) -> usize {
-        self.state.lock().files.len()
+        self.lock_state().files.len()
     }
 
     /// Total pages currently allocated to live files.
     pub fn allocated_pages(&self) -> u64 {
-        self.state.lock().files.values().map(|f| f.len_pages).sum()
+        self.lock_state().files.values().map(|f| f.len_pages).sum()
     }
 
     /// Total logical bytes across live files (the "database size" that the
     /// paper's space-overhead figures report).
     pub fn allocated_bytes(&self) -> u64 {
-        self.state.lock().files.values().map(|f| f.len_bytes).sum()
+        self.lock_state().files.values().map(|f| f.len_bytes).sum()
     }
 
     fn allocate(&self, st: &mut StoreState, pages: u64) -> Result<Vec<(PageNo, u64)>> {
@@ -280,7 +299,7 @@ impl<'a> VFile<'a> {
             return Err(DeviceError::BadBufferLength { got: data.len() });
         }
         let (device_page, offset) = {
-            let mut st = self.store.state.lock();
+            let mut st = self.store.lock_state();
             // Allocate one page, extending the last extent when contiguous.
             let extents = self.store.allocate(&mut st, 1)?;
             let (page, _) = extents[0];
@@ -309,7 +328,7 @@ impl<'a> VFile<'a> {
     /// the end of the file.
     pub fn read_page(&self, offset: u64) -> Result<Vec<u8>> {
         let device_page = {
-            let st = self.store.state.lock();
+            let st = self.store.lock_state();
             let meta = st
                 .files
                 .get(&self.id)
@@ -440,5 +459,28 @@ mod tests {
     #[test]
     fn file_id_displays() {
         assert_eq!(FileId(7).to_string(), "vfile#7");
+    }
+
+    #[test]
+    fn contended_state_lock_is_counted() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let fs = FileStore::new(disk.clone());
+        assert_eq!(disk.stats().snapshot().lock_contentions, 0);
+        // Uncontended accesses never count.
+        fs.create().append_page(&[1]).unwrap();
+        assert_eq!(disk.stats().snapshot().lock_contentions, 0);
+        // Hold the state lock on this thread while another thread needs it:
+        // that acquisition must be recorded as contended, then complete once
+        // the lock is released.
+        let guard = fs.state.lock();
+        std::thread::scope(|s| {
+            let t = s.spawn(|| fs.file_count());
+            while disk.stats().snapshot().lock_contentions == 0 {
+                std::thread::yield_now();
+            }
+            drop(guard);
+            assert_eq!(t.join().unwrap(), 1);
+        });
+        assert!(disk.stats().snapshot().lock_contentions >= 1);
     }
 }

@@ -1,8 +1,11 @@
+use std::cmp::Reverse;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use blockdev::{Device, DeviceConfig, FileStore, IoStatsSnapshot, SimDisk};
 use lsm::{LsmTable, TableConfig};
+use parking_lot::{Mutex, RwLock};
 
 use crate::config::BacklogConfig;
 use crate::error::Result;
@@ -25,6 +28,19 @@ use crate::types::{BlockNo, CpNumber, LineId, Owner, SnapshotId};
 /// and `Combined` tables in LSM form on a simulated device, answers
 /// back-reference queries, and periodically compacts the database
 /// ([`maintenance`](Self::maintenance)).
+///
+/// # Concurrency model
+///
+/// Mutations from the host file system (reference callbacks, consistency
+/// points, snapshot lifecycle) take `&mut self` — they come from one
+/// serialized host path. Queries and maintenance take `&self`: the engine is
+/// `Sync`, so reader threads can run [`query_range`](Self::query_range)
+/// continuously while [`maintenance_parallel`](Self::maintenance_parallel)
+/// rebuilds partitions on worker threads. Readers always observe each
+/// partition as fully pre-rebuild or fully post-rebuild: the three tables
+/// share one partitioning, a per-partition lock makes the three-table swap
+/// atomic to queries, and replaced runs are retired (deleted when the last
+/// reader snapshot drops), never yanked out from under an in-flight stream.
 ///
 /// # Example
 ///
@@ -50,7 +66,19 @@ pub struct BacklogEngine {
     to_table: LsmTable<ToRecord>,
     combined_table: LsmTable<CombinedRecord>,
     lineage: LineageTable,
+    /// Makes the three-table swap of one partition atomic with respect to
+    /// queries: queries hold read guards for the partitions they touch while
+    /// snapshotting/streaming the tables; a rebuild commit holds the write
+    /// guard across its three table swaps. Without this a query could join
+    /// a rebuilt `From` against a not-yet-rebuilt `Combined` and see a
+    /// record in neither (or both).
+    partition_locks: Vec<RwLock<()>>,
     stats: BacklogStats,
+    // Counters bumped from `&self` paths (queries and maintenance run
+    // concurrently with each other); folded into `stats()` on read.
+    queries: AtomicU64,
+    maintenance_runs: AtomicU64,
+    maintenance_ns: AtomicU64,
     // Per-CP-interval accounting, reset at every consistency point.
     ops_since_cp: u64,
     pruned_since_cp: u64,
@@ -78,6 +106,9 @@ impl BacklogEngine {
                 .with_bloom(config.combined_bloom)
                 .with_partitioning(config.partitioning),
         );
+        let partition_locks = (0..config.partitioning.partition_count())
+            .map(|_| RwLock::new(()))
+            .collect();
         BacklogEngine {
             files,
             config,
@@ -85,7 +116,11 @@ impl BacklogEngine {
             to_table,
             combined_table,
             lineage: LineageTable::new(),
+            partition_locks,
             stats: BacklogStats::default(),
+            queries: AtomicU64::new(0),
+            maintenance_runs: AtomicU64::new(0),
+            maintenance_ns: AtomicU64::new(0),
             ops_since_cp: 0,
             pruned_since_cp: 0,
             callback_ns_since_cp: 0,
@@ -120,9 +155,15 @@ impl BacklogEngine {
         &self.lineage
     }
 
-    /// Cumulative engine statistics.
-    pub fn stats(&self) -> &BacklogStats {
-        &self.stats
+    /// Cumulative engine statistics (a point-in-time copy: the counters that
+    /// `&self` paths bump concurrently — queries, maintenance — are folded in
+    /// at read time).
+    pub fn stats(&self) -> BacklogStats {
+        let mut s = self.stats;
+        s.queries += self.queries.load(Ordering::Relaxed);
+        s.maintenance_runs += self.maintenance_runs.load(Ordering::Relaxed);
+        s.maintenance_ns += self.maintenance_ns.load(Ordering::Relaxed);
+        s
     }
 
     /// The current global consistency-point number.
@@ -298,7 +339,7 @@ impl BacklogEngine {
     /// # Errors
     ///
     /// Propagates device errors from reading run files.
-    pub fn query_block(&mut self, block: BlockNo) -> Result<QueryResult> {
+    pub fn query_block(&self, block: BlockNo) -> Result<QueryResult> {
         self.query_range(block, block)
     }
 
@@ -306,18 +347,42 @@ impl BacklogEngine {
     /// ("Tell me all the objects containing this block", generalized to a
     /// range as used by volume shrinking and defragmentation).
     ///
+    /// Takes `&self` and may run from any number of threads, concurrently
+    /// with an in-flight maintenance rebuild: the per-partition locks below
+    /// guarantee each partition is observed fully pre- or fully post-swap
+    /// across all three tables, and the tables stream from immutable run
+    /// snapshots underneath.
+    ///
+    /// Caveat: the per-operation I/O accounting in the returned
+    /// [`QueryResult`] (and in [`MaintenanceReport::io`]) is a delta of the
+    /// *global* device counters, so while other threads are doing I/O the
+    /// attribution is approximate — a query timed during a rebuild also
+    /// counts the rebuild's pages. The paper-reproduction experiments that
+    /// report per-operation I/O all run single-threaded.
+    ///
     /// # Errors
     ///
     /// Propagates device errors from reading run files.
-    pub fn query_range(&mut self, min: BlockNo, max: BlockNo) -> Result<QueryResult> {
+    pub fn query_range(&self, min: BlockNo, max: BlockNo) -> Result<QueryResult> {
         let io_before = self.io_snapshot();
         let start = self.now();
+        // Hold shared guards for the touched partitions so a concurrent
+        // rebuild commit (which takes them exclusively) cannot interleave
+        // between the three per-table reads. Ascending order, matching every
+        // other multi-partition acquisition.
+        let guards: Vec<_> = self
+            .config
+            .partitioning
+            .partitions_for_range(min, max)
+            .map(|p| self.partition_locks[p as usize].read())
+            .collect();
         let froms = self.from_table.query_range(min, max)?;
         let tos = self.to_table.query_range(min, max)?;
         let combined = self.combined_table.query_range(min, max)?;
+        drop(guards);
         let refs = assemble_query(&froms, &tos, &combined, &self.lineage);
         let io = IoDelta::between(&io_before, &self.io_snapshot());
-        self.stats.queries += 1;
+        self.queries.fetch_add(1, Ordering::Relaxed);
         Ok(QueryResult {
             refs,
             io_reads: io.reads,
@@ -331,7 +396,7 @@ impl BacklogEngine {
     /// # Errors
     ///
     /// Propagates device errors from reading run files.
-    pub fn live_owners(&mut self, block: BlockNo) -> Result<Vec<Owner>> {
+    pub fn live_owners(&self, block: BlockNo) -> Result<Vec<Owner>> {
         let result = self.query_block(block)?;
         let mut owners: Vec<Owner> = result
             .refs
@@ -380,21 +445,82 @@ impl BacklogEngine {
     /// contents (partitions already rebuilt are equivalent, the rest
     /// untouched); maintenance can simply be retried — though a retry cannot
     /// succeed on a device without the transient headroom described above.
-    pub fn maintenance(&mut self) -> Result<MaintenanceReport> {
+    pub fn maintenance(&self) -> Result<MaintenanceReport> {
+        // The serial pass is the parallel pass with one worker, which runs
+        // the partition loop inline on the calling thread.
+        self.maintenance_parallel(1)
+    }
+
+    /// Runs full database maintenance with the independent per-partition
+    /// rebuilds fanned out across `threads` worker threads, while queries
+    /// keep executing against each partition's pre-rebuild snapshot.
+    ///
+    /// The paper partitions the RS files by block number precisely so that
+    /// "each partition can be processed independently"; this is the step
+    /// that cashes that in. Workers pull partitions off a shared
+    /// dirtiest-first work list (ordered by run count, then disk records) so
+    /// the stragglers are the cleanest partitions, and each worker runs the
+    /// same streaming pass as [`maintenance`](Self::maintenance):
+    /// snapshot → k-way merge → join/purge → replacement builders → atomic
+    /// three-table swap. Per-partition reports are merged into one.
+    ///
+    /// `threads` is clamped to `1..=partition_count`. With `threads == 1`
+    /// the partition loop runs inline on the calling thread (this is what
+    /// [`maintenance`](Self::maintenance) does).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error any worker hits. As with the serial
+    /// pass, every partition is left either fully old or fully rebuilt
+    /// (equivalently), so the database stays queryable and the pass can be
+    /// retried. Zombies are pruned only when every partition succeeded.
+    pub fn maintenance_parallel(&self, threads: usize) -> Result<MaintenanceReport> {
         let io_before = self.io_snapshot();
         let start = self.now();
         let bytes_before = self.database_disk_bytes();
         let runs_before = self.run_count();
         let partitions = self.config.partitioning.partition_count();
+        let order = self.partitions_dirtiest_first();
+        let threads = threads.clamp(1, order.len().max(1));
 
-        let mut totals = JoinPurgeStats::default();
-        for pidx in 0..partitions {
-            let pass = self.maintenance_partition_pass(pidx)?;
-            totals.combined += pass.combined;
-            totals.incomplete += pass.incomplete;
-            totals.purged += pass.purged;
-            totals.peak_group_records = totals.peak_group_records.max(pass.peak_group_records);
+        let next = AtomicUsize::new(0);
+        let totals = Mutex::new(JoinPurgeStats::default());
+        let first_error: Mutex<Option<crate::BacklogError>> = Mutex::new(None);
+        let worker = || loop {
+            if first_error.lock().is_some() {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&pidx) = order.get(i) else { break };
+            match self.maintenance_partition_pass(pidx) {
+                Ok(pass) => {
+                    let mut t = totals.lock();
+                    t.combined += pass.combined;
+                    t.incomplete += pass.incomplete;
+                    t.purged += pass.purged;
+                    t.peak_group_records = t.peak_group_records.max(pass.peak_group_records);
+                }
+                Err(e) => {
+                    first_error.lock().get_or_insert(e);
+                    break;
+                }
+            }
+        };
+        if threads == 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    // The closure captures only shared references, so it is
+                    // `Copy`: each worker gets its own copy.
+                    scope.spawn(worker);
+                }
+            });
         }
+        if let Some(e) = first_error.lock().take() {
+            return Err(e);
+        }
+        let totals = totals.into_inner();
 
         let zombies_pruned = self.lineage.prune_zombies() as u64;
         let elapsed_ns = self.elapsed_ns(start);
@@ -412,9 +538,28 @@ impl BacklogEngine {
             partitions,
             peak_resident_records: totals.peak_group_records,
         };
-        self.stats.maintenance_runs += 1;
-        self.stats.maintenance_ns += elapsed_ns;
+        self.maintenance_runs.fetch_add(1, Ordering::Relaxed);
+        self.maintenance_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
         Ok(report)
+    }
+
+    /// Partition indices ordered dirtiest first: most runs across the three
+    /// tables, ties broken by most disk-resident records, then by index for
+    /// determinism. Both the serial and the parallel maintenance paths use
+    /// this order so bounded maintenance windows reclaim the most garbage
+    /// first (and, in the parallel case, the longest rebuilds start first).
+    fn partitions_dirtiest_first(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.config.partitioning.partition_count()).collect();
+        order.sort_by_cached_key(|&p| {
+            let runs = self.from_table.partition_run_count(p)
+                + self.to_table.partition_run_count(p)
+                + self.combined_table.partition_run_count(p);
+            let records = self.from_table.partition_disk_records(p)
+                + self.to_table.partition_disk_records(p)
+                + self.combined_table.partition_disk_records(p);
+            (Reverse(runs), Reverse(records), p)
+        });
+        order
     }
 
     /// Targeted maintenance of a single partition — the incremental form of
@@ -435,7 +580,7 @@ impl BacklogEngine {
     /// # Panics
     ///
     /// Panics if `partition` is out of range.
-    pub fn maintenance_partition(&mut self, partition: u32) -> Result<MaintenanceReport> {
+    pub fn maintenance_partition(&self, partition: u32) -> Result<MaintenanceReport> {
         let io_before = self.io_snapshot();
         let start = self.now();
         let bytes_before = self.database_disk_bytes();
@@ -458,37 +603,54 @@ impl BacklogEngine {
             partitions: 1,
             peak_resident_records: pass.peak_group_records,
         };
-        self.stats.maintenance_runs += 1;
-        self.stats.maintenance_ns += elapsed_ns;
+        self.maintenance_runs.fetch_add(1, Ordering::Relaxed);
+        self.maintenance_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
         Ok(report)
     }
 
     /// Joins, purges and rebuilds one partition of all three tables,
-    /// streaming from the old runs into the replacement runs.
-    fn maintenance_partition_pass(&mut self, pidx: u32) -> Result<JoinPurgeStats> {
+    /// streaming from snapshots of the old runs into the replacement runs.
+    /// Safe to call from several threads at once for *different* partitions;
+    /// queries proceed concurrently against the pre-rebuild snapshots.
+    fn maintenance_partition_pass(&self, pidx: u32) -> Result<JoinPurgeStats> {
+        // Input stage: immutable snapshots of the partition in all three
+        // tables, taken under the partition's shared lock so a concurrent
+        // maintenance call's commit (which takes it exclusively) cannot land
+        // between them — without this, overlapping passes over the same
+        // partition could join a pre-swap `From` against a post-swap `To`
+        // and resurrect already-combined records. Nothing below can be
+        // disturbed by (or disturb) concurrent readers; the swap at the end
+        // installs the replacements atomically.
+        let (from_snap, to_snap, combined_snap) = {
+            let _snap_guard = self.partition_locks[pidx as usize].read();
+            (
+                self.from_table.partition_snapshot(pidx),
+                self.to_table.partition_snapshot(pidx),
+                self.combined_table.partition_snapshot(pidx),
+            )
+        };
         // Output stage: replacement runs under construction. Builders write
         // fresh files through the shared store; the tables' current runs are
         // untouched until the commit below.
         let mut from_builder = self
             .from_table
-            .new_run_builder(self.from_table.partition_disk_records(pidx) as usize);
+            .new_run_builder(from_snap.disk_records() as usize);
         // Every joined interval with a finite endpoint lands in Combined —
         // including unmatched To overrides — so the Bloom sizing must count
         // the To records too, or an override-heavy partition would saturate
         // its filter.
         let mut combined_builder = self.combined_table.new_run_builder(
-            (self.combined_table.partition_disk_records(pidx)
-                + self.from_table.partition_disk_records(pidx)
-                + self.to_table.partition_disk_records(pidx)) as usize,
+            (combined_snap.disk_records() + from_snap.disk_records() + to_snap.disk_records())
+                as usize,
         );
-        // Input + transform stages: lazy per-run cursors, k-way merged per
-        // table, joined and purged one identity group at a time, flowing
-        // directly into the builders.
+        // Transform stage: lazy per-run cursors, k-way merged per table,
+        // joined and purged one identity group at a time, flowing directly
+        // into the builders.
         let streamed = (|| {
             join_and_purge_streaming(
-                self.from_table.iter_disk_partition(pidx)?,
-                self.to_table.iter_disk_partition(pidx)?,
-                self.combined_table.iter_disk_partition(pidx)?,
+                from_snap.iter_disk()?,
+                to_snap.iter_disk()?,
+                combined_snap.iter_disk()?,
                 &self.lineage,
                 |rec| combined_builder.push(&rec),
                 |rec| from_builder.push(&rec),
@@ -525,11 +687,15 @@ impl BacklogEngine {
             }
         };
         // Swap. No fallible device writes happen past this point: committing
-        // only installs the finished runs and frees the old ones.
-        self.from_table.commit_rebuilt_partition(pidx, from_run)?;
-        self.to_table.commit_rebuilt_partition(pidx, None)?;
+        // only installs the finished runs and retires the old ones. The
+        // engine-level partition lock makes the three table swaps one atomic
+        // step from any query's point of view.
+        let swap_guard = self.partition_locks[pidx as usize].write();
+        self.from_table.commit_rebuilt_partition(pidx, from_run);
+        self.to_table.commit_rebuilt_partition(pidx, None);
         self.combined_table
-            .commit_rebuilt_partition(pidx, combined_run)?;
+            .commit_rebuilt_partition(pidx, combined_run);
+        drop(swap_guard);
         Ok(stats)
     }
 
@@ -580,8 +746,8 @@ impl BacklogEngine {
             peak_resident_records: peak_resident_records
                 + (output.combined.len() + output.incomplete_from.len()) as u64,
         };
-        self.stats.maintenance_runs += 1;
-        self.stats.maintenance_ns += elapsed_ns;
+        self.maintenance_runs.fetch_add(1, Ordering::Relaxed);
+        self.maintenance_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
         Ok(report)
     }
 
@@ -687,12 +853,25 @@ impl BacklogEngine {
     /// # Errors
     ///
     /// Propagates device errors.
-    pub fn dump_all(&mut self) -> Result<QueryResult> {
+    pub fn dump_all(&self) -> Result<QueryResult> {
         self.query_range(0, u64::MAX)
     }
 }
 
 // The engine intentionally does not implement `Clone`: it owns on-disk state.
+
+// Compile-time `Send + Sync` guarantees (static_assertions-style): the racing
+// readers + parallel maintenance model shares `&BacklogEngine` across
+// threads, so regressions here must fail the build, not the stress tests.
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<BacklogEngine>();
+    assert::<LineageTable>();
+    assert::<LsmTable<FromRecord>>();
+    assert::<LsmTable<ToRecord>>();
+    assert::<LsmTable<CombinedRecord>>();
+}
 
 #[cfg(test)]
 mod tests {
@@ -1178,6 +1357,118 @@ mod tests {
             streaming.combined_table().scan_disk().unwrap(),
             materialized.combined_table().scan_disk().unwrap()
         );
+    }
+
+    #[test]
+    fn maintenance_parallel_matches_serial() {
+        // Identical workloads; one engine maintained serially, the other with
+        // worker threads. On-disk tables, reports and query results must be
+        // identical.
+        let mut serial =
+            BacklogEngine::new_simulated(BacklogConfig::partitioned(8, 600).without_timing());
+        let mut parallel =
+            BacklogEngine::new_simulated(BacklogConfig::partitioned(8, 600).without_timing());
+        populate(&mut serial, 600);
+        populate(&mut parallel, 600);
+        let a = serial.maintenance().unwrap();
+        let b = parallel.maintenance_parallel(4).unwrap();
+        assert_eq!(a.combined_records, b.combined_records);
+        assert_eq!(a.incomplete_records, b.incomplete_records);
+        assert_eq!(a.purged_records, b.purged_records);
+        assert_eq!(a.zombies_pruned, b.zombies_pruned);
+        assert_eq!(a.partitions, b.partitions);
+        assert_eq!(
+            serial.from_table().scan_disk().unwrap(),
+            parallel.from_table().scan_disk().unwrap()
+        );
+        assert_eq!(
+            serial.to_table().scan_disk().unwrap(),
+            parallel.to_table().scan_disk().unwrap()
+        );
+        assert_eq!(
+            serial.combined_table().scan_disk().unwrap(),
+            parallel.combined_table().scan_disk().unwrap()
+        );
+        assert_eq!(
+            all_query_results(&mut serial, 600),
+            all_query_results(&mut parallel, 600)
+        );
+        assert_eq!(parallel.stats().maintenance_runs, 1);
+    }
+
+    #[test]
+    fn maintenance_parallel_with_one_thread_and_excess_threads() {
+        // threads is clamped: 0 behaves like 1, and more threads than
+        // partitions is fine.
+        let mut e =
+            BacklogEngine::new_simulated(BacklogConfig::partitioned(2, 200).without_timing());
+        populate(&mut e, 200);
+        let baseline = all_query_results(&mut e, 200);
+        e.maintenance_parallel(0).unwrap();
+        assert_eq!(all_query_results(&mut e, 200), baseline);
+        populate(&mut e, 200);
+        let baseline = all_query_results(&mut e, 200);
+        e.maintenance_parallel(64).unwrap();
+        assert_eq!(all_query_results(&mut e, 200), baseline);
+    }
+
+    #[test]
+    fn failed_parallel_maintenance_keeps_every_partition_queryable() {
+        // The parallel analogue of the serial fault walk: kill the device at
+        // every write of the parallel rebuild in turn. Whatever subset of
+        // partitions the workers managed to commit, each partition must be
+        // fully old or fully (equivalently) new, and query results unchanged.
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk.clone()));
+        let mut e = BacklogEngine::new(files, BacklogConfig::partitioned(4, 400));
+        populate(&mut e, 400);
+        let baseline = all_query_results(&mut e, 400);
+        let mut fail_after = 0u64;
+        let mut failures = 0u32;
+        loop {
+            disk.fail_writes_after(fail_after);
+            let result = e.maintenance_parallel(3);
+            disk.clear_write_fault();
+            if result.is_ok() {
+                break;
+            }
+            failures += 1;
+            assert_eq!(
+                all_query_results(&mut e, 400),
+                baseline,
+                "query results changed after fault at write {fail_after}"
+            );
+            fail_after += 1;
+        }
+        assert!(failures >= 3, "only {failures} distinct fault points");
+        assert_eq!(all_query_results(&mut e, 400), baseline);
+        assert!(e.run_count() <= 12, "retry completed the compaction");
+    }
+
+    #[test]
+    fn maintenance_schedules_dirtiest_partition_first() {
+        // Partition 1 accumulates many more runs than the others; it must be
+        // first in the maintenance order.
+        let mut e =
+            BacklogEngine::new_simulated(BacklogConfig::partitioned(4, 400).without_timing());
+        for cp in 0..6u64 {
+            // Every CP touches partition 1 (blocks 100..200); only the first
+            // touches the rest of the key space.
+            if cp == 0 {
+                for block in 0..400u64 {
+                    e.add_reference(block, Owner::block(1, block, LineId::ROOT));
+                }
+            }
+            e.add_reference(100 + cp, Owner::block(2, cp, LineId::ROOT));
+            e.consistency_point().unwrap();
+        }
+        let order = e.partitions_dirtiest_first();
+        assert_eq!(order[0], 1, "dirtiest partition first, got {order:?}");
+        // Ties (partitions 0, 2, 3 all have one run) break by records, then
+        // by index; all partitions appear exactly once.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
     }
 
     #[test]

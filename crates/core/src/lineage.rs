@@ -10,6 +10,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
+use parking_lot::Mutex;
+
 use crate::types::{CpNumber, LineId, SnapshotId, CP_INFINITY};
 
 /// Information about one snapshot line.
@@ -31,7 +33,12 @@ pub struct LineInfo {
 /// The table performs no I/O: creating or deleting snapshots and clones only
 /// mutates in-memory state, which is how Backlog achieves "no additional I/O
 /// overhead" for snapshot and clone management.
-#[derive(Debug, Clone)]
+///
+/// Concurrency: everything except the zombie set is mutated only through
+/// `&mut self` (the engine's host-callback path). The zombie set alone is
+/// pruned *during* maintenance — which runs against `&self` so queries can
+/// proceed concurrently — so it lives behind a small mutex.
+#[derive(Debug)]
 pub struct LineageTable {
     lines: HashMap<LineId, LineInfo>,
     next_line: u32,
@@ -39,8 +46,10 @@ pub struct LineageTable {
     /// Retained (live) snapshot versions per line.
     live_versions: HashMap<LineId, BTreeSet<CpNumber>>,
     /// Snapshots that were deleted while having clones; their back references
-    /// must not be purged by maintenance while descendants remain.
-    zombies: HashSet<SnapshotId>,
+    /// must not be purged by maintenance while descendants remain. Behind a
+    /// mutex so [`prune_zombies`](Self::prune_zombies) can run from a shared
+    /// maintenance pass.
+    zombies: Mutex<HashSet<SnapshotId>>,
     /// Clone lines created from each snapshot.
     clones_of: HashMap<SnapshotId, Vec<LineId>>,
     /// The same association indexed for interval lookup: parent line →
@@ -48,6 +57,20 @@ pub struct LineageTable {
     /// clones hang off line `l` inside `[from, to)`" once per visited record,
     /// so this must be a range scan, not a sweep over every clone parent.
     clones_by_line: HashMap<LineId, BTreeMap<CpNumber, Vec<LineId>>>,
+}
+
+impl Clone for LineageTable {
+    fn clone(&self) -> Self {
+        LineageTable {
+            lines: self.lines.clone(),
+            next_line: self.next_line,
+            current_cp: self.current_cp,
+            live_versions: self.live_versions.clone(),
+            zombies: Mutex::new(self.zombies.lock().clone()),
+            clones_of: self.clones_of.clone(),
+            clones_by_line: self.clones_by_line.clone(),
+        }
+    }
 }
 
 impl Default for LineageTable {
@@ -76,7 +99,7 @@ impl LineageTable {
             next_line: 1,
             current_cp: 1,
             live_versions: HashMap::new(),
-            zombies: HashSet::new(),
+            zombies: Mutex::new(HashSet::new()),
             clones_of: HashMap::new(),
             clones_by_line: HashMap::new(),
         }
@@ -210,7 +233,7 @@ impl LineageTable {
             .map(|c| !c.is_empty())
             .unwrap_or(false)
         {
-            self.zombies.insert(snap);
+            self.zombies.lock().insert(snap);
         }
     }
 
@@ -322,13 +345,14 @@ impl LineageTable {
         }
         !self
             .zombies
+            .lock()
             .iter()
             .any(|z| z.line == line && z.version >= from && z.version < to)
     }
 
     /// The current zombie snapshots.
     pub fn zombies(&self) -> Vec<SnapshotId> {
-        let mut v: Vec<SnapshotId> = self.zombies.iter().copied().collect();
+        let mut v: Vec<SnapshotId> = self.zombies.lock().iter().copied().collect();
         v.sort();
         v
     }
@@ -336,20 +360,29 @@ impl LineageTable {
     /// Drops zombie snapshot IDs that no longer have live descendants
     /// ("periodically we examine the list of zombies and drop snapshot IDs
     /// that have no remaining descendants"). Returns how many were dropped.
-    pub fn prune_zombies(&mut self) -> usize {
-        let before = self.zombies.len();
-        let zombies: Vec<SnapshotId> = self.zombies.iter().copied().collect();
-        for z in zombies {
-            let has_live_descendant = self
-                .clones_of
-                .get(&z)
-                .map(|clones| clones.iter().any(|&c| self.has_live_descendants(c)))
-                .unwrap_or(false);
-            if !has_live_descendant {
-                self.zombies.remove(&z);
-            }
+    ///
+    /// Takes `&self`: pruning runs at the end of (possibly parallel)
+    /// maintenance while readers may still be assembling queries, and only
+    /// the mutex-guarded zombie set is touched. Queries never consult
+    /// zombies — they matter solely to maintenance purge decisions.
+    pub fn prune_zombies(&self) -> usize {
+        let zombies: Vec<SnapshotId> = self.zombies.lock().iter().copied().collect();
+        let dead: Vec<SnapshotId> = zombies
+            .into_iter()
+            .filter(|z| {
+                !self
+                    .clones_of
+                    .get(z)
+                    .map(|clones| clones.iter().any(|&c| self.has_live_descendants(c)))
+                    .unwrap_or(false)
+            })
+            .collect();
+        let mut set = self.zombies.lock();
+        let before = set.len();
+        for z in dead {
+            set.remove(&z);
         }
-        before - self.zombies.len()
+        before - set.len()
     }
 
     fn has_live_descendants(&self, line: LineId) -> bool {

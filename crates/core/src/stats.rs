@@ -119,6 +119,11 @@ pub struct MaintenanceReport {
     /// Database bytes on disk before maintenance.
     pub bytes_before: u64,
     /// Database bytes on disk after maintenance.
+    ///
+    /// Measured from the live tables, so retired pre-rebuild runs still held
+    /// by in-flight reader snapshots are excluded — but their *files* are
+    /// only reclaimed when the last snapshot drops, so with concurrent
+    /// readers the device may briefly hold more than this value.
     pub bytes_after: u64,
     /// Device I/O performed by the maintenance pass.
     pub io: IoDelta,

@@ -115,6 +115,18 @@ pub trait BackrefProvider: std::fmt::Debug {
     fn maintenance_partition(&mut self, _partition: u32) -> Result<()> {
         self.maintenance()
     }
+
+    /// Runs full maintenance with independent pieces rebuilt on `threads`
+    /// worker threads, for providers whose metadata is partitioned (see
+    /// [`maintenance_partitions`](Self::maintenance_partitions)). Providers
+    /// without parallel maintenance fall back to a serial full pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the provider's stable storage fails.
+    fn maintenance_parallel(&mut self, _threads: usize) -> Result<()> {
+        self.maintenance()
+    }
 }
 
 /// A provider that maintains no back references at all — the paper's *Base*
@@ -252,6 +264,11 @@ impl BackrefProvider for BacklogProvider {
         self.engine.maintenance_partition(partition)?;
         Ok(())
     }
+
+    fn maintenance_parallel(&mut self, threads: usize) -> Result<()> {
+        self.engine.maintenance_parallel(threads)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +341,20 @@ mod tests {
         let mut null = NullProvider::new();
         assert_eq!(null.maintenance_partitions(), 1);
         null.maintenance_partition(0).unwrap();
+        null.maintenance_parallel(4).unwrap();
+    }
+
+    #[test]
+    fn backlog_provider_parallel_maintenance_preserves_queries() {
+        let mut p = BacklogProvider::new(BacklogConfig::partitioned(4, 4_000).without_timing());
+        for block in (0..4_000u64).step_by(7) {
+            p.add_reference(block, Owner::block(1, block, LineId::ROOT));
+        }
+        p.consistency_point(1).unwrap();
+        p.maintenance_parallel(4).unwrap();
+        assert_eq!(p.query_owners(7).unwrap().len(), 1);
+        assert_eq!(p.query_owners(3_997).unwrap().len(), 1);
+        assert_eq!(p.engine().stats().maintenance_runs, 1);
     }
 
     #[test]

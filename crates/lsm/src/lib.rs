@@ -89,5 +89,7 @@ pub use error::{LsmError, Result};
 pub use partition::Partitioning;
 pub use record::Record;
 pub use run::{Run, RunBuilder, RunRangeIter, RunStats};
-pub use store::{FlushStats, LsmTable, MaintenanceStats, TableConfig, TableStats};
+pub use store::{
+    FlushStats, LsmTable, MaintenanceStats, PartitionSnapshot, TableConfig, TableStats,
+};
 pub use write_store::WriteStore;

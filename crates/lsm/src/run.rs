@@ -1,4 +1,5 @@
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use blockdev::{FileId, FileMap, FileStore, PAGE_SIZE};
@@ -37,6 +38,13 @@ pub struct RunStats {
 ///
 /// Each run carries an in-memory [`BloomFilter`] over the partition keys of
 /// its records so queries can skip runs that cannot contain a block.
+///
+/// Runs are shared: the table hands out `Arc<Run>` snapshots to readers while
+/// maintenance builds replacements off to the side. A replaced run is
+/// [`retire`](Run::retire)d rather than deleted eagerly — its backing file is
+/// freed when the last reference drops, so an in-flight query keeps reading
+/// consistent pre-rebuild pages and the pages return to the free list the
+/// moment nobody can observe them.
 #[derive(Debug)]
 pub struct Run<R: Record> {
     files: Arc<FileStore>,
@@ -51,6 +59,9 @@ pub struct Run<R: Record> {
     min_key: u64,
     max_key: u64,
     bloom: BloomFilter,
+    /// Set by [`retire`](Run::retire): delete the backing file when the run
+    /// is dropped (i.e. when the last shared reference goes away).
+    retired: AtomicBool,
     _marker: PhantomData<R>,
 }
 
@@ -142,11 +153,24 @@ impl<R: Record> Run<R> {
         self.bloom.may_contain_range(min, max, 256)
     }
 
-    /// Deletes the backing file, consuming the run. Called by database
-    /// maintenance after the run has been merged into its replacement.
+    /// Deletes the backing file immediately, consuming the run. Only valid
+    /// for exclusively owned runs; shared runs are [`retire`](Self::retire)d
+    /// instead so in-flight readers finish against intact pages.
     pub fn delete(self) -> Result<()> {
+        // Disarm the drop hook: the file is gone after this call.
+        self.retired.store(false, Ordering::Relaxed);
         self.files.delete(self.file)?;
         Ok(())
+    }
+
+    /// Marks the run retired: its backing file is deleted when the last
+    /// reference drops. This is how [`LsmTable`](crate::LsmTable) swaps a
+    /// partition — old runs are retired under the swap lock, readers holding
+    /// a pre-swap snapshot keep every page they can see, and the space is
+    /// reclaimed as soon as the final snapshot is dropped (immediately, when
+    /// no query is in flight).
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::Release);
     }
 
     fn read_page(&self, page: u64) -> Result<Vec<u8>> {
@@ -284,6 +308,17 @@ impl<R: Record> Run<R> {
                     })
                 }
             }
+        }
+    }
+}
+
+impl<R: Record> Drop for Run<R> {
+    fn drop(&mut self) {
+        // Deferred deletion for retired runs: the swap marked the run dead,
+        // the last reference reclaims its pages. A run that no longer exists
+        // in the store (explicit `delete`) is a no-op here.
+        if *self.retired.get_mut() {
+            let _ = self.files.delete(self.file);
         }
     }
 }
@@ -532,6 +567,7 @@ impl<R: Record> RunBuilder<R> {
             min_key: if self.records == 0 { 0 } else { self.min_key },
             max_key: self.max_key,
             bloom: self.bloom,
+            retired: AtomicBool::new(false),
             _marker: PhantomData,
         })
     }
@@ -801,6 +837,42 @@ mod tests {
             .unwrap();
         assert_eq!(fs.file_count(), 1);
         run.delete().unwrap();
+        assert_eq!(fs.file_count(), 0);
+    }
+
+    #[test]
+    fn retired_run_outlives_readers_then_frees_its_file() {
+        let fs = files();
+        let recs: Vec<TestRec> = (0..100u64).map(|k| TestRec::new(k, 0)).collect();
+        let run = Arc::new(
+            Run::build(&fs, &recs, &BloomConfig::default())
+                .unwrap()
+                .unwrap(),
+        );
+        let reader = run.clone();
+        run.retire();
+        drop(run);
+        // A reader snapshot still holds the run: the file must survive and
+        // stay fully readable.
+        assert_eq!(fs.file_count(), 1, "reader keeps the retired run alive");
+        assert_eq!(reader.scan_all().unwrap(), recs);
+        drop(reader);
+        assert_eq!(fs.file_count(), 0, "last reference reclaims the file");
+    }
+
+    #[test]
+    fn unretired_drop_leaks_nothing_but_keeps_file() {
+        // Dropping a run without retiring it must not delete the file (the
+        // table owns that decision); explicit delete still works.
+        let fs = files();
+        let recs: Vec<TestRec> = (0..10u64).map(|k| TestRec::new(k, 0)).collect();
+        let run = Run::build(&fs, &recs, &BloomConfig::default())
+            .unwrap()
+            .unwrap();
+        let id = run.file_id();
+        drop(run);
+        assert_eq!(fs.file_count(), 1);
+        fs.delete(id).unwrap();
         assert_eq!(fs.file_count(), 0);
     }
 

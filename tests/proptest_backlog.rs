@@ -241,6 +241,81 @@ proptest! {
         );
     }
 
+    /// Parallel-maintenance differential: fanning the per-partition rebuilds
+    /// across worker threads must leave exactly the same tables, stats and
+    /// report totals as the serial pass, for any workload, partition count
+    /// and thread count.
+    #[test]
+    fn engine_maintenance_parallel_matches_serial(
+        steps in proptest::collection::vec(step_strategy(), 1..80),
+        partitions in 1u32..6,
+        threads in 1usize..5,
+    ) {
+        let config = BacklogConfig::partitioned(partitions, 40).without_timing();
+        let mut serial = BacklogEngine::new_simulated(config.clone());
+        let mut parallel = BacklogEngine::new_simulated(config);
+        let mut owned: BTreeSet<(u64, u64, u64)> = BTreeSet::new();
+        for step in &steps {
+            match *step {
+                Step::Add { block, inode, offset } => {
+                    if owned.insert((block, inode, offset)) {
+                        let owner = Owner::block(inode, offset, LineId::ROOT);
+                        serial.add_reference(block, owner);
+                        parallel.add_reference(block, owner);
+                    }
+                }
+                Step::Remove { block, inode, offset } => {
+                    if owned.remove(&(block, inode, offset)) {
+                        let owner = Owner::block(inode, offset, LineId::ROOT);
+                        serial.remove_reference(block, owner);
+                        parallel.remove_reference(block, owner);
+                    }
+                }
+                Step::ConsistencyPoint => {
+                    serial.consistency_point().unwrap();
+                    parallel.consistency_point().unwrap();
+                }
+                Step::Maintenance => {
+                    serial.maintenance().unwrap();
+                    parallel.maintenance_parallel(threads).unwrap();
+                }
+            }
+        }
+        serial.consistency_point().unwrap();
+        parallel.consistency_point().unwrap();
+        let a = serial.maintenance().unwrap();
+        let b = parallel.maintenance_parallel(threads).unwrap();
+        prop_assert_eq!(a.combined_records, b.combined_records);
+        prop_assert_eq!(a.incomplete_records, b.incomplete_records);
+        prop_assert_eq!(a.purged_records, b.purged_records);
+        prop_assert_eq!(a.zombies_pruned, b.zombies_pruned);
+        prop_assert_eq!(
+            serial.from_table().scan_disk().unwrap(),
+            parallel.from_table().scan_disk().unwrap()
+        );
+        prop_assert_eq!(
+            serial.to_table().scan_disk().unwrap(),
+            parallel.to_table().scan_disk().unwrap()
+        );
+        prop_assert_eq!(
+            serial.combined_table().scan_disk().unwrap(),
+            parallel.combined_table().scan_disk().unwrap()
+        );
+        let (sf, st, sc) = serial.table_stats();
+        let (pf, pt, pc) = parallel.table_stats();
+        prop_assert_eq!(sf, pf);
+        prop_assert_eq!(st, pt);
+        prop_assert_eq!(sc, pc);
+        // Both engines answer every query identically afterwards.
+        for block in 0..40u64 {
+            prop_assert_eq!(
+                serial.query_block(block).unwrap().refs,
+                parallel.query_block(block).unwrap().refs,
+                "block {} diverged", block
+            );
+        }
+    }
+
     /// Record encodings round-trip and preserve ordering.
     #[test]
     fn record_encoding_roundtrips(

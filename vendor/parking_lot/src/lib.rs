@@ -3,9 +3,12 @@
 //! Provides the subset of the API this workspace uses: `Mutex` and `RwLock`
 //! with panic-free, non-poisoning `lock()`/`read()`/`write()` signatures
 //! (poisoned std locks are recovered transparently, matching parking_lot's
-//! behavior of not propagating poison).
+//! behavior of not propagating poison), plus the non-blocking
+//! `try_lock()`/`try_read()`/`try_write()` probes the real crate offers,
+//! which return `Option<Guard>` instead of a `TryLockResult`.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, TryLockError};
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with `parking_lot`'s non-poisoning `lock()`.
 #[derive(Debug, Default)]
@@ -32,6 +35,16 @@ impl<T: ?Sized> Mutex<T> {
         match self.0.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking, returning `None` if it
+    /// is currently held by another thread.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
         }
     }
 
@@ -71,6 +84,34 @@ impl<T: ?Sized> RwLock<T> {
             Err(p) => p.into_inner(),
         }
     }
+
+    /// Attempts to acquire shared read access without blocking, returning
+    /// `None` if a writer currently holds the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire exclusive write access without blocking, returning
+    /// `None` if any reader or writer currently holds the lock.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -87,9 +128,37 @@ mod tests {
 
     #[test]
     fn rwlock_reads_and_writes() {
-        let l = RwLock::new(5);
+        let mut l = RwLock::new(5);
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+        *l.get_mut() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = Mutex::new(0);
+        let g = m.try_lock().expect("uncontended try_lock succeeds");
+        assert!(m.try_lock().is_none(), "held mutex refuses try_lock");
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn try_read_and_try_write_respect_holders() {
+        let l = RwLock::new(1);
+        // Readers coexist; writers are refused while any reader is active.
+        let r1 = l.try_read().expect("uncontended try_read succeeds");
+        let r2 = l.try_read().expect("readers share");
+        assert!(l.try_write().is_none(), "readers block try_write");
+        drop(r1);
+        drop(r2);
+        // A writer excludes both readers and other writers.
+        let w = l.try_write().expect("uncontended try_write succeeds");
+        assert!(l.try_read().is_none(), "writer blocks try_read");
+        assert!(l.try_write().is_none(), "writer blocks try_write");
+        drop(w);
+        assert!(l.try_read().is_some());
     }
 }
