@@ -16,10 +16,12 @@
 //! over the *Base* configuration is small).
 
 use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use blockdev::{Device, DeviceConfig, PageNo, SimDisk, PAGE_SIZE};
+use parking_lot::Mutex;
 
 use backlog::{BlockNo, CpNumber, LineId, Owner};
 use fsim::{BackrefProvider, ProviderCpStats};
@@ -40,14 +42,27 @@ struct OwnerKey {
 }
 
 /// The btrfs-style provider.
+///
+/// Satisfies the `&self` [`BackrefProvider`] contract with one coarse state
+/// lock, modeling btrfs's globally shared extent tree: concurrent reference
+/// updates serialize on the tree, which is part of what the paper's
+/// log-structured design avoids.
 #[derive(Debug)]
 pub struct BtrfsLikeBackrefs {
     device: Arc<SimDisk>,
+    state: Mutex<BtrfsState>,
+    /// Accumulated outside the state lock so timing stays accurate when
+    /// callbacks from several threads interleave.
+    callback_ns: AtomicU64,
+}
+
+/// The mutable extent-tree state, behind the provider's lock.
+#[derive(Debug)]
+struct BtrfsState {
     /// block -> owner -> reference count.
     refs: BTreeMap<BlockNo, BTreeMap<OwnerKey, u32>>,
     /// Extent-tree leaves dirtied since the last commit.
     dirty_leaves: HashSet<PageNo>,
-    callback_ns: u64,
     items_flushed: u64,
     current_cp: CpNumber,
     /// Device counters at the end of the previous commit, so each report
@@ -66,12 +81,14 @@ impl BtrfsLikeBackrefs {
     pub fn new() -> Self {
         BtrfsLikeBackrefs {
             device: SimDisk::new_shared(DeviceConfig::default().with_payloads(false)),
-            refs: BTreeMap::new(),
-            dirty_leaves: HashSet::new(),
-            callback_ns: 0,
-            items_flushed: 0,
-            current_cp: 1,
-            last_cp_io: blockdev::IoStatsSnapshot::default(),
+            state: Mutex::new(BtrfsState {
+                refs: BTreeMap::new(),
+                dirty_leaves: HashSet::new(),
+                items_flushed: 0,
+                current_cp: 1,
+                last_cp_io: blockdev::IoStatsSnapshot::default(),
+            }),
+            callback_ns: AtomicU64::new(0),
         }
     }
 
@@ -82,7 +99,12 @@ impl BtrfsLikeBackrefs {
 
     /// Total number of back-reference items currently held.
     pub fn item_count(&self) -> u64 {
-        self.refs.values().map(|o| o.len() as u64).sum()
+        self.state
+            .lock()
+            .refs
+            .values()
+            .map(|o| o.len() as u64)
+            .sum()
     }
 
     fn leaf_for(block: BlockNo) -> PageNo {
@@ -95,26 +117,30 @@ impl BackrefProvider for BtrfsLikeBackrefs {
         "btrfs-like"
     }
 
-    fn add_reference(&mut self, block: BlockNo, owner: Owner) {
+    fn add_reference(&self, block: BlockNo, owner: Owner) {
         let start = Instant::now();
         let key = OwnerKey {
             line: owner.line,
             inode: owner.inode,
             offset: owner.offset,
         };
-        *self.refs.entry(block).or_default().entry(key).or_insert(0) += 1;
-        self.dirty_leaves.insert(Self::leaf_for(block));
-        self.callback_ns += start.elapsed().as_nanos() as u64;
+        let mut st = self.state.lock();
+        *st.refs.entry(block).or_default().entry(key).or_insert(0) += 1;
+        st.dirty_leaves.insert(Self::leaf_for(block));
+        drop(st);
+        self.callback_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
-    fn remove_reference(&mut self, block: BlockNo, owner: Owner) {
+    fn remove_reference(&self, block: BlockNo, owner: Owner) {
         let start = Instant::now();
         let key = OwnerKey {
             line: owner.line,
             inode: owner.inode,
             offset: owner.offset,
         };
-        if let Some(owners) = self.refs.get_mut(&block) {
+        let mut st = self.state.lock();
+        if let Some(owners) = st.refs.get_mut(&block) {
             if let Some(count) = owners.get_mut(&key) {
                 *count -= 1;
                 if *count == 0 {
@@ -122,16 +148,19 @@ impl BackrefProvider for BtrfsLikeBackrefs {
                 }
             }
             if owners.is_empty() {
-                self.refs.remove(&block);
+                st.refs.remove(&block);
             }
         }
-        self.dirty_leaves.insert(Self::leaf_for(block));
-        self.callback_ns += start.elapsed().as_nanos() as u64;
+        st.dirty_leaves.insert(Self::leaf_for(block));
+        drop(st);
+        self.callback_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
-    fn consistency_point(&mut self, _cp: CpNumber) -> fsim::Result<ProviderCpStats> {
+    fn consistency_point(&self, _cp: CpNumber) -> fsim::Result<ProviderCpStats> {
         let start = Instant::now();
-        let dirty: Vec<PageNo> = self.dirty_leaves.drain().collect();
+        let mut st = self.state.lock();
+        let dirty: Vec<PageNo> = st.dirty_leaves.drain().collect();
         let flushed = dirty.len() as u64;
         for leaf in dirty {
             // The extent tree is itself copy-on-write, but the incremental
@@ -142,30 +171,34 @@ impl BackrefProvider for BtrfsLikeBackrefs {
                 .map_err(|e| fsim::FsError::Provider(e.to_string()))?;
         }
         let io_now = self.device.stats().snapshot();
-        let io = io_now.delta_since(&self.last_cp_io);
-        self.last_cp_io = io_now;
-        self.items_flushed += flushed;
-        self.current_cp += 1;
+        let io = io_now.delta_since(&st.last_cp_io);
+        st.last_cp_io = io_now;
+        st.items_flushed += flushed;
+        st.current_cp += 1;
+        drop(st);
         Ok(ProviderCpStats {
             records_flushed: flushed,
             pages_written: io.page_writes,
             pages_read: io.page_reads,
-            callback_ns: std::mem::take(&mut self.callback_ns),
+            lock_contentions: io.lock_contentions,
+            callback_ns: self.callback_ns.swap(0, Ordering::Relaxed),
             flush_ns: start.elapsed().as_nanos() as u64,
         })
     }
 
-    fn clone_created(&mut self, _parent: backlog::SnapshotId, _line: LineId) {
+    fn clone_created(&self, _parent: backlog::SnapshotId, _line: LineId) {
         // Btrfs back references omit transaction IDs precisely so that a
         // clone needs no back-reference updates; nothing to do.
     }
 
-    fn query_owners(&mut self, block: BlockNo) -> fsim::Result<Vec<Owner>> {
+    fn query_owners(&self, block: BlockNo) -> fsim::Result<Vec<Owner>> {
         // Point queries walk the extent tree: charge one leaf read if the
         // leaf has been committed.
         let leaf = Self::leaf_for(block);
         let _ = self.device.read_page(leaf);
         let mut owners: Vec<Owner> = self
+            .state
+            .lock()
             .refs
             .get(&block)
             .map(|o| {
@@ -190,7 +223,7 @@ mod tests {
 
     #[test]
     fn add_remove_and_query() {
-        let mut p = BtrfsLikeBackrefs::new();
+        let p = BtrfsLikeBackrefs::new();
         let o1 = Owner::block(3, 0, LineId::ROOT);
         let o2 = Owner::block(4, 9, LineId::ROOT);
         p.add_reference(10, o1);
@@ -206,7 +239,7 @@ mod tests {
 
     #[test]
     fn refcounts_handle_repeated_references() {
-        let mut p = BtrfsLikeBackrefs::new();
+        let p = BtrfsLikeBackrefs::new();
         let o = Owner::block(3, 0, LineId::ROOT);
         p.add_reference(10, o);
         p.add_reference(10, o);
@@ -217,12 +250,12 @@ mod tests {
             "count 2 - 1 = 1 still live"
         );
         p.remove_reference(10, o);
-        assert!(p.refs.is_empty());
+        assert_eq!(p.item_count(), 0);
     }
 
     #[test]
     fn cp_flush_writes_dirty_leaves_only() {
-        let mut p = BtrfsLikeBackrefs::new();
+        let p = BtrfsLikeBackrefs::new();
         for b in 0..128u64 {
             p.add_reference(b, Owner::block(1, b, LineId::ROOT));
         }
@@ -236,7 +269,7 @@ mod tests {
 
     #[test]
     fn clone_creation_is_free() {
-        let mut p = BtrfsLikeBackrefs::new();
+        let p = BtrfsLikeBackrefs::new();
         p.add_reference(5, Owner::block(2, 0, LineId::ROOT));
         let io_before = p.device().stats().snapshot();
         p.clone_created(backlog::SnapshotId::new(LineId::ROOT, 1), LineId(1));

@@ -50,7 +50,7 @@ mod tests {
             let mut owners = Vec::new();
             let blocks: Vec<u64> = (1..=60).collect();
             for b in blocks {
-                owners.push(fs.provider_mut().query_owners(b).unwrap());
+                owners.push(fs.provider().query_owners(b).unwrap());
             }
             (owners, fs)
         }

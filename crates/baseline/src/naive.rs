@@ -9,10 +9,12 @@
 //! reproduce that gap against Backlog.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use blockdev::{Device, DeviceConfig, PageNo, SimDisk, PAGE_SIZE};
+use parking_lot::Mutex;
 
 use backlog::{BlockNo, CpNumber, LineId, Owner, CP_INFINITY};
 use fsim::{BackrefProvider, ProviderCpStats};
@@ -59,10 +61,25 @@ impl Default for NaiveConfig {
 /// the I/O the design would perform: inserts dirty the record's home page,
 /// deallocations read the home page if it is not cached, and every
 /// consistency point writes all dirty pages back in place.
+///
+/// The provider satisfies the `&self` [`BackrefProvider`] contract with one
+/// coarse state lock: the design's single update-in-place table has no
+/// natural sharding, so serializing concurrent writers is itself a faithful
+/// model of it (and part of why Backlog's log-structured, partition-sharded
+/// write path wins).
 #[derive(Debug)]
 pub struct NaiveBackrefs {
     device: Arc<SimDisk>,
     config: NaiveConfig,
+    state: Mutex<NaiveState>,
+    /// Accumulated outside the state lock: timing must stay accurate even
+    /// when callbacks from several threads interleave.
+    callback_ns: AtomicU64,
+}
+
+/// The mutable table state, behind the provider's lock.
+#[derive(Debug)]
+struct NaiveState {
     /// The conceptual table: key -> `to` CP (∞ while live).
     table: BTreeMap<Key, CpNumber>,
     /// Live reference index so deallocation can find the open record.
@@ -74,7 +91,6 @@ pub struct NaiveBackrefs {
     /// Simple FIFO cache of recently accessed pages.
     cache: VecDeque<PageNo>,
     cache_set: HashSet<PageNo>,
-    callback_ns: u64,
     records_flushed: u64,
     /// Device counters at the end of the previous CP, so each CP report
     /// covers the whole interval (callbacks included), not just the flush.
@@ -93,15 +109,17 @@ impl NaiveBackrefs {
         NaiveBackrefs {
             device: SimDisk::new_shared(DeviceConfig::default().with_payloads(false)),
             config,
-            table: BTreeMap::new(),
-            current_cp: 1,
-            dirty_pages: HashSet::new(),
-            materialized: HashSet::new(),
-            cache: VecDeque::new(),
-            cache_set: HashSet::new(),
-            callback_ns: 0,
-            records_flushed: 0,
-            last_cp_io: blockdev::IoStatsSnapshot::default(),
+            state: Mutex::new(NaiveState {
+                table: BTreeMap::new(),
+                current_cp: 1,
+                dirty_pages: HashSet::new(),
+                materialized: HashSet::new(),
+                cache: VecDeque::new(),
+                cache_set: HashSet::new(),
+                records_flushed: 0,
+                last_cp_io: blockdev::IoStatsSnapshot::default(),
+            }),
+            callback_ns: AtomicU64::new(0),
         }
     }
 
@@ -112,20 +130,22 @@ impl NaiveBackrefs {
 
     /// Number of records (live and historical) in the conceptual table.
     pub fn record_count(&self) -> usize {
-        self.table.len()
+        self.state.lock().table.len()
     }
 
     fn home_page(block: BlockNo) -> PageNo {
         block / RECORDS_PER_PAGE
     }
+}
 
-    fn touch_cache(&mut self, page: PageNo) {
+impl NaiveState {
+    fn touch_cache(&mut self, page: PageNo, cached_pages: usize) {
         if self.cache_set.contains(&page) {
             return;
         }
         self.cache.push_back(page);
         self.cache_set.insert(page);
-        while self.cache.len() > self.config.cached_pages.max(1) {
+        while self.cache.len() > cached_pages.max(1) {
             if let Some(evicted) = self.cache.pop_front() {
                 self.cache_set.remove(&evicted);
             }
@@ -134,12 +154,12 @@ impl NaiveBackrefs {
 
     /// Charges the read-modify-write that modifying `page` implies: a device
     /// read when the page exists on disk and is not cached.
-    fn charge_page_modification(&mut self, page: PageNo) {
+    fn charge_page_modification(&mut self, device: &SimDisk, page: PageNo, cached_pages: usize) {
         if self.materialized.contains(&page) && !self.cache_set.contains(&page) {
             // Read the page so it can be modified.
-            let _ = self.device.read_page(page);
+            let _ = device.read_page(page);
         }
-        self.touch_cache(page);
+        self.touch_cache(page, cached_pages);
         self.dirty_pages.insert(page);
     }
 }
@@ -149,25 +169,33 @@ impl BackrefProvider for NaiveBackrefs {
         "naive"
     }
 
-    fn add_reference(&mut self, block: BlockNo, owner: Owner) {
+    fn add_reference(&self, block: BlockNo, owner: Owner) {
         let start = Instant::now();
+        let mut st = self.state.lock();
         let key = Key {
             block,
             inode: owner.inode,
             offset: owner.offset,
             line: owner.line,
-            from: self.current_cp,
+            from: st.current_cp,
         };
-        self.table.insert(key, CP_INFINITY);
-        self.charge_page_modification(Self::home_page(block));
-        self.callback_ns += start.elapsed().as_nanos() as u64;
+        st.table.insert(key, CP_INFINITY);
+        st.charge_page_modification(
+            &self.device,
+            Self::home_page(block),
+            self.config.cached_pages,
+        );
+        drop(st);
+        self.callback_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
-    fn remove_reference(&mut self, block: BlockNo, owner: Owner) {
+    fn remove_reference(&self, block: BlockNo, owner: Owner) {
         let start = Instant::now();
+        let mut st = self.state.lock();
         // Find the live record for this reference (to == ∞) and close it —
         // the read-modify-write the paper calls out.
-        let live_key = self
+        let live_key = st
             .table
             .range(
                 Key {
@@ -188,48 +216,59 @@ impl BackrefProvider for NaiveBackrefs {
             .map(|(k, _)| *k)
             .next();
         if let Some(key) = live_key {
-            self.table.insert(key, self.current_cp);
+            let cp = st.current_cp;
+            st.table.insert(key, cp);
         }
-        self.charge_page_modification(Self::home_page(block));
-        self.callback_ns += start.elapsed().as_nanos() as u64;
+        st.charge_page_modification(
+            &self.device,
+            Self::home_page(block),
+            self.config.cached_pages,
+        );
+        drop(st);
+        self.callback_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
-    fn consistency_point(&mut self, _cp: CpNumber) -> fsim::Result<ProviderCpStats> {
+    fn consistency_point(&self, _cp: CpNumber) -> fsim::Result<ProviderCpStats> {
         let start = Instant::now();
-        let dirty: Vec<PageNo> = self.dirty_pages.drain().collect();
+        let mut st = self.state.lock();
+        let dirty: Vec<PageNo> = st.dirty_pages.drain().collect();
         let flushed = dirty.len() as u64;
         for page in dirty {
             // Write the page back in place (update-in-place table).
             self.device
                 .write_page(page, &[0u8; 8])
                 .map_err(|e| fsim::FsError::Provider(e.to_string()))?;
-            self.materialized.insert(page);
+            st.materialized.insert(page);
         }
         // Attribute the whole interval's I/O (callback-time reads plus the
         // flush writes) to this CP.
         let io_now = self.device.stats().snapshot();
-        let interval = io_now.delta_since(&self.last_cp_io);
-        self.last_cp_io = io_now;
-        self.records_flushed += flushed;
-        self.current_cp += 1;
+        let interval = io_now.delta_since(&st.last_cp_io);
+        st.last_cp_io = io_now;
+        st.records_flushed += flushed;
+        st.current_cp += 1;
+        drop(st);
         let stats = ProviderCpStats {
             records_flushed: flushed,
             pages_written: interval.page_writes,
             pages_read: interval.page_reads,
-            callback_ns: std::mem::take(&mut self.callback_ns),
+            lock_contentions: interval.lock_contentions,
+            callback_ns: self.callback_ns.swap(0, Ordering::Relaxed),
             flush_ns: start.elapsed().as_nanos() as u64,
         };
         Ok(stats)
     }
 
-    fn query_owners(&mut self, block: BlockNo) -> fsim::Result<Vec<Owner>> {
+    fn query_owners(&self, block: BlockNo) -> fsim::Result<Vec<Owner>> {
+        let mut st = self.state.lock();
         // Reading the home page is the only I/O a point query needs.
         let page = Self::home_page(block);
-        if self.materialized.contains(&page) && !self.cache_set.contains(&page) {
+        if st.materialized.contains(&page) && !st.cache_set.contains(&page) {
             let _ = self.device.read_page(page);
         }
-        self.touch_cache(page);
-        let mut owners: Vec<Owner> = self
+        st.touch_cache(page, self.config.cached_pages);
+        let mut owners: Vec<Owner> = st
             .table
             .range(
                 Key {
@@ -255,7 +294,7 @@ impl BackrefProvider for NaiveBackrefs {
     }
 
     fn metadata_bytes(&self) -> u64 {
-        self.table.len() as u64 * RECORD_BYTES as u64
+        self.state.lock().table.len() as u64 * RECORD_BYTES as u64
     }
 }
 
@@ -265,7 +304,7 @@ mod tests {
 
     #[test]
     fn add_and_query() {
-        let mut p = NaiveBackrefs::default();
+        let p = NaiveBackrefs::default();
         let owner = Owner::block(3, 1, LineId::ROOT);
         p.add_reference(10, owner);
         p.consistency_point(1).unwrap();
@@ -277,7 +316,7 @@ mod tests {
 
     #[test]
     fn remove_closes_the_live_record() {
-        let mut p = NaiveBackrefs::default();
+        let p = NaiveBackrefs::default();
         let owner = Owner::block(3, 1, LineId::ROOT);
         p.add_reference(10, owner);
         p.consistency_point(1).unwrap();
@@ -290,7 +329,7 @@ mod tests {
 
     #[test]
     fn cp_writes_one_page_per_dirty_page() {
-        let mut p = NaiveBackrefs::default();
+        let p = NaiveBackrefs::default();
         // 85 records fit per page; 300 consecutive blocks span 4 pages.
         for b in 0..300u64 {
             p.add_reference(b, Owner::block(1, b, LineId::ROOT));
@@ -303,7 +342,7 @@ mod tests {
     #[test]
     fn cold_deallocations_cause_reads() {
         // A tiny cache forces the read-modify-write to hit the device.
-        let mut p = NaiveBackrefs::new(NaiveConfig { cached_pages: 1 });
+        let p = NaiveBackrefs::new(NaiveConfig { cached_pages: 1 });
         let n = 2_000u64;
         for b in 0..n {
             p.add_reference(b * RECORDS_PER_PAGE, Owner::block(1, b, LineId::ROOT));

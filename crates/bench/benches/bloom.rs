@@ -50,7 +50,7 @@ fn bench_filter_ops(c: &mut Criterion) {
 /// End-to-end ablation: a query for a block that exists in only one of many
 /// Level-0 runs touches just that run thanks to the per-run filters.
 fn bench_absent_key_queries(c: &mut Criterion) {
-    let mut engine = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
+    let engine = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
     // 100 Level-0 runs of 1,000 references each, in disjoint block ranges.
     for run in 0..100u64 {
         for i in 0..1_000u64 {

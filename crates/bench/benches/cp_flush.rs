@@ -8,7 +8,7 @@ use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 
 fn loaded_engine(ops: u64) -> BacklogEngine {
-    let mut e = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
+    let e = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
     for i in 0..ops {
         e.add_reference(i, Owner::block(i % 97, i, LineId::ROOT));
     }
@@ -25,7 +25,7 @@ fn bench_cp_flush(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, &ops| {
             b.iter_batched(
                 || loaded_engine(ops),
-                |mut e| e.consistency_point().expect("cp failed"),
+                |e| e.consistency_point().expect("cp failed"),
                 BatchSize::SmallInput,
             );
         });

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 /// Builds an engine with `live` live references plus `dead` references whose
 /// lifetime covers no retained snapshot (purgeable), spread over many runs.
 fn build(live: u64, dead: u64) -> BacklogEngine {
-    let mut e = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
+    let e = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
     for i in 0..live {
         e.add_reference(i, Owner::block(1, i, LineId::ROOT));
         if i % 1_000 == 0 {

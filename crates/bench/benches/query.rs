@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 /// Builds a database of `blocks` block references spread over `cps`
 /// consistency points, optionally maintained at the end.
 fn build(blocks: u64, cps: u64, maintain: bool) -> BacklogEngine {
-    let mut e = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
+    let e = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
     let per_cp = (blocks / cps).max(1);
     for block in 0..blocks {
         e.add_reference(block, Owner::block(block % 1_000, block, LineId::ROOT));

@@ -129,7 +129,7 @@ fn bench_streaming_query(c: &mut Criterion) {
 
     let disk = blockdev::SimDisk::new_shared(blockdev::DeviceConfig::free_latency());
     let files = Arc::new(blockdev::FileStore::new(disk));
-    let mut table: LsmTable<Rec> = LsmTable::new(files, TableConfig::named("bench"));
+    let table: LsmTable<Rec> = LsmTable::new(files, TableConfig::named("bench"));
     // 16 Level-0 runs of 20k records each: the many-runs shape queries see
     // between maintenance passes.
     for run in 0..16u64 {

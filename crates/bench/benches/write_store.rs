@@ -45,7 +45,7 @@ fn bench_add_reference(c: &mut Criterion) {
     group.bench_function("remove_reference_persistent", |b| {
         b.iter_batched_ref(
             || {
-                let mut e = engine();
+                let e = engine();
                 for i in 0..1_000u64 {
                     e.add_reference(i, Owner::block(7, i, LineId::ROOT));
                 }

@@ -1,0 +1,177 @@
+//! Emits wall-clock numbers for the concurrent write path as JSON (captured
+//! in `BENCH_concurrent_writers.json` at the repo root).
+//!
+//! Setup: an empty partitioned engine on a [`SimDisk`] with *real-time
+//! latency emulation* (every page access parks the calling thread for a
+//! uniform per-page cost, as in `bench_maintenance_parallel`). Each
+//! configuration runs the same workload with `T` writer threads: per round,
+//! every writer applies its partition-disjoint slice of reference callbacks
+//! through [`WriteBatch`]es (`BacklogEngine::apply`, one shard-lock
+//! acquisition per touched partition per batch), then a consistency point
+//! flushes the sharded write stores with its per-partition run builds fanned
+//! across `T` scoped worker threads.
+//!
+//! This is the regime the PR-4 write-path redesign targets: callbacks from
+//! different threads only serialize on a shard when they hit the same
+//! partition (the JSON reports the contention counter — near zero for
+//! disjoint writers), and the CP flush is I/O-latency-bound, so fanning the
+//! independent partition flushes overlaps their device waits and the flush
+//! wall-clock drops near-linearly. Total write-path throughput (callbacks +
+//! CP flushes, the numbers the acceptance gate reads) therefore scales with
+//! the writer count even though the callback CPU work itself is fixed.
+//!
+//! Every thread count must also produce an identical `From` table — the
+//! bench asserts it, making it a cheap determinism check for the concurrent
+//! write path.
+//!
+//! Run with `cargo run --release --bin bench_concurrent_writers`; pass
+//! `--smoke` for the tiny CI configuration.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use backlog::{BacklogConfig, BacklogEngine, LineId, Owner, WriteBatch};
+use blockdev::{Device, DeviceConfig, FileStore, LatencyModel, SimDisk, PAGE_SIZE};
+
+/// A uniform-latency device: every page access costs the same, no seek
+/// penalty — the shape of a flash device or striped array where concurrent
+/// requests overlap instead of fighting one head.
+fn uniform_latency(ns_per_page: u64) -> LatencyModel {
+    LatencyModel {
+        seek_ns: 0,
+        ns_per_byte: ns_per_page as f64 / PAGE_SIZE as f64,
+        sequential_window: u64::MAX,
+    }
+}
+
+struct Config {
+    partitions: u32,
+    /// Reference adds per round, split evenly across the writers.
+    ops_per_round: u64,
+    rounds: u64,
+    ns_per_page: u64,
+    batch_len: usize,
+    thread_counts: &'static [usize],
+}
+
+struct Measurement {
+    callback_ns: u64,
+    flush_ns: u64,
+    contentions: u64,
+    runs_created: u32,
+    from_table: Vec<backlog::FromRecord>,
+}
+
+/// Runs the whole workload with `threads` writers (and the same flush
+/// fan-out width) and returns the phase timings.
+fn run(cfg: &Config, threads: usize) -> Measurement {
+    let block_space = cfg.ops_per_round;
+    let disk = SimDisk::new_shared(
+        DeviceConfig::free_latency().with_latency(uniform_latency(cfg.ns_per_page)),
+    );
+    let files = Arc::new(FileStore::new(disk.clone()));
+    let engine = BacklogEngine::new(
+        files,
+        BacklogConfig::partitioned(cfg.partitions, block_space)
+            .without_timing()
+            .with_cp_flush_threads(threads),
+    );
+    disk.set_latency_emulation(true);
+    let contentions_before = disk.stats().snapshot().lock_contentions;
+    let per_writer = block_space / threads as u64;
+    let mut callback_ns = 0u64;
+    let mut flush_ns = 0u64;
+    let mut runs_created = 0u32;
+    for _round in 0..cfg.rounds {
+        let t = Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..threads as u64 {
+                let engine = &engine;
+                s.spawn(move || {
+                    let mut batch = WriteBatch::with_capacity(cfg.batch_len);
+                    for i in 0..per_writer {
+                        let block = w * per_writer + i;
+                        // Owner derived from the block alone so every thread
+                        // count builds the identical table.
+                        batch
+                            .add_reference(block, Owner::block(1 + block % 7, block, LineId::ROOT));
+                        if batch.len() == cfg.batch_len {
+                            engine.apply(&batch);
+                            batch.clear();
+                        }
+                    }
+                    engine.apply(&batch);
+                });
+            }
+        });
+        callback_ns += t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
+        let report = engine.consistency_point().expect("CP flush failed");
+        flush_ns += t.elapsed().as_nanos() as u64;
+        runs_created += report.runs_created;
+    }
+    disk.set_latency_emulation(false);
+    Measurement {
+        callback_ns,
+        flush_ns,
+        contentions: disk.stats().snapshot().lock_contentions - contentions_before,
+        runs_created,
+        from_table: engine.from_table().scan_disk().expect("scan failed"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        Config {
+            partitions: 4,
+            ops_per_round: 4_000,
+            rounds: 2,
+            ns_per_page: 200_000,
+            batch_len: 256,
+            thread_counts: &[1, 2],
+        }
+    } else {
+        Config {
+            partitions: 8,
+            ops_per_round: 32_000,
+            rounds: 4,
+            ns_per_page: 400_000,
+            batch_len: 256,
+            thread_counts: &[1, 2, 4],
+        }
+    };
+
+    let total_ops = cfg.ops_per_round * cfg.rounds;
+    let mut entries: Vec<String> = Vec::new();
+    let mut serial_total_ns = 0u64;
+    let mut reference: Option<Vec<backlog::FromRecord>> = None;
+    for &threads in cfg.thread_counts {
+        let m = run(&cfg, threads);
+        let wall_ns = m.callback_ns + m.flush_ns;
+        if threads == 1 {
+            serial_total_ns = wall_ns;
+        }
+        // Determinism check: every writer count produces the same table.
+        match &reference {
+            None => reference = Some(m.from_table),
+            Some(r) => assert_eq!(*r, m.from_table, "thread counts diverged"),
+        }
+        entries.push(format!(
+            "  \"writers_{}p_{threads}t\": {{ \"block_ops\": {total_ops}, \"wall_ns\": {wall_ns}, \
+\"callback_wall_ns\": {}, \"cp_flush_wall_ns\": {}, \"ops_per_sec\": {:.1}, \
+\"throughput_vs_1t\": {:.2}, \"runs_created\": {}, \"lock_contentions\": {} }}",
+            cfg.partitions,
+            m.callback_ns,
+            m.flush_ns,
+            total_ops as f64 * 1e9 / wall_ns as f64,
+            serial_total_ns as f64 / wall_ns as f64,
+            m.runs_created,
+            m.contentions,
+        ));
+    }
+
+    println!("{{");
+    println!("{}", entries.join(",\n"));
+    println!("}}");
+}

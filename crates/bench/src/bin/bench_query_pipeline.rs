@@ -151,7 +151,7 @@ fn main() {
     {
         let disk = blockdev::SimDisk::new_shared(blockdev::DeviceConfig::free_latency());
         let files = Arc::new(blockdev::FileStore::new(disk.clone()));
-        let mut table: LsmTable<Rec> = LsmTable::new(files, TableConfig::named("bench"));
+        let table: LsmTable<Rec> = LsmTable::new(files, TableConfig::named("bench"));
         for i in 0..500_000u64 {
             table.insert(Rec(i, i));
         }

@@ -23,7 +23,7 @@ fn throughput(
     queries: u64,
 ) -> f64 {
     let mut rng = StdRng::seed_from_u64(run_length ^ 0xf16);
-    let engine = fs.provider_mut().engine_mut();
+    let engine = fs.provider().engine();
     let batches = (queries / run_length).max(1);
     let io_before = engine.device().stats().snapshot();
     let start = Instant::now();
@@ -70,7 +70,7 @@ fn main() {
             for (i, &len) in run_lengths.iter().enumerate() {
                 before_series[i].push(cp as f64, throughput(&mut fs, max_block, len, queries));
             }
-            fs.provider_mut().maintenance().expect("maintenance failed");
+            fs.provider().maintenance().expect("maintenance failed");
             for (i, &len) in run_lengths.iter().enumerate() {
                 after_series[i].push(cp as f64, throughput(&mut fs, max_block, len, queries));
             }

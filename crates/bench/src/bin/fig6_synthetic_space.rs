@@ -18,7 +18,7 @@ fn run(cps: u64, ops_per_cp: u64, maintenance_every: Option<u64>, label: &str) -
         workload.run_cp(&mut fs).expect("workload failed");
         if let Some(every) = maintenance_every {
             if cp % every == 0 {
-                fs.provider_mut().maintenance().expect("maintenance failed");
+                fs.provider().maintenance().expect("maintenance failed");
             }
         }
         let data_bytes = fs.physical_data_bytes().max(1);

@@ -33,7 +33,7 @@ fn run(hours: u64, peak_ops: f64, maintenance_every_hours: Option<u64>, label: &
             .expect("trace replay failed");
         if let Some(every) = maintenance_every_hours {
             if hour > 0 && hour.is_multiple_of(every) {
-                fs.provider_mut().maintenance().expect("maintenance failed");
+                fs.provider().maintenance().expect("maintenance failed");
             }
         }
         let data = fs.physical_data_bytes().max(1);

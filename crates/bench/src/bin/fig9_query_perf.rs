@@ -31,7 +31,7 @@ fn build_db(total_cps: u64, ops_per_cp: u64, maintain_at: Option<u64>, label: &s
     for cp in 1..=total_cps {
         workload.run_cp(&mut fs).expect("workload failed");
         if Some(cp) == maintain_at {
-            fs.provider_mut().maintenance().expect("maintenance failed");
+            fs.provider().maintenance().expect("maintenance failed");
         }
     }
     let max_block = fs.stats().blocks_written;
@@ -44,7 +44,7 @@ fn build_db(total_cps: u64, ops_per_cp: u64, maintain_at: Option<u64>, label: &s
 
 fn measure(db: &mut AgedDb, run_length: u64, queries: u64) -> (f64, f64) {
     let mut rng = StdRng::seed_from_u64(run_length ^ 0x51ab);
-    let engine = db.fs.provider_mut().engine_mut();
+    let engine = db.fs.provider().engine();
     let io_before = engine.device().stats().snapshot();
     let start = Instant::now();
     let mut returned = 0u64;

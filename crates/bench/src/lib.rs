@@ -73,7 +73,7 @@ pub fn maintenance_db_config(live: u64, dead: u64, partitions: u32) -> BacklogCo
 /// Populates an existing engine with the standard maintenance workload (see
 /// [`maintenance_db`]); the engine should have been created with
 /// [`maintenance_db_config`].
-pub fn maintenance_db_on(mut e: BacklogEngine, live: u64, dead: u64) -> BacklogEngine {
+pub fn maintenance_db_on(e: BacklogEngine, live: u64, dead: u64) -> BacklogEngine {
     for i in 0..live {
         e.add_reference(i, Owner::block(1 + i % 5, i, LineId::ROOT));
         if i % 1_000 == 0 {

@@ -1,0 +1,136 @@
+//! Batched reference callbacks.
+//!
+//! A multi-threaded host file system produces bursts of reference changes —
+//! a file deletion alone removes one reference per block. Issuing them as
+//! individual [`add_reference`](crate::BacklogEngine::add_reference) /
+//! [`remove_reference`](crate::BacklogEngine::remove_reference) calls pays a
+//! write-store shard-lock acquisition, a lineage read lock and a couple of
+//! atomic counter updates per operation. A [`WriteBatch`] collects the
+//! operations first; [`BacklogEngine::apply`](crate::BacklogEngine::apply)
+//! then groups them by partition and applies each group under a single
+//! shard-lock acquisition, stamping the whole batch with one CP read and one
+//! set of counter updates.
+
+use crate::types::{BlockNo, Owner};
+
+/// One buffered reference operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefOp {
+    /// `owner` started referencing `block`.
+    Add {
+        /// The physical block.
+        block: BlockNo,
+        /// The owner of the new reference.
+        owner: Owner,
+    },
+    /// `owner` stopped referencing `block`.
+    Remove {
+        /// The physical block.
+        block: BlockNo,
+        /// The owner of the removed reference.
+        owner: Owner,
+    },
+}
+
+impl RefOp {
+    /// The physical block the operation touches (and therefore the partition
+    /// it routes to).
+    pub fn block(&self) -> BlockNo {
+        match *self {
+            RefOp::Add { block, .. } | RefOp::Remove { block, .. } => block,
+        }
+    }
+}
+
+/// An ordered batch of reference operations, applied in one call via
+/// [`BacklogEngine::apply`](crate::BacklogEngine::apply) (or any
+/// `BackrefProvider`'s `apply_batch`).
+///
+/// Operations keep their insertion order within each partition, so an
+/// add/remove pair of the same identity in one batch still cancels through
+/// proactive pruning exactly as the scalar calls would.
+///
+/// ```
+/// use backlog::{BacklogConfig, BacklogEngine, LineId, Owner, WriteBatch};
+///
+/// # fn main() -> Result<(), backlog::BacklogError> {
+/// let engine = BacklogEngine::new_simulated(BacklogConfig::default());
+/// let mut batch = WriteBatch::new();
+/// for block in 0..64u64 {
+///     batch.add_reference(block, Owner::block(7, block, LineId::ROOT));
+/// }
+/// engine.apply(&batch);
+/// engine.consistency_point()?;
+/// assert_eq!(engine.live_owners(5)?.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteBatch {
+    ops: Vec<RefOp>,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        WriteBatch::default()
+    }
+
+    /// Creates an empty batch with space for `capacity` operations.
+    pub fn with_capacity(capacity: usize) -> Self {
+        WriteBatch {
+            ops: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Buffers "`owner` now references `block`".
+    pub fn add_reference(&mut self, block: BlockNo, owner: Owner) {
+        self.ops.push(RefOp::Add { block, owner });
+    }
+
+    /// Buffers "`owner` no longer references `block`".
+    pub fn remove_reference(&mut self, block: BlockNo, owner: Owner) {
+        self.ops.push(RefOp::Remove { block, owner });
+    }
+
+    /// The buffered operations, in insertion order.
+    pub fn ops(&self) -> &[RefOp] {
+        &self.ops
+    }
+
+    /// Number of buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Empties the batch, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::LineId;
+
+    #[test]
+    fn batch_collects_ops_in_order() {
+        let owner = Owner::block(1, 0, LineId::ROOT);
+        let mut b = WriteBatch::with_capacity(2);
+        assert!(b.is_empty());
+        b.add_reference(10, owner);
+        b.remove_reference(11, owner);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.ops()[0], RefOp::Add { block: 10, owner });
+        assert_eq!(b.ops()[1], RefOp::Remove { block: 11, owner });
+        assert_eq!(b.ops()[1].block(), 11);
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

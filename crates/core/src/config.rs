@@ -14,6 +14,10 @@ pub struct BacklogConfig {
     /// Whether to measure wall-clock time spent in callbacks and CP flushes.
     /// Disable for pure I/O-count experiments to avoid timer overhead.
     pub track_timing: bool,
+    /// Worker threads each table's consistency-point flush fans its
+    /// per-partition run builds onto (1 = flush partitions inline on the
+    /// calling thread, the deterministic default).
+    pub cp_flush_threads: usize,
 }
 
 impl Default for BacklogConfig {
@@ -28,6 +32,7 @@ impl Default for BacklogConfig {
             },
             partitioning: Partitioning::single(),
             track_timing: true,
+            cp_flush_threads: 1,
         }
     }
 }
@@ -47,6 +52,13 @@ impl BacklogConfig {
         self.track_timing = false;
         self
     }
+
+    /// Sets how many worker threads each consistency-point flush fans its
+    /// per-partition run builds onto (clamped to at least 1).
+    pub fn with_cp_flush_threads(mut self, threads: usize) -> Self {
+        self.cp_flush_threads = threads.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -60,6 +72,23 @@ mod tests {
         assert_eq!(c.combined_bloom.max_bits, 8 * 1024 * 1024);
         assert_eq!(c.partitioning.partition_count(), 1);
         assert!(c.track_timing);
+        assert_eq!(c.cp_flush_threads, 1);
+    }
+
+    #[test]
+    fn cp_flush_threads_builder_clamps_to_one() {
+        assert_eq!(
+            BacklogConfig::default()
+                .with_cp_flush_threads(4)
+                .cp_flush_threads,
+            4
+        );
+        assert_eq!(
+            BacklogConfig::default()
+                .with_cp_flush_threads(0)
+                .cp_flush_threads,
+            1
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@ use blockdev::{Device, DeviceConfig, FileStore, IoStatsSnapshot, SimDisk};
 use lsm::{LsmTable, TableConfig};
 use parking_lot::{Mutex, RwLock};
 
+use crate::batch::{RefOp, WriteBatch};
 use crate::config::BacklogConfig;
 use crate::error::Result;
 use crate::lineage::LineageTable;
@@ -31,16 +32,37 @@ use crate::types::{BlockNo, CpNumber, LineId, Owner, SnapshotId};
 ///
 /// # Concurrency model
 ///
-/// Mutations from the host file system (reference callbacks, consistency
-/// points, snapshot lifecycle) take `&mut self` — they come from one
-/// serialized host path. Queries and maintenance take `&self`: the engine is
-/// `Sync`, so reader threads can run [`query_range`](Self::query_range)
-/// continuously while [`maintenance_parallel`](Self::maintenance_parallel)
-/// rebuilds partitions on worker threads. Readers always observe each
-/// partition as fully pre-rebuild or fully post-rebuild: the three tables
-/// share one partitioning, a per-partition lock makes the three-table swap
-/// atomic to queries, and replaced runs are retired (deleted when the last
-/// reader snapshot drops), never yanked out from under an in-flight stream.
+/// The *entire* public surface takes `&self` and the engine is `Sync`: any
+/// number of host file-system threads may issue reference callbacks
+/// concurrently with each other, with queries, with a consistency point and
+/// with an in-flight maintenance rebuild.
+///
+/// * **Callbacks** ([`add_reference`](Self::add_reference),
+///   [`remove_reference`](Self::remove_reference),
+///   [`apply`](Self::apply)) lock only the write-store shard of the touched
+///   partition, so writers serialize only when they hit the same partition;
+///   [`WriteBatch`] amortizes the shard-lock acquisition over a group of
+///   operations. Counters are atomics.
+/// * **Consistency points** are serialized against each other by an internal
+///   lock (one CP at a time, as in the host file system) but run concurrently
+///   with callbacks: each partition's flush is build-then-swap, so a racing
+///   callback's record lands in this CP's runs or stays buffered for the
+///   next — never lost, never duplicated.
+///   [`consistency_point_parallel`](Self::consistency_point_parallel) fans
+///   the per-partition flushes onto scoped worker threads. A callback racing
+///   the CP boundary is attributed to whichever interval it lands in, exactly
+///   as its record lands in this flush or the next; a host that needs an
+///   operation inside CP *n* must fence it before calling
+///   [`consistency_point`](Self::consistency_point), as a real
+///   write-anywhere file system does.
+/// * **Queries and maintenance** behave as before: readers always observe
+///   each partition as fully pre-rebuild or fully post-rebuild (a
+///   per-partition lock makes the three-table swap atomic to queries), and
+///   rebuild commits preserve state that arrived after the rebuild's
+///   snapshot — Level-0 runs appended by a racing CP flush and deletion
+///   marks added by a racing relocation survive the swap. Purge decisions
+///   use a point-in-time copy of the lineage, which can only err on the side
+///   of keeping a record one round longer.
 ///
 /// # Example
 ///
@@ -65,7 +87,12 @@ pub struct BacklogEngine {
     from_table: LsmTable<FromRecord>,
     to_table: LsmTable<ToRecord>,
     combined_table: LsmTable<CombinedRecord>,
-    lineage: LineageTable,
+    /// Lines, snapshots, clones and the CP clock. Callbacks take brief read
+    /// locks (to stamp records with the current CP); snapshot-lifecycle
+    /// mutations and the CP advance take brief write locks; maintenance
+    /// works from a point-in-time clone so it never holds the lock while
+    /// waiting on partition locks.
+    lineage: RwLock<LineageTable>,
     /// Makes the three-table swap of one partition atomic with respect to
     /// queries: queries hold read guards for the partitions they touch while
     /// snapshotting/streaming the tables; a rebuild commit holds the write
@@ -73,16 +100,47 @@ pub struct BacklogEngine {
     /// a rebuilt `From` against a not-yet-rebuilt `Combined` and see a
     /// record in neither (or both).
     partition_locks: Vec<RwLock<()>>,
-    stats: BacklogStats,
-    // Counters bumped from `&self` paths (queries and maintenance run
-    // concurrently with each other); folded into `stats()` on read.
+    /// Serializes rebuilds of the same partition across overlapping
+    /// maintenance calls (two rebuilds from the same snapshot would both
+    /// survive the other's commit and duplicate the partition).
+    rebuild_locks: Vec<Mutex<()>>,
+    /// Serializes consistency points against each other and holds the
+    /// totals observed at the end of the previous CP, from which each
+    /// [`CpReport`] derives its per-interval deltas.
+    cp_lock: Mutex<CpInterval>,
+    /// Serializes block relocations against each other: two concurrent
+    /// relocations of the same block would each re-create the block's full
+    /// reference history at their targets.
+    relocate_lock: Mutex<()>,
+    /// Cumulative counters, bumped from concurrent `&self` paths and folded
+    /// into [`stats`](Self::stats) on read.
+    counters: Counters,
+}
+
+/// Totals at the end of the previous consistency point (guarded by the CP
+/// lock), so each CP reports the delta over its own interval.
+#[derive(Debug, Default)]
+struct CpInterval {
+    block_ops: u64,
+    pruned: u64,
+    callback_ns: u64,
+    io: IoStatsSnapshot,
+}
+
+/// The engine's cumulative atomic counters. `block_ops` is derived
+/// (`refs_added + refs_removed`), so a callback bumps at most two counters.
+#[derive(Debug, Default)]
+struct Counters {
+    refs_added: AtomicU64,
+    refs_removed: AtomicU64,
+    pruned_adds: AtomicU64,
+    pruned_removes: AtomicU64,
+    callback_ns: AtomicU64,
+    consistency_points: AtomicU64,
+    cp_flush_ns: AtomicU64,
     queries: AtomicU64,
     maintenance_runs: AtomicU64,
     maintenance_ns: AtomicU64,
-    // Per-CP-interval accounting, reset at every consistency point.
-    ops_since_cp: u64,
-    pruned_since_cp: u64,
-    callback_ns_since_cp: u64,
 }
 
 impl BacklogEngine {
@@ -109,21 +167,21 @@ impl BacklogEngine {
         let partition_locks = (0..config.partitioning.partition_count())
             .map(|_| RwLock::new(()))
             .collect();
+        let rebuild_locks = (0..config.partitioning.partition_count())
+            .map(|_| Mutex::new(()))
+            .collect();
         BacklogEngine {
             files,
             config,
             from_table,
             to_table,
             combined_table,
-            lineage: LineageTable::new(),
+            lineage: RwLock::new(LineageTable::new()),
             partition_locks,
-            stats: BacklogStats::default(),
-            queries: AtomicU64::new(0),
-            maintenance_runs: AtomicU64::new(0),
-            maintenance_ns: AtomicU64::new(0),
-            ops_since_cp: 0,
-            pruned_since_cp: 0,
-            callback_ns_since_cp: 0,
+            rebuild_locks,
+            cp_lock: Mutex::new(CpInterval::default()),
+            relocate_lock: Mutex::new(()),
+            counters: Counters::default(),
         }
     }
 
@@ -150,25 +208,40 @@ impl BacklogEngine {
         self.files.device()
     }
 
-    /// The lineage table (lines, snapshots, clones, zombies).
-    pub fn lineage(&self) -> &LineageTable {
-        &self.lineage
+    /// A point-in-time copy of the lineage table (lines, snapshots, clones,
+    /// zombies). A *copy* rather than a guard: holding a read guard across
+    /// any of the engine's `&self` mutation methods (which take the lineage
+    /// write lock) would self-deadlock, and the lineage is small.
+    pub fn lineage_snapshot(&self) -> LineageTable {
+        self.lineage.read().clone()
     }
 
-    /// Cumulative engine statistics (a point-in-time copy: the counters that
-    /// `&self` paths bump concurrently — queries, maintenance — are folded in
-    /// at read time).
+    /// Cumulative engine statistics (a point-in-time copy of the atomic
+    /// counters that concurrent `&self` paths bump; with callbacks in flight
+    /// on other threads, related counters may be mutually off by the
+    /// operations mid-update).
     pub fn stats(&self) -> BacklogStats {
-        let mut s = self.stats;
-        s.queries += self.queries.load(Ordering::Relaxed);
-        s.maintenance_runs += self.maintenance_runs.load(Ordering::Relaxed);
-        s.maintenance_ns += self.maintenance_ns.load(Ordering::Relaxed);
-        s
+        let c = &self.counters;
+        let refs_added = c.refs_added.load(Ordering::Relaxed);
+        let refs_removed = c.refs_removed.load(Ordering::Relaxed);
+        BacklogStats {
+            block_ops: refs_added + refs_removed,
+            refs_added,
+            refs_removed,
+            pruned_adds: c.pruned_adds.load(Ordering::Relaxed),
+            pruned_removes: c.pruned_removes.load(Ordering::Relaxed),
+            consistency_points: c.consistency_points.load(Ordering::Relaxed),
+            maintenance_runs: c.maintenance_runs.load(Ordering::Relaxed),
+            callback_ns: c.callback_ns.load(Ordering::Relaxed),
+            cp_flush_ns: c.cp_flush_ns.load(Ordering::Relaxed),
+            maintenance_ns: c.maintenance_ns.load(Ordering::Relaxed),
+            queries: c.queries.load(Ordering::Relaxed),
+        }
     }
 
     /// The current global consistency-point number.
     pub fn current_cp(&self) -> CpNumber {
-        self.lineage.current_cp()
+        self.lineage.read().current_cp()
     }
 
     fn io_snapshot(&self) -> IoStatsSnapshot {
@@ -190,29 +263,28 @@ impl BacklogEngine {
     /// Records that `owner` now references physical block `block`.
     ///
     /// Called on every block allocation, reallocation, or new deduplicated
-    /// reference. The update is buffered in memory; no disk I/O is performed
-    /// until the next [`consistency_point`](Self::consistency_point).
-    pub fn add_reference(&mut self, block: BlockNo, owner: Owner) {
+    /// reference, from any number of threads. The update is buffered in the
+    /// touched partition's write-store shard; no disk I/O is performed until
+    /// the next [`consistency_point`](Self::consistency_point).
+    pub fn add_reference(&self, block: BlockNo, owner: Owner) {
         let start = self.now();
         let identity = RefIdentity::new(block, owner);
-        let cp = self.lineage.current_cp();
+        let cp = self.lineage.read().current_cp();
         // Proactive pruning: if the same reference was removed earlier in
         // this CP interval, its To record is still in the write store;
         // removing it splices the two lifetimes back together.
         let pruned = self.to_table.ws_remove(&ToRecord::new(identity, cp));
         if pruned {
-            self.stats.pruned_adds += 1;
-            self.stats.pruned_removes += 1;
-            self.pruned_since_cp += 2;
+            self.counters.pruned_adds.fetch_add(1, Ordering::Relaxed);
+            self.counters.pruned_removes.fetch_add(1, Ordering::Relaxed);
         } else {
             self.from_table.insert(FromRecord::new(identity, cp));
         }
-        self.stats.refs_added += 1;
-        self.stats.block_ops += 1;
-        self.ops_since_cp += 1;
+        self.counters.refs_added.fetch_add(1, Ordering::Relaxed);
         let ns = self.elapsed_ns(start);
-        self.stats.callback_ns += ns;
-        self.callback_ns_since_cp += ns;
+        if ns != 0 {
+            self.counters.callback_ns.fetch_add(ns, Ordering::Relaxed);
+        }
     }
 
     /// Records that `owner` no longer references physical block `block`.
@@ -220,52 +292,163 @@ impl BacklogEngine {
     /// Called on every block deallocation or copy-on-write replacement. Like
     /// [`add_reference`](Self::add_reference), the update is buffered until
     /// the next consistency point.
-    pub fn remove_reference(&mut self, block: BlockNo, owner: Owner) {
+    pub fn remove_reference(&self, block: BlockNo, owner: Owner) {
         let start = self.now();
         let identity = RefIdentity::new(block, owner);
-        let cp = self.lineage.current_cp();
+        let cp = self.lineage.read().current_cp();
         // Proactive pruning: a reference added and removed within the same CP
         // interval never needs to reach disk.
         let pruned = self.from_table.ws_remove(&FromRecord::new(identity, cp));
         if pruned {
-            self.stats.pruned_adds += 1;
-            self.stats.pruned_removes += 1;
-            self.pruned_since_cp += 2;
+            self.counters.pruned_adds.fetch_add(1, Ordering::Relaxed);
+            self.counters.pruned_removes.fetch_add(1, Ordering::Relaxed);
         } else {
             self.to_table.insert(ToRecord::new(identity, cp));
         }
-        self.stats.refs_removed += 1;
-        self.stats.block_ops += 1;
-        self.ops_since_cp += 1;
+        self.counters.refs_removed.fetch_add(1, Ordering::Relaxed);
         let ns = self.elapsed_ns(start);
-        self.stats.callback_ns += ns;
-        self.callback_ns_since_cp += ns;
+        if ns != 0 {
+            self.counters.callback_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Applies a batch of reference operations, amortizing the per-partition
+    /// shard-lock acquisitions and counter updates over the whole batch: the
+    /// operations are grouped by partition (preserving their relative order,
+    /// so add/remove pairs of one identity still prune each other) and each
+    /// group is applied under a single acquisition of the `From` and `To`
+    /// shard locks.
+    ///
+    /// Semantically identical to looping
+    /// [`add_reference`](Self::add_reference) /
+    /// [`remove_reference`](Self::remove_reference); multi-threaded hosts
+    /// batch their callbacks to cut the per-operation locking overhead.
+    pub fn apply(&self, batch: &WriteBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        let start = self.now();
+        let cp = self.lineage.read().current_cp();
+        let mut adds = 0u64;
+        let mut removes = 0u64;
+        let mut pruned = 0u64;
+        let mut apply_group = |pidx: u32, ops: &[RefOp]| {
+            let mut from = self.from_table.ws_shard(pidx);
+            let mut to = self.to_table.ws_shard(pidx);
+            for op in ops {
+                match *op {
+                    RefOp::Add { block, owner } => {
+                        adds += 1;
+                        let identity = RefIdentity::new(block, owner);
+                        if to.remove(&ToRecord::new(identity, cp)) {
+                            pruned += 1;
+                        } else {
+                            from.insert(FromRecord::new(identity, cp));
+                        }
+                    }
+                    RefOp::Remove { block, owner } => {
+                        removes += 1;
+                        let identity = RefIdentity::new(block, owner);
+                        if from.remove(&FromRecord::new(identity, cp)) {
+                            pruned += 1;
+                        } else {
+                            to.insert(ToRecord::new(identity, cp));
+                        }
+                    }
+                }
+            }
+        };
+        let parts = self.config.partitioning;
+        if parts.partition_count() == 1 {
+            apply_group(0, batch.ops());
+        } else {
+            let mut buckets: Vec<Vec<RefOp>> = (0..parts.partition_count() as usize)
+                .map(|_| Vec::new())
+                .collect();
+            for op in batch.ops() {
+                buckets[parts.partition_of(op.block()) as usize].push(*op);
+            }
+            for (pidx, ops) in buckets.iter().enumerate() {
+                if !ops.is_empty() {
+                    apply_group(pidx as u32, ops);
+                }
+            }
+        }
+        self.counters.refs_added.fetch_add(adds, Ordering::Relaxed);
+        self.counters
+            .refs_removed
+            .fetch_add(removes, Ordering::Relaxed);
+        if pruned != 0 {
+            self.counters
+                .pruned_adds
+                .fetch_add(pruned, Ordering::Relaxed);
+            self.counters
+                .pruned_removes
+                .fetch_add(pruned, Ordering::Relaxed);
+        }
+        let ns = self.elapsed_ns(start);
+        if ns != 0 {
+            self.counters.callback_ns.fetch_add(ns, Ordering::Relaxed);
+        }
     }
 
     /// Takes a consistency point: writes the buffered `From`/`To` updates to
     /// new Level-0 read-store runs, advances the global CP number, and
-    /// returns per-CP overhead accounting.
+    /// returns per-CP overhead accounting. Flush fan-out width comes from
+    /// [`BacklogConfig::cp_flush_threads`].
     ///
     /// # Errors
     ///
     /// Propagates device errors from writing the run files.
-    pub fn consistency_point(&mut self) -> Result<CpReport> {
+    pub fn consistency_point(&self) -> Result<CpReport> {
+        self.consistency_point_parallel(self.config.cp_flush_threads)
+    }
+
+    /// Takes a consistency point with each table's independent per-partition
+    /// flushes fanned out across `threads` scoped worker threads.
+    ///
+    /// Consistency points are serialized against each other (a second caller
+    /// blocks until the first completes), but reference callbacks keep
+    /// running concurrently: each partition's flush is build-then-swap, so a
+    /// racing callback's record lands in this CP's runs or stays buffered
+    /// for the next — never lost, never duplicated. A callback racing the CP
+    /// boundary is attributed to whichever CP interval it lands in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from writing the run files. On error the CP
+    /// number does not advance and unflushed records return to the write
+    /// stores; the CP can be retried once the device recovers.
+    pub fn consistency_point_parallel(&self, threads: usize) -> Result<CpReport> {
+        let mut interval = self.cp_lock.lock();
         let io_before = self.io_snapshot();
         let start = self.now();
-        let cp = self.lineage.current_cp();
+        let cp = self.lineage.read().current_cp();
+        let threads = threads.max(1);
 
-        let from_flush = self.from_table.flush_cp()?;
-        let to_flush = self.to_table.flush_cp()?;
-        let combined_flush = self.combined_table.flush_cp()?;
+        let from_flush = self.from_table.flush_cp_parallel(threads)?;
+        let to_flush = self.to_table.flush_cp_parallel(threads)?;
+        let combined_flush = self.combined_table.flush_cp_parallel(threads)?;
 
         let flush_ns = self.elapsed_ns(start);
         let io_after = self.io_snapshot();
         let io = IoDelta::between(&io_before, &io_after);
 
+        // Per-interval accounting is the delta of the cumulative counters
+        // against the totals recorded at the previous CP (guarded by the CP
+        // lock), so concurrent callbacks are never double-counted.
+        let ops_now = self.counters.refs_added.load(Ordering::Relaxed)
+            + self.counters.refs_removed.load(Ordering::Relaxed);
+        let pruned_now = self.counters.pruned_adds.load(Ordering::Relaxed)
+            + self.counters.pruned_removes.load(Ordering::Relaxed);
+        let callback_ns_now = self.counters.callback_ns.load(Ordering::Relaxed);
+        let block_ops = ops_now.saturating_sub(interval.block_ops);
+        let pruned = pruned_now.saturating_sub(interval.pruned);
+
         let report = CpReport {
             cp,
-            block_ops: self.ops_since_cp,
-            persistent_ops: self.ops_since_cp.saturating_sub(self.pruned_since_cp),
+            block_ops,
+            persistent_ops: block_ops.saturating_sub(pruned),
             records_flushed: from_flush.records_flushed
                 + to_flush.records_flushed
                 + combined_flush.records_flushed,
@@ -274,16 +457,25 @@ impl BacklogEngine {
                 + combined_flush.runs_created,
             pages_written: io.writes,
             pages_read: io.reads,
-            callback_ns: self.callback_ns_since_cp,
+            lock_contentions: io_after
+                .lock_contentions
+                .saturating_sub(interval.io.lock_contentions),
+            callback_ns: callback_ns_now.saturating_sub(interval.callback_ns),
             flush_ns,
         };
 
-        self.lineage.advance_cp();
-        self.stats.consistency_points += 1;
-        self.stats.cp_flush_ns += flush_ns;
-        self.ops_since_cp = 0;
-        self.pruned_since_cp = 0;
-        self.callback_ns_since_cp = 0;
+        interval.block_ops = ops_now;
+        interval.pruned = pruned_now;
+        interval.callback_ns = callback_ns_now;
+        interval.io = io_after;
+
+        self.lineage.write().advance_cp();
+        self.counters
+            .consistency_points
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .cp_flush_ns
+            .fetch_add(flush_ns, Ordering::Relaxed);
         Ok(report)
     }
 
@@ -293,14 +485,14 @@ impl BacklogEngine {
 
     /// Registers the current CP of `line` as a retained snapshot. Incurs no
     /// I/O — one of the key properties of the design.
-    pub fn take_snapshot(&mut self, line: LineId) -> SnapshotId {
-        self.lineage.take_snapshot(line)
+    pub fn take_snapshot(&self, line: LineId) -> SnapshotId {
+        self.lineage.write().take_snapshot(line)
     }
 
     /// Creates a writable clone of `parent` and returns the new line. Incurs
     /// no I/O and copies no back-reference records (structural inheritance).
-    pub fn create_clone(&mut self, parent: SnapshotId) -> LineId {
-        self.lineage.create_clone(parent)
+    pub fn create_clone(&self, parent: SnapshotId) -> LineId {
+        self.lineage.write().create_clone(parent)
     }
 
     /// Registers a clone whose line identifier was assigned by the host file
@@ -309,25 +501,25 @@ impl BacklogEngine {
     /// # Panics
     ///
     /// Panics if `line` is already known to the engine.
-    pub fn register_clone(&mut self, parent: SnapshotId, line: LineId) {
-        self.lineage.register_clone(parent, line)
+    pub fn register_clone(&self, parent: SnapshotId, line: LineId) {
+        self.lineage.write().register_clone(parent, line)
     }
 
     /// Registers an externally identified snapshot as retained (live).
-    pub fn register_snapshot(&mut self, snap: SnapshotId) {
-        self.lineage.register_snapshot(snap)
+    pub fn register_snapshot(&self, snap: SnapshotId) {
+        self.lineage.write().register_snapshot(snap)
     }
 
     /// Deletes a snapshot. If it has been cloned, it becomes a zombie so its
     /// back references survive maintenance until its descendants are gone.
-    pub fn delete_snapshot(&mut self, snap: SnapshotId) {
-        self.lineage.delete_snapshot(snap)
+    pub fn delete_snapshot(&self, snap: SnapshotId) {
+        self.lineage.write().delete_snapshot(snap)
     }
 
     /// Deletes an entire line (e.g. a writable clone that is no longer
     /// needed).
-    pub fn delete_line(&mut self, line: LineId) {
-        self.lineage.delete_line(line)
+    pub fn delete_line(&self, line: LineId) {
+        self.lineage.write().delete_line(line)
     }
 
     // ------------------------------------------------------------------
@@ -380,9 +572,14 @@ impl BacklogEngine {
         let tos = self.to_table.query_range(min, max)?;
         let combined = self.combined_table.query_range(min, max)?;
         drop(guards);
-        let refs = assemble_query(&froms, &tos, &combined, &self.lineage);
+        // The lineage lock is taken only after the partition guards are
+        // released, keeping the lock hierarchy acyclic.
+        let refs = {
+            let lineage = self.lineage.read();
+            assemble_query(&froms, &tos, &combined, &lineage)
+        };
         let io = IoDelta::between(&io_before, &self.io_snapshot());
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
         Ok(QueryResult {
             refs,
             io_reads: io.reads,
@@ -486,13 +683,16 @@ impl BacklogEngine {
         let next = AtomicUsize::new(0);
         let totals = Mutex::new(JoinPurgeStats::default());
         let first_error: Mutex<Option<crate::BacklogError>> = Mutex::new(None);
+        // One point-in-time lineage copy for the whole run, shared by every
+        // worker's partition passes.
+        let lineage = self.lineage.read().clone();
         let worker = || loop {
             if first_error.lock().is_some() {
                 break;
             }
             let i = next.fetch_add(1, Ordering::Relaxed);
             let Some(&pidx) = order.get(i) else { break };
-            match self.maintenance_partition_pass(pidx) {
+            match self.maintenance_partition_pass(pidx, &lineage) {
                 Ok(pass) => {
                     let mut t = totals.lock();
                     t.combined += pass.combined;
@@ -522,7 +722,7 @@ impl BacklogEngine {
         }
         let totals = totals.into_inner();
 
-        let zombies_pruned = self.lineage.prune_zombies() as u64;
+        let zombies_pruned = self.lineage.read().prune_zombies() as u64;
         let elapsed_ns = self.elapsed_ns(start);
         let bytes_after = self.database_disk_bytes();
         let report = MaintenanceReport {
@@ -538,9 +738,85 @@ impl BacklogEngine {
             partitions,
             peak_resident_records: totals.peak_group_records,
         };
-        self.maintenance_runs.fetch_add(1, Ordering::Relaxed);
-        self.maintenance_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.counters
+            .maintenance_runs
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .maintenance_ns
+            .fetch_add(elapsed_ns, Ordering::Relaxed);
         Ok(report)
+    }
+
+    /// Partition indices whose accumulated Level-0 run count (summed across
+    /// the three tables) has reached `run_threshold`, ordered dirtiest
+    /// first. A background maintainer polls this to decide *which*
+    /// partitions are worth rebuilding instead of sweeping the whole
+    /// database on a timer.
+    pub fn dirty_partitions(&self, run_threshold: u32) -> Vec<u32> {
+        self.partition_dirtiness()
+            .into_iter()
+            .filter(|&(_, runs, _)| runs >= run_threshold)
+            .map(|(p, _, _)| p)
+            .collect()
+    }
+
+    /// Rebuilds only the partitions whose run count has reached
+    /// `run_threshold` (dirtiest first), returning `Ok(None)` when no
+    /// partition is dirty enough — the cheap steady-state outcome for a
+    /// background maintenance loop.
+    ///
+    /// Like [`maintenance_partition`](Self::maintenance_partition), zombies
+    /// are not pruned: the pass is partial, and zombie liveness is a
+    /// whole-database property.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; partitions already rebuilt keep their new
+    /// (equivalent) state, the rest stay old, and the pass can be retried.
+    pub fn maintenance_if_dirty(&self, run_threshold: u32) -> Result<Option<MaintenanceReport>> {
+        let dirty: Vec<(u32, u32, u64)> = self
+            .partition_dirtiness()
+            .into_iter()
+            .filter(|&(_, runs, _)| runs >= run_threshold)
+            .collect();
+        if dirty.is_empty() {
+            return Ok(None);
+        }
+        let io_before = self.io_snapshot();
+        let start = self.now();
+        let bytes_before = self.database_disk_bytes();
+        let mut runs_merged = 0;
+        let mut totals = JoinPurgeStats::default();
+        let lineage = self.lineage.read().clone();
+        for &(pidx, runs, _) in &dirty {
+            runs_merged += runs;
+            let pass = self.maintenance_partition_pass(pidx, &lineage)?;
+            totals.combined += pass.combined;
+            totals.incomplete += pass.incomplete;
+            totals.purged += pass.purged;
+            totals.peak_group_records = totals.peak_group_records.max(pass.peak_group_records);
+        }
+        let elapsed_ns = self.elapsed_ns(start);
+        let report = MaintenanceReport {
+            runs_merged,
+            combined_records: totals.combined,
+            incomplete_records: totals.incomplete,
+            purged_records: totals.purged,
+            zombies_pruned: 0,
+            bytes_before,
+            bytes_after: self.database_disk_bytes(),
+            io: IoDelta::between(&io_before, &self.io_snapshot()),
+            elapsed_ns,
+            partitions: dirty.len() as u32,
+            peak_resident_records: totals.peak_group_records,
+        };
+        self.counters
+            .maintenance_runs
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .maintenance_ns
+            .fetch_add(elapsed_ns, Ordering::Relaxed);
+        Ok(Some(report))
     }
 
     /// Partition indices ordered dirtiest first: most runs across the three
@@ -549,17 +825,31 @@ impl BacklogEngine {
     /// this order so bounded maintenance windows reclaim the most garbage
     /// first (and, in the parallel case, the longest rebuilds start first).
     fn partitions_dirtiest_first(&self) -> Vec<u32> {
-        let mut order: Vec<u32> = (0..self.config.partitioning.partition_count()).collect();
-        order.sort_by_cached_key(|&p| {
-            let runs = self.from_table.partition_run_count(p)
-                + self.to_table.partition_run_count(p)
-                + self.combined_table.partition_run_count(p);
-            let records = self.from_table.partition_disk_records(p)
-                + self.to_table.partition_disk_records(p)
-                + self.combined_table.partition_disk_records(p);
-            (Reverse(runs), Reverse(records), p)
-        });
-        order
+        self.partition_dirtiness()
+            .into_iter()
+            .map(|(p, _, _)| p)
+            .collect()
+    }
+
+    /// One consistent `(partition, runs, records)` sample per partition —
+    /// run counts and record counts summed across the three tables — sorted
+    /// dirtiest first. Sampled once and threaded through the maintenance
+    /// scheduling paths so ordering, threshold filtering and `runs_merged`
+    /// accounting all agree (and each partition lock is taken once).
+    fn partition_dirtiness(&self) -> Vec<(u32, u32, u64)> {
+        let mut dirtiness: Vec<(u32, u32, u64)> = (0..self.config.partitioning.partition_count())
+            .map(|p| {
+                let runs = self.from_table.partition_run_count(p)
+                    + self.to_table.partition_run_count(p)
+                    + self.combined_table.partition_run_count(p);
+                let records = self.from_table.partition_disk_records(p)
+                    + self.to_table.partition_disk_records(p)
+                    + self.combined_table.partition_disk_records(p);
+                (p, runs, records)
+            })
+            .collect();
+        dirtiness.sort_by_key(|&(p, runs, records)| (Reverse(runs), Reverse(records), p));
+        dirtiness
     }
 
     /// Targeted maintenance of a single partition — the incremental form of
@@ -587,7 +877,8 @@ impl BacklogEngine {
         let runs_before = self.from_table.partition_run_count(partition)
             + self.to_table.partition_run_count(partition)
             + self.combined_table.partition_run_count(partition);
-        let pass = self.maintenance_partition_pass(partition)?;
+        let lineage = self.lineage.read().clone();
+        let pass = self.maintenance_partition_pass(partition, &lineage)?;
         let elapsed_ns = self.elapsed_ns(start);
         let bytes_after = self.database_disk_bytes();
         let report = MaintenanceReport {
@@ -603,16 +894,36 @@ impl BacklogEngine {
             partitions: 1,
             peak_resident_records: pass.peak_group_records,
         };
-        self.maintenance_runs.fetch_add(1, Ordering::Relaxed);
-        self.maintenance_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.counters
+            .maintenance_runs
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .maintenance_ns
+            .fetch_add(elapsed_ns, Ordering::Relaxed);
         Ok(report)
     }
 
     /// Joins, purges and rebuilds one partition of all three tables,
     /// streaming from snapshots of the old runs into the replacement runs.
-    /// Safe to call from several threads at once for *different* partitions;
-    /// queries proceed concurrently against the pre-rebuild snapshots.
-    fn maintenance_partition_pass(&self, pidx: u32) -> Result<JoinPurgeStats> {
+    /// Safe to call from several threads at once (an internal per-partition
+    /// rebuild lock serializes same-partition passes); queries, reference
+    /// callbacks and CP flushes proceed concurrently — the commit preserves
+    /// runs and deletion marks that arrive while the rebuild streams.
+    /// `lineage` is the caller's point-in-time copy of the lineage (one
+    /// clone per maintenance run, shared by every partition pass): purge
+    /// decisions never hold the lineage lock while streaming or waiting on
+    /// partition locks (keeping the lock hierarchy acyclic), and a snapshot
+    /// deleted while the pass runs survives one extra round — purging is
+    /// conservative, never eager.
+    fn maintenance_partition_pass(
+        &self,
+        pidx: u32,
+        lineage: &LineageTable,
+    ) -> Result<JoinPurgeStats> {
+        // One rebuild of a given partition at a time: two passes rebuilding
+        // the same partition from the same snapshot would each survive the
+        // other's commit and duplicate the partition's records.
+        let _rebuild_guard = self.rebuild_locks[pidx as usize].lock();
         // Input stage: immutable snapshots of the partition in all three
         // tables, taken under the partition's shared lock so a concurrent
         // maintenance call's commit (which takes it exclusively) cannot land
@@ -651,7 +962,7 @@ impl BacklogEngine {
                 from_snap.iter_disk()?,
                 to_snap.iter_disk()?,
                 combined_snap.iter_disk()?,
-                &self.lineage,
+                lineage,
                 |rec| combined_builder.push(&rec),
                 |rec| from_builder.push(&rec),
             )
@@ -687,14 +998,16 @@ impl BacklogEngine {
             }
         };
         // Swap. No fallible device writes happen past this point: committing
-        // only installs the finished runs and retires the old ones. The
+        // only installs the finished runs and retires the consumed ones
+        // (runs flushed and marks added since the snapshots survive). The
         // engine-level partition lock makes the three table swaps one atomic
         // step from any query's point of view.
         let swap_guard = self.partition_locks[pidx as usize].write();
-        self.from_table.commit_rebuilt_partition(pidx, from_run);
-        self.to_table.commit_rebuilt_partition(pidx, None);
+        self.from_table
+            .commit_rebuilt_partition(pidx, from_run, &from_snap);
+        self.to_table.commit_rebuilt_partition(pidx, None, &to_snap);
         self.combined_table
-            .commit_rebuilt_partition(pidx, combined_run);
+            .commit_rebuilt_partition(pidx, combined_run, &combined_snap);
         drop(swap_guard);
         Ok(stats)
     }
@@ -721,7 +1034,10 @@ impl BacklogEngine {
         let tos = self.to_table.scan_disk()?;
         let combined = self.combined_table.scan_disk()?;
         let peak_resident_records = (froms.len() + tos.len() + combined.len()) as u64;
-        let output = reference::join_and_purge(&froms, &tos, &combined, &self.lineage);
+        let output = {
+            let lineage = self.lineage.read();
+            reference::join_and_purge(&froms, &tos, &combined, &lineage)
+        };
 
         self.from_table
             .replace_disk_contents(&output.incomplete_from)?;
@@ -729,7 +1045,7 @@ impl BacklogEngine {
         self.combined_table
             .replace_disk_contents(&output.combined)?;
 
-        let zombies_pruned = self.lineage.prune_zombies() as u64;
+        let zombies_pruned = self.lineage.read().prune_zombies() as u64;
         let elapsed_ns = self.elapsed_ns(start);
         let bytes_after = self.database_disk_bytes();
         let report = MaintenanceReport {
@@ -746,8 +1062,12 @@ impl BacklogEngine {
             peak_resident_records: peak_resident_records
                 + (output.combined.len() + output.incomplete_from.len()) as u64,
         };
-        self.maintenance_runs.fetch_add(1, Ordering::Relaxed);
-        self.maintenance_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.counters
+            .maintenance_runs
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .maintenance_ns
+            .fetch_add(elapsed_ns, Ordering::Relaxed);
         Ok(report)
     }
 
@@ -762,10 +1082,20 @@ impl BacklogEngine {
     /// records for `new_block` are inserted. Returns the number of references
     /// moved.
     ///
+    /// Relocations are serialized against each other, but not against
+    /// queries of the two blocks involved: between hiding the old records
+    /// and inserting the new ones, a concurrent query of `old_block` or
+    /// `new_block` can observe the references at neither (or the history
+    /// mid-copy). A real defragmenter holds the file system's block lock
+    /// while moving a block — the engine expects the host to do the same
+    /// and not query a block it is actively relocating. All *other* blocks
+    /// are unaffected throughout.
+    ///
     /// # Errors
     ///
     /// Propagates device errors.
-    pub fn relocate_block(&mut self, old_block: BlockNo, new_block: BlockNo) -> Result<usize> {
+    pub fn relocate_block(&self, old_block: BlockNo, new_block: BlockNo) -> Result<usize> {
+        let _relocations_serialized = self.relocate_lock.lock();
         let result = self.query_block(old_block)?;
         // Hide every record of the old block in all three tables.
         for rec in self.from_table.query_range(old_block, old_block)? {
@@ -804,9 +1134,9 @@ impl BacklogEngine {
 
     /// Approximate bytes of back-reference data buffered in the write stores.
     pub fn write_store_bytes(&self) -> u64 {
-        (self.from_table.write_store().approx_bytes()
-            + self.to_table.write_store().approx_bytes()
-            + self.combined_table.write_store().approx_bytes()) as u64
+        (self.from_table.ws_approx_bytes()
+            + self.to_table.ws_approx_bytes()
+            + self.combined_table.ws_approx_bytes()) as u64
     }
 
     /// Memory held by Bloom filters across all runs.
@@ -885,7 +1215,7 @@ mod tests {
 
     #[test]
     fn add_query_roundtrip() {
-        let mut e = engine();
+        let e = engine();
         e.add_reference(500, Owner::block(3, 7, LineId::ROOT));
         // Query works even before the CP (records still in the write store).
         let r = e.query_block(500).unwrap();
@@ -900,7 +1230,7 @@ mod tests {
 
     #[test]
     fn remove_after_cp_produces_bounded_interval() {
-        let mut e = engine();
+        let e = engine();
         e.add_reference(500, Owner::block(3, 0, LineId::ROOT));
         e.consistency_point().unwrap(); // cp 1 durable, now at cp 2
         e.take_snapshot(LineId::ROOT); // retain cp 2
@@ -917,7 +1247,7 @@ mod tests {
 
     #[test]
     fn removed_reference_with_no_snapshot_is_masked_out() {
-        let mut e = engine();
+        let e = engine();
         e.add_reference(500, Owner::block(3, 0, LineId::ROOT));
         e.consistency_point().unwrap();
         e.remove_reference(500, Owner::block(3, 0, LineId::ROOT));
@@ -929,7 +1259,7 @@ mod tests {
 
     #[test]
     fn proactive_pruning_within_one_cp() {
-        let mut e = engine();
+        let e = engine();
         e.add_reference(1, Owner::block(9, 0, LineId::ROOT));
         e.remove_reference(1, Owner::block(9, 0, LineId::ROOT));
         assert_eq!(e.stats().pruned_adds, 1);
@@ -943,7 +1273,7 @@ mod tests {
 
     #[test]
     fn prune_remove_then_readd_extends_lifetime() {
-        let mut e = engine();
+        let e = engine();
         let owner = Owner::block(9, 0, LineId::ROOT);
         e.add_reference(1, owner);
         e.consistency_point().unwrap(); // ref valid from cp 1
@@ -960,7 +1290,7 @@ mod tests {
 
     #[test]
     fn cp_report_counts_io_and_ops() {
-        let mut e = engine();
+        let e = engine();
         for i in 0..1000u64 {
             e.add_reference(i, Owner::block(1, i, LineId::ROOT));
         }
@@ -979,7 +1309,7 @@ mod tests {
 
     #[test]
     fn snapshot_and_clone_operations_do_no_io() {
-        let mut e = engine();
+        let e = engine();
         e.add_reference(10, Owner::block(1, 0, LineId::ROOT));
         e.consistency_point().unwrap();
         let before = e.device().stats().snapshot();
@@ -996,7 +1326,7 @@ mod tests {
 
     #[test]
     fn clone_inherits_back_references() {
-        let mut e = engine();
+        let e = engine();
         let owner = Owner::block(4, 2, LineId::ROOT);
         e.add_reference(77, owner);
         e.consistency_point().unwrap();
@@ -1031,7 +1361,7 @@ mod tests {
 
     #[test]
     fn maintenance_compacts_and_purges() {
-        let mut e = engine();
+        let e = engine();
         let owner = Owner::block(1, 0, LineId::ROOT);
         // Create and destroy references over several CPs without snapshots:
         // after maintenance they should all be purged.
@@ -1056,7 +1386,7 @@ mod tests {
 
     #[test]
     fn maintenance_preserves_live_and_snapshotted_references() {
-        let mut e = engine();
+        let e = engine();
         e.add_reference(10, Owner::block(1, 0, LineId::ROOT));
         e.add_reference(11, Owner::block(1, 1, LineId::ROOT));
         e.consistency_point().unwrap();
@@ -1078,7 +1408,7 @@ mod tests {
 
     #[test]
     fn queries_work_identically_before_and_after_maintenance() {
-        let mut e = engine();
+        let e = engine();
         for block in 0..50u64 {
             e.add_reference(block, Owner::block(block % 7, block, LineId::ROOT));
             if block % 5 == 0 {
@@ -1099,7 +1429,7 @@ mod tests {
         // writes an override record whose interval covers no live snapshot.
         // Maintenance must keep it anyway, or query expansion would
         // resurrect the inherited reference.
-        let mut e = engine();
+        let e = engine();
         let owner = Owner::block(4, 2, LineId::ROOT);
         e.add_reference(77, owner);
         e.consistency_point().unwrap();
@@ -1139,7 +1469,7 @@ mod tests {
     fn failed_cp_flush_loses_no_records() {
         let disk = SimDisk::new_shared(DeviceConfig::free_latency());
         let files = Arc::new(FileStore::new(disk.clone()));
-        let mut e = BacklogEngine::new(files, BacklogConfig::default());
+        let e = BacklogEngine::new(files, BacklogConfig::default());
         for i in 0..500u64 {
             e.add_reference(i, Owner::block(1, i, LineId::ROOT));
         }
@@ -1449,8 +1779,7 @@ mod tests {
     fn maintenance_schedules_dirtiest_partition_first() {
         // Partition 1 accumulates many more runs than the others; it must be
         // first in the maintenance order.
-        let mut e =
-            BacklogEngine::new_simulated(BacklogConfig::partitioned(4, 400).without_timing());
+        let e = BacklogEngine::new_simulated(BacklogConfig::partitioned(4, 400).without_timing());
         for cp in 0..6u64 {
             // Every CP touches partition 1 (blocks 100..200); only the first
             // touches the rest of the key space.
@@ -1472,8 +1801,151 @@ mod tests {
     }
 
     #[test]
+    fn apply_batch_matches_scalar_callbacks() {
+        let scalar = BacklogEngine::new_simulated(BacklogConfig::partitioned(4, 400));
+        let batched = BacklogEngine::new_simulated(BacklogConfig::partitioned(4, 400));
+        let owner = |b: u64| Owner::block(1 + b % 5, b, LineId::ROOT);
+        // Adds, removes and a same-CP add/remove pair (proactive pruning),
+        // spread over every partition.
+        let mut batch = WriteBatch::new();
+        for b in 0..400u64 {
+            scalar.add_reference(b, owner(b));
+            batch.add_reference(b, owner(b));
+        }
+        for b in (0..400u64).step_by(3) {
+            scalar.remove_reference(b, owner(b));
+            batch.remove_reference(b, owner(b));
+        }
+        batched.apply(&batch);
+        let (a, b) = (scalar.stats(), batched.stats());
+        assert_eq!(a.refs_added, b.refs_added);
+        assert_eq!(a.refs_removed, b.refs_removed);
+        assert_eq!(a.pruned_adds, b.pruned_adds);
+        assert!(b.pruned_adds > 0, "same-CP pairs must prune");
+        assert_eq!(a.block_ops, b.block_ops);
+        scalar.consistency_point().unwrap();
+        batched.consistency_point().unwrap();
+        for block in [0u64, 1, 100, 399] {
+            assert_eq!(
+                scalar.query_block(block).unwrap().refs,
+                batched.query_block(block).unwrap().refs,
+                "block {block}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_callbacks_land_once_each() {
+        // Four writer threads share &engine and add disjoint block ranges
+        // (exercising different shards); every reference must be queryable
+        // exactly once after the CP.
+        let e = BacklogEngine::new_simulated(BacklogConfig::partitioned(4, 4_000).without_timing());
+        std::thread::scope(|s| {
+            let engine = &e;
+            for w in 0..4u64 {
+                s.spawn(move || {
+                    let mut batch = WriteBatch::with_capacity(100);
+                    for b in 0..1_000u64 {
+                        let block = w * 1_000 + b;
+                        batch.add_reference(block, Owner::block(1, block, LineId::ROOT));
+                        if batch.len() == 100 {
+                            engine.apply(&batch);
+                            batch.clear();
+                        }
+                    }
+                    engine.apply(&batch);
+                });
+            }
+        });
+        let report = e.consistency_point_parallel(2).unwrap();
+        assert_eq!(report.block_ops, 4_000);
+        assert_eq!(report.records_flushed, 4_000);
+        assert_eq!(e.stats().refs_added, 4_000);
+        for block in [0u64, 999, 1_000, 2_500, 3_999] {
+            assert_eq!(e.query_block(block).unwrap().refs.len(), 1, "block {block}");
+        }
+    }
+
+    #[test]
+    fn parallel_cp_flush_matches_serial() {
+        let serial = BacklogEngine::new_simulated(BacklogConfig::partitioned(4, 400));
+        let parallel = BacklogEngine::new_simulated(
+            BacklogConfig::partitioned(4, 400).with_cp_flush_threads(4),
+        );
+        for b in 0..400u64 {
+            serial.add_reference(b, Owner::block(1, b, LineId::ROOT));
+            parallel.add_reference(b, Owner::block(1, b, LineId::ROOT));
+        }
+        let a = serial.consistency_point().unwrap();
+        let b = parallel.consistency_point().unwrap();
+        assert_eq!(a.records_flushed, b.records_flushed);
+        assert_eq!(a.runs_created, b.runs_created);
+        assert_eq!(
+            serial.from_table().scan_disk().unwrap(),
+            parallel.from_table().scan_disk().unwrap()
+        );
+    }
+
+    #[test]
+    fn dirty_partitions_respect_run_threshold() {
+        let e = BacklogEngine::new_simulated(BacklogConfig::partitioned(4, 400).without_timing());
+        // Every CP touches partition 1; only the first touches the rest.
+        for cp in 0..5u64 {
+            if cp == 0 {
+                for block in 0..400u64 {
+                    e.add_reference(block, Owner::block(1, block, LineId::ROOT));
+                }
+            }
+            e.add_reference(100 + cp, Owner::block(2, cp, LineId::ROOT));
+            e.consistency_point().unwrap();
+        }
+        // Partition 1 has 5 From runs; the others 1 each.
+        assert_eq!(e.dirty_partitions(3), vec![1]);
+        assert_eq!(
+            e.dirty_partitions(1).len(),
+            4,
+            "threshold 1 marks everything"
+        );
+        assert!(e.dirty_partitions(100).is_empty());
+    }
+
+    #[test]
+    fn maintenance_if_dirty_rebuilds_only_dirty_partitions() {
+        let e = BacklogEngine::new_simulated(BacklogConfig::partitioned(4, 400).without_timing());
+        for cp in 0..5u64 {
+            if cp == 0 {
+                for block in 0..400u64 {
+                    e.add_reference(block, Owner::block(1, block, LineId::ROOT));
+                }
+            }
+            e.add_reference(100 + cp, Owner::block(2, cp, LineId::ROOT));
+            e.consistency_point().unwrap();
+        }
+        let baseline: Vec<_> = (0..400u64)
+            .map(|b| e.query_block(b).unwrap().refs)
+            .collect();
+        let report = e
+            .maintenance_if_dirty(3)
+            .unwrap()
+            .expect("partition 1 is dirty");
+        assert_eq!(report.partitions, 1, "only the dirty partition rebuilt");
+        assert!(e.from_table().partition_run_count(1) <= 1);
+        assert_eq!(
+            e.from_table().partition_run_count(0),
+            1,
+            "clean partitions untouched"
+        );
+        // Below the threshold now: the steady-state outcome is None.
+        assert!(e.maintenance_if_dirty(3).unwrap().is_none());
+        let after: Vec<_> = (0..400u64)
+            .map(|b| e.query_block(b).unwrap().refs)
+            .collect();
+        assert_eq!(baseline, after, "targeted maintenance preserves queries");
+    }
+
+    #[test]
     fn relocate_block_moves_references() {
-        let mut e = engine();
+        let e = engine();
         let o1 = Owner::block(1, 0, LineId::ROOT);
         let o2 = Owner::block(2, 5, LineId::ROOT);
         e.add_reference(100, o1);
@@ -1491,7 +1963,7 @@ mod tests {
 
     #[test]
     fn dedup_multiple_owners_of_one_block() {
-        let mut e = engine();
+        let e = engine();
         for inode in 0..10u64 {
             e.add_reference(42, Owner::block(inode, 0, LineId::ROOT));
         }
@@ -1502,7 +1974,7 @@ mod tests {
 
     #[test]
     fn range_query_returns_sorted_refs_for_all_blocks() {
-        let mut e = engine();
+        let e = engine();
         for block in 100..200u64 {
             e.add_reference(block, Owner::block(1, block - 100, LineId::ROOT));
         }
@@ -1515,7 +1987,7 @@ mod tests {
 
     #[test]
     fn stats_accumulate() {
-        let mut e = engine();
+        let e = engine();
         e.add_reference(1, Owner::block(1, 0, LineId::ROOT));
         e.remove_reference(2, Owner::block(1, 1, LineId::ROOT));
         e.consistency_point().unwrap();
@@ -1532,7 +2004,7 @@ mod tests {
 
     #[test]
     fn write_store_and_bloom_accounting() {
-        let mut e = engine();
+        let e = engine();
         for i in 0..100u64 {
             e.add_reference(i, Owner::block(1, i, LineId::ROOT));
         }

@@ -238,7 +238,7 @@ mod tests {
         // "Crash" scenario: build two engines that share the same durable
         // history; the first sees extra operations that never reach a CP.
         let config = BacklogConfig::default().without_timing();
-        let mut live = BacklogEngine::new_simulated(config.clone());
+        let live = BacklogEngine::new_simulated(config.clone());
         let mut journal = Journal::new();
 
         let durable_owner = Owner::block(1, 0, LineId::ROOT);

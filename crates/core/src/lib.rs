@@ -63,6 +63,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod batch;
 mod config;
 mod engine;
 mod error;
@@ -75,6 +76,7 @@ mod stats;
 mod types;
 mod verify;
 
+pub use batch::{RefOp, WriteBatch};
 pub use config::BacklogConfig;
 pub use engine::BacklogEngine;
 pub use error::{BacklogError, Result};

@@ -69,6 +69,13 @@ pub struct CpReport {
     /// Device page reads performed by the flush (expected to be zero — run
     /// construction is bottom-up).
     pub pages_read: u64,
+    /// Contended state-lock acquisitions over the CP interval, from the
+    /// device's shared counter: write-store shard locks (a reference
+    /// callback or flush commit finding its partition's shard held) plus
+    /// the file store's allocation lock (parallel flush workers allocating
+    /// run pages). Zero when writers are partition-disjoint and the flush
+    /// runs single-threaded.
+    pub lock_contentions: u64,
     /// Wall-clock nanoseconds spent in callbacks since the previous CP.
     pub callback_ns: u64,
     /// Wall-clock nanoseconds spent flushing at this CP.

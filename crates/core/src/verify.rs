@@ -65,7 +65,7 @@ impl VerifyReport {
 ///
 /// Propagates device errors from the underlying queries.
 pub fn verify(
-    engine: &mut BacklogEngine,
+    engine: &BacklogEngine,
     expected: &[ExpectedRef],
     extra_blocks: &[BlockNo],
 ) -> Result<VerifyReport> {
@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn consistent_database_verifies() {
-        let mut e = engine();
+        let e = engine();
         let mut expected = Vec::new();
         for block in 0..50u64 {
             let owner = Owner::block(block % 5, block, LineId::ROOT);
@@ -110,7 +110,7 @@ mod tests {
             expected.push(ExpectedRef::new(block, owner));
         }
         e.consistency_point().unwrap();
-        let report = verify(&mut e, &expected, &[]).unwrap();
+        let report = verify(&e, &expected, &[]).unwrap();
         assert!(
             report.is_consistent(),
             "missing={:?} spurious={:?}",
@@ -123,14 +123,14 @@ mod tests {
 
     #[test]
     fn missing_reference_is_detected() {
-        let mut e = engine();
+        let e = engine();
         e.add_reference(1, Owner::block(1, 0, LineId::ROOT));
         e.consistency_point().unwrap();
         let expected = vec![
             ExpectedRef::new(1, Owner::block(1, 0, LineId::ROOT)),
             ExpectedRef::new(2, Owner::block(1, 1, LineId::ROOT)), // never recorded
         ];
-        let report = verify(&mut e, &expected, &[]).unwrap();
+        let report = verify(&e, &expected, &[]).unwrap();
         assert!(!report.is_consistent());
         assert_eq!(report.missing.len(), 1);
         assert_eq!(report.missing[0].block, 2);
@@ -139,12 +139,12 @@ mod tests {
 
     #[test]
     fn spurious_reference_is_detected() {
-        let mut e = engine();
+        let e = engine();
         e.add_reference(7, Owner::block(3, 0, LineId::ROOT));
         e.consistency_point().unwrap();
         // The file system says block 7 has no owners (e.g. it was freed but
         // the removal callback was lost).
-        let report = verify(&mut e, &[], &[7]).unwrap();
+        let report = verify(&e, &[], &[7]).unwrap();
         assert!(!report.is_consistent());
         assert_eq!(report.spurious.len(), 1);
         assert_eq!(report.spurious[0].block, 7);

@@ -150,12 +150,6 @@ impl<P: BackrefProvider> FileSystem<P> {
         &self.provider
     }
 
-    /// Mutable access to the back-reference provider (to run maintenance or
-    /// issue queries).
-    pub fn provider_mut(&mut self) -> &mut P {
-        &mut self.provider
-    }
-
     /// Consumes the file system and returns the provider.
     pub fn into_provider(self) -> P {
         self.provider
@@ -652,7 +646,7 @@ mod tests {
         assert_eq!(fs.file_len(LineId::ROOT, inode).unwrap(), 4);
         fs.take_consistency_point().unwrap();
         let blocks = fs.file_blocks(LineId::ROOT, inode).unwrap();
-        let owners = fs.provider_mut().query_owners(blocks[0]).unwrap();
+        let owners = fs.provider().query_owners(blocks[0]).unwrap();
         assert_eq!(owners, vec![Owner::block(inode, 0, LineId::ROOT)]);
     }
 
@@ -672,7 +666,7 @@ mod tests {
         fs.take_consistency_point().unwrap();
         let expected = fs.expected_refs();
         assert!(!expected.is_empty());
-        let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
+        let report = backlog::verify(fs.provider().engine(), &expected, &[]).unwrap();
         assert!(
             report.is_consistent(),
             "missing: {:?}, spurious: {:?}",
@@ -716,7 +710,7 @@ mod tests {
         fs.delete_file(LineId::ROOT, inode).unwrap();
         fs.take_consistency_point().unwrap();
         for b in blocks {
-            assert!(fs.provider_mut().query_owners(b).unwrap().is_empty());
+            assert!(fs.provider().query_owners(b).unwrap().is_empty());
         }
         assert_eq!(fs.stats().files_deleted, 1);
     }
@@ -764,7 +758,7 @@ mod tests {
         );
         let shared_block = fs.file_blocks(clone, inode).unwrap()[0];
         // Both the root file and the clone are owners of the shared block.
-        let owners = fs.provider_mut().query_owners(shared_block).unwrap();
+        let owners = fs.provider().query_owners(shared_block).unwrap();
         assert_eq!(
             owners.len(),
             2,
@@ -777,7 +771,7 @@ mod tests {
             fs.file_blocks(LineId::ROOT, inode).unwrap()[0],
             fs.file_blocks(clone, inode).unwrap()[0]
         );
-        let owners = fs.provider_mut().query_owners(shared_block).unwrap();
+        let owners = fs.provider().query_owners(shared_block).unwrap();
         assert_eq!(
             owners.len(),
             1,
@@ -786,7 +780,7 @@ mod tests {
         assert_eq!(owners[0].line, LineId::ROOT);
         // Verification still holds with a clone in play.
         let expected = fs.expected_refs();
-        let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
+        let report = backlog::verify(fs.provider().engine(), &expected, &[]).unwrap();
         assert!(report.is_consistent(), "{report:?}");
     }
 
@@ -806,7 +800,7 @@ mod tests {
         );
         fs.take_consistency_point().unwrap();
         let expected = fs.expected_refs();
-        let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
+        let report = backlog::verify(fs.provider().engine(), &expected, &[]).unwrap();
         assert!(report.is_consistent(), "{report:?}");
     }
 
@@ -919,7 +913,7 @@ mod tests {
         let mut found_shared = false;
         for inode in fs.files(LineId::ROOT).unwrap() {
             for block in fs.file_blocks(LineId::ROOT, inode).unwrap() {
-                if fs.provider_mut().query_owners(block).unwrap().len() > 1 {
+                if fs.provider().query_owners(block).unwrap().len() > 1 {
                     found_shared = true;
                     break;
                 }

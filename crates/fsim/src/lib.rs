@@ -30,7 +30,7 @@
 //! fs.take_consistency_point()?;
 //!
 //! let block = fs.file_blocks(LineId::ROOT, inode)?[0];
-//! let owners = fs.provider_mut().query_owners(block)?;
+//! let owners = fs.provider().query_owners(block)?;
 //! assert_eq!(owners[0].inode, inode);
 //! # Ok(())
 //! # }

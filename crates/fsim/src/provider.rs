@@ -12,11 +12,18 @@
 //! * `baseline::NaiveBackrefs` — the strawman conceptual-table design from
 //!   Section 4.1, used to demonstrate why the log-structured design matters.
 
-use backlog::{BacklogConfig, BacklogEngine, BlockNo, CpNumber, LineId, Owner, SnapshotId};
+use backlog::{
+    BacklogConfig, BacklogEngine, BlockNo, CpNumber, LineId, Owner, RefOp, SnapshotId, WriteBatch,
+};
 
 use crate::error::Result;
 
 /// Per-consistency-point accounting reported by a provider.
+///
+/// Providers accumulate these counters across the CP interval from `&self`
+/// callbacks that may run on many threads at once, so implementations keep
+/// the accumulators in atomics (or behind the provider's own state lock) —
+/// never in plain fields mutated through shared references.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ProviderCpStats {
     /// Records (of whatever internal form) written to stable storage.
@@ -25,6 +32,9 @@ pub struct ProviderCpStats {
     pub pages_written: u64,
     /// Device page reads attributable to back-reference maintenance.
     pub pages_read: u64,
+    /// Contended state-lock acquisitions (e.g. write-store shard locks)
+    /// observed over the CP interval, for providers that track them.
+    pub lock_contentions: u64,
     /// Wall-clock nanoseconds spent inside reference callbacks since the
     /// previous CP.
     pub callback_ns: u64,
@@ -43,16 +53,49 @@ impl ProviderCpStats {
 ///
 /// Providers must tolerate any callback order the file system produces; in
 /// particular a reference may be added and removed within one CP interval.
-pub trait BackrefProvider: std::fmt::Debug {
+///
+/// # Concurrency contract
+///
+/// Every method takes `&self`, and a provider must be safe to drive from
+/// many file-system threads at once: reference callbacks may race each
+/// other, queries and even a consistency point (the host serializes CPs
+/// against each other, but not against callbacks — an operation that races
+/// the CP boundary simply lands in whichever CP interval it hits, exactly as
+/// in a real write-anywhere file system). Scalable providers shard their
+/// mutable state (the Backlog engine shards its write stores by partition);
+/// baseline providers may simply wrap their state in a lock — serializing
+/// writers is itself a faithful model of those designs.
+///
+/// Multi-threaded hosts should prefer [`apply_batch`](Self::apply_batch)
+/// over per-operation callbacks: providers with sharded state amortize their
+/// per-partition locking over the whole batch.
+pub trait BackrefProvider: std::fmt::Debug + Send + Sync {
     /// Short human-readable name used in benchmark output ("backlog",
     /// "btrfs-like", "naive", "none").
     fn name(&self) -> &str;
 
     /// `owner` now references `block`.
-    fn add_reference(&mut self, block: BlockNo, owner: Owner);
+    fn add_reference(&self, block: BlockNo, owner: Owner);
 
     /// `owner` no longer references `block`.
-    fn remove_reference(&mut self, block: BlockNo, owner: Owner);
+    fn remove_reference(&self, block: BlockNo, owner: Owner);
+
+    /// Applies an ordered batch of reference operations.
+    ///
+    /// Semantically identical to looping
+    /// [`add_reference`](Self::add_reference) /
+    /// [`remove_reference`](Self::remove_reference) — which is exactly what
+    /// the default implementation does. Providers with sharded or otherwise
+    /// lock-guarded state override this to amortize lock acquisitions across
+    /// the batch (see `BacklogProvider`).
+    fn apply_batch(&self, batch: &WriteBatch) {
+        for op in batch.ops() {
+            match *op {
+                RefOp::Add { block, owner } => self.add_reference(block, owner),
+                RefOp::Remove { block, owner } => self.remove_reference(block, owner),
+            }
+        }
+    }
 
     /// The file system is taking consistency point `cp` (the CP that is now
     /// being made durable). Returns the provider's overhead accounting.
@@ -60,19 +103,19 @@ pub trait BackrefProvider: std::fmt::Debug {
     /// # Errors
     ///
     /// Returns an error if the provider's stable storage fails.
-    fn consistency_point(&mut self, cp: CpNumber) -> Result<ProviderCpStats>;
+    fn consistency_point(&self, cp: CpNumber) -> Result<ProviderCpStats>;
 
     /// A snapshot was taken. Default: ignored.
-    fn snapshot_created(&mut self, _snap: SnapshotId) {}
+    fn snapshot_created(&self, _snap: SnapshotId) {}
 
     /// A snapshot was deleted. Default: ignored.
-    fn snapshot_deleted(&mut self, _snap: SnapshotId) {}
+    fn snapshot_deleted(&self, _snap: SnapshotId) {}
 
     /// A writable clone of `parent` was created as `line`. Default: ignored.
-    fn clone_created(&mut self, _parent: SnapshotId, _line: LineId) {}
+    fn clone_created(&self, _parent: SnapshotId, _line: LineId) {}
 
     /// An entire line (writable clone) was deleted. Default: ignored.
-    fn line_deleted(&mut self, _line: LineId) {}
+    fn line_deleted(&self, _line: LineId) {}
 
     /// The owners of `block` that are reachable from the live file system.
     /// Providers that cannot answer queries return an empty vector.
@@ -80,7 +123,7 @@ pub trait BackrefProvider: std::fmt::Debug {
     /// # Errors
     ///
     /// Returns an error if the provider's stable storage fails.
-    fn query_owners(&mut self, _block: BlockNo) -> Result<Vec<Owner>> {
+    fn query_owners(&self, _block: BlockNo) -> Result<Vec<Owner>> {
         Ok(Vec::new())
     }
 
@@ -94,7 +137,7 @@ pub trait BackrefProvider: std::fmt::Debug {
     /// # Errors
     ///
     /// Returns an error if the provider's stable storage fails.
-    fn maintenance(&mut self) -> Result<()> {
+    fn maintenance(&self) -> Result<()> {
         Ok(())
     }
 
@@ -112,7 +155,7 @@ pub trait BackrefProvider: std::fmt::Debug {
     /// # Errors
     ///
     /// Returns an error if the provider's stable storage fails.
-    fn maintenance_partition(&mut self, _partition: u32) -> Result<()> {
+    fn maintenance_partition(&self, _partition: u32) -> Result<()> {
         self.maintenance()
     }
 
@@ -124,7 +167,7 @@ pub trait BackrefProvider: std::fmt::Debug {
     /// # Errors
     ///
     /// Returns an error if the provider's stable storage fails.
-    fn maintenance_parallel(&mut self, _threads: usize) -> Result<()> {
+    fn maintenance_parallel(&self, _threads: usize) -> Result<()> {
         self.maintenance()
     }
 }
@@ -147,11 +190,11 @@ impl BackrefProvider for NullProvider {
         "none"
     }
 
-    fn add_reference(&mut self, _block: BlockNo, _owner: Owner) {}
+    fn add_reference(&self, _block: BlockNo, _owner: Owner) {}
 
-    fn remove_reference(&mut self, _block: BlockNo, _owner: Owner) {}
+    fn remove_reference(&self, _block: BlockNo, _owner: Owner) {}
 
-    fn consistency_point(&mut self, _cp: CpNumber) -> Result<ProviderCpStats> {
+    fn consistency_point(&self, _cp: CpNumber) -> Result<ProviderCpStats> {
         Ok(ProviderCpStats::default())
     }
 }
@@ -186,12 +229,6 @@ impl BacklogProvider {
         &self.engine
     }
 
-    /// Mutable access to the wrapped engine (to run maintenance or queries
-    /// directly).
-    pub fn engine_mut(&mut self) -> &mut BacklogEngine {
-        &mut self.engine
-    }
-
     /// Consumes the provider and returns the engine.
     pub fn into_engine(self) -> BacklogEngine {
         self.engine
@@ -203,15 +240,21 @@ impl BackrefProvider for BacklogProvider {
         "backlog"
     }
 
-    fn add_reference(&mut self, block: BlockNo, owner: Owner) {
+    fn add_reference(&self, block: BlockNo, owner: Owner) {
         self.engine.add_reference(block, owner);
     }
 
-    fn remove_reference(&mut self, block: BlockNo, owner: Owner) {
+    fn remove_reference(&self, block: BlockNo, owner: Owner) {
         self.engine.remove_reference(block, owner);
     }
 
-    fn consistency_point(&mut self, cp: CpNumber) -> Result<ProviderCpStats> {
+    fn apply_batch(&self, batch: &WriteBatch) {
+        // One shard-lock acquisition per touched partition instead of one
+        // per operation.
+        self.engine.apply(batch);
+    }
+
+    fn consistency_point(&self, cp: CpNumber) -> Result<ProviderCpStats> {
         debug_assert_eq!(
             cp,
             self.engine.current_cp(),
@@ -222,28 +265,29 @@ impl BackrefProvider for BacklogProvider {
             records_flushed: report.records_flushed,
             pages_written: report.pages_written,
             pages_read: report.pages_read,
+            lock_contentions: report.lock_contentions,
             callback_ns: report.callback_ns,
             flush_ns: report.flush_ns,
         })
     }
 
-    fn snapshot_created(&mut self, snap: SnapshotId) {
+    fn snapshot_created(&self, snap: SnapshotId) {
         self.engine.register_snapshot(snap);
     }
 
-    fn snapshot_deleted(&mut self, snap: SnapshotId) {
+    fn snapshot_deleted(&self, snap: SnapshotId) {
         self.engine.delete_snapshot(snap);
     }
 
-    fn clone_created(&mut self, parent: SnapshotId, line: LineId) {
+    fn clone_created(&self, parent: SnapshotId, line: LineId) {
         self.engine.register_clone(parent, line);
     }
 
-    fn line_deleted(&mut self, line: LineId) {
+    fn line_deleted(&self, line: LineId) {
         self.engine.delete_line(line);
     }
 
-    fn query_owners(&mut self, block: BlockNo) -> Result<Vec<Owner>> {
+    fn query_owners(&self, block: BlockNo) -> Result<Vec<Owner>> {
         Ok(self.engine.live_owners(block)?)
     }
 
@@ -251,7 +295,7 @@ impl BackrefProvider for BacklogProvider {
         self.engine.database_disk_bytes()
     }
 
-    fn maintenance(&mut self) -> Result<()> {
+    fn maintenance(&self) -> Result<()> {
         self.engine.maintenance()?;
         Ok(())
     }
@@ -260,12 +304,12 @@ impl BackrefProvider for BacklogProvider {
         self.engine.config().partitioning.partition_count()
     }
 
-    fn maintenance_partition(&mut self, partition: u32) -> Result<()> {
+    fn maintenance_partition(&self, partition: u32) -> Result<()> {
         self.engine.maintenance_partition(partition)?;
         Ok(())
     }
 
-    fn maintenance_parallel(&mut self, threads: usize) -> Result<()> {
+    fn maintenance_parallel(&self, threads: usize) -> Result<()> {
         self.engine.maintenance_parallel(threads)?;
         Ok(())
     }
@@ -277,7 +321,7 @@ mod tests {
 
     #[test]
     fn null_provider_is_free() {
-        let mut p = NullProvider::new();
+        let p = NullProvider::new();
         p.add_reference(1, Owner::block(1, 0, LineId::ROOT));
         p.remove_reference(1, Owner::block(1, 0, LineId::ROOT));
         let stats = p.consistency_point(1).unwrap();
@@ -290,7 +334,7 @@ mod tests {
 
     #[test]
     fn backlog_provider_tracks_references() {
-        let mut p = BacklogProvider::new(BacklogConfig::default().without_timing());
+        let p = BacklogProvider::new(BacklogConfig::default().without_timing());
         let owner = Owner::block(5, 2, LineId::ROOT);
         p.add_reference(77, owner);
         let stats = p.consistency_point(1).unwrap();
@@ -305,7 +349,7 @@ mod tests {
 
     #[test]
     fn backlog_provider_snapshot_lifecycle_roundtrip() {
-        let mut p = BacklogProvider::new(BacklogConfig::default().without_timing());
+        let p = BacklogProvider::new(BacklogConfig::default().without_timing());
         let owner = Owner::block(5, 2, LineId::ROOT);
         p.add_reference(10, owner);
         p.consistency_point(1).unwrap();
@@ -320,12 +364,11 @@ mod tests {
         let owners = p.query_owners(10).unwrap();
         assert!(owners.iter().all(|o| o.line == LineId::ROOT));
         assert_eq!(p.engine().current_cp(), 2);
-        let _ = p.engine_mut();
     }
 
     #[test]
     fn backlog_provider_incremental_maintenance_covers_all_partitions() {
-        let mut p = BacklogProvider::new(BacklogConfig::partitioned(4, 4_000).without_timing());
+        let p = BacklogProvider::new(BacklogConfig::partitioned(4, 4_000).without_timing());
         assert_eq!(p.maintenance_partitions(), 4);
         for block in (0..4_000u64).step_by(13) {
             p.add_reference(block, Owner::block(1, block, LineId::ROOT));
@@ -338,7 +381,7 @@ mod tests {
         assert_eq!(p.query_owners(13).unwrap().len(), 1);
         assert_eq!(p.query_owners(3_900).unwrap().len(), 1);
         // The null provider's default is a harmless full pass.
-        let mut null = NullProvider::new();
+        let null = NullProvider::new();
         assert_eq!(null.maintenance_partitions(), 1);
         null.maintenance_partition(0).unwrap();
         null.maintenance_parallel(4).unwrap();
@@ -346,7 +389,7 @@ mod tests {
 
     #[test]
     fn backlog_provider_parallel_maintenance_preserves_queries() {
-        let mut p = BacklogProvider::new(BacklogConfig::partitioned(4, 4_000).without_timing());
+        let p = BacklogProvider::new(BacklogConfig::partitioned(4, 4_000).without_timing());
         for block in (0..4_000u64).step_by(7) {
             p.add_reference(block, Owner::block(1, block, LineId::ROOT));
         }
@@ -355,6 +398,48 @@ mod tests {
         assert_eq!(p.query_owners(7).unwrap().len(), 1);
         assert_eq!(p.query_owners(3_997).unwrap().len(), 1);
         assert_eq!(p.engine().stats().maintenance_runs, 1);
+    }
+
+    #[test]
+    fn apply_batch_prunes_like_scalar_callbacks() {
+        // The default impl loops the scalar callbacks (NullProvider)...
+        let null = NullProvider::new();
+        let mut batch = WriteBatch::new();
+        let owner = Owner::block(3, 0, LineId::ROOT);
+        batch.add_reference(1, owner);
+        batch.remove_reference(1, owner);
+        null.apply_batch(&batch);
+        // ...and the Backlog provider routes through the engine's batched
+        // path, including proactive pruning of the same-CP pair.
+        let p = BacklogProvider::new(BacklogConfig::default().without_timing());
+        p.apply_batch(&batch);
+        let stats = p.consistency_point(1).unwrap();
+        assert_eq!(stats.records_flushed, 0, "same-CP pair never reaches disk");
+        assert_eq!(p.engine().stats().block_ops, 2);
+        assert_eq!(p.engine().stats().pruned_adds, 1);
+    }
+
+    #[test]
+    fn providers_are_shareable_across_threads() {
+        // The redesigned trait promises `&self` callbacks from any thread.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NullProvider>();
+        assert_send_sync::<BacklogProvider>();
+        let p = BacklogProvider::new(BacklogConfig::default().without_timing());
+        std::thread::scope(|s| {
+            let provider = &p;
+            for w in 0..2u64 {
+                s.spawn(move || {
+                    for b in 0..50u64 {
+                        provider.add_reference(w * 100 + b, Owner::block(1, b, LineId::ROOT));
+                    }
+                });
+            }
+        });
+        p.consistency_point(1).unwrap();
+        assert_eq!(p.query_owners(0).unwrap().len(), 1);
+        assert_eq!(p.query_owners(149).unwrap().len(), 1);
+        assert_eq!(p.engine().stats().refs_added, 100);
     }
 
     #[test]

@@ -65,6 +65,19 @@ impl<R: Record> DeletionVector<R> {
             .retain(|r| !(min..=max).contains(&r.partition_key()));
     }
 
+    /// Returns a vector holding the marks of `self` that are not in
+    /// `consumed`. Rebuild commits use this to drop exactly the marks the
+    /// rebuild applied in-stream while keeping marks added concurrently.
+    pub fn difference(&self, consumed: &DeletionVector<R>) -> DeletionVector<R> {
+        DeletionVector {
+            deleted: self
+                .deleted
+                .difference(&consumed.deleted)
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Filters a sorted result set in place, removing marked records.
     pub fn filter(&self, records: &mut Vec<R>) {
         if self.deleted.is_empty() {

@@ -92,4 +92,4 @@ pub use run::{Run, RunBuilder, RunRangeIter, RunStats};
 pub use store::{
     FlushStats, LsmTable, MaintenanceStats, PartitionSnapshot, TableConfig, TableStats,
 };
-pub use write_store::WriteStore;
+pub use write_store::{ShardedWriteStore, WriteShard, WriteStore};

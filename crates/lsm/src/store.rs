@@ -1,8 +1,9 @@
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use blockdev::FileStore;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use crate::bloom::BloomConfig;
 use crate::deletion_vector::DeletionVector;
@@ -11,7 +12,7 @@ use crate::merge::{KWayMerge, TryKWayMerge};
 use crate::partition::Partitioning;
 use crate::record::Record;
 use crate::run::{Run, RunBuilder, RunRangeIter, RunStats};
-use crate::write_store::WriteStore;
+use crate::write_store::{ShardedWriteStore, WriteShard};
 
 /// Configuration for an [`LsmTable`].
 #[derive(Debug, Clone)]
@@ -203,29 +204,53 @@ impl<R: Record> PartitionSnapshot<R> {
 ///
 /// # Concurrency model
 ///
-/// On-disk state is shared and swappable: each partition holds an
-/// `Arc<Vec<Arc<Run>>>` run list plus its deletion marks behind a read/write
-/// lock. Reads (`query_range`, `scan_disk`, [`partition_snapshot`]
-/// (Self::partition_snapshot)) take `&self`, clone the `Arc`s and stream
-/// from immutable runs; rebuilds (`compact_partition`,
-/// [`commit_rebuilt_partition`](Self::commit_rebuilt_partition)) build
-/// replacements off to the side and swap them in atomically. Replaced runs
-/// are retired, not deleted — their files are reclaimed when the last
-/// snapshot drops — so readers always observe a partition as fully old or
-/// fully new. The write store and deletion-mark insertion still require
-/// `&mut self`: only the host's mutation path touches them, never
-/// maintenance.
+/// The whole mutation surface takes `&self`; the table is safe to share
+/// across writer, reader, flusher and maintenance threads simultaneously.
 ///
-/// Rebuilding the *same* partition from two threads at once is not useful
-/// but is safe: both build equivalent replacements from the same snapshot
-/// and the second commit retires the first's output.
+/// *Writes.* The write store is sharded by partition
+/// ([`ShardedWriteStore`]): [`insert`](Self::insert),
+/// [`ws_remove`](Self::ws_remove) and [`mark_deleted`](Self::mark_deleted)
+/// lock only the touched partition's shard, so callbacks from different
+/// threads serialize only when they hit the same partition (contended
+/// acquisitions are counted in the device's
+/// [`lock_contentions`](blockdev::IoStatsSnapshot::lock_contentions)).
+///
+/// *Flushes.* [`flush_cp`](Self::flush_cp) is build-then-swap per partition:
+/// each shard's records are *staged* (query-visible, treated as durable by
+/// removals), the replacement run is built with no locks held, and a commit
+/// under the partition lock + shard lock installs the run and unstages the
+/// records in one atomic step — a concurrent query sees every record in
+/// exactly one place. On a device error the staged records return to the
+/// shard, so a failed consistency point loses nothing.
+/// [`flush_cp_parallel`](Self::flush_cp_parallel) fans independent partition
+/// flushes onto scoped worker threads.
+///
+/// *Reads and rebuilds.* On-disk state is shared and swappable: each
+/// partition holds an `Arc<Vec<Arc<Run>>>` run list plus its deletion marks
+/// behind a read/write lock. Reads clone the `Arc`s and stream from
+/// immutable runs; rebuilds build replacements off to the side and
+/// [`commit_rebuilt_partition`](Self::commit_rebuilt_partition) swaps in the
+/// replacement while *preserving* state that arrived after the rebuild's
+/// snapshot (Level-0 runs appended by a racing flush, deletion marks added
+/// by a racing relocation). Replaced runs are retired, not deleted — their
+/// files are reclaimed when the last snapshot drops — so readers always
+/// observe a partition as fully old or fully new.
+///
+/// Rebuilding the *same* partition from two threads at once is not
+/// supported (both rebuilds would survive the other's commit and duplicate
+/// the partition's records); callers serialize per-partition rebuilds, as
+/// the engine's maintenance scheduler does.
 #[derive(Debug)]
 pub struct LsmTable<R: Record> {
     files: Arc<FileStore>,
     config: TableConfig,
-    ws: WriteStore<R>,
+    ws: ShardedWriteStore<R>,
     /// Swappable per-partition disk state.
     partitions: Vec<RwLock<PartitionState<R>>>,
+    /// Serializes whole-table flushes against each other (two overlapping
+    /// flushes of one partition would build duplicate runs from the same
+    /// staged records). Writers and queries never take this lock.
+    flush_lock: Mutex<()>,
 }
 
 impl<R: Record> LsmTable<R> {
@@ -233,12 +258,13 @@ impl<R: Record> LsmTable<R> {
     pub fn new(files: Arc<FileStore>, config: TableConfig) -> Self {
         let partitions = config.partitioning.partition_count() as usize;
         LsmTable {
+            ws: ShardedWriteStore::new(config.partitioning, files.device().clone()),
             files,
             config,
-            ws: WriteStore::new(),
             partitions: (0..partitions)
                 .map(|_| RwLock::new(PartitionState::empty()))
                 .collect(),
+            flush_lock: Mutex::new(()),
         }
     }
 
@@ -252,14 +278,15 @@ impl<R: Record> LsmTable<R> {
         &self.files
     }
 
-    /// Buffers a record in the write store.
-    pub fn insert(&mut self, record: R) {
+    /// Buffers a record in its partition's write-store shard.
+    pub fn insert(&self, record: R) {
         self.ws.insert(record);
     }
 
     /// Removes an exact record from the write store (proactive pruning).
-    /// Returns `true` if the record was buffered.
-    pub fn ws_remove(&mut self, record: &R) -> bool {
+    /// Returns `true` if the record was buffered (records staged by an
+    /// in-flight flush count as durable and report `false`).
+    pub fn ws_remove(&self, record: &R) -> bool {
         self.ws.remove(record)
     }
 
@@ -273,15 +300,20 @@ impl<R: Record> LsmTable<R> {
         self.ws.len()
     }
 
-    /// Iterates the buffered records in sorted order.
-    pub fn ws_iter(&self) -> impl Iterator<Item = &R> + '_ {
-        self.ws.iter()
+    /// Approximate memory footprint of the buffered records in bytes.
+    pub fn ws_approx_bytes(&self) -> usize {
+        self.ws.approx_bytes()
     }
 
-    /// Direct access to the write store (used by tests and by Backlog's
-    /// proactive pruning, which needs ordered scans of buffered records).
-    pub fn write_store(&self) -> &WriteStore<R> {
-        &self.ws
+    /// Locks and returns partition `pidx`'s write-store shard, so a caller
+    /// applying a batch of operations to one partition pays for the lock
+    /// acquisition once (the engine's `WriteBatch` path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pidx` is out of range.
+    pub fn ws_shard(&self, pidx: u32) -> MutexGuard<'_, WriteShard<R>> {
+        self.ws.lock_shard(pidx)
     }
 
     /// Number of on-disk runs across all partitions.
@@ -341,16 +373,27 @@ impl<R: Record> LsmTable<R> {
 
     /// Marks a record as deleted without touching the run files
     /// (C-Store-style deletion vector).
-    pub fn mark_deleted(&mut self, record: R) {
-        // If the record is still in the write store it can simply be removed.
-        if !self.ws.remove(&record) {
-            let pidx = self
-                .config
-                .partitioning
-                .partition_of(record.partition_key());
-            let mut st = self.partitions[pidx as usize].write();
-            Arc::make_mut(&mut st.deletions).insert(record);
+    ///
+    /// A record still in the write store's active set is simply removed. A
+    /// record *staged* by an in-flight flush is unstaged at once and its
+    /// mark deferred: it enters the partition's deletion vector in the same
+    /// atomic step that installs the flush's run, so the vector never holds
+    /// a mark for a record that is not yet on disk (a rebuild snapshot
+    /// taken mid-flush would otherwise treat such a mark as consumed and
+    /// resurrect the record). A durable record is masked directly.
+    pub fn mark_deleted(&self, record: R) {
+        let pidx = self
+            .config
+            .partitioning
+            .partition_of(record.partition_key());
+        // Lock order (partition state, then shard) matches the query and
+        // flush-commit paths.
+        let mut st = self.partitions[pidx as usize].write();
+        let mut shard = self.ws.lock_shard(pidx);
+        if shard.remove(&record) || shard.defer_mark(&record) {
+            return;
         }
+        Arc::make_mut(&mut st.deletions).insert(record);
     }
 
     /// Records currently masked by deletion vectors, across all partitions.
@@ -362,65 +405,129 @@ impl<R: Record> LsmTable<R> {
     }
 
     /// Flushes the write store into one new Level-0 run per non-empty
-    /// partition. Called at every consistency point.
+    /// partition. Called at every consistency point. Equivalent to
+    /// [`flush_cp_parallel`](Self::flush_cp_parallel) with one thread.
     ///
     /// # Errors
     ///
     /// Propagates device errors. On error, every record that did not make it
-    /// into a completed run is re-inserted into the write store, so a failed
+    /// into a completed run returns to the write store, so a failed
     /// consistency point loses nothing: the caller can retry the flush once
     /// the device recovers (runs that were completed before the error stay
     /// on disk and are already visible to queries).
-    pub fn flush_cp(&mut self) -> Result<FlushStats> {
-        let drained = self.ws.drain_sorted();
-        if drained.is_empty() {
+    pub fn flush_cp(&self) -> Result<FlushStats> {
+        self.flush_cp_parallel(1)
+    }
+
+    /// Flushes the write store with independent per-partition flushes fanned
+    /// out across `threads` scoped worker threads (clamped to
+    /// `1..=non-empty partitions`; with one thread the partition loop runs
+    /// inline on the calling thread, in ascending partition order).
+    ///
+    /// Each partition is flushed build-then-swap: its shard's records are
+    /// *staged* (still query-visible, treated as durable by concurrent
+    /// removals), the Level-0 run is built with no locks held, and a commit
+    /// under the partition lock installs the run and unstages the records
+    /// atomically — a concurrent query observes each record in the write
+    /// store or in the new run, never in both and never in neither.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error any worker hits; staged records of
+    /// failed or unattempted partitions return to their shards (completed
+    /// partitions keep their new runs).
+    pub fn flush_cp_parallel(&self, threads: usize) -> Result<FlushStats> {
+        let _flush = self.flush_lock.lock();
+        // Stage every shard up front; staged records stay query-visible in
+        // the shard until their partition's replacement run is installed.
+        let mut work: Vec<(u32, Vec<R>)> = Vec::new();
+        for pidx in 0..self.ws.shard_count() {
+            let staged = self.ws.lock_shard(pidx).stage();
+            if !staged.is_empty() {
+                work.push((pidx, staged));
+            }
+        }
+        if work.is_empty() {
             return Ok(FlushStats::default());
         }
-        let mut stats = FlushStats {
-            records_flushed: drained.len() as u64,
-            ..Default::default()
-        };
-        let parts = self.config.partitioning;
-        // (partition index, records) for each non-empty partition.
-        let mut buckets: Vec<(usize, Vec<R>)> = if parts.partition_count() == 1 {
-            vec![(0, drained)]
-        } else {
-            let mut split: Vec<Vec<R>> = (0..parts.partition_count() as usize)
-                .map(|_| Vec::new())
-                .collect();
-            for r in drained {
-                split[parts.partition_of(r.partition_key()) as usize].push(r);
+        let threads = threads.clamp(1, work.len());
+        let totals = Mutex::new(FlushStats::default());
+        let first_error: Mutex<Option<LsmError>> = Mutex::new(None);
+        let next = AtomicUsize::new(0);
+        let worker = || loop {
+            if first_error.lock().is_some() {
+                break;
             }
-            split
-                .into_iter()
-                .enumerate()
-                .filter(|(_, b)| !b.is_empty())
-                .collect()
-        };
-        let mut i = 0;
-        while i < buckets.len() {
-            let (pidx, bucket) = &buckets[i];
-            match Run::build(&self.files, bucket, &self.config.bloom) {
-                Ok(Some(run)) => {
-                    stats.runs_created += 1;
-                    stats.pages_written += run.stats().total_pages;
-                    let pidx = *pidx;
-                    let mut st = self.partitions[pidx].write();
-                    Arc::make_mut(&mut st.runs).push(Arc::new(run));
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some((pidx, records)) = work.get(i) else {
+                break;
+            };
+            match self.flush_partition(*pidx, records) {
+                Ok(flushed) => {
+                    let mut t = totals.lock();
+                    t.records_flushed += flushed.records_flushed;
+                    t.runs_created += flushed.runs_created;
+                    t.pages_written += flushed.pages_written;
                 }
-                Ok(None) => {}
                 Err(e) => {
-                    // Retain the data: this bucket and every unflushed one
-                    // go back into the write store for a later retry.
-                    for (_, bucket) in buckets.drain(i..) {
-                        self.ws.extend(bucket);
-                    }
-                    return Err(e);
+                    first_error.lock().get_or_insert(e);
+                    break;
                 }
             }
-            i += 1;
+        };
+        if threads == 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(worker);
+                }
+            });
         }
-        Ok(stats)
+        if let Some(e) = first_error.lock().take() {
+            // Staged records of failed or never-attempted partitions return
+            // to their shards (a no-op for committed partitions, whose
+            // staged sets are already cleared).
+            for (pidx, _) in &work {
+                self.ws.lock_shard(*pidx).restore_flush();
+            }
+            return Err(e);
+        }
+        Ok(totals.into_inner())
+    }
+
+    /// Builds and installs one partition's Level-0 run from its staged
+    /// records (the per-partition body of [`flush_cp_parallel`]
+    /// (Self::flush_cp_parallel)).
+    fn flush_partition(&self, pidx: u32, records: &[R]) -> Result<FlushStats> {
+        match Run::build(&self.files, records, &self.config.bloom)? {
+            Some(run) => {
+                let stats = FlushStats {
+                    records_flushed: records.len() as u64,
+                    runs_created: 1,
+                    pages_written: run.stats().total_pages,
+                };
+                // Swap: install the fully built run, unstage its records and
+                // apply the deletion marks deferred for staged records, all
+                // in one step. Lock order (partition state, then shard)
+                // matches the query path.
+                let mut st = self.partitions[pidx as usize].write();
+                let mut shard = self.ws.lock_shard(pidx);
+                let deferred = shard.commit_flush();
+                if !deferred.is_empty() {
+                    let dv = Arc::make_mut(&mut st.deletions);
+                    for mark in deferred {
+                        dv.insert(mark);
+                    }
+                }
+                Arc::make_mut(&mut st.runs).push(Arc::new(run));
+                Ok(stats)
+            }
+            None => {
+                self.ws.lock_shard(pidx).commit_flush();
+                Ok(FlushStats::default())
+            }
+        }
     }
 
     /// Returns every record (write store and runs) whose partition key falls
@@ -459,16 +566,36 @@ impl<R: Record> LsmTable<R> {
         // Capture the relevant partitions first; everything below streams
         // from these immutable snapshots. (Each partition is individually
         // consistent; records never move between partitions, so a query
-        // spanning several partitions cannot observe a torn rebuild.)
+        // spanning several partitions cannot observe a torn rebuild.) The
+        // write-store shard is collected while the partition's read lock is
+        // held: a flush commit takes both the partition lock and the shard
+        // lock, so each record is observed in the shard or in the freshly
+        // installed run — never in both, never in neither. Partitions cover
+        // ascending key ranges, so the concatenated shard records are
+        // globally sorted.
         let range = self.config.partitioning.partitions_for_range(min, max);
         let first = *range.start();
-        let snaps: Vec<PartitionSnapshot<R>> = range.map(|p| self.partition_snapshot(p)).collect();
+        let mut snaps: Vec<PartitionSnapshot<R>> = Vec::new();
+        let mut ws_records: Vec<R> = Vec::new();
+        for p in range {
+            let st = self.partitions[p as usize].read();
+            if include_ws {
+                self.ws
+                    .lock_shard(p)
+                    .collect_range(min, max, &mut ws_records);
+            }
+            snaps.push(PartitionSnapshot {
+                key_range: self.config.partitioning.key_range(p),
+                runs: st.runs.clone(),
+                deletions: st.deletions.clone(),
+            });
+        }
         // Device errors hit mid-stream land in this cell (the merge operates
         // on plain records); the first error aborts the query.
         let error: Cell<Option<LsmError>> = Cell::new(None);
         let mut sources: Vec<Box<dyn Iterator<Item = R> + '_>> = Vec::new();
-        if include_ws && !self.ws.is_empty() {
-            sources.push(Box::new(self.ws.range_by_partition_key(min..=max).cloned()));
+        if !ws_records.is_empty() {
+            sources.push(Box::new(ws_records.into_iter()));
         }
         for snap in &snaps {
             for run in snap.runs() {
@@ -516,25 +643,38 @@ impl<R: Record> LsmTable<R> {
         RunBuilder::with_capacity(self.files.clone(), &self.config.bloom, expected_records)
     }
 
-    /// Atomically swaps partition `pidx`'s runs for `new_run` (build-then-
-    /// swap). The caller has already built `new_run` to completion — every
-    /// page of it is on the device — so this step performs no fallible
-    /// writes: under the partition's write lock it installs the new run list
-    /// and drops the deletion marks the rebuild consumed in-stream, then
-    /// retires the old runs. Readers holding a pre-swap
-    /// [`PartitionSnapshot`] keep streaming from the old runs (whose files
-    /// survive until the last snapshot drops); every snapshot taken after
-    /// the swap sees only the new run. A rebuild that failed before this
-    /// point simply never calls it, leaving the partition's old runs fully
-    /// intact and queryable.
+    /// Atomically swaps the runs a rebuild consumed (`rebuilt_from`, the
+    /// snapshot the rebuild streamed) for `new_run` (build-then-swap). The
+    /// caller has already built `new_run` to completion — every page of it
+    /// is on the device — so this step performs no fallible writes: under
+    /// the partition's write lock it installs the new run list and drops the
+    /// deletion marks the rebuild consumed in-stream, then retires the
+    /// replaced runs. Readers holding a pre-swap [`PartitionSnapshot`] keep
+    /// streaming from the old runs (whose files survive until the last
+    /// snapshot drops); every snapshot taken after the swap sees only the
+    /// new run.
     ///
-    /// Passing `None` empties the partition (e.g. every record was purged).
+    /// State that arrived *after* the rebuild's snapshot survives the swap:
+    /// Level-0 runs appended by a racing consistency-point flush stay
+    /// installed (after `new_run`, preserving oldest-first order), and
+    /// deletion marks added by a racing relocation keep masking their
+    /// records — only the runs and marks the rebuild actually consumed are
+    /// replaced. A rebuild that failed before this point simply never calls
+    /// it, leaving the partition fully intact and queryable.
+    ///
+    /// Passing `None` empties the consumed runs (e.g. every record was
+    /// purged).
     ///
     /// # Panics
     ///
     /// Panics if `pidx` is out of range; debug-asserts that `new_run`'s keys
     /// lie inside the partition.
-    pub fn commit_rebuilt_partition(&self, pidx: u32, new_run: Option<Run<R>>) {
+    pub fn commit_rebuilt_partition(
+        &self,
+        pidx: u32,
+        new_run: Option<Run<R>>,
+        rebuilt_from: &PartitionSnapshot<R>,
+    ) {
         let (min, max) = self.config.partitioning.key_range(pidx);
         if let Some(run) = &new_run {
             debug_assert!(
@@ -544,18 +684,31 @@ impl<R: Record> LsmTable<R> {
                 run.max_key(),
             );
         }
-        let fresh: Vec<Arc<Run<R>>> = new_run.into_iter().map(Arc::new).collect();
-        let old = {
+        let mut fresh: Vec<Arc<Run<R>>> = new_run.into_iter().map(Arc::new).collect();
+        let mut retired: Vec<Arc<Run<R>>> = Vec::new();
+        {
             let mut st = self.partitions[pidx as usize].write();
-            // The rebuild consumed this partition's deletion marks in-stream;
-            // marks of other partitions live in their own vectors.
-            st.deletions = Arc::new(DeletionVector::new());
-            std::mem::replace(&mut st.runs, Arc::new(fresh))
-        };
+            for run in st.runs.iter() {
+                if rebuilt_from.runs.iter().any(|old| Arc::ptr_eq(old, run)) {
+                    retired.push(run.clone());
+                } else {
+                    // Appended by a flush after the snapshot: keep it.
+                    fresh.push(run.clone());
+                }
+            }
+            st.deletions = if Arc::ptr_eq(&st.deletions, &rebuilt_from.deletions) {
+                Arc::new(DeletionVector::new())
+            } else {
+                // Marks added since the snapshot were not consumed by the
+                // rebuild; they must keep masking their records.
+                Arc::new(st.deletions.difference(&rebuilt_from.deletions))
+            };
+            st.runs = Arc::new(fresh);
+        }
         // Retire outside the lock: when no reader holds a snapshot the files
         // are deleted right here; otherwise the last snapshot drop deletes
         // them.
-        for run in old.iter() {
+        for run in retired {
             run.retire();
         }
     }
@@ -589,7 +742,7 @@ impl<R: Record> LsmTable<R> {
             return Err(e);
         }
         let new_run = builder.finish_nonempty()?;
-        self.commit_rebuilt_partition(pidx, new_run);
+        self.commit_rebuilt_partition(pidx, new_run, &snap);
         Ok(())
     }
 
@@ -798,7 +951,7 @@ mod tests {
 
     #[test]
     fn query_sees_ws_and_runs() {
-        let (_d, mut t) = table();
+        let (_d, t) = table();
         t.insert(TestRec::new(1, 10));
         t.insert(TestRec::new(2, 20));
         t.flush_cp().unwrap();
@@ -812,7 +965,7 @@ mod tests {
 
     #[test]
     fn flush_empty_ws_is_noop() {
-        let (_d, mut t) = table();
+        let (_d, t) = table();
         let stats = t.flush_cp().unwrap();
         assert_eq!(stats, FlushStats::default());
         assert_eq!(t.run_count(), 0);
@@ -820,7 +973,7 @@ mod tests {
 
     #[test]
     fn each_flush_creates_a_level0_run() {
-        let (_d, mut t) = table();
+        let (_d, t) = table();
         for cp in 0..5u64 {
             for i in 0..100u64 {
                 t.insert(TestRec::new(cp * 100 + i, cp));
@@ -833,7 +986,7 @@ mod tests {
 
     #[test]
     fn compaction_merges_runs_into_one() {
-        let (_d, mut t) = table();
+        let (_d, t) = table();
         for cp in 0..5u64 {
             for i in 0..50u64 {
                 t.insert(TestRec::new(i * 10 + cp, cp));
@@ -856,7 +1009,7 @@ mod tests {
 
     #[test]
     fn bloom_filters_avoid_reads_for_absent_keys() {
-        let (disk, mut t) = table();
+        let (disk, t) = table();
         for cp in 0..10u64 {
             for i in 0..100u64 {
                 t.insert(TestRec::new(cp * 1_000 + i, 0));
@@ -873,7 +1026,7 @@ mod tests {
 
     #[test]
     fn deletion_vector_hides_records_until_rewrite() {
-        let (_d, mut t) = table();
+        let (_d, t) = table();
         for i in 0..10u64 {
             t.insert(TestRec::new(i, i));
         }
@@ -891,7 +1044,7 @@ mod tests {
 
     #[test]
     fn mark_deleted_on_buffered_record_prunes_ws() {
-        let (_d, mut t) = table();
+        let (_d, t) = table();
         t.insert(TestRec::new(7, 7));
         t.mark_deleted(TestRec::new(7, 7));
         assert_eq!(t.ws_len(), 0);
@@ -908,7 +1061,7 @@ mod tests {
         let files = Arc::new(FileStore::new(disk));
         let config =
             TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(4, 1_000));
-        let mut t = LsmTable::new(files, config);
+        let t = LsmTable::new(files, config);
         for i in 0..4_000u64 {
             t.insert(TestRec::new(i, 0));
         }
@@ -923,7 +1076,7 @@ mod tests {
 
     #[test]
     fn scan_disk_ignores_write_store() {
-        let (_d, mut t) = table();
+        let (_d, t) = table();
         t.insert(TestRec::new(1, 1));
         t.flush_cp().unwrap();
         t.insert(TestRec::new(2, 2));
@@ -940,7 +1093,7 @@ mod tests {
 
     #[test]
     fn failed_flush_returns_records_to_write_store() {
-        let (disk, mut t) = table();
+        let (disk, t) = table();
         for i in 0..1000u64 {
             t.insert(TestRec::new(i, i));
         }
@@ -970,7 +1123,7 @@ mod tests {
         let files = Arc::new(FileStore::new(disk.clone()));
         let config =
             TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(4, 1_000));
-        let mut t = LsmTable::new(files, config);
+        let t = LsmTable::new(files, config);
         for i in 0..4_000u64 {
             t.insert(TestRec::new(i, 0));
         }
@@ -994,7 +1147,7 @@ mod tests {
 
     #[test]
     fn compact_fault_leaves_old_runs_intact() {
-        let (disk, mut t) = table();
+        let (disk, t) = table();
         for cp in 0..5u64 {
             for i in 0..500u64 {
                 t.insert(TestRec::new(i * 5 + cp, cp));
@@ -1036,7 +1189,7 @@ mod tests {
         let files = Arc::new(FileStore::new(disk.clone()));
         let config =
             TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(4, 1_000));
-        let mut t = LsmTable::new(files, config);
+        let t = LsmTable::new(files, config);
         for cp in 0..3u64 {
             for i in 0..4_000u64 {
                 t.insert(TestRec::new(i, cp));
@@ -1089,7 +1242,7 @@ mod tests {
         let files = Arc::new(FileStore::new(disk));
         let config =
             TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(2, 1_000));
-        let mut t = LsmTable::new(files, config);
+        let t = LsmTable::new(files, config);
         for i in 0..2_000u64 {
             t.insert(TestRec::new(i, 0));
         }
@@ -1107,7 +1260,7 @@ mod tests {
 
     #[test]
     fn partition_snapshot_streams_sorted_and_masked() {
-        let (_d, mut t) = table();
+        let (_d, t) = table();
         for cp in 0..3u64 {
             for i in 0..100u64 {
                 t.insert(TestRec::new(i * 3 + cp, cp));
@@ -1131,7 +1284,7 @@ mod tests {
         // A reader's snapshot taken before a rebuild must keep streaming the
         // pre-rebuild state even after the partition has been swapped and
         // the old runs retired.
-        let (_d, mut t) = table();
+        let (_d, t) = table();
         for cp in 0..4u64 {
             for i in 0..200u64 {
                 t.insert(TestRec::new(i * 4 + cp, cp));
@@ -1164,7 +1317,7 @@ mod tests {
         let files = Arc::new(FileStore::new(disk));
         let config =
             TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(4, 1_000));
-        let mut t = LsmTable::new(files, config);
+        let t = LsmTable::new(files, config);
         for cp in 0..6u64 {
             for i in 0..4_000u64 {
                 t.insert(TestRec::new(i, cp));
@@ -1209,7 +1362,7 @@ mod tests {
 
     #[test]
     fn narrow_queries_do_not_materialize_full_run_scans() {
-        let (disk, mut t) = table();
+        let (disk, t) = table();
         // One large run: 50k 16-byte records = ~197 leaves + index pages.
         for i in 0..50_000u64 {
             t.insert(TestRec::new(i, i));
@@ -1235,8 +1388,197 @@ mod tests {
     }
 
     #[test]
+    fn flush_parallel_matches_serial() {
+        let mk = || {
+            let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+            let files = Arc::new(FileStore::new(disk));
+            let config = TableConfig::named("parted")
+                .with_partitioning(Partitioning::fixed_ranges(4, 1_000));
+            let t = LsmTable::new(files, config);
+            for i in 0..4_000u64 {
+                t.insert(TestRec::new(i, i % 7));
+            }
+            t
+        };
+        let serial = mk();
+        let parallel = mk();
+        let a = serial.flush_cp().unwrap();
+        let b = parallel.flush_cp_parallel(4).unwrap();
+        assert_eq!(a, b, "flush stats identical across fan-out widths");
+        assert_eq!(serial.scan_disk().unwrap(), parallel.scan_disk().unwrap());
+        assert_eq!(parallel.run_count(), 4);
+        assert_eq!(parallel.ws_len(), 0);
+    }
+
+    #[test]
+    fn parallel_flush_fault_loses_no_records() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk.clone()));
+        let config =
+            TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(4, 1_000));
+        let t = LsmTable::new(files, config);
+        for i in 0..4_000u64 {
+            t.insert(TestRec::new(i, 0));
+        }
+        disk.fail_writes_after(3);
+        assert!(t.flush_cp_parallel(4).is_err());
+        disk.clear_write_fault();
+        // Whatever subset of partitions committed, the union is intact and a
+        // retry completes the flush.
+        assert_eq!(t.ws_len() as u64 + t.stats().disk_records, 4_000);
+        assert_eq!(t.scan_all().unwrap().len(), 4_000);
+        t.flush_cp_parallel(4).unwrap();
+        assert_eq!(t.ws_len(), 0);
+        assert_eq!(t.scan_all().unwrap().len(), 4_000);
+    }
+
+    #[test]
+    fn rebuild_commit_preserves_runs_flushed_after_snapshot() {
+        // A CP flush that lands while a rebuild streams must survive the
+        // rebuild's commit: only the runs the rebuild consumed are swapped.
+        let (_d, t) = table();
+        for i in 0..100u64 {
+            t.insert(TestRec::new(i, 0));
+        }
+        t.flush_cp().unwrap();
+        let snap = t.partition_snapshot(0);
+        // Racing flush after the rebuild snapshot.
+        for i in 100..150u64 {
+            t.insert(TestRec::new(i, 0));
+        }
+        t.flush_cp().unwrap();
+        // Rebuild from the snapshot and commit.
+        let mut builder = t.new_run_builder(snap.disk_records() as usize);
+        for item in snap.iter_disk().unwrap() {
+            builder.push(&item.unwrap()).unwrap();
+        }
+        let new_run = builder.finish_nonempty().unwrap();
+        t.commit_rebuilt_partition(0, new_run, &snap);
+        assert_eq!(t.run_count(), 2, "racing flush's run survives the swap");
+        assert_eq!(t.scan_disk().unwrap().len(), 150, "no record lost");
+    }
+
+    #[test]
+    fn rebuild_commit_preserves_deletion_marks_added_after_snapshot() {
+        let (_d, t) = table();
+        for i in 0..10u64 {
+            t.insert(TestRec::new(i, 0));
+        }
+        t.flush_cp().unwrap();
+        let snap = t.partition_snapshot(0);
+        // A relocation marks a record deleted while the rebuild streams; the
+        // rebuild's output still contains the record (its snapshot predates
+        // the mark), so the mark must survive the commit.
+        t.mark_deleted(TestRec::new(3, 0));
+        let mut builder = t.new_run_builder(snap.disk_records() as usize);
+        for item in snap.iter_disk().unwrap() {
+            builder.push(&item.unwrap()).unwrap();
+        }
+        let new_run = builder.finish_nonempty().unwrap();
+        t.commit_rebuilt_partition(0, new_run, &snap);
+        assert_eq!(t.stats().deleted_records, 1, "racing mark survives");
+        let disk = t.scan_disk().unwrap();
+        assert_eq!(disk.len(), 9);
+        assert!(!disk.contains(&TestRec::new(3, 0)));
+        // The next rebuild consumes the mark in-stream and drops it.
+        t.compact_partition(0).unwrap();
+        assert_eq!(t.stats().deleted_records, 0);
+        assert_eq!(t.scan_disk().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn mark_on_staged_record_defers_until_the_flush_commit() {
+        // Regression test: a record staged by an in-flight flush must not
+        // put its deletion mark in the partition's vector before the
+        // flush's run is installed — a rebuild snapshot taken in that
+        // window would treat the mark as consumed, and its commit would
+        // clear it while the racing flush installs the record, resurrecting
+        // a deleted record.
+        let (_d, t) = table();
+        t.insert(TestRec::new(1, 0));
+        t.insert(TestRec::new(2, 0));
+        let staged = t.ws_shard(0).stage(); // a CP flush is now "in flight"
+        assert_eq!(staged.len(), 2);
+        t.mark_deleted(TestRec::new(1, 0));
+        // Unstaged at once and invisible, but the deletion vector — which a
+        // rebuild snapshot would capture — is still empty.
+        assert_eq!(t.scan_all().unwrap(), vec![TestRec::new(2, 0)]);
+        assert_eq!(t.stats().deleted_records, 0, "mark deferred, not in the DV");
+        assert_eq!(t.partition_snapshot(0).deletions().len(), 0);
+        // The flush commit hands the deferred mark back to be applied in
+        // the same critical section that installs the run.
+        let deferred = t.ws_shard(0).commit_flush();
+        assert_eq!(deferred, vec![TestRec::new(1, 0)]);
+    }
+
+    #[test]
+    fn mark_on_staged_record_is_dropped_when_the_flush_fails() {
+        let (_d, t) = table();
+        t.insert(TestRec::new(1, 0));
+        t.ws_shard(0).stage();
+        t.mark_deleted(TestRec::new(1, 0));
+        // The flush fails: the record was deleted while buffered, so it
+        // simply ceases to exist — no run, no mark, nothing restored.
+        t.ws_shard(0).restore_flush();
+        assert_eq!(t.ws_len(), 0);
+        assert_eq!(t.stats().deleted_records, 0);
+        assert!(t.scan_all().unwrap().is_empty());
+        assert!(t.ws_shard(0).commit_flush().is_empty(), "no mark lingers");
+    }
+
+    #[test]
+    fn writers_race_flush_and_queries_without_losing_records() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk));
+        let config =
+            TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(4, 1_000));
+        let t = LsmTable::new(files, config);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let table = &t;
+            let done_ref = &done;
+            // Four writers, each owning one partition's key range.
+            let writers: Vec<_> = (0..4u64)
+                .map(|w| {
+                    s.spawn(move || {
+                        for i in 0..500u64 {
+                            table.insert(TestRec::new(w * 1_000 + i, 0));
+                        }
+                    })
+                })
+                .collect();
+            // Flusher and reader race the writers.
+            s.spawn(move || {
+                while !done_ref.load(Ordering::Relaxed) {
+                    table.flush_cp_parallel(2).unwrap();
+                }
+                // Final flush after the writers are done drains everything.
+                table.flush_cp().unwrap();
+            });
+            s.spawn(move || {
+                while !done_ref.load(Ordering::Relaxed) {
+                    // Buffered and flushed records must never double up.
+                    let got = table.query_range(0, 0).unwrap();
+                    assert!(got.len() <= 1, "record seen twice: {got:?}");
+                }
+            });
+            for w in writers {
+                w.join().unwrap();
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(t.ws_len(), 0, "final flush drained the store");
+        assert_eq!(
+            t.scan_all().unwrap().len(),
+            2_000,
+            "every record exactly once"
+        );
+    }
+
+    #[test]
     fn stats_track_sizes() {
-        let (_d, mut t) = table();
+        let (_d, t) = table();
         for i in 0..1000u64 {
             t.insert(TestRec::new(i, i));
         }

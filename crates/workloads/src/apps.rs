@@ -234,7 +234,7 @@ mod tests {
         config.ops_per_cp = 64;
         run_app(&mut fs, config).unwrap();
         let expected = fs.expected_refs();
-        let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
+        let report = backlog::verify(fs.provider().engine(), &expected, &[]).unwrap();
         assert!(report.is_consistent(), "{report:?}");
     }
 }

@@ -296,9 +296,9 @@ mod tests {
             FsConfig::default().with_snapshots(SnapshotPolicy::paper_default(4)),
         );
         wl.run(&mut fs, 12, |_, _| {}).unwrap();
-        fs.provider_mut().maintenance().unwrap();
+        fs.provider().maintenance().unwrap();
         let expected = fs.expected_refs();
-        let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
+        let report = backlog::verify(fs.provider().engine(), &expected, &[]).unwrap();
         assert!(
             report.is_consistent(),
             "missing {} spurious {}",

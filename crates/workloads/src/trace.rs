@@ -418,7 +418,7 @@ mod tests {
         player.play(&mut fs, &records, |_, _| {}).unwrap();
         player.finish(&mut fs).unwrap();
         let expected = fs.expected_refs();
-        let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[]).unwrap();
+        let report = backlog::verify(fs.provider().engine(), &expected, &[]).unwrap();
         assert!(report.is_consistent(), "{report:?}");
     }
 }

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Pick a block of the production copy and see everyone who shares it.
     let shared_block = fs.file_blocks(LineId::ROOT, tables[0])?[0];
-    let owners = fs.provider_mut().query_owners(shared_block)?;
+    let owners = fs.provider().query_owners(shared_block)?;
     println!(
         "block {shared_block} of table {} is referenced by {} line(s): {:?}",
         tables[0],
@@ -60,11 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fs.delete_clone(clone)?;
     }
     fs.take_consistency_point()?;
-    fs.provider_mut().maintenance()?;
+    fs.provider().maintenance()?;
 
     // The database still matches a full tree walk of the surviving state.
     let expected = fs.expected_refs();
-    let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[])?;
+    let report = backlog::verify(fs.provider().engine(), &expected, &[])?;
     assert!(report.is_consistent(), "verification failed: {report:?}");
     println!(
         "verification: {} live references checked, database consistent; {} bytes of back-reference metadata on disk",

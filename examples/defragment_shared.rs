@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut shared_blocks = 0u64;
     let mut sharers = std::collections::BTreeSet::new();
     for &block in &blocks {
-        let owners = fs.provider_mut().query_owners(block)?;
+        let owners = fs.provider().query_owners(block)?;
         let lines: std::collections::BTreeSet<LineId> = owners.iter().map(|o| o.line).collect();
         if lines.len() > 1 {
             shared_blocks += 1;
@@ -64,13 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut target = 1_000_000u64;
     let mut moved = 0usize;
     for &block in &blocks {
-        let owners = fs.provider_mut().query_owners(block)?;
+        let owners = fs.provider().query_owners(block)?;
         let only_vm_a = owners.iter().all(|o| o.line == vm_a);
         if only_vm_a {
-            moved += fs
-                .provider_mut()
-                .engine_mut()
-                .relocate_block(block, target)?;
+            moved += fs.provider().engine().relocate_block(block, target)?;
             target += 1;
         }
     }
@@ -81,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The shared blocks were left untouched; VM B and the golden snapshot
     // still resolve correctly.
     let untouched = fs.file_blocks(vm_b, master)?;
-    let owners = fs.provider_mut().query_owners(untouched[200])?;
+    let owners = fs.provider().query_owners(untouched[200])?;
     assert!(owners.iter().any(|o| o.line == vm_b));
     println!("VM B's layout is unchanged; done");
     Ok(())

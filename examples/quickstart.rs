@@ -8,7 +8,7 @@ use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
 fn main() -> Result<(), backlog::BacklogError> {
     // An engine backed by a simulated disk. A real file system would embed
     // the engine and drive it from its own allocation paths.
-    let mut engine = BacklogEngine::new_simulated(BacklogConfig::default());
+    let engine = BacklogEngine::new_simulated(BacklogConfig::default());
 
     // The file system reports every reference change: inode 12 writes three
     // blocks, and a deduplicated block 2000 is also referenced by inode 40.

@@ -39,10 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One range query over the vacated region tells us every owner of every
     // block that has to move — no tree walk required.
     let start = std::time::Instant::now();
-    let result = fs
-        .provider_mut()
-        .engine_mut()
-        .query_range(cutoff, u64::MAX)?;
+    let result = fs.provider().engine().query_range(cutoff, u64::MAX)?;
     let to_move: Vec<u64> = result.blocks();
     println!(
         "range query found {} blocks with {} references to update ({} page reads, {:?})",
@@ -57,10 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pick free low blocks.
     let mut moved_refs = 0usize;
     for (target, block) in (high_water + 1..).zip(to_move.iter()) {
-        moved_refs += fs
-            .provider_mut()
-            .engine_mut()
-            .relocate_block(*block, target)?;
+        moved_refs += fs.provider().engine().relocate_block(*block, target)?;
     }
     fs.take_consistency_point()?;
     println!(
@@ -70,10 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Nothing above the cutoff (and below the staging area) is referenced
     // any more.
-    let leftover = fs
-        .provider_mut()
-        .engine_mut()
-        .query_range(cutoff, high_water)?;
+    let leftover = fs.provider().engine().query_range(cutoff, high_water)?;
     assert!(
         leftover.refs.is_empty(),
         "vacated region still referenced: {:?}",

@@ -25,7 +25,7 @@ const PARTITIONS: u32 = 8;
 fn populated_engine() -> (Arc<SimDisk>, BacklogEngine) {
     let disk = SimDisk::new_shared(DeviceConfig::free_latency());
     let files = Arc::new(FileStore::new(disk.clone()));
-    let mut e = BacklogEngine::new(
+    let e = BacklogEngine::new(
         files,
         BacklogConfig::partitioned(PARTITIONS, BLOCKS).without_timing(),
     );
@@ -210,4 +210,218 @@ fn parallel_rebuild_fault_walk_keeps_database_consistent() {
         e.run_count() <= 2 * PARTITIONS,
         "retry finished the rebuild"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Racing writers: the PR-4 concurrent write path. N threads issue reference
+// callbacks (scalar and batched) while queries and consistency points run
+// concurrently; nothing may be lost, duplicated or torn.
+// ---------------------------------------------------------------------------
+
+/// Four writer threads add disjoint references (batched) while a reader
+/// hammers already-durable blocks and the main thread takes consistency
+/// points mid-stream. Every reference must be queryable exactly once at the
+/// end, and the pre-populated baseline must never waver.
+#[test]
+fn racing_writers_with_queries_and_cp_flush() {
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 2_000;
+    let total = WRITERS * PER_WRITER;
+    let e = BacklogEngine::new_simulated(
+        backlog::BacklogConfig::partitioned(PARTITIONS, total + BLOCKS)
+            .without_timing()
+            .with_cp_flush_threads(2),
+    );
+    // A durable baseline in a key range no writer touches: blocks
+    // total..total+BLOCKS. Readers assert it never flickers while the
+    // writers and CP flushes race.
+    for b in 0..BLOCKS {
+        e.add_reference(total + b, Owner::block(9, b, LineId::ROOT));
+    }
+    e.consistency_point().unwrap();
+
+    let writers_done = AtomicBool::new(false);
+    let queries_run = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let engine = &e;
+        let done = &writers_done;
+        let queries_run = &queries_run;
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut batch = backlog::WriteBatch::with_capacity(128);
+                    for i in 0..PER_WRITER {
+                        let block = w * PER_WRITER + i;
+                        batch.add_reference(block, Owner::block(1 + w, i, LineId::ROOT));
+                        if batch.len() == 128 {
+                            engine.apply(&batch);
+                            batch.clear();
+                        }
+                    }
+                    engine.apply(&batch);
+                })
+            })
+            .collect();
+        // Reader thread: the durable baseline must hold at every instant.
+        s.spawn(move || {
+            let mut i = 0u64;
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                let block = total + (i * 37) % BLOCKS;
+                let refs = engine.query_block(block).unwrap().refs;
+                assert_eq!(refs.len(), 1, "baseline block {block} flickered");
+                queries_run.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+                if finished {
+                    break;
+                }
+            }
+        });
+        // CP flushes race the writers.
+        while !handles.iter().all(|h| h.is_finished()) {
+            engine.consistency_point().unwrap();
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        writers_done.store(true, Ordering::Release);
+    });
+    // Final CP drains whatever the last mid-stream flush missed.
+    e.consistency_point().unwrap();
+    assert!(queries_run.load(Ordering::Relaxed) > 0);
+    assert_eq!(e.stats().refs_added, total + BLOCKS);
+    for block in (0..total).step_by(97) {
+        assert_eq!(
+            e.query_block(block).unwrap().refs.len(),
+            1,
+            "block {block} lost or duplicated"
+        );
+    }
+    assert_eq!(e.query_block(0).unwrap().refs.len(), 1);
+    assert_eq!(e.query_block(total - 1).unwrap().refs.len(), 1);
+}
+
+/// Writers remove references while CP flushes race them; a record whose
+/// remove races the flush must end up closed either way (proactively pruned,
+/// or closed by a To record at the next CP), and maintenance then purges it.
+#[test]
+fn racing_removers_close_references_despite_cp_races() {
+    const N: u64 = 4_000;
+    let e = BacklogEngine::new_simulated(
+        backlog::BacklogConfig::partitioned(PARTITIONS, N)
+            .without_timing()
+            .with_cp_flush_threads(2),
+    );
+    for b in 0..N {
+        e.add_reference(b, Owner::block(1 + b % 3, b, LineId::ROOT));
+    }
+    e.consistency_point().unwrap();
+    std::thread::scope(|s| {
+        let engine = &e;
+        let handles: Vec<_> = (0..4u64)
+            .map(|w| {
+                s.spawn(move || {
+                    for i in 0..N / 4 {
+                        let block = w * (N / 4) + i;
+                        engine.remove_reference(
+                            block,
+                            Owner::block(1 + block % 3, block, LineId::ROOT),
+                        );
+                    }
+                })
+            })
+            .collect();
+        while !handles.iter().all(|h| h.is_finished()) {
+            engine.consistency_point().unwrap();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    e.consistency_point().unwrap();
+    // No snapshot retained anything: every reference is dead and every
+    // queried block must come back empty (dead intervals are masked).
+    for block in (0..N).step_by(61) {
+        assert!(
+            e.query_block(block).unwrap().refs.is_empty(),
+            "block {block} still live after concurrent removal"
+        );
+    }
+    let report = e.maintenance_parallel(2).unwrap();
+    assert!(report.purged_records > 0, "dead references must purge");
+    for block in (0..N).step_by(61) {
+        assert!(e.query_block(block).unwrap().refs.is_empty());
+    }
+}
+
+/// The full collision: writers, readers, CP flushes and a parallel
+/// maintenance rebuild all share the engine at once. The durable baseline
+/// must hold throughout, and the final state must account for every
+/// operation.
+#[test]
+fn writers_race_maintenance_and_cp() {
+    let (_disk, e) = populated_engine();
+    let expected = baseline(&e);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let engine = &e;
+        let done_ref = &done;
+        let expected_ref = &expected;
+        // Writer adds fresh references beyond the populated key space.
+        let writer = s.spawn(move || {
+            for i in 0..2_000u64 {
+                engine.add_reference(BLOCKS + i, Owner::block(42, i, LineId::ROOT));
+            }
+        });
+        // The concurrent CPs advance the clock, so `live_versions` of
+        // still-live references moves with it; compare the stable identity
+        // and interval fields, which is exactly what tearing or flicker
+        // would corrupt.
+        let key = |r: &BackRef| (r.block, r.inode, r.offset, r.length, r.line, r.from, r.to);
+        s.spawn(move || loop {
+            let finished = done_ref.load(Ordering::Acquire);
+            for (&block, want) in expected_ref.iter().take(8) {
+                let got: Vec<_> = engine
+                    .query_block(block)
+                    .unwrap()
+                    .refs
+                    .iter()
+                    .map(key)
+                    .collect();
+                let want: Vec<_> = want.iter().map(key).collect();
+                assert_eq!(got, want, "block {block} flickered mid-race");
+            }
+            if finished {
+                break;
+            }
+        });
+        let maintainer = s.spawn(move || {
+            let _release = SetOnDrop(done_ref);
+            engine.maintenance_parallel(2).unwrap();
+        });
+        while !writer.is_finished() {
+            engine.consistency_point().unwrap();
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        writer.join().unwrap();
+        maintainer.join().unwrap();
+    });
+    e.consistency_point().unwrap();
+    let key = |r: &BackRef| (r.block, r.inode, r.offset, r.length, r.line, r.from, r.to);
+    let normalize = |m: &BTreeMap<u64, Vec<BackRef>>| -> Vec<Vec<_>> {
+        m.values().map(|v| v.iter().map(key).collect()).collect()
+    };
+    assert_eq!(
+        normalize(&baseline(&e)),
+        normalize(&expected),
+        "maintained state preserved"
+    );
+    for block in (BLOCKS..BLOCKS + 2_000).step_by(191) {
+        assert_eq!(
+            e.query_block(block).unwrap().refs.len(),
+            1,
+            "written-during-rebuild block {block}"
+        );
+    }
 }

@@ -19,8 +19,8 @@ fn backlog_fs(config: FsConfig) -> FileSystem<BacklogProvider> {
 
 fn assert_consistent(fs: &mut FileSystem<BacklogProvider>) {
     let expected = fs.expected_refs();
-    let report = backlog::verify(fs.provider_mut().engine_mut(), &expected, &[])
-        .expect("verification query failed");
+    let report =
+        backlog::verify(fs.provider().engine(), &expected, &[]).expect("verification query failed");
     assert!(
         report.is_consistent(),
         "database inconsistent: {} missing, {} spurious (checked {})",
@@ -46,7 +46,7 @@ fn synthetic_workload_with_clones_verifies_across_maintenance() {
             .run(&mut fs, 6, |_, _| {})
             .expect("workload failed");
         assert_consistent(&mut fs);
-        fs.provider_mut().maintenance().expect("maintenance failed");
+        fs.provider().maintenance().expect("maintenance failed");
         assert_consistent(&mut fs);
         assert!(
             fs.provider().engine().run_count() <= 3,
@@ -73,7 +73,7 @@ fn nfs_trace_replay_matches_tree_walk() {
         .expect("replay failed");
     player.finish(&mut fs).expect("final CP failed");
     assert_consistent(&mut fs);
-    fs.provider_mut().maintenance().expect("maintenance failed");
+    fs.provider().maintenance().expect("maintenance failed");
     assert_consistent(&mut fs);
 }
 
@@ -131,7 +131,7 @@ fn all_providers_agree_after_a_mixed_workload() {
         }
         fs.take_consistency_point().unwrap();
         (1..=blocks)
-            .map(|b| fs.provider_mut().query_owners(b).unwrap())
+            .map(|b| fs.provider().query_owners(b).unwrap())
             .collect()
     }
     let reference = owners_snapshot(
@@ -156,9 +156,9 @@ fn partitioned_engine_behaves_like_single_partition() {
             fs.create_file(LineId::ROOT, 4).unwrap();
         }
         fs.take_consistency_point().unwrap();
-        fs.provider_mut().maintenance().unwrap();
+        fs.provider().maintenance().unwrap();
         let owners: Vec<_> = (1..=200u64)
-            .map(|b| fs.provider_mut().query_owners(b).unwrap())
+            .map(|b| fs.provider().query_owners(b).unwrap())
             .collect();
         answers.push(owners);
     }
@@ -183,8 +183,8 @@ fn relocation_during_live_workload_stays_consistent() {
     for &inode in &inodes[..10] {
         let blocks = fs.file_blocks(LineId::ROOT, inode).unwrap();
         for block in blocks.iter() {
-            fs.provider_mut()
-                .engine_mut()
+            fs.provider()
+                .engine()
                 .relocate_block(*block, target)
                 .unwrap();
             target += 1;
@@ -192,14 +192,14 @@ fn relocation_during_live_workload_stays_consistent() {
     }
     fs.take_consistency_point().unwrap();
     // The moved blocks answer queries at their new location.
-    let owners = fs.provider_mut().query_owners(1_000_000).unwrap();
+    let owners = fs.provider().query_owners(1_000_000).unwrap();
     assert_eq!(owners.len(), 1);
     assert_eq!(owners[0].inode, inodes[0]);
     // And the vacated region is unreferenced.
     let first_old_block = fs.file_blocks(LineId::ROOT, inodes[0]).unwrap()[0];
     assert!(fs
-        .provider_mut()
-        .engine_mut()
+        .provider()
+        .engine()
         .query_block(first_old_block)
         .unwrap()
         .refs
@@ -236,14 +236,14 @@ fn maintenance_fault_mid_workload_keeps_database_consistent() {
     for fail_after in [0u64, 2, 6, 11] {
         disk.fail_writes_after(fail_after);
         assert!(
-            fs.provider_mut().maintenance().is_err(),
+            fs.provider().maintenance().is_err(),
             "fault at write {fail_after} must surface"
         );
         disk.clear_write_fault();
         assert_consistent(&mut fs);
     }
     // The retry completes and the workload can continue.
-    fs.provider_mut().maintenance().expect("retry failed");
+    fs.provider().maintenance().expect("retry failed");
     assert_consistent(&mut fs);
     workload
         .run(&mut fs, 2, |_, _| {})
@@ -270,7 +270,7 @@ fn incremental_partition_maintenance_interleaves_with_workload() {
         workload
             .run(&mut fs, 2, |_, _| {})
             .expect("workload failed");
-        fs.provider_mut()
+        fs.provider()
             .maintenance_partition(round % partitions)
             .expect("targeted maintenance failed");
         assert_consistent(&mut fs);
@@ -289,17 +289,17 @@ fn maintenance_is_idempotent_and_preserves_queries() {
     let blocks: Vec<u64> = (1..=500).collect();
     let before: Vec<_> = blocks
         .iter()
-        .map(|&b| fs.provider_mut().query_owners(b).unwrap())
+        .map(|&b| fs.provider().query_owners(b).unwrap())
         .collect();
-    fs.provider_mut().maintenance().unwrap();
+    fs.provider().maintenance().unwrap();
     let after_one: Vec<_> = blocks
         .iter()
-        .map(|&b| fs.provider_mut().query_owners(b).unwrap())
+        .map(|&b| fs.provider().query_owners(b).unwrap())
         .collect();
-    fs.provider_mut().maintenance().unwrap();
+    fs.provider().maintenance().unwrap();
     let after_two: Vec<_> = blocks
         .iter()
-        .map(|&b| fs.provider_mut().query_owners(b).unwrap())
+        .map(|&b| fs.provider().query_owners(b).unwrap())
         .collect();
     assert_eq!(before, after_one, "maintenance changed live query answers");
     assert_eq!(after_one, after_two, "second maintenance changed answers");

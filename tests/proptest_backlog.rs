@@ -83,7 +83,7 @@ proptest! {
     /// operations are interleaved with CPs and maintenance.
     #[test]
     fn live_owners_match_reference_model(steps in proptest::collection::vec(step_strategy(), 1..120)) {
-        let mut engine = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
+        let engine = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
         let mut model: BTreeSet<(u64, u64, u64)> = BTreeSet::new(); // (block, inode, offset)
         for step in &steps {
             match *step {
@@ -194,7 +194,7 @@ proptest! {
         partitions in 1u32..5,
     ) {
         let config = BacklogConfig::partitioned(partitions, 40).without_timing();
-        let mut streaming = BacklogEngine::new_simulated(config.clone());
+        let streaming = BacklogEngine::new_simulated(config.clone());
         let mut materialized = BacklogEngine::new_simulated(config);
         let mut owned: BTreeSet<(u64, u64, u64)> = BTreeSet::new();
         for step in &steps {
@@ -252,8 +252,8 @@ proptest! {
         threads in 1usize..5,
     ) {
         let config = BacklogConfig::partitioned(partitions, 40).without_timing();
-        let mut serial = BacklogEngine::new_simulated(config.clone());
-        let mut parallel = BacklogEngine::new_simulated(config);
+        let serial = BacklogEngine::new_simulated(config.clone());
+        let parallel = BacklogEngine::new_simulated(config);
         let mut owned: BTreeSet<(u64, u64, u64)> = BTreeSet::new();
         for step in &steps {
             match *step {

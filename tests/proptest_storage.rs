@@ -88,7 +88,7 @@ proptest! {
     ) {
         let config = TableConfig::named("prop")
             .with_partitioning(Partitioning::for_key_space(partitions, 1_000));
-        let mut table = LsmTable::new(files(), config);
+        let table = LsmTable::new(files(), config);
         let mut model: Vec<Rec> = Vec::new();
         for batch in &batches {
             for &r in batch {
@@ -157,5 +157,85 @@ proptest! {
         let stats = disk.stats().snapshot();
         prop_assert_eq!(stats.page_writes, writes.len() as u64);
         prop_assert_eq!(stats.page_reads, model.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential test pinning the PR-4 sharded write store to the seed's
+    /// single-store semantics: any interleaving of inserts, removals and
+    /// full flush cycles must return the same booleans, flush the same
+    /// records and leave the same residual contents, regardless of the
+    /// shard count. (Mid-flush staging semantics — records pinned by an
+    /// in-flight flush — are new behavior with no single-store analogue and
+    /// are covered by the `WriteShard` unit tests.)
+    #[test]
+    fn sharded_write_store_matches_single_store_seed_semantics(
+        ops in proptest::collection::vec((0u8..4, rec_strategy(400)), 1..200),
+        partitions in 1u32..6,
+    ) {
+        use lsm::{ShardedWriteStore, WriteStore};
+        let sharded: ShardedWriteStore<Rec> = ShardedWriteStore::new(
+            Partitioning::for_key_space(partitions, 400),
+            SimDisk::new_shared(DeviceConfig::free_latency()),
+        );
+        let mut single: WriteStore<Rec> = WriteStore::new();
+        for (op, rec) in ops {
+            match op {
+                0 => prop_assert_eq!(sharded.insert(rec), single.insert(rec)),
+                1 => prop_assert_eq!(sharded.remove(&rec), single.remove(&rec)),
+                2 => prop_assert_eq!(sharded.contains(&rec), single.contains(&rec)),
+                _ => {
+                    // A full flush cycle: stage + commit every shard is the
+                    // sharded equivalent of the seed's `drain_sorted`.
+                    let mut staged: Vec<Rec> = Vec::new();
+                    for p in 0..sharded.shard_count() {
+                        staged.extend(sharded.lock_shard(p).stage());
+                    }
+                    for p in 0..sharded.shard_count() {
+                        sharded.lock_shard(p).commit_flush();
+                    }
+                    prop_assert_eq!(staged, single.drain_sorted());
+                }
+            }
+            prop_assert_eq!(sharded.len(), single.len());
+        }
+        prop_assert_eq!(sharded.to_sorted_vec(), single.to_sorted_vec());
+    }
+
+    /// A flush cycle that fails and restores must leave the sharded store
+    /// equivalent to a seed store whose failed `flush_cp` re-inserted the
+    /// drained records.
+    #[test]
+    fn sharded_restore_matches_seed_error_path(
+        before in proptest::collection::btree_set(rec_strategy(400), 0..80),
+        during in proptest::collection::btree_set(rec_strategy(400), 0..40),
+        partitions in 1u32..6,
+    ) {
+        use lsm::{ShardedWriteStore, WriteStore};
+        let sharded: ShardedWriteStore<Rec> = ShardedWriteStore::new(
+            Partitioning::for_key_space(partitions, 400),
+            SimDisk::new_shared(DeviceConfig::free_latency()),
+        );
+        let mut single: WriteStore<Rec> = WriteStore::new();
+        for &r in &before {
+            sharded.insert(r);
+            single.insert(r);
+        }
+        // Stage (the flush begins)...
+        for p in 0..sharded.shard_count() {
+            sharded.lock_shard(p).stage();
+        }
+        // ...writers keep inserting mid-flush...
+        for &r in &during {
+            sharded.insert(r);
+            single.insert(r);
+        }
+        // ...the device fails, the staged records return.
+        for p in 0..sharded.shard_count() {
+            sharded.lock_shard(p).restore_flush();
+        }
+        prop_assert_eq!(sharded.to_sorted_vec(), single.to_sorted_vec());
     }
 }
