@@ -1,0 +1,122 @@
+//! Measures crash-recovery reopen cost as the database grows, emitting JSON
+//! (captured in `BENCH_recovery.json` at the repo root).
+//!
+//! Setup: a durable engine on a [`SimDisk`] ingests `records` references in
+//! CP-sized batches (with one maintenance pass partway through, so the run
+//! layout is realistic: merged runs plus Level-0 tails), then the engine is
+//! dropped and [`BacklogEngine::open`] rebuilds it from raw device contents.
+//! The interesting property is the *shape* of the reopen cost: recovery
+//! reads the superblock and the CP manifest — run geometry, Bloom filter
+//! bits and extent maps — but never a single run page, so reopen wall-clock
+//! scales with the manifest size (runs × Bloom bytes), not with the record
+//! count. The JSON reports both so the relationship is visible.
+//!
+//! Each configuration also sanity-checks the reopened engine against the
+//! original (table stats and a spot query), making the bench a cheap
+//! end-to-end recovery smoke test for CI.
+//!
+//! Run with `cargo run --release --bin bench_recovery`; pass `--smoke` for
+//! the tiny CI configuration.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
+use blockdev::{Device, DeviceConfig, SimDisk};
+
+struct Config {
+    partitions: u32,
+    record_counts: &'static [u64],
+    ops_per_cp: u64,
+    opens: u32,
+}
+
+fn build_database(device: Arc<SimDisk>, cfg: &Config, records: u64) -> BacklogEngine {
+    let engine = BacklogEngine::create_durable(
+        device,
+        BacklogConfig::partitioned(cfg.partitions, records).without_timing(),
+    )
+    .expect("create_durable failed");
+    let mut next_cp = cfg.ops_per_cp;
+    for block in 0..records {
+        engine.add_reference(block, Owner::block(1 + block % 13, block, LineId::ROOT));
+        if block + 1 == next_cp {
+            engine.consistency_point().expect("CP failed");
+            next_cp += cfg.ops_per_cp;
+        }
+        if block == records / 2 {
+            // Half-way maintenance: the reopened layout holds one merged run
+            // per partition plus the Level-0 runs of later CPs.
+            engine.maintenance().expect("maintenance failed");
+        }
+    }
+    engine.consistency_point().expect("final CP failed");
+    engine
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        Config {
+            partitions: 4,
+            record_counts: &[5_000, 20_000],
+            ops_per_cp: 4_000,
+            opens: 2,
+        }
+    } else {
+        Config {
+            partitions: 8,
+            record_counts: &[50_000, 200_000, 800_000],
+            ops_per_cp: 32_000,
+            opens: 3,
+        }
+    };
+
+    let mut entries: Vec<String> = Vec::new();
+    for &records in cfg.record_counts {
+        let device = SimDisk::new_shared(DeviceConfig::free_latency());
+        let config = BacklogConfig::partitioned(cfg.partitions, records).without_timing();
+        let engine = build_database(device.clone(), &cfg, records);
+        let db_bytes = engine.database_disk_bytes();
+        let run_count = engine.run_count();
+        let want_stats = engine.table_stats();
+        let spot_block = records / 3;
+        let want_owners = engine.live_owners(spot_block).expect("query failed");
+        drop(engine);
+
+        // Reopen repeatedly; report the best wall-clock (the stable floor —
+        // first iterations pay allocator warm-up) and the pages recovery
+        // actually read.
+        let mut best_ns = u64::MAX;
+        let mut manifest_pages_read = 0u64;
+        for _ in 0..cfg.opens {
+            let reads_before = device.stats().snapshot().page_reads;
+            let start = Instant::now();
+            let reopened =
+                BacklogEngine::open(device.clone(), config.clone()).expect("open failed");
+            let elapsed = start.elapsed().as_nanos() as u64;
+            manifest_pages_read = device.stats().snapshot().page_reads - reads_before;
+            best_ns = best_ns.min(elapsed);
+            // Recovery must be exact, every iteration.
+            assert_eq!(reopened.run_count(), run_count, "run count diverged");
+            assert_eq!(reopened.table_stats(), want_stats, "table stats diverged");
+            assert_eq!(
+                reopened.live_owners(spot_block).expect("query failed"),
+                want_owners,
+                "spot query diverged"
+            );
+        }
+        entries.push(format!(
+            "  \"recovery_{records}r_{}p\": {{ \"records\": {records}, \"db_bytes\": {db_bytes}, \
+\"runs\": {run_count}, \"manifest_pages_read\": {manifest_pages_read}, \
+\"open_wall_ns\": {best_ns}, \"open_ms\": {:.3}, \"records_per_open_sec\": {:.0} }}",
+            cfg.partitions,
+            best_ns as f64 / 1e6,
+            records as f64 * 1e9 / best_ns as f64,
+        ));
+    }
+
+    println!("{{");
+    println!("{}", entries.join(",\n"));
+    println!("}}");
+}

@@ -48,6 +48,20 @@ pub enum DeviceError {
         /// The page whose access was failed.
         page: u64,
     },
+    /// The manifest file is fragmented over more extents than fit in a
+    /// superblock page.
+    SuperblockOverflow {
+        /// Number of extents that needed recording.
+        extents: usize,
+    },
+    /// The durable file-store state handed to
+    /// [`FileStore::restore`](crate::FileStore::restore) is internally
+    /// inconsistent (overlapping or out-of-range extents, duplicate file
+    /// ids) — the manifest is corrupt.
+    InvalidRestore {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -74,6 +88,15 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::InjectedFault { page } => {
                 write!(f, "injected device fault at page {page}")
+            }
+            DeviceError::SuperblockOverflow { extents } => {
+                write!(
+                    f,
+                    "manifest fragmented over {extents} extents, too many for a superblock page"
+                )
+            }
+            DeviceError::InvalidRestore { detail } => {
+                write!(f, "invalid file-store restore state: {detail}")
             }
         }
     }

@@ -50,6 +50,7 @@ mod device;
 mod error;
 mod latency;
 mod stats;
+mod superblock;
 mod vfile;
 
 pub use cache::PageCache;
@@ -57,7 +58,10 @@ pub use device::{Device, DeviceConfig, SimDisk};
 pub use error::{DeviceError, Result};
 pub use latency::{LatencyModel, SimClock};
 pub use stats::{IoStats, IoStatsSnapshot};
-pub use vfile::{FileId, FileMap, FileStore, VFile};
+pub use superblock::{
+    fnv1a64, Superblock, FIRST_DATA_PAGE, MAX_MANIFEST_EXTENTS, SUPERBLOCK_PAGES,
+};
+pub use vfile::{FileId, FileMap, FileStore, PersistedFile, VFile};
 
 /// Size of a device page in bytes (the paper's 4 KB block size).
 pub const PAGE_SIZE: usize = 4096;

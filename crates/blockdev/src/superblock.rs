@@ -1,0 +1,287 @@
+//! The on-device superblock: the single fixed-location anchor of the
+//! back-reference database.
+//!
+//! Everything else the database writes is *write-anywhere* — run files and
+//! the consistency-point manifest live wherever the [`FileStore`] allocated
+//! them, and a consistency point never overwrites a page that the previous
+//! consistency point can still reach. The superblock is the one exception: a
+//! fixed pair of device pages ([`SUPERBLOCK_PAGES`]) written in *ping-pong*
+//! fashion (generation `g` goes to page `g % 2`), so the previous
+//! generation's superblock is intact until the new one is fully on the
+//! device. Each copy is self-validating (magic + FNV-1a checksum);
+//! [`Superblock::read_latest`] returns the valid copy with the highest
+//! generation, which is exactly the last consistency point whose final write
+//! completed.
+//!
+//! The superblock carries just enough to bootstrap recovery without any
+//! other metadata: a pointer to the manifest (its virtual-file id, byte
+//! length and raw device extents — raw, because the extent map that would
+//! normally resolve the file lives *inside* the manifest) and the file
+//! store's allocation cursor. The recovery invariant the ping-pong scheme
+//! enforces: **the superblock never points at a manifest that is not fully
+//! on disk** — the manifest's pages are written first, the superblock flip
+//! is the last write of the consistency point.
+//!
+//! [`FileStore`]: crate::FileStore
+
+use crate::device::Device;
+use crate::error::{DeviceError, Result};
+use crate::{PageNo, PAGE_SIZE};
+
+/// The two device pages reserved for the ping-pong superblock copies.
+pub const SUPERBLOCK_PAGES: [PageNo; 2] = [0, 1];
+
+/// The first device page available to the file store when a superblock is in
+/// use (pages below this are reserved).
+pub const FIRST_DATA_PAGE: PageNo = 2;
+
+const MAGIC: &[u8; 8] = b"BKLGSUPR";
+const VERSION: u32 = 1;
+/// magic(8) + checksum(8) + version(4) + generation(8) + manifest_file(8) +
+/// manifest_len_bytes(8) + next_file(8) + next_page(8) + extent_count(4).
+const HEADER_LEN: usize = 8 + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 4;
+/// How many manifest extents fit in one superblock page.
+pub const MAX_MANIFEST_EXTENTS: usize = (PAGE_SIZE - HEADER_LEN) / 16;
+
+/// FNV-1a 64-bit checksum, used by the superblock and by the CP manifest to
+/// detect torn or corrupt metadata after a crash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One durable consistency point's root metadata (see the module docs for
+/// the recovery protocol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Superblock {
+    /// Monotonically increasing consistency-point generation (the first
+    /// durable CP writes generation 1).
+    pub generation: u64,
+    /// The manifest's virtual-file id inside the file store, re-registered on
+    /// restore so its pages are not reallocated until the next CP retires it.
+    pub manifest_file: u64,
+    /// Length of the manifest in bytes (the last manifest page may be
+    /// partially filled).
+    pub manifest_len_bytes: u64,
+    /// The file store's next-file cursor as of this CP (taken after the
+    /// manifest file was created, so it is past every file the manifest
+    /// references).
+    pub next_file: u64,
+    /// The file store's bump-allocation cursor as of this CP (taken after
+    /// the manifest pages were written, so every referenced extent lies
+    /// below it).
+    pub next_page: PageNo,
+    /// Raw device extents of the manifest file, in file order.
+    pub manifest_extents: Vec<(PageNo, u64)>,
+}
+
+impl Superblock {
+    /// Serializes the superblock into one page-sized buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::SuperblockOverflow`] if the manifest is spread
+    /// over more extents than fit in a page. Unreachable when the manifest
+    /// is written through
+    /// [`FileStore::create_reserved`](crate::FileStore::create_reserved)
+    /// (one contiguous extent by construction); the check is defensive.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        if self.manifest_extents.len() > MAX_MANIFEST_EXTENTS {
+            return Err(DeviceError::SuperblockOverflow {
+                extents: self.manifest_extents.len(),
+            });
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0..8].copy_from_slice(MAGIC);
+        // buf[8..16] is the checksum, filled below.
+        buf[16..20].copy_from_slice(&VERSION.to_be_bytes());
+        buf[20..28].copy_from_slice(&self.generation.to_be_bytes());
+        buf[28..36].copy_from_slice(&self.manifest_file.to_be_bytes());
+        buf[36..44].copy_from_slice(&self.manifest_len_bytes.to_be_bytes());
+        buf[44..52].copy_from_slice(&self.next_file.to_be_bytes());
+        buf[52..60].copy_from_slice(&self.next_page.to_be_bytes());
+        buf[60..64].copy_from_slice(&(self.manifest_extents.len() as u32).to_be_bytes());
+        let mut at = HEADER_LEN;
+        for &(start, len) in &self.manifest_extents {
+            buf[at..at + 8].copy_from_slice(&start.to_be_bytes());
+            buf[at + 8..at + 16].copy_from_slice(&len.to_be_bytes());
+            at += 16;
+        }
+        let checksum = fnv1a64(&buf[16..]);
+        buf[8..16].copy_from_slice(&checksum.to_be_bytes());
+        Ok(buf)
+    }
+
+    /// Deserializes a superblock copy, returning `None` if the page does not
+    /// hold a valid one (wrong magic, wrong version, bad checksum).
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < PAGE_SIZE || &buf[0..8] != MAGIC {
+            return None;
+        }
+        let checksum = u64::from_be_bytes(buf[8..16].try_into().unwrap());
+        if fnv1a64(&buf[16..PAGE_SIZE]) != checksum {
+            return None;
+        }
+        if u32::from_be_bytes(buf[16..20].try_into().unwrap()) != VERSION {
+            return None;
+        }
+        let extent_count = u32::from_be_bytes(buf[60..64].try_into().unwrap()) as usize;
+        if extent_count > MAX_MANIFEST_EXTENTS {
+            return None;
+        }
+        let mut extents = Vec::with_capacity(extent_count);
+        let mut at = HEADER_LEN;
+        for _ in 0..extent_count {
+            extents.push((
+                u64::from_be_bytes(buf[at..at + 8].try_into().unwrap()),
+                u64::from_be_bytes(buf[at + 8..at + 16].try_into().unwrap()),
+            ));
+            at += 16;
+        }
+        Some(Superblock {
+            generation: u64::from_be_bytes(buf[20..28].try_into().unwrap()),
+            manifest_file: u64::from_be_bytes(buf[28..36].try_into().unwrap()),
+            manifest_len_bytes: u64::from_be_bytes(buf[36..44].try_into().unwrap()),
+            next_file: u64::from_be_bytes(buf[44..52].try_into().unwrap()),
+            next_page: u64::from_be_bytes(buf[52..60].try_into().unwrap()),
+            manifest_extents: extents,
+        })
+    }
+
+    /// Writes this superblock to its ping-pong slot
+    /// (`SUPERBLOCK_PAGES[generation % 2]`), leaving the previous
+    /// generation's copy untouched. This must be the *last* write of a
+    /// consistency point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors and [`DeviceError::SuperblockOverflow`].
+    pub fn write_to(&self, device: &dyn Device) -> Result<()> {
+        let page = SUPERBLOCK_PAGES[(self.generation % 2) as usize];
+        device.write_page(page, &self.encode()?)
+    }
+
+    /// Reads both superblock copies and returns the valid one with the
+    /// highest generation, or `None` if neither page holds a valid
+    /// superblock (a device that never completed a consistency point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors other than
+    /// [`DeviceError::UnwrittenPage`] (an unwritten slot is simply skipped).
+    pub fn read_latest(device: &dyn Device) -> Result<Option<Self>> {
+        let mut best: Option<Superblock> = None;
+        for &page in &SUPERBLOCK_PAGES {
+            let buf = match device.read_page(page) {
+                Ok(buf) => buf,
+                Err(DeviceError::UnwrittenPage { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            if let Some(sb) = Superblock::decode(&buf) {
+                match &best {
+                    Some(b) if b.generation >= sb.generation => {}
+                    _ => best = Some(sb),
+                }
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceConfig, SimDisk};
+
+    fn sb(generation: u64) -> Superblock {
+        Superblock {
+            generation,
+            manifest_file: 7,
+            manifest_len_bytes: 12_345,
+            next_file: 8,
+            next_page: 99,
+            manifest_extents: vec![(2, 3), (10, 1)],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let s = sb(5);
+        let buf = s.encode().unwrap();
+        assert_eq!(buf.len(), PAGE_SIZE);
+        assert_eq!(Superblock::decode(&buf), Some(s));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let s = sb(5);
+        let mut buf = s.encode().unwrap();
+        buf[40] ^= 0xff;
+        assert_eq!(Superblock::decode(&buf), None);
+        let mut bad_magic = s.encode().unwrap();
+        bad_magic[0] = b'X';
+        assert_eq!(Superblock::decode(&bad_magic), None);
+    }
+
+    #[test]
+    fn ping_pong_alternates_pages_and_latest_wins() {
+        let d = SimDisk::new(DeviceConfig::free_latency());
+        assert_eq!(Superblock::read_latest(&d).unwrap(), None);
+        sb(1).write_to(&d).unwrap();
+        assert_eq!(Superblock::read_latest(&d).unwrap(), Some(sb(1)));
+        sb(2).write_to(&d).unwrap();
+        assert_eq!(Superblock::read_latest(&d).unwrap(), Some(sb(2)));
+        // Generation 1 lives at page 1, generation 2 at page 0.
+        assert!(
+            Superblock::decode(&d.read_page(1).unwrap())
+                .unwrap()
+                .generation
+                == 1
+        );
+        assert!(
+            Superblock::decode(&d.read_page(0).unwrap())
+                .unwrap()
+                .generation
+                == 2
+        );
+    }
+
+    #[test]
+    fn torn_flip_falls_back_to_previous_generation() {
+        let d = SimDisk::new(DeviceConfig::free_latency());
+        sb(1).write_to(&d).unwrap();
+        sb(2).write_to(&d).unwrap();
+        // Generation 3 would overwrite generation 1's slot; corrupt it as a
+        // torn write would.
+        let mut torn = sb(3).encode().unwrap();
+        torn[100] ^= 0x5a;
+        d.write_page(SUPERBLOCK_PAGES[1], &torn).unwrap();
+        assert_eq!(Superblock::read_latest(&d).unwrap(), Some(sb(2)));
+    }
+
+    #[test]
+    fn too_many_extents_overflow() {
+        let mut s = sb(1);
+        s.manifest_extents = (0..MAX_MANIFEST_EXTENTS as u64 + 1)
+            .map(|i| (i * 2, 1))
+            .collect();
+        assert!(matches!(
+            s.encode(),
+            Err(DeviceError::SuperblockOverflow { .. })
+        ));
+        // Exactly the maximum fits.
+        s.manifest_extents.pop();
+        let buf = s.encode().unwrap();
+        assert_eq!(Superblock::decode(&buf), Some(s));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+}

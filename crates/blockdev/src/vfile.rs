@@ -1,4 +1,5 @@
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
@@ -61,6 +62,13 @@ impl FileMeta {
 pub struct FileStore {
     device: Arc<dyn Device>,
     state: Mutex<StoreState>,
+    /// When set, pages of deleted files are *deferred* rather than freed:
+    /// they accumulate in `pending_free` and become allocatable only at the
+    /// next [`commit_frees`](Self::commit_frees). A durable engine enables
+    /// this so that pages still referenced by the last consistency point's
+    /// manifest are never overwritten before the next CP's superblock flip
+    /// makes them unreachable — the write-anywhere page-reuse rule.
+    deferred_frees: AtomicBool,
 }
 
 #[derive(Debug, Default)]
@@ -71,6 +79,25 @@ struct StoreState {
     next_page: PageNo,
     /// Pages returned by deleted files, reused before extending `next_page`.
     free: Vec<(PageNo, u64)>,
+    /// Pages freed since the last durable consistency point; moved to `free`
+    /// by [`FileStore::commit_frees`] once the superblock flip has made the
+    /// previous CP's metadata unreachable.
+    pending_free: Vec<(PageNo, u64)>,
+}
+
+/// A file's durable description — identifier, extent list and lengths — as
+/// recorded in a consistency-point manifest and fed back to
+/// [`FileStore::restore`] to rebuild the extent map after a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistedFile {
+    /// The file identifier, stable across restore.
+    pub id: FileId,
+    /// Extents of contiguous device pages, in file order.
+    pub extents: Vec<(PageNo, u64)>,
+    /// Length in pages.
+    pub len_pages: u64,
+    /// Logical length in bytes.
+    pub len_bytes: u64,
 }
 
 impl FileStore {
@@ -79,6 +106,7 @@ impl FileStore {
         FileStore {
             device,
             state: Mutex::new(StoreState::default()),
+            deferred_frees: AtomicBool::new(false),
         }
     }
 
@@ -122,6 +150,60 @@ impl FileStore {
         VFile { store: self, id }
     }
 
+    /// Creates a new file whose first `pages` appends are guaranteed to land
+    /// in **one contiguous extent**: an exactly-fitting-or-larger free
+    /// extent if one exists, otherwise fresh pages from the bump pointer —
+    /// never stitched together from free-list fragments. Appends beyond the
+    /// reservation fall back to normal allocation.
+    ///
+    /// The CP manifest is written through this: its extents must fit in the
+    /// superblock page, and a single extent always does, no matter how
+    /// fragmented the free list has become.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfSpace`] if the device cannot provide
+    /// `pages` contiguous fresh pages (and no free extent is big enough).
+    pub fn create_reserved(&self, pages: u64) -> Result<VFile<'_>> {
+        let mut st = self.lock_state();
+        // Best-fit single free extent, if any.
+        let reserved = match st
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, len))| len >= pages)
+            .min_by_key(|(_, &(_, len))| len)
+            .map(|(i, _)| i)
+        {
+            Some(i) => {
+                let (start, len) = st.free.swap_remove(i);
+                if len > pages {
+                    st.free.push((start + pages, len - pages));
+                }
+                (start, pages)
+            }
+            None => {
+                let start = st.next_page;
+                if start + pages > self.device.capacity_pages() {
+                    return Err(DeviceError::OutOfSpace { requested: pages });
+                }
+                st.next_page += pages;
+                (start, pages)
+            }
+        };
+        let id = FileId(st.next_file);
+        st.next_file += 1;
+        st.files.insert(
+            id,
+            FileMeta {
+                extents: vec![reserved],
+                len_pages: 0,
+                len_bytes: 0,
+            },
+        );
+        Ok(VFile { store: self, id })
+    }
+
     /// Opens an existing file.
     ///
     /// # Errors
@@ -135,19 +217,173 @@ impl FileStore {
         }
     }
 
-    /// Deletes a file, returning its pages to the free list.
+    /// Deletes a file, returning its pages to the free list — or, when
+    /// deferred frees are enabled, to the pending list that
+    /// [`commit_frees`](Self::commit_frees) drains at the next durable
+    /// consistency point.
     ///
     /// # Errors
     ///
     /// Returns [`DeviceError::NoSuchFile`] if `id` does not name a live file.
     pub fn delete(&self, id: FileId) -> Result<()> {
+        let deferred = self.deferred_frees.load(Ordering::Relaxed);
         let mut st = self.lock_state();
         let meta = st
             .files
             .remove(&id)
             .ok_or(DeviceError::NoSuchFile { file: id.0 })?;
-        st.free.extend(meta.extents);
+        if deferred {
+            st.pending_free.extend(meta.extents);
+        } else {
+            st.free.extend(meta.extents);
+        }
         Ok(())
+    }
+
+    /// Enables or disables deferred frees (see [`delete`](Self::delete)).
+    /// Durable engines enable this before any file is deleted.
+    pub fn set_deferred_frees(&self, enabled: bool) {
+        self.deferred_frees.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Moves every deferred-freed extent to the allocatable free list.
+    /// Called immediately after a superblock flip: the pages freed during
+    /// the previous CP interval are no longer reachable from any durable
+    /// superblock, so reusing them can no longer corrupt recovery.
+    pub fn commit_frees(&self) {
+        let mut st = self.lock_state();
+        let pending = std::mem::take(&mut st.pending_free);
+        st.free.extend(pending);
+    }
+
+    /// Pages currently parked on the deferred-free list.
+    pub fn pending_free_pages(&self) -> u64 {
+        self.lock_state().pending_free.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// The durable description of a live file (extents and lengths), as
+    /// recorded in consistency-point manifests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NoSuchFile`] if `id` does not name a live file.
+    pub fn file_meta(&self, id: FileId) -> Result<PersistedFile> {
+        let st = self.lock_state();
+        let meta = st
+            .files
+            .get(&id)
+            .ok_or(DeviceError::NoSuchFile { file: id.0 })?;
+        Ok(PersistedFile {
+            id,
+            extents: meta.extents.clone(),
+            len_pages: meta.len_pages,
+            len_bytes: meta.len_bytes,
+        })
+    }
+
+    /// The allocation cursor `(next_file, next_page)`. A superblock records
+    /// this *after* the manifest file is written, so every file id and
+    /// extent it references lies below the recorded cursor.
+    pub fn alloc_cursor(&self) -> (u64, PageNo) {
+        let st = self.lock_state();
+        (st.next_file, st.next_page)
+    }
+
+    /// Rebuilds a file store from the durable state a consistency-point
+    /// manifest recorded: the live files (with their extents), the
+    /// allocation cursor, and the first allocatable page. Every page in
+    /// `[base_page, next_page)` not covered by a restored file becomes free
+    /// — an exact reconstruction is unnecessary because anything a durable
+    /// superblock can reach is, by construction, covered by `files`.
+    ///
+    /// The restored store has deferred frees enabled (restore only ever
+    /// happens on a durable device).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidRestore`] if two files claim the same
+    /// page, an extent lies outside `[base_page, next_page)`, or a file id
+    /// is duplicated or at/above `next_file` — all symptoms of a corrupt
+    /// manifest.
+    pub fn restore(
+        device: Arc<dyn Device>,
+        base_page: PageNo,
+        next_file: u64,
+        next_page: PageNo,
+        files: Vec<PersistedFile>,
+    ) -> Result<Self> {
+        let mut map: HashMap<FileId, FileMeta> = HashMap::with_capacity(files.len());
+        let mut claimed: Vec<(PageNo, u64)> = Vec::new();
+        for f in files {
+            let total: u64 = f.extents.iter().map(|&(_, len)| len).sum();
+            if total != f.len_pages {
+                return Err(DeviceError::InvalidRestore {
+                    detail: format!(
+                        "{} extents cover {total} pages, length says {}",
+                        f.id, f.len_pages
+                    ),
+                });
+            }
+            for &(start, len) in &f.extents {
+                if len == 0 || start < base_page || start.saturating_add(len) > next_page {
+                    return Err(DeviceError::InvalidRestore {
+                        detail: format!(
+                            "{} extent [{start}, +{len}) escapes [{base_page}, {next_page})",
+                            f.id
+                        ),
+                    });
+                }
+                claimed.push((start, len));
+            }
+            if f.id.0 >= next_file {
+                return Err(DeviceError::InvalidRestore {
+                    detail: format!("{} is at or above the next-file cursor {next_file}", f.id),
+                });
+            }
+            let prev = map.insert(
+                f.id,
+                FileMeta {
+                    extents: f.extents,
+                    len_pages: f.len_pages,
+                    len_bytes: f.len_bytes,
+                },
+            );
+            if prev.is_some() {
+                return Err(DeviceError::InvalidRestore {
+                    detail: format!("duplicate file {}", f.id),
+                });
+            }
+        }
+        // Free space = the complement of the claimed extents within
+        // [base_page, next_page). Overlapping claims are corruption.
+        claimed.sort_unstable();
+        let mut free = Vec::new();
+        let mut cursor = base_page;
+        for &(start, len) in &claimed {
+            if start < cursor {
+                return Err(DeviceError::InvalidRestore {
+                    detail: format!("extents overlap at page {start}"),
+                });
+            }
+            if start > cursor {
+                free.push((cursor, start - cursor));
+            }
+            cursor = start + len;
+        }
+        if cursor < next_page {
+            free.push((cursor, next_page - cursor));
+        }
+        Ok(FileStore {
+            device,
+            state: Mutex::new(StoreState {
+                files: map,
+                next_file,
+                next_page,
+                free,
+                pending_free: Vec::new(),
+            }),
+            deferred_frees: AtomicBool::new(true),
+        })
     }
 
     /// Takes an immutable extent-map snapshot of a file for lock-free page
@@ -300,17 +536,28 @@ impl<'a> VFile<'a> {
         }
         let (device_page, offset) = {
             let mut st = self.store.lock_state();
-            // Allocate one page, extending the last extent when contiguous.
-            let extents = self.store.allocate(&mut st, 1)?;
-            let (page, _) = extents[0];
             let meta = st
                 .files
-                .get_mut(&self.id)
+                .get(&self.id)
                 .ok_or(DeviceError::NoSuchFile { file: self.id.0 })?;
-            match meta.extents.last_mut() {
-                Some((start, len)) if *start + *len == page => *len += 1,
-                _ => meta.extents.push((page, 1)),
-            }
+            // Capacity reserved at creation (create_reserved) is consumed
+            // before anything is allocated.
+            let reserved: u64 = meta.extents.iter().map(|&(_, len)| len).sum();
+            let page = if meta.len_pages < reserved {
+                meta.page_at(meta.len_pages).expect("within reservation")
+            } else {
+                // Allocate one page, extending the last extent when
+                // contiguous.
+                let extents = self.store.allocate(&mut st, 1)?;
+                let (page, _) = extents[0];
+                let meta = st.files.get_mut(&self.id).expect("checked above");
+                match meta.extents.last_mut() {
+                    Some((start, len)) if *start + *len == page => *len += 1,
+                    _ => meta.extents.push((page, 1)),
+                }
+                page
+            };
+            let meta = st.files.get_mut(&self.id).expect("checked above");
             let offset = meta.len_pages;
             meta.len_pages += 1;
             meta.len_bytes += data.len() as u64;
@@ -459,6 +706,182 @@ mod tests {
     #[test]
     fn file_id_displays() {
         assert_eq!(FileId(7).to_string(), "vfile#7");
+    }
+
+    #[test]
+    fn create_reserved_yields_one_extent_despite_fragmentation() {
+        let fs = store();
+        // Fragment the free list: interleaved single-page files, odd ones
+        // deleted.
+        let mut ids = Vec::new();
+        for i in 0..20u8 {
+            let f = fs.create();
+            f.append_page(&[i]).unwrap();
+            ids.push(f.id());
+        }
+        for id in ids.iter().skip(1).step_by(2) {
+            fs.delete(*id).unwrap();
+        }
+        // A 4-page reservation cannot be stitched from the 1-page holes: it
+        // must be one fresh contiguous extent.
+        let f = fs.create_reserved(4).unwrap();
+        for i in 0..4u8 {
+            f.append_page(&[i]).unwrap();
+        }
+        let meta = fs.file_meta(f.id()).unwrap();
+        assert_eq!(meta.extents.len(), 1, "reserved file is one extent");
+        assert_eq!(meta.extents[0].1, 4);
+        assert_eq!(meta.len_pages, 4);
+        for i in 0..4u64 {
+            assert_eq!(f.read_page(i).unwrap()[0], i as u8);
+        }
+        // A 1-page reservation best-fits into a freed hole instead.
+        let g = fs.create_reserved(1).unwrap();
+        g.append_page(&[9]).unwrap();
+        let meta = fs.file_meta(g.id()).unwrap();
+        assert!(meta.extents[0].0 < 20, "reused a freed page");
+        // Appending past the reservation falls back to normal allocation.
+        let before = fs.file_meta(f.id()).unwrap().len_pages;
+        f.append_page(&[9]).unwrap();
+        assert_eq!(f.len_pages(), before + 1);
+        assert_eq!(&f.read_page(4).unwrap()[..1], &[9]);
+        // Reservations larger than the device fail cleanly.
+        let tiny = SimDisk::new_shared(DeviceConfig::free_latency().with_capacity_pages(8));
+        let tfs = FileStore::new(tiny);
+        assert!(matches!(
+            tfs.create_reserved(9),
+            Err(DeviceError::OutOfSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn deferred_frees_park_pages_until_commit() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let fs = FileStore::new(disk);
+        fs.set_deferred_frees(true);
+        let f = fs.create();
+        for _ in 0..4 {
+            f.append_page(&[1]).unwrap();
+        }
+        let id = f.id();
+        fs.delete(id).unwrap();
+        assert_eq!(fs.pending_free_pages(), 4);
+        // A new allocation must NOT reuse the deferred pages: the previous
+        // consistency point's metadata may still reference them.
+        let g = fs.create();
+        g.append_page(&[2]).unwrap();
+        assert_eq!(fs.state.lock().next_page, 5, "bump past the parked pages");
+        // After the superblock flip the pages become allocatable again.
+        fs.commit_frees();
+        assert_eq!(fs.pending_free_pages(), 0);
+        let h = fs.create();
+        h.append_page(&[3]).unwrap();
+        assert_eq!(fs.state.lock().next_page, 5, "freed page reused");
+    }
+
+    #[test]
+    fn file_meta_and_alloc_cursor_describe_live_state() {
+        let fs = store();
+        let f = fs.create();
+        f.append_page(b"abc").unwrap();
+        f.append_page(b"defg").unwrap();
+        let meta = fs.file_meta(f.id()).unwrap();
+        assert_eq!(meta.id, f.id());
+        assert_eq!(meta.len_pages, 2);
+        assert_eq!(meta.len_bytes, 7);
+        assert_eq!(meta.extents.iter().map(|&(_, l)| l).sum::<u64>(), 2);
+        assert_eq!(fs.alloc_cursor(), (1, 2));
+        assert!(matches!(
+            fs.file_meta(FileId(9)),
+            Err(DeviceError::NoSuchFile { file: 9 })
+        ));
+    }
+
+    #[test]
+    fn restore_rebuilds_extent_map_and_free_space() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        // Original store: two files with a hole between them (file 1 deleted).
+        let fs = FileStore::with_base_page(disk.clone(), 2);
+        let keep = fs.create();
+        for i in 0..3u8 {
+            keep.append_page(&[i]).unwrap();
+        }
+        let dead = fs.create();
+        for _ in 0..2 {
+            dead.append_page(&[9]).unwrap();
+        }
+        let tail = fs.create();
+        tail.append_page(b"tail").unwrap();
+        let (keep_id, dead_id, tail_id) = (keep.id(), dead.id(), tail.id());
+        fs.delete(dead_id).unwrap();
+        let metas = vec![
+            fs.file_meta(keep_id).unwrap(),
+            fs.file_meta(tail_id).unwrap(),
+        ];
+        let (next_file, next_page) = fs.alloc_cursor();
+        drop(fs);
+
+        let restored = FileStore::restore(disk, 2, next_file, next_page, metas).unwrap();
+        assert_eq!(restored.file_count(), 2);
+        assert_eq!(
+            &restored.open(keep_id).unwrap().read_page(2).unwrap()[..1],
+            &[2]
+        );
+        assert_eq!(
+            &restored.open(tail_id).unwrap().read_page(0).unwrap()[..4],
+            b"tail"
+        );
+        // The hole left by the deleted file is allocatable again, and new
+        // file ids continue past the restored cursor.
+        let f = restored.create();
+        assert_eq!(f.id(), FileId(next_file));
+        f.append_page(&[1]).unwrap();
+        f.append_page(&[2]).unwrap();
+        let st = restored.state.lock();
+        assert_eq!(st.next_page, next_page, "hole reused before bumping");
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_state() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let file = |id: u64, extents: Vec<(u64, u64)>| PersistedFile {
+            id: FileId(id),
+            len_pages: extents.iter().map(|&(_, l)| l).sum(),
+            len_bytes: 0,
+            extents,
+        };
+        // Overlapping extents.
+        let r = FileStore::restore(
+            disk.clone(),
+            2,
+            5,
+            20,
+            vec![file(0, vec![(2, 4)]), file(1, vec![(4, 2)])],
+        );
+        assert!(matches!(r, Err(DeviceError::InvalidRestore { .. })));
+        // Extent past the allocation cursor.
+        let r = FileStore::restore(disk.clone(), 2, 5, 10, vec![file(0, vec![(8, 4)])]);
+        assert!(matches!(r, Err(DeviceError::InvalidRestore { .. })));
+        // Extent below the base page (would overlap the superblock).
+        let r = FileStore::restore(disk.clone(), 2, 5, 10, vec![file(0, vec![(1, 2)])]);
+        assert!(matches!(r, Err(DeviceError::InvalidRestore { .. })));
+        // Duplicate file id.
+        let r = FileStore::restore(
+            disk.clone(),
+            2,
+            5,
+            20,
+            vec![file(0, vec![(2, 1)]), file(0, vec![(3, 1)])],
+        );
+        assert!(matches!(r, Err(DeviceError::InvalidRestore { .. })));
+        // File id at the cursor.
+        let r = FileStore::restore(disk.clone(), 2, 1, 20, vec![file(1, vec![(2, 1)])]);
+        assert!(matches!(r, Err(DeviceError::InvalidRestore { .. })));
+        // Length mismatch.
+        let mut bad = file(0, vec![(2, 2)]);
+        bad.len_pages = 3;
+        let r = FileStore::restore(disk, 2, 5, 20, vec![bad]);
+        assert!(matches!(r, Err(DeviceError::InvalidRestore { .. })));
     }
 
     #[test]

@@ -18,6 +18,22 @@ pub struct BacklogConfig {
     /// per-partition run builds onto (1 = flush partitions inline on the
     /// calling thread, the deterministic default).
     pub cp_flush_threads: usize,
+    /// Whether the engine journals every reference callback (the paper's
+    /// NVRAM / file-system-journal mirror): each `add_reference` /
+    /// `remove_reference` appends a [`JournalEntry`](crate::JournalEntry),
+    /// the journal is truncated at every durable consistency point, and
+    /// after a crash [`replay_journal`](crate::replay_journal) reconstructs
+    /// the write-store contents the crash destroyed. Off by default — the
+    /// journal models hardware the host may not have.
+    ///
+    /// Journal-*exact* recovery assumes the host fences reference callbacks
+    /// around `consistency_point` (none in flight across the CP boundary),
+    /// exactly as the engine already requires for CP-interval attribution
+    /// and as a real write-anywhere file system quiesces operations at a
+    /// CP. An unfenced callback preempted between its journal append and
+    /// its write-store insert for the entire CP could have its entry
+    /// truncated while its record is still volatile.
+    pub journaling: bool,
 }
 
 impl Default for BacklogConfig {
@@ -33,6 +49,7 @@ impl Default for BacklogConfig {
             partitioning: Partitioning::single(),
             track_timing: true,
             cp_flush_threads: 1,
+            journaling: false,
         }
     }
 }
@@ -59,6 +76,13 @@ impl BacklogConfig {
         self.cp_flush_threads = threads.max(1);
         self
     }
+
+    /// Enables journaling of reference callbacks (see
+    /// [`journaling`](Self::journaling)).
+    pub fn with_journaling(mut self) -> Self {
+        self.journaling = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -73,6 +97,8 @@ mod tests {
         assert_eq!(c.partitioning.partition_count(), 1);
         assert!(c.track_timing);
         assert_eq!(c.cp_flush_threads, 1);
+        assert!(!c.journaling);
+        assert!(BacklogConfig::default().with_journaling().journaling);
     }
 
     #[test]

@@ -3,15 +3,20 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use blockdev::{Device, DeviceConfig, FileStore, IoStatsSnapshot, SimDisk};
-use lsm::{LsmTable, TableConfig};
+use blockdev::{
+    Device, DeviceConfig, FileId, FileStore, IoStatsSnapshot, PersistedFile, SimDisk, Superblock,
+    FIRST_DATA_PAGE, PAGE_SIZE,
+};
+use lsm::{LsmTable, PartitionSnapshot, Record, TableConfig};
 use parking_lot::{Mutex, RwLock};
 
 use crate::batch::{RefOp, WriteBatch};
 use crate::config::BacklogConfig;
-use crate::error::Result;
+use crate::error::{BacklogError, Result};
+use crate::journal::Journal;
 use crate::lineage::LineageTable;
 use crate::maintenance::{join_and_purge_streaming, reference, JoinPurgeStats};
+use crate::manifest::{self, ManifestTables};
 use crate::query::{assemble_query, QueryResult};
 use crate::record::{CombinedRecord, FromRecord, RefIdentity, ToRecord};
 use crate::stats::{BacklogStats, CpReport, IoDelta, MaintenanceReport};
@@ -64,6 +69,22 @@ use crate::types::{BlockNo, CpNumber, LineId, Owner, SnapshotId};
 ///   use a point-in-time copy of the lineage, which can only err on the side
 ///   of keeping a record one round longer.
 ///
+/// # Durability
+///
+/// Engines created with [`create_durable`](Self::create_durable) (or
+/// recovered with [`open`](Self::open)) finish every consistency point by
+/// writing a self-describing *CP manifest* and flipping a ping-pong
+/// superblock at fixed device pages — after which the database can be
+/// reopened from raw device contents at exactly that CP. Updates after the
+/// last durable CP live only in the write stores; with
+/// [`BacklogConfig::journaling`] the engine mirrors them into a
+/// [`Journal`] that [`replay_journal`](crate::replay_journal) re-applies
+/// after reopening. Journal-exact recovery assumes the host fences
+/// callbacks around the CP boundary, the same precondition CP-interval
+/// attribution already carries (see [`BacklogConfig::journaling`]). See
+/// the README's "Durability & recovery" section for the full protocol and
+/// its invariants.
+///
 /// # Example
 ///
 /// ```
@@ -115,16 +136,73 @@ pub struct BacklogEngine {
     /// Cumulative counters, bumped from concurrent `&self` paths and folded
     /// into [`stats`](Self::stats) on read.
     counters: Counters,
+    /// Whether every consistency point additionally writes a CP manifest and
+    /// flips the superblock (engines created via
+    /// [`create_durable`](Self::create_durable) or [`open`](Self::open)).
+    durable: bool,
+    /// The journal of reference callbacks since the last durable CP, when
+    /// [`BacklogConfig::journaling`] is enabled (the paper's NVRAM mirror).
+    journal: Option<Mutex<Journal>>,
+    /// Per-shard replicas of the current CP number, so the scalar callback
+    /// path stamps records without touching the lineage read-lock at all.
+    cp_cache: CpCache,
+}
+
+/// Per-shard cache of the global CP number. Callbacks read the replica of
+/// the partition they touch; the consistency point — the only writer of the
+/// CP clock, serialized by the CP lock — publishes the new value to every
+/// replica. Each replica sits on its own cache line so the once-per-CP
+/// publication invalidates only the line a callback actually reads (between
+/// publications, readers share the lines read-only either way; the
+/// replication exists for that invalidation moment and to keep the path
+/// per-shard like the write stores it feeds). The replicas can lag the
+/// lineage table only within the instant of publication, which is the same
+/// window a callback racing the CP boundary always had under the read-lock
+/// scheme: the record lands in whichever CP interval the race resolves to.
+#[derive(Debug)]
+struct CpCache {
+    shards: Box<[CachePadded]>,
+}
+
+#[derive(Debug)]
+#[repr(align(64))]
+struct CachePadded(AtomicU64);
+
+impl CpCache {
+    fn new(shards: u32, initial: CpNumber) -> Self {
+        CpCache {
+            shards: (0..shards.max(1))
+                .map(|_| CachePadded(AtomicU64::new(initial)))
+                .collect(),
+        }
+    }
+
+    fn read(&self, pidx: u32) -> CpNumber {
+        self.shards[pidx as usize].0.load(Ordering::Acquire)
+    }
+
+    fn publish(&self, cp: CpNumber) {
+        for shard in self.shards.iter() {
+            shard.0.store(cp, Ordering::Release);
+        }
+    }
 }
 
 /// Totals at the end of the previous consistency point (guarded by the CP
-/// lock), so each CP reports the delta over its own interval.
+/// lock), so each CP reports the delta over its own interval — plus the
+/// durable-metadata cursor (superblock generation and the live manifest
+/// file), which the CP lock conveniently serializes too.
 #[derive(Debug, Default)]
 struct CpInterval {
     block_ops: u64,
     pruned: u64,
     callback_ns: u64,
     io: IoStatsSnapshot,
+    /// Generation of the most recent durable superblock (0 = none yet).
+    sb_generation: u64,
+    /// The manifest file the durable superblock points at, deleted when the
+    /// next CP's superblock flip supersedes it.
+    manifest_file: Option<FileId>,
 }
 
 /// The engine's cumulative atomic counters. `block_ops` is derived
@@ -141,6 +219,24 @@ struct Counters {
     queries: AtomicU64,
     maintenance_runs: AtomicU64,
     maintenance_ns: AtomicU64,
+}
+
+impl Counters {
+    /// Reinstates the counters a CP manifest recorded (crash recovery).
+    fn from_stats(stats: &BacklogStats) -> Self {
+        Counters {
+            refs_added: AtomicU64::new(stats.refs_added),
+            refs_removed: AtomicU64::new(stats.refs_removed),
+            pruned_adds: AtomicU64::new(stats.pruned_adds),
+            pruned_removes: AtomicU64::new(stats.pruned_removes),
+            callback_ns: AtomicU64::new(stats.callback_ns),
+            consistency_points: AtomicU64::new(stats.consistency_points),
+            cp_flush_ns: AtomicU64::new(stats.cp_flush_ns),
+            queries: AtomicU64::new(stats.queries),
+            maintenance_runs: AtomicU64::new(stats.maintenance_runs),
+            maintenance_ns: AtomicU64::new(stats.maintenance_ns),
+        }
+    }
 }
 
 impl BacklogEngine {
@@ -170,6 +266,8 @@ impl BacklogEngine {
         let rebuild_locks = (0..config.partitioning.partition_count())
             .map(|_| Mutex::new(()))
             .collect();
+        let journal = config.journaling.then(|| Mutex::new(Journal::new()));
+        let cp_cache = CpCache::new(config.partitioning.partition_count(), 1);
         BacklogEngine {
             files,
             config,
@@ -182,6 +280,9 @@ impl BacklogEngine {
             cp_lock: Mutex::new(CpInterval::default()),
             relocate_lock: Mutex::new(()),
             counters: Counters::default(),
+            durable: false,
+            journal,
+            cp_cache,
         }
     }
 
@@ -191,6 +292,158 @@ impl BacklogEngine {
         let disk = SimDisk::new_shared(DeviceConfig::default());
         let files = Arc::new(FileStore::new(disk));
         Self::new(files, config)
+    }
+
+    /// Creates a *durable* engine on an empty device: pages 0–1 are reserved
+    /// for the ping-pong superblock, the file store defers page frees until
+    /// each superblock flip (the write-anywhere reuse rule), and every
+    /// consistency point additionally writes a CP manifest and flips the
+    /// superblock — so [`open`](Self::open) can rebuild the engine from the
+    /// raw device after a crash. An initial empty manifest is written
+    /// immediately: a crash before the first real CP recovers to an empty
+    /// database rather than an unopenable device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from writing the initial manifest.
+    pub fn create_durable(device: Arc<dyn Device>, config: BacklogConfig) -> Result<Self> {
+        let files = Arc::new(FileStore::with_base_page(device, FIRST_DATA_PAGE));
+        files.set_deferred_frees(true);
+        let mut engine = Self::new(files, config);
+        engine.durable = true;
+        let lineage = engine.lineage.read().clone();
+        let stats = engine.stats();
+        {
+            let mut interval = engine.cp_lock.lock();
+            engine.write_durable_cp(&mut interval, &lineage, &stats)?;
+        }
+        Ok(engine)
+    }
+
+    /// Rebuilds a fully functional engine from raw device contents: reads
+    /// the latest valid superblock, loads and validates the CP manifest it
+    /// points at, restores the file store's extent map, reopens every
+    /// table's runs and deletion vectors, and reinstates the lineage table
+    /// and cumulative counters — the state as of the last durable
+    /// consistency point. Updates that post-date that CP lived only in the
+    /// in-memory write stores; recover them, if the host keeps a journal, by
+    /// replaying it ([`open_with_journal`](Self::open_with_journal)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BacklogError::Recovery`] if the device holds no valid
+    /// superblock, the manifest fails validation, or `config` disagrees with
+    /// the recorded partitioning; propagates device errors.
+    pub fn open(device: Arc<dyn Device>, config: BacklogConfig) -> Result<Self> {
+        let sb = Superblock::read_latest(&*device)
+            .map_err(BacklogError::from)?
+            .ok_or_else(|| BacklogError::Recovery {
+                detail: "no valid superblock on the device".into(),
+            })?;
+        let blob = manifest::read_raw(&*device, &sb)?;
+        let m = manifest::decode(&blob)?;
+        if m.partitioning != config.partitioning {
+            return Err(BacklogError::Recovery {
+                detail: format!(
+                    "device holds {} partitions of width {}, config says {} of width {}",
+                    m.partitioning.partition_count(),
+                    m.partitioning.width(),
+                    config.partitioning.partition_count(),
+                    config.partitioning.width()
+                ),
+            });
+        }
+        // The manifest file itself is re-registered as a live file so its
+        // pages stay unallocatable until the next CP's flip retires it.
+        let mut files_list = m.files;
+        files_list.push(PersistedFile {
+            id: FileId(sb.manifest_file),
+            extents: sb.manifest_extents.clone(),
+            len_pages: sb.manifest_extents.iter().map(|&(_, len)| len).sum(),
+            len_bytes: sb.manifest_len_bytes,
+        });
+        let files = Arc::new(FileStore::restore(
+            device,
+            FIRST_DATA_PAGE,
+            sb.next_file,
+            sb.next_page,
+            files_list,
+        )?);
+        let from_table = LsmTable::open_from_manifest(
+            files.clone(),
+            TableConfig::named("From")
+                .with_bloom(config.bloom)
+                .with_partitioning(config.partitioning),
+            m.tables.from,
+        )?;
+        let to_table = LsmTable::open_from_manifest(
+            files.clone(),
+            TableConfig::named("To")
+                .with_bloom(config.bloom)
+                .with_partitioning(config.partitioning),
+            m.tables.to,
+        )?;
+        let combined_table = LsmTable::open_from_manifest(
+            files.clone(),
+            TableConfig::named("Combined")
+                .with_bloom(config.combined_bloom)
+                .with_partitioning(config.partitioning),
+            m.tables.combined,
+        )?;
+        let partition_locks = (0..config.partitioning.partition_count())
+            .map(|_| RwLock::new(()))
+            .collect();
+        let rebuild_locks = (0..config.partitioning.partition_count())
+            .map(|_| Mutex::new(()))
+            .collect();
+        let journal = config.journaling.then(|| Mutex::new(Journal::new()));
+        let cp_cache = CpCache::new(
+            config.partitioning.partition_count(),
+            m.lineage.current_cp(),
+        );
+        let interval = CpInterval {
+            block_ops: m.stats.block_ops,
+            pruned: m.stats.pruned_adds + m.stats.pruned_removes,
+            callback_ns: m.stats.callback_ns,
+            io: files.device().stats().snapshot(),
+            sb_generation: sb.generation,
+            manifest_file: Some(FileId(sb.manifest_file)),
+        };
+        Ok(BacklogEngine {
+            counters: Counters::from_stats(&m.stats),
+            files,
+            config,
+            from_table,
+            to_table,
+            combined_table,
+            lineage: RwLock::new(m.lineage),
+            partition_locks,
+            rebuild_locks,
+            cp_lock: Mutex::new(interval),
+            relocate_lock: Mutex::new(()),
+            durable: true,
+            journal,
+            cp_cache,
+        })
+    }
+
+    /// [`open`](Self::open) followed by a journal replay: the surviving
+    /// journal entries (the host's NVRAM or file-system journal) reconstruct
+    /// the write-store contents the crash destroyed, so recovery lands on
+    /// *last durable CP + journal* exactly. Returns the engine and the
+    /// number of entries applied.
+    ///
+    /// # Errors
+    ///
+    /// As for [`open`](Self::open).
+    pub fn open_with_journal(
+        device: Arc<dyn Device>,
+        config: BacklogConfig,
+        journal: &Journal,
+    ) -> Result<(Self, usize)> {
+        let engine = Self::open(device, config)?;
+        let applied = crate::journal::replay(&engine, journal);
+        Ok((engine, applied))
     }
 
     /// The configuration this engine was created with.
@@ -269,7 +522,14 @@ impl BacklogEngine {
     pub fn add_reference(&self, block: BlockNo, owner: Owner) {
         let start = self.now();
         let identity = RefIdentity::new(block, owner);
-        let cp = self.lineage.read().current_cp();
+        // The CP stamp comes from the touched partition's replica of the CP
+        // clock — the scalar callback path takes no lineage lock at all.
+        let cp = self
+            .cp_cache
+            .read(self.config.partitioning.partition_of(block));
+        if let Some(journal) = &self.journal {
+            journal.lock().log_add(block, owner, cp);
+        }
         // Proactive pruning: if the same reference was removed earlier in
         // this CP interval, its To record is still in the write store;
         // removing it splices the two lifetimes back together.
@@ -295,7 +555,12 @@ impl BacklogEngine {
     pub fn remove_reference(&self, block: BlockNo, owner: Owner) {
         let start = self.now();
         let identity = RefIdentity::new(block, owner);
-        let cp = self.lineage.read().current_cp();
+        let cp = self
+            .cp_cache
+            .read(self.config.partitioning.partition_of(block));
+        if let Some(journal) = &self.journal {
+            journal.lock().log_remove(block, owner, cp);
+        }
         // Proactive pruning: a reference added and removed within the same CP
         // interval never needs to reach disk.
         let pruned = self.from_table.ws_remove(&FromRecord::new(identity, cp));
@@ -328,7 +593,18 @@ impl BacklogEngine {
             return;
         }
         let start = self.now();
-        let cp = self.lineage.read().current_cp();
+        // One CP-replica read stamps the whole batch (every replica holds
+        // the same value; shard 0 is as good as any).
+        let cp = self.cp_cache.read(0);
+        if let Some(journal) = &self.journal {
+            let mut journal = journal.lock();
+            for op in batch.ops() {
+                match *op {
+                    RefOp::Add { block, owner } => journal.log_add(block, owner, cp),
+                    RefOp::Remove { block, owner } => journal.log_remove(block, owner, cp),
+                }
+            }
+        }
         let mut adds = 0u64;
         let mut removes = 0u64;
         let mut pruned = 0u64;
@@ -430,6 +706,23 @@ impl BacklogEngine {
         let to_flush = self.to_table.flush_cp_parallel(threads)?;
         let combined_flush = self.combined_table.flush_cp_parallel(threads)?;
 
+        // Durability: write the CP manifest and flip the superblock before
+        // declaring the CP. The manifest records the *advanced* CP clock (a
+        // reopened engine must stamp new records into the next interval),
+        // but the in-memory lineage advances only after the flip succeeds —
+        // on error the engine state is exactly "CP not taken", as the
+        // method's contract promises, and the previous durable CP is intact
+        // on disk.
+        if self.durable {
+            let mut lineage_next = self.lineage.read().clone();
+            lineage_next.advance_cp();
+            // The manifest likewise records the post-CP counter state: this
+            // CP counts itself (its counter bump happens after the flip).
+            let mut stats_next = self.stats();
+            stats_next.consistency_points += 1;
+            self.write_durable_cp(&mut interval, &lineage_next, &stats_next)?;
+        }
+
         let flush_ns = self.elapsed_ns(start);
         let io_after = self.io_snapshot();
         let io = IoDelta::between(&io_before, &io_after);
@@ -469,7 +762,18 @@ impl BacklogEngine {
         interval.callback_ns = callback_ns_now;
         interval.io = io_after;
 
-        self.lineage.write().advance_cp();
+        {
+            let mut lineage = self.lineage.write();
+            let next = lineage.advance_cp();
+            self.cp_cache.publish(next);
+        }
+        // The interval's operations are durable (or, for a non-durable
+        // engine, as durable as they will get): the journal no longer needs
+        // them. Entries stamped with the next CP — callbacks that raced the
+        // flush — survive the truncation.
+        if let Some(journal) = &self.journal {
+            journal.lock().truncate_through(cp);
+        }
         self.counters
             .consistency_points
             .fetch_add(1, Ordering::Relaxed);
@@ -477,6 +781,123 @@ impl BacklogEngine {
             .cp_flush_ns
             .fetch_add(flush_ns, Ordering::Relaxed);
         Ok(report)
+    }
+
+    /// Writes one durable consistency point: the CP manifest (a fresh
+    /// write-anywhere virtual file describing every table's run layout, the
+    /// deletion vectors, `lineage` and the counters) followed by the
+    /// superblock flip, then retires the previous manifest and commits the
+    /// deferred page frees. Ordering is everything here:
+    ///
+    /// 1. every manifest page is on the device before the superblock write
+    ///    (*the superblock never points at a manifest that is not fully on
+    ///    disk*);
+    /// 2. the superblock flip is a single page write into the slot the
+    ///    previous generation does **not** occupy, so a crash at any write
+    ///    of 1–2 leaves the previous generation's superblock and manifest —
+    ///    and every run they reference, whose pages deferred frees have kept
+    ///    unallocatable — fully intact;
+    /// 3. only after the flip do the old manifest and the interval's
+    ///    deferred frees become reusable space.
+    ///
+    /// On error the partially written manifest file is deleted and the
+    /// previous durable CP remains the recovery target; the CP can simply be
+    /// retried.
+    fn write_durable_cp(
+        &self,
+        interval: &mut CpInterval,
+        lineage: &LineageTable,
+        stats: &BacklogStats,
+    ) -> Result<()> {
+        // Hold snapshots of every partition until the end: their `Arc`s pin
+        // the referenced run files against a concurrent rebuild commit
+        // deleting them between manifest encode and superblock flip.
+        let partitions = self.config.partitioning.partition_count();
+        let mut from_snaps = Vec::with_capacity(partitions as usize);
+        let mut to_snaps = Vec::with_capacity(partitions as usize);
+        let mut combined_snaps = Vec::with_capacity(partitions as usize);
+        for p in 0..partitions {
+            // Under the partition's shared lock, so the three per-table
+            // states are mutually consistent (a rebuild commit takes it
+            // exclusively across its three swaps).
+            let _guard = self.partition_locks[p as usize].read();
+            from_snaps.push(self.from_table.partition_snapshot(p));
+            to_snaps.push(self.to_table.partition_snapshot(p));
+            combined_snaps.push(self.combined_table.partition_snapshot(p));
+        }
+        fn capture<R: Record>(snaps: &[PartitionSnapshot<R>]) -> Vec<lsm::PartitionManifest<R>> {
+            snaps.iter().map(|s| s.manifest()).collect()
+        }
+        let tables = ManifestTables {
+            from: capture(&from_snaps),
+            to: capture(&to_snaps),
+            combined: capture(&combined_snaps),
+        };
+        let blob = manifest::encode(
+            &self.files,
+            self.config.partitioning,
+            stats,
+            lineage,
+            &tables,
+        )?;
+        // The manifest is reserved as ONE contiguous extent (a single free
+        // extent or fresh bump pages), so its extent list always fits in the
+        // superblock page no matter how fragmented the free list is.
+        let mfile = self
+            .files
+            .create_reserved(blob.len().div_ceil(PAGE_SIZE) as u64)?;
+        let mid = mfile.id();
+        for chunk in blob.chunks(PAGE_SIZE) {
+            if let Err(e) = mfile.append_page(chunk) {
+                let _ = self.files.delete(mid);
+                return Err(e.into());
+            }
+        }
+        let extents = self.files.file_meta(mid)?.extents;
+        // The cursor is sampled after the manifest write, so every file id
+        // and extent the manifest (or the superblock) references lies below
+        // it — the restore-time free-space computation depends on this.
+        let (next_file, next_page) = self.files.alloc_cursor();
+        let sb = Superblock {
+            generation: interval.sb_generation + 1,
+            manifest_file: mid.0,
+            manifest_len_bytes: blob.len() as u64,
+            next_file,
+            next_page,
+            manifest_extents: extents,
+        };
+        if let Err(e) = sb.write_to(&**self.device()) {
+            let _ = self.files.delete(mid);
+            return Err(e.into());
+        }
+        // The flip is durable: everything the previous generation kept
+        // pinned is now garbage.
+        interval.sb_generation = sb.generation;
+        if let Some(old) = interval.manifest_file.replace(mid) {
+            let _ = self.files.delete(old);
+        }
+        self.files.commit_frees();
+        Ok(())
+    }
+
+    /// Whether this engine writes durable metadata at every consistency
+    /// point (created via [`create_durable`](Self::create_durable) or
+    /// [`open`](Self::open)).
+    pub fn is_durable(&self) -> bool {
+        self.durable
+    }
+
+    /// The generation of the most recent durable superblock (0 before the
+    /// first durable CP; always 0 for non-durable engines).
+    pub fn superblock_generation(&self) -> u64 {
+        self.cp_lock.lock().sb_generation
+    }
+
+    /// A point-in-time copy of the reference-callback journal — what the
+    /// host would read back from NVRAM after a crash — or `None` when
+    /// [`BacklogConfig::journaling`] is disabled.
+    pub fn journal_snapshot(&self) -> Option<Journal> {
+        self.journal.as_ref().map(|j| j.lock().clone())
     }
 
     // ------------------------------------------------------------------
@@ -1211,6 +1632,57 @@ mod tests {
         let disk = SimDisk::new_shared(DeviceConfig::free_latency());
         let files = Arc::new(FileStore::new(disk));
         BacklogEngine::new(files, BacklogConfig::default())
+    }
+
+    #[test]
+    fn journal_wiring_logs_callbacks_and_truncates_at_cp() {
+        let e = BacklogEngine::new_simulated(
+            BacklogConfig::default().without_timing().with_journaling(),
+        );
+        assert!(e.journal_snapshot().is_some());
+        let owner = Owner::block(1, 0, LineId::ROOT);
+        e.add_reference(1, owner);
+        e.remove_reference(2, owner);
+        let mut batch = WriteBatch::new();
+        batch.add_reference(3, owner);
+        e.apply(&batch);
+        let j = e.journal_snapshot().unwrap();
+        assert_eq!(j.len(), 3);
+        assert!(j.entries().iter().all(|entry| entry.cp() == 1));
+        e.consistency_point().unwrap();
+        assert!(e.journal_snapshot().unwrap().is_empty(), "truncated at CP");
+        // Post-CP entries carry the new CP number.
+        e.add_reference(4, owner);
+        let j = e.journal_snapshot().unwrap();
+        assert_eq!(j.entries()[0].cp(), 2);
+        // Journaling off: no journal at all.
+        let plain = engine();
+        assert!(plain.journal_snapshot().is_none());
+        assert!(!plain.is_durable());
+        assert_eq!(plain.superblock_generation(), 0);
+    }
+
+    #[test]
+    fn cp_cache_tracks_the_lineage_clock() {
+        let e = BacklogEngine::new(
+            Arc::new(FileStore::new(SimDisk::new_shared(
+                DeviceConfig::free_latency(),
+            ))),
+            BacklogConfig::partitioned(4, 4_000).without_timing(),
+        );
+        for pidx in 0..4 {
+            assert_eq!(e.cp_cache.read(pidx), 1);
+        }
+        e.consistency_point().unwrap();
+        e.consistency_point().unwrap();
+        for pidx in 0..4 {
+            assert_eq!(e.cp_cache.read(pidx), 3, "every replica published");
+        }
+        assert_eq!(e.current_cp(), 3);
+        // Records are stamped from the replica of their own partition.
+        e.add_reference(3_500, Owner::block(1, 0, LineId::ROOT)); // partition 3
+        let rec = &e.from_table.scan_all().unwrap()[0];
+        assert_eq!(rec.from, 3);
     }
 
     #[test]

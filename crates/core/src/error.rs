@@ -18,6 +18,15 @@ pub enum BacklogError {
         /// Number of mismatches discovered.
         mismatches: u64,
     },
+    /// Crash recovery could not proceed: the device holds no valid
+    /// superblock, the manifest is corrupt or truncated, the recorded
+    /// configuration disagrees with the one supplied to
+    /// [`BacklogEngine::open`](crate::BacklogEngine::open), or a journal
+    /// entry failed to decode.
+    Recovery {
+        /// Human-readable description of what was found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for BacklogError {
@@ -29,6 +38,9 @@ impl fmt::Display for BacklogError {
                     f,
                     "back reference verification failed with {mismatches} mismatches"
                 )
+            }
+            BacklogError::Recovery { detail } => {
+                write!(f, "crash recovery failed: {detail}")
             }
         }
     }

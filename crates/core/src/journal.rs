@@ -18,6 +18,7 @@
 use lsm::Record;
 
 use crate::engine::BacklogEngine;
+use crate::error::{BacklogError, Result};
 use crate::record::RefIdentity;
 use crate::types::{BlockNo, CpNumber, Owner};
 
@@ -68,25 +69,39 @@ impl JournalEntry {
 
     /// Deserializes an entry previously written by [`encode`](Self::encode).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the tag byte is not a valid entry kind (a corrupt journal).
-    pub fn decode(buf: &[u8]) -> Self {
+    /// Returns [`BacklogError::Recovery`] if `buf` is shorter than
+    /// [`ENCODED_LEN`](Self::ENCODED_LEN) or the tag byte is not a valid
+    /// entry kind — a corrupt journal must surface as an error the host can
+    /// act on, not a panic in the middle of recovery.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < Self::ENCODED_LEN {
+            return Err(BacklogError::Recovery {
+                detail: format!(
+                    "journal entry truncated: {} of {} bytes",
+                    buf.len(),
+                    Self::ENCODED_LEN
+                ),
+            });
+        }
         let rec = crate::record::CombinedRecord::decode(&buf[1..1 + 48]);
         let owner = rec.identity.owner();
         let block = rec.identity.block;
         match buf[0] {
-            1 => JournalEntry::Add {
+            1 => Ok(JournalEntry::Add {
                 block,
                 owner,
                 cp: rec.from,
-            },
-            2 => JournalEntry::Remove {
+            }),
+            2 => Ok(JournalEntry::Remove {
                 block,
                 owner,
                 cp: rec.from,
-            },
-            other => panic!("corrupt journal entry tag {other}"),
+            }),
+            other => Err(BacklogError::Recovery {
+                detail: format!("corrupt journal entry tag {other}"),
+            }),
         }
     }
 }
@@ -147,27 +162,40 @@ impl Journal {
     }
 
     /// Reconstructs a journal from bytes produced by [`to_bytes`](Self::to_bytes).
-    /// Trailing partial entries (a torn write) are ignored.
-    pub fn from_bytes(bytes: &[u8]) -> Self {
+    /// A trailing *partial* entry (a torn write of the final append) is
+    /// ignored — that is the expected crash shape for an append-only log —
+    /// but a corrupt tag inside a complete entry is an error: everything
+    /// after it would be misframed, so the host must not trust any of it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BacklogError::Recovery`] on a corrupt entry.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut entries = Vec::new();
         let mut at = 0;
         while at + JournalEntry::ENCODED_LEN <= bytes.len() {
             entries.push(JournalEntry::decode(
                 &bytes[at..at + JournalEntry::ENCODED_LEN],
-            ));
+            )?);
             at += JournalEntry::ENCODED_LEN;
         }
-        Journal { entries }
+        Ok(Journal { entries })
     }
 }
 
 /// Replays journal entries into an engine whose on-disk state is at the last
 /// complete consistency point, reconstructing the write-store contents that
 /// were lost in the crash. Entries at or below the engine's last durable CP
-/// are skipped (they are already on disk).
+/// are skipped (they are already on disk), which makes replay idempotent:
+/// feeding the journal to an engine that crashed *after* the superblock flip
+/// but before the journal truncation applies nothing.
+///
+/// Takes `&BacklogEngine` — the reference callbacks are `&self`, so replay
+/// can feed a recovered engine that other threads are already allowed to
+/// see (REDO-only recovery does not need exclusive access).
 ///
 /// Returns the number of entries applied.
-pub fn replay(engine: &mut BacklogEngine, journal: &Journal) -> usize {
+pub fn replay(engine: &BacklogEngine, journal: &Journal) -> usize {
     let current = engine.current_cp();
     let mut applied = 0;
     for entry in journal.entries() {
@@ -204,7 +232,7 @@ mod tests {
         for e in [add, rm] {
             let mut buf = vec![0u8; JournalEntry::ENCODED_LEN];
             e.encode(&mut buf);
-            assert_eq!(JournalEntry::decode(&buf), e);
+            assert_eq!(JournalEntry::decode(&buf).unwrap(), e);
         }
         assert_eq!(add.cp(), 7);
     }
@@ -217,9 +245,43 @@ mod tests {
         let mut bytes = j.to_bytes();
         // Simulate a torn write of a third entry.
         bytes.extend_from_slice(&[1, 2, 3]);
-        let back = Journal::from_bytes(&bytes);
+        let back = Journal::from_bytes(&bytes).unwrap();
         assert_eq!(back.entries(), j.entries());
         assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_tag_is_an_error_not_a_panic() {
+        let short = [0u8; JournalEntry::ENCODED_LEN - 1];
+        assert!(matches!(
+            JournalEntry::decode(&short),
+            Err(crate::BacklogError::Recovery { .. })
+        ));
+        let mut buf = vec![0u8; JournalEntry::ENCODED_LEN];
+        JournalEntry::Add {
+            block: 1,
+            owner: Owner::block(1, 0, LineId::ROOT),
+            cp: 3,
+        }
+        .encode(&mut buf);
+        buf[0] = 7; // invalid tag
+        let err = JournalEntry::decode(&buf).unwrap_err();
+        assert!(err.to_string().contains("tag 7"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_entry_mid_journal_rejects_the_whole_journal() {
+        let mut j = Journal::new();
+        j.log_add(1, Owner::block(1, 0, LineId::ROOT), 3);
+        j.log_add(2, Owner::block(1, 1, LineId::ROOT), 3);
+        let mut bytes = j.to_bytes();
+        // Corrupt the *first* entry's tag: the second entry is complete and
+        // well-formed, but nothing after a corrupt entry can be trusted.
+        bytes[0] = 0;
+        assert!(matches!(
+            Journal::from_bytes(&bytes),
+            Err(crate::BacklogError::Recovery { .. })
+        ));
     }
 
     #[test]
@@ -254,11 +316,14 @@ mod tests {
         journal.log_remove(100, durable_owner, live.current_cp());
 
         // The "recovered" engine has only the durable state.
-        let mut recovered = BacklogEngine::new_simulated(config);
+        let recovered = BacklogEngine::new_simulated(config);
         recovered.add_reference(100, durable_owner);
         recovered.consistency_point().unwrap();
 
-        let applied = replay(&mut recovered, &Journal::from_bytes(&journal.to_bytes()));
+        let applied = replay(
+            &recovered,
+            &Journal::from_bytes(&journal.to_bytes()).unwrap(),
+        );
         assert_eq!(applied, 2);
 
         // After replay the recovered engine answers queries exactly like the
@@ -274,13 +339,13 @@ mod tests {
 
     #[test]
     fn replay_skips_entries_already_durable() {
-        let mut engine = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
+        let engine = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
         let owner = Owner::block(1, 0, LineId::ROOT);
         engine.add_reference(1, owner);
         engine.consistency_point().unwrap();
         let mut journal = Journal::new();
         journal.log_add(1, owner, 1); // belongs to the already-durable CP 1
-        assert_eq!(replay(&mut engine, &journal), 0);
+        assert_eq!(replay(&engine, &journal), 0);
         assert_eq!(engine.live_owners(1).unwrap().len(), 1);
     }
 }

@@ -70,6 +70,7 @@ mod error;
 pub mod journal;
 pub mod lineage;
 pub mod maintenance;
+mod manifest;
 pub mod query;
 mod record;
 mod stats;

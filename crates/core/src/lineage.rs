@@ -385,6 +385,162 @@ impl LineageTable {
         before - set.len()
     }
 
+    /// Serializes the whole table — lines, live versions, zombies, clone
+    /// associations, the CP counter — into `out`, for embedding in a
+    /// consistency-point manifest. The encoding is deterministic (every map
+    /// is walked in sorted order) so two identical tables encode to
+    /// identical bytes.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let put_u32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_be_bytes());
+        let put_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_be_bytes());
+        put_u32(out, self.next_line);
+        put_u64(out, self.current_cp);
+        let mut lines: Vec<&LineInfo> = self.lines.values().collect();
+        lines.sort_by_key(|l| l.id);
+        put_u32(out, lines.len() as u32);
+        for l in lines {
+            put_u32(out, l.id.0);
+            match l.parent {
+                Some(p) => {
+                    out.push(1);
+                    put_u32(out, p.line.0);
+                    put_u64(out, p.version);
+                }
+                None => out.push(0),
+            }
+            put_u64(out, l.created_at);
+            out.push(l.deleted as u8);
+        }
+        let mut versions: Vec<(&LineId, &BTreeSet<CpNumber>)> = self.live_versions.iter().collect();
+        versions.sort_by_key(|(l, _)| **l);
+        put_u32(out, versions.len() as u32);
+        for (line, set) in versions {
+            put_u32(out, line.0);
+            put_u32(out, set.len() as u32);
+            for &v in set {
+                put_u64(out, v);
+            }
+        }
+        let zombies = self.zombies();
+        put_u32(out, zombies.len() as u32);
+        for z in zombies {
+            put_u32(out, z.line.0);
+            put_u64(out, z.version);
+        }
+        // Clone associations, preserving each parent's creation order (the
+        // order `clones_of` reports).
+        let mut clones: Vec<(&SnapshotId, &Vec<LineId>)> = self.clones_of.iter().collect();
+        clones.sort_by_key(|(s, _)| **s);
+        put_u32(out, clones.len() as u32);
+        for (snap, lines) in clones {
+            put_u32(out, snap.line.0);
+            put_u64(out, snap.version);
+            put_u32(out, lines.len() as u32);
+            for l in lines {
+                put_u32(out, l.0);
+            }
+        }
+    }
+
+    /// Reconstructs a table from bytes produced by [`encode`](Self::encode),
+    /// advancing `at` past the consumed bytes. The per-line clone index is
+    /// rebuilt from the persisted associations.
+    ///
+    /// Returns `None` if the bytes are truncated or structurally invalid.
+    pub fn decode(bytes: &[u8], at: &mut usize) -> Option<Self> {
+        fn get_u32(bytes: &[u8], at: &mut usize) -> Option<u32> {
+            let v = u32::from_be_bytes(bytes.get(*at..*at + 4)?.try_into().ok()?);
+            *at += 4;
+            Some(v)
+        }
+        fn get_u64(bytes: &[u8], at: &mut usize) -> Option<u64> {
+            let v = u64::from_be_bytes(bytes.get(*at..*at + 8)?.try_into().ok()?);
+            *at += 8;
+            Some(v)
+        }
+        fn get_u8(bytes: &[u8], at: &mut usize) -> Option<u8> {
+            let v = *bytes.get(*at)?;
+            *at += 1;
+            Some(v)
+        }
+        let next_line = get_u32(bytes, at)?;
+        let current_cp = get_u64(bytes, at)?;
+        let line_count = get_u32(bytes, at)?;
+        let mut lines = HashMap::with_capacity(line_count as usize);
+        for _ in 0..line_count {
+            let id = LineId(get_u32(bytes, at)?);
+            let parent = match get_u8(bytes, at)? {
+                0 => None,
+                1 => Some(SnapshotId::new(
+                    LineId(get_u32(bytes, at)?),
+                    get_u64(bytes, at)?,
+                )),
+                _ => return None,
+            };
+            let created_at = get_u64(bytes, at)?;
+            let deleted = match get_u8(bytes, at)? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            lines.insert(
+                id,
+                LineInfo {
+                    id,
+                    parent,
+                    created_at,
+                    deleted,
+                },
+            );
+        }
+        let version_lines = get_u32(bytes, at)?;
+        let mut live_versions: HashMap<LineId, BTreeSet<CpNumber>> = HashMap::new();
+        for _ in 0..version_lines {
+            let line = LineId(get_u32(bytes, at)?);
+            let count = get_u32(bytes, at)?;
+            let mut set = BTreeSet::new();
+            for _ in 0..count {
+                set.insert(get_u64(bytes, at)?);
+            }
+            live_versions.insert(line, set);
+        }
+        let zombie_count = get_u32(bytes, at)?;
+        let mut zombies = HashSet::with_capacity(zombie_count as usize);
+        for _ in 0..zombie_count {
+            zombies.insert(SnapshotId::new(
+                LineId(get_u32(bytes, at)?),
+                get_u64(bytes, at)?,
+            ));
+        }
+        let clone_parents = get_u32(bytes, at)?;
+        let mut clones_of: HashMap<SnapshotId, Vec<LineId>> = HashMap::new();
+        let mut clones_by_line: HashMap<LineId, BTreeMap<CpNumber, Vec<LineId>>> = HashMap::new();
+        for _ in 0..clone_parents {
+            let snap = SnapshotId::new(LineId(get_u32(bytes, at)?), get_u64(bytes, at)?);
+            let count = get_u32(bytes, at)?;
+            let mut list = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                list.push(LineId(get_u32(bytes, at)?));
+            }
+            clones_by_line
+                .entry(snap.line)
+                .or_default()
+                .entry(snap.version)
+                .or_default()
+                .extend(list.iter().copied());
+            clones_of.insert(snap, list);
+        }
+        Some(LineageTable {
+            lines,
+            next_line,
+            current_cp,
+            live_versions,
+            zombies: Mutex::new(zombies),
+            clones_of,
+            clones_by_line,
+        })
+    }
+
     fn has_live_descendants(&self, line: LineId) -> bool {
         if self.is_line_active(line) {
             return true;
@@ -569,6 +725,71 @@ mod tests {
         // Once the clone is deleted it may be purged.
         l.delete_line(clone);
         assert!(l.is_purgeable(clone, 0, 6));
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_behavior() {
+        let mut l = LineageTable::new();
+        for _ in 0..9 {
+            l.advance_cp();
+        }
+        let s5 = SnapshotId::new(LineId::ROOT, 5);
+        l.register_snapshot(s5);
+        let c1 = l.create_clone(s5);
+        l.register_snapshot(SnapshotId::new(c1, 8));
+        l.register_clone(s5, LineId(17));
+        l.delete_snapshot(s5); // cloned: becomes a zombie
+        l.delete_line(LineId(17));
+        let mut bytes = Vec::new();
+        l.encode(&mut bytes);
+        let mut at = 0;
+        let back = LineageTable::decode(&bytes, &mut at).expect("decodes");
+        assert_eq!(at, bytes.len(), "every byte consumed");
+        assert_eq!(back.current_cp(), l.current_cp());
+        assert_eq!(back.line_count(), l.line_count());
+        assert_eq!(back.zombies(), l.zombies());
+        for line in [LineId::ROOT, c1, LineId(17)] {
+            assert_eq!(back.line(line), l.line(line), "{line} info");
+            assert_eq!(back.snapshots_of(line), l.snapshots_of(line));
+            assert_eq!(
+                back.clones_within(line, 0, CP_INFINITY),
+                l.clones_within(line, 0, CP_INFINITY)
+            );
+            assert_eq!(
+                back.live_versions_in(line, 0, CP_INFINITY),
+                l.live_versions_in(line, 0, CP_INFINITY)
+            );
+        }
+        assert_eq!(back.clones_of(s5), l.clones_of(s5));
+        // Encoding is deterministic, and line allocation continues correctly.
+        let mut again = Vec::new();
+        back.encode(&mut again);
+        assert_eq!(again, bytes);
+        let mut back = back;
+        assert_eq!(back.create_clone(s5), LineId(18));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_or_garbage_bytes() {
+        let mut l = LineageTable::new();
+        l.advance_cp();
+        l.take_snapshot(LineId::ROOT);
+        let mut bytes = Vec::new();
+        l.encode(&mut bytes);
+        for cut in [0, 3, bytes.len() / 2, bytes.len() - 1] {
+            let mut at = 0;
+            assert!(
+                LineageTable::decode(&bytes[..cut], &mut at).is_none(),
+                "truncation at {cut} must be detected"
+            );
+        }
+        // A bad parent tag is rejected rather than misparsed: the header is
+        // next_line(4) + current_cp(8) + line_count(4), then the first
+        // line's id(4), so the parent tag sits at byte 20.
+        let mut bad = bytes.clone();
+        bad[20] = 9;
+        let mut at = 0;
+        assert!(LineageTable::decode(&bad, &mut at).is_none());
     }
 
     #[test]

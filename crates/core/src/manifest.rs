@@ -1,0 +1,411 @@
+//! The consistency-point manifest: one self-describing blob, written to a
+//! fresh virtual file at every CP, from which [`BacklogEngine::open`]
+//! rebuilds a fully functional engine.
+//!
+//! The manifest records everything volatile that the durable runs cannot
+//! describe themselves:
+//!
+//! * every table's per-partition run layout — run geometry, key bounds and
+//!   Bloom filter contents ([`RunMeta`]) plus each backing file's extents
+//!   ([`PersistedFile`]), which is what lets [`FileStore::restore`] rebuild
+//!   the extent map without scanning the device;
+//! * the deletion-vector contents of every partition;
+//! * the serialized [`LineageTable`] (lines, snapshots, clones, zombies and
+//!   the CP clock);
+//! * the engine's cumulative counters.
+//!
+//! Layout: an 8-byte magic, a version, the payload length and an FNV-1a
+//! checksum of the payload, then the payload. The blob is written to pages
+//! of a write-anywhere virtual file; the superblock (which records the
+//! file's raw extents, because the extent map lives *here*) is flipped only
+//! after every manifest page is on the device — so a torn manifest is never
+//! reachable, and the checksum guards against everything else.
+//!
+//! [`BacklogEngine::open`]: crate::BacklogEngine::open
+//! [`FileStore::restore`]: blockdev::FileStore::restore
+
+use blockdev::{fnv1a64, Device, FileId, FileStore, PersistedFile, Superblock, PAGE_SIZE};
+use lsm::{PartitionManifest, Partitioning, Record, RunMeta};
+
+use crate::error::{BacklogError, Result};
+use crate::lineage::LineageTable;
+use crate::record::{CombinedRecord, FromRecord, ToRecord};
+use crate::stats::BacklogStats;
+
+const MAGIC: &[u8; 8] = b"BKLGMANI";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+
+/// The three tables' per-partition manifests, in engine order.
+#[derive(Debug)]
+pub(crate) struct ManifestTables {
+    pub from: Vec<PartitionManifest<FromRecord>>,
+    pub to: Vec<PartitionManifest<ToRecord>>,
+    pub combined: Vec<PartitionManifest<CombinedRecord>>,
+}
+
+/// Everything a decoded manifest describes (see the module docs).
+#[derive(Debug)]
+pub(crate) struct DecodedManifest {
+    pub partitioning: Partitioning,
+    pub stats: BacklogStats,
+    pub lineage: LineageTable,
+    pub tables: ManifestTables,
+    /// The durable description of every run file, for [`FileStore::restore`].
+    pub files: Vec<PersistedFile>,
+}
+
+fn corrupt(detail: impl Into<String>) -> BacklogError {
+    BacklogError::Recovery {
+        detail: detail.into(),
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn get_u32(bytes: &[u8], at: &mut usize) -> Result<u32> {
+    let slice = bytes
+        .get(*at..*at + 4)
+        .ok_or_else(|| corrupt("manifest truncated"))?;
+    *at += 4;
+    Ok(u32::from_be_bytes(slice.try_into().unwrap()))
+}
+
+fn get_u64(bytes: &[u8], at: &mut usize) -> Result<u64> {
+    let slice = bytes
+        .get(*at..*at + 8)
+        .ok_or_else(|| corrupt("manifest truncated"))?;
+    *at += 8;
+    Ok(u64::from_be_bytes(slice.try_into().unwrap()))
+}
+
+fn encode_table<R: Record>(
+    out: &mut Vec<u8>,
+    files: &FileStore,
+    parts: &[PartitionManifest<R>],
+) -> Result<()> {
+    put_u32(out, parts.len() as u32);
+    for part in parts {
+        put_u32(out, part.runs.len() as u32);
+        for meta in &part.runs {
+            put_u64(out, meta.file.0);
+            put_u64(out, meta.records);
+            put_u64(out, meta.leaf_pages);
+            put_u64(out, meta.root_page);
+            put_u64(out, meta.min_key);
+            put_u64(out, meta.max_key);
+            put_u32(out, meta.bloom_hashes);
+            put_u64(out, meta.bloom_entries);
+            put_u32(out, meta.bloom_words.len() as u32);
+            for &w in &meta.bloom_words {
+                put_u64(out, w);
+            }
+            let pf = files.file_meta(meta.file)?;
+            put_u64(out, pf.len_pages);
+            put_u64(out, pf.len_bytes);
+            put_u32(out, pf.extents.len() as u32);
+            for &(start, len) in &pf.extents {
+                put_u64(out, start);
+                put_u64(out, len);
+            }
+        }
+        put_u32(out, part.deletions.len() as u32);
+        for rec in &part.deletions {
+            let at = out.len();
+            out.resize(at + R::ENCODED_LEN, 0);
+            rec.encode(&mut out[at..]);
+        }
+    }
+    Ok(())
+}
+
+fn decode_table<R: Record>(
+    bytes: &[u8],
+    at: &mut usize,
+    partitions: u32,
+    files: &mut Vec<PersistedFile>,
+) -> Result<Vec<PartitionManifest<R>>> {
+    let part_count = get_u32(bytes, at)?;
+    if part_count != partitions {
+        return Err(corrupt(format!(
+            "table has {part_count} partitions, header says {partitions}"
+        )));
+    }
+    let mut parts = Vec::with_capacity(part_count as usize);
+    for _ in 0..part_count {
+        let run_count = get_u32(bytes, at)?;
+        let mut runs = Vec::with_capacity(run_count as usize);
+        for _ in 0..run_count {
+            let file = FileId(get_u64(bytes, at)?);
+            let records = get_u64(bytes, at)?;
+            let leaf_pages = get_u64(bytes, at)?;
+            let root_page = get_u64(bytes, at)?;
+            let min_key = get_u64(bytes, at)?;
+            let max_key = get_u64(bytes, at)?;
+            let bloom_hashes = get_u32(bytes, at)?;
+            let bloom_entries = get_u64(bytes, at)?;
+            let word_count = get_u32(bytes, at)? as usize;
+            if word_count == 0 || !word_count.is_power_of_two() {
+                return Err(corrupt(format!("bloom filter of {word_count} words")));
+            }
+            let mut bloom_words = Vec::with_capacity(word_count);
+            for _ in 0..word_count {
+                bloom_words.push(get_u64(bytes, at)?);
+            }
+            runs.push(RunMeta {
+                file,
+                records,
+                leaf_pages,
+                root_page,
+                min_key,
+                max_key,
+                bloom_hashes,
+                bloom_entries,
+                bloom_words,
+            });
+            let len_pages = get_u64(bytes, at)?;
+            let len_bytes = get_u64(bytes, at)?;
+            let extent_count = get_u32(bytes, at)?;
+            let mut extents = Vec::with_capacity(extent_count as usize);
+            for _ in 0..extent_count {
+                extents.push((get_u64(bytes, at)?, get_u64(bytes, at)?));
+            }
+            files.push(PersistedFile {
+                id: file,
+                extents,
+                len_pages,
+                len_bytes,
+            });
+        }
+        let deletion_count = get_u32(bytes, at)? as usize;
+        let mut deletions = Vec::with_capacity(deletion_count);
+        for _ in 0..deletion_count {
+            let slice = bytes
+                .get(*at..*at + R::ENCODED_LEN)
+                .ok_or_else(|| corrupt("manifest truncated in deletion vector"))?;
+            deletions.push(R::decode(slice));
+            *at += R::ENCODED_LEN;
+        }
+        parts.push(PartitionManifest { runs, deletions });
+    }
+    Ok(parts)
+}
+
+/// Serializes a manifest blob. `files` resolves each referenced run file's
+/// extents; the caller must hold snapshots of every referenced run so none
+/// of the files can be deleted mid-encode.
+pub(crate) fn encode(
+    files: &FileStore,
+    partitioning: Partitioning,
+    stats: &BacklogStats,
+    lineage: &LineageTable,
+    tables: &ManifestTables,
+) -> Result<Vec<u8>> {
+    let mut payload = Vec::with_capacity(4096);
+    put_u32(&mut payload, partitioning.partition_count());
+    put_u64(&mut payload, partitioning.width());
+    for v in [
+        stats.refs_added,
+        stats.refs_removed,
+        stats.pruned_adds,
+        stats.pruned_removes,
+        stats.consistency_points,
+        stats.maintenance_runs,
+        stats.callback_ns,
+        stats.cp_flush_ns,
+        stats.maintenance_ns,
+        stats.queries,
+    ] {
+        put_u64(&mut payload, v);
+    }
+    lineage.encode(&mut payload);
+    encode_table(&mut payload, files, &tables.from)?;
+    encode_table(&mut payload, files, &tables.to)?;
+    encode_table(&mut payload, files, &tables.combined)?;
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_be_bytes());
+    put_u64(&mut out, payload.len() as u64);
+    put_u64(&mut out, fnv1a64(&payload));
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Parses and validates a manifest blob previously produced by [`encode`].
+pub(crate) fn decode(bytes: &[u8]) -> Result<DecodedManifest> {
+    if bytes.len() < HEADER_LEN || &bytes[0..8] != MAGIC {
+        return Err(corrupt("manifest magic missing"));
+    }
+    let version = u32::from_be_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported manifest version {version}")));
+    }
+    let payload_len = u64::from_be_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let checksum = u64::from_be_bytes(bytes[20..28].try_into().unwrap());
+    let payload = bytes
+        .get(HEADER_LEN..HEADER_LEN + payload_len)
+        .ok_or_else(|| corrupt("manifest shorter than its recorded length"))?;
+    if fnv1a64(payload) != checksum {
+        return Err(corrupt("manifest checksum mismatch"));
+    }
+
+    let mut at = 0;
+    let partitions = get_u32(payload, &mut at)?;
+    let width = get_u64(payload, &mut at)?;
+    if partitions == 0 || width == 0 {
+        return Err(corrupt(format!(
+            "invalid partitioning ({partitions} partitions × width {width})"
+        )));
+    }
+    let partitioning = Partitioning::from_raw(partitions, width);
+    let mut vals = [0u64; 10];
+    for v in &mut vals {
+        *v = get_u64(payload, &mut at)?;
+    }
+    let stats = BacklogStats {
+        block_ops: vals[0] + vals[1],
+        refs_added: vals[0],
+        refs_removed: vals[1],
+        pruned_adds: vals[2],
+        pruned_removes: vals[3],
+        consistency_points: vals[4],
+        maintenance_runs: vals[5],
+        callback_ns: vals[6],
+        cp_flush_ns: vals[7],
+        maintenance_ns: vals[8],
+        queries: vals[9],
+    };
+    let lineage = LineageTable::decode(payload, &mut at)
+        .ok_or_else(|| corrupt("lineage table failed to decode"))?;
+    let mut files = Vec::new();
+    let from = decode_table::<FromRecord>(payload, &mut at, partitions, &mut files)?;
+    let to = decode_table::<ToRecord>(payload, &mut at, partitions, &mut files)?;
+    let combined = decode_table::<CombinedRecord>(payload, &mut at, partitions, &mut files)?;
+    if at != payload.len() {
+        return Err(corrupt(format!(
+            "{} trailing bytes after manifest payload",
+            payload.len() - at
+        )));
+    }
+    Ok(DecodedManifest {
+        partitioning,
+        stats,
+        lineage,
+        tables: ManifestTables { from, to, combined },
+        files,
+    })
+}
+
+/// Reads the raw manifest blob a superblock points at, straight from device
+/// pages (the extent map that would normally resolve the manifest's file
+/// lives inside the manifest itself).
+pub(crate) fn read_raw(device: &dyn Device, sb: &Superblock) -> Result<Vec<u8>> {
+    let total_pages: u64 = sb.manifest_extents.iter().map(|&(_, len)| len).sum();
+    if sb.manifest_len_bytes > total_pages * PAGE_SIZE as u64 {
+        return Err(corrupt(format!(
+            "superblock records {} manifest bytes but only {total_pages} pages",
+            sb.manifest_len_bytes
+        )));
+    }
+    let mut bytes = Vec::with_capacity((total_pages as usize) * PAGE_SIZE);
+    for &(start, len) in &sb.manifest_extents {
+        for page in start..start + len {
+            bytes.extend_from_slice(&device.read_page(page)?);
+        }
+    }
+    bytes.truncate(sb.manifest_len_bytes as usize);
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{LineId, Owner};
+    use crate::RefIdentity;
+    use blockdev::{DeviceConfig, SimDisk};
+    use lsm::{BloomConfig, Run};
+    use std::sync::Arc;
+
+    fn sample() -> (Arc<FileStore>, ManifestTables, LineageTable, BacklogStats) {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk));
+        let identity = |b: u64| RefIdentity::new(b, Owner::block(1, b, LineId::ROOT));
+        let from_records: Vec<FromRecord> =
+            (0..100).map(|b| FromRecord::new(identity(b), 1)).collect();
+        let run = Run::build(&files, &from_records, &BloomConfig::default())
+            .unwrap()
+            .unwrap();
+        let tables = ManifestTables {
+            from: vec![PartitionManifest {
+                runs: vec![run.meta()],
+                deletions: vec![FromRecord::new(identity(3), 1)],
+            }],
+            to: vec![PartitionManifest {
+                runs: vec![],
+                deletions: vec![],
+            }],
+            combined: vec![PartitionManifest {
+                runs: vec![],
+                deletions: vec![],
+            }],
+        };
+        let mut lineage = LineageTable::new();
+        lineage.advance_cp();
+        lineage.take_snapshot(LineId::ROOT);
+        let stats = BacklogStats {
+            block_ops: 110,
+            refs_added: 100,
+            refs_removed: 10,
+            consistency_points: 2,
+            ..Default::default()
+        };
+        // Dropping an unretired run leaves its file live in the store.
+        drop(run);
+        (files, tables, lineage, stats)
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let (files, tables, lineage, stats) = sample();
+        let blob = encode(&files, Partitioning::single(), &stats, &lineage, &tables).unwrap();
+        let decoded = decode(&blob).unwrap();
+        assert_eq!(decoded.partitioning, Partitioning::single());
+        assert_eq!(decoded.stats, stats);
+        assert_eq!(decoded.lineage.current_cp(), lineage.current_cp());
+        assert_eq!(decoded.tables.from[0].runs, tables.from[0].runs);
+        assert_eq!(decoded.tables.from[0].deletions, tables.from[0].deletions);
+        assert!(decoded.tables.to[0].runs.is_empty());
+        assert_eq!(decoded.files.len(), 1);
+        assert_eq!(
+            decoded.files[0],
+            files.file_meta(decoded.files[0].id).unwrap()
+        );
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_detected() {
+        let (files, tables, lineage, stats) = sample();
+        let blob = encode(&files, Partitioning::single(), &stats, &lineage, &tables).unwrap();
+        // Flip a payload byte: checksum mismatch.
+        let mut bad = blob.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x80;
+        assert!(matches!(decode(&bad), Err(BacklogError::Recovery { .. })));
+        // Truncate: shorter than recorded length.
+        assert!(matches!(
+            decode(&blob[..blob.len() - 10]),
+            Err(BacklogError::Recovery { .. })
+        ));
+        // Wrong magic.
+        let mut bad = blob;
+        bad[0] = b'X';
+        assert!(matches!(decode(&bad), Err(BacklogError::Recovery { .. })));
+    }
+}

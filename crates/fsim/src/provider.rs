@@ -12,9 +12,13 @@
 //! * `baseline::NaiveBackrefs` — the strawman conceptual-table design from
 //!   Section 4.1, used to demonstrate why the log-structured design matters.
 
+use std::sync::Arc;
+
 use backlog::{
-    BacklogConfig, BacklogEngine, BlockNo, CpNumber, LineId, Owner, RefOp, SnapshotId, WriteBatch,
+    BacklogConfig, BacklogEngine, BlockNo, CpNumber, Journal, LineId, Owner, RefOp, SnapshotId,
+    WriteBatch,
 };
+use blockdev::Device;
 
 use crate::error::Result;
 
@@ -222,6 +226,54 @@ impl BacklogProvider {
     /// device with other instrumentation).
     pub fn with_engine(engine: BacklogEngine) -> Self {
         BacklogProvider { engine }
+    }
+
+    /// Creates a provider around a *durable* engine on an empty device:
+    /// every consistency point writes a CP manifest and flips the
+    /// superblock, so the provider can later be [`reopen`](Self::reopen)ed
+    /// from the same device after a crash or clean shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors from writing the initial manifest.
+    pub fn create_durable(device: Arc<dyn Device>, config: BacklogConfig) -> Result<Self> {
+        Ok(BacklogProvider {
+            engine: BacklogEngine::create_durable(device, config)
+                .map_err(crate::error::FsError::from)?,
+        })
+    }
+
+    /// Reopens a provider from raw device contents — the state as of the
+    /// last durable consistency point. The host file system must resume its
+    /// CP numbering from [`BacklogEngine::current_cp`] (the simulator's
+    /// restart path does) and replay its journal of post-CP reference
+    /// callbacks, if it keeps one, via
+    /// [`backlog::replay_journal`] or [`reopen_with_journal`](Self::reopen_with_journal).
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery errors (no superblock, corrupt manifest,
+    /// mismatched configuration).
+    pub fn reopen(device: Arc<dyn Device>, config: BacklogConfig) -> Result<Self> {
+        Ok(BacklogProvider {
+            engine: BacklogEngine::open(device, config).map_err(crate::error::FsError::from)?,
+        })
+    }
+
+    /// [`reopen`](Self::reopen) plus a journal replay, returning the
+    /// provider and the number of journal entries applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery errors.
+    pub fn reopen_with_journal(
+        device: Arc<dyn Device>,
+        config: BacklogConfig,
+        journal: &Journal,
+    ) -> Result<(Self, usize)> {
+        let (engine, applied) = BacklogEngine::open_with_journal(device, config, journal)
+            .map_err(crate::error::FsError::from)?;
+        Ok((BacklogProvider { engine }, applied))
     }
 
     /// The wrapped engine.

@@ -92,6 +92,29 @@ impl BloomFilter {
         self.hashes
     }
 
+    /// The raw 64-bit words of the bit array, for persisting the filter in a
+    /// consistency-point manifest.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Reconstructs a filter from words previously captured via
+    /// [`words`](Self::words). `words.len()` must be a non-zero power of two
+    /// (every filter this type builds satisfies that); other lengths are
+    /// rounded up with zero-fill, which can only make the filter report
+    /// false negatives for keys it never saw — callers validating manifests
+    /// should reject such lengths upstream.
+    pub fn from_parts(mut words: Vec<u64>, hashes: u32, entries: usize) -> Self {
+        let len = words.len().max(1).next_power_of_two();
+        words.resize(len, 0);
+        BloomFilter {
+            num_bits: len * 64,
+            bits: words,
+            hashes: hashes.max(1),
+            entries,
+        }
+    }
+
     fn positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
         // Two independent 64-bit mixes combined with double hashing
         // (Kirsch–Mitzenmacher) give the k probe positions.

@@ -78,6 +78,12 @@ impl<R: Record> DeletionVector<R> {
         }
     }
 
+    /// Iterates over the marked records in sorted order (for persisting the
+    /// vector in a consistency-point manifest).
+    pub fn iter(&self) -> impl Iterator<Item = &R> + '_ {
+        self.deleted.iter()
+    }
+
     /// Filters a sorted result set in place, removing marked records.
     pub fn filter(&self, records: &mut Vec<R>) {
         if self.deleted.is_empty() {

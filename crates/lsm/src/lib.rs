@@ -88,8 +88,9 @@ pub use deletion_vector::DeletionVector;
 pub use error::{LsmError, Result};
 pub use partition::Partitioning;
 pub use record::Record;
-pub use run::{Run, RunBuilder, RunRangeIter, RunStats};
+pub use run::{Run, RunBuilder, RunMeta, RunRangeIter, RunStats};
 pub use store::{
-    FlushStats, LsmTable, MaintenanceStats, PartitionSnapshot, TableConfig, TableStats,
+    FlushStats, LsmTable, MaintenanceStats, PartitionManifest, PartitionSnapshot, TableConfig,
+    TableStats,
 };
 pub use write_store::{ShardedWriteStore, WriteShard, WriteStore};

@@ -57,6 +57,24 @@ impl Partitioning {
         self.partitions
     }
 
+    /// Width of each partition's key range (the last partition absorbs the
+    /// remainder). Together with [`partition_count`](Self::partition_count)
+    /// this fully describes the scheme, which is how a consistency-point
+    /// manifest persists it.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Reconstructs a scheme from its persisted `(partitions, width)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is zero (a corrupt manifest should be rejected
+    /// before calling this).
+    pub fn from_raw(partitions: u32, width: u64) -> Self {
+        Self::fixed_ranges(partitions, width)
+    }
+
     /// The partition index for `key`.
     pub fn partition_of(&self, key: u64) -> u32 {
         if self.partitions == 1 {

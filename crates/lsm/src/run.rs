@@ -14,6 +14,34 @@ const PAGE_HEADER: usize = 4;
 const KIND_LEAF: u8 = 1;
 const KIND_INTERNAL: u8 = 2;
 
+/// Everything needed to reopen a [`Run`] from its (immutable) backing file
+/// without scanning it: the B-tree geometry, the key bounds and the Bloom
+/// filter contents. A consistency-point manifest records one `RunMeta` per
+/// installed run; [`Run::open_from_meta`] turns it back into a live run in
+/// O(extent-map) time, which is what makes
+/// `BacklogEngine::open` independent of the database's record count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// The backing virtual file.
+    pub file: FileId,
+    /// Number of records stored in the run.
+    pub records: u64,
+    /// Number of leaf pages (pages `0..leaf_pages` of the file).
+    pub leaf_pages: u64,
+    /// Page offset of the B-tree root within the file (the last page).
+    pub root_page: u64,
+    /// Smallest partition key stored.
+    pub min_key: u64,
+    /// Largest partition key stored.
+    pub max_key: u64,
+    /// Number of hash functions of the run's Bloom filter.
+    pub bloom_hashes: u32,
+    /// Number of keys inserted into the Bloom filter.
+    pub bloom_entries: u64,
+    /// The Bloom filter's raw bit words.
+    pub bloom_words: Vec<u64>,
+}
+
 /// Summary statistics for a single on-disk run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunStats {
@@ -98,6 +126,65 @@ impl<R: Record> Run<R> {
             }
         }
         builder.finish().map(Some)
+    }
+
+    /// Captures the run's durable description for a consistency-point
+    /// manifest (see [`RunMeta`]). The backing file's extents are the
+    /// [`FileStore`]'s business and are recorded separately.
+    pub fn meta(&self) -> RunMeta {
+        RunMeta {
+            file: self.file,
+            records: self.records,
+            leaf_pages: self.leaf_pages,
+            root_page: self.root_page,
+            min_key: self.min_key,
+            max_key: self.max_key,
+            bloom_hashes: self.bloom.hashes(),
+            bloom_entries: self.bloom.entries() as u64,
+            bloom_words: self.bloom.words().to_vec(),
+        }
+    }
+
+    /// Reopens a run from a [`RunMeta`] recorded at the last consistency
+    /// point. The backing file must already be live in `files` (restored via
+    /// [`FileStore::restore`](blockdev::FileStore::restore)); no page is
+    /// read — the extent-map snapshot is taken and the in-memory Bloom
+    /// filter is rebuilt from the persisted words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsmError::CorruptRun`] if the file's length disagrees with
+    /// the recorded geometry, and propagates file-store errors.
+    pub fn open_from_meta(files: &Arc<FileStore>, meta: &RunMeta) -> Result<Self> {
+        let map = files.map_file(meta.file)?;
+        if map.len_pages() != meta.root_page + 1 || meta.leaf_pages > meta.root_page + 1 {
+            return Err(LsmError::CorruptRun {
+                detail: format!(
+                    "{} holds {} pages but the manifest records root page {} ({} leaves)",
+                    meta.file,
+                    map.len_pages(),
+                    meta.root_page,
+                    meta.leaf_pages
+                ),
+            });
+        }
+        Ok(Run {
+            files: files.clone(),
+            file: meta.file,
+            map,
+            root_page: meta.root_page,
+            leaf_pages: meta.leaf_pages,
+            records: meta.records,
+            min_key: meta.min_key,
+            max_key: meta.max_key,
+            bloom: crate::bloom::BloomFilter::from_parts(
+                meta.bloom_words.clone(),
+                meta.bloom_hashes,
+                meta.bloom_entries as usize,
+            ),
+            retired: AtomicBool::new(false),
+            _marker: PhantomData,
+        })
     }
 
     /// This run's statistics.

@@ -11,8 +11,20 @@ use crate::error::{LsmError, Result};
 use crate::merge::{KWayMerge, TryKWayMerge};
 use crate::partition::Partitioning;
 use crate::record::Record;
-use crate::run::{Run, RunBuilder, RunRangeIter, RunStats};
+use crate::run::{Run, RunBuilder, RunMeta, RunRangeIter, RunStats};
 use crate::write_store::{ShardedWriteStore, WriteShard};
+
+/// One partition's durable description inside a consistency-point manifest:
+/// the installed runs (oldest first) and the deletion-vector contents.
+/// Captured by [`PartitionSnapshot::manifest`] and replayed by
+/// [`LsmTable::open_from_manifest`].
+#[derive(Debug, Clone)]
+pub struct PartitionManifest<R: Record> {
+    /// The partition's runs, oldest first.
+    pub runs: Vec<RunMeta>,
+    /// The partition's deletion-vector records, sorted.
+    pub deletions: Vec<R>,
+}
 
 /// Configuration for an [`LsmTable`].
 #[derive(Debug, Clone)]
@@ -168,6 +180,17 @@ impl<R: Record> PartitionSnapshot<R> {
         self.runs.iter().map(|r| r.len()).sum()
     }
 
+    /// Captures this snapshot's durable description for a consistency-point
+    /// manifest. The caller must keep the snapshot alive until the manifest
+    /// is durably on disk: the snapshot's `Arc`s are what stop a concurrent
+    /// rebuild commit from deleting the referenced run files mid-write.
+    pub fn manifest(&self) -> PartitionManifest<R> {
+        PartitionManifest {
+            runs: self.runs.iter().map(|r| r.meta()).collect(),
+            deletions: self.deletions.iter().cloned().collect(),
+        }
+    }
+
     /// Returns a lazy, sorted stream over the snapshot's records, with the
     /// deletion vector applied record by record. This is the read stage of
     /// the streaming rebuild pipeline: each run contributes one lazy
@@ -266,6 +289,75 @@ impl<R: Record> LsmTable<R> {
                 .collect(),
             flush_lock: Mutex::new(()),
         }
+    }
+
+    /// Rebuilds a table from the per-partition state a consistency-point
+    /// manifest recorded. The backing run files must already be live in
+    /// `files` (see [`FileStore::restore`](blockdev::FileStore::restore));
+    /// each run is reopened from its [`RunMeta`] without reading a page, and
+    /// the deletion vectors are repopulated. The write store starts empty —
+    /// its contents were volatile by definition and are recovered, if at
+    /// all, by replaying the host's journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsmError::CorruptRun`] if `parts` does not have exactly one
+    /// entry per configured partition, a run's geometry disagrees with its
+    /// file, or a record is filed under the wrong partition.
+    pub fn open_from_manifest(
+        files: Arc<FileStore>,
+        config: TableConfig,
+        parts: Vec<PartitionManifest<R>>,
+    ) -> Result<Self> {
+        let partition_count = config.partitioning.partition_count() as usize;
+        if parts.len() != partition_count {
+            return Err(LsmError::CorruptRun {
+                detail: format!(
+                    "table {} manifest has {} partitions, config says {partition_count}",
+                    config.name,
+                    parts.len()
+                ),
+            });
+        }
+        let mut partitions = Vec::with_capacity(partition_count);
+        for (pidx, part) in parts.into_iter().enumerate() {
+            let (min, max) = config.partitioning.key_range(pidx as u32);
+            let mut runs = Vec::with_capacity(part.runs.len());
+            for meta in &part.runs {
+                if meta.records > 0 && (meta.min_key < min || meta.max_key > max) {
+                    return Err(LsmError::CorruptRun {
+                        detail: format!(
+                            "run {} keys [{}, {}] escape partition {pidx} [{min}, {max}]",
+                            meta.file, meta.min_key, meta.max_key
+                        ),
+                    });
+                }
+                runs.push(Arc::new(Run::open_from_meta(&files, meta)?));
+            }
+            let mut deletions = DeletionVector::new();
+            for rec in part.deletions {
+                let key = rec.partition_key();
+                if key < min || key > max {
+                    return Err(LsmError::CorruptRun {
+                        detail: format!(
+                            "deletion mark for key {key} filed under partition {pidx} [{min}, {max}]"
+                        ),
+                    });
+                }
+                deletions.insert(rec);
+            }
+            partitions.push(RwLock::new(PartitionState {
+                runs: Arc::new(runs),
+                deletions: Arc::new(deletions),
+            }));
+        }
+        Ok(LsmTable {
+            ws: ShardedWriteStore::new(config.partitioning, files.device().clone()),
+            files,
+            config,
+            partitions,
+            flush_lock: Mutex::new(()),
+        })
     }
 
     /// The table configuration.
@@ -1574,6 +1666,83 @@ mod tests {
             2_000,
             "every record exactly once"
         );
+    }
+
+    #[test]
+    fn manifest_roundtrip_reopens_identical_table() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk.clone()));
+        let mk_config =
+            || TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(4, 1_000));
+        let t = LsmTable::new(files.clone(), mk_config());
+        for cp in 0..3u64 {
+            for i in 0..4_000u64 {
+                t.insert(TestRec::new(i, cp));
+            }
+            t.flush_cp().unwrap();
+        }
+        t.mark_deleted(TestRec::new(10, 0));
+        t.mark_deleted(TestRec::new(3_500, 2));
+        let want = t.scan_disk().unwrap();
+        let want_stats = t.stats();
+        let reads_before = disk.stats().snapshot().page_reads;
+        // Capture the manifest and reopen on the same file store (the files
+        // are still live, as they would be after FileStore::restore).
+        let parts: Vec<PartitionManifest<TestRec>> =
+            (0..4).map(|p| t.partition_snapshot(p).manifest()).collect();
+        drop(t);
+        let reopened = LsmTable::open_from_manifest(files, mk_config(), parts).unwrap();
+        assert_eq!(
+            disk.stats().snapshot().page_reads,
+            reads_before,
+            "reopening reads no pages"
+        );
+        assert_eq!(reopened.scan_disk().unwrap(), want);
+        let got_stats = reopened.stats();
+        assert_eq!(got_stats.run_count, want_stats.run_count);
+        assert_eq!(got_stats.disk_records, want_stats.disk_records);
+        assert_eq!(got_stats.deleted_records, 2);
+        assert_eq!(got_stats.bloom_bytes, want_stats.bloom_bytes);
+        // The reopened table is fully functional: bloom filters still skip
+        // absent keys, inserts and flushes still work.
+        let reads = disk.stats().snapshot().page_reads;
+        assert!(reopened.query_range(999_999, 999_999).unwrap().is_empty());
+        assert_eq!(disk.stats().snapshot().page_reads, reads);
+        reopened.insert(TestRec::new(42, 9));
+        reopened.flush_cp().unwrap();
+        assert_eq!(reopened.scan_all().unwrap().len(), want.len() + 1);
+    }
+
+    #[test]
+    fn open_from_manifest_rejects_inconsistent_state() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let files = Arc::new(FileStore::new(disk));
+        let config =
+            TableConfig::named("parted").with_partitioning(Partitioning::fixed_ranges(2, 1_000));
+        let t = LsmTable::new(files.clone(), config.clone());
+        for i in 0..2_000u64 {
+            t.insert(TestRec::new(i, 0));
+        }
+        t.flush_cp().unwrap();
+        let parts: Vec<PartitionManifest<TestRec>> =
+            (0..2).map(|p| t.partition_snapshot(p).manifest()).collect();
+        // Wrong partition count.
+        let r = LsmTable::open_from_manifest(files.clone(), config.clone(), parts[..1].to_vec());
+        assert!(matches!(r, Err(LsmError::CorruptRun { .. })));
+        // Runs filed under the wrong partition.
+        let swapped = vec![parts[1].clone(), parts[0].clone()];
+        let r = LsmTable::open_from_manifest(files.clone(), config.clone(), swapped);
+        assert!(matches!(r, Err(LsmError::CorruptRun { .. })));
+        // Geometry that disagrees with the backing file.
+        let mut bad = parts.clone();
+        bad[0].runs[0].root_page += 1;
+        let r = LsmTable::open_from_manifest(files.clone(), config.clone(), bad);
+        assert!(matches!(r, Err(LsmError::CorruptRun { .. })));
+        // Deletion mark filed under the wrong partition.
+        let mut bad = parts;
+        bad[0].deletions.push(TestRec::new(1_500, 0));
+        let r = LsmTable::open_from_manifest(files, config, bad);
+        assert!(matches!(r, Err(LsmError::CorruptRun { .. })));
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Differential crash-recovery property test: a random workload (reference
+//! churn, consistency points, snapshots, clones, maintenance) runs on a
+//! durable journaled engine and on a never-crashed reference engine; the
+//! durable engine is then crashed at a random device write of its final
+//! consistency point, reopened from the device, and recovered — lineage
+//! metadata from the host's metadata log (a write-anywhere file system
+//! recovers snapshot metadata from its own journal), reference operations
+//! from the Backlog journal. The recovered engine must answer every query
+//! exactly like the engine that never crashed.
+
+use backlog::{replay_journal, BacklogConfig, BacklogEngine, Journal, LineId, Owner, SnapshotId};
+use blockdev::{DeviceConfig, SimDisk};
+use proptest::prelude::*;
+
+/// One step of the random workload.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Add {
+        block: u64,
+        inode: u64,
+        offset: u64,
+        line: usize,
+    },
+    Remove {
+        block: u64,
+        inode: u64,
+        offset: u64,
+        line: usize,
+    },
+    ConsistencyPoint,
+    Snapshot {
+        line: usize,
+    },
+    Clone {
+        snap: usize,
+    },
+    DeleteSnapshot {
+        snap: usize,
+    },
+    Maintenance,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        5 => (0u64..40, 1u64..6, 0u64..8, 0usize..4)
+            .prop_map(|(block, inode, offset, line)| Step::Add { block, inode, offset, line }),
+        3 => (0u64..40, 1u64..6, 0u64..8, 0usize..4)
+            .prop_map(|(block, inode, offset, line)| Step::Remove { block, inode, offset, line }),
+        2 => Just(Step::ConsistencyPoint),
+        1 => (0usize..4).prop_map(|line| Step::Snapshot { line }),
+        1 => (0usize..4).prop_map(|snap| Step::Clone { snap }),
+        1 => (0usize..4).prop_map(|snap| Step::DeleteSnapshot { snap }),
+        1 => Just(Step::Maintenance),
+    ]
+}
+
+/// A lineage operation the host's metadata journal re-applies after a crash
+/// (snapshot/clone metadata is file-system metadata, recovered by the file
+/// system's own journal — the Backlog journal carries only reference ops).
+#[derive(Debug, Clone, Copy)]
+enum MetaOp {
+    TakeSnapshot(LineId),
+    RegisterClone(SnapshotId, LineId),
+    DeleteSnapshot(SnapshotId),
+}
+
+fn apply_meta(engine: &BacklogEngine, op: MetaOp) {
+    match op {
+        MetaOp::TakeSnapshot(line) => {
+            engine.take_snapshot(line);
+        }
+        MetaOp::RegisterClone(parent, line) => engine.register_clone(parent, line),
+        MetaOp::DeleteSnapshot(snap) => engine.delete_snapshot(snap),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Crash at write `fault` of the final CP, reopen, replay: queries pin
+    /// to the never-crashed engine for any workload and fault point.
+    #[test]
+    fn crashed_engine_recovers_to_reference(
+        steps in proptest::collection::vec(step_strategy(), 1..90),
+        partitions in 1u32..4,
+        fault in 0u64..60,
+    ) {
+        let config = BacklogConfig::partitioned(partitions, 40)
+            .without_timing()
+            .with_journaling();
+        let device = SimDisk::new_shared(DeviceConfig::free_latency());
+        let live = BacklogEngine::create_durable(device.clone(), config.clone()).unwrap();
+        let reference = BacklogEngine::new_simulated(config.clone());
+
+        // Host-side bookkeeping shared by both engines so their random
+        // choices are identical.
+        let mut lines = vec![LineId::ROOT];
+        let mut snapshots: Vec<SnapshotId> = Vec::new();
+        // The host metadata journal: lineage ops since the last durable CP.
+        let mut meta_log: Vec<MetaOp> = Vec::new();
+
+        for step in &steps {
+            match *step {
+                Step::Add { block, inode, offset, line } => {
+                    let owner = Owner::block(inode, offset, lines[line % lines.len()]);
+                    live.add_reference(block, owner);
+                    reference.add_reference(block, owner);
+                }
+                Step::Remove { block, inode, offset, line } => {
+                    let owner = Owner::block(inode, offset, lines[line % lines.len()]);
+                    live.remove_reference(block, owner);
+                    reference.remove_reference(block, owner);
+                }
+                Step::ConsistencyPoint => {
+                    live.consistency_point().unwrap();
+                    reference.consistency_point().unwrap();
+                    meta_log.clear(); // durable now
+                }
+                Step::Snapshot { line } => {
+                    let line = lines[line % lines.len()];
+                    let a = live.take_snapshot(line);
+                    let b = reference.take_snapshot(line);
+                    prop_assert_eq!(a, b, "snapshot ids diverged");
+                    snapshots.push(a);
+                    meta_log.push(MetaOp::TakeSnapshot(line));
+                }
+                Step::Clone { snap } => {
+                    if snapshots.is_empty() {
+                        continue;
+                    }
+                    let parent = snapshots[snap % snapshots.len()];
+                    let a = live.create_clone(parent);
+                    let b = reference.create_clone(parent);
+                    prop_assert_eq!(a, b, "clone lines diverged");
+                    lines.push(a);
+                    meta_log.push(MetaOp::RegisterClone(parent, a));
+                }
+                Step::DeleteSnapshot { snap } => {
+                    if snapshots.is_empty() {
+                        continue;
+                    }
+                    let snap = snapshots[snap % snapshots.len()];
+                    live.delete_snapshot(snap);
+                    reference.delete_snapshot(snap);
+                    meta_log.push(MetaOp::DeleteSnapshot(snap));
+                }
+                Step::Maintenance => {
+                    live.maintenance().unwrap();
+                    reference.maintenance().unwrap();
+                }
+            }
+        }
+
+        // Crash the final consistency point at device write `fault`. If the
+        // fault point lies beyond the CP's writes, the CP completes — a
+        // clean-shutdown reopen, which must also pin to the reference.
+        device.fail_writes_after(fault);
+        let attempt = live.consistency_point();
+        device.clear_write_fault();
+        let nvram = live.journal_snapshot().unwrap();
+        drop(live);
+
+        let recovered = match attempt {
+            Ok(_) => {
+                reference.consistency_point().unwrap();
+                BacklogEngine::open(device, config).unwrap()
+            }
+            Err(_) => {
+                let recovered = BacklogEngine::open(device, config).unwrap();
+                // Host recovery order: file-system metadata first (the
+                // lineage ops), then the reference-callback journal.
+                for &op in &meta_log {
+                    apply_meta(&recovered, op);
+                }
+                let journal = Journal::from_bytes(&nvram.to_bytes()).unwrap();
+                replay_journal(&recovered, &journal);
+                recovered
+            }
+        };
+
+        prop_assert_eq!(
+            recovered.current_cp(),
+            reference.current_cp(),
+            "CP clock diverged"
+        );
+        for block in 0..40u64 {
+            prop_assert_eq!(
+                recovered.live_owners(block).unwrap(),
+                reference.live_owners(block).unwrap(),
+                "block {} owners diverged after recovery (fault point {})",
+                block,
+                fault
+            );
+        }
+        let (sa, sb) = (recovered.stats(), reference.stats());
+        prop_assert_eq!(sa.refs_added, sb.refs_added, "refs_added diverged");
+        prop_assert_eq!(sa.refs_removed, sb.refs_removed, "refs_removed diverged");
+
+        // The recovered engine keeps working: another CP + maintenance pass,
+        // applied to both, must leave queries aligned.
+        recovered.consistency_point().unwrap();
+        recovered.maintenance().unwrap();
+        reference.consistency_point().unwrap();
+        reference.maintenance().unwrap();
+        for block in 0..40u64 {
+            prop_assert_eq!(
+                recovered.live_owners(block).unwrap(),
+                reference.live_owners(block).unwrap(),
+                "block {} owners diverged after post-recovery maintenance",
+                block
+            );
+        }
+    }
+}
