@@ -1,0 +1,52 @@
+//! Runs the deterministic simulation seed matrix and measures scenario
+//! throughput, emitting JSON (captured in `BENCH_sim.json` at the repo
+//! root). Doubles as the CI `sim-smoke` gate: any failing scenario prints
+//! its one-line `seed=…` reproduction to stderr and the process exits
+//! non-zero.
+//!
+//! Run with `cargo run --release --bin bench_sim`; pass `--smoke` for the
+//! 32-seed CI matrix.
+
+use std::time::Instant;
+
+use backlog_sim::run_matrix;
+
+/// Base of the fixed matrix. Arbitrary but frozen: CI runs the same
+/// schedules on every PR, so a regression in any of them bisects cleanly.
+const SEED_BASE: u64 = 0xB10C_0000;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seeds: Vec<u64> = (0..if smoke { 32u64 } else { 256 })
+        .map(|i| SEED_BASE + i * 7_919)
+        .collect();
+
+    let start = Instant::now();
+    let report = run_matrix(&seeds);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    let failures = report.failures();
+    if !failures.is_empty() {
+        eprintln!("{} failing scenario(s):", failures.len());
+        for outcome in &failures {
+            eprintln!("  {}", outcome.repro_line());
+        }
+        std::process::exit(1);
+    }
+
+    let scenarios = report.outcomes.len();
+    let scenarios_per_sec = scenarios as f64 * 1e9 / wall_ns as f64;
+    println!("{{");
+    println!(
+        "  \"sim_{scenarios}seeds\": {{ \"scenarios\": {scenarios}, \"steps\": {}, \
+\"mid_cp_crashes\": {}, \"torn_pages\": {}, \"lost_pages\": {}, \
+\"wall_ms\": {:.1}, \"scenarios_per_sec\": {:.1} }}",
+        report.total_steps(),
+        report.mid_cp_crashes(),
+        report.torn_pages(),
+        report.lost_pages(),
+        wall_ns as f64 / 1e6,
+        scenarios_per_sec,
+    );
+    println!("}}");
+}

@@ -117,6 +117,13 @@ impl Device for PageCache {
         Ok(())
     }
 
+    fn flush(&self) -> Result<()> {
+        // The read cache holds no dirty data (writes are write-through), so
+        // a barrier only needs to reach the underlying device. Relying on
+        // the trait default here would silently drop the barrier.
+        self.inner.flush()
+    }
+
     fn stats(&self) -> &IoStats {
         self.inner.stats()
     }

@@ -1,13 +1,19 @@
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::error::{DeviceError, Result};
 use crate::latency::{LatencyModel, SimClock};
 use crate::stats::IoStats;
 use crate::{PageNo, PAGE_SIZE};
+
+/// The sector size used by the torn-write model: a torn page persists a
+/// whole number of sectors, never a partial one.
+pub const SECTOR_SIZE: usize = 512;
 
 /// Configuration for a [`SimDisk`].
 #[derive(Debug, Clone)]
@@ -61,6 +67,87 @@ impl DeviceConfig {
     }
 }
 
+/// Per-operation probabilistic fault injection, seeded for reproducibility.
+///
+/// Unlike the counter-based [`SimDisk::fail_writes_after`] /
+/// [`SimDisk::fail_reads_after`] injections (which kill exactly one scheduled
+/// operation), a profile makes *every* I/O a biased coin flip drawn from a
+/// seeded generator, so a whole workload sees a realistic scatter of failures
+/// that replays bit-for-bit from the seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Seed for the fault generator.
+    pub seed: u64,
+    /// Probability that a read fails with [`DeviceError::InjectedFault`].
+    pub read_fault: f64,
+    /// Probability that a write fails with [`DeviceError::InjectedFault`].
+    pub write_fault: f64,
+    /// Given a write fault, the probability that the failed write still tears
+    /// the target page: a sector-aligned prefix of the new content persists
+    /// over the old content before the error is reported. Zero means failed
+    /// writes have no effect on media, matching the counter-based injection.
+    pub torn_write: f64,
+}
+
+impl FaultProfile {
+    /// A profile that never fires; useful as a base for struct update syntax.
+    pub fn quiet(seed: u64) -> Self {
+        FaultProfile {
+            seed,
+            read_fault: 0.0,
+            write_fault: 0.0,
+            torn_write: 0.0,
+        }
+    }
+}
+
+/// The fate distribution for unflushed cached writes at a simulated power
+/// cut: each cached page independently persists whole, persists torn
+/// (sector-aligned prefix), or is lost entirely.
+///
+/// Probabilities are evaluated in order: a draw below `persist` persists the
+/// page, a draw below `persist + torn` tears it, anything else loses it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCutProfile {
+    /// Seed for the per-page fate draws (independent of the fault profile,
+    /// so a cut is reproducible regardless of how many I/Os preceded it).
+    pub seed: u64,
+    /// Probability that a cached page persists in full.
+    pub persist: f64,
+    /// Probability that a cached page persists a torn prefix.
+    pub torn: f64,
+}
+
+impl PowerCutProfile {
+    /// Every unflushed write is discarded — the harshest (and simplest) cut.
+    pub fn lose_all(seed: u64) -> Self {
+        PowerCutProfile {
+            seed,
+            persist: 0.0,
+            torn: 0.0,
+        }
+    }
+}
+
+/// What a [`SimDisk::power_cut`] did to the unflushed write cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PowerCutReport {
+    /// Cached pages that persisted in full.
+    pub persisted: u64,
+    /// Cached pages that persisted a sector-aligned prefix over their
+    /// previous stable content.
+    pub torn: u64,
+    /// Cached pages that were discarded entirely.
+    pub lost: u64,
+}
+
+impl PowerCutReport {
+    /// Total cached pages affected by the cut.
+    pub fn total(&self) -> u64 {
+        self.persisted + self.torn + self.lost
+    }
+}
+
 /// The interface shared by raw and cached devices.
 ///
 /// `Device` is object-safe; higher layers hold `Arc<dyn Device>` so that the
@@ -84,6 +171,20 @@ pub trait Device: Send + Sync + std::fmt::Debug {
     /// and [`DeviceError::OutOfRange`] if the page is beyond the capacity.
     fn write_page(&self, page: PageNo, data: &[u8]) -> Result<()>;
 
+    /// Write barrier: every write issued before this call is durable when it
+    /// returns. On a device without a volatile write cache this is a no-op;
+    /// on a [`SimDisk`] with [`SimDisk::set_write_cache`] enabled it commits
+    /// the cache to stable storage, so a later
+    /// [`power_cut`](SimDisk::power_cut) cannot touch those pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeviceError`] if the device cannot make the outstanding
+    /// writes durable. The in-memory simulators never fail a flush.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+
     /// The I/O counters for this device.
     fn stats(&self) -> &IoStats;
 
@@ -94,20 +195,57 @@ pub trait Device: Send + Sync + std::fmt::Debug {
     fn capacity_pages(&self) -> u64;
 }
 
-/// An in-memory simulated disk with I/O accounting and a latency model.
+/// Page payloads split by durability: `stable` survives a power cut, `cache`
+/// holds writes accepted but not yet flushed. `BTreeMap` (not `HashMap`) so
+/// every iteration — power-cut fate draws, content digests — visits pages in
+/// sorted order and stays deterministic across runs and across processes.
+#[derive(Debug, Default)]
+struct PageStore {
+    stable: BTreeMap<PageNo, Box<[u8]>>,
+    cache: BTreeMap<PageNo, Box<[u8]>>,
+    cache_enabled: bool,
+    /// Pages that ever accepted a write, kept across power cuts so
+    /// [`SimDisk::pages_written`] still measures write-footprint, not
+    /// post-crash survivorship.
+    ever_written: HashSet<PageNo>,
+}
+
+impl PageStore {
+    /// The content a read observes right now (the device always serves the
+    /// freshest accepted write, cached or not), or `None` if never written.
+    fn visible(&self, page: PageNo) -> Option<&[u8]> {
+        self.cache
+            .get(&page)
+            .or_else(|| self.stable.get(&page))
+            .map(|b| &**b)
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    profile: FaultProfile,
+    rng: StdRng,
+}
+
+/// An in-memory simulated disk with I/O accounting, a latency model, and a
+/// fault plane for crash simulation (injected read/write faults, torn
+/// writes, and a volatile write cache discarded at power cuts).
 ///
 /// All methods take `&self`; the disk is internally synchronized and can be
 /// shared between components through an [`Arc`].
 #[derive(Debug)]
 pub struct SimDisk {
     config: DeviceConfig,
-    pages: Mutex<HashMap<PageNo, Box<[u8]>>>,
-    written: Mutex<std::collections::HashSet<PageNo>>,
+    store: Mutex<PageStore>,
     last_page: Mutex<Option<PageNo>>,
     /// `Some(n)`: the next `n` writes succeed and every write after them
     /// fails with [`DeviceError::InjectedFault`] until the injection is
     /// cleared. `None`: no injection.
     write_fault_after: Mutex<Option<u64>>,
+    /// The read-side twin of `write_fault_after`.
+    read_fault_after: Mutex<Option<u64>>,
+    /// Probabilistic per-op faults; `None` disables them entirely.
+    faults: Mutex<Option<FaultState>>,
     /// When set, every access parks the calling thread for its modeled
     /// latency in addition to advancing the simulated clock, so wall-clock
     /// concurrency experiments see a device that really blocks.
@@ -121,10 +259,11 @@ impl SimDisk {
     pub fn new(config: DeviceConfig) -> Self {
         SimDisk {
             config,
-            pages: Mutex::new(HashMap::new()),
-            written: Mutex::new(std::collections::HashSet::new()),
+            store: Mutex::new(PageStore::default()),
             last_page: Mutex::new(None),
             write_fault_after: Mutex::new(None),
+            read_fault_after: Mutex::new(None),
+            faults: Mutex::new(None),
             emulate_latency: AtomicBool::new(false),
             stats: IoStats::new(),
             clock: Arc::new(SimClock::new()),
@@ -136,9 +275,11 @@ impl SimDisk {
         Arc::new(Self::new(config))
     }
 
-    /// Number of distinct pages that have ever been written.
+    /// Number of distinct pages that have ever been written (torn and
+    /// power-cut-lost pages included: the counter measures write footprint,
+    /// not what survived).
     pub fn pages_written(&self) -> u64 {
-        self.written.lock().len() as u64
+        self.store.lock().ever_written.len() as u64
     }
 
     /// Returns the configuration this disk was created with.
@@ -159,6 +300,139 @@ impl SimDisk {
     /// Disarms write-fault injection.
     pub fn clear_write_fault(&self) {
         *self.write_fault_after.lock() = None;
+    }
+
+    /// Arms read-fault injection: the next `successful` reads complete
+    /// normally, then every subsequent read fails with
+    /// [`DeviceError::InjectedFault`] until
+    /// [`clear_read_fault`](Self::clear_read_fault) is called. Recovery
+    /// tests walk this counter across an entire `open` to prove no read
+    /// failure point can panic the engine or damage the durable state.
+    pub fn fail_reads_after(&self, successful: u64) {
+        *self.read_fault_after.lock() = Some(successful);
+    }
+
+    /// Disarms read-fault injection.
+    pub fn clear_read_fault(&self) {
+        *self.read_fault_after.lock() = None;
+    }
+
+    /// Installs (or with `None`, removes) a probabilistic fault profile.
+    /// Replacing the profile reseeds the fault generator from
+    /// `profile.seed`, so a schedule replays exactly.
+    pub fn set_fault_profile(&self, profile: Option<FaultProfile>) {
+        *self.faults.lock() = profile.map(|profile| FaultState {
+            profile,
+            rng: StdRng::seed_from_u64(profile.seed),
+        });
+    }
+
+    /// Enables or disables the volatile write cache. While enabled, writes
+    /// land in a cache that only [`flush`](Device::flush) commits to stable
+    /// storage; a [`power_cut`](Self::power_cut) discards or tears whatever
+    /// is still cached. Disabling the cache flushes it first, so no accepted
+    /// write is silently dropped by the mode switch.
+    pub fn set_write_cache(&self, enabled: bool) {
+        let mut store = self.store.lock();
+        if !enabled {
+            let cache = std::mem::take(&mut store.cache);
+            store.stable.extend(cache);
+        }
+        store.cache_enabled = enabled;
+    }
+
+    /// Number of pages currently sitting in the volatile write cache.
+    pub fn cached_pages(&self) -> u64 {
+        self.store.lock().cache.len() as u64
+    }
+
+    /// Simulates a power cut: every page still in the volatile write cache
+    /// independently persists, tears (a sector-aligned prefix of the new
+    /// content lands over the previous stable content), or vanishes,
+    /// according to `profile`. Flushed pages are untouched. The cache is
+    /// empty afterwards; the disk remains usable (the caller typically
+    /// reopens the engine from it next).
+    ///
+    /// Fate draws iterate the cache in page order from a generator seeded by
+    /// `profile.seed`, so the post-cut image is a pure function of (writes
+    /// accepted, flush points, profile).
+    pub fn power_cut(&self, profile: &PowerCutProfile) -> PowerCutReport {
+        let mut store = self.store.lock();
+        let cache = std::mem::take(&mut store.cache);
+        let mut rng = StdRng::seed_from_u64(profile.seed);
+        let mut report = PowerCutReport::default();
+        for (page, data) in cache {
+            let draw: f64 = rng.gen();
+            if draw < profile.persist {
+                store.stable.insert(page, data);
+                report.persisted += 1;
+            } else if draw < profile.persist + profile.torn {
+                let keep = rng.gen_range(1..PAGE_SIZE / SECTOR_SIZE) * SECTOR_SIZE;
+                let merged = tear(&data, keep, store.stable.get(&page).map(|b| &**b));
+                store.stable.insert(page, merged);
+                report.torn += 1;
+            } else {
+                report.lost += 1;
+            }
+        }
+        report
+    }
+
+    /// Directly installs a torn write on stable storage: the first `keep`
+    /// bytes of `data` (zero-padded to a full page) persist, the remainder
+    /// of the page keeps its previous stable content (zeros if the page was
+    /// never written). A test/simulation primitive — no faults, stats, or
+    /// cache involved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] / [`DeviceError::BadBufferLength`]
+    /// under the same conditions as [`write_page`](Device::write_page).
+    pub fn tear_page(&self, page: PageNo, data: &[u8], keep: usize) -> Result<()> {
+        self.check_range(page)?;
+        if data.len() > PAGE_SIZE {
+            return Err(DeviceError::BadBufferLength { got: data.len() });
+        }
+        let mut store = self.store.lock();
+        store.ever_written.insert(page);
+        if self.config.store_payloads {
+            let full = full_page(data);
+            let merged = tear(
+                &full,
+                keep.min(PAGE_SIZE),
+                store.stable.get(&page).map(|b| &**b),
+            );
+            store.stable.insert(page, merged);
+        } else {
+            store.stable.insert(page, Box::from([] as [u8; 0]));
+        }
+        Ok(())
+    }
+
+    /// An order-independent digest of the complete device image (stable and
+    /// cached content separately tagged), for determinism assertions: two
+    /// runs of the same seeded scenario must produce equal digests.
+    pub fn content_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let fold = |mut h: u64, bytes: &[u8]| -> u64 {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        };
+        let store = self.store.lock();
+        let mut h = OFFSET;
+        for (tag, map) in [(1u8, &store.stable), (2u8, &store.cache)] {
+            for (page, data) in map.iter() {
+                h = fold(h, &[tag]);
+                h = fold(h, &page.to_le_bytes());
+                h = fold(h, &(data.len() as u64).to_le_bytes());
+                h = fold(h, data);
+            }
+        }
+        h
     }
 
     /// Switches real-time latency emulation on or off. While enabled, every
@@ -201,20 +475,64 @@ impl SimDisk {
     }
 }
 
+/// Zero-pads `data` to a full page.
+fn full_page(data: &[u8]) -> Box<[u8]> {
+    let mut buf = vec![0u8; PAGE_SIZE];
+    buf[..data.len()].copy_from_slice(data);
+    buf.into_boxed_slice()
+}
+
+/// A torn page: the first `keep` bytes of `fresh`, the rest from the
+/// previous stable content (zeros if none). Empty payloads (payload storage
+/// disabled) stay empty — the content is conceptually all-zero either way.
+fn tear(fresh: &[u8], keep: usize, previous: Option<&[u8]>) -> Box<[u8]> {
+    if fresh.is_empty() {
+        return Box::from([] as [u8; 0]);
+    }
+    let mut buf = vec![0u8; PAGE_SIZE];
+    match previous {
+        Some(prev) if !prev.is_empty() => buf[..prev.len()].copy_from_slice(prev),
+        _ => {}
+    }
+    let keep = keep.min(fresh.len());
+    buf[..keep].copy_from_slice(&fresh[..keep]);
+    buf.into_boxed_slice()
+}
+
 impl Device for SimDisk {
     fn read_page(&self, page: PageNo) -> Result<Vec<u8>> {
         self.check_range(page)?;
-        if !self.written.lock().contains(&page) {
-            return Err(DeviceError::UnwrittenPage { page });
+        let content = {
+            let store = self.store.lock();
+            match store.visible(page) {
+                Some(data) if !data.is_empty() => Some(data.to_vec()),
+                // Payload storage disabled: serve a zero page.
+                Some(_) => None,
+                // Never written — or written only to the volatile cache and
+                // then lost at a power cut, which reads the same way.
+                None => return Err(DeviceError::UnwrittenPage { page }),
+            }
+        };
+        {
+            let mut fault = self.read_fault_after.lock();
+            if let Some(remaining) = fault.as_mut() {
+                if *remaining == 0 {
+                    return Err(DeviceError::InjectedFault { page });
+                }
+                *remaining -= 1;
+            }
+        }
+        {
+            let mut faults = self.faults.lock();
+            if let Some(state) = faults.as_mut() {
+                if state.profile.read_fault > 0.0 && state.rng.gen_bool(state.profile.read_fault) {
+                    return Err(DeviceError::InjectedFault { page });
+                }
+            }
         }
         self.charge(page, PAGE_SIZE);
         self.stats.record_read(PAGE_SIZE as u64);
-        let pages = self.pages.lock();
-        Ok(match pages.get(&page) {
-            Some(data) => data.to_vec(),
-            // Payload storage disabled: return a zero page.
-            None => vec![0u8; PAGE_SIZE],
-        })
+        Ok(content.unwrap_or_else(|| vec![0u8; PAGE_SIZE]))
     }
 
     fn write_page(&self, page: PageNo, data: &[u8]) -> Result<()> {
@@ -231,14 +549,61 @@ impl Device for SimDisk {
                 *remaining -= 1;
             }
         }
+        {
+            let mut faults = self.faults.lock();
+            if let Some(state) = faults.as_mut() {
+                if state.profile.write_fault > 0.0 && state.rng.gen_bool(state.profile.write_fault)
+                {
+                    // A failed write may still have touched media: with
+                    // probability `torn_write` a sector prefix lands before
+                    // the error surfaces. Write-anywhere allocation makes
+                    // this safe for the engine (the target page holds no
+                    // live data), but recovery must tolerate the debris.
+                    if state.profile.torn_write > 0.0
+                        && state.rng.gen_bool(state.profile.torn_write)
+                    {
+                        let keep = state.rng.gen_range(1..PAGE_SIZE / SECTOR_SIZE) * SECTOR_SIZE;
+                        drop(faults);
+                        let mut store = self.store.lock();
+                        store.ever_written.insert(page);
+                        if self.config.store_payloads {
+                            let full = full_page(data);
+                            let previous = store.visible(page).map(<[u8]>::to_vec);
+                            let merged = tear(&full, keep, previous.as_deref());
+                            if store.cache_enabled {
+                                store.cache.insert(page, merged);
+                            } else {
+                                store.stable.insert(page, merged);
+                            }
+                        }
+                    }
+                    return Err(DeviceError::InjectedFault { page });
+                }
+            }
+        }
         self.charge(page, PAGE_SIZE);
         self.stats.record_write(PAGE_SIZE as u64);
-        self.written.lock().insert(page);
-        if self.config.store_payloads {
-            let mut buf = vec![0u8; PAGE_SIZE];
-            buf[..data.len()].copy_from_slice(data);
-            self.pages.lock().insert(page, buf.into_boxed_slice());
+        let mut store = self.store.lock();
+        store.ever_written.insert(page);
+        let payload = if self.config.store_payloads {
+            full_page(data)
+        } else {
+            Box::from([] as [u8; 0])
+        };
+        if store.cache_enabled {
+            store.cache.insert(page, payload);
+        } else {
+            store.stable.insert(page, payload);
         }
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        let mut store = self.store.lock();
+        let cache = std::mem::take(&mut store.cache);
+        store.stable.extend(cache);
+        drop(store);
+        self.stats.record_flush();
         Ok(())
     }
 
@@ -387,5 +752,174 @@ mod tests {
         d.write_page(2, &[2; 16]).unwrap();
         assert_eq!(&d.read_page(2).unwrap()[..16], &[2; 16]);
         assert_eq!(d.pages_written(), 1);
+    }
+
+    #[test]
+    fn read_fault_counter_fires_after_n_reads() {
+        let d = disk();
+        d.write_page(0, &[1]).unwrap();
+        d.write_page(1, &[2]).unwrap();
+        d.fail_reads_after(1);
+        d.read_page(0).unwrap();
+        assert_eq!(
+            d.read_page(1).unwrap_err(),
+            DeviceError::InjectedFault { page: 1 }
+        );
+        assert_eq!(
+            d.read_page(0).unwrap_err(),
+            DeviceError::InjectedFault { page: 0 }
+        );
+        d.clear_read_fault();
+        assert_eq!(d.read_page(1).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn cached_writes_are_readable_but_lost_without_flush() {
+        let d = disk();
+        d.set_write_cache(true);
+        d.write_page(7, &[7; 8]).unwrap();
+        assert_eq!(&d.read_page(7).unwrap()[..8], &[7; 8]);
+        assert_eq!(d.cached_pages(), 1);
+        d.power_cut(&PowerCutProfile::lose_all(0));
+        assert_eq!(d.cached_pages(), 0);
+        assert!(matches!(
+            d.read_page(7),
+            Err(DeviceError::UnwrittenPage { .. })
+        ));
+        // The write still counts toward the footprint.
+        assert_eq!(d.pages_written(), 1);
+    }
+
+    #[test]
+    fn flush_commits_cache_across_power_cut() {
+        let d = disk();
+        d.set_write_cache(true);
+        d.write_page(3, &[3; 4]).unwrap();
+        d.flush().unwrap();
+        d.write_page(4, &[4; 4]).unwrap();
+        d.power_cut(&PowerCutProfile::lose_all(0));
+        assert_eq!(&d.read_page(3).unwrap()[..4], &[3; 4]);
+        assert!(d.read_page(4).is_err());
+        assert_eq!(d.stats().snapshot().flushes, 1);
+    }
+
+    #[test]
+    fn power_cut_loses_only_the_cached_version_of_an_overwritten_page() {
+        let d = disk();
+        d.set_write_cache(true);
+        d.write_page(9, &[1; 4]).unwrap();
+        d.flush().unwrap();
+        d.write_page(9, &[2; 4]).unwrap();
+        assert_eq!(&d.read_page(9).unwrap()[..4], &[2; 4], "cache is freshest");
+        d.power_cut(&PowerCutProfile::lose_all(0));
+        assert_eq!(
+            &d.read_page(9).unwrap()[..4],
+            &[1; 4],
+            "page reverts to its last flushed content"
+        );
+    }
+
+    #[test]
+    fn torn_power_cut_persists_a_sector_prefix() {
+        let d = disk();
+        d.write_page(5, &[0xAA; PAGE_SIZE]).unwrap();
+        d.flush().unwrap();
+        d.set_write_cache(true);
+        d.write_page(5, &[0xBB; PAGE_SIZE]).unwrap();
+        let report = d.power_cut(&PowerCutProfile {
+            seed: 1,
+            persist: 0.0,
+            torn: 1.0,
+        });
+        assert_eq!(
+            report,
+            PowerCutReport {
+                persisted: 0,
+                torn: 1,
+                lost: 0
+            }
+        );
+        let back = d.read_page(5).unwrap();
+        let boundary = back.iter().position(|&b| b == 0xAA).unwrap();
+        assert_eq!(boundary % SECTOR_SIZE, 0, "tear is sector-aligned");
+        assert!(boundary > 0, "at least one sector of the new write landed");
+        assert!(back[..boundary].iter().all(|&b| b == 0xBB));
+        assert!(back[boundary..].iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    fn power_cut_fates_are_deterministic_for_a_seed() {
+        let run = |seed: u64| {
+            let d = disk();
+            d.set_write_cache(true);
+            for page in 0..64u64 {
+                d.write_page(page, &[page as u8; 32]).unwrap();
+            }
+            let report = d.power_cut(&PowerCutProfile {
+                seed,
+                persist: 0.4,
+                torn: 0.3,
+            });
+            (report, d.content_digest())
+        };
+        assert_eq!(run(11), run(11));
+        let (report, _) = run(11);
+        assert_eq!(report.total(), 64);
+        assert!(report.persisted > 0 && report.torn > 0 && report.lost > 0);
+        assert_ne!(run(11).1, run(12).1, "different seeds cut differently");
+    }
+
+    #[test]
+    fn tear_page_merges_prefix_over_previous_stable_content() {
+        let d = disk();
+        d.write_page(2, &[0x11; PAGE_SIZE]).unwrap();
+        d.tear_page(2, &[0x22; PAGE_SIZE], 100).unwrap();
+        let back = d.read_page(2).unwrap();
+        assert!(back[..100].iter().all(|&b| b == 0x22));
+        assert!(back[100..].iter().all(|&b| b == 0x11));
+        // Tearing an unwritten page leaves zeros past the prefix.
+        d.tear_page(40, &[0x33; 64], 16).unwrap();
+        let back = d.read_page(40).unwrap();
+        assert!(back[..16].iter().all(|&b| b == 0x33));
+        assert!(back[16..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn fault_profile_schedule_replays_from_its_seed() {
+        let run = || {
+            let d = disk();
+            d.set_fault_profile(Some(FaultProfile {
+                seed: 99,
+                read_fault: 0.1,
+                write_fault: 0.2,
+                torn_write: 0.5,
+            }));
+            let mut writes = Vec::new();
+            let mut reads = Vec::new();
+            for i in 0..200u64 {
+                writes.push(d.write_page(i % 32, &[i as u8; 16]).is_ok());
+                reads.push(d.read_page(i % 32).map(|p| p[0]).ok());
+            }
+            (writes, reads, d.content_digest(), d.stats().snapshot())
+        };
+        let (a_w, a_r, a_digest, a_stats) = run();
+        let (b_w, b_r, b_digest, b_stats) = run();
+        assert_eq!(a_w, b_w);
+        assert_eq!(a_r, b_r);
+        assert_eq!(a_digest, b_digest);
+        assert_eq!(a_stats, b_stats);
+        assert!(a_w.iter().any(|&ok| !ok), "write faults fired");
+        assert!(a_r.iter().any(Option::is_none), "read faults fired");
+    }
+
+    #[test]
+    fn disabling_write_cache_flushes_it() {
+        let d = disk();
+        d.set_write_cache(true);
+        d.write_page(1, &[1]).unwrap();
+        d.set_write_cache(false);
+        assert_eq!(d.cached_pages(), 0);
+        d.power_cut(&PowerCutProfile::lose_all(0));
+        assert_eq!(d.read_page(1).unwrap()[0], 1);
     }
 }

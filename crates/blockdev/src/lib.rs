@@ -54,7 +54,9 @@ mod superblock;
 mod vfile;
 
 pub use cache::PageCache;
-pub use device::{Device, DeviceConfig, SimDisk};
+pub use device::{
+    Device, DeviceConfig, FaultProfile, PowerCutProfile, PowerCutReport, SimDisk, SECTOR_SIZE,
+};
 pub use error::{DeviceError, Result};
 pub use latency::{LatencyModel, SimClock};
 pub use stats::{IoStats, IoStatsSnapshot};

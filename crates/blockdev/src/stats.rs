@@ -12,6 +12,8 @@ pub struct IoStats {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     seeks: AtomicU64,
+    /// Write barriers ([`Device::flush`](crate::Device::flush)) issued.
+    flushes: AtomicU64,
     /// Simulated device busy time, nanoseconds.
     device_ns: AtomicU64,
     /// Times a thread found the owning layer's state lock already held and
@@ -43,6 +45,11 @@ impl IoStats {
         self.seeks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a write barrier (flush).
+    pub fn record_flush(&self) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Adds simulated device busy time in nanoseconds.
     pub fn record_device_ns(&self, ns: u64) {
         self.device_ns.fetch_add(ns, Ordering::Relaxed);
@@ -62,6 +69,7 @@ impl IoStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             seeks: self.seeks.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
             device_ns: self.device_ns.load(Ordering::Relaxed),
             lock_contentions: self.lock_contentions.load(Ordering::Relaxed),
         }
@@ -77,6 +85,7 @@ impl IoStats {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.seeks.store(0, Ordering::Relaxed);
+        self.flushes.store(0, Ordering::Relaxed);
         self.device_ns.store(0, Ordering::Relaxed);
         self.lock_contentions.store(0, Ordering::Relaxed);
     }
@@ -95,6 +104,8 @@ pub struct IoStatsSnapshot {
     pub bytes_written: u64,
     /// Number of non-sequential accesses (head seeks).
     pub seeks: u64,
+    /// Number of write barriers (flushes) issued.
+    pub flushes: u64,
     /// Simulated device busy time in nanoseconds.
     pub device_ns: u64,
     /// Contended state-lock acquisitions (see
@@ -114,6 +125,7 @@ impl IoStatsSnapshot {
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             seeks: self.seeks.saturating_sub(earlier.seeks),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
             device_ns: self.device_ns.saturating_sub(earlier.device_ns),
             lock_contentions: self
                 .lock_contentions

@@ -264,6 +264,40 @@ mod tests {
     }
 
     #[test]
+    fn torn_prefix_on_flip_slot_falls_back_to_previous_generation() {
+        // A power cut mid-flip persists only a prefix of the new superblock
+        // over the old content of slot g % 2. Generations 1 and 3 share that
+        // slot and differ only in their generation (bytes 20..28) and
+        // checksum (bytes 8..16) fields, so every prefix length that splits
+        // the differing region must be rejected by the FNV checksum (or
+        // decode as the old generation 1, for cuts before the checksum), and
+        // read_latest must fall back to generation 2.
+        for keep in [1usize, 8, 12, 16, 20, 24, 27] {
+            let d = SimDisk::new(DeviceConfig::free_latency());
+            sb(1).write_to(&d).unwrap();
+            sb(2).write_to(&d).unwrap();
+            let fresh = sb(3).encode().unwrap();
+            d.tear_page(SUPERBLOCK_PAGES[1], &fresh, keep).unwrap();
+            assert_eq!(
+                Superblock::read_latest(&d).unwrap(),
+                Some(sb(2)),
+                "torn flip with {keep} persisted bytes must not advance the generation"
+            );
+            // A retried, complete flip wins again.
+            d.write_page(SUPERBLOCK_PAGES[1], &fresh).unwrap();
+            assert_eq!(Superblock::read_latest(&d).unwrap(), Some(sb(3)));
+        }
+        // Once every differing byte has persisted, the torn write is
+        // indistinguishable from a completed one — and must validate.
+        let d = SimDisk::new(DeviceConfig::free_latency());
+        sb(1).write_to(&d).unwrap();
+        sb(2).write_to(&d).unwrap();
+        d.tear_page(SUPERBLOCK_PAGES[1], &sb(3).encode().unwrap(), 28)
+            .unwrap();
+        assert_eq!(Superblock::read_latest(&d).unwrap(), Some(sb(3)));
+    }
+
+    #[test]
     fn too_many_extents_overflow() {
         let mut s = sb(1);
         s.manifest_extents = (0..MAX_MANIFEST_EXTENTS as u64 + 1)

@@ -315,7 +315,7 @@ impl BacklogEngine {
         let stats = engine.stats();
         {
             let mut interval = engine.cp_lock.lock();
-            engine.write_durable_cp(&mut interval, &lineage, &stats)?;
+            engine.write_durable_cp(&mut interval, &lineage, &stats, &[], &[], &[])?;
         }
         Ok(engine)
     }
@@ -335,13 +335,27 @@ impl BacklogEngine {
     /// superblock, the manifest fails validation, or `config` disagrees with
     /// the recorded partitioning; propagates device errors.
     pub fn open(device: Arc<dyn Device>, config: BacklogConfig) -> Result<Self> {
+        // Every failure below — including a device read dying mid-open —
+        // surfaces as `Recovery` naming the stage that failed. Recovery is
+        // read-only up to this function's last line, so an aborted open
+        // leaves the durable CP untouched and can simply be retried.
+        fn stage(what: &str, err: BacklogError) -> BacklogError {
+            match err {
+                BacklogError::Recovery { detail } => BacklogError::Recovery {
+                    detail: format!("{what}: {detail}"),
+                },
+                other => BacklogError::Recovery {
+                    detail: format!("{what}: {other}"),
+                },
+            }
+        }
         let sb = Superblock::read_latest(&*device)
-            .map_err(BacklogError::from)?
+            .map_err(|e| stage("superblock read", e.into()))?
             .ok_or_else(|| BacklogError::Recovery {
                 detail: "no valid superblock on the device".into(),
             })?;
-        let blob = manifest::read_raw(&*device, &sb)?;
-        let m = manifest::decode(&blob)?;
+        let blob = manifest::read_raw(&*device, &sb).map_err(|e| stage("manifest read", e))?;
+        let m = manifest::decode(&blob).map_err(|e| stage("manifest decode", e))?;
         if m.partitioning != config.partitioning {
             return Err(BacklogError::Recovery {
                 detail: format!(
@@ -362,34 +376,40 @@ impl BacklogEngine {
             len_pages: sb.manifest_extents.iter().map(|&(_, len)| len).sum(),
             len_bytes: sb.manifest_len_bytes,
         });
-        let files = Arc::new(FileStore::restore(
-            device,
-            FIRST_DATA_PAGE,
-            sb.next_file,
-            sb.next_page,
-            files_list,
-        )?);
+        let files = Arc::new(
+            FileStore::restore(
+                device,
+                FIRST_DATA_PAGE,
+                sb.next_file,
+                sb.next_page,
+                files_list,
+            )
+            .map_err(|e| stage("file store restore", e.into()))?,
+        );
         let from_table = LsmTable::open_from_manifest(
             files.clone(),
             TableConfig::named("From")
                 .with_bloom(config.bloom)
                 .with_partitioning(config.partitioning),
             m.tables.from,
-        )?;
+        )
+        .map_err(|e| stage("From table reopen", e.into()))?;
         let to_table = LsmTable::open_from_manifest(
             files.clone(),
             TableConfig::named("To")
                 .with_bloom(config.bloom)
                 .with_partitioning(config.partitioning),
             m.tables.to,
-        )?;
+        )
+        .map_err(|e| stage("To table reopen", e.into()))?;
         let combined_table = LsmTable::open_from_manifest(
             files.clone(),
             TableConfig::named("Combined")
                 .with_bloom(config.combined_bloom)
                 .with_partitioning(config.partitioning),
             m.tables.combined,
-        )?;
+        )
+        .map_err(|e| stage("Combined table reopen", e.into()))?;
         let partition_locks = (0..config.partitioning.partition_count())
             .map(|_| RwLock::new(()))
             .collect();
@@ -702,9 +722,19 @@ impl BacklogEngine {
         let cp = self.lineage.read().current_cp();
         let threads = threads.max(1);
 
-        let from_flush = self.from_table.flush_cp_parallel(threads)?;
-        let to_flush = self.to_table.flush_cp_parallel(threads)?;
-        let combined_flush = self.combined_table.flush_cp_parallel(threads)?;
+        // Prepare-then-commit: each table's flush is *built* here (runs on
+        // the device, records staged but still query-visible in the write
+        // stores) and *installed* only after the durable manifest and
+        // superblock flip succeed. An error at any `?` below drops the
+        // prepared handles, which aborts: built run files are deleted and
+        // every staged record returns to its write store. This keeps a
+        // failed CP truly side-effect-free — in particular, a record
+        // flushed by a half-finished CP can no longer strand in a run where
+        // a same-interval remove cannot prune it (the From/To pair would
+        // later be read back as a live reference, not an empty lifetime).
+        let from_prep = self.from_table.prepare_flush(threads)?;
+        let to_prep = self.to_table.prepare_flush(threads)?;
+        let combined_prep = self.combined_table.prepare_flush(threads)?;
 
         // Durability: write the CP manifest and flip the superblock before
         // declaring the CP. The manifest records the *advanced* CP clock (a
@@ -720,8 +750,18 @@ impl BacklogEngine {
             // CP counts itself (its counter bump happens after the flip).
             let mut stats_next = self.stats();
             stats_next.consistency_points += 1;
-            self.write_durable_cp(&mut interval, &lineage_next, &stats_next)?;
+            self.write_durable_cp(
+                &mut interval,
+                &lineage_next,
+                &stats_next,
+                &from_prep.run_metas(),
+                &to_prep.run_metas(),
+                &combined_prep.run_metas(),
+            )?;
         }
+        let from_flush = from_prep.commit();
+        let to_flush = to_prep.commit();
+        let combined_flush = combined_prep.commit();
 
         let flush_ns = self.elapsed_ns(start);
         let io_after = self.io_snapshot();
@@ -803,11 +843,21 @@ impl BacklogEngine {
     /// On error the partially written manifest file is deleted and the
     /// previous durable CP remains the recovery target; the CP can simply be
     /// retried.
+    ///
+    /// `pending_*` are this CP's prepared-but-uninstalled Level-0 runs (one
+    /// `(partition, meta)` pair per run, see [`lsm::PreparedFlush`]). They
+    /// are appended to each partition's installed-run list in the manifest:
+    /// the manifest must describe the table state *after* the flip commits
+    /// the flush, and the caller holds the prepared handles across this
+    /// write so the run files cannot be deleted from under the manifest.
     fn write_durable_cp(
         &self,
         interval: &mut CpInterval,
         lineage: &LineageTable,
         stats: &BacklogStats,
+        pending_from: &[(u32, lsm::RunMeta)],
+        pending_to: &[(u32, lsm::RunMeta)],
+        pending_combined: &[(u32, lsm::RunMeta)],
     ) -> Result<()> {
         // Hold snapshots of every partition until the end: their `Arc`s pin
         // the referenced run files against a concurrent rebuild commit
@@ -825,13 +875,22 @@ impl BacklogEngine {
             to_snaps.push(self.to_table.partition_snapshot(p));
             combined_snaps.push(self.combined_table.partition_snapshot(p));
         }
-        fn capture<R: Record>(snaps: &[PartitionSnapshot<R>]) -> Vec<lsm::PartitionManifest<R>> {
-            snaps.iter().map(|s| s.manifest()).collect()
+        fn capture<R: Record>(
+            snaps: &[PartitionSnapshot<R>],
+            pending: &[(u32, lsm::RunMeta)],
+        ) -> Vec<lsm::PartitionManifest<R>> {
+            let mut parts: Vec<_> = snaps.iter().map(|s| s.manifest()).collect();
+            // Runs are listed oldest first; a prepared run is newer than
+            // everything installed.
+            for (pidx, meta) in pending {
+                parts[*pidx as usize].runs.push(meta.clone());
+            }
+            parts
         }
         let tables = ManifestTables {
-            from: capture(&from_snaps),
-            to: capture(&to_snaps),
-            combined: capture(&combined_snaps),
+            from: capture(&from_snaps, pending_from),
+            to: capture(&to_snaps, pending_to),
+            combined: capture(&combined_snaps, pending_combined),
         };
         let blob = manifest::encode(
             &self.files,
@@ -866,10 +925,25 @@ impl BacklogEngine {
             next_page,
             manifest_extents: extents,
         };
+        // Barrier 1: every page this CP wrote — run files flushed earlier in
+        // the CP and the manifest pages above — must be stable before the
+        // superblock can point at them, or a power cut could persist the
+        // flip but lose (or tear) what it references.
+        if let Err(e) = self.device().flush() {
+            let _ = self.files.delete(mid);
+            return Err(e.into());
+        }
         if let Err(e) = sb.write_to(&**self.device()) {
             let _ = self.files.delete(mid);
             return Err(e.into());
         }
+        // Barrier 2: the flip itself must be stable before the previous
+        // generation's manifest pages (and this interval's deferred frees)
+        // become reusable. On failure the flip's durability is unknown, so
+        // nothing is retired or freed — both generations' data stays pinned,
+        // which is safe whichever superblock survives; a retried CP writes a
+        // fresh manifest at a higher generation.
+        self.device().flush().map_err(BacklogError::from)?;
         // The flip is durable: everything the previous generation kept
         // pinned is now garbage.
         interval.sb_generation = sb.generation;

@@ -276,6 +276,15 @@ impl BacklogProvider {
         Ok((BacklogProvider { engine }, applied))
     }
 
+    /// A point-in-time copy of the engine's reference-callback journal —
+    /// what the host would read back from NVRAM after a power cut — or
+    /// `None` when the engine was configured without journaling. Pair with
+    /// [`reopen_with_journal`](Self::reopen_with_journal) to complete a
+    /// crash/recovery roundtrip at the provider level.
+    pub fn journal_snapshot(&self) -> Option<Journal> {
+        self.engine.journal_snapshot()
+    }
+
     /// The wrapped engine.
     pub fn engine(&self) -> &BacklogEngine {
         &self.engine
@@ -502,5 +511,30 @@ mod tests {
             ..Default::default()
         };
         assert!((s.total_micros() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn provider_power_cut_roundtrip_replays_the_nvram_journal() {
+        use blockdev::{DeviceConfig, PowerCutProfile, SimDisk};
+        let device = SimDisk::new_shared(DeviceConfig::free_latency());
+        device.set_write_cache(true);
+        let config = BacklogConfig::default().without_timing().with_journaling();
+        let p = BacklogProvider::create_durable(device.clone(), config.clone()).unwrap();
+        let owner = Owner::block(5, 2, LineId::ROOT);
+        p.add_reference(77, owner);
+        p.consistency_point(1).unwrap();
+        // Post-CP callbacks live only in the write store + NVRAM journal.
+        let late = Owner::block(6, 0, LineId::ROOT);
+        p.add_reference(78, late);
+        let nvram = p.journal_snapshot().expect("journaling is on");
+        drop(p);
+        // Power cut: every unflushed cached page vanishes; the durable CP's
+        // barriers flushed its own pages, so recovery plus journal replay
+        // reproduces both references.
+        device.power_cut(&PowerCutProfile::lose_all(1));
+        let (p, applied) = BacklogProvider::reopen_with_journal(device, config, &nvram).unwrap();
+        assert_eq!(applied, 1, "only the post-CP add needs replaying");
+        assert_eq!(p.query_owners(77).unwrap(), vec![owner]);
+        assert_eq!(p.query_owners(78).unwrap(), vec![late]);
     }
 }

@@ -90,7 +90,7 @@ pub use partition::Partitioning;
 pub use record::Record;
 pub use run::{Run, RunBuilder, RunMeta, RunRangeIter, RunStats};
 pub use store::{
-    FlushStats, LsmTable, MaintenanceStats, PartitionManifest, PartitionSnapshot, TableConfig,
-    TableStats,
+    FlushStats, LsmTable, MaintenanceStats, PartitionManifest, PartitionSnapshot, PreparedFlush,
+    TableConfig, TableStats,
 };
 pub use write_store::{ShardedWriteStore, WriteShard, WriteStore};

@@ -216,6 +216,128 @@ impl<R: Record> PartitionSnapshot<R> {
     }
 }
 
+/// A consistency-point flush that has been built but not yet installed (see
+/// [`LsmTable::prepare_flush`]): every non-empty shard's records are staged
+/// — still query-visible in the write store — and their Level-0 runs are
+/// fully on the device, but no partition's run list has changed.
+///
+/// Exactly one of two things happens next:
+///
+/// * [`commit`](Self::commit) installs each run and unstages its records in
+///   one per-partition atomic step (the moment a durable CP's superblock
+///   flip is known to be on disk);
+/// * dropping the handle (or calling [`abort`](Self::abort)) deletes the
+///   built run files and returns every staged record to its shard — the
+///   table is exactly as if the flush had never been attempted.
+///
+/// The handle holds the table's flush lock for its whole lifetime, and its
+/// [`run_metas`](Self::run_metas) pin the built runs so a consistency-point
+/// manifest can reference them before they are visible to queries.
+#[must_use = "a prepared flush must be committed, or dropped to abort"]
+#[derive(Debug)]
+pub struct PreparedFlush<'a, R: Record> {
+    table: &'a LsmTable<R>,
+    _flush: MutexGuard<'a, ()>,
+    /// Partitions whose shards were staged (restored on abort).
+    staged: Vec<u32>,
+    /// The built-but-uninstalled runs, ascending by partition.
+    built: Vec<(u32, Run<R>)>,
+    stats: FlushStats,
+    done: bool,
+}
+
+impl<R: Record> PreparedFlush<'_, R> {
+    /// The flush totals (records staged, runs built, pages written) as
+    /// [`commit`](Self::commit) will report them.
+    pub fn stats(&self) -> FlushStats {
+        self.stats
+    }
+
+    /// Whether the prepared flush holds no runs at all (nothing was staged).
+    pub fn is_empty(&self) -> bool {
+        self.built.is_empty() && self.staged.is_empty()
+    }
+
+    /// The durable descriptions of the built runs, ascending by partition —
+    /// what a consistency-point manifest appends to each partition's
+    /// installed-run list (newest last) so the flushed records survive a
+    /// crash that lands after the superblock flip but before any in-memory
+    /// commit.
+    pub fn run_metas(&self) -> Vec<(u32, RunMeta)> {
+        self.built
+            .iter()
+            .map(|(pidx, run)| (*pidx, run.meta()))
+            .collect()
+    }
+
+    /// Installs every built run and unstages its records, partition by
+    /// partition: under the partition lock + shard lock, the deletion marks
+    /// deferred for staged records enter the partition's deletion vector and
+    /// the run is appended, in the same atomic step — a concurrent query
+    /// observes each record in the write store or in the new run, never in
+    /// both and never in neither. Infallible: no device I/O happens here.
+    pub fn commit(mut self) -> FlushStats {
+        let built = std::mem::take(&mut self.built);
+        let mut with_runs: Vec<u32> = Vec::with_capacity(built.len());
+        for (pidx, run) in built {
+            with_runs.push(pidx);
+            // Lock order (partition state, then shard) matches the query
+            // path.
+            let mut st = self.table.partitions[pidx as usize].write();
+            let mut shard = self.table.ws.lock_shard(pidx);
+            let deferred = shard.commit_flush();
+            if !deferred.is_empty() {
+                let dv = Arc::make_mut(&mut st.deletions);
+                for mark in deferred {
+                    dv.insert(mark);
+                }
+            }
+            Arc::make_mut(&mut st.runs).push(Arc::new(run));
+        }
+        // Defensive: a staged shard without a built run cannot happen today
+        // (staging hands back only non-empty record sets, and building a
+        // non-empty set always yields a run), but if it ever does, its
+        // deferred deletion marks still belong in the partition's vector.
+        for &pidx in &self.staged {
+            if with_runs.contains(&pidx) {
+                continue;
+            }
+            let mut st = self.table.partitions[pidx as usize].write();
+            let mut shard = self.table.ws.lock_shard(pidx);
+            let deferred = shard.commit_flush();
+            if !deferred.is_empty() {
+                let dv = Arc::make_mut(&mut st.deletions);
+                for mark in deferred {
+                    dv.insert(mark);
+                }
+            }
+        }
+        self.done = true;
+        self.stats
+    }
+
+    /// Explicitly abandons the prepared flush (equivalent to dropping it):
+    /// built run files are deleted and staged records return to their
+    /// shards.
+    pub fn abort(self) {
+        // Drop does the work.
+    }
+}
+
+impl<R: Record> Drop for PreparedFlush<'_, R> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        for (_, run) in std::mem::take(&mut self.built) {
+            let _ = run.delete();
+        }
+        for &pidx in &self.staged {
+            self.table.ws.lock_shard(pidx).restore_flush();
+        }
+    }
+}
+
 /// One logical LSM table: an in-memory write store plus the Level-0 runs
 /// accumulated since the last maintenance pass, horizontally partitioned by
 /// block number.
@@ -516,22 +638,47 @@ impl<R: Record> LsmTable<R> {
     /// `1..=non-empty partitions`; with one thread the partition loop runs
     /// inline on the calling thread, in ascending partition order).
     ///
-    /// Each partition is flushed build-then-swap: its shard's records are
-    /// *staged* (still query-visible, treated as durable by concurrent
-    /// removals), the Level-0 run is built with no locks held, and a commit
-    /// under the partition lock installs the run and unstages the records
-    /// atomically — a concurrent query observes each record in the write
-    /// store or in the new run, never in both and never in neither.
+    /// Equivalent to [`prepare_flush`](Self::prepare_flush) followed by an
+    /// immediate [`PreparedFlush::commit`]. The whole flush is all-or-nothing:
+    /// on a device error *no* partition keeps a new run — every staged record
+    /// returns to its shard, exactly as if the flush had never been attempted.
     ///
     /// # Errors
     ///
-    /// Propagates the first device error any worker hits; staged records of
-    /// failed or unattempted partitions return to their shards (completed
-    /// partitions keep their new runs).
+    /// Propagates the first device error any worker hits.
     pub fn flush_cp_parallel(&self, threads: usize) -> Result<FlushStats> {
-        let _flush = self.flush_lock.lock();
+        Ok(self.prepare_flush(threads)?.commit())
+    }
+
+    /// Stages the write store and builds one Level-0 run per non-empty
+    /// partition **without installing anything**: the staged records stay
+    /// query-visible in their shards, the partitions' run lists are
+    /// untouched, and the built run pages sit on the device referenced only
+    /// by the returned handle.
+    ///
+    /// The caller either [`commit`](PreparedFlush::commit)s the prepared
+    /// flush — installing every run and unstaging its records in one
+    /// per-partition atomic step — or drops it, which aborts: built run
+    /// files are deleted and every staged record returns to its shard. This
+    /// split is what lets a durable consistency point make its *entire*
+    /// flush conditional on the manifest and superblock reaching the device:
+    /// committing only after the flip means a failed CP leaves the table
+    /// exactly as it was, preserving the invariant that a same-interval
+    /// add/remove pair is always pruned in the write store (a half-installed
+    /// flush would strand the add in a run where the remove can no longer
+    /// reach it, and the pair would later resurrect as a live reference).
+    ///
+    /// The handle holds the table's flush lock, so concurrent flushes block
+    /// until it is committed or dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error any worker hits; the table is left
+    /// untouched (staged records restored, partial runs deleted).
+    pub fn prepare_flush(&self, threads: usize) -> Result<PreparedFlush<'_, R>> {
+        let flush = self.flush_lock.lock();
         // Stage every shard up front; staged records stay query-visible in
-        // the shard until their partition's replacement run is installed.
+        // the shard until the prepared flush commits.
         let mut work: Vec<(u32, Vec<R>)> = Vec::new();
         for pidx in 0..self.ws.shard_count() {
             let staged = self.ws.lock_shard(pidx).stage();
@@ -539,11 +686,9 @@ impl<R: Record> LsmTable<R> {
                 work.push((pidx, staged));
             }
         }
-        if work.is_empty() {
-            return Ok(FlushStats::default());
-        }
-        let threads = threads.clamp(1, work.len());
-        let totals = Mutex::new(FlushStats::default());
+        let staged: Vec<u32> = work.iter().map(|&(pidx, _)| pidx).collect();
+        let records_flushed: u64 = work.iter().map(|(_, recs)| recs.len() as u64).sum();
+        let built: Mutex<Vec<(u32, Run<R>)>> = Mutex::new(Vec::new());
         let first_error: Mutex<Option<LsmError>> = Mutex::new(None);
         let next = AtomicUsize::new(0);
         let worker = || loop {
@@ -554,72 +699,51 @@ impl<R: Record> LsmTable<R> {
             let Some((pidx, records)) = work.get(i) else {
                 break;
             };
-            match self.flush_partition(*pidx, records) {
-                Ok(flushed) => {
-                    let mut t = totals.lock();
-                    t.records_flushed += flushed.records_flushed;
-                    t.runs_created += flushed.runs_created;
-                    t.pages_written += flushed.pages_written;
-                }
+            match Run::build(&self.files, records, &self.config.bloom) {
+                Ok(Some(run)) => built.lock().push((*pidx, run)),
+                Ok(None) => {}
                 Err(e) => {
                     first_error.lock().get_or_insert(e);
                     break;
                 }
             }
         };
-        if threads == 1 {
-            worker();
-        } else {
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(worker);
-                }
-            });
+        if !work.is_empty() {
+            let threads = threads.clamp(1, work.len());
+            if threads == 1 {
+                worker();
+            } else {
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(worker);
+                    }
+                });
+            }
         }
         if let Some(e) = first_error.lock().take() {
-            // Staged records of failed or never-attempted partitions return
-            // to their shards (a no-op for committed partitions, whose
-            // staged sets are already cleared).
-            for (pidx, _) in &work {
-                self.ws.lock_shard(*pidx).restore_flush();
+            for (_, run) in built.into_inner() {
+                let _ = run.delete();
+            }
+            for &pidx in &staged {
+                self.ws.lock_shard(pidx).restore_flush();
             }
             return Err(e);
         }
-        Ok(totals.into_inner())
-    }
-
-    /// Builds and installs one partition's Level-0 run from its staged
-    /// records (the per-partition body of [`flush_cp_parallel`]
-    /// (Self::flush_cp_parallel)).
-    fn flush_partition(&self, pidx: u32, records: &[R]) -> Result<FlushStats> {
-        match Run::build(&self.files, records, &self.config.bloom)? {
-            Some(run) => {
-                let stats = FlushStats {
-                    records_flushed: records.len() as u64,
-                    runs_created: 1,
-                    pages_written: run.stats().total_pages,
-                };
-                // Swap: install the fully built run, unstage its records and
-                // apply the deletion marks deferred for staged records, all
-                // in one step. Lock order (partition state, then shard)
-                // matches the query path.
-                let mut st = self.partitions[pidx as usize].write();
-                let mut shard = self.ws.lock_shard(pidx);
-                let deferred = shard.commit_flush();
-                if !deferred.is_empty() {
-                    let dv = Arc::make_mut(&mut st.deletions);
-                    for mark in deferred {
-                        dv.insert(mark);
-                    }
-                }
-                Arc::make_mut(&mut st.runs).push(Arc::new(run));
-                Ok(stats)
-            }
-            None => {
-                self.ws.lock_shard(pidx).commit_flush();
-                Ok(FlushStats::default())
-            }
-        }
+        let mut built = built.into_inner();
+        built.sort_by_key(|entry| entry.0);
+        let stats = FlushStats {
+            records_flushed,
+            runs_created: built.len() as u32,
+            pages_written: built.iter().map(|(_, run)| run.stats().total_pages).sum(),
+        };
+        Ok(PreparedFlush {
+            table: self,
+            _flush: flush,
+            staged,
+            built,
+            stats,
+            done: false,
+        })
     }
 
     /// Returns every record (write store and runs) whose partition key falls
@@ -1210,7 +1334,7 @@ mod tests {
     }
 
     #[test]
-    fn failed_flush_keeps_completed_partitions_and_retains_the_rest() {
+    fn failed_flush_is_all_or_nothing_across_partitions() {
         let disk = SimDisk::new_shared(DeviceConfig::free_latency());
         let files = Arc::new(FileStore::new(disk.clone()));
         let config =
@@ -1220,21 +1344,69 @@ mod tests {
             t.insert(TestRec::new(i, 0));
         }
         // Partition 0 holds 1000 16-byte records: 4 leaves + 1 root = 5
-        // pages. Let those through, then fail partition 1 mid-build.
+        // pages. Let those through, then fail partition 1 mid-build: even
+        // the partition whose run was fully built must NOT be installed —
+        // a half-committed flush would strand records in runs where
+        // same-interval proactive pruning can no longer reach them.
         disk.fail_writes_after(5);
         assert!(t.flush_cp().is_err());
         disk.clear_write_fault();
-        // Whatever completed is on disk; everything else is retained, and
-        // the union is intact.
-        assert_eq!(t.ws_len() as u64 + t.stats().disk_records, 4_000);
-        assert!(
-            t.ws_len() > 0,
-            "failed partitions must return to the write store"
+        assert_eq!(t.ws_len(), 4_000, "every record returns to the write store");
+        assert_eq!(t.stats().disk_records, 0, "no partition keeps a run");
+        assert_eq!(t.run_count(), 0);
+        assert_eq!(
+            t.files().file_count(),
+            0,
+            "built and partial run files are deleted, not leaked"
         );
         assert_eq!(t.scan_all().unwrap().len(), 4_000, "no record lost");
         t.flush_cp().unwrap();
         assert_eq!(t.ws_len(), 0);
         assert_eq!(t.scan_all().unwrap().len(), 4_000);
+    }
+
+    #[test]
+    fn prepared_flush_installs_nothing_until_commit() {
+        let (_d, t) = table();
+        for i in 0..100u64 {
+            t.insert(TestRec::new(i, i));
+        }
+        let prep = t.prepare_flush(1).unwrap();
+        // Built but not installed: queries still see the records in the
+        // write store, the run list is empty, and the manifest-facing metas
+        // describe the pending run.
+        assert_eq!(t.run_count(), 0);
+        assert_eq!(t.ws_len(), 100);
+        assert_eq!(t.scan_all().unwrap().len(), 100);
+        assert_eq!(prep.stats().records_flushed, 100);
+        assert_eq!(prep.run_metas().len(), 1);
+        assert_eq!(prep.run_metas()[0].1.records, 100);
+        let stats = prep.commit();
+        assert_eq!(stats.records_flushed, 100);
+        assert_eq!(t.run_count(), 1);
+        assert_eq!(t.ws_len(), 0);
+        assert_eq!(t.scan_all().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn dropped_prepared_flush_aborts_cleanly() {
+        let (_d, t) = table();
+        for i in 0..100u64 {
+            t.insert(TestRec::new(i, i));
+        }
+        {
+            let prep = t.prepare_flush(1).unwrap();
+            assert!(!prep.is_empty());
+            // Dropped without commit: abort.
+        }
+        assert_eq!(t.run_count(), 0);
+        assert_eq!(t.ws_len(), 100, "staged records return to the shard");
+        assert_eq!(t.files().file_count(), 0, "built run file is deleted");
+        // The same records flush fine afterwards (the flush lock was
+        // released by the drop).
+        t.flush_cp().unwrap();
+        assert_eq!(t.run_count(), 1);
+        assert_eq!(t.scan_all().unwrap().len(), 100);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Scenario parameters, all derivable from a single seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative scheduling weights for the simulated actors. Each step of the
+/// virtual clock, the scheduler draws one actor proportionally to its
+/// weight; a zero weight disables the actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActorMix {
+    /// Writers adding references.
+    pub add: u32,
+    /// Writers removing references.
+    pub remove: u32,
+    /// Readers comparing live-owner queries against the reference engine.
+    pub query: u32,
+    /// Consistency-point actor.
+    pub consistency_point: u32,
+    /// Snapshot-taking actor.
+    pub snapshot: u32,
+    /// Clone-creating actor.
+    pub clone: u32,
+    /// Snapshot-deleting actor.
+    pub delete_snapshot: u32,
+    /// Background maintenance actor.
+    pub maintenance: u32,
+}
+
+impl Default for ActorMix {
+    /// The weights of the crash-recovery proptest workload, plus queries.
+    fn default() -> Self {
+        ActorMix {
+            add: 5,
+            remove: 3,
+            query: 3,
+            consistency_point: 2,
+            snapshot: 1,
+            clone: 1,
+            delete_snapshot: 1,
+            maintenance: 1,
+        }
+    }
+}
+
+impl ActorMix {
+    pub(crate) fn total(&self) -> u32 {
+        self.add
+            + self.remove
+            + self.query
+            + self.consistency_point
+            + self.snapshot
+            + self.clone
+            + self.delete_snapshot
+            + self.maintenance
+    }
+}
+
+/// How the scenario crashes: a final consistency point is attempted with
+/// write-fault injection armed, then the power is cut.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    /// Device writes of the final consistency point that complete before
+    /// injection kills the rest. Beyond the CP's write count, the CP
+    /// completes — a clean-shutdown schedule, which must also recover.
+    pub fault_after_writes: u64,
+    /// Probability that an unflushed cached page persists whole at the cut.
+    pub persist: f64,
+    /// Probability that an unflushed cached page persists a torn
+    /// (sector-aligned) prefix at the cut.
+    pub torn: f64,
+}
+
+/// A complete scenario description. Everything the run does — workload,
+/// fault schedule, crash point, page fates at the cut — is a pure function
+/// of this value, and [`ScenarioConfig::from_seed`] derives the whole value
+/// from one `u64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// The master seed; also printed in reproduction lines.
+    pub seed: u64,
+    /// Engine partitions.
+    pub partitions: u32,
+    /// Blocks are drawn from `0..block_range`.
+    pub block_range: u64,
+    /// Number of writer identities (each owns an inode number).
+    pub writers: u64,
+    /// Scheduler steps before the crash.
+    pub steps: u32,
+    /// Actor scheduling weights.
+    pub mix: ActorMix,
+    /// Probability that a workload-phase read fails.
+    pub read_fault: f64,
+    /// Probability that a workload-phase write fails.
+    pub write_fault: f64,
+    /// Probability that a failed workload-phase write tears its page.
+    pub torn_write: f64,
+    /// The crash schedule.
+    pub crash: CrashPlan,
+}
+
+impl ScenarioConfig {
+    /// Derives a full scenario from `seed`. The derivation itself is seeded
+    /// (salted so it shares no draws with the workload), so the same seed
+    /// always yields the same scenario shape.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0C0F_F16A_B1E5);
+        ScenarioConfig {
+            seed,
+            partitions: rng.gen_range(1u32..=4),
+            block_range: rng.gen_range(24u64..=64),
+            writers: rng.gen_range(2u64..=6),
+            steps: rng.gen_range(40u32..=160),
+            mix: ActorMix::default(),
+            // Most scenarios run a clean device so the crash itself is the
+            // only disturbance; a minority add a scatter of per-op faults.
+            read_fault: if rng.gen_bool(0.25) { 0.01 } else { 0.0 },
+            write_fault: if rng.gen_bool(0.25) { 0.02 } else { 0.0 },
+            torn_write: 0.5,
+            crash: CrashPlan {
+                fault_after_writes: rng.gen_range(0u64..48),
+                persist: rng.gen_range(0.0..0.6),
+                torn: rng.gen_range(0.0..0.4),
+            },
+        }
+    }
+}

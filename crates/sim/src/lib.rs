@@ -1,0 +1,48 @@
+//! Deterministic whole-system simulation for the Backlog (FAST'10)
+//! reproduction.
+//!
+//! Single-axis fault walks (`fail_writes_after(k)` for every `k`) prove a
+//! lot, but real crashes are messier: a power cut tears some in-flight
+//! pages, loses others outright, and hits a system whose write cache holds
+//! an arbitrary interleaving of run-file, manifest, and superblock writes.
+//! This crate explores that space the deterministic-simulation way: **every
+//! scenario is a pure function of one `u64` seed**, so any failure is a
+//! one-line reproduction, not a flake.
+//!
+//! # Model
+//!
+//! A [`ScenarioConfig`] (derived from the seed) describes:
+//!
+//! * an **actor mix** — weighted writer / remover / query / lineage /
+//!   consistency-point / maintenance actors, scheduled one step at a time by
+//!   a seeded scheduler over a durable, journaled [`backlog::BacklogEngine`]
+//!   running on a [`blockdev::SimDisk`] with its volatile write cache
+//!   enabled;
+//! * a **fault plane** — per-op probabilistic read/write faults and torn
+//!   writes drawn from the same seed ([`blockdev::FaultProfile`]);
+//! * a **crash plan** — a final consistency point killed at a scheduled
+//!   device write, followed by a power cut that persists, tears, or loses
+//!   every unflushed cached page ([`blockdev::PowerCutProfile`]).
+//!
+//! After the cut the engine is reopened from the device image and recovered
+//! (host metadata first, then the reference-callback journal — the NVRAM in
+//! the paper's deployment), and a **differential oracle** compares it
+//! against a never-crashed in-memory reference engine that ran the same
+//! workload: CP clock, per-block live owners, cumulative counters, a full
+//! [`backlog::verify`] pass with the reference as ground truth, and a
+//! post-recovery CP + maintenance convergence check.
+//!
+//! Any mismatch yields [`Verdict::Fail`] and
+//! [`ScenarioOutcome::repro_line`] prints `seed=0x…` — feed it back through
+//! [`run_seed`] to replay the identical schedule.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod config;
+mod report;
+mod runner;
+
+pub use config::{ActorMix, CrashPlan, ScenarioConfig};
+pub use report::{MatrixReport, ScenarioOutcome, Verdict};
+pub use runner::{run_matrix, run_scenario, run_seed};

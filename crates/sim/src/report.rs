@@ -1,0 +1,115 @@
+//! Scenario outcomes and the seed-matrix report.
+
+use blockdev::{IoStatsSnapshot, PowerCutReport};
+
+/// Did the recovered engine match the never-crashed reference?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every oracle check passed.
+    Pass,
+    /// An oracle check failed; `detail` names the first mismatch.
+    Fail {
+        /// Human-readable description of the first failed check.
+        detail: String,
+    },
+}
+
+impl Verdict {
+    /// Whether the scenario passed.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+}
+
+/// The result of one scenario run — everything needed to reproduce and to
+/// assert determinism (two runs of the same seed must produce equal
+/// outcomes, including the device digest and I/O counters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// The scenario's master seed.
+    pub seed: u64,
+    /// The oracle verdict.
+    pub verdict: Verdict,
+    /// Scheduler steps executed before the crash.
+    pub steps: u32,
+    /// Whether the final consistency point died mid-write (`false` means the
+    /// fault point lay beyond the CP: a clean-shutdown schedule).
+    pub crashed_mid_cp: bool,
+    /// Page fates at the power cut.
+    pub cut: PowerCutReport,
+    /// Journal entries replayed into the recovered engine.
+    pub journal_replayed: usize,
+    /// Digest of the complete device image at the end of the scenario.
+    pub device_digest: u64,
+    /// Device I/O counters at the end of the scenario.
+    pub io: IoStatsSnapshot,
+}
+
+impl ScenarioOutcome {
+    /// Whether the scenario passed.
+    pub fn passed(&self) -> bool {
+        self.verdict.is_pass()
+    }
+
+    /// The one-line reproduction: paste the `seed=…` value into
+    /// [`run_seed`](crate::run_seed) to replay the identical schedule —
+    /// same crash point, same page fates, same verdict.
+    pub fn repro_line(&self) -> String {
+        let verdict = match &self.verdict {
+            Verdict::Pass => "PASS".to_string(),
+            Verdict::Fail { detail } => format!("FAIL [{detail}]"),
+        };
+        format!(
+            "seed=0x{:016x} steps={} crashed_mid_cp={} cut(persisted={},torn={},lost={}) \
+             journal_replayed={} digest=0x{:016x} {}",
+            self.seed,
+            self.steps,
+            self.crashed_mid_cp,
+            self.cut.persisted,
+            self.cut.torn,
+            self.cut.lost,
+            self.journal_replayed,
+            self.device_digest,
+            verdict
+        )
+    }
+}
+
+/// Aggregate over a matrix of seeds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MatrixReport {
+    /// One outcome per seed, in input order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl MatrixReport {
+    /// Whether every scenario passed.
+    pub fn all_passed(&self) -> bool {
+        self.outcomes.iter().all(ScenarioOutcome::passed)
+    }
+
+    /// The failing outcomes, if any.
+    pub fn failures(&self) -> Vec<&ScenarioOutcome> {
+        self.outcomes.iter().filter(|o| !o.passed()).collect()
+    }
+
+    /// Scenarios that crashed mid-CP (the interesting schedules).
+    pub fn mid_cp_crashes(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.crashed_mid_cp).count()
+    }
+
+    /// Total torn pages across all power cuts.
+    pub fn torn_pages(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.cut.torn).sum()
+    }
+
+    /// Total lost pages across all power cuts.
+    pub fn lost_pages(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.cut.lost).sum()
+    }
+
+    /// Total scheduler steps across all scenarios.
+    pub fn total_steps(&self) -> u64 {
+        self.outcomes.iter().map(|o| u64::from(o.steps)).sum()
+    }
+}

@@ -1,0 +1,377 @@
+//! The scenario runner: seeded actor scheduling, crash injection, and the
+//! differential recovery oracle.
+
+use backlog::{
+    replay_journal, verify, BacklogConfig, BacklogEngine, ExpectedRef, Journal, LineId, Owner,
+    SnapshotId,
+};
+use blockdev::{Device, DeviceConfig, FaultProfile, PowerCutProfile, SimDisk};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::ScenarioConfig;
+use crate::report::{MatrixReport, ScenarioOutcome, Verdict};
+
+/// Salt for the workload/scheduler generator (distinct from the config
+/// derivation, the device fault plane, and the power-cut fates, so the four
+/// streams never alias).
+const WORKLOAD_SALT: u64 = 0x0AC7_0000_5EED_0001;
+/// Salt for the device fault plane.
+const FAULT_SALT: u64 = 0xFA17_0000_5EED_0002;
+/// Salt for the power-cut page fates.
+const CUT_SALT: u64 = 0xC117_0000_5EED_0003;
+
+/// A lineage operation the host's metadata journal re-applies after a crash
+/// (snapshot/clone metadata is file-system metadata, recovered by the file
+/// system's own journal — the Backlog journal carries only reference ops).
+#[derive(Debug, Clone, Copy)]
+enum MetaOp {
+    TakeSnapshot(LineId),
+    RegisterClone(SnapshotId, LineId),
+    DeleteSnapshot(SnapshotId),
+}
+
+fn apply_meta(engine: &BacklogEngine, op: MetaOp) {
+    match op {
+        MetaOp::TakeSnapshot(line) => {
+            engine.take_snapshot(line);
+        }
+        MetaOp::RegisterClone(parent, line) => engine.register_clone(parent, line),
+        MetaOp::DeleteSnapshot(snap) => engine.delete_snapshot(snap),
+    }
+}
+
+/// The actors the scheduler can pick each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Actor {
+    Add,
+    Remove,
+    Query,
+    ConsistencyPoint,
+    Snapshot,
+    Clone,
+    DeleteSnapshot,
+    Maintenance,
+}
+
+/// Draws the next actor from the seeded scheduler, proportionally to the
+/// configured weights.
+fn schedule(cfg: &ScenarioConfig, rng: &mut StdRng) -> Actor {
+    let mix = &cfg.mix;
+    let mut draw = rng.gen_range(0..mix.total());
+    for (weight, actor) in [
+        (mix.add, Actor::Add),
+        (mix.remove, Actor::Remove),
+        (mix.query, Actor::Query),
+        (mix.consistency_point, Actor::ConsistencyPoint),
+        (mix.snapshot, Actor::Snapshot),
+        (mix.clone, Actor::Clone),
+        (mix.delete_snapshot, Actor::DeleteSnapshot),
+        (mix.maintenance, Actor::Maintenance),
+    ] {
+        if draw < weight {
+            return actor;
+        }
+        draw -= weight;
+    }
+    unreachable!("weights sum to mix.total()");
+}
+
+/// Runs the scenario derived from `seed`. See [`run_scenario`].
+pub fn run_seed(seed: u64) -> ScenarioOutcome {
+    run_scenario(&ScenarioConfig::from_seed(seed))
+}
+
+/// Runs every seed in order and collects the outcomes.
+pub fn run_matrix(seeds: &[u64]) -> MatrixReport {
+    MatrixReport {
+        outcomes: seeds.iter().map(|&s| run_seed(s)).collect(),
+    }
+}
+
+/// Runs one scenario to completion: workload, crash, recovery, oracle.
+///
+/// Never panics on an oracle mismatch — mismatches come back as
+/// [`Verdict::Fail`] so a matrix run can report every failing seed.
+pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
+    let device = SimDisk::new_shared(DeviceConfig::free_latency());
+    device.set_write_cache(true);
+    let config = BacklogConfig::partitioned(cfg.partitions, cfg.block_range)
+        .without_timing()
+        .with_journaling();
+    let live = BacklogEngine::create_durable(device.clone(), config.clone())
+        .expect("durable create on a fresh, fault-free device");
+    let reference = BacklogEngine::new_simulated(config.clone());
+
+    // The workload phase may scatter per-op faults over the live engine.
+    device.set_fault_profile(Some(FaultProfile {
+        seed: cfg.seed ^ FAULT_SALT,
+        read_fault: cfg.read_fault,
+        write_fault: cfg.write_fault,
+        torn_write: cfg.torn_write,
+    }));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ WORKLOAD_SALT);
+    let mut lines = vec![LineId::ROOT];
+    let mut snapshots: Vec<SnapshotId> = Vec::new();
+    // The host metadata journal: lineage ops since the last durable CP.
+    let mut meta_log: Vec<MetaOp> = Vec::new();
+    let mut verdict = Verdict::Pass;
+
+    macro_rules! check {
+        ($cond:expr, $($fmt:tt)*) => {
+            if verdict.is_pass() && !$cond {
+                verdict = Verdict::Fail { detail: format!($($fmt)*) };
+            }
+        };
+    }
+
+    for _step in 0..cfg.steps {
+        match schedule(cfg, &mut rng) {
+            Actor::Add => {
+                let block = rng.gen_range(0..cfg.block_range);
+                let inode = rng.gen_range(0..cfg.writers) + 1;
+                let offset = rng.gen_range(0u64..8);
+                let line = lines[rng.gen_range(0..lines.len())];
+                let owner = Owner::block(inode, offset, line);
+                live.add_reference(block, owner);
+                reference.add_reference(block, owner);
+            }
+            Actor::Remove => {
+                let block = rng.gen_range(0..cfg.block_range);
+                let inode = rng.gen_range(0..cfg.writers) + 1;
+                let offset = rng.gen_range(0u64..8);
+                let line = lines[rng.gen_range(0..lines.len())];
+                let owner = Owner::block(inode, offset, line);
+                live.remove_reference(block, owner);
+                reference.remove_reference(block, owner);
+            }
+            Actor::Query => {
+                let block = rng.gen_range(0..cfg.block_range);
+                // An injected read fault fails the live query; the engine
+                // must surface the error (not panic) and the comparison is
+                // skipped — the device really did refuse to answer.
+                if let Ok(live_owners) = live.live_owners(block) {
+                    let ref_owners = reference.live_owners(block).expect("in-memory query");
+                    check!(
+                        live_owners == ref_owners,
+                        "mid-workload query diverged on block {block}"
+                    );
+                }
+            }
+            Actor::ConsistencyPoint => {
+                // A CP may die on an injected write fault; the reference
+                // then skips its own CP so the two CP clocks stay aligned,
+                // and the live engine keeps running on the previous durable
+                // generation.
+                if live.consistency_point().is_ok() {
+                    reference.consistency_point().expect("in-memory CP");
+                    meta_log.clear(); // durable now
+                }
+            }
+            Actor::Snapshot => {
+                let line = lines[rng.gen_range(0..lines.len())];
+                let a = live.take_snapshot(line);
+                let b = reference.take_snapshot(line);
+                check!(a == b, "snapshot ids diverged ({a:?} vs {b:?})");
+                snapshots.push(a);
+                meta_log.push(MetaOp::TakeSnapshot(line));
+            }
+            Actor::Clone => {
+                if snapshots.is_empty() {
+                    continue;
+                }
+                let parent = snapshots[rng.gen_range(0..snapshots.len())];
+                let a = live.create_clone(parent);
+                let b = reference.create_clone(parent);
+                check!(a == b, "clone lines diverged ({a:?} vs {b:?})");
+                lines.push(a);
+                meta_log.push(MetaOp::RegisterClone(parent, a));
+            }
+            Actor::DeleteSnapshot => {
+                if snapshots.is_empty() {
+                    continue;
+                }
+                let snap = snapshots[rng.gen_range(0..snapshots.len())];
+                live.delete_snapshot(snap);
+                reference.delete_snapshot(snap);
+                meta_log.push(MetaOp::DeleteSnapshot(snap));
+            }
+            Actor::Maintenance => {
+                // Maintenance on the live engine may die on an injected
+                // fault; that must be invisible to queries either way.
+                let _ = live.maintenance();
+                reference.maintenance().expect("in-memory maintenance");
+            }
+        }
+    }
+
+    // Pre-crash sweep: the live engine's in-memory answers must already
+    // match the reference before any crash is injected, so a later failure
+    // pins the divergence to recovery rather than the workload. Blocks the
+    // device refuses to read (injected read fault) are skipped — the fault
+    // plane is still armed here.
+    for block in 0..cfg.block_range {
+        if let Ok(owners) = live.live_owners(block) {
+            check!(
+                owners == reference.live_owners(block).expect("in-memory query"),
+                "block {block} owners diverged before the crash"
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash: kill the final CP at a scheduled device write, then cut the
+    // power — unflushed cached pages persist, tear, or vanish per the plan.
+    // ------------------------------------------------------------------
+    device.set_fault_profile(None);
+    device.fail_writes_after(cfg.crash.fault_after_writes);
+    let attempt = live.consistency_point();
+    device.clear_write_fault();
+    let nvram = live.journal_snapshot().expect("journaling is enabled");
+    drop(live);
+    let cut = device.power_cut(&PowerCutProfile {
+        seed: cfg.seed ^ CUT_SALT,
+        persist: cfg.crash.persist,
+        torn: cfg.crash.torn,
+    });
+
+    // ------------------------------------------------------------------
+    // Recover: reopen from the post-cut image; after a mid-CP crash,
+    // re-apply host metadata, then replay the journal (NVRAM).
+    // ------------------------------------------------------------------
+    let crashed_mid_cp = attempt.is_err();
+    let mut journal_replayed = 0;
+    let recovered = if crashed_mid_cp {
+        match BacklogEngine::open(device.clone(), config.clone()) {
+            Ok(recovered) => {
+                for &op in &meta_log {
+                    apply_meta(&recovered, op);
+                }
+                let journal = Journal::from_bytes(&nvram.to_bytes()).expect("NVRAM roundtrip");
+                journal_replayed = replay_journal(&recovered, &journal);
+                Some(recovered)
+            }
+            Err(e) => {
+                check!(false, "reopen after mid-CP power cut failed: {e}");
+                None
+            }
+        }
+    } else {
+        // The final CP completed (and its barriers flushed everything), so
+        // the cut had nothing to destroy and reopen needs no replay.
+        reference.consistency_point().expect("in-memory CP");
+        match BacklogEngine::open(device.clone(), config.clone()) {
+            Ok(recovered) => Some(recovered),
+            Err(e) => {
+                check!(false, "reopen after clean shutdown failed: {e}");
+                None
+            }
+        }
+    };
+
+    // ------------------------------------------------------------------
+    // Oracle: the recovered engine must answer exactly like the engine
+    // that never crashed.
+    // ------------------------------------------------------------------
+    if let Some(recovered) = recovered {
+        check!(
+            recovered.current_cp() == reference.current_cp(),
+            "CP clock diverged: recovered {:?} vs reference {:?}",
+            recovered.current_cp(),
+            reference.current_cp()
+        );
+        let mut expected = Vec::new();
+        let mut all_blocks = Vec::new();
+        for block in 0..cfg.block_range {
+            all_blocks.push(block);
+            let ref_owners = reference.live_owners(block).expect("in-memory query");
+            match recovered.live_owners(block) {
+                Ok(owners) => check!(
+                    owners == ref_owners,
+                    "block {block} owners diverged after recovery"
+                ),
+                Err(e) => check!(false, "post-recovery query on block {block} failed: {e}"),
+            }
+            expected.extend(ref_owners.into_iter().map(|o| ExpectedRef::new(block, o)));
+        }
+        match verify(&recovered, &expected, &all_blocks) {
+            Ok(report) => check!(
+                report.is_consistent(),
+                "verify: {} missing, {} spurious of {} checked",
+                report.missing.len(),
+                report.spurious.len(),
+                report.checked
+            ),
+            Err(e) => check!(false, "verify pass failed: {e}"),
+        }
+        let (sa, sb) = (recovered.stats(), reference.stats());
+        check!(
+            sa.refs_added == sb.refs_added && sa.refs_removed == sb.refs_removed,
+            "cumulative counters diverged: {}+/{}- vs {}+/{}-",
+            sa.refs_added,
+            sa.refs_removed,
+            sb.refs_added,
+            sb.refs_removed
+        );
+        // Convergence: the recovered engine keeps working — another CP and
+        // maintenance pass on both sides must leave queries aligned.
+        match recovered
+            .consistency_point()
+            .and_then(|_| recovered.maintenance())
+        {
+            Ok(_) => {
+                reference.consistency_point().expect("in-memory CP");
+                reference.maintenance().expect("in-memory maintenance");
+                for block in 0..cfg.block_range {
+                    match recovered.live_owners(block) {
+                        Ok(owners) => check!(
+                            owners == reference.live_owners(block).expect("in-memory query"),
+                            "block {block} owners diverged after post-recovery maintenance"
+                        ),
+                        Err(e) => {
+                            check!(false, "post-maintenance query on block {block} failed: {e}")
+                        }
+                    }
+                }
+            }
+            Err(e) => check!(false, "post-recovery CP/maintenance failed: {e}"),
+        }
+    }
+
+    ScenarioOutcome {
+        seed: cfg.seed,
+        verdict,
+        steps: cfg.steps,
+        crashed_mid_cp,
+        cut,
+        journal_replayed,
+        device_digest: device.content_digest(),
+        io: device.stats().snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_seed_matrix_passes() {
+        let report = run_matrix(&(0..8u64).collect::<Vec<_>>());
+        for o in &report.outcomes {
+            assert!(o.passed(), "{}", o.repro_line());
+        }
+        assert!(
+            report.mid_cp_crashes() > 0,
+            "at least one scenario must crash mid-CP"
+        );
+    }
+
+    #[test]
+    fn scenario_shapes_vary_with_the_seed() {
+        let a = ScenarioConfig::from_seed(1);
+        let b = ScenarioConfig::from_seed(2);
+        assert_ne!(a, b);
+        assert_eq!(a, ScenarioConfig::from_seed(1));
+    }
+}

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use backlog::{
     replay_journal, BacklogConfig, BacklogEngine, BacklogError, ExpectedRef, Journal, LineId, Owner,
 };
-use blockdev::{Device, DeviceConfig, SimDisk, Superblock, SUPERBLOCK_PAGES};
+use blockdev::{Device, DeviceConfig, PowerCutProfile, SimDisk, Superblock, SUPERBLOCK_PAGES};
 
 fn disk() -> Arc<SimDisk> {
     SimDisk::new_shared(DeviceConfig::free_latency())
@@ -385,6 +385,249 @@ fn journal_replay_is_idempotent_when_crash_hits_after_the_flip() {
         BacklogEngine::open_with_journal(device, journaled, &stale_journal).unwrap();
     assert_eq!(applied, 0, "durable entries must not be re-applied");
     assert_eq!(reopened.dump_all().unwrap().refs, want);
+}
+
+/// Satellite: reads can fail mid-`open` too (latent sector errors, a dying
+/// controller). Walk the read-fault counter across the entire recovery path:
+/// every failure point must surface as `BacklogError::Recovery` — never a
+/// panic — and must leave the durable CP intact, so a retry on a healed
+/// device recovers everything.
+#[test]
+fn open_survives_a_read_fault_at_every_point() {
+    let device = disk();
+    let reference = BacklogEngine::new_simulated(config());
+    let engine = BacklogEngine::create_durable(device.clone(), config()).unwrap();
+    rich_workload(&reference);
+    rich_workload(&engine);
+    drop(engine);
+
+    let mut failure_points = 0u64;
+    loop {
+        device.fail_reads_after(failure_points);
+        match BacklogEngine::open(device.clone(), config()) {
+            Ok(reopened) => {
+                device.clear_read_fault();
+                assert!(
+                    failure_points > 0,
+                    "open must issue at least one device read"
+                );
+                assert_engines_equivalent(
+                    &reopened,
+                    &reference,
+                    1_500,
+                    "after surviving the read-fault walk",
+                );
+                break;
+            }
+            Err(err) => {
+                assert!(
+                    matches!(err, BacklogError::Recovery { .. }),
+                    "read fault at read {failure_points} must surface as Recovery, got: {err}"
+                );
+                device.clear_read_fault();
+            }
+        }
+        failure_points += 1;
+        assert!(failure_points < 100_000, "open cannot need this many reads");
+    }
+}
+
+/// Satellite: the superblock flip torn by a power cut. A prefix of the new
+/// generation persists over the old slot content; the FNV checksum rejects
+/// the hybrid page and recovery falls back to the previous generation's
+/// database, which the flip protocol left fully intact.
+#[test]
+fn torn_superblock_flip_recovers_previous_generation() {
+    let device = disk();
+    let engine = BacklogEngine::create_durable(device.clone(), config()).unwrap();
+    for block in 0..100u64 {
+        engine.add_reference(block, owner(1, block));
+    }
+    engine.consistency_point().unwrap();
+    let generation = engine.superblock_generation();
+    let want = engine.dump_all().unwrap().refs;
+    drop(engine);
+
+    // Forge the flip the next CP would have performed — a plausible
+    // generation+1 superblock pointing at pages that were never written —
+    // and persist only its first 48 bytes onto the flip slot, the way a
+    // power cut mid-sector-stream would.
+    let forged = Superblock {
+        generation: generation + 1,
+        manifest_file: 9_999,
+        manifest_len_bytes: 4_096,
+        next_file: 10_000,
+        next_page: 50_000,
+        manifest_extents: vec![(49_000, 1)],
+    };
+    let slot = SUPERBLOCK_PAGES[((generation + 1) % 2) as usize];
+    device
+        .tear_page(slot, &forged.encode().unwrap(), 48)
+        .unwrap();
+
+    let reopened = BacklogEngine::open(device, config()).unwrap();
+    assert_eq!(reopened.superblock_generation(), generation);
+    assert_eq!(reopened.dump_all().unwrap().refs, want);
+}
+
+/// Satellite: journal-tail loss under the volatile-cache model. The crash
+/// schedule the old harness could not express: the CP's pages are durable
+/// (its barriers flushed them) while the *younger* NVRAM journal tail is
+/// torn mid-entry. Recovery must take the durable CP, replay the surviving
+/// complete prefix of the journal, ignore the torn tail, and skip every
+/// entry the CP already covers — in that order.
+#[test]
+fn torn_journal_tail_replays_idempotently_over_durable_cp_pages() {
+    let journaled = config().with_journaling();
+    let device = disk();
+    device.set_write_cache(true);
+    let engine = BacklogEngine::create_durable(device.clone(), journaled.clone()).unwrap();
+    let reference = BacklogEngine::new_simulated(journaled.clone());
+
+    // Interval A: made durable by a CP (whose barriers flush the cache).
+    for block in 0..120u64 {
+        engine.add_reference(block, owner(1 + block % 3, block));
+        reference.add_reference(block, owner(1 + block % 3, block));
+    }
+    engine.consistency_point().unwrap();
+    reference.consistency_point().unwrap();
+    // Interval B: journaled only; the entries after `survivors` will sit in
+    // the journal's torn tail.
+    let interval_b: Vec<u64> = (200..230u64).collect();
+    for &block in &interval_b {
+        engine.add_reference(block, owner(7, block));
+    }
+    let nvram = engine.journal_snapshot().unwrap();
+    assert_eq!(nvram.len(), interval_b.len());
+    drop(engine);
+
+    // Power cut: everything unflushed since the CP is lost; the CP's pages —
+    // written *before* the journal tail existed — survive because the CP's
+    // barriers made them stable.
+    let report = device.power_cut(&PowerCutProfile::lose_all(0));
+    assert_eq!(report.persisted + report.torn, 0, "nothing was left cached");
+
+    // NVRAM lost the tail mid-entry: only `survivors` entries are complete.
+    let survivors = interval_b.len() - 7;
+    let bytes = nvram.to_bytes();
+    let entry_len = bytes.len() / nvram.len();
+    let torn = &bytes[..survivors * entry_len + entry_len / 2];
+    let journal = Journal::from_bytes(torn).unwrap();
+    assert_eq!(journal.len(), survivors, "torn trailing entry is ignored");
+
+    let (recovered, applied) =
+        BacklogEngine::open_with_journal(device.clone(), journaled.clone(), &journal).unwrap();
+    assert_eq!(applied, survivors, "exactly the surviving tail replays");
+    for &block in &interval_b[..survivors] {
+        reference.add_reference(block, owner(7, block));
+    }
+    assert_engines_equivalent(&recovered, &reference, 300, "after torn-tail replay");
+
+    // Idempotency pin: a second replay of the same surviving journal — and
+    // of a full pre-CP journal image — applies nothing once the entries'
+    // CPs are covered, so recovery can be retried after its own crash.
+    recovered.consistency_point().unwrap();
+    reference.consistency_point().unwrap();
+    assert_eq!(replay_journal(&recovered, &journal), 0);
+    assert_engines_equivalent(&recovered, &reference, 300, "after double replay");
+}
+
+/// Satellite: a mid-CP crash where the power cut also destroys the crashed
+/// CP's own unflushed writes. The previous CP's pages were flushed by its
+/// barriers, so losing the newer cached pages must not damage recovery.
+#[test]
+fn power_cut_discarding_the_crashed_cps_cache_recovers_cleanly() {
+    let journaled = config().with_journaling();
+    let device = disk();
+    device.set_write_cache(true);
+    let engine = BacklogEngine::create_durable(device.clone(), journaled.clone()).unwrap();
+    let reference = BacklogEngine::new_simulated(journaled.clone());
+    for e in [&engine, &reference] {
+        for block in 0..150u64 {
+            e.add_reference(block, owner(1 + block % 4, block));
+        }
+        e.consistency_point().unwrap();
+        // The doomed interval spans all four partitions, so its CP flushes
+        // several run pages before it reaches the manifest.
+        for i in 0..80u64 {
+            e.add_reference((i * 53) % 4_000, owner(5, i));
+        }
+    }
+    let generation = engine.superblock_generation();
+    // Kill the final CP after two writes, then cut the power: the CP's
+    // partial writes were cached and now vanish outright.
+    device.fail_writes_after(2);
+    assert!(engine.consistency_point().is_err());
+    device.clear_write_fault();
+    let nvram = engine.journal_snapshot().unwrap();
+    drop(engine);
+    let cut = device.power_cut(&PowerCutProfile::lose_all(17));
+    assert!(cut.lost > 0, "the dead CP left unflushed pages behind");
+
+    let (recovered, applied) = BacklogEngine::open_with_journal(device, journaled, &nvram).unwrap();
+    assert_eq!(recovered.superblock_generation(), generation);
+    assert!(applied > 0);
+    assert_engines_equivalent(&recovered, &reference, 300, "after lost-cache recovery");
+}
+
+/// Regression (found by the `crates/sim` seed matrix, seed 0xb11a8008): a CP
+/// that dies *between* building its Level-0 runs and completing the
+/// manifest/superblock must not leave any run installed. A half-committed
+/// flush strands the interval's adds in runs where a same-interval remove
+/// can no longer prune them; the add and the remove then carry the same CP
+/// stamp into the tables, and the query join — whose contract says such
+/// pairs never coexist — reads them back as a *live* reference instead of
+/// an empty lifetime. The flush is prepare-then-commit now, so every
+/// failure point of the CP must leave the pair prunable and the reference
+/// dead, in memory and across reopen.
+#[test]
+fn failed_cp_keeps_same_interval_removes_prunable() {
+    for fail_after in 0..24u64 {
+        let device = disk();
+        let engine = BacklogEngine::create_durable(device.clone(), config()).unwrap();
+        let reference = BacklogEngine::new_simulated(config());
+        for e in [&engine, &reference] {
+            // Spread adds over all four partitions so the dying CP builds
+            // several runs before it reaches the manifest.
+            for i in 0..40u64 {
+                e.add_reference((i * 101) % 4_000, owner(1 + i % 3, i));
+            }
+        }
+        device.fail_writes_after(fail_after);
+        let attempt = engine.consistency_point();
+        device.clear_write_fault();
+        if attempt.is_ok() {
+            // CP completed before the fault budget ran out; larger budgets
+            // only succeed sooner.
+            reference.consistency_point().unwrap();
+        }
+        // Remove everything that was just added. If the failed CP left any
+        // add stranded in an installed run, the same-stamp remove cannot
+        // prune it and the pair resurrects as a live reference.
+        for e in [&engine, &reference] {
+            for i in 0..40u64 {
+                e.remove_reference((i * 101) % 4_000, owner(1 + i % 3, i));
+            }
+        }
+        for block in [0u64, 101, 202, 1_010, 2_020, 3_030] {
+            assert_eq!(
+                engine.live_owners(block).unwrap(),
+                reference.live_owners(block).unwrap(),
+                "fail_after={fail_after}: block {block} diverged after same-interval removes"
+            );
+        }
+        // The pair must stay dead across a successful CP and a reopen.
+        engine.consistency_point().unwrap();
+        reference.consistency_point().unwrap();
+        drop(engine);
+        let reopened = BacklogEngine::open(device, config()).unwrap();
+        assert_engines_equivalent(
+            &reopened,
+            &reference,
+            4_000,
+            &format!("fail_after={fail_after}: reopen after failed-then-retried CP"),
+        );
+    }
 }
 
 #[test]
