@@ -59,6 +59,8 @@ struct Measurement {
     flush_ns: u64,
     contentions: u64,
     runs_created: u32,
+    max_in_flight: u64,
+    completed_async_ops: u64,
     from_table: Vec<backlog::FromRecord>,
 }
 
@@ -111,11 +113,26 @@ fn run(cfg: &Config, threads: usize) -> Measurement {
         runs_created += report.runs_created;
     }
     disk.set_latency_emulation(false);
+    let snap = disk.stats().snapshot();
+    // Guard against the CP silently falling back to the sync submit-then-wait
+    // shim: the flush must actually have kept more than one write in flight
+    // and retired completions while others were outstanding.
+    assert!(
+        snap.max_in_flight >= 2,
+        "{threads}t: CP flush never overlapped submits (max_in_flight {})",
+        snap.max_in_flight
+    );
+    assert!(
+        snap.completed_async_ops > 0,
+        "{threads}t: no completion retired while another was in flight"
+    );
     Measurement {
         callback_ns,
         flush_ns,
-        contentions: disk.stats().snapshot().lock_contentions - contentions_before,
+        contentions: snap.lock_contentions - contentions_before,
         runs_created,
+        max_in_flight: snap.max_in_flight,
+        completed_async_ops: snap.completed_async_ops,
         from_table: engine.from_table().scan_disk().expect("scan failed"),
     }
 }
@@ -160,7 +177,8 @@ fn main() {
         entries.push(format!(
             "  \"writers_{}p_{threads}t\": {{ \"block_ops\": {total_ops}, \"wall_ns\": {wall_ns}, \
 \"callback_wall_ns\": {}, \"cp_flush_wall_ns\": {}, \"ops_per_sec\": {:.1}, \
-\"throughput_vs_1t\": {:.2}, \"runs_created\": {}, \"lock_contentions\": {} }}",
+\"throughput_vs_1t\": {:.2}, \"runs_created\": {}, \"lock_contentions\": {}, \
+\"max_in_flight\": {}, \"completed_async_ops\": {} }}",
             cfg.partitions,
             m.callback_ns,
             m.flush_ns,
@@ -168,6 +186,8 @@ fn main() {
             serial_total_ns as f64 / wall_ns as f64,
             m.runs_created,
             m.contentions,
+            m.max_in_flight,
+            m.completed_async_ops,
         ));
     }
 

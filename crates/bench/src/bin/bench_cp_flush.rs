@@ -1,0 +1,192 @@
+//! Emits consistency-point flush wall-clock vs. *device queue depth* as JSON
+//! (captured in `BENCH_cp_flush.json` at the repo root).
+//!
+//! Setup: a durable partitioned engine on a [`SimDisk`] with uniform per-page
+//! latency. The reference workload is loaded with latency emulation off; the
+//! consistency point — three tables' per-partition run builds, the CP
+//! manifest, the superblock flip — is timed with emulation *on*, so every
+//! page write's modeled service time is real wall-clock time.
+//!
+//! This is the regime the async submit/completion device API targets: the CP
+//! pipelines all of its writes through one in-flight queue and drains them
+//! in a single wait before the pre-flip barrier, so its wall-clock is bounded
+//! by `pages / queue_depth`, not `pages` — **queue depth ≈ speedup**, even
+//! with a single flush thread. The bench pins that claim: at the same thread
+//! count, depth 8 must beat depth 1 by at least 2× (the acceptance gate), and
+//! the in-flight high-water mark must show the queue was actually used.
+//!
+//! Every configuration must also produce an identical `From` table — a cheap
+//! determinism check for the async write path.
+//!
+//! Run with `cargo run --release --bin bench_cp_flush`; pass `--smoke` for
+//! the tiny CI configuration.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use backlog::{BacklogConfig, BacklogEngine, LineId, Owner, WriteBatch};
+use blockdev::{Device, DeviceConfig, LatencyModel, SimDisk, PAGE_SIZE};
+
+/// A uniform-latency device: every page access costs the same, no seek
+/// penalty — the shape of a flash device where concurrent requests overlap
+/// instead of fighting one head.
+fn uniform_latency(ns_per_page: u64) -> LatencyModel {
+    LatencyModel {
+        seek_ns: 0,
+        ns_per_byte: ns_per_page as f64 / PAGE_SIZE as f64,
+        sequential_window: u64::MAX,
+    }
+}
+
+struct Config {
+    partitions: u32,
+    /// Reference adds buffered before the timed CP.
+    ops_per_round: u64,
+    rounds: u64,
+    ns_per_page: u64,
+    depths: &'static [usize],
+    thread_counts: &'static [usize],
+    /// Required depth-max vs. depth-1 CP speedup at equal threads (0 = only
+    /// report, don't gate — the smoke configuration).
+    min_speedup: f64,
+}
+
+struct Measurement {
+    cp_wall_ns: u64,
+    cp_pages_written: u64,
+    max_in_flight: u64,
+    completed_async_ops: u64,
+    from_table: Vec<backlog::FromRecord>,
+}
+
+/// Loads the workload (emulation off), then times `rounds` durable CPs with
+/// emulation on.
+fn run(cfg: &Config, depth: usize, threads: usize) -> Measurement {
+    let block_space = cfg.ops_per_round * cfg.rounds;
+    let disk = SimDisk::new_shared(
+        DeviceConfig::free_latency()
+            .with_latency(uniform_latency(cfg.ns_per_page))
+            .with_queue_depth(depth),
+    );
+    let engine = BacklogEngine::create_durable(
+        disk.clone() as Arc<dyn Device>,
+        BacklogConfig::partitioned(cfg.partitions, block_space)
+            .without_timing()
+            .with_cp_flush_threads(threads),
+    )
+    .expect("durable create");
+    let mut cp_wall_ns = 0u64;
+    let mut cp_pages = 0u64;
+    for round in 0..cfg.rounds {
+        let mut batch = WriteBatch::with_capacity(256);
+        for i in 0..cfg.ops_per_round {
+            let block = round * cfg.ops_per_round + i;
+            // Owner derived from the block alone so every configuration
+            // builds the identical table.
+            batch.add_reference(block, Owner::block(1 + block % 7, block, LineId::ROOT));
+            if batch.len() == 256 {
+                engine.apply(&batch);
+                batch.clear();
+            }
+        }
+        engine.apply(&batch);
+        disk.set_latency_emulation(true);
+        let t = Instant::now();
+        let report = engine.consistency_point().expect("CP flush failed");
+        cp_wall_ns += t.elapsed().as_nanos() as u64;
+        disk.set_latency_emulation(false);
+        cp_pages += report.pages_written;
+    }
+    let snap = disk.stats().snapshot();
+    // Guard against the CP silently falling back to the sync submit-then-wait
+    // shim: at depth > 1 the flush must actually overlap submits.
+    if depth > 1 {
+        assert!(
+            snap.max_in_flight >= 2,
+            "depth {depth}, {threads}t: CP never overlapped submits \
+             (max_in_flight {})",
+            snap.max_in_flight
+        );
+        assert!(
+            snap.completed_async_ops > 0,
+            "depth {depth}, {threads}t: no completion retired while another \
+             was in flight"
+        );
+    }
+    Measurement {
+        cp_wall_ns,
+        cp_pages_written: cp_pages,
+        max_in_flight: snap.max_in_flight,
+        completed_async_ops: snap.completed_async_ops,
+        from_table: engine.from_table().scan_disk().expect("scan failed"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        Config {
+            partitions: 4,
+            ops_per_round: 1_000,
+            rounds: 1,
+            ns_per_page: 200_000,
+            depths: &[1, 4],
+            thread_counts: &[1],
+            min_speedup: 0.0,
+        }
+    } else {
+        Config {
+            partitions: 4,
+            ops_per_round: 2_000,
+            rounds: 2,
+            ns_per_page: 400_000,
+            depths: &[1, 4, 8],
+            thread_counts: &[1, 2],
+            min_speedup: 2.0,
+        }
+    };
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut reference: Option<Vec<backlog::FromRecord>> = None;
+    for &threads in cfg.thread_counts {
+        let mut depth1_ns = 0u64;
+        let mut deepest: Option<(usize, u64)> = None;
+        for &depth in cfg.depths {
+            let m = run(&cfg, depth, threads);
+            if depth == 1 {
+                depth1_ns = m.cp_wall_ns;
+            }
+            deepest = Some((depth, m.cp_wall_ns));
+            // Determinism check: every (depth, threads) pair produces the
+            // same table.
+            match &reference {
+                None => reference = Some(m.from_table),
+                Some(r) => assert_eq!(*r, m.from_table, "configurations diverged"),
+            }
+            entries.push(format!(
+                "  \"cp_flush_d{depth}_{threads}t\": {{ \"cp_wall_ns\": {}, \
+\"cp_pages_written\": {}, \"speedup_vs_d1\": {:.2}, \"max_in_flight\": {}, \
+\"completed_async_ops\": {} }}",
+                m.cp_wall_ns,
+                m.cp_pages_written,
+                depth1_ns as f64 / m.cp_wall_ns as f64,
+                m.max_in_flight,
+                m.completed_async_ops,
+            ));
+        }
+        if cfg.min_speedup > 0.0 {
+            let (depth, deep_ns) = deepest.expect("at least one depth ran");
+            let speedup = depth1_ns as f64 / deep_ns as f64;
+            assert!(
+                speedup >= cfg.min_speedup,
+                "{threads}t: depth {depth} CP speedup {speedup:.2}x is below \
+                 the {:.1}x gate",
+                cfg.min_speedup
+            );
+        }
+    }
+
+    println!("{{");
+    println!("{}", entries.join(",\n"));
+    println!("}}");
+}

@@ -3,6 +3,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::completion::Completion;
 use crate::device::Device;
 use crate::error::Result;
 use crate::latency::SimClock;
@@ -78,6 +79,53 @@ impl PageCache {
         &self.inner
     }
 
+    /// Reads a batch of pages, answering hits from the cache and submitting
+    /// **all** misses in one round before waiting on any of them — so a
+    /// batch of `n` misses costs one overlapped round-trip instead of `n`
+    /// serial ones on a queue-depth-capable device. Results come back in
+    /// request order; every miss is inserted into the cache. The round-trips
+    /// saved (`misses - 1` when at least two pages miss) are counted in
+    /// [`hit_stats`](PageCache::hit_stats) as `batched_reads_saved`.
+    ///
+    /// # Errors
+    ///
+    /// The first failing page's error; remaining in-flight reads are
+    /// abandoned (their device accounting still retires).
+    pub fn read_pages(&self, pages: &[PageNo]) -> Result<Vec<Vec<u8>>> {
+        let mut results: Vec<Option<Vec<u8>>> = vec![None; pages.len()];
+        let mut misses: Vec<(usize, PageNo, Completion)> = Vec::new();
+        for (i, &page) in pages.iter().enumerate() {
+            let hit = {
+                let mut st = self.state.lock();
+                st.tick += 1;
+                let tick = st.tick;
+                st.map.get_mut(&page).map(|entry| {
+                    entry.0 = tick;
+                    entry.1.clone()
+                })
+            };
+            match hit {
+                Some(data) => {
+                    self.hits.record_read(PAGE_SIZE as u64);
+                    results[i] = Some(data);
+                }
+                None => misses.push((i, page, self.inner.submit_read(page))),
+            }
+        }
+        if misses.len() >= 2 {
+            self.hits.record_batched_saved(misses.len() as u64 - 1);
+        }
+        for (i, page, completion) in misses {
+            let data = completion.wait_read()?;
+            self.insert(page, data.clone());
+            results[i] = Some(data);
+        }
+        Ok(results
+            .into_iter()
+            .map(|slot| slot.expect("every request is a hit or a waited miss"))
+            .collect())
+    }
+
     fn insert(&self, page: PageNo, data: Vec<u8>) {
         let mut st = self.state.lock();
         st.tick += 1;
@@ -117,11 +165,44 @@ impl Device for PageCache {
         Ok(())
     }
 
+    /// Hits resolve immediately; misses forward to the wrapped device
+    /// *without* populating the cache — the payload lives in the completion,
+    /// and inserting it would mean waiting here, defeating the submit. Batch
+    /// readers that want miss insertion use
+    /// [`read_pages`](PageCache::read_pages).
+    fn submit_read(&self, page: PageNo) -> Completion {
+        let hit = {
+            let mut st = self.state.lock();
+            st.tick += 1;
+            let tick = st.tick;
+            st.map.get_mut(&page).map(|entry| {
+                entry.0 = tick;
+                entry.1.clone()
+            })
+        };
+        match hit {
+            Some(data) => {
+                self.hits.record_read(PAGE_SIZE as u64);
+                Completion::ready_data(Ok(data))
+            }
+            None => self.inner.submit_read(page),
+        }
+    }
+
+    // `submit_write` deliberately stays the sync default (write-through via
+    // `write_page`): the cache may only be populated after the device
+    // accepts the write, otherwise a failed write would leave the cache
+    // serving data the device rejected.
+
     fn flush(&self) -> Result<()> {
         // The read cache holds no dirty data (writes are write-through), so
         // a barrier only needs to reach the underlying device. Relying on
         // the trait default here would silently drop the barrier.
         self.inner.flush()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.inner.queue_depth()
     }
 
     fn stats(&self) -> &IoStats {
@@ -208,6 +289,64 @@ mod tests {
         let disk = SimDisk::new_shared(DeviceConfig::free_latency());
         let cache = PageCache::with_capacity_bytes(disk, 10 * PAGE_SIZE + 100);
         assert_eq!(cache.capacity_pages, 10);
+    }
+
+    #[test]
+    fn read_pages_batches_misses_in_one_round() {
+        let (disk, cache) = setup(8);
+        for page in 0..6u64 {
+            disk.write_page(page, &[page as u8]).unwrap();
+        }
+        cache.read_page(1).unwrap(); // pre-warm one hit
+        let before = disk.stats().snapshot();
+        let pages = [0u64, 1, 2, 3];
+        let data = cache.read_pages(&pages).unwrap();
+        for (i, &page) in pages.iter().enumerate() {
+            assert_eq!(data[i][0], page as u8, "results in request order");
+        }
+        let after = disk.stats().snapshot();
+        assert_eq!(after.page_reads - before.page_reads, 3, "one hit, 3 misses");
+        assert_eq!(
+            cache.hit_stats().snapshot().batched_reads_saved,
+            2,
+            "3 misses in one round save 2 serial trips"
+        );
+        // The misses were inserted: a re-read is all hits, no new savings.
+        let before = disk.stats().snapshot();
+        cache.read_pages(&pages).unwrap();
+        assert_eq!(disk.stats().snapshot().page_reads, before.page_reads);
+        assert_eq!(cache.hit_stats().snapshot().batched_reads_saved, 2);
+    }
+
+    #[test]
+    fn read_pages_propagates_the_first_error() {
+        let (disk, cache) = setup(8);
+        disk.write_page(0, &[1]).unwrap();
+        disk.write_page(1, &[2]).unwrap();
+        disk.fail_reads_after(1);
+        let err = cache.read_pages(&[0, 1]).unwrap_err();
+        assert!(matches!(err, crate::DeviceError::InjectedFault { .. }));
+        disk.clear_read_fault();
+    }
+
+    #[test]
+    fn submit_read_hits_skip_the_device() {
+        let (disk, cache) = setup(8);
+        cache.write_page(4, &[9; 4]).unwrap();
+        let before = disk.stats().snapshot();
+        let c = cache.submit_read(4);
+        assert_eq!(&c.wait_read().unwrap()[..4], &[9; 4]);
+        assert_eq!(disk.stats().snapshot().page_reads, before.page_reads);
+        // A miss forwards without inserting.
+        disk.write_page(5, &[5]).unwrap();
+        cache.submit_read(5).wait_read().unwrap();
+        assert_eq!(disk.stats().snapshot().page_reads, before.page_reads + 1);
+        cache.read_page(5).unwrap();
+        assert_eq!(
+            disk.stats().snapshot().page_reads,
+            before.page_reads + 2,
+            "submit_read misses do not populate the cache"
+        );
     }
 
     #[test]

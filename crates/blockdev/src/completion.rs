@@ -1,0 +1,323 @@
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::error::Result;
+
+/// The handle returned by a submitted device operation
+/// ([`Device::submit_read`](crate::Device::submit_read) /
+/// [`submit_write`](crate::Device::submit_write) /
+/// [`submit_flush`](crate::Device::submit_flush)).
+///
+/// A completion carries three things:
+///
+/// * the **outcome** — `Ok` (with the page payload for reads) or the
+///   [`DeviceError`](crate::DeviceError) the operation failed with. Errors
+///   are delivered here, at the *completion*, not at the submit: a caller
+///   that pipelines a dozen writes learns about a fault only when it waits.
+/// * an optional **wall deadline** — when the device emulates latency, the
+///   waiting thread parks until the operation's modeled finish time. Because
+///   overlapping operations share the device's service slots, waiting on N
+///   pipelined operations costs the *overlapped* time, not the sum.
+/// * an internal **accounting ticket** that retires the operation (advances
+///   the simulated clock to the operation's finish time and decrements the
+///   device's in-flight count). The ticket runs exactly once — on the first
+///   [`wait`](Completion::wait), or on drop if the completion is abandoned
+///   (e.g. an aborted flush), so abandoning I/O never wedges the queue.
+///
+/// Waiting is idempotent: the outcome is retained, so calling
+/// [`wait`](Completion::wait) twice returns the same result without sleeping
+/// or double-retiring.
+pub struct Completion {
+    inner: Arc<Inner>,
+}
+
+/// The completing side of a [`Completion::pending`] pair: whoever services
+/// the operation calls [`complete`](Completer::complete) /
+/// [`complete_read`](Completer::complete_read) to publish the outcome and
+/// wake waiters. [`SimDisk`](crate::SimDisk) itself never needs one (it
+/// resolves operations at submit and encodes the latency in the wall
+/// deadline), but external device implementations with real asynchrony do.
+pub struct Completer {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    done: Condvar,
+}
+
+/// `Option<Vec<u8>>`: `Some` for reads (the page payload), `None` for writes
+/// and flushes.
+type Outcome = Result<Option<Vec<u8>>>;
+
+struct State {
+    outcome: Option<Outcome>,
+    wall_deadline: Option<Instant>,
+    ticket: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl Completion {
+    fn from_state(state: State) -> Self {
+        Completion {
+            inner: Arc::new(Inner {
+                state: Mutex::new(state),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// An already-finished completion for a unit operation (write or flush).
+    /// This is what the default [`Device`](crate::Device) submit shims
+    /// return: a device without native submit support services the
+    /// operation synchronously and hands back its result pre-resolved.
+    pub fn ready(result: Result<()>) -> Self {
+        Self::from_state(State {
+            outcome: Some(result.map(|()| None)),
+            wall_deadline: None,
+            ticket: None,
+        })
+    }
+
+    /// An already-finished completion carrying read data.
+    pub fn ready_data(result: Result<Vec<u8>>) -> Self {
+        Self::from_state(State {
+            outcome: Some(result.map(Some)),
+            wall_deadline: None,
+            ticket: None,
+        })
+    }
+
+    /// A finished operation whose latency is still outstanding: the outcome
+    /// is known at submit, but the waiter must park until `wall_deadline`
+    /// (when latency emulation is on) and then retire the accounting
+    /// `ticket`. This is the shape every [`SimDisk`](crate::SimDisk) submit
+    /// returns.
+    pub(crate) fn scheduled(
+        outcome: Outcome,
+        wall_deadline: Option<Instant>,
+        ticket: Box<dyn FnOnce() + Send>,
+    ) -> Self {
+        Self::from_state(State {
+            outcome: Some(outcome),
+            wall_deadline,
+            ticket: Some(ticket),
+        })
+    }
+
+    /// A genuinely-pending completion plus its [`Completer`]. For device
+    /// implementations that resolve operations on another thread.
+    pub fn pending() -> (Self, Completer) {
+        let completion = Self::from_state(State {
+            outcome: None,
+            wall_deadline: None,
+            ticket: None,
+        });
+        let completer = Completer {
+            inner: completion.inner.clone(),
+        };
+        (completion, completer)
+    }
+
+    /// Whether the outcome is already published and any emulated latency has
+    /// elapsed — i.e. whether [`wait`](Completion::wait) would return without
+    /// blocking.
+    pub fn is_complete(&self) -> bool {
+        let st = self.inner.state.lock().expect("completion lock");
+        st.outcome.is_some()
+            && st
+                .wall_deadline
+                .map(|deadline| deadline <= Instant::now())
+                .unwrap_or(true)
+    }
+
+    /// Blocks until the operation finishes and returns its status. For reads,
+    /// prefer [`wait_read`](Completion::wait_read); `wait` discards the
+    /// payload. Idempotent — a second wait returns the retained outcome.
+    ///
+    /// # Errors
+    ///
+    /// The operation's error, exactly as the sync API would have returned it.
+    pub fn wait(&self) -> Result<()> {
+        self.settle().map(|_| ())
+    }
+
+    /// Blocks until the operation finishes and returns the page payload.
+    ///
+    /// # Errors
+    ///
+    /// The operation's error, exactly as the sync API would have returned it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the completion belongs to a write or flush (no payload).
+    pub fn wait_read(&self) -> Result<Vec<u8>> {
+        self.settle()
+            .map(|data| data.expect("wait_read on a write/flush completion"))
+    }
+
+    fn settle(&self) -> Outcome {
+        let mut st = self.inner.state.lock().expect("completion lock");
+        while st.outcome.is_none() {
+            st = self.inner.done.wait(st).expect("completion lock");
+        }
+        let outcome = st.outcome.clone().expect("checked above");
+        let deadline = st.wall_deadline.take();
+        let ticket = st.ticket.take();
+        drop(st);
+        // Park outside the lock: an emulated-latency wait must stall only its
+        // own thread, never a concurrent waiter or submitter.
+        if let Some(deadline) = deadline {
+            let now = Instant::now();
+            if deadline > now {
+                std::thread::sleep(deadline - now);
+            }
+        }
+        if let Some(ticket) = ticket {
+            ticket();
+        }
+        outcome
+    }
+}
+
+impl Drop for Completion {
+    /// An abandoned completion still retires its operation — without
+    /// sleeping — so aborted pipelines (e.g. a consistency-point flush dying
+    /// on one failed write while others are in flight) leave the device's
+    /// in-flight accounting and simulated clock consistent.
+    fn drop(&mut self) {
+        let ticket = match self.inner.state.lock() {
+            Ok(mut st) => st.ticket.take(),
+            Err(_) => None,
+        };
+        if let Some(ticket) = ticket {
+            ticket();
+        }
+    }
+}
+
+impl std::fmt::Debug for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock().expect("completion lock");
+        f.debug_struct("Completion")
+            .field("resolved", &st.outcome.is_some())
+            .field("ok", &st.outcome.as_ref().map(|outcome| outcome.is_ok()))
+            .finish()
+    }
+}
+
+impl Completer {
+    /// Publishes the outcome of a unit operation and wakes every waiter.
+    pub fn complete(self, result: Result<()>) {
+        self.publish(result.map(|()| None));
+    }
+
+    /// Publishes the outcome of a read and wakes every waiter.
+    pub fn complete_read(self, result: Result<Vec<u8>>) {
+        self.publish(result.map(Some));
+    }
+
+    fn publish(self, outcome: Outcome) {
+        let mut st = self.inner.state.lock().expect("completion lock");
+        st.outcome = Some(outcome);
+        drop(st);
+        self.inner.done.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Completer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completer").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DeviceError;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn ready_completions_resolve_immediately() {
+        let c = Completion::ready(Ok(()));
+        assert!(c.is_complete());
+        assert!(c.wait().is_ok());
+        assert!(c.wait().is_ok(), "wait is idempotent");
+
+        let c = Completion::ready_data(Ok(vec![7u8; 4]));
+        assert_eq!(c.wait_read().unwrap(), vec![7u8; 4]);
+        assert_eq!(c.wait_read().unwrap(), vec![7u8; 4]);
+    }
+
+    #[test]
+    fn error_is_delivered_at_wait() {
+        let c = Completion::ready(Err(DeviceError::InjectedFault { page: 3 }));
+        assert_eq!(
+            c.wait().unwrap_err(),
+            DeviceError::InjectedFault { page: 3 }
+        );
+        assert_eq!(
+            c.wait().unwrap_err(),
+            DeviceError::InjectedFault { page: 3 },
+            "errors are retained across waits"
+        );
+    }
+
+    #[test]
+    fn ticket_runs_exactly_once_on_wait() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = {
+            let count = count.clone();
+            Completion::scheduled(
+                Ok(None),
+                None,
+                Box::new(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+        };
+        c.wait().unwrap();
+        c.wait().unwrap();
+        drop(c);
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn ticket_runs_on_drop_when_abandoned() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = {
+            let count = count.clone();
+            Completion::scheduled(
+                Ok(None),
+                // A far-future deadline: drop must NOT sleep on it.
+                Some(Instant::now() + std::time::Duration::from_secs(60)),
+                Box::new(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+        };
+        let start = Instant::now();
+        drop(c);
+        assert!(start.elapsed() < std::time::Duration::from_secs(1));
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pending_completion_blocks_until_completed() {
+        let (completion, completer) = Completion::pending();
+        assert!(!completion.is_complete());
+        let completion = Arc::new(completion);
+        let waiter = {
+            let completion = completion.clone();
+            std::thread::spawn(move || completion.wait_read())
+        };
+        completer.complete_read(Ok(vec![1, 2, 3]));
+        assert_eq!(waiter.join().unwrap().unwrap(), vec![1, 2, 3]);
+        assert!(completion.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "wait_read on a write/flush completion")]
+    fn wait_read_on_a_unit_completion_panics() {
+        Completion::ready(Ok(())).wait_read().unwrap();
+    }
+}

@@ -1,11 +1,13 @@
 use std::collections::{BTreeMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::completion::Completion;
 use crate::error::{DeviceError, Result};
 use crate::latency::{LatencyModel, SimClock};
 use crate::stats::IoStats;
@@ -27,6 +29,13 @@ pub struct DeviceConfig {
     /// The LSM layer requires payload storage; pure overhead experiments that
     /// never read data back may disable it to save host memory.
     pub store_payloads: bool,
+    /// Number of operations the device services concurrently: submitted
+    /// operations are scheduled onto this many parallel service slots, so up
+    /// to `queue_depth` latencies overlap instead of summing. Callers using
+    /// only the sync API never observe the depth (each operation waits
+    /// before the next submits); pipelined callers see wall-clock and
+    /// simulated time shrink toward `total / queue_depth`.
+    pub queue_depth: usize,
 }
 
 impl Default for DeviceConfig {
@@ -35,6 +44,7 @@ impl Default for DeviceConfig {
             capacity_pages: 64 * 1024 * 1024 * 1024 / PAGE_SIZE as u64 * 1024,
             latency: LatencyModel::default(),
             store_payloads: true,
+            queue_depth: 16,
         }
     }
 }
@@ -65,6 +75,35 @@ impl DeviceConfig {
         self.store_payloads = store;
         self
     }
+
+    /// Sets the queue depth (clamped to at least 1).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+}
+
+/// Seeded per-operation latency jitter: every dispatched operation draws an
+/// extra service time uniformly from `[min_ns, max_ns]` using a generator
+/// seeded with `seed`. Draws happen at submit, in submission order, so a
+/// jitter schedule — like a [`FaultProfile`] schedule — replays bit-for-bit
+/// from its seed. The simulator uses this to perturb completion timing (and
+/// therefore the overlap the pipelined paths see) without breaking
+/// determinism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyJitter {
+    /// Seed for the jitter generator.
+    pub seed: u64,
+    /// Minimum extra service time per operation, nanoseconds.
+    pub min_ns: u64,
+    /// Maximum extra service time per operation, nanoseconds.
+    pub max_ns: u64,
+}
+
+#[derive(Debug)]
+struct JitterState {
+    jitter: LatencyJitter,
+    rng: StdRng,
 }
 
 /// Per-operation probabilistic fault injection, seeded for reproducibility.
@@ -185,6 +224,39 @@ pub trait Device: Send + Sync + std::fmt::Debug {
         Ok(())
     }
 
+    /// Submits a read of page `page` and returns a [`Completion`] that
+    /// yields the payload (or error) on
+    /// [`wait_read`](Completion::wait_read). Errors surface at the
+    /// completion, never at the submit.
+    ///
+    /// The default implementation services the read synchronously and
+    /// returns it pre-resolved, so every `Device` supports the submit API
+    /// even if it cannot overlap anything.
+    fn submit_read(&self, page: PageNo) -> Completion {
+        Completion::ready_data(self.read_page(page))
+    }
+
+    /// Submits a write and returns a [`Completion`] for it. See
+    /// [`submit_read`](Device::submit_read) for the error and default
+    /// semantics; buffer rules match [`write_page`](Device::write_page).
+    fn submit_write(&self, page: PageNo, data: &[u8]) -> Completion {
+        Completion::ready(self.write_page(page, data))
+    }
+
+    /// Submits a write barrier covering every operation submitted before it
+    /// and returns a [`Completion`] for it.
+    fn submit_flush(&self) -> Completion {
+        Completion::ready(self.flush())
+    }
+
+    /// How many operations this device can usefully keep in flight at once.
+    /// Pipelined writers bound their outstanding completions by a small
+    /// multiple of this. The default (1) describes a device whose submit
+    /// methods are the synchronous fallbacks.
+    fn queue_depth(&self) -> usize {
+        1
+    }
+
     /// The I/O counters for this device.
     fn stats(&self) -> &IoStats;
 
@@ -227,6 +299,28 @@ struct FaultState {
     rng: StdRng,
 }
 
+/// One of the device's parallel service slots. An operation dispatched to a
+/// slot starts when the slot's previous operation ends (or now, whichever is
+/// later), so at most `queue_depth` latencies overlap.
+#[derive(Debug, Clone, Default)]
+struct IoSlot {
+    /// When this slot's last operation ends on the simulated clock.
+    sim_end_ns: u64,
+    /// When it ends on the wall clock (latency emulation only).
+    wall_end: Option<Instant>,
+}
+
+/// The submit-side scheduler: seek tracking, jitter draws and slot
+/// assignment all happen under one lock, in submission order, which is what
+/// keeps single-threaded schedules (and therefore the deterministic
+/// simulator) bit-for-bit reproducible.
+#[derive(Debug)]
+struct IoSched {
+    last_page: Option<PageNo>,
+    slots: Vec<IoSlot>,
+    jitter: Option<JitterState>,
+}
+
 /// An in-memory simulated disk with I/O accounting, a latency model, and a
 /// fault plane for crash simulation (injected read/write faults, torn
 /// writes, and a volatile write cache discarded at power cuts).
@@ -237,7 +331,10 @@ struct FaultState {
 pub struct SimDisk {
     config: DeviceConfig,
     store: Mutex<PageStore>,
-    last_page: Mutex<Option<PageNo>>,
+    sched: Mutex<IoSched>,
+    /// Submitted-but-not-yet-waited operations (shared with completion
+    /// tickets, which decrement it when the operation retires).
+    in_flight: Arc<AtomicU64>,
     /// `Some(n)`: the next `n` writes succeed and every write after them
     /// fails with [`DeviceError::InjectedFault`] until the injection is
     /// cleared. `None`: no injection.
@@ -246,26 +343,33 @@ pub struct SimDisk {
     read_fault_after: Mutex<Option<u64>>,
     /// Probabilistic per-op faults; `None` disables them entirely.
     faults: Mutex<Option<FaultState>>,
-    /// When set, every access parks the calling thread for its modeled
-    /// latency in addition to advancing the simulated clock, so wall-clock
-    /// concurrency experiments see a device that really blocks.
+    /// When set, waiting on a completion parks the calling thread until the
+    /// operation's modeled finish time, so wall-clock concurrency
+    /// experiments see a device that really blocks — and pipelined
+    /// submitters see their waits overlap.
     emulate_latency: AtomicBool,
-    stats: IoStats,
+    stats: Arc<IoStats>,
     clock: Arc<SimClock>,
 }
 
 impl SimDisk {
     /// Creates a new empty disk.
     pub fn new(config: DeviceConfig) -> Self {
+        let slots = config.queue_depth.max(1);
         SimDisk {
             config,
             store: Mutex::new(PageStore::default()),
-            last_page: Mutex::new(None),
+            sched: Mutex::new(IoSched {
+                last_page: None,
+                slots: vec![IoSlot::default(); slots],
+                jitter: None,
+            }),
+            in_flight: Arc::new(AtomicU64::new(0)),
             write_fault_after: Mutex::new(None),
             read_fault_after: Mutex::new(None),
             faults: Mutex::new(None),
             emulate_latency: AtomicBool::new(false),
-            stats: IoStats::new(),
+            stats: Arc::new(IoStats::new()),
             clock: Arc::new(SimClock::new()),
         }
     }
@@ -446,21 +550,77 @@ impl SimDisk {
         self.emulate_latency.store(enabled, Ordering::Relaxed);
     }
 
-    fn charge(&self, page: PageNo, bytes: usize) {
-        let mut last = self.last_page.lock();
-        let ns = self.config.latency.access_ns(*last, page, bytes);
-        if self.config.latency.is_seek(*last, page) {
+    /// Installs (or with `None`, removes) seeded per-operation latency
+    /// jitter. Replacing the jitter reseeds its generator from
+    /// `jitter.seed`, so a schedule replays exactly.
+    pub fn set_latency_jitter(&self, jitter: Option<LatencyJitter>) {
+        self.sched.lock().jitter = jitter.map(|jitter| JitterState {
+            jitter,
+            rng: StdRng::seed_from_u64(jitter.seed),
+        });
+    }
+
+    /// Schedules one operation onto a service slot and returns its wall
+    /// deadline (latency emulation only) plus the accounting ticket the
+    /// returned completion retires it with.
+    ///
+    /// All device effects other than retiring — seek detection, jitter
+    /// draws, counter updates — happen here, at submit, in submission order.
+    /// "In flight" is purely a timing fiction on top of that: the ticket
+    /// advances the simulated clock to the operation's finish time and drops
+    /// it from the in-flight count, nothing else.
+    fn dispatch(&self, page: PageNo, bytes: usize) -> (Option<Instant>, Box<dyn FnOnce() + Send>) {
+        let mut sched = self.sched.lock();
+        let mut ns = self.config.latency.access_ns(sched.last_page, page, bytes);
+        if self.config.latency.is_seek(sched.last_page, page) {
             self.stats.record_seek();
         }
-        *last = Some(page);
-        drop(last);
-        self.stats.record_device_ns(ns);
-        self.clock.advance_ns(ns);
-        // Park outside every lock: an emulated-latency access must stall only
-        // its own thread, never other threads' accesses.
-        if ns > 0 && self.emulate_latency.load(Ordering::Relaxed) {
-            std::thread::sleep(std::time::Duration::from_nanos(ns));
+        sched.last_page = Some(page);
+        if let Some(state) = sched.jitter.as_mut() {
+            if state.jitter.max_ns > 0 {
+                ns += state
+                    .rng
+                    .gen_range(state.jitter.min_ns..=state.jitter.max_ns);
+            }
         }
+        // Earliest-free slot: the operation starts when the slot's previous
+        // operation ends, so at most `queue_depth` service times overlap.
+        let slot = sched
+            .slots
+            .iter_mut()
+            .min_by_key(|slot| slot.sim_end_ns)
+            .expect("at least one slot");
+        let start_sim = self.clock.now_ns().max(slot.sim_end_ns);
+        let end_sim = start_sim + ns;
+        slot.sim_end_ns = end_sim;
+        let wall_deadline = if ns > 0 && self.emulate_latency.load(Ordering::Relaxed) {
+            let now = Instant::now();
+            let start = match slot.wall_end {
+                Some(prev) if prev > now => prev,
+                _ => now,
+            };
+            let end = start + Duration::from_nanos(ns);
+            slot.wall_end = Some(end);
+            Some(end)
+        } else {
+            None
+        };
+        drop(sched);
+        self.stats.record_device_ns(ns);
+        let now_in_flight = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.record_in_flight(now_in_flight);
+        let overlapped = now_in_flight > 1;
+        let clock = self.clock.clone();
+        let stats = self.stats.clone();
+        let in_flight = self.in_flight.clone();
+        let ticket = Box::new(move || {
+            clock.advance_to(end_sim);
+            in_flight.fetch_sub(1, Ordering::Relaxed);
+            if overlapped {
+                stats.record_async_complete();
+            }
+        });
+        (wall_deadline, ticket)
     }
 
     fn check_range(&self, page: PageNo) -> Result<()> {
@@ -501,7 +661,28 @@ fn tear(fresh: &[u8], keep: usize, previous: Option<&[u8]>) -> Box<[u8]> {
 
 impl Device for SimDisk {
     fn read_page(&self, page: PageNo) -> Result<Vec<u8>> {
-        self.check_range(page)?;
+        self.submit_read(page).wait_read()
+    }
+
+    fn write_page(&self, page: PageNo, data: &[u8]) -> Result<()> {
+        self.submit_write(page, data).wait()
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.submit_flush().wait()
+    }
+
+    /// All device effects happen here at submit, in submission order —
+    /// validation, fault draws, counters, payload snapshot, latency
+    /// scheduling. The completion only carries the outcome (errors included)
+    /// and the operation's finish time; waiting on it never touches device
+    /// state. That split is what lets pipelined callers overlap operations
+    /// without perturbing the deterministic schedules single-threaded
+    /// callers (the simulator) rely on.
+    fn submit_read(&self, page: PageNo) -> Completion {
+        if let Err(e) = self.check_range(page) {
+            return Completion::ready_data(Err(e));
+        }
         let content = {
             let store = self.store.lock();
             match store.visible(page) {
@@ -510,14 +691,16 @@ impl Device for SimDisk {
                 Some(_) => None,
                 // Never written — or written only to the volatile cache and
                 // then lost at a power cut, which reads the same way.
-                None => return Err(DeviceError::UnwrittenPage { page }),
+                None => {
+                    return Completion::ready_data(Err(DeviceError::UnwrittenPage { page }));
+                }
             }
         };
         {
             let mut fault = self.read_fault_after.lock();
             if let Some(remaining) = fault.as_mut() {
                 if *remaining == 0 {
-                    return Err(DeviceError::InjectedFault { page });
+                    return Completion::ready_data(Err(DeviceError::InjectedFault { page }));
                 }
                 *remaining -= 1;
             }
@@ -526,25 +709,28 @@ impl Device for SimDisk {
             let mut faults = self.faults.lock();
             if let Some(state) = faults.as_mut() {
                 if state.profile.read_fault > 0.0 && state.rng.gen_bool(state.profile.read_fault) {
-                    return Err(DeviceError::InjectedFault { page });
+                    return Completion::ready_data(Err(DeviceError::InjectedFault { page }));
                 }
             }
         }
-        self.charge(page, PAGE_SIZE);
+        let (deadline, ticket) = self.dispatch(page, PAGE_SIZE);
         self.stats.record_read(PAGE_SIZE as u64);
-        Ok(content.unwrap_or_else(|| vec![0u8; PAGE_SIZE]))
+        let payload = content.unwrap_or_else(|| vec![0u8; PAGE_SIZE]);
+        Completion::scheduled(Ok(Some(payload)), deadline, ticket)
     }
 
-    fn write_page(&self, page: PageNo, data: &[u8]) -> Result<()> {
-        self.check_range(page)?;
+    fn submit_write(&self, page: PageNo, data: &[u8]) -> Completion {
+        if let Err(e) = self.check_range(page) {
+            return Completion::ready(Err(e));
+        }
         if data.len() > PAGE_SIZE {
-            return Err(DeviceError::BadBufferLength { got: data.len() });
+            return Completion::ready(Err(DeviceError::BadBufferLength { got: data.len() }));
         }
         {
             let mut fault = self.write_fault_after.lock();
             if let Some(remaining) = fault.as_mut() {
                 if *remaining == 0 {
-                    return Err(DeviceError::InjectedFault { page });
+                    return Completion::ready(Err(DeviceError::InjectedFault { page }));
                 }
                 *remaining -= 1;
             }
@@ -577,11 +763,11 @@ impl Device for SimDisk {
                             }
                         }
                     }
-                    return Err(DeviceError::InjectedFault { page });
+                    return Completion::ready(Err(DeviceError::InjectedFault { page }));
                 }
             }
         }
-        self.charge(page, PAGE_SIZE);
+        let (deadline, ticket) = self.dispatch(page, PAGE_SIZE);
         self.stats.record_write(PAGE_SIZE as u64);
         let mut store = self.store.lock();
         store.ever_written.insert(page);
@@ -595,16 +781,45 @@ impl Device for SimDisk {
         } else {
             store.stable.insert(page, payload);
         }
-        Ok(())
+        drop(store);
+        Completion::scheduled(Ok(None), deadline, ticket)
     }
 
-    fn flush(&self) -> Result<()> {
+    /// The barrier commits the volatile cache at submit (covering exactly
+    /// the writes submitted before it, which have all mutated the store by
+    /// then) and completes when every service slot drains, so waiting on it
+    /// observes all prior operations' latency.
+    fn submit_flush(&self) -> Completion {
         let mut store = self.store.lock();
         let cache = std::mem::take(&mut store.cache);
         store.stable.extend(cache);
         drop(store);
         self.stats.record_flush();
-        Ok(())
+        let sched = self.sched.lock();
+        let end_sim = sched
+            .slots
+            .iter()
+            .map(|slot| slot.sim_end_ns)
+            .max()
+            .unwrap_or(0);
+        let deadline = if self.emulate_latency.load(Ordering::Relaxed) {
+            sched.slots.iter().filter_map(|slot| slot.wall_end).max()
+        } else {
+            None
+        };
+        drop(sched);
+        let clock = self.clock.clone();
+        Completion::scheduled(
+            Ok(None),
+            deadline,
+            Box::new(move || {
+                clock.advance_to(end_sim);
+            }),
+        )
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.config.queue_depth.max(1)
     }
 
     fn stats(&self) -> &IoStats {
@@ -910,6 +1125,158 @@ mod tests {
         assert_eq!(a_stats, b_stats);
         assert!(a_w.iter().any(|&ok| !ok), "write faults fired");
         assert!(a_r.iter().any(Option::is_none), "read faults fired");
+    }
+
+    #[test]
+    fn pipelined_submits_overlap_simulated_time() {
+        // Four random 4 ms accesses: serialized they cost ~16 ms of
+        // simulated time, pipelined at depth 4 they cost ~4 ms.
+        let submit_four = |depth: usize| {
+            let d = SimDisk::new(DeviceConfig::default().with_queue_depth(depth));
+            let completions: Vec<_> = (0..4).map(|i| d.submit_write(i * 100_000, &[1])).collect();
+            for c in &completions {
+                c.wait().unwrap();
+            }
+            (d.clock().now_ns(), d.stats().snapshot())
+        };
+        let (serial_ns, serial_stats) = submit_four(1);
+        let (deep_ns, deep_stats) = submit_four(4);
+        assert_eq!(
+            serial_stats.device_ns, deep_stats.device_ns,
+            "busy time is depth-independent"
+        );
+        assert!(
+            deep_ns * 3 < serial_ns,
+            "depth 4 must overlap: {deep_ns} ns vs {serial_ns} ns at depth 1"
+        );
+        assert_eq!(deep_stats.max_in_flight, 4);
+        assert!(deep_stats.completed_async_ops >= 3);
+        assert_eq!(
+            serial_stats.max_in_flight, 4,
+            "depth 1 still queues submits"
+        );
+        assert_eq!(serial_stats.page_writes, deep_stats.page_writes);
+    }
+
+    #[test]
+    fn sync_shims_never_report_overlap() {
+        let d = SimDisk::new(DeviceConfig::default());
+        for i in 0..8u64 {
+            d.write_page(i * 50_000, &[1]).unwrap();
+        }
+        d.read_page(0).unwrap();
+        let s = d.stats().snapshot();
+        assert_eq!(s.max_in_flight, 1, "submit-then-wait keeps depth at 1");
+        assert_eq!(s.completed_async_ops, 0);
+    }
+
+    #[test]
+    fn emulated_latency_overlaps_across_the_queue() {
+        // 2 ms per random access, depth 8: eight pipelined accesses must
+        // finish in well under the 16 ms a serial device would take.
+        let model = LatencyModel {
+            seek_ns: 2_000_000,
+            ns_per_byte: 0.0,
+            sequential_window: 1,
+        };
+        let d = SimDisk::new(
+            DeviceConfig::free_latency()
+                .with_latency(model)
+                .with_queue_depth(8),
+        );
+        d.set_latency_emulation(true);
+        let start = std::time::Instant::now();
+        let completions: Vec<_> = (0..8).map(|i| d.submit_write(i * 100_000, &[1])).collect();
+        for c in &completions {
+            c.wait().unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= std::time::Duration::from_millis(2),
+            "the slowest operation's latency is still paid"
+        );
+        assert!(
+            elapsed < std::time::Duration::from_millis(12),
+            "waits overlap: {elapsed:?} for 8 × 2 ms at depth 8"
+        );
+    }
+
+    #[test]
+    fn submit_error_is_delivered_at_the_completion() {
+        let d = disk();
+        d.fail_writes_after(1);
+        let ok = d.submit_write(0, &[1]);
+        let bad = d.submit_write(1, &[2]);
+        // Both submits returned handles; only the wait reveals the fault.
+        ok.wait().unwrap();
+        assert_eq!(
+            bad.wait().unwrap_err(),
+            DeviceError::InjectedFault { page: 1 }
+        );
+        d.clear_write_fault();
+        // The failed write never touched media or counters.
+        assert!(matches!(
+            d.read_page(1),
+            Err(DeviceError::UnwrittenPage { .. })
+        ));
+        assert_eq!(d.stats().snapshot().page_writes, 1);
+    }
+
+    #[test]
+    fn abandoned_completions_retire_their_accounting() {
+        let d = SimDisk::new(DeviceConfig::default().with_queue_depth(4));
+        let completions: Vec<_> = (0..4).map(|i| d.submit_write(i * 100_000, &[1])).collect();
+        drop(completions); // an aborted pipeline waits on nothing
+        assert_eq!(d.in_flight.load(Ordering::Relaxed), 0);
+        assert!(d.clock().now_ns() > 0, "dropped tickets still advance time");
+        d.write_page(0, &[2]).unwrap();
+        assert_eq!(d.read_page(0).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn latency_jitter_replays_from_its_seed() {
+        let run = |seed: u64| {
+            let d = disk();
+            d.set_latency_jitter(Some(LatencyJitter {
+                seed,
+                min_ns: 1_000,
+                max_ns: 50_000,
+            }));
+            for i in 0..64u64 {
+                d.write_page(i * 13 % 40, &[i as u8]).unwrap();
+            }
+            (d.stats().snapshot(), d.clock().now_ns())
+        };
+        assert_eq!(run(5), run(5), "same seed, same schedule");
+        let ((a_stats, _), (b_stats, _)) = (run(5), run(6));
+        assert_ne!(
+            a_stats.device_ns, b_stats.device_ns,
+            "different seeds draw different schedules"
+        );
+        assert!(
+            a_stats.device_ns >= 64_000,
+            "jitter charges at least min_ns"
+        );
+    }
+
+    #[test]
+    fn flush_completion_drains_the_queue() {
+        let d = SimDisk::new(DeviceConfig::default().with_queue_depth(4));
+        d.set_write_cache(true);
+        let writes: Vec<_> = (0..4).map(|i| d.submit_write(i * 100_000, &[1])).collect();
+        let barrier = d.submit_flush();
+        assert_eq!(d.cached_pages(), 0, "barrier covers prior submits");
+        barrier.wait().unwrap();
+        let drained = d.clock().now_ns();
+        assert!(drained > 0, "barrier waits out every service slot");
+        for w in &writes {
+            w.wait().unwrap();
+        }
+        assert_eq!(
+            d.clock().now_ns(),
+            drained,
+            "writes ended under the barrier"
+        );
     }
 
     #[test]

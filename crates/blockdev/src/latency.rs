@@ -108,6 +108,17 @@ impl SimClock {
     pub fn advance_micros(&self, micros: u64) -> u64 {
         self.advance_ns(micros * 1_000)
     }
+
+    /// Advances the clock to at least `ns` (no-op if it is already past)
+    /// and returns the current time.
+    ///
+    /// Overlapped device operations retire through this: each completion
+    /// carries its own finish time, and waiting on several of them moves the
+    /// clock to the *latest* finish rather than summing their latencies —
+    /// which is exactly what queue-depth parallelism buys.
+    pub fn advance_to(&self, ns: u64) -> u64 {
+        self.now_ns.fetch_max(ns, Ordering::Relaxed).max(ns)
+    }
 }
 
 #[cfg(test)]
@@ -161,5 +172,15 @@ mod tests {
         assert_eq!(c.now_secs(), 0);
         c.advance_ns(3_000_000_000);
         assert_eq!(c.now_secs(), 3);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = SimClock::new();
+        assert_eq!(c.advance_to(500), 500);
+        assert_eq!(c.advance_to(200), 500, "never moves backwards");
+        assert_eq!(c.now_ns(), 500);
+        c.advance_ns(100);
+        assert_eq!(c.advance_to(550), 600, "no-op when already past");
     }
 }

@@ -13,6 +13,12 @@
 //! * [`FileStore`] / [`VFile`] — a minimal extent-allocating file layer used
 //!   by the LSM read-store runs; files are written append-only and read
 //!   randomly, exactly the access pattern of Stepped-Merge run files.
+//! * [`Completion`] — the handle returned by the submit-side device API
+//!   ([`Device::submit_read`] / [`Device::submit_write`] /
+//!   [`Device::submit_flush`]). Submitted operations are scheduled onto
+//!   `queue_depth` parallel service slots, so pipelined callers overlap
+//!   device latency instead of summing it; the sync `read_page`/`write_page`
+//!   API is a submit-then-wait shim over the same path.
 //! * [`IoStats`] — cheap atomic counters with snapshot/delta support so
 //!   experiments can attribute I/O to phases (normal operation, consistency
 //!   points, maintenance, queries).
@@ -46,6 +52,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod cache;
+mod completion;
 mod device;
 mod error;
 mod latency;
@@ -54,8 +61,10 @@ mod superblock;
 mod vfile;
 
 pub use cache::PageCache;
+pub use completion::{Completer, Completion};
 pub use device::{
-    Device, DeviceConfig, FaultProfile, PowerCutProfile, PowerCutReport, SimDisk, SECTOR_SIZE,
+    Device, DeviceConfig, FaultProfile, LatencyJitter, PowerCutProfile, PowerCutReport, SimDisk,
+    SECTOR_SIZE,
 };
 pub use error::{DeviceError, Result};
 pub use latency::{LatencyModel, SimClock};
@@ -83,5 +92,6 @@ fn _assert_send_sync() {
     assert::<FileMap>();
     assert::<IoStats>();
     assert::<SimClock>();
+    assert::<Completion>();
     assert::<std::sync::Arc<dyn Device>>();
 }

@@ -20,6 +20,18 @@ pub struct IoStats {
     /// had to wait (e.g. concurrent rebuilds contending on the file store's
     /// allocation lock).
     lock_contentions: AtomicU64,
+    /// High-water mark of simultaneously outstanding submitted operations
+    /// (submitted but not yet waited). Stays at 1 when every caller uses the
+    /// sync shims; benchmarks assert it exceeds 1 to prove the async paths
+    /// really pipelined.
+    max_in_flight: AtomicU64,
+    /// Operations that completed while at least one other operation was in
+    /// flight — i.e. the I/O that actually overlapped.
+    completed_async_ops: AtomicU64,
+    /// Device round-trips avoided by batched cache reads
+    /// ([`PageCache::read_pages`](crate::PageCache::read_pages)): a batch of
+    /// `n` misses submitted in one round saves `n - 1` serial trips.
+    batched_reads_saved: AtomicU64,
 }
 
 impl IoStats {
@@ -61,6 +73,22 @@ impl IoStats {
         self.lock_contentions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Raises the in-flight high-water mark to at least `in_flight`.
+    pub fn record_in_flight(&self, in_flight: u64) {
+        self.max_in_flight.fetch_max(in_flight, Ordering::Relaxed);
+    }
+
+    /// Records the completion of an operation that overlapped with at least
+    /// one other in-flight operation.
+    pub fn record_async_complete(&self) {
+        self.completed_async_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `trips` device round-trips saved by batching reads.
+    pub fn record_batched_saved(&self, trips: u64) {
+        self.batched_reads_saved.fetch_add(trips, Ordering::Relaxed);
+    }
+
     /// Returns a point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -72,6 +100,9 @@ impl IoStats {
             flushes: self.flushes.load(Ordering::Relaxed),
             device_ns: self.device_ns.load(Ordering::Relaxed),
             lock_contentions: self.lock_contentions.load(Ordering::Relaxed),
+            max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
+            completed_async_ops: self.completed_async_ops.load(Ordering::Relaxed),
+            batched_reads_saved: self.batched_reads_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -88,6 +119,9 @@ impl IoStats {
         self.flushes.store(0, Ordering::Relaxed);
         self.device_ns.store(0, Ordering::Relaxed);
         self.lock_contentions.store(0, Ordering::Relaxed);
+        self.max_in_flight.store(0, Ordering::Relaxed);
+        self.completed_async_ops.store(0, Ordering::Relaxed);
+        self.batched_reads_saved.store(0, Ordering::Relaxed);
     }
 }
 
@@ -111,6 +145,14 @@ pub struct IoStatsSnapshot {
     /// Contended state-lock acquisitions (see
     /// [`IoStats::record_lock_contention`]).
     pub lock_contentions: u64,
+    /// High-water mark of simultaneously in-flight submitted operations.
+    /// A high-water mark, not a monotone count: compare snapshots directly
+    /// rather than through [`delta_since`](IoStatsSnapshot::delta_since).
+    pub max_in_flight: u64,
+    /// Operations that completed while other operations were in flight.
+    pub completed_async_ops: u64,
+    /// Device round-trips avoided by batched cache reads.
+    pub batched_reads_saved: u64,
 }
 
 impl IoStatsSnapshot {
@@ -130,6 +172,15 @@ impl IoStatsSnapshot {
             lock_contentions: self
                 .lock_contentions
                 .saturating_sub(earlier.lock_contentions),
+            // The high-water mark is not a monotone counter; the delta keeps
+            // the later snapshot's value so phase reports still show the peak.
+            max_in_flight: self.max_in_flight,
+            completed_async_ops: self
+                .completed_async_ops
+                .saturating_sub(earlier.completed_async_ops),
+            batched_reads_saved: self
+                .batched_reads_saved
+                .saturating_sub(earlier.batched_reads_saved),
         }
     }
 
@@ -198,6 +249,26 @@ mod tests {
     fn reset_zeroes() {
         let stats = IoStats::new();
         stats.record_read(4096);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn async_counters_accumulate_and_reset() {
+        let stats = IoStats::new();
+        stats.record_in_flight(3);
+        stats.record_in_flight(7);
+        stats.record_in_flight(2);
+        stats.record_async_complete();
+        stats.record_async_complete();
+        stats.record_batched_saved(4);
+        let s = stats.snapshot();
+        assert_eq!(s.max_in_flight, 7, "high-water mark keeps the peak");
+        assert_eq!(s.completed_async_ops, 2);
+        assert_eq!(s.batched_reads_saved, 4);
+        let later = stats.snapshot();
+        assert_eq!(later.delta_since(&s).max_in_flight, 7);
+        assert_eq!(later.delta_since(&s).completed_async_ops, 0);
         stats.reset();
         assert_eq!(stats.snapshot(), IoStatsSnapshot::default());
     }

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 
+use crate::completion::Completion;
 use crate::device::Device;
 use crate::error::{DeviceError, Result};
 use crate::{PageNo, PAGE_SIZE};
@@ -531,6 +532,24 @@ impl<'a> VFile<'a> {
     ///
     /// Propagates allocation and device errors.
     pub fn append_page(&self, data: &[u8]) -> Result<u64> {
+        let (offset, completion) = self.append_page_async(data)?;
+        completion.wait()?;
+        Ok(offset)
+    }
+
+    /// Like [`append_page`](VFile::append_page), but returns the offset
+    /// together with the write's [`Completion`] instead of waiting for it:
+    /// the allocation (and the file's length) advance immediately, the page
+    /// write rides the device queue. Run builders pipeline their page-out
+    /// through this. Allocation errors still surface here, at the submit —
+    /// only device errors move to the completion.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::BadBufferLength`] for oversized buffers and
+    /// allocation failures ([`DeviceError::OutOfSpace`],
+    /// [`DeviceError::NoSuchFile`]).
+    pub fn append_page_async(&self, data: &[u8]) -> Result<(u64, Completion)> {
         if data.len() > PAGE_SIZE {
             return Err(DeviceError::BadBufferLength { got: data.len() });
         }
@@ -563,8 +582,7 @@ impl<'a> VFile<'a> {
             meta.len_bytes += data.len() as u64;
             (page, offset)
         };
-        self.store.device.write_page(device_page, data)?;
-        Ok(offset)
+        Ok((offset, self.store.device.submit_write(device_page, data)))
     }
 
     /// Reads the page at file offset `offset` (in pages).
@@ -621,6 +639,30 @@ mod tests {
         }
         // One seek for the first write, none for the rest.
         assert_eq!(disk.stats().snapshot().seeks, 1);
+    }
+
+    #[test]
+    fn async_appends_pipeline_and_read_back() {
+        let disk = SimDisk::new_shared(DeviceConfig::default().with_queue_depth(4));
+        let fs = FileStore::new(disk.clone());
+        let f = fs.create();
+        let mut pending = Vec::new();
+        for i in 0..16u8 {
+            let (offset, completion) = f.append_page_async(&[i]).unwrap();
+            assert_eq!(offset, u64::from(i), "offsets assigned at submit");
+            pending.push(completion);
+        }
+        assert_eq!(f.len_pages(), 16, "length advanced before the waits");
+        for c in &pending {
+            c.wait().unwrap();
+        }
+        for i in 0..16u64 {
+            assert_eq!(f.read_page(i).unwrap()[0], i as u8);
+        }
+        assert!(
+            disk.stats().snapshot().max_in_flight > 1,
+            "appends overlapped"
+        );
     }
 
     #[test]

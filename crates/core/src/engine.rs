@@ -4,8 +4,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use blockdev::{
-    Device, DeviceConfig, FileId, FileStore, IoStatsSnapshot, PersistedFile, SimDisk, Superblock,
-    FIRST_DATA_PAGE, PAGE_SIZE,
+    Completion, Device, DeviceConfig, FileId, FileStore, IoStatsSnapshot, PersistedFile, SimDisk,
+    Superblock, FIRST_DATA_PAGE, PAGE_SIZE,
 };
 use lsm::{LsmTable, PartitionSnapshot, Record, TableConfig};
 use parking_lot::{Mutex, RwLock};
@@ -315,7 +315,7 @@ impl BacklogEngine {
         let stats = engine.stats();
         {
             let mut interval = engine.cp_lock.lock();
-            engine.write_durable_cp(&mut interval, &lineage, &stats, &[], &[], &[])?;
+            engine.write_durable_cp(&mut interval, &lineage, &stats, &[], &[], &[], Vec::new())?;
         }
         Ok(engine)
     }
@@ -732,9 +732,18 @@ impl BacklogEngine {
         // flushed by a half-finished CP can no longer strand in a run where
         // a same-interval remove cannot prune it (the From/To pair would
         // later be read back as a live reference, not an empty lifetime).
-        let from_prep = self.from_table.prepare_flush(threads)?;
-        let to_prep = self.to_table.prepare_flush(threads)?;
-        let combined_prep = self.combined_table.prepare_flush(threads)?;
+        //
+        // The three prepares are *async*: each submits all of its run-page
+        // writes without waiting, so the device services every table's flush
+        // (and, for a durable engine, the manifest appends) through one
+        // shared queue at full depth. All completions drain through a single
+        // wait before the one pre-flip barrier — not one wait-all per table.
+        let mut from_prep = self.from_table.prepare_flush_async(threads)?;
+        let mut to_prep = self.to_table.prepare_flush_async(threads)?;
+        let mut combined_prep = self.combined_table.prepare_flush_async(threads)?;
+        let mut pending: Vec<Completion> = from_prep.take_pending_io();
+        pending.extend(to_prep.take_pending_io());
+        pending.extend(combined_prep.take_pending_io());
 
         // Durability: write the CP manifest and flip the superblock before
         // declaring the CP. The manifest records the *advanced* CP clock (a
@@ -757,7 +766,14 @@ impl BacklogEngine {
                 &from_prep.run_metas(),
                 &to_prep.run_metas(),
                 &combined_prep.run_metas(),
+                pending,
             )?;
+        } else {
+            // Non-durable: no manifest to overlap with, but the flush I/O
+            // still has to land before the runs become query-visible.
+            for completion in pending {
+                completion.wait()?;
+            }
         }
         let from_flush = from_prep.commit();
         let to_flush = to_prep.commit();
@@ -829,9 +845,11 @@ impl BacklogEngine {
     /// superblock flip, then retires the previous manifest and commits the
     /// deferred page frees. Ordering is everything here:
     ///
-    /// 1. every manifest page is on the device before the superblock write
-    ///    (*the superblock never points at a manifest that is not fully on
-    ///    disk*);
+    /// 1. every page this CP submitted — the three tables' run writes handed
+    ///    in as `pending_io` *and* the manifest pages appended here — is
+    ///    waited on through **one** completion drain, then made stable by
+    ///    **one** pre-flip barrier (*the superblock never points at a
+    ///    manifest or run that is not fully on disk*);
     /// 2. the superblock flip is a single page write into the slot the
     ///    previous generation does **not** occupy, so a crash at any write
     ///    of 1–2 leaves the previous generation's superblock and manifest —
@@ -850,6 +868,14 @@ impl BacklogEngine {
     /// the manifest must describe the table state *after* the flip commits
     /// the flush, and the caller holds the prepared handles across this
     /// write so the run files cannot be deleted from under the manifest.
+    ///
+    /// `pending_io` are the in-flight run-page writes those prepared flushes
+    /// submitted ([`lsm::PreparedFlush::take_pending_io`]); the manifest
+    /// appends below join the same queue, and everything is waited on
+    /// together. An error on any completion aborts exactly like a submit
+    /// error: the manifest file is deleted, nothing flips, and the caller's
+    /// drop of the prepared handles restores the tables.
+    #[allow(clippy::too_many_arguments)]
     fn write_durable_cp(
         &self,
         interval: &mut CpInterval,
@@ -858,7 +884,9 @@ impl BacklogEngine {
         pending_from: &[(u32, lsm::RunMeta)],
         pending_to: &[(u32, lsm::RunMeta)],
         pending_combined: &[(u32, lsm::RunMeta)],
+        pending_io: Vec<Completion>,
     ) -> Result<()> {
+        let mut pending_io = pending_io;
         // Hold snapshots of every partition until the end: their `Arc`s pin
         // the referenced run files against a concurrent rebuild commit
         // deleting them between manifest encode and superblock flip.
@@ -906,8 +934,24 @@ impl BacklogEngine {
             .files
             .create_reserved(blob.len().div_ceil(PAGE_SIZE) as u64)?;
         let mid = mfile.id();
+        // Manifest pages join the same in-flight queue as the run writes:
+        // appends are submitted back to back and overlap with whatever flush
+        // I/O the device is still servicing.
         for chunk in blob.chunks(PAGE_SIZE) {
-            if let Err(e) = mfile.append_page(chunk) {
+            match mfile.append_page_async(chunk) {
+                Ok((_, completion)) => pending_io.push(completion),
+                Err(e) => {
+                    drop(pending_io); // retire in-flight accounting unwaited
+                    let _ = self.files.delete(mid);
+                    return Err(e.into());
+                }
+            }
+        }
+        // The single wait-all: every run page and manifest page this CP
+        // submitted resolves here, in one drain, before the one barrier
+        // below. An error abandons the rest (their accounting retires).
+        for completion in pending_io {
+            if let Err(e) = completion.wait() {
                 let _ = self.files.delete(mid);
                 return Err(e.into());
             }
@@ -925,10 +969,12 @@ impl BacklogEngine {
             next_page,
             manifest_extents: extents,
         };
-        // Barrier 1: every page this CP wrote — run files flushed earlier in
-        // the CP and the manifest pages above — must be stable before the
-        // superblock can point at them, or a power cut could persist the
-        // flip but lose (or tear) what it references.
+        // THE pre-flip barrier: every page this CP wrote — all three tables'
+        // run files and the manifest pages, already drained above — must be
+        // stable before the superblock can point at them, or a power cut
+        // could persist the flip but lose (or tear) what it references. One
+        // barrier covers everything because the drain above already proved
+        // every write reached the device.
         if let Err(e) = self.device().flush() {
             let _ = self.files.delete(mid);
             return Err(e.into());
@@ -937,7 +983,7 @@ impl BacklogEngine {
             let _ = self.files.delete(mid);
             return Err(e.into());
         }
-        // Barrier 2: the flip itself must be stable before the previous
+        // Post-flip barrier: the flip itself must be stable before the previous
         // generation's manifest pages (and this interval's deferred frees)
         // become reusable. On failure the flip's durability is unknown, so
         // nothing is retired or freed — both generations' data stays pinned,

@@ -314,11 +314,18 @@ pub(crate) fn read_raw(device: &dyn Device, sb: &Superblock) -> Result<Vec<u8>> 
             sb.manifest_len_bytes
         )));
     }
-    let mut bytes = Vec::with_capacity((total_pages as usize) * PAGE_SIZE);
+    // Recovery reads at full queue depth: every manifest page is submitted
+    // before any is waited on, so the device overlaps the whole batch
+    // instead of charging one serial round-trip per page.
+    let mut in_flight = Vec::with_capacity(total_pages as usize);
     for &(start, len) in &sb.manifest_extents {
         for page in start..start + len {
-            bytes.extend_from_slice(&device.read_page(page)?);
+            in_flight.push(device.submit_read(page));
         }
+    }
+    let mut bytes = Vec::with_capacity((total_pages as usize) * PAGE_SIZE);
+    for completion in in_flight {
+        bytes.extend_from_slice(&completion.wait_read()?);
     }
     bytes.truncate(sb.manifest_len_bytes as usize);
     Ok(bytes)

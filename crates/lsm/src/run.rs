@@ -1,8 +1,9 @@
+use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use blockdev::{FileId, FileMap, FileStore, PAGE_SIZE};
+use blockdev::{Completion, FileId, FileMap, FileStore, PAGE_SIZE};
 
 use crate::bloom::{BloomConfig, BloomFilter};
 use crate::error::{LsmError, Result};
@@ -117,6 +118,41 @@ impl<R: Record> Run<R> {
         if !records.is_sorted() {
             return Err(LsmError::UnsortedInput);
         }
+        match Self::build_async(files, records, bloom_config)? {
+            None => Ok(None),
+            Some((run, pending)) => wait_pending(run, pending).map(Some),
+        }
+    }
+
+    /// Like [`build`](Run::build), but returns the run together with the
+    /// completions of its still-in-flight page writes instead of waiting for
+    /// them. The run's structure (extent map, geometry, Bloom filter) is
+    /// final; only the page payloads are still riding the device queue, so a
+    /// caller building several runs back-to-back keeps the queue full across
+    /// run boundaries. The caller must wait every completion (and delete the
+    /// run if any fails) before treating the run as written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsmError::UnsortedInput`] if the input is not sorted and
+    /// propagates submit-side device errors (allocation failures and any
+    /// write completion reaped while bounding the pipeline depth).
+    pub fn build_async(
+        files: &Arc<FileStore>,
+        records: &[R],
+        bloom_config: &BloomConfig,
+    ) -> Result<Option<(Self, Vec<Completion>)>> {
+        if records.is_empty() {
+            return Ok(None);
+        }
+        if R::ENCODED_LEN == 0 || R::ENCODED_LEN > PAGE_SIZE - PAGE_HEADER {
+            return Err(LsmError::RecordTooLarge {
+                encoded_len: R::ENCODED_LEN,
+            });
+        }
+        if !records.is_sorted() {
+            return Err(LsmError::UnsortedInput);
+        }
         let mut builder =
             RunBuilder::new(files.clone(), bloom_config.clone_for_entries(records.len()));
         for r in records {
@@ -125,7 +161,7 @@ impl<R: Record> Run<R> {
                 return Err(e);
             }
         }
-        builder.finish().map(Some)
+        builder.finish_async().map(Some)
     }
 
     /// Captures the run's durable description for a consistency-point
@@ -399,6 +435,27 @@ impl<R: Record> Run<R> {
     }
 }
 
+/// Waits out a freshly built run's in-flight page writes. On failure the run
+/// file is deleted (the remaining completions are dropped first, which still
+/// retires their device accounting) and the first error is returned.
+fn wait_pending<R: Record>(run: Run<R>, pending: Vec<Completion>) -> Result<Run<R>> {
+    let mut first_error = None;
+    for completion in &pending {
+        if let Err(e) = completion.wait() {
+            first_error = Some(e);
+            break;
+        }
+    }
+    drop(pending);
+    match first_error {
+        Some(e) => {
+            let _ = run.delete();
+            Err(e.into())
+        }
+        None => Ok(run),
+    }
+}
+
 impl<R: Record> Drop for Run<R> {
     fn drop(&mut self) {
         // Deferred deletion for retired runs: the swap marked the run dead,
@@ -528,6 +585,12 @@ pub struct RunBuilder<R: Record> {
     last: Option<R>,
     records_per_leaf: usize,
     entries_per_internal: usize,
+    /// Completions of pipelined page writes not yet waited on, oldest first:
+    /// the builder encodes page `N+1` while page `N` is still in flight.
+    pending_io: VecDeque<Completion>,
+    /// Bound on outstanding writes (2 × the device queue depth), so a huge
+    /// run cannot accumulate unbounded completions.
+    max_pending_io: usize,
 }
 
 impl<R: Record> RunBuilder<R> {
@@ -535,6 +598,7 @@ impl<R: Record> RunBuilder<R> {
         let file = files.create().id();
         let records_per_leaf = (PAGE_SIZE - PAGE_HEADER) / R::ENCODED_LEN;
         let entries_per_internal = (PAGE_SIZE - PAGE_HEADER) / (R::ENCODED_LEN + 8);
+        let max_pending_io = (files.device().queue_depth() * 2).max(2);
         RunBuilder {
             files,
             file,
@@ -549,6 +613,8 @@ impl<R: Record> RunBuilder<R> {
             last: None,
             records_per_leaf: records_per_leaf.max(1),
             entries_per_internal: entries_per_internal.max(2),
+            pending_io: VecDeque::new(),
+            max_pending_io,
         }
     }
 
@@ -603,11 +669,24 @@ impl<R: Record> RunBuilder<R> {
             return Ok(());
         }
         set_header(&mut self.leaf_buf, KIND_LEAF, self.leaf_count_in_page);
-        let f = self.files.open(self.file)?;
-        f.append_page(&self.leaf_buf)?;
-        self.pages_written += 1;
-        self.leaf_buf = new_page_buf(KIND_LEAF);
+        let buf = std::mem::replace(&mut self.leaf_buf, new_page_buf(KIND_LEAF));
+        self.append_pipelined(&buf)?;
         self.leaf_count_in_page = 0;
+        Ok(())
+    }
+
+    /// Submits one page write without waiting for it, reaping the oldest
+    /// outstanding completion first when the pipeline is full. Reaped errors
+    /// surface here; the caller abandons the build on any error.
+    fn append_pipelined(&mut self, buf: &[u8]) -> Result<()> {
+        while self.pending_io.len() >= self.max_pending_io {
+            let oldest = self.pending_io.pop_front().expect("len checked");
+            oldest.wait()?;
+        }
+        let f = self.files.open(self.file)?;
+        let (_, completion) = f.append_page_async(buf)?;
+        self.pending_io.push_back(completion);
+        self.pages_written += 1;
         Ok(())
     }
 
@@ -619,7 +698,22 @@ impl<R: Record> RunBuilder<R> {
     ///
     /// Propagates device errors. An empty builder produces a run with zero
     /// records whose scans return nothing.
-    pub fn finish(mut self) -> Result<Run<R>> {
+    pub fn finish(self) -> Result<Run<R>> {
+        let (run, pending) = self.finish_async()?;
+        wait_pending(run, pending)
+    }
+
+    /// Like [`finish`](Self::finish), but hands back the completions of the
+    /// run's in-flight page writes instead of waiting: the next run's build
+    /// starts while this run's tail pages are still being written. The
+    /// caller must wait every completion (deleting the run on failure)
+    /// before the run counts as durable on the device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submit-side errors; the partially written run file is
+    /// deleted.
+    pub fn finish_async(mut self) -> Result<(Run<R>, Vec<Completion>)> {
         let leaf_pages = match self.write_index() {
             Ok(leaves) => leaves,
             Err(e) => {
@@ -644,19 +738,23 @@ impl<R: Record> RunBuilder<R> {
         if ideal_bits < self.bloom.num_bits() {
             self.bloom.shrink_to(ideal_bits);
         }
-        Ok(Run {
-            files: self.files,
-            file: self.file,
-            map,
-            root_page,
-            leaf_pages,
-            records: self.records,
-            min_key: if self.records == 0 { 0 } else { self.min_key },
-            max_key: self.max_key,
-            bloom: self.bloom,
-            retired: AtomicBool::new(false),
-            _marker: PhantomData,
-        })
+        let pending: Vec<Completion> = self.pending_io.drain(..).collect();
+        Ok((
+            Run {
+                files: self.files,
+                file: self.file,
+                map,
+                root_page,
+                leaf_pages,
+                records: self.records,
+                min_key: if self.records == 0 { 0 } else { self.min_key },
+                max_key: self.max_key,
+                bloom: self.bloom,
+                retired: AtomicBool::new(false),
+                _marker: PhantomData,
+            },
+            pending,
+        ))
     }
 
     /// Like [`finish`](Self::finish), but a builder that received no records
@@ -685,9 +783,7 @@ impl<R: Record> RunBuilder<R> {
         if level.is_empty() {
             // Empty run: write a single empty leaf so the root page exists.
             let buf = new_page_buf(KIND_LEAF);
-            let f = self.files.open(self.file)?;
-            f.append_page(&buf)?;
-            self.pages_written += 1;
+            self.append_pipelined(&buf)?;
         }
         while level.len() > 1 {
             let mut next_level = Vec::new();
@@ -700,10 +796,8 @@ impl<R: Record> RunBuilder<R> {
                         .copy_from_slice(&child.to_be_bytes());
                 }
                 set_header(&mut buf, KIND_INTERNAL, chunk.len());
-                let f = self.files.open(self.file)?;
-                f.append_page(&buf)?;
                 next_level.push((chunk[0].0.clone(), self.pages_written));
-                self.pages_written += 1;
+                self.append_pipelined(&buf)?;
             }
             level = next_level;
         }
@@ -961,6 +1055,58 @@ mod tests {
         assert_eq!(fs.file_count(), 1);
         fs.delete(id).unwrap();
         assert_eq!(fs.file_count(), 0);
+    }
+
+    #[test]
+    fn build_pipelines_page_writes_through_the_device_queue() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency().with_queue_depth(8));
+        let fs = Arc::new(FileStore::new(disk.clone()));
+        let recs: Vec<TestRec> = (0..5_000u64).map(|k| TestRec::new(k, 0)).collect();
+        let run = Run::build(&fs, &recs, &BloomConfig::default())
+            .unwrap()
+            .unwrap();
+        let s = disk.stats().snapshot();
+        assert!(
+            s.max_in_flight > 1,
+            "builder keeps pages in flight (saw {})",
+            s.max_in_flight
+        );
+        assert!(s.completed_async_ops > 0);
+        assert_eq!(run.scan_all().unwrap().len(), 5_000, "payloads intact");
+    }
+
+    #[test]
+    fn build_async_hands_back_inflight_writes() {
+        let fs = files();
+        let recs: Vec<TestRec> = (0..1_000u64).map(|k| TestRec::new(k, 0)).collect();
+        let (run, pending) = Run::build_async(&fs, &recs, &BloomConfig::default())
+            .unwrap()
+            .unwrap();
+        assert!(!pending.is_empty(), "tail pages ride the queue");
+        for c in &pending {
+            c.wait().unwrap();
+        }
+        assert_eq!(run.scan_all().unwrap(), recs);
+        // Empty input still builds nothing.
+        assert!(
+            Run::<TestRec>::build_async(&fs, &[], &BloomConfig::default())
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn failed_inflight_write_deletes_the_run_in_finish() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency().with_queue_depth(8));
+        let fs = Arc::new(FileStore::new(disk.clone()));
+        let recs: Vec<TestRec> = (0..1_000u64).map(|k| TestRec::new(k, 0)).collect();
+        // Let a few pages through, then fail: the fault lands on an
+        // in-flight completion, not the submit.
+        disk.fail_writes_after(2);
+        let err = Run::build(&fs, &recs, &BloomConfig::default()).unwrap_err();
+        assert!(matches!(err, LsmError::Device(_)), "{err:?}");
+        disk.clear_write_fault();
+        assert_eq!(fs.file_count(), 0, "failed build leaks no file");
     }
 
     #[test]

@@ -2,7 +2,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use blockdev::FileStore;
+use blockdev::{Completion, FileStore};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use crate::bloom::BloomConfig;
@@ -242,6 +242,11 @@ pub struct PreparedFlush<'a, R: Record> {
     staged: Vec<u32>,
     /// The built-but-uninstalled runs, ascending by partition.
     built: Vec<(u32, Run<R>)>,
+    /// In-flight run-page writes still to be waited on (empty once
+    /// [`wait_io`](Self::wait_io) or [`take_pending_io`](Self::take_pending_io)
+    /// has run, and always empty for handles from
+    /// [`prepare_flush`](LsmTable::prepare_flush)).
+    pending_io: Vec<Completion>,
     stats: FlushStats,
     done: bool,
 }
@@ -270,13 +275,54 @@ impl<R: Record> PreparedFlush<'_, R> {
             .collect()
     }
 
+    /// Waits for every in-flight run-page write submitted by
+    /// [`prepare_flush_async`](LsmTable::prepare_flush_async). Must succeed
+    /// (or the pending I/O must be drained through
+    /// [`take_pending_io`](Self::take_pending_io) and waited externally)
+    /// before [`commit`](Self::commit).
+    ///
+    /// # Errors
+    ///
+    /// The first failing write's error; remaining in-flight writes are
+    /// abandoned (their device accounting still retires). Drop the handle
+    /// afterwards to abort — built runs are deleted and staged records
+    /// restored.
+    pub fn wait_io(&mut self) -> Result<()> {
+        let pending = std::mem::take(&mut self.pending_io);
+        for completion in pending {
+            completion.wait()?;
+        }
+        Ok(())
+    }
+
+    /// Hands the in-flight write completions to the caller, leaving the
+    /// handle with none pending. A durable consistency point uses this to
+    /// merge all three tables' flush I/O (plus its manifest appends) into a
+    /// single wait-then-barrier step instead of draining each table's queue
+    /// separately.
+    pub fn take_pending_io(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.pending_io)
+    }
+
     /// Installs every built run and unstages its records, partition by
     /// partition: under the partition lock + shard lock, the deletion marks
     /// deferred for staged records enter the partition's deletion vector and
     /// the run is appended, in the same atomic step — a concurrent query
     /// observes each record in the write store or in the new run, never in
     /// both and never in neither. Infallible: no device I/O happens here.
+    ///
+    /// # Panics
+    ///
+    /// If in-flight writes from
+    /// [`prepare_flush_async`](LsmTable::prepare_flush_async) were neither
+    /// waited ([`wait_io`](Self::wait_io)) nor drained
+    /// ([`take_pending_io`](Self::take_pending_io)) — committing runs whose
+    /// pages may still fail would break the all-or-nothing flush contract.
     pub fn commit(mut self) -> FlushStats {
+        assert!(
+            self.pending_io.is_empty(),
+            "PreparedFlush::commit with in-flight writes still pending"
+        );
         let built = std::mem::take(&mut self.built);
         let mut with_runs: Vec<u32> = Vec::with_capacity(built.len());
         for (pidx, run) in built {
@@ -676,6 +722,30 @@ impl<R: Record> LsmTable<R> {
     /// Propagates the first device error any worker hits; the table is left
     /// untouched (staged records restored, partial runs deleted).
     pub fn prepare_flush(&self, threads: usize) -> Result<PreparedFlush<'_, R>> {
+        let mut prep = self.prepare_flush_async(threads)?;
+        if let Err(e) = prep.wait_io() {
+            drop(prep); // abort: delete built runs, restore staged shards
+            return Err(e);
+        }
+        Ok(prep)
+    }
+
+    /// Like [`prepare_flush`](Self::prepare_flush), but returns **without
+    /// waiting for the built runs' page writes to complete**: every page of
+    /// every run has been *submitted* to the device (the returned handle's
+    /// [`PreparedFlush::take_pending_io`] holds the completions), so the
+    /// device services the whole flush at full queue depth while the caller
+    /// does other work — stages the next table's flush, encodes a manifest —
+    /// before waiting once for everything.
+    ///
+    /// Device errors can therefore surface in two places: at submit (returned
+    /// here, table restored as in `prepare_flush`) or on a completion
+    /// (surfaced by [`PreparedFlush::wait_io`]; drop the handle to abort).
+    ///
+    /// # Errors
+    ///
+    /// The first error raised *at submission*; the table is left untouched.
+    pub fn prepare_flush_async(&self, threads: usize) -> Result<PreparedFlush<'_, R>> {
         let flush = self.flush_lock.lock();
         // Stage every shard up front; staged records stay query-visible in
         // the shard until the prepared flush commits.
@@ -689,6 +759,7 @@ impl<R: Record> LsmTable<R> {
         let staged: Vec<u32> = work.iter().map(|&(pidx, _)| pidx).collect();
         let records_flushed: u64 = work.iter().map(|(_, recs)| recs.len() as u64).sum();
         let built: Mutex<Vec<(u32, Run<R>)>> = Mutex::new(Vec::new());
+        let pending: Mutex<Vec<Completion>> = Mutex::new(Vec::new());
         let first_error: Mutex<Option<LsmError>> = Mutex::new(None);
         let next = AtomicUsize::new(0);
         let worker = || loop {
@@ -699,8 +770,11 @@ impl<R: Record> LsmTable<R> {
             let Some((pidx, records)) = work.get(i) else {
                 break;
             };
-            match Run::build(&self.files, records, &self.config.bloom) {
-                Ok(Some(run)) => built.lock().push((*pidx, run)),
+            match Run::build_async(&self.files, records, &self.config.bloom) {
+                Ok(Some((run, io))) => {
+                    built.lock().push((*pidx, run));
+                    pending.lock().extend(io);
+                }
                 Ok(None) => {}
                 Err(e) => {
                     first_error.lock().get_or_insert(e);
@@ -721,6 +795,9 @@ impl<R: Record> LsmTable<R> {
             }
         }
         if let Some(e) = first_error.lock().take() {
+            // Dropping the collected completions retires their device
+            // accounting without delivering results to anyone.
+            drop(pending.into_inner());
             for (_, run) in built.into_inner() {
                 let _ = run.delete();
             }
@@ -741,6 +818,7 @@ impl<R: Record> LsmTable<R> {
             _flush: flush,
             staged,
             built,
+            pending_io: pending.into_inner(),
             stats,
             done: false,
         })
@@ -1407,6 +1485,61 @@ mod tests {
         t.flush_cp().unwrap();
         assert_eq!(t.run_count(), 1);
         assert_eq!(t.scan_all().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn prepare_flush_async_hands_back_inflight_writes() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency().with_queue_depth(8));
+        let files = Arc::new(FileStore::new(disk.clone()));
+        let t: LsmTable<TestRec> = LsmTable::new(files, TableConfig::named("async"));
+        for i in 0..2_000u64 {
+            t.insert(TestRec::new(i, i));
+        }
+        let mut prep = t.prepare_flush_async(1).unwrap();
+        let pending = prep.take_pending_io();
+        assert!(
+            !pending.is_empty(),
+            "an async prepare leaves completions for the caller"
+        );
+        for c in pending {
+            c.wait().unwrap();
+        }
+        prep.commit();
+        assert_eq!(t.run_count(), 1);
+        assert_eq!(t.scan_all().unwrap().len(), 2_000);
+        assert!(
+            disk.stats().snapshot().max_in_flight > 1,
+            "the flush pipelined writes through the device queue"
+        );
+    }
+
+    #[test]
+    fn failed_async_completion_aborts_the_prepared_flush() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency().with_queue_depth(8));
+        let files = Arc::new(FileStore::new(disk.clone()));
+        let t: LsmTable<TestRec> = LsmTable::new(files, TableConfig::named("async"));
+        for i in 0..2_000u64 {
+            t.insert(TestRec::new(i, i));
+        }
+        // Build one clean run so the pipelined flush has >2 writes to fail.
+        t.flush_cp().unwrap();
+        for i in 2_000..4_000u64 {
+            t.insert(TestRec::new(i, i));
+        }
+        let files_before = t.files().file_count();
+        disk.fail_writes_after(2);
+        let result = t.prepare_flush(1);
+        disk.clear_write_fault();
+        assert!(matches!(result, Err(LsmError::Device(_))));
+        assert_eq!(t.ws_len(), 2_000, "staged records return to the shard");
+        assert_eq!(
+            t.files().file_count(),
+            files_before,
+            "the half-written run file is deleted"
+        );
+        assert_eq!(t.run_count(), 1, "the earlier run is untouched");
+        t.flush_cp().unwrap();
+        assert_eq!(t.scan_all().unwrap().len(), 4_000);
     }
 
     #[test]

@@ -70,10 +70,24 @@ pub struct CrashPlan {
     pub torn: f64,
 }
 
+/// Seeded per-operation latency jitter armed on the simulated device: every
+/// submitted I/O draws an extra service delay in `min_ns..=max_ns` from a
+/// stream salted per scenario, perturbing *completion scheduling* — which
+/// queue slot an operation lands in and how long it occupies it — without
+/// perturbing effect order. Device contents, counters and the oracle verdict
+/// stay a pure function of the seed, which the determinism tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JitterPlan {
+    /// Smallest extra delay a single operation can draw, in simulated ns.
+    pub min_ns: u64,
+    /// Largest extra delay a single operation can draw, in simulated ns.
+    pub max_ns: u64,
+}
+
 /// A complete scenario description. Everything the run does — workload,
-/// fault schedule, crash point, page fates at the cut — is a pure function
-/// of this value, and [`ScenarioConfig::from_seed`] derives the whole value
-/// from one `u64`.
+/// fault schedule, crash point, page fates at the cut, per-op latency
+/// jitter — is a pure function of this value, and
+/// [`ScenarioConfig::from_seed`] derives the whole value from one `u64`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// The master seed; also printed in reproduction lines.
@@ -96,6 +110,8 @@ pub struct ScenarioConfig {
     pub torn_write: f64,
     /// The crash schedule.
     pub crash: CrashPlan,
+    /// Per-operation device latency jitter (`None` = fixed service times).
+    pub jitter: Option<JitterPlan>,
 }
 
 impl ScenarioConfig {
@@ -120,6 +136,17 @@ impl ScenarioConfig {
                 fault_after_writes: rng.gen_range(0u64..48),
                 persist: rng.gen_range(0.0..0.6),
                 torn: rng.gen_range(0.0..0.4),
+            },
+            // Half the scenarios shuffle completion scheduling with seeded
+            // per-op jitter; the other half keep fixed service times so both
+            // regimes stay covered by every matrix.
+            jitter: if rng.gen_bool(0.5) {
+                Some(JitterPlan {
+                    min_ns: 0,
+                    max_ns: rng.gen_range(1_000u64..=50_000),
+                })
+            } else {
+                None
             },
         }
     }

@@ -43,6 +43,6 @@ mod config;
 mod report;
 mod runner;
 
-pub use config::{ActorMix, CrashPlan, ScenarioConfig};
+pub use config::{ActorMix, CrashPlan, JitterPlan, ScenarioConfig};
 pub use report::{MatrixReport, ScenarioOutcome, Verdict};
 pub use runner::{run_matrix, run_scenario, run_seed};

@@ -1,0 +1,197 @@
+//! Async device I/O integration tests: the submit/completion path under the
+//! engine's consistency point, with errors delivered **on the completion**
+//! rather than at submit.
+//!
+//! The contract under test (see README "Async device I/O"):
+//!
+//! * a CP pipelines its run and manifest writes through the device queue —
+//!   the in-flight high-water mark actually exceeds one (no silent fallback
+//!   to the sync shim);
+//! * a write fault injected at *any* submitted write of an async CP is
+//!   delivered when the CP drains its completions, the prepared flush
+//!   aborts (records return to the write stores), and the previous durable
+//!   CP remains the recovery target;
+//! * recovery reads the manifest at full queue depth.
+
+use std::sync::Arc;
+
+use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
+use blockdev::{Device, DeviceConfig, SimDisk};
+
+fn disk_with_depth(depth: usize) -> Arc<SimDisk> {
+    SimDisk::new_shared(DeviceConfig::free_latency().with_queue_depth(depth))
+}
+
+fn config() -> BacklogConfig {
+    BacklogConfig::partitioned(4, 4_000).without_timing()
+}
+
+fn owner(inode: u64, offset: u64) -> Owner {
+    Owner::block(inode, offset, LineId::ROOT)
+}
+
+/// Records buffered in the three tables' write stores.
+fn buffered_records(engine: &BacklogEngine) -> usize {
+    engine.from_table().ws_len() + engine.to_table().ws_len() + engine.combined_table().ws_len()
+}
+
+/// Two durable CPs' worth of work: the first CP becomes the recovery target
+/// of the fault walk, the second is the one whose writes get walked.
+fn first_interval(engine: &BacklogEngine) {
+    for block in 0..600u64 {
+        engine.add_reference(block, owner(1 + block % 7, block));
+    }
+    engine.consistency_point().unwrap();
+    // Deletion-vector entries make the next manifest span several pages.
+    for block in 0..200u64 {
+        engine.remove_reference(block, owner(1 + block % 7, block));
+    }
+    engine.consistency_point().unwrap();
+}
+
+fn second_interval(engine: &BacklogEngine) {
+    for block in 2_000..2_200u64 {
+        engine.add_reference(block, owner(3, block));
+    }
+    for block in 200..300u64 {
+        engine.remove_reference(block, owner(1 + block % 7, block));
+    }
+}
+
+#[test]
+fn write_error_is_delivered_on_the_completion() {
+    let device = disk_with_depth(8);
+    device.write_page(10, &[1u8; 64]).unwrap();
+    device.fail_writes_after(0);
+    // Submit never reports the fault; the completion does.
+    let completion = device.submit_write(10, &[2u8; 64]);
+    let err = completion.wait().unwrap_err();
+    assert!(matches!(err, blockdev::DeviceError::InjectedFault { .. }));
+    device.clear_write_fault();
+    assert_eq!(
+        &device.read_page(10).unwrap()[..64],
+        &[1u8; 64],
+        "the faulted write must not reach the media"
+    );
+}
+
+#[test]
+fn consistency_point_drives_the_device_queue() {
+    let device = disk_with_depth(8);
+    let engine = BacklogEngine::create_durable(device.clone(), config()).unwrap();
+    first_interval(&engine);
+    let snap = device.stats().snapshot();
+    assert!(
+        snap.max_in_flight >= 2,
+        "an async CP must overlap submits (max_in_flight {})",
+        snap.max_in_flight
+    );
+    assert!(
+        snap.completed_async_ops > 0,
+        "no completion retired while another was in flight — the CP fell \
+         back to the sync shim"
+    );
+}
+
+/// Walks **every submitted device write** of an async consistency point,
+/// injecting the fault so it surfaces on that write's completion. Each
+/// failure must abort the prepared flush (the interval's records return to
+/// the write stores and stay queryable), leave the previous durable CP
+/// intact on disk, and let the engine both retry the CP and be reopened.
+#[test]
+fn fault_walk_over_an_async_cp_aborts_cleanly_at_every_write() {
+    // Probe run: count the writes of the walked CP.
+    let probe = disk_with_depth(8);
+    let engine = BacklogEngine::create_durable(probe.clone(), config()).unwrap();
+    first_interval(&engine);
+    second_interval(&engine);
+    let writes_before = probe.stats().snapshot().page_writes;
+    engine.consistency_point().unwrap();
+    let cp_writes = probe.stats().snapshot().page_writes - writes_before;
+    assert!(
+        cp_writes >= 4,
+        "the walk must cover run, manifest and superblock writes, got {cp_writes}"
+    );
+    drop(engine);
+
+    for fail_after in 0..cp_writes {
+        let device = disk_with_depth(8);
+        let engine = BacklogEngine::create_durable(device.clone(), config()).unwrap();
+        first_interval(&engine);
+        second_interval(&engine);
+        let generation_before = engine.superblock_generation();
+        let dirty_before = buffered_records(&engine);
+        device.fail_writes_after(fail_after);
+        let result = engine.consistency_point();
+        assert!(
+            result.is_err(),
+            "CP at fault point {fail_after} must report the device error"
+        );
+        assert_eq!(
+            buffered_records(&engine),
+            dirty_before,
+            "fault at write {fail_after}: the aborted flush must return \
+             every staged record to the write stores"
+        );
+        assert_eq!(
+            engine.superblock_generation(),
+            generation_before,
+            "fault at write {fail_after}: the superblock must not flip"
+        );
+        // The interval's operations are still queryable in the write store.
+        assert_eq!(
+            engine.live_owners(2_000).unwrap(),
+            vec![owner(3, 2_000)],
+            "fault at write {fail_after}: interval ops stay visible"
+        );
+        device.clear_write_fault();
+        // The healed device accepts a retried CP...
+        engine.consistency_point().unwrap();
+        assert_eq!(engine.superblock_generation(), generation_before + 1);
+        drop(engine);
+        // ...and the result reopens exactly like a never-faulted engine.
+        let reopened = BacklogEngine::open(device, config()).unwrap();
+        assert_eq!(
+            reopened.live_owners(2_000).unwrap(),
+            vec![owner(3, 2_000)],
+            "fault at write {fail_after}: retried CP must be durable"
+        );
+        assert_eq!(reopened.live_owners(250).unwrap(), vec![]);
+    }
+}
+
+#[test]
+fn recovery_reads_the_manifest_at_full_depth() {
+    let device = disk_with_depth(8);
+    let engine = BacklogEngine::create_durable(device.clone(), config()).unwrap();
+    // Enough CPs across all four partitions that the run-layout manifest
+    // spans several pages — the multi-page read is what overlaps.
+    for cp in 0..8u64 {
+        for i in 0..120u64 {
+            let block = (i * 33 + cp) % 4_000;
+            engine.add_reference(block, owner(1 + i % 5, block));
+        }
+        engine.consistency_point().unwrap();
+    }
+    let sb = blockdev::Superblock::read_latest(&*device)
+        .unwrap()
+        .unwrap();
+    assert!(
+        sb.manifest_len_bytes > blockdev::PAGE_SIZE as u64,
+        "precondition: the manifest must span several pages, got {} bytes",
+        sb.manifest_len_bytes
+    );
+    drop(engine);
+    device.stats().reset();
+    let reopened = BacklogEngine::open(device.clone(), config()).unwrap();
+    let snap = device.stats().snapshot();
+    assert!(
+        snap.max_in_flight >= 2,
+        "open must submit manifest page reads before waiting on any \
+         (max_in_flight {})",
+        snap.max_in_flight
+    );
+    assert_eq!(reopened.live_owners(33).unwrap(), vec![owner(2, 33)]);
+    // 41 ≡ 8 (mod 33) and every added block is 33·i + cp with cp < 8.
+    assert_eq!(reopened.live_owners(41).unwrap(), vec![]);
+}

@@ -32,6 +32,7 @@ fn lost_write_cache_schedule_recovers() {
             persist: 0.0,
             torn: 0.0,
         },
+        jitter: None,
     };
     let outcome = run_scenario(&cfg);
     assert!(outcome.passed(), "{}", outcome.repro_line());
@@ -62,6 +63,7 @@ fn torn_write_schedule_recovers() {
             persist: 0.2,
             torn: 0.8,
         },
+        jitter: None,
     };
     let outcome = run_scenario(&cfg);
     assert!(outcome.passed(), "{}", outcome.repro_line());
