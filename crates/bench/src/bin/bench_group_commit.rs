@@ -1,0 +1,177 @@
+//! Emits durable-callback throughput for journal group commit as JSON
+//! (captured in `BENCH_group_commit.json` at the repo root).
+//!
+//! Setup: a durable journaled engine on a [`SimDisk`] with *real-time
+//! latency emulation* (every page access parks the calling thread for a
+//! uniform per-page cost). Two regimes make the same callbacks durable:
+//!
+//! * **CP-per-callback baseline** — the only durability primitive the
+//!   engine had before the on-device journal ring: every reference callback
+//!   is followed by a full consistency point (run build + manifest +
+//!   superblock flip), paying the whole flush pipeline per callback.
+//! * **Group commit** — `T` writer threads append callbacks to the shared
+//!   journal ring's pending segment and call
+//!   [`BacklogEngine::journal_sync`] every `group` callbacks. Each sync
+//!   coalesces *every* pending entry (its own and other writers') into
+//!   page-aligned ring writes behind a single flush barrier, so the
+//!   per-callback durability cost is the ring write amortized over the
+//!   group — and concurrent writers amortize each other's barriers.
+//!
+//! The JSON reports durable callbacks per second for the baseline and for
+//! 1/2/4 writers, plus each configuration's speedup over the baseline. The
+//! bench asserts the acceptance gate — 4-writer group commit at least 5×
+//! the CP-per-callback baseline — and that every callback was actually
+//! acknowledged durable (the ring's durable LSN equals the callback count).
+//!
+//! Run with `cargo run --release --bin bench_group_commit`; pass `--smoke`
+//! for the tiny CI configuration.
+
+use std::time::Instant;
+
+use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
+use blockdev::{DeviceConfig, LatencyModel, SimDisk, PAGE_SIZE};
+
+/// A uniform-latency device: every page access costs the same, no seek
+/// penalty — the shape of a flash device or striped array where concurrent
+/// requests overlap instead of fighting one head.
+fn uniform_latency(ns_per_page: u64) -> LatencyModel {
+    LatencyModel {
+        seek_ns: 0,
+        ns_per_byte: ns_per_page as f64 / PAGE_SIZE as f64,
+        sequential_window: u64::MAX,
+    }
+}
+
+struct Config {
+    partitions: u32,
+    /// Callbacks made durable one CP at a time in the baseline regime.
+    baseline_ops: u64,
+    /// Callbacks per writer thread in the group-commit regime.
+    ops_per_writer: u64,
+    /// Callbacks between a writer's explicit group commits.
+    group: u64,
+    ns_per_page: u64,
+    thread_counts: &'static [usize],
+}
+
+/// The pre-ring durability path: one full consistency point per callback.
+fn run_baseline(cfg: &Config) -> u64 {
+    let disk = SimDisk::new_shared(
+        DeviceConfig::free_latency().with_latency(uniform_latency(cfg.ns_per_page)),
+    );
+    let engine = BacklogEngine::create_durable(
+        disk.clone(),
+        BacklogConfig::partitioned(cfg.partitions, cfg.baseline_ops).without_timing(),
+    )
+    .expect("durable create");
+    disk.set_latency_emulation(true);
+    let t = Instant::now();
+    for block in 0..cfg.baseline_ops {
+        engine.add_reference(block, Owner::block(1 + block % 7, block, LineId::ROOT));
+        engine.consistency_point().expect("durable CP");
+    }
+    let wall_ns = t.elapsed().as_nanos() as u64;
+    disk.set_latency_emulation(false);
+    wall_ns
+}
+
+/// `threads` writers over one shared ring, group-committing every
+/// `cfg.group` callbacks. Returns the wall-clock for making every callback
+/// durable.
+fn run_group_commit(cfg: &Config, threads: usize) -> u64 {
+    let total = cfg.ops_per_writer * threads as u64;
+    let disk = SimDisk::new_shared(
+        DeviceConfig::free_latency().with_latency(uniform_latency(cfg.ns_per_page)),
+    );
+    // Manual group commit (auto threshold off) so `group` is exactly the
+    // writer's ack cadence; the ring is sized for the whole run since no CP
+    // advances truncation here.
+    let config = BacklogConfig::partitioned(cfg.partitions, total)
+        .without_timing()
+        .with_journaling()
+        .with_journal_group_size(0)
+        .with_journal_ring_pages(total / 64 + 64);
+    let engine = BacklogEngine::create_durable(disk.clone(), config).expect("durable create");
+    disk.set_latency_emulation(true);
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..threads as u64 {
+            let engine = &engine;
+            s.spawn(move || {
+                for i in 0..cfg.ops_per_writer {
+                    let block = w * cfg.ops_per_writer + i;
+                    engine.add_reference(block, Owner::block(1 + block % 7, block, LineId::ROOT));
+                    if (i + 1) % cfg.group == 0 {
+                        engine.journal_sync().expect("group commit");
+                    }
+                }
+                engine.journal_sync().expect("final group commit");
+            });
+        }
+    });
+    let wall_ns = t.elapsed().as_nanos() as u64;
+    disk.set_latency_emulation(false);
+    assert_eq!(
+        engine.journal_durable_lsn(),
+        total,
+        "{threads}t: every callback must be acknowledged durable"
+    );
+    wall_ns
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        Config {
+            partitions: 4,
+            baseline_ops: 24,
+            ops_per_writer: 400,
+            group: 32,
+            ns_per_page: 200_000,
+            thread_counts: &[1, 2, 4],
+        }
+    } else {
+        Config {
+            partitions: 4,
+            baseline_ops: 100,
+            ops_per_writer: 2_000,
+            group: 64,
+            ns_per_page: 400_000,
+            thread_counts: &[1, 2, 4],
+        }
+    };
+
+    let baseline_ns = run_baseline(&cfg);
+    let baseline_ops_per_sec = cfg.baseline_ops as f64 * 1e9 / baseline_ns as f64;
+    let mut entries = vec![format!(
+        "  \"cp_per_callback_baseline\": {{ \"callbacks\": {}, \"wall_ns\": {baseline_ns}, \
+\"durable_callbacks_per_sec\": {baseline_ops_per_sec:.1} }}",
+        cfg.baseline_ops,
+    )];
+
+    let mut speedup_at_max_threads = 0.0f64;
+    for &threads in cfg.thread_counts {
+        let total = cfg.ops_per_writer * threads as u64;
+        let wall_ns = run_group_commit(&cfg, threads);
+        let ops_per_sec = total as f64 * 1e9 / wall_ns as f64;
+        let speedup = ops_per_sec / baseline_ops_per_sec;
+        speedup_at_max_threads = speedup;
+        entries.push(format!(
+            "  \"group_commit_{threads}t\": {{ \"callbacks\": {total}, \"group\": {}, \
+\"wall_ns\": {wall_ns}, \"durable_callbacks_per_sec\": {ops_per_sec:.1}, \
+\"speedup_vs_cp_baseline\": {speedup:.1} }}",
+            cfg.group,
+        ));
+    }
+
+    println!("{{");
+    println!("{}", entries.join(",\n"));
+    println!("}}");
+
+    // Acceptance gate: group commit must amortize the barrier — at the
+    // widest writer count it has to beat a CP per callback by 5x or more.
+    assert!(
+        speedup_at_max_threads >= 5.0,
+        "group commit speedup {speedup_at_max_threads:.1}x below the 5x acceptance gate"
+    );
+}

@@ -39,10 +39,11 @@ fn main() {
     println!("{{");
     println!(
         "  \"sim_{scenarios}seeds\": {{ \"scenarios\": {scenarios}, \"steps\": {}, \
-\"mid_cp_crashes\": {}, \"torn_pages\": {}, \"lost_pages\": {}, \
+\"mid_cp_crashes\": {}, \"mid_commit_crashes\": {}, \"torn_pages\": {}, \"lost_pages\": {}, \
 \"wall_ms\": {:.1}, \"scenarios_per_sec\": {:.1} }}",
         report.total_steps(),
         report.mid_cp_crashes(),
+        report.mid_commit_crashes(),
         report.torn_pages(),
         report.lost_pages(),
         wall_ns as f64 / 1e6,

@@ -36,10 +36,12 @@ pub const SUPERBLOCK_PAGES: [PageNo; 2] = [0, 1];
 pub const FIRST_DATA_PAGE: PageNo = 2;
 
 const MAGIC: &[u8; 8] = b"BKLGSUPR";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 /// magic(8) + checksum(8) + version(4) + generation(8) + manifest_file(8) +
-/// manifest_len_bytes(8) + next_file(8) + next_page(8) + extent_count(4).
-const HEADER_LEN: usize = 8 + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 4;
+/// manifest_len_bytes(8) + next_file(8) + next_page(8) + journal_file(8) +
+/// journal_start(8) + journal_pages(8) + journal_tail_page(8) +
+/// journal_tail_seq(8) + extent_count(4).
+const HEADER_LEN: usize = 8 + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 4;
 /// How many manifest extents fit in one superblock page.
 pub const MAX_MANIFEST_EXTENTS: usize = (PAGE_SIZE - HEADER_LEN) / 16;
 
@@ -75,6 +77,21 @@ pub struct Superblock {
     /// the manifest pages were written, so every referenced extent lies
     /// below it).
     pub next_page: PageNo,
+    /// Virtual-file id of the on-device journal ring, re-registered on
+    /// restore so its pages are never reallocated. Meaningful only when
+    /// `journal_pages` is non-zero.
+    pub journal_file: u64,
+    /// First device page of the journal ring's single extent.
+    pub journal_start: PageNo,
+    /// Length of the journal ring in pages; zero means this database has no
+    /// on-device journal.
+    pub journal_pages: u64,
+    /// Ring-relative page offset of the journal tail (the oldest live group)
+    /// as of this CP. Recovery scans forward from here.
+    pub journal_tail_page: u64,
+    /// Sequence number the group at `journal_tail_page` must carry; the scan
+    /// stops at the first group that breaks the contiguous sequence chain.
+    pub journal_tail_seq: u64,
     /// Raw device extents of the manifest file, in file order.
     pub manifest_extents: Vec<(PageNo, u64)>,
 }
@@ -104,7 +121,12 @@ impl Superblock {
         buf[36..44].copy_from_slice(&self.manifest_len_bytes.to_be_bytes());
         buf[44..52].copy_from_slice(&self.next_file.to_be_bytes());
         buf[52..60].copy_from_slice(&self.next_page.to_be_bytes());
-        buf[60..64].copy_from_slice(&(self.manifest_extents.len() as u32).to_be_bytes());
+        buf[60..68].copy_from_slice(&self.journal_file.to_be_bytes());
+        buf[68..76].copy_from_slice(&self.journal_start.to_be_bytes());
+        buf[76..84].copy_from_slice(&self.journal_pages.to_be_bytes());
+        buf[84..92].copy_from_slice(&self.journal_tail_page.to_be_bytes());
+        buf[92..100].copy_from_slice(&self.journal_tail_seq.to_be_bytes());
+        buf[100..104].copy_from_slice(&(self.manifest_extents.len() as u32).to_be_bytes());
         let mut at = HEADER_LEN;
         for &(start, len) in &self.manifest_extents {
             buf[at..at + 8].copy_from_slice(&start.to_be_bytes());
@@ -129,7 +151,7 @@ impl Superblock {
         if u32::from_be_bytes(buf[16..20].try_into().unwrap()) != VERSION {
             return None;
         }
-        let extent_count = u32::from_be_bytes(buf[60..64].try_into().unwrap()) as usize;
+        let extent_count = u32::from_be_bytes(buf[100..104].try_into().unwrap()) as usize;
         if extent_count > MAX_MANIFEST_EXTENTS {
             return None;
         }
@@ -148,6 +170,11 @@ impl Superblock {
             manifest_len_bytes: u64::from_be_bytes(buf[36..44].try_into().unwrap()),
             next_file: u64::from_be_bytes(buf[44..52].try_into().unwrap()),
             next_page: u64::from_be_bytes(buf[52..60].try_into().unwrap()),
+            journal_file: u64::from_be_bytes(buf[60..68].try_into().unwrap()),
+            journal_start: u64::from_be_bytes(buf[68..76].try_into().unwrap()),
+            journal_pages: u64::from_be_bytes(buf[76..84].try_into().unwrap()),
+            journal_tail_page: u64::from_be_bytes(buf[84..92].try_into().unwrap()),
+            journal_tail_seq: u64::from_be_bytes(buf[92..100].try_into().unwrap()),
             manifest_extents: extents,
         })
     }
@@ -204,6 +231,11 @@ mod tests {
             manifest_len_bytes: 12_345,
             next_file: 8,
             next_page: 99,
+            journal_file: 3,
+            journal_start: 40,
+            journal_pages: 16,
+            journal_tail_page: 5,
+            journal_tail_seq: 11,
             manifest_extents: vec![(2, 3), (10, 1)],
         }
     }

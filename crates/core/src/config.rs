@@ -18,22 +18,36 @@ pub struct BacklogConfig {
     /// per-partition run builds onto (1 = flush partitions inline on the
     /// calling thread, the deterministic default).
     pub cp_flush_threads: usize,
-    /// Whether the engine journals every reference callback (the paper's
-    /// NVRAM / file-system-journal mirror): each `add_reference` /
-    /// `remove_reference` appends a [`JournalEntry`](crate::JournalEntry),
-    /// the journal is truncated at every durable consistency point, and
-    /// after a crash [`replay_journal`](crate::replay_journal) reconstructs
-    /// the write-store contents the crash destroyed. Off by default — the
-    /// journal models hardware the host may not have.
+    /// Whether the engine journals every reference callback: each
+    /// `add_reference` / `remove_reference` appends a
+    /// [`JournalEntry`](crate::JournalEntry), and after a crash the
+    /// surviving entries reconstruct the write-store contents the crash
+    /// destroyed. Durable engines persist the journal to an on-device ring
+    /// (group commit; recovered by `BacklogEngine::open` +
+    /// `replay_recovered_journal` with no host assistance); non-durable
+    /// engines keep the paper's in-memory NVRAM model, replayed via
+    /// [`replay_journal`](crate::replay_journal). Off by default.
     ///
-    /// Journal-*exact* recovery assumes the host fences reference callbacks
-    /// around `consistency_point` (none in flight across the CP boundary),
-    /// exactly as the engine already requires for CP-interval attribution
-    /// and as a real write-anywhere file system quiesces operations at a
-    /// CP. An unfenced callback preempted between its journal append and
-    /// its write-store insert for the entire CP could have its entry
-    /// truncated while its record is still volatile.
+    /// Entries are appended inside the shard critical section that
+    /// publishes their records and truncated one CP late, so replay stays
+    /// airtight even for unfenced callbacks in flight across the CP
+    /// boundary — an entry can never be truncated while its record is still
+    /// volatile.
     pub journaling: bool,
+    /// Pending journal entries that trigger an automatic group commit of
+    /// the on-device ring — the staleness/throughput knob: each commit
+    /// coalesces the pending segment into page-aligned group writes behind
+    /// **one** flush barrier, so larger groups amortize the barrier over
+    /// more callbacks at the cost of more acknowledged-but-volatile
+    /// entries between commits. 0 disables auto-commit (the ring then
+    /// commits only on explicit `journal_sync` calls and rides CP flushes).
+    pub journal_group_size: usize,
+    /// Capacity of the on-device journal ring in pages, reserved as one
+    /// contiguous extent at `create_durable`. The ring must hold every
+    /// group since the one-CP-late truncation tail; a full ring fails
+    /// `journal_sync` with `JournalFull` until a consistency point
+    /// advances the tail.
+    pub journal_ring_pages: u64,
 }
 
 impl Default for BacklogConfig {
@@ -50,6 +64,8 @@ impl Default for BacklogConfig {
             track_timing: true,
             cp_flush_threads: 1,
             journaling: false,
+            journal_group_size: 64,
+            journal_ring_pages: 256,
         }
     }
 }
@@ -83,6 +99,21 @@ impl BacklogConfig {
         self.journaling = true;
         self
     }
+
+    /// Sets the auto-group-commit threshold of the on-device journal ring
+    /// (see [`journal_group_size`](Self::journal_group_size); 0 disables
+    /// auto-commit).
+    pub fn with_journal_group_size(mut self, entries: usize) -> Self {
+        self.journal_group_size = entries;
+        self
+    }
+
+    /// Sets the on-device journal ring's capacity in pages (clamped to at
+    /// least 1; see [`journal_ring_pages`](Self::journal_ring_pages)).
+    pub fn with_journal_ring_pages(mut self, pages: u64) -> Self {
+        self.journal_ring_pages = pages.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +129,24 @@ mod tests {
         assert!(c.track_timing);
         assert_eq!(c.cp_flush_threads, 1);
         assert!(!c.journaling);
+        assert_eq!(c.journal_group_size, 64);
+        assert_eq!(c.journal_ring_pages, 256);
         assert!(BacklogConfig::default().with_journaling().journaling);
+    }
+
+    #[test]
+    fn journal_builders() {
+        let c = BacklogConfig::default()
+            .with_journal_group_size(0)
+            .with_journal_ring_pages(0);
+        assert_eq!(c.journal_group_size, 0);
+        assert_eq!(c.journal_ring_pages, 1);
+        assert_eq!(
+            BacklogConfig::default()
+                .with_journal_ring_pages(512)
+                .journal_ring_pages,
+            512
+        );
     }
 
     #[test]

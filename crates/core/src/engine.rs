@@ -13,7 +13,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::batch::{RefOp, WriteBatch};
 use crate::config::BacklogConfig;
 use crate::error::{BacklogError, Result};
-use crate::journal::Journal;
+use crate::journal::{Journal, JournalEntry, JournalRing, JournalRingStats};
 use crate::lineage::LineageTable;
 use crate::maintenance::{join_and_purge_streaming, reference, JoinPurgeStats};
 use crate::manifest::{self, ManifestTables};
@@ -77,13 +77,20 @@ use crate::types::{BlockNo, CpNumber, LineId, Owner, SnapshotId};
 /// superblock at fixed device pages — after which the database can be
 /// reopened from raw device contents at exactly that CP. Updates after the
 /// last durable CP live only in the write stores; with
-/// [`BacklogConfig::journaling`] the engine mirrors them into a
-/// [`Journal`] that [`replay_journal`](crate::replay_journal) re-applies
-/// after reopening. Journal-exact recovery assumes the host fences
-/// callbacks around the CP boundary, the same precondition CP-interval
-/// attribution already carries (see [`BacklogConfig::journaling`]). See
-/// the README's "Durability & recovery" section for the full protocol and
-/// its invariants.
+/// [`BacklogConfig::journaling`] a durable engine additionally logs every
+/// callback to an on-device [`JournalRing`] (group commit, one flush
+/// barrier per group) whose location the superblock records, so
+/// [`open`](Self::open) recovers acknowledged callbacks from raw device
+/// contents alone and [`replay_recovered_journal`]
+/// (Self::replay_recovered_journal) re-applies them once the host has
+/// restored its lineage metadata. Non-durable engines keep the paper's
+/// host-memory NVRAM model ([`Journal`] +
+/// [`replay_journal`](crate::replay_journal)). Entries are logged inside
+/// the shard critical section that publishes their records and truncated
+/// one CP late, so replay is airtight even for callbacks racing the CP
+/// boundary. See the README's "Durability & recovery" and "On-device
+/// journal & group commit" sections for the full protocol and its
+/// invariants.
 ///
 /// # Example
 ///
@@ -140,12 +147,48 @@ pub struct BacklogEngine {
     /// flips the superblock (engines created via
     /// [`create_durable`](Self::create_durable) or [`open`](Self::open)).
     durable: bool,
-    /// The journal of reference callbacks since the last durable CP, when
-    /// [`BacklogConfig::journaling`] is enabled (the paper's NVRAM mirror).
-    journal: Option<Mutex<Journal>>,
+    /// The journal of reference callbacks, when journaling is active: an
+    /// in-memory [`Journal`] (the paper's NVRAM mirror) for non-durable
+    /// engines, an on-device [`JournalRing`] for durable ones.
+    journal: Option<EngineJournal>,
+    /// Entries a ring scan recovered during [`open`](Self::open), waiting
+    /// for [`replay_recovered_journal`](Self::replay_recovered_journal)
+    /// (the host must restore its snapshot/clone metadata first, because
+    /// replay consults the lineage).
+    recovered_journal: Mutex<Option<RecoveredJournal>>,
     /// Per-shard replicas of the current CP number, so the scalar callback
     /// path stamps records without touching the lineage read-lock at all.
     cp_cache: CpCache,
+}
+
+/// Which journal backend this engine logs callbacks to.
+#[derive(Debug)]
+enum EngineJournal {
+    /// Host-memory journal (the NVRAM model); survives only if the host
+    /// keeps the bytes alive across the crash.
+    Memory(Mutex<Journal>),
+    /// On-device group-commit ring; survives a power cut on its own.
+    Ring(JournalRing),
+}
+
+/// Entries recovered from the on-device ring at open, stashed until the
+/// host asks for replay.
+#[derive(Debug)]
+struct RecoveredJournal {
+    entries: Vec<JournalEntry>,
+    last_lsn: u64,
+}
+
+/// What [`BacklogEngine::replay_recovered_journal`] found and applied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalRecovery {
+    /// Entries the ring scan recovered from the device.
+    pub recovered: usize,
+    /// Entries actually applied (the rest were already durable in runs).
+    pub applied: usize,
+    /// LSN of the newest recovered entry (0 if none). Every entry the
+    /// engine ever acknowledged as durable has an LSN at or below this.
+    pub last_lsn: u64,
 }
 
 /// Per-shard cache of the global CP number. Callbacks read the replica of
@@ -239,6 +282,23 @@ impl Counters {
     }
 }
 
+/// Reserves the on-device journal ring: one contiguous extent in a virtual
+/// file that is never appended to — the ring writes raw pages straight
+/// through the device inside the reservation, and the file registration
+/// only keeps those pages out of the allocator.
+fn reserve_journal_ring(files: &Arc<FileStore>, config: &BacklogConfig) -> Result<JournalRing> {
+    let pages = config.journal_ring_pages.max(1);
+    let id = files.create_reserved(pages)?.id();
+    let start = files.file_meta(id)?.extents[0].0;
+    Ok(JournalRing::new(
+        files.device().clone(),
+        id,
+        start,
+        pages,
+        config.journal_group_size,
+    ))
+}
+
 impl BacklogEngine {
     /// Creates an engine whose tables live in `files`.
     pub fn new(files: Arc<FileStore>, config: BacklogConfig) -> Self {
@@ -266,7 +326,9 @@ impl BacklogEngine {
         let rebuild_locks = (0..config.partitioning.partition_count())
             .map(|_| Mutex::new(()))
             .collect();
-        let journal = config.journaling.then(|| Mutex::new(Journal::new()));
+        let journal = config
+            .journaling
+            .then(|| EngineJournal::Memory(Mutex::new(Journal::new())));
         let cp_cache = CpCache::new(config.partitioning.partition_count(), 1);
         BacklogEngine {
             files,
@@ -282,6 +344,7 @@ impl BacklogEngine {
             counters: Counters::default(),
             durable: false,
             journal,
+            recovered_journal: Mutex::new(None),
             cp_cache,
         }
     }
@@ -311,6 +374,15 @@ impl BacklogEngine {
         files.set_deferred_frees(true);
         let mut engine = Self::new(files, config);
         engine.durable = true;
+        if engine.config.journaling {
+            // Durable + journaling: the journal lives on the device, in a
+            // reserved single-extent ring whose location every superblock
+            // records — recovery needs no help from the host.
+            engine.journal = Some(EngineJournal::Ring(reserve_journal_ring(
+                &engine.files,
+                &engine.config,
+            )?));
+        }
         let lineage = engine.lineage.read().clone();
         let stats = engine.stats();
         {
@@ -376,6 +448,17 @@ impl BacklogEngine {
             len_pages: sb.manifest_extents.iter().map(|&(_, len)| len).sum(),
             len_bytes: sb.manifest_len_bytes,
         });
+        // Likewise the journal ring (the manifest only lists files that run
+        // metadata references): re-registering its extent keeps the ring's
+        // pages out of the allocator forever.
+        if sb.journal_pages > 0 {
+            files_list.push(PersistedFile {
+                id: FileId(sb.journal_file),
+                extents: vec![(sb.journal_start, sb.journal_pages)],
+                len_pages: sb.journal_pages,
+                len_bytes: sb.journal_pages * PAGE_SIZE as u64,
+            });
+        }
         let files = Arc::new(
             FileStore::restore(
                 device,
@@ -416,7 +499,36 @@ impl BacklogEngine {
         let rebuild_locks = (0..config.partitioning.partition_count())
             .map(|_| Mutex::new(()))
             .collect();
-        let journal = config.journaling.then(|| Mutex::new(Journal::new()));
+        // A ring recorded in the superblock is authoritative: its groups are
+        // scanned from the recorded tail and stashed for
+        // `replay_recovered_journal`, and the engine keeps journaling into
+        // it whatever `config.journaling` says (the device demands its
+        // maintenance). A journaling engine opened on a pre-ring device
+        // reserves a ring now; it becomes crash-findable at the next CP.
+        let (journal, recovered) = if sb.journal_pages > 0 {
+            let rec = JournalRing::recover(
+                files.device().clone(),
+                FileId(sb.journal_file),
+                sb.journal_start,
+                sb.journal_pages,
+                config.journal_group_size,
+                sb.journal_tail_page,
+                sb.journal_tail_seq,
+            )
+            .map_err(|e| stage("journal ring scan", e))?;
+            (
+                Some(EngineJournal::Ring(rec.ring)),
+                Some(RecoveredJournal {
+                    entries: rec.entries,
+                    last_lsn: rec.last_lsn,
+                }),
+            )
+        } else if config.journaling {
+            let ring = reserve_journal_ring(&files, &config)?;
+            (Some(EngineJournal::Ring(ring)), None)
+        } else {
+            (None, None)
+        };
         let cp_cache = CpCache::new(
             config.partitioning.partition_count(),
             m.lineage.current_cp(),
@@ -443,6 +555,7 @@ impl BacklogEngine {
             relocate_lock: Mutex::new(()),
             durable: true,
             journal,
+            recovered_journal: Mutex::new(recovered),
             cp_cache,
         })
     }
@@ -462,8 +575,36 @@ impl BacklogEngine {
         journal: &Journal,
     ) -> Result<(Self, usize)> {
         let engine = Self::open(device, config)?;
-        let applied = crate::journal::replay(&engine, journal);
+        let applied = crate::journal::replay(&engine, journal)?;
         Ok((engine, applied))
+    }
+
+    /// Replays the journal entries a ring scan recovered during
+    /// [`open`](Self::open), reconstructing the write-store contents the
+    /// crash destroyed — the on-device counterpart of
+    /// [`open_with_journal`](Self::open_with_journal), needing no bytes
+    /// from the host. Call it *after* restoring host-side snapshot/clone
+    /// metadata: replay consults the lineage to reconcile entries of the
+    /// boundary CP interval (see [`replay_journal`](crate::replay_journal)).
+    /// Idempotent — a second call finds nothing to do.
+    ///
+    /// # Errors
+    ///
+    /// Propagates query errors from the boundary-interval reconciliation.
+    pub fn replay_recovered_journal(&self) -> Result<JournalRecovery> {
+        let stash = self.recovered_journal.lock().take();
+        match stash {
+            None => Ok(JournalRecovery::default()),
+            Some(stash) => {
+                let journal = Journal::from_entries(stash.entries);
+                let applied = crate::journal::replay(self, &journal)?;
+                Ok(JournalRecovery {
+                    recovered: journal.len(),
+                    applied,
+                    last_lsn: stash.last_lsn,
+                })
+            }
+        }
     }
 
     /// The configuration this engine was created with.
@@ -542,25 +683,51 @@ impl BacklogEngine {
     pub fn add_reference(&self, block: BlockNo, owner: Owner) {
         let start = self.now();
         let identity = RefIdentity::new(block, owner);
-        // The CP stamp comes from the touched partition's replica of the CP
-        // clock — the scalar callback path takes no lineage lock at all.
-        let cp = self
-            .cp_cache
-            .read(self.config.partitioning.partition_of(block));
+        let pidx = self.config.partitioning.partition_of(block);
+        let pruned;
+        let mut want_commit = false;
         if let Some(journal) = &self.journal {
-            journal.lock().log_add(block, owner, cp);
+            // Journaling logs *inside* the shard critical section: the CP
+            // stamp read, the journal append and the write-store mutation
+            // are atomic with respect to a CP flush draining this shard, so
+            // an entry stamped `c` reaches runs no later than CP `c + 1` —
+            // exactly what the one-CP-late truncation assumes, even for
+            // unfenced concurrent callbacks. Guard order (From then To)
+            // matches `apply`.
+            let mut from = self.from_table.ws_shard(pidx);
+            let mut to = self.to_table.ws_shard(pidx);
+            let cp = self.cp_cache.read(pidx);
+            match journal {
+                EngineJournal::Memory(j) => j.lock().log_add(block, owner, cp),
+                EngineJournal::Ring(r) => {
+                    want_commit = r.append(JournalEntry::Add { block, owner, cp }).1;
+                }
+            }
+            // Proactive pruning: if the same reference was removed earlier
+            // in this CP interval, its To record is still in the write
+            // store; removing it splices the two lifetimes back together.
+            pruned = to.remove(&ToRecord::new(identity, cp));
+            if !pruned {
+                from.insert(FromRecord::new(identity, cp));
+            }
+        } else {
+            // The CP stamp comes from the touched partition's replica of
+            // the CP clock — the scalar callback path takes no lineage
+            // lock at all.
+            let cp = self.cp_cache.read(pidx);
+            pruned = self.to_table.ws_remove(&ToRecord::new(identity, cp));
+            if !pruned {
+                self.from_table.insert(FromRecord::new(identity, cp));
+            }
         }
-        // Proactive pruning: if the same reference was removed earlier in
-        // this CP interval, its To record is still in the write store;
-        // removing it splices the two lifetimes back together.
-        let pruned = self.to_table.ws_remove(&ToRecord::new(identity, cp));
         if pruned {
             self.counters.pruned_adds.fetch_add(1, Ordering::Relaxed);
             self.counters.pruned_removes.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.from_table.insert(FromRecord::new(identity, cp));
         }
         self.counters.refs_added.fetch_add(1, Ordering::Relaxed);
+        if want_commit {
+            self.auto_commit();
+        }
         let ns = self.elapsed_ns(start);
         if ns != 0 {
             self.counters.callback_ns.fetch_add(ns, Ordering::Relaxed);
@@ -575,22 +742,41 @@ impl BacklogEngine {
     pub fn remove_reference(&self, block: BlockNo, owner: Owner) {
         let start = self.now();
         let identity = RefIdentity::new(block, owner);
-        let cp = self
-            .cp_cache
-            .read(self.config.partitioning.partition_of(block));
+        let pidx = self.config.partitioning.partition_of(block);
+        let pruned;
+        let mut want_commit = false;
         if let Some(journal) = &self.journal {
-            journal.lock().log_remove(block, owner, cp);
+            // Same critical-section discipline as `add_reference`.
+            let mut from = self.from_table.ws_shard(pidx);
+            let mut to = self.to_table.ws_shard(pidx);
+            let cp = self.cp_cache.read(pidx);
+            match journal {
+                EngineJournal::Memory(j) => j.lock().log_remove(block, owner, cp),
+                EngineJournal::Ring(r) => {
+                    want_commit = r.append(JournalEntry::Remove { block, owner, cp }).1;
+                }
+            }
+            // Proactive pruning: a reference added and removed within the
+            // same CP interval never needs to reach disk.
+            pruned = from.remove(&FromRecord::new(identity, cp));
+            if !pruned {
+                to.insert(ToRecord::new(identity, cp));
+            }
+        } else {
+            let cp = self.cp_cache.read(pidx);
+            pruned = self.from_table.ws_remove(&FromRecord::new(identity, cp));
+            if !pruned {
+                self.to_table.insert(ToRecord::new(identity, cp));
+            }
         }
-        // Proactive pruning: a reference added and removed within the same CP
-        // interval never needs to reach disk.
-        let pruned = self.from_table.ws_remove(&FromRecord::new(identity, cp));
         if pruned {
             self.counters.pruned_adds.fetch_add(1, Ordering::Relaxed);
             self.counters.pruned_removes.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.to_table.insert(ToRecord::new(identity, cp));
         }
         self.counters.refs_removed.fetch_add(1, Ordering::Relaxed);
+        if want_commit {
+            self.auto_commit();
+        }
         let ns = self.elapsed_ns(start);
         if ns != 0 {
             self.counters.callback_ns.fetch_add(ns, Ordering::Relaxed);
@@ -613,24 +799,40 @@ impl BacklogEngine {
             return;
         }
         let start = self.now();
-        // One CP-replica read stamps the whole batch (every replica holds
-        // the same value; shard 0 is as good as any).
-        let cp = self.cp_cache.read(0);
-        if let Some(journal) = &self.journal {
-            let mut journal = journal.lock();
-            for op in batch.ops() {
-                match *op {
-                    RefOp::Add { block, owner } => journal.log_add(block, owner, cp),
-                    RefOp::Remove { block, owner } => journal.log_remove(block, owner, cp),
-                }
-            }
-        }
         let mut adds = 0u64;
         let mut removes = 0u64;
         let mut pruned = 0u64;
+        let mut want_commit = false;
         let mut apply_group = |pidx: u32, ops: &[RefOp]| {
             let mut from = self.from_table.ws_shard(pidx);
             let mut to = self.to_table.ws_shard(pidx);
+            // The group's CP stamp is read under its shard guards, and the
+            // group is journaled there too — the same critical-section
+            // discipline as the scalar callbacks, amortized per group.
+            let cp = self.cp_cache.read(pidx);
+            match &self.journal {
+                Some(EngineJournal::Memory(j)) => {
+                    let mut j = j.lock();
+                    for op in ops {
+                        match *op {
+                            RefOp::Add { block, owner } => j.log_add(block, owner, cp),
+                            RefOp::Remove { block, owner } => j.log_remove(block, owner, cp),
+                        }
+                    }
+                }
+                Some(EngineJournal::Ring(r)) => {
+                    for op in ops {
+                        let entry = match *op {
+                            RefOp::Add { block, owner } => JournalEntry::Add { block, owner, cp },
+                            RefOp::Remove { block, owner } => {
+                                JournalEntry::Remove { block, owner, cp }
+                            }
+                        };
+                        want_commit |= r.append(entry).1;
+                    }
+                }
+                None => {}
+            }
             for op in ops {
                 match *op {
                     RefOp::Add { block, owner } => {
@@ -682,9 +884,23 @@ impl BacklogEngine {
                 .pruned_removes
                 .fetch_add(pruned, Ordering::Relaxed);
         }
+        if want_commit {
+            self.auto_commit();
+        }
         let ns = self.elapsed_ns(start);
         if ns != 0 {
             self.counters.callback_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Opportunistic group commit once the pending segment reaches
+    /// [`BacklogConfig::journal_group_size`]. Errors are swallowed — the
+    /// entries stay pending and durability is only ever *claimed* by
+    /// [`journal_sync`](Self::journal_sync) or a consistency point, both of
+    /// which surface failures.
+    fn auto_commit(&self) {
+        if let Some(EngineJournal::Ring(ring)) = &self.journal {
+            let _ = ring.sync();
         }
     }
 
@@ -823,12 +1039,13 @@ impl BacklogEngine {
             let next = lineage.advance_cp();
             self.cp_cache.publish(next);
         }
-        // The interval's operations are durable (or, for a non-durable
-        // engine, as durable as they will get): the journal no longer needs
-        // them. Entries stamped with the next CP — callbacks that raced the
-        // flush — survive the truncation.
-        if let Some(journal) = &self.journal {
-            journal.lock().truncate_through(cp);
+        // Truncate one CP late: entries stamped `cp` itself may belong to
+        // callbacks that raced this flush and whose records are buffered for
+        // the *next* CP, so only intervals through `cp - 1` — which the
+        // previous CP's flush provably covered — are dropped. The ring's
+        // truncation committed inside `write_durable_cp`, after the flip.
+        if let Some(EngineJournal::Memory(journal)) = &self.journal {
+            journal.lock().truncate_through(cp.saturating_sub(1));
         }
         self.counters
             .consistency_points
@@ -961,12 +1178,32 @@ impl BacklogEngine {
         // and extent the manifest (or the superblock) references lies below
         // it — the restore-time free-space computation depends on this.
         let (next_file, next_page) = self.files.alloc_cursor();
+        // The journal ring's one-CP-late truncation target. `lineage` holds
+        // the advanced clock (for the initial CP of `create_durable`, the
+        // unadvanced clock 1), so `current_cp - 2` is the newest interval
+        // whose entries the *previous* CP's flush provably covered — the
+        // superblock's tail is the truncation record, atomic with the flip.
+        let journal_through = lineage.current_cp().saturating_sub(2);
+        let (journal_file, journal_start, journal_pages, journal_tail) = match &self.journal {
+            Some(EngineJournal::Ring(ring)) => (
+                ring.file_id().0,
+                ring.start_page(),
+                ring.ring_pages(),
+                ring.prepare_truncate(journal_through),
+            ),
+            _ => (0, 0, 0, (0, 0)),
+        };
         let sb = Superblock {
             generation: interval.sb_generation + 1,
             manifest_file: mid.0,
             manifest_len_bytes: blob.len() as u64,
             next_file,
             next_page,
+            journal_file,
+            journal_start,
+            journal_pages,
+            journal_tail_page: journal_tail.0,
+            journal_tail_seq: journal_tail.1,
             manifest_extents: extents,
         };
         // THE pre-flip barrier: every page this CP wrote — all three tables'
@@ -997,6 +1234,12 @@ impl BacklogEngine {
             let _ = self.files.delete(old);
         }
         self.files.commit_frees();
+        // The flip carried the ring's truncation record; only now may the
+        // in-memory tail advance past the dropped groups (an aborted CP
+        // above leaves the journal exactly as it was).
+        if let Some(EngineJournal::Ring(ring)) = &self.journal {
+            ring.commit_truncate(journal_through);
+        }
         Ok(())
     }
 
@@ -1013,11 +1256,53 @@ impl BacklogEngine {
         self.cp_lock.lock().sb_generation
     }
 
-    /// A point-in-time copy of the reference-callback journal — what the
-    /// host would read back from NVRAM after a crash — or `None` when
-    /// [`BacklogConfig::journaling`] is disabled.
+    /// A point-in-time copy of the *in-memory* reference-callback journal —
+    /// what the host would read back from NVRAM after a crash. `None` when
+    /// journaling is disabled **or** when the journal lives in the on-device
+    /// ring (durable engines): a ring engine recovers its journal from raw
+    /// device contents via [`open`](Self::open) +
+    /// [`replay_recovered_journal`](Self::replay_recovered_journal), with no
+    /// host-kept bytes.
     pub fn journal_snapshot(&self) -> Option<Journal> {
-        self.journal.as_ref().map(|j| j.lock().clone())
+        match &self.journal {
+            Some(EngineJournal::Memory(j)) => Some(j.lock().clone()),
+            _ => None,
+        }
+    }
+
+    /// Group-commits every pending journal entry to the on-device ring and
+    /// returns the durable LSN frontier — every entry whose LSN (as handed
+    /// out by the callback's append) is at or below it will survive a power
+    /// cut. Concurrent callers coalesce onto one flush barrier. Returns 0
+    /// for engines without a ring (their durability unit is the CP).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BacklogError::JournalFull`] and device write errors; no
+    /// entry is acknowledged or lost on failure, and the sync can be
+    /// retried.
+    pub fn journal_sync(&self) -> Result<u64> {
+        match &self.journal {
+            Some(EngineJournal::Ring(ring)) => ring.sync(),
+            _ => Ok(0),
+        }
+    }
+
+    /// The on-device ring's durable LSN frontier (0 without a ring).
+    pub fn journal_durable_lsn(&self) -> u64 {
+        match &self.journal {
+            Some(EngineJournal::Ring(ring)) => ring.durable_lsn(),
+            _ => 0,
+        }
+    }
+
+    /// A point-in-time view of the on-device journal ring's internals, or
+    /// `None` for engines without a ring.
+    pub fn journal_ring_stats(&self) -> Option<JournalRingStats> {
+        match &self.journal {
+            Some(EngineJournal::Ring(ring)) => Some(ring.stats()),
+            _ => None,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1769,17 +2054,54 @@ mod tests {
         let j = e.journal_snapshot().unwrap();
         assert_eq!(j.len(), 3);
         assert!(j.entries().iter().all(|entry| entry.cp() == 1));
+        // Truncation is one CP late: entries stamped `cp` outlive the CP
+        // that flushed them and are dropped only by the next one, so a crash
+        // mid-flip can never orphan a volatile record.
         e.consistency_point().unwrap();
-        assert!(e.journal_snapshot().unwrap().is_empty(), "truncated at CP");
+        let j = e.journal_snapshot().unwrap();
+        assert_eq!(j.len(), 3, "interval-1 entries survive their own CP");
         // Post-CP entries carry the new CP number.
         e.add_reference(4, owner);
         let j = e.journal_snapshot().unwrap();
+        assert_eq!(j.entries()[3].cp(), 2);
+        e.consistency_point().unwrap();
+        let j = e.journal_snapshot().unwrap();
+        assert_eq!(j.len(), 1, "second CP drops interval-1 entries only");
         assert_eq!(j.entries()[0].cp(), 2);
         // Journaling off: no journal at all.
         let plain = engine();
         assert!(plain.journal_snapshot().is_none());
         assert!(!plain.is_durable());
         assert_eq!(plain.superblock_generation(), 0);
+    }
+
+    #[test]
+    fn durable_engine_auto_commits_journal_groups() {
+        let device = SimDisk::new_shared(DeviceConfig::free_latency());
+        let config = BacklogConfig::default()
+            .without_timing()
+            .with_journaling()
+            .with_journal_group_size(2);
+        let e = BacklogEngine::create_durable(device, config).unwrap();
+        assert!(e.journal_snapshot().is_none(), "ring, not host memory");
+        let o = |i| Owner::block(1, i, LineId::ROOT);
+        e.add_reference(1, o(0));
+        assert_eq!(e.journal_durable_lsn(), 0, "below the group threshold");
+        e.add_reference(2, o(1));
+        assert_eq!(e.journal_durable_lsn(), 2, "group committed at threshold");
+        // The batched path coalesces its appends into one commit as well —
+        // including the entries of a proactively pruned pair, which are
+        // journaled like any other callback.
+        let mut batch = WriteBatch::new();
+        batch.add_reference(3, o(2));
+        batch.add_reference(4, o(3));
+        batch.remove_reference(4, o(3));
+        e.apply(&batch);
+        assert_eq!(e.journal_durable_lsn(), 5, "batch path auto-commits too");
+        let stats = e.journal_ring_stats().unwrap();
+        assert_eq!(stats.durable_lsn, 5);
+        assert_eq!(stats.appended_lsn, 5);
+        assert_eq!(e.journal_sync().unwrap(), 5, "fence finds nothing pending");
     }
 
     #[test]

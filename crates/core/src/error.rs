@@ -27,6 +27,16 @@ pub enum BacklogError {
         /// Human-readable description of what was found.
         detail: String,
     },
+    /// The on-device journal ring has no room for the pending group: the
+    /// untruncated region (everything newer than the one-CP-late tail) plus
+    /// the pending entries exceed the ring. Take a consistency point (which
+    /// advances the tail) or grow `journal_ring_pages`.
+    JournalFull {
+        /// Ring capacity in pages.
+        ring_pages: u64,
+        /// Pages the pending group would need on top of the live region.
+        needed_pages: u64,
+    },
 }
 
 impl fmt::Display for BacklogError {
@@ -41,6 +51,17 @@ impl fmt::Display for BacklogError {
             }
             BacklogError::Recovery { detail } => {
                 write!(f, "crash recovery failed: {detail}")
+            }
+            BacklogError::JournalFull {
+                ring_pages,
+                needed_pages,
+            } => {
+                write!(
+                    f,
+                    "journal ring full: group needs {needed_pages} more pages \
+                     than the {ring_pages}-page ring can hold before the next \
+                     consistency point"
+                )
             }
         }
     }

@@ -4,18 +4,40 @@
 //! system: at every consistency point the write stores are written to new
 //! read-store runs *before* the CP is declared complete, so after a crash the
 //! on-disk database is exactly the state as of the last complete CP. Updates
-//! that arrived after that CP live only in the in-memory write stores — and,
-//! if the file system keeps a journal (disk or NVRAM), they can be rebuilt by
-//! replaying that journal alongside the rest of the file-system state.
+//! that arrived after that CP live only in the in-memory write stores — and
+//! in the journal, from which they are rebuilt by replaying the surviving
+//! entries with [`replay`].
 //!
-//! This module provides that journal: the host file system appends one
-//! [`JournalEntry`] per reference callback, truncates the journal at every
-//! consistency point, and after a crash feeds the surviving entries to
-//! [`replay`] to reconstruct the write-store contents. The entries use the
-//! same fixed-width encoding as the on-disk records so a journal page holds a
-//! predictable number of entries.
+//! Two journal backends share the [`JournalEntry`] encoding:
+//!
+//! * [`Journal`] — the original in-memory NVRAM model, still used by
+//!   non-durable (simulated) engines and as the replay container.
+//! * [`JournalRing`] — an on-device ring in a reserved single-extent file
+//!   (BtrLog-style group commit). Callbacks append entries to an in-memory
+//!   segment; [`JournalRing::sync`] coalesces the segment into page-aligned
+//!   *groups*, writes them through the submit/completion API and makes them
+//!   durable with **one** flush barrier, however many callbacks the group
+//!   holds. Each group carries a checksummed, sequence-stamped header, so
+//!   recovery scans forward from the superblock-recorded tail and stops at
+//!   the first group that fails validation — a torn tail can only ever cost
+//!   entries that were never acknowledged as durable, because an
+//!   acknowledged group's barrier also hardened every group before it.
+//!
+//! Truncation is *one CP late*: the consistency point numbered `c` embeds a
+//! tail that drops only groups whose newest entry is stamped `c - 1` or
+//! older. Entries are appended inside the same shard critical section that
+//! publishes their records (see `BacklogEngine`), so an entry stamped `c` is
+//! flushed into runs no later than CP `c + 1` — by the time a group is
+//! truncated, every entry in it is durable in the read stores, even for
+//! unfenced concurrent callbacks. That closes the ordering gap the in-memory
+//! journal used to have.
 
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use blockdev::{fnv1a64, Device, FileId, PageNo, PAGE_SIZE};
 use lsm::Record;
+use parking_lot::Mutex;
 
 use crate::engine::BacklogEngine;
 use crate::error::{BacklogError, Result};
@@ -106,9 +128,10 @@ impl JournalEntry {
     }
 }
 
-/// An in-memory journal of the reference operations of the current CP
-/// interval. A real deployment would mirror these appends to NVRAM or the
-/// file-system journal; the simulator only needs the replay semantics.
+/// An in-memory journal of the reference operations of recent CP intervals.
+/// Non-durable (simulated) engines use it as their NVRAM model; durable
+/// engines persist a [`JournalRing`] instead. It is also the container
+/// [`replay`] consumes.
 #[derive(Debug, Default, Clone)]
 pub struct Journal {
     entries: Vec<JournalEntry>,
@@ -118,6 +141,11 @@ impl Journal {
     /// Creates an empty journal.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wraps already-decoded entries (e.g. the survivors of a ring scan).
+    pub fn from_entries(entries: Vec<JournalEntry>) -> Self {
+        Journal { entries }
     }
 
     /// Records a reference addition.
@@ -130,8 +158,10 @@ impl Journal {
         self.entries.push(JournalEntry::Remove { block, owner, cp });
     }
 
-    /// Drops every entry at or below `cp` — called once the consistency point
-    /// `cp` is durable and the corresponding write-store contents are on disk.
+    /// Drops every entry at or below `cp`. The engine calls this *one CP
+    /// late* (at durable CP `c` it truncates through `c - 1`), so an entry
+    /// is only dropped once the flush that covers its CP interval is known
+    /// durable — see the module docs.
     pub fn truncate_through(&mut self, cp: CpNumber) {
         self.entries.retain(|e| e.cp() > cp);
     }
@@ -183,21 +213,565 @@ impl Journal {
     }
 }
 
+/// Magic bytes opening every group header in the on-device ring.
+const GROUP_MAGIC: &[u8; 8] = b"BKLGJGRP";
+
+/// Byte length of a group header: magic(8) + checksum(8) + seq(8) +
+/// first_lsn(8) + entry_count(4) + reserved(4).
+pub const GROUP_HEADER_LEN: usize = 40;
+
+/// Upper bound on one group's footprint; an oversized pending segment is
+/// split into several sequence-consecutive groups under the same barrier.
+pub const MAX_GROUP_PAGES: u64 = 16;
+
+/// Most entries one group can carry.
+const MAX_GROUP_ENTRIES: usize =
+    (MAX_GROUP_PAGES as usize * PAGE_SIZE - GROUP_HEADER_LEN) / JournalEntry::ENCODED_LEN;
+
+/// Pages one group of `n` entries occupies on the device.
+fn group_pages(n: usize) -> u64 {
+    ((GROUP_HEADER_LEN + n * JournalEntry::ENCODED_LEN) as u64).div_ceil(PAGE_SIZE as u64)
+}
+
+/// Serializes one group (header + entries), zero-padded to whole pages.
+fn encode_group(seq: u64, first_lsn: u64, entries: &[JournalEntry]) -> Vec<u8> {
+    let len = GROUP_HEADER_LEN + entries.len() * JournalEntry::ENCODED_LEN;
+    let mut buf = vec![0u8; len.div_ceil(PAGE_SIZE) * PAGE_SIZE];
+    buf[0..8].copy_from_slice(GROUP_MAGIC);
+    // buf[8..16] is the checksum, filled below.
+    buf[16..24].copy_from_slice(&seq.to_be_bytes());
+    buf[24..32].copy_from_slice(&first_lsn.to_be_bytes());
+    buf[32..36].copy_from_slice(&(entries.len() as u32).to_be_bytes());
+    for (i, e) in entries.iter().enumerate() {
+        let at = GROUP_HEADER_LEN + i * JournalEntry::ENCODED_LEN;
+        e.encode(&mut buf[at..at + JournalEntry::ENCODED_LEN]);
+    }
+    let checksum = fnv1a64(&buf[16..len]);
+    buf[8..16].copy_from_slice(&checksum.to_be_bytes());
+    buf
+}
+
+/// One durable group still live in the ring (not yet truncated).
+#[derive(Debug, Clone, Copy)]
+struct GroupSpan {
+    /// Ring-relative page offset of the group header.
+    offset: u64,
+    /// Pages the group occupies.
+    pages: u64,
+    /// The group's sequence number.
+    seq: u64,
+    /// Newest CP stamp among the group's entries, which decides when the
+    /// one-CP-late truncation may drop it.
+    max_cp: CpNumber,
+}
+
+#[derive(Debug)]
+struct RingState {
+    /// Ring-relative page offset where the next group will be written.
+    head: u64,
+    /// Sequence number the next group will carry.
+    next_seq: u64,
+    /// LSN the next appended entry will be assigned.
+    next_lsn: u64,
+    /// Highest LSN known durable on the device.
+    durable_lsn: u64,
+    /// Entries appended but not yet written to the ring, oldest first.
+    pending: Vec<JournalEntry>,
+    /// Durable groups from oldest (tail) to newest, for space accounting
+    /// and truncation.
+    live: VecDeque<GroupSpan>,
+}
+
+impl RingState {
+    /// Pages between the tail (oldest live group) and the head, including
+    /// any wrap gap that was skipped because a group would not fit at the
+    /// end of the ring.
+    fn used_pages(&self, ring_pages: u64) -> u64 {
+        match self.live.front() {
+            None => 0,
+            Some(front) => {
+                let d = (self.head + ring_pages - front.offset) % ring_pages;
+                if d == 0 {
+                    ring_pages
+                } else {
+                    d
+                }
+            }
+        }
+    }
+}
+
+/// A point-in-time view of the ring's internals, for tests and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalRingStats {
+    /// Ring capacity in pages.
+    pub ring_pages: u64,
+    /// Durable groups not yet truncated.
+    pub live_groups: u64,
+    /// Sequence number the next group will carry (counts every group ever
+    /// committed, so it keeps growing across wrap-arounds).
+    pub next_seq: u64,
+    /// Ring-relative page offset of the next group write.
+    pub head: u64,
+    /// Highest LSN known durable on the device.
+    pub durable_lsn: u64,
+    /// Highest LSN handed out to an appended entry.
+    pub appended_lsn: u64,
+    /// Entries appended but not yet committed to the device.
+    pub pending_entries: usize,
+}
+
+/// What a ring scan found, returned by [`JournalRing::recover`].
+#[derive(Debug)]
+pub struct RecoveredRing {
+    /// The ring, ready for new appends after the recovered groups.
+    pub ring: JournalRing,
+    /// Every entry in the surviving groups, oldest first.
+    pub entries: Vec<JournalEntry>,
+    /// LSN of the newest surviving entry (0 if none survived). Because
+    /// groups are written and validated as prefixes, every acknowledged
+    /// entry — and possibly some never-acknowledged ones — with an LSN at
+    /// or below this survived.
+    pub last_lsn: u64,
+}
+
+/// An on-device journal ring with group commit; see the module docs for the
+/// format and the recovery/truncation protocol.
+#[derive(Debug)]
+pub struct JournalRing {
+    device: Arc<dyn Device>,
+    file: FileId,
+    start: PageNo,
+    pages: u64,
+    /// Pending entries that trigger an automatic commit (0 disables
+    /// auto-commit; someone must call [`sync`](Self::sync)).
+    group_size: usize,
+    /// Serializes committers so groups reach the device in sequence order;
+    /// held across the I/O, *not* while appending.
+    commit_lock: Mutex<()>,
+    state: Mutex<RingState>,
+}
+
+impl JournalRing {
+    /// Wraps a freshly reserved, never-written ring extent.
+    pub fn new(
+        device: Arc<dyn Device>,
+        file: FileId,
+        start: PageNo,
+        pages: u64,
+        group_size: usize,
+    ) -> Self {
+        JournalRing {
+            device,
+            file,
+            start,
+            pages,
+            group_size,
+            commit_lock: Mutex::new(()),
+            state: Mutex::new(RingState {
+                head: 0,
+                next_seq: 1,
+                next_lsn: 1,
+                durable_lsn: 0,
+                pending: Vec::new(),
+                live: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The ring's virtual-file id (recorded in the superblock).
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// First device page of the ring extent.
+    pub fn start_page(&self) -> PageNo {
+        self.start
+    }
+
+    /// Ring capacity in pages.
+    pub fn ring_pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Appends one entry to the pending segment and assigns it an LSN.
+    /// Returns the LSN and whether the segment has reached the group-size
+    /// threshold (the caller should then [`sync`](Self::sync), outside any
+    /// shard critical section).
+    pub fn append(&self, entry: JournalEntry) -> (u64, bool) {
+        let mut st = self.state.lock();
+        let lsn = st.next_lsn;
+        st.next_lsn += 1;
+        st.pending.push(entry);
+        (
+            lsn,
+            self.group_size > 0 && st.pending.len() >= self.group_size,
+        )
+    }
+
+    /// Highest LSN known durable on the device.
+    pub fn durable_lsn(&self) -> u64 {
+        self.state.lock().durable_lsn
+    }
+
+    /// Highest LSN handed out to an appended entry.
+    pub fn appended_lsn(&self) -> u64 {
+        self.state.lock().next_lsn - 1
+    }
+
+    /// A point-in-time view of the ring's internals.
+    pub fn stats(&self) -> JournalRingStats {
+        let st = self.state.lock();
+        JournalRingStats {
+            ring_pages: self.pages,
+            live_groups: st.live.len() as u64,
+            next_seq: st.next_seq,
+            head: st.head,
+            durable_lsn: st.durable_lsn,
+            appended_lsn: st.next_lsn - 1,
+            pending_entries: st.pending.len(),
+        }
+    }
+
+    /// Group-commits every pending entry: coalesces the segment into
+    /// page-aligned groups, writes them through the submit/completion API
+    /// and hardens them with a single flush barrier. Concurrent callers
+    /// coalesce — a caller whose entries another committer already covered
+    /// returns without issuing any I/O. Returns the durable LSN frontier.
+    ///
+    /// On failure nothing is acknowledged: the head and sequence counters
+    /// do not advance, the entries return to the pending segment in order,
+    /// and a retry rewrites the same offsets with the same sequence numbers
+    /// (recovery rejects any half-written garbage from the failed attempt
+    /// by checksum or sequence mismatch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BacklogError::JournalFull`] if the live region plus the
+    /// pending segment would exceed the ring (take a CP to advance the
+    /// tail), or the device error that failed the group write.
+    pub fn sync(&self) -> Result<u64> {
+        let _committer = self.commit_lock.lock();
+        // Lay out the chunks under the state lock, then release it for the
+        // I/O so appenders are never blocked behind device writes.
+        let (batch, first_lsn, first_seq, chunks) = {
+            let mut st = self.state.lock();
+            if st.pending.is_empty() {
+                return Ok(st.durable_lsn);
+            }
+            let first_lsn = st.next_lsn - st.pending.len() as u64;
+            let mut chunks: Vec<(u64, usize, usize)> = Vec::new(); // (offset, from, to)
+            let mut pos = st.head;
+            let mut used = st.used_pages(self.pages);
+            let total = st.pending.len();
+            let mut i = 0;
+            while i < total {
+                let n = (total - i).min(MAX_GROUP_ENTRIES);
+                let gp = group_pages(n);
+                // Groups never straddle the ring end: skip the gap and wrap.
+                let (off, gap) = if pos + gp <= self.pages {
+                    (pos, 0)
+                } else {
+                    (0, self.pages - pos)
+                };
+                used += gap + gp;
+                if used > self.pages {
+                    return Err(BacklogError::JournalFull {
+                        ring_pages: self.pages,
+                        needed_pages: used - self.pages,
+                    });
+                }
+                chunks.push((off, i, i + n));
+                pos = off + gp;
+                if pos == self.pages {
+                    pos = 0;
+                }
+                i += n;
+            }
+            let batch = std::mem::take(&mut st.pending);
+            (batch, first_lsn, st.next_seq, chunks)
+        };
+
+        let mut completions = Vec::new();
+        let mut spans = Vec::with_capacity(chunks.len());
+        for (ci, &(off, from, to)) in chunks.iter().enumerate() {
+            let chunk = &batch[from..to];
+            let seq = first_seq + ci as u64;
+            let buf = encode_group(seq, first_lsn + from as u64, chunk);
+            let gp = buf.len() as u64 / PAGE_SIZE as u64;
+            for p in 0..gp {
+                let at = p as usize * PAGE_SIZE;
+                completions.push(
+                    self.device
+                        .submit_write(self.start + off + p, &buf[at..at + PAGE_SIZE]),
+                );
+            }
+            spans.push(GroupSpan {
+                offset: off,
+                pages: gp,
+                seq,
+                max_cp: chunk.iter().map(JournalEntry::cp).max().unwrap_or(0),
+            });
+        }
+        let outcome = completions
+            .drain(..)
+            .try_for_each(|c| c.wait())
+            .and_then(|_| self.device.submit_flush().wait());
+        let mut st = self.state.lock();
+        match outcome {
+            Ok(()) => {
+                let last = spans.last().expect("at least one chunk");
+                st.head = if last.offset + last.pages == self.pages {
+                    0
+                } else {
+                    last.offset + last.pages
+                };
+                st.next_seq = first_seq + spans.len() as u64;
+                st.durable_lsn = first_lsn + batch.len() as u64 - 1;
+                st.live.extend(spans);
+                Ok(st.durable_lsn)
+            }
+            Err(e) => {
+                // Put the batch back in front of anything appended since.
+                let newer = std::mem::replace(&mut st.pending, batch);
+                st.pending.extend(newer);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Computes the ring tail a durable CP numbered `through + 1` should
+    /// record in its superblock: the oldest group whose newest entry is
+    /// stamped *after* `through` (one CP late — see the module docs). Pure;
+    /// the in-memory state advances only in
+    /// [`commit_truncate`](Self::commit_truncate) once the CP's flip is
+    /// durable, so an aborted CP leaves the journal intact.
+    pub fn prepare_truncate(&self, through: CpNumber) -> (u64, u64) {
+        let st = self.state.lock();
+        st.live
+            .iter()
+            .find(|g| g.max_cp > through)
+            .map(|g| (g.offset, g.seq))
+            .unwrap_or((st.head, st.next_seq))
+    }
+
+    /// Applies the truncation computed by
+    /// [`prepare_truncate`](Self::prepare_truncate) after the CP's
+    /// superblock flip is durable: drops the covered groups and any pending
+    /// entries whose CP interval the flush made durable.
+    pub fn commit_truncate(&self, through: CpNumber) {
+        let mut st = self.state.lock();
+        while st.live.front().is_some_and(|g| g.max_cp <= through) {
+            st.live.pop_front();
+        }
+        st.pending.retain(|e| e.cp() > through);
+    }
+
+    /// Scans a ring from its superblock-recorded tail, accepting groups
+    /// while the header validates (magic, checksum, entry framing) and the
+    /// sequence chain stays contiguous; the first failure ends the scan. A
+    /// break in the chain at a non-zero offset is retried once at offset 0,
+    /// because the writer wraps whenever a group would not fit before the
+    /// ring end.
+    ///
+    /// Every acknowledged group survives this scan: the barrier that
+    /// acknowledged it also hardened all earlier groups, so an invalid
+    /// group can only be followed by unacknowledged ones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device read errors other than unwritten pages (an
+    /// unwritten page is a valid end of the log).
+    pub fn recover(
+        device: Arc<dyn Device>,
+        file: FileId,
+        start: PageNo,
+        pages: u64,
+        group_size: usize,
+        tail_page: u64,
+        tail_seq: u64,
+    ) -> Result<RecoveredRing> {
+        let mut off = tail_page;
+        let mut seq = tail_seq;
+        let mut consumed = 0u64;
+        let mut wrapped = off == 0;
+        let mut live = VecDeque::new();
+        let mut entries = Vec::new();
+        let mut last_lsn = 0u64;
+        loop {
+            if consumed >= pages {
+                break;
+            }
+            match read_group(device.as_ref(), start, pages, off, seq)? {
+                Some((first_lsn, group, gp)) if gp <= pages - consumed => {
+                    last_lsn = first_lsn + group.len() as u64 - 1;
+                    live.push_back(GroupSpan {
+                        offset: off,
+                        pages: gp,
+                        seq,
+                        max_cp: group.iter().map(JournalEntry::cp).max().unwrap_or(0),
+                    });
+                    entries.extend(group);
+                    seq += 1;
+                    consumed += gp;
+                    off += gp;
+                    if off == pages {
+                        if wrapped {
+                            break;
+                        }
+                        wrapped = true;
+                        off = 0;
+                    }
+                }
+                _ => {
+                    if !wrapped && off != 0 {
+                        // The writer may have wrapped early because the next
+                        // group did not fit; try offset 0 once.
+                        consumed += pages - off;
+                        wrapped = true;
+                        off = 0;
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        let head = if off == pages { 0 } else { off };
+        let ring = JournalRing {
+            device,
+            file,
+            start,
+            pages,
+            group_size,
+            commit_lock: Mutex::new(()),
+            state: Mutex::new(RingState {
+                head,
+                next_seq: seq,
+                next_lsn: last_lsn + 1,
+                durable_lsn: last_lsn,
+                pending: Vec::new(),
+                live,
+            }),
+        };
+        Ok(RecoveredRing {
+            ring,
+            entries,
+            last_lsn,
+        })
+    }
+}
+
+/// Reads and validates one group at ring offset `off`, expecting sequence
+/// `seq`. Returns `None` for anything that fails validation — unwritten
+/// pages, bad magic, a stale or future sequence, an impossible entry count,
+/// a checksum mismatch (torn or partially persisted group) or a corrupt
+/// entry — so the scan stops there.
+fn read_group(
+    device: &dyn Device,
+    start: PageNo,
+    pages: u64,
+    off: u64,
+    seq: u64,
+) -> Result<Option<(u64, Vec<JournalEntry>, u64)>> {
+    if off >= pages {
+        return Ok(None);
+    }
+    let mut buf = match device.read_page(start + off) {
+        Ok(b) => b,
+        Err(blockdev::DeviceError::UnwrittenPage { .. }) => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if &buf[0..8] != GROUP_MAGIC {
+        return Ok(None);
+    }
+    if u64::from_be_bytes(buf[16..24].try_into().unwrap()) != seq {
+        return Ok(None);
+    }
+    let count = u32::from_be_bytes(buf[32..36].try_into().unwrap()) as usize;
+    if count == 0 || count > MAX_GROUP_ENTRIES {
+        return Ok(None);
+    }
+    let len = GROUP_HEADER_LEN + count * JournalEntry::ENCODED_LEN;
+    let gp = (len as u64).div_ceil(PAGE_SIZE as u64);
+    if off + gp > pages {
+        return Ok(None);
+    }
+    for p in 1..gp {
+        match device.read_page(start + off + p) {
+            Ok(b) => buf.extend_from_slice(&b),
+            Err(blockdev::DeviceError::UnwrittenPage { .. }) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let checksum = u64::from_be_bytes(buf[8..16].try_into().unwrap());
+    if fnv1a64(&buf[16..len]) != checksum {
+        return Ok(None);
+    }
+    let first_lsn = u64::from_be_bytes(buf[24..32].try_into().unwrap());
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = GROUP_HEADER_LEN + i * JournalEntry::ENCODED_LEN;
+        match JournalEntry::decode(&buf[at..at + JournalEntry::ENCODED_LEN]) {
+            Ok(e) => entries.push(e),
+            Err(_) => return Ok(None),
+        }
+    }
+    Ok(Some((first_lsn, entries, gp)))
+}
+
 /// Replays journal entries into an engine whose on-disk state is at the last
 /// complete consistency point, reconstructing the write-store contents that
-/// were lost in the crash. Entries at or below the engine's last durable CP
-/// are skipped (they are already on disk), which makes replay idempotent:
-/// feeding the journal to an engine that crashed *after* the superblock flip
-/// but before the journal truncation applies nothing.
+/// were lost in the crash.
+///
+/// Because truncation runs one CP late, a recovered journal holds three
+/// bands relative to the engine's current CP interval `c`:
+///
+/// * entries stamped below `c - 1` are durable in the read stores and are
+///   skipped;
+/// * entries stamped exactly `c - 1` *may* already be durable (the crash hit
+///   after the flush that covered them but before the next CP truncated
+///   them). Their per-identity net effect is compared against the durable
+///   state and only the difference is applied, which keeps replay idempotent
+///   and the engine's counters exact. The presence check counts *raw* table
+///   records (`From` plus live `Combined` versus `To`) rather than a
+///   liveness query, so a durable entry whose owner a later lineage
+///   operation masked — a snapshot deleted after the add, say — is still
+///   recognized as durable and never double-applied;
+/// * entries stamped `c` or later are applied unconditionally, in order.
 ///
 /// Takes `&BacklogEngine` — the reference callbacks are `&self`, so replay
 /// can feed a recovered engine that other threads are already allowed to
 /// see (REDO-only recovery does not need exclusive access).
 ///
 /// Returns the number of entries applied.
-pub fn replay(engine: &BacklogEngine, journal: &Journal) -> usize {
+///
+/// # Errors
+///
+/// Propagates query errors from the boundary-interval reconciliation reads.
+pub fn replay(engine: &BacklogEngine, journal: &Journal) -> Result<usize> {
     let current = engine.current_cp();
+    let boundary = current.saturating_sub(1);
     let mut applied = 0;
+    let mut net: BTreeMap<(BlockNo, Owner), bool> = BTreeMap::new();
+    for entry in journal.entries() {
+        if entry.cp() == boundary {
+            match *entry {
+                JournalEntry::Add { block, owner, .. } => net.insert((block, owner), true),
+                JournalEntry::Remove { block, owner, .. } => net.insert((block, owner), false),
+            };
+        }
+    }
+    for ((block, owner), add) in net {
+        let present = raw_presence(engine, block, owner)?;
+        if add != present {
+            if add {
+                engine.add_reference(block, owner);
+            } else {
+                engine.remove_reference(block, owner);
+            }
+            applied += 1;
+        }
+    }
     for entry in journal.entries() {
         if entry.cp() < current {
             continue;
@@ -208,7 +782,34 @@ pub fn replay(engine: &BacklogEngine, journal: &Journal) -> usize {
         }
         applied += 1;
     }
-    applied
+    Ok(applied)
+}
+
+/// Whether `owner`'s reference to `block` is open in the raw tables: `From`
+/// records plus live `Combined` records outnumber `To` records for the
+/// identity. Deliberately ignores lineage masking — reconciliation must see
+/// a durable record even when its owner has since been masked dead.
+fn raw_presence(engine: &BacklogEngine, block: BlockNo, owner: Owner) -> Result<bool> {
+    let id = crate::record::RefIdentity::new(block, owner);
+    let opens = engine
+        .from_table()
+        .query_range(block, block)?
+        .iter()
+        .filter(|r| r.identity == id)
+        .count()
+        + engine
+            .combined_table()
+            .query_range(block, block)?
+            .iter()
+            .filter(|r| r.identity == id && r.is_live())
+            .count();
+    let closes = engine
+        .to_table()
+        .query_range(block, block)?
+        .iter()
+        .filter(|r| r.identity == id)
+        .count();
+    Ok(opens > closes)
 }
 
 #[cfg(test)]
@@ -216,6 +817,7 @@ mod tests {
     use super::*;
     use crate::config::BacklogConfig;
     use crate::types::LineId;
+    use blockdev::{DeviceConfig, SimDisk};
 
     #[test]
     fn entry_roundtrip() {
@@ -323,7 +925,8 @@ mod tests {
         let applied = replay(
             &recovered,
             &Journal::from_bytes(&journal.to_bytes()).unwrap(),
-        );
+        )
+        .unwrap();
         assert_eq!(applied, 2);
 
         // After replay the recovered engine answers queries exactly like the
@@ -338,6 +941,258 @@ mod tests {
     }
 
     #[test]
+    fn replay_reconciles_boundary_interval_entries() {
+        // Truncation is one CP late, so entries of the interval *before* the
+        // current one can reappear in a recovered journal even though their
+        // effects are already durable. Replay must not double-apply them —
+        // including an add+remove pair that cancelled before the flush.
+        let engine = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
+        let owner = Owner::block(1, 0, LineId::ROOT);
+        let transient = Owner::block(2, 1, LineId::ROOT);
+        engine.add_reference(1, owner);
+        engine.add_reference(2, transient);
+        engine.remove_reference(2, transient);
+        engine.consistency_point().unwrap();
+        let before = engine.stats();
+
+        let mut journal = Journal::new();
+        journal.log_add(1, owner, 1);
+        journal.log_add(2, transient, 1);
+        journal.log_remove(2, transient, 1);
+        assert_eq!(replay(&engine, &journal).unwrap(), 0);
+        assert_eq!(engine.live_owners(1).unwrap().len(), 1);
+        assert_eq!(engine.live_owners(2).unwrap().len(), 0);
+        let after = engine.stats();
+        assert_eq!(before.refs_added, after.refs_added);
+        assert_eq!(before.refs_removed, after.refs_removed);
+
+        // A boundary entry whose effect is *missing* from the durable state
+        // (the unfenced-callback shape) is applied.
+        let mut missing = Journal::new();
+        let raced = Owner::block(3, 2, LineId::ROOT);
+        missing.log_add(5, raced, 1);
+        assert_eq!(replay(&engine, &missing).unwrap(), 1);
+        assert_eq!(engine.live_owners(5).unwrap(), vec![raced]);
+    }
+
+    #[test]
+    fn replay_recognizes_durable_boundary_entries_behind_lineage_masking() {
+        // Regression: the presence check must read the raw tables, not a
+        // liveness query. A boundary add whose owner was masked dead by a
+        // *later* lineage operation (a snapshot deleted between the flush
+        // and the crash) is invisible to `live_owners`; replay must still
+        // treat it as durable rather than re-applying it.
+        let engine = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
+        let snap = engine.take_snapshot(LineId::ROOT);
+        let clone = engine.create_clone(snap);
+        let masked = Owner::block(4, 0, clone);
+        engine.add_reference(9, masked);
+        engine.consistency_point().unwrap();
+        let boundary = engine.current_cp() - 1;
+        // The clone line dies: the durable add is now masked from queries.
+        engine.delete_line(clone);
+        engine.delete_snapshot(snap);
+        assert!(engine.live_owners(9).unwrap().is_empty(), "masked dead");
+        let before = engine.stats();
+
+        let mut journal = Journal::new();
+        journal.log_add(9, masked, boundary);
+        assert_eq!(
+            replay(&engine, &journal).unwrap(),
+            0,
+            "durable, not missing"
+        );
+        let after = engine.stats();
+        assert_eq!(before.refs_added, after.refs_added);
+        assert!(engine.live_owners(9).unwrap().is_empty());
+    }
+
+    fn ring_on(device: &Arc<SimDisk>, pages: u64, group_size: usize) -> JournalRing {
+        let dev: Arc<dyn Device> = device.clone();
+        JournalRing::new(dev, FileId(1), 10, pages, group_size)
+    }
+
+    fn entry(i: u64, cp: CpNumber) -> JournalEntry {
+        JournalEntry::Add {
+            block: i,
+            owner: Owner::block(1, i, LineId::ROOT),
+            cp,
+        }
+    }
+
+    fn reopen(device: &Arc<SimDisk>, ring: &JournalRing, tail: (u64, u64)) -> RecoveredRing {
+        let dev: Arc<dyn Device> = device.clone();
+        JournalRing::recover(
+            dev,
+            ring.file_id(),
+            ring.start_page(),
+            ring.ring_pages(),
+            8,
+            tail.0,
+            tail.1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ring_commits_and_recovers_groups() {
+        let disk = Arc::new(SimDisk::new(DeviceConfig::free_latency()));
+        let ring = ring_on(&disk, 8, 3);
+        let (lsn, commit) = ring.append(entry(1, 1));
+        assert_eq!((lsn, commit), (1, false));
+        ring.append(entry(2, 1));
+        let (lsn, commit) = ring.append(entry(3, 1));
+        assert_eq!((lsn, commit), (3, true));
+        assert_eq!(ring.sync().unwrap(), 3);
+        assert_eq!(ring.durable_lsn(), 3);
+        // An empty sync is a no-op at the already-durable frontier.
+        assert_eq!(ring.sync().unwrap(), 3);
+
+        let rec = reopen(&disk, &ring, (0, 1));
+        assert_eq!(rec.last_lsn, 3);
+        assert_eq!(rec.entries.len(), 3);
+        assert_eq!(rec.entries[0], entry(1, 1));
+        let st = rec.ring.stats();
+        assert_eq!(st.live_groups, 1);
+        assert_eq!(st.next_seq, 2);
+        assert_eq!(st.durable_lsn, 3);
+    }
+
+    #[test]
+    fn ring_scan_stops_at_torn_tail_but_keeps_acked_groups() {
+        let disk = Arc::new(SimDisk::new(DeviceConfig::free_latency()));
+        let ring = ring_on(&disk, 8, 0);
+        ring.append(entry(1, 1));
+        ring.sync().unwrap();
+        ring.append(entry(2, 1));
+        ring.sync().unwrap();
+        // Tear the second group's page as a power cut would: only the first
+        // 17 bytes of a half-finished rewrite land, clobbering the header.
+        let torn_page = ring.start_page() + 1;
+        disk.tear_page(torn_page, &[0xAA; PAGE_SIZE], 17).unwrap();
+        let rec = reopen(&disk, &ring, (0, 1));
+        assert_eq!(rec.entries, vec![entry(1, 1)], "acked first group survives");
+        assert_eq!(rec.last_lsn, 1);
+        // The recovered ring resumes writing over the torn group.
+        assert_eq!(rec.ring.stats().head, 1);
+        rec.ring.append(entry(3, 2));
+        rec.ring.sync().unwrap();
+        let rec2 = reopen(&disk, &rec.ring, (0, 1));
+        assert_eq!(rec2.entries, vec![entry(1, 1), entry(3, 2)]);
+    }
+
+    #[test]
+    fn ring_scan_rejects_corrupt_header_and_stale_sequences() {
+        let disk = Arc::new(SimDisk::new(DeviceConfig::free_latency()));
+        let ring = ring_on(&disk, 8, 0);
+        ring.append(entry(1, 1));
+        ring.sync().unwrap();
+        ring.append(entry(2, 1));
+        ring.sync().unwrap();
+
+        // Corrupt the first group's magic: the whole log is unreadable from
+        // the recorded tail, even though group 2 is intact.
+        let mut page = disk.read_page(ring.start_page()).unwrap();
+        page[0] ^= 0xff;
+        disk.write_page(ring.start_page(), &page).unwrap();
+        let rec = reopen(&disk, &ring, (0, 1));
+        assert!(rec.entries.is_empty());
+        assert_eq!(rec.last_lsn, 0);
+
+        // A tail pointing at the *second* group (as a later CP would record)
+        // still recovers it, and a stale expected sequence recovers nothing.
+        let rec = reopen(&disk, &ring, (1, 2));
+        assert_eq!(rec.entries, vec![entry(2, 1)]);
+        let rec = reopen(&disk, &ring, (1, 7));
+        assert!(rec.entries.is_empty());
+    }
+
+    #[test]
+    fn ring_truncates_one_cp_late_and_wraps() {
+        let disk = Arc::new(SimDisk::new(DeviceConfig::free_latency()));
+        let ring = ring_on(&disk, 4, 0);
+        let mut tail = (0u64, 1u64);
+        // Many CP rounds on a tiny ring force several wrap-arounds.
+        for cp in 1..=20u64 {
+            ring.append(entry(cp, cp));
+            ring.sync().unwrap();
+            let next_tail = ring.prepare_truncate(cp.saturating_sub(1));
+            ring.commit_truncate(cp.saturating_sub(1));
+            // One CP late: the group stamped `cp` must still be recoverable
+            // from the tail this CP would record.
+            let rec = reopen(&disk, &ring, next_tail);
+            assert!(
+                rec.entries.contains(&entry(cp, cp)),
+                "cp {cp}: current interval's group must survive its own CP"
+            );
+            tail = next_tail;
+        }
+        let st = ring.stats();
+        assert!(st.next_seq > 20, "every round commits a group");
+        assert_eq!(st.live_groups, 1, "all but the newest group truncated");
+        let rec = reopen(&disk, &ring, tail);
+        assert_eq!(rec.entries, vec![entry(20, 20)]);
+    }
+
+    #[test]
+    fn ring_full_fails_cleanly_and_drains_after_truncation() {
+        let disk = Arc::new(SimDisk::new(DeviceConfig::free_latency()));
+        let ring = ring_on(&disk, 2, 0);
+        ring.append(entry(1, 1));
+        ring.sync().unwrap();
+        ring.append(entry(2, 1));
+        ring.sync().unwrap();
+        ring.append(entry(3, 2));
+        let err = ring.sync().unwrap_err();
+        assert!(matches!(err, BacklogError::JournalFull { .. }), "{err}");
+        assert_eq!(ring.stats().pending_entries, 1, "pending entry survives");
+        // A CP frees the ring; the pending entry (stamped in the next CP
+        // interval, so not covered by the truncation) then commits.
+        ring.commit_truncate(1);
+        assert_eq!(ring.sync().unwrap(), 3);
+        // Pending entries the CP itself made durable are pruned instead of
+        // wasting ring space.
+        ring.append(entry(4, 2));
+        ring.commit_truncate(2);
+        assert_eq!(ring.stats().pending_entries, 0, "durable entry pruned");
+    }
+
+    #[test]
+    fn ring_write_failure_keeps_entries_and_retry_succeeds() {
+        let disk = Arc::new(SimDisk::new(DeviceConfig::free_latency()));
+        let ring = ring_on(&disk, 8, 0);
+        ring.append(entry(1, 1));
+        ring.sync().unwrap();
+        ring.append(entry(2, 1));
+        disk.fail_writes_after(0);
+        assert!(ring.sync().is_err());
+        disk.fail_writes_after(u64::MAX);
+        let st = ring.stats();
+        assert_eq!((st.pending_entries, st.durable_lsn, st.next_seq), (1, 1, 2));
+        // The retry rewrites the same offset and sequence.
+        assert_eq!(ring.sync().unwrap(), 2);
+        let rec = reopen(&disk, &ring, (0, 1));
+        assert_eq!(rec.entries, vec![entry(1, 1), entry(2, 1)]);
+    }
+
+    #[test]
+    fn oversized_batch_splits_into_sequence_chained_groups() {
+        let disk = Arc::new(SimDisk::new(DeviceConfig::free_latency()));
+        let pages = 3 * MAX_GROUP_PAGES;
+        let ring = ring_on(&disk, pages, 0);
+        let n = MAX_GROUP_ENTRIES + 5;
+        for i in 0..n {
+            ring.append(entry(i as u64, 1));
+        }
+        assert_eq!(ring.sync().unwrap(), n as u64);
+        let st = ring.stats();
+        assert_eq!(st.live_groups, 2, "split into two chained groups");
+        let rec = reopen(&disk, &ring, (0, 1));
+        assert_eq!(rec.entries.len(), n);
+        assert_eq!(rec.last_lsn, n as u64);
+    }
+
+    #[test]
     fn replay_skips_entries_already_durable() {
         let engine = BacklogEngine::new_simulated(BacklogConfig::default().without_timing());
         let owner = Owner::block(1, 0, LineId::ROOT);
@@ -345,7 +1200,7 @@ mod tests {
         engine.consistency_point().unwrap();
         let mut journal = Journal::new();
         journal.log_add(1, owner, 1); // belongs to the already-durable CP 1
-        assert_eq!(replay(&engine, &journal), 0);
+        assert_eq!(replay(&engine, &journal).unwrap(), 0);
         assert_eq!(engine.live_owners(1).unwrap().len(), 1);
     }
 }

@@ -79,9 +79,11 @@ mod verify;
 
 pub use batch::{RefOp, WriteBatch};
 pub use config::BacklogConfig;
-pub use engine::BacklogEngine;
+pub use engine::{BacklogEngine, JournalRecovery};
 pub use error::{BacklogError, Result};
-pub use journal::{replay as replay_journal, Journal, JournalEntry};
+pub use journal::{
+    replay as replay_journal, Journal, JournalEntry, JournalRing, JournalRingStats, RecoveredRing,
+};
 pub use lineage::{LineInfo, LineageTable};
 pub use query::{BackRef, QueryResult};
 pub use record::{CombinedRecord, FromRecord, RefIdentity, ToRecord};

@@ -260,8 +260,12 @@ impl BacklogProvider {
         })
     }
 
-    /// [`reopen`](Self::reopen) plus a journal replay, returning the
-    /// provider and the number of journal entries applied.
+    /// [`reopen`](Self::reopen) plus a replay of a *host-kept* journal,
+    /// returning the provider and the number of journal entries applied.
+    /// Durable providers normally need no journal from the host — their
+    /// engine logs callbacks to an on-device ring recovered by
+    /// [`reopen`](Self::reopen) and replayed via
+    /// [`replay_recovered_journal`](Self::replay_recovered_journal).
     ///
     /// # Errors
     ///
@@ -276,13 +280,41 @@ impl BacklogProvider {
         Ok((BacklogProvider { engine }, applied))
     }
 
-    /// A point-in-time copy of the engine's reference-callback journal —
-    /// what the host would read back from NVRAM after a power cut — or
-    /// `None` when the engine was configured without journaling. Pair with
+    /// A point-in-time copy of the engine's host-memory reference-callback
+    /// journal — what the host would read back from NVRAM after a power cut
+    /// — or `None` when the engine journals to its on-device ring (durable
+    /// engines) or not at all. Pair with
     /// [`reopen_with_journal`](Self::reopen_with_journal) to complete a
     /// crash/recovery roundtrip at the provider level.
     pub fn journal_snapshot(&self) -> Option<Journal> {
         self.engine.journal_snapshot()
+    }
+
+    /// Group-commits the engine's pending journal entries to the on-device
+    /// ring behind one flush barrier and returns the durable LSN — the
+    /// provider-level fence a host calls before acknowledging an operation
+    /// as stable. No-op (returns 0) without a ring.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; the pending entries survive for a retry.
+    pub fn journal_sync(&self) -> Result<u64> {
+        self.engine
+            .journal_sync()
+            .map_err(crate::error::FsError::from)
+    }
+
+    /// Replays the callbacks [`reopen`](Self::reopen) recovered from the
+    /// on-device journal ring, returning the engine's recovery report.
+    /// Call *after* restoring host-side snapshot/clone metadata.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine replay errors.
+    pub fn replay_recovered_journal(&self) -> Result<backlog::JournalRecovery> {
+        self.engine
+            .replay_recovered_journal()
+            .map_err(crate::error::FsError::from)
     }
 
     /// The wrapped engine.
@@ -514,7 +546,7 @@ mod tests {
     }
 
     #[test]
-    fn provider_power_cut_roundtrip_replays_the_nvram_journal() {
+    fn provider_power_cut_roundtrip_replays_the_device_journal() {
         use blockdev::{DeviceConfig, PowerCutProfile, SimDisk};
         let device = SimDisk::new_shared(DeviceConfig::free_latency());
         device.set_write_cache(true);
@@ -523,17 +555,25 @@ mod tests {
         let owner = Owner::block(5, 2, LineId::ROOT);
         p.add_reference(77, owner);
         p.consistency_point(1).unwrap();
-        // Post-CP callbacks live only in the write store + NVRAM journal.
+        // Post-CP callbacks live in the write store until the journal fence
+        // group-commits them to the on-device ring.
         let late = Owner::block(6, 0, LineId::ROOT);
         p.add_reference(78, late);
-        let nvram = p.journal_snapshot().expect("journaling is on");
+        assert!(
+            p.journal_snapshot().is_none(),
+            "durable journal is on-device"
+        );
+        assert_eq!(p.journal_sync().unwrap(), 2);
         drop(p);
         // Power cut: every unflushed cached page vanishes; the durable CP's
-        // barriers flushed its own pages, so recovery plus journal replay
-        // reproduces both references.
+        // and the journal fence's barriers flushed their own pages, so
+        // recovery — from raw device contents alone — reproduces both
+        // references.
         device.power_cut(&PowerCutProfile::lose_all(1));
-        let (p, applied) = BacklogProvider::reopen_with_journal(device, config, &nvram).unwrap();
-        assert_eq!(applied, 1, "only the post-CP add needs replaying");
+        let p = BacklogProvider::reopen(device, config).unwrap();
+        let rec = p.replay_recovered_journal().unwrap();
+        assert_eq!(rec.applied, 1, "only the post-CP add needs replaying");
+        assert_eq!(rec.last_lsn, 2);
         assert_eq!(p.query_owners(77).unwrap(), vec![owner]);
         assert_eq!(p.query_owners(78).unwrap(), vec![late]);
     }

@@ -24,6 +24,8 @@ pub struct ActorMix {
     pub delete_snapshot: u32,
     /// Background maintenance actor.
     pub maintenance: u32,
+    /// Group-commit actor forcing a journal ring sync (durability ack).
+    pub journal_sync: u32,
 }
 
 impl Default for ActorMix {
@@ -38,6 +40,7 @@ impl Default for ActorMix {
             clone: 1,
             delete_snapshot: 1,
             maintenance: 1,
+            journal_sync: 2,
         }
     }
 }
@@ -52,16 +55,29 @@ impl ActorMix {
             + self.clone
             + self.delete_snapshot
             + self.maintenance
+            + self.journal_sync
     }
 }
 
-/// How the scenario crashes: a final consistency point is attempted with
-/// write-fault injection armed, then the power is cut.
+/// Which durability operation the crash schedule kills mid-write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashKind {
+    /// The final consistency point dies at a scheduled device write.
+    ConsistencyPoint,
+    /// A final journal group commit dies at a scheduled device write.
+    GroupCommit,
+}
+
+/// How the scenario crashes: a final durability operation (consistency
+/// point or journal group commit) is attempted with write-fault injection
+/// armed, then the power is cut.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrashPlan {
-    /// Device writes of the final consistency point that complete before
-    /// injection kills the rest. Beyond the CP's write count, the CP
-    /// completes — a clean-shutdown schedule, which must also recover.
+    /// Which durability operation the schedule kills.
+    pub kind: CrashKind,
+    /// Device writes of the final operation that complete before injection
+    /// kills the rest. Beyond the operation's write count, it completes —
+    /// a clean-shutdown schedule, which must also recover.
     pub fault_after_writes: u64,
     /// Probability that an unflushed cached page persists whole at the cut.
     pub persist: f64,
@@ -100,6 +116,8 @@ pub struct ScenarioConfig {
     pub writers: u64,
     /// Scheduler steps before the crash.
     pub steps: u32,
+    /// Journal group-commit threshold (entries per opportunistic commit).
+    pub journal_group_size: usize,
     /// Actor scheduling weights.
     pub mix: ActorMix,
     /// Probability that a workload-phase read fails.
@@ -126,16 +144,30 @@ impl ScenarioConfig {
             block_range: rng.gen_range(24u64..=64),
             writers: rng.gen_range(2u64..=6),
             steps: rng.gen_range(40u32..=160),
+            journal_group_size: rng.gen_range(1usize..=24),
             mix: ActorMix::default(),
             // Most scenarios run a clean device so the crash itself is the
             // only disturbance; a minority add a scatter of per-op faults.
             read_fault: if rng.gen_bool(0.25) { 0.01 } else { 0.0 },
             write_fault: if rng.gen_bool(0.25) { 0.02 } else { 0.0 },
             torn_write: 0.5,
-            crash: CrashPlan {
-                fault_after_writes: rng.gen_range(0u64..48),
-                persist: rng.gen_range(0.0..0.6),
-                torn: rng.gen_range(0.0..0.4),
+            crash: {
+                // A group commit writes far fewer pages than a CP, so its
+                // fault point is drawn from a correspondingly tighter range.
+                let kind = if rng.gen_bool(0.4) {
+                    CrashKind::GroupCommit
+                } else {
+                    CrashKind::ConsistencyPoint
+                };
+                CrashPlan {
+                    kind,
+                    fault_after_writes: match kind {
+                        CrashKind::ConsistencyPoint => rng.gen_range(0u64..48),
+                        CrashKind::GroupCommit => rng.gen_range(0u64..2),
+                    },
+                    persist: rng.gen_range(0.0..0.6),
+                    torn: rng.gen_range(0.0..0.4),
+                }
             },
             // Half the scenarios shuffle completion scheduling with seeded
             // per-op jitter; the other half keep fixed service times so both

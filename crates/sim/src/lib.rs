@@ -20,17 +20,21 @@
 //!   enabled;
 //! * a **fault plane** — per-op probabilistic read/write faults and torn
 //!   writes drawn from the same seed ([`blockdev::FaultProfile`]);
-//! * a **crash plan** — a final consistency point killed at a scheduled
+//! * a **crash plan** — a final durability operation (a consistency point
+//!   or a journal group commit, per [`CrashKind`]) killed at a scheduled
 //!   device write, followed by a power cut that persists, tears, or loses
 //!   every unflushed cached page ([`blockdev::PowerCutProfile`]).
 //!
-//! After the cut the engine is reopened from the device image and recovered
-//! (host metadata first, then the reference-callback journal — the NVRAM in
-//! the paper's deployment), and a **differential oracle** compares it
-//! against a never-crashed in-memory reference engine that ran the same
-//! workload: CP clock, per-block live owners, cumulative counters, a full
-//! [`backlog::verify`] pass with the reference as ground truth, and a
-//! post-recovery CP + maintenance convergence check.
+//! After the cut the engine is reopened **from the raw device image alone**:
+//! host metadata is re-applied, then the on-device journal ring is scanned
+//! and replayed — no host NVRAM handoff. The recovered journal frontier
+//! must cover every acknowledged-durable callback (group-commit acks and
+//! CP-covered operations); a **differential oracle** then compares the
+//! recovered engine against an expected engine re-simulated from the
+//! recorded workload script up to that frontier: CP clock, per-block live
+//! owners, cumulative counters, a full [`backlog::verify`] pass with the
+//! expected engine as ground truth, and a post-recovery CP + maintenance
+//! convergence check.
 //!
 //! Any mismatch yields [`Verdict::Fail`] and
 //! [`ScenarioOutcome::repro_line`] prints `seed=0x…` — feed it back through
@@ -43,6 +47,6 @@ mod config;
 mod report;
 mod runner;
 
-pub use config::{ActorMix, CrashPlan, JitterPlan, ScenarioConfig};
+pub use config::{ActorMix, CrashKind, CrashPlan, JitterPlan, ScenarioConfig};
 pub use report::{MatrixReport, ScenarioOutcome, Verdict};
 pub use runner::{run_matrix, run_scenario, run_seed};

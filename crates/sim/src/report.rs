@@ -33,12 +33,20 @@ pub struct ScenarioOutcome {
     /// Scheduler steps executed before the crash.
     pub steps: u32,
     /// Whether the final consistency point died mid-write (`false` means the
-    /// fault point lay beyond the CP: a clean-shutdown schedule).
+    /// fault point lay beyond the CP — or the crash targeted a group
+    /// commit: a clean-shutdown schedule for the CP path).
     pub crashed_mid_cp: bool,
+    /// Whether a final journal group commit died mid-write.
+    pub crashed_mid_commit: bool,
     /// Page fates at the power cut.
     pub cut: PowerCutReport,
+    /// Highest LSN the live engine had acknowledged durable at the crash
+    /// (group-commit acks and CP-covered operations).
+    pub acked_lsn: u64,
+    /// Journal frontier the ring scan recovered from the raw device.
+    pub recovered_lsn: u64,
     /// Journal entries replayed into the recovered engine.
-    pub journal_replayed: usize,
+    pub journal_replayed: u64,
     /// Digest of the complete device image at the end of the scenario.
     pub device_digest: u64,
     /// Device I/O counters at the end of the scenario.
@@ -60,14 +68,18 @@ impl ScenarioOutcome {
             Verdict::Fail { detail } => format!("FAIL [{detail}]"),
         };
         format!(
-            "seed=0x{:016x} steps={} crashed_mid_cp={} cut(persisted={},torn={},lost={}) \
+            "seed=0x{:016x} steps={} crashed_mid_cp={} crashed_mid_commit={} \
+             cut(persisted={},torn={},lost={}) acked_lsn={} recovered_lsn={} \
              journal_replayed={} digest=0x{:016x} {}",
             self.seed,
             self.steps,
             self.crashed_mid_cp,
+            self.crashed_mid_commit,
             self.cut.persisted,
             self.cut.torn,
             self.cut.lost,
+            self.acked_lsn,
+            self.recovered_lsn,
             self.journal_replayed,
             self.device_digest,
             verdict
@@ -96,6 +108,14 @@ impl MatrixReport {
     /// Scenarios that crashed mid-CP (the interesting schedules).
     pub fn mid_cp_crashes(&self) -> usize {
         self.outcomes.iter().filter(|o| o.crashed_mid_cp).count()
+    }
+
+    /// Scenarios that crashed mid-group-commit.
+    pub fn mid_commit_crashes(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.crashed_mid_commit)
+            .count()
     }
 
     /// Total torn pages across all power cuts.

@@ -1,15 +1,12 @@
 //! The scenario runner: seeded actor scheduling, crash injection, and the
 //! differential recovery oracle.
 
-use backlog::{
-    replay_journal, verify, BacklogConfig, BacklogEngine, ExpectedRef, Journal, LineId, Owner,
-    SnapshotId,
-};
+use backlog::{verify, BacklogConfig, BacklogEngine, ExpectedRef, LineId, Owner, SnapshotId};
 use blockdev::{Device, DeviceConfig, FaultProfile, LatencyJitter, PowerCutProfile, SimDisk};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::ScenarioConfig;
+use crate::config::{CrashKind, ScenarioConfig};
 use crate::report::{MatrixReport, ScenarioOutcome, Verdict};
 
 /// Salt for the workload/scheduler generator (distinct from the config
@@ -43,6 +40,24 @@ fn apply_meta(engine: &BacklogEngine, op: MetaOp) {
     }
 }
 
+/// One recorded workload event. After the crash, the *expected* engine is
+/// re-simulated from this script: reference ops apply only up to the
+/// recovered journal frontier (later ones were never acknowledged and are
+/// legitimately lost), lineage ops always apply (host-journaled), and CPs
+/// replay exactly where the live engine durably took them.
+#[derive(Debug, Clone, Copy)]
+enum ScriptOp {
+    Ref {
+        lsn: u64,
+        block: u64,
+        owner: Owner,
+        add: bool,
+    },
+    Meta(MetaOp),
+    Cp,
+    Maintenance,
+}
+
 /// The actors the scheduler can pick each step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Actor {
@@ -54,6 +69,7 @@ enum Actor {
     Clone,
     DeleteSnapshot,
     Maintenance,
+    JournalSync,
 }
 
 /// Draws the next actor from the seeded scheduler, proportionally to the
@@ -70,6 +86,7 @@ fn schedule(cfg: &ScenarioConfig, rng: &mut StdRng) -> Actor {
         (mix.clone, Actor::Clone),
         (mix.delete_snapshot, Actor::DeleteSnapshot),
         (mix.maintenance, Actor::Maintenance),
+        (mix.journal_sync, Actor::JournalSync),
     ] {
         if draw < weight {
             return actor;
@@ -110,9 +127,12 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     }
     let config = BacklogConfig::partitioned(cfg.partitions, cfg.block_range)
         .without_timing()
-        .with_journaling();
+        .with_journaling()
+        .with_journal_group_size(cfg.journal_group_size);
     let live = BacklogEngine::create_durable(device.clone(), config.clone())
         .expect("durable create on a fresh, fault-free device");
+    // In-memory mirror for *mid-workload* differential checks only; the
+    // post-crash oracle re-simulates its expected engine from the script.
     let reference = BacklogEngine::new_simulated(config.clone());
 
     // The workload phase may scatter per-op faults over the live engine.
@@ -128,6 +148,13 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     let mut snapshots: Vec<SnapshotId> = Vec::new();
     // The host metadata journal: lineage ops since the last durable CP.
     let mut meta_log: Vec<MetaOp> = Vec::new();
+    // The full workload script, and the LSN the journal assigns each
+    // reference callback (one entry per add/remove, in issue order).
+    let mut script: Vec<ScriptOp> = Vec::new();
+    let mut lsn = 0u64;
+    // Highest LSN covered by a durable CP (its flush persists every
+    // callback issued before it, journal acks aside).
+    let mut cp_acked_lsn = 0u64;
     let mut verdict = Verdict::Pass;
 
     macro_rules! check {
@@ -138,6 +165,26 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         };
     }
 
+    macro_rules! ref_op {
+        ($block:expr, $owner:expr, $add:expr) => {{
+            let (block, owner) = ($block, $owner);
+            lsn += 1;
+            if $add {
+                live.add_reference(block, owner);
+                reference.add_reference(block, owner);
+            } else {
+                live.remove_reference(block, owner);
+                reference.remove_reference(block, owner);
+            }
+            script.push(ScriptOp::Ref {
+                lsn,
+                block,
+                owner,
+                add: $add,
+            });
+        }};
+    }
+
     for _step in 0..cfg.steps {
         match schedule(cfg, &mut rng) {
             Actor::Add => {
@@ -145,18 +192,14 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
                 let inode = rng.gen_range(0..cfg.writers) + 1;
                 let offset = rng.gen_range(0u64..8);
                 let line = lines[rng.gen_range(0..lines.len())];
-                let owner = Owner::block(inode, offset, line);
-                live.add_reference(block, owner);
-                reference.add_reference(block, owner);
+                ref_op!(block, Owner::block(inode, offset, line), true);
             }
             Actor::Remove => {
                 let block = rng.gen_range(0..cfg.block_range);
                 let inode = rng.gen_range(0..cfg.writers) + 1;
                 let offset = rng.gen_range(0u64..8);
                 let line = lines[rng.gen_range(0..lines.len())];
-                let owner = Owner::block(inode, offset, line);
-                live.remove_reference(block, owner);
-                reference.remove_reference(block, owner);
+                ref_op!(block, Owner::block(inode, offset, line), false);
             }
             Actor::Query => {
                 let block = rng.gen_range(0..cfg.block_range);
@@ -178,6 +221,8 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
                 // generation.
                 if live.consistency_point().is_ok() {
                     reference.consistency_point().expect("in-memory CP");
+                    script.push(ScriptOp::Cp);
+                    cp_acked_lsn = lsn;
                     meta_log.clear(); // durable now
                 }
             }
@@ -188,6 +233,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
                 check!(a == b, "snapshot ids diverged ({a:?} vs {b:?})");
                 snapshots.push(a);
                 meta_log.push(MetaOp::TakeSnapshot(line));
+                script.push(ScriptOp::Meta(MetaOp::TakeSnapshot(line)));
             }
             Actor::Clone => {
                 if snapshots.is_empty() {
@@ -199,6 +245,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
                 check!(a == b, "clone lines diverged ({a:?} vs {b:?})");
                 lines.push(a);
                 meta_log.push(MetaOp::RegisterClone(parent, a));
+                script.push(ScriptOp::Meta(MetaOp::RegisterClone(parent, a)));
             }
             Actor::DeleteSnapshot => {
                 if snapshots.is_empty() {
@@ -208,12 +255,19 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
                 live.delete_snapshot(snap);
                 reference.delete_snapshot(snap);
                 meta_log.push(MetaOp::DeleteSnapshot(snap));
+                script.push(ScriptOp::Meta(MetaOp::DeleteSnapshot(snap)));
             }
             Actor::Maintenance => {
                 // Maintenance on the live engine may die on an injected
                 // fault; that must be invisible to queries either way.
                 let _ = live.maintenance();
                 reference.maintenance().expect("in-memory maintenance");
+                script.push(ScriptOp::Maintenance);
+            }
+            Actor::JournalSync => {
+                // A group commit may die on an injected fault; the entries
+                // stay pending and no durability is acknowledged.
+                let _ = live.journal_sync();
             }
         }
     }
@@ -233,14 +287,50 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     }
 
     // ------------------------------------------------------------------
-    // Crash: kill the final CP at a scheduled device write, then cut the
-    // power — unflushed cached pages persist, tear, or vanish per the plan.
+    // Crash: kill the final durability operation — a CP or a journal group
+    // commit — at a scheduled device write, then cut the power: unflushed
+    // cached pages persist, tear, or vanish per the plan.
     // ------------------------------------------------------------------
     device.set_fault_profile(None);
-    device.fail_writes_after(cfg.crash.fault_after_writes);
-    let attempt = live.consistency_point();
-    device.clear_write_fault();
-    let nvram = live.journal_snapshot().expect("journaling is enabled");
+    let (crashed_mid_cp, crashed_mid_commit) = match cfg.crash.kind {
+        CrashKind::ConsistencyPoint => {
+            device.fail_writes_after(cfg.crash.fault_after_writes);
+            let attempt = live.consistency_point();
+            device.clear_write_fault();
+            if attempt.is_ok() {
+                script.push(ScriptOp::Cp);
+                cp_acked_lsn = lsn;
+                meta_log.clear();
+            }
+            (attempt.is_err(), false)
+        }
+        CrashKind::GroupCommit => {
+            // Make sure the doomed commit has something to write: top up
+            // the pending segment (adds may auto-commit at the threshold,
+            // which drains it again, so loop on the observed count).
+            for extra in 0..3u64 {
+                let pending = live
+                    .journal_ring_stats()
+                    .expect("journaling is enabled")
+                    .pending_entries;
+                if pending > 0 {
+                    break;
+                }
+                ref_op!(
+                    extra % cfg.block_range,
+                    Owner::block(1, extra, LineId::ROOT),
+                    true
+                );
+            }
+            device.fail_writes_after(cfg.crash.fault_after_writes);
+            let attempt = live.journal_sync();
+            device.clear_write_fault();
+            (false, attempt.is_err())
+        }
+    };
+    // Everything the live engine acknowledged durable before the cut: CP
+    // coverage plus the ring's acked group commits.
+    let acked_lsn = cp_acked_lsn.max(live.journal_durable_lsn());
     drop(live);
     let cut = device.power_cut(&PowerCutProfile {
         seed: cfg.seed ^ CUT_SALT,
@@ -249,65 +339,92 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     });
 
     // ------------------------------------------------------------------
-    // Recover: reopen from the post-cut image; after a mid-CP crash,
-    // re-apply host metadata, then replay the journal (NVRAM).
+    // Recover from the raw device image alone: reopen, re-apply host
+    // metadata, then scan and replay the on-device journal ring.
     // ------------------------------------------------------------------
-    let crashed_mid_cp = attempt.is_err();
-    let mut journal_replayed = 0;
-    let recovered = if crashed_mid_cp {
-        match BacklogEngine::open(device.clone(), config.clone()) {
-            Ok(recovered) => {
-                for &op in &meta_log {
-                    apply_meta(&recovered, op);
+    let mut journal_replayed = 0u64;
+    let mut recovered_lsn = 0u64;
+    let recovered = match BacklogEngine::open(device.clone(), config.clone()) {
+        Ok(recovered) => {
+            for &op in &meta_log {
+                apply_meta(&recovered, op);
+            }
+            match recovered.replay_recovered_journal() {
+                Ok(rec) => {
+                    journal_replayed = rec.applied as u64;
+                    recovered_lsn = rec.last_lsn;
                 }
-                let journal = Journal::from_bytes(&nvram.to_bytes()).expect("NVRAM roundtrip");
-                journal_replayed = replay_journal(&recovered, &journal);
-                Some(recovered)
+                Err(e) => check!(false, "journal ring replay failed: {e}"),
             }
-            Err(e) => {
-                check!(false, "reopen after mid-CP power cut failed: {e}");
-                None
-            }
+            Some(recovered)
         }
-    } else {
-        // The final CP completed (and its barriers flushed everything), so
-        // the cut had nothing to destroy and reopen needs no replay.
-        reference.consistency_point().expect("in-memory CP");
-        match BacklogEngine::open(device.clone(), config.clone()) {
-            Ok(recovered) => Some(recovered),
-            Err(e) => {
-                check!(false, "reopen after clean shutdown failed: {e}");
-                None
-            }
+        Err(e) => {
+            check!(false, "reopen after power cut failed: {e}");
+            None
         }
     };
+    // The journal frontier: every reference op at or below it survived the
+    // crash (via the durable CP or the recovered ring); everything above it
+    // was never acknowledged and is legitimately gone.
+    let frontier = cp_acked_lsn.max(recovered_lsn);
+    check!(
+        frontier >= acked_lsn,
+        "acknowledged-durable callbacks lost: recovered frontier {frontier} < acked {acked_lsn}"
+    );
 
     // ------------------------------------------------------------------
-    // Oracle: the recovered engine must answer exactly like the engine
-    // that never crashed.
+    // Oracle: re-simulate the expected engine from the script up to the
+    // frontier; the recovered engine must answer exactly like it.
     // ------------------------------------------------------------------
+    let expected = BacklogEngine::new_simulated(config.clone());
+    for op in &script {
+        match *op {
+            ScriptOp::Ref {
+                lsn: op_lsn,
+                block,
+                owner,
+                add,
+            } => {
+                if op_lsn <= frontier {
+                    if add {
+                        expected.add_reference(block, owner);
+                    } else {
+                        expected.remove_reference(block, owner);
+                    }
+                }
+            }
+            ScriptOp::Meta(m) => apply_meta(&expected, m),
+            ScriptOp::Cp => {
+                expected.consistency_point().expect("in-memory CP");
+            }
+            ScriptOp::Maintenance => {
+                expected.maintenance().expect("in-memory maintenance");
+            }
+        }
+    }
+
     if let Some(recovered) = recovered {
         check!(
-            recovered.current_cp() == reference.current_cp(),
-            "CP clock diverged: recovered {:?} vs reference {:?}",
+            recovered.current_cp() == expected.current_cp(),
+            "CP clock diverged: recovered {:?} vs expected {:?}",
             recovered.current_cp(),
-            reference.current_cp()
+            expected.current_cp()
         );
-        let mut expected = Vec::new();
+        let mut expected_refs = Vec::new();
         let mut all_blocks = Vec::new();
         for block in 0..cfg.block_range {
             all_blocks.push(block);
-            let ref_owners = reference.live_owners(block).expect("in-memory query");
+            let exp_owners = expected.live_owners(block).expect("in-memory query");
             match recovered.live_owners(block) {
                 Ok(owners) => check!(
-                    owners == ref_owners,
+                    owners == exp_owners,
                     "block {block} owners diverged after recovery"
                 ),
                 Err(e) => check!(false, "post-recovery query on block {block} failed: {e}"),
             }
-            expected.extend(ref_owners.into_iter().map(|o| ExpectedRef::new(block, o)));
+            expected_refs.extend(exp_owners.into_iter().map(|o| ExpectedRef::new(block, o)));
         }
-        match verify(&recovered, &expected, &all_blocks) {
+        match verify(&recovered, &expected_refs, &all_blocks) {
             Ok(report) => check!(
                 report.is_consistent(),
                 "verify: {} missing, {} spurious of {} checked",
@@ -317,7 +434,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
             ),
             Err(e) => check!(false, "verify pass failed: {e}"),
         }
-        let (sa, sb) = (recovered.stats(), reference.stats());
+        let (sa, sb) = (recovered.stats(), expected.stats());
         check!(
             sa.refs_added == sb.refs_added && sa.refs_removed == sb.refs_removed,
             "cumulative counters diverged: {}+/{}- vs {}+/{}-",
@@ -333,12 +450,12 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
             .and_then(|_| recovered.maintenance())
         {
             Ok(_) => {
-                reference.consistency_point().expect("in-memory CP");
-                reference.maintenance().expect("in-memory maintenance");
+                expected.consistency_point().expect("in-memory CP");
+                expected.maintenance().expect("in-memory maintenance");
                 for block in 0..cfg.block_range {
                     match recovered.live_owners(block) {
                         Ok(owners) => check!(
-                            owners == reference.live_owners(block).expect("in-memory query"),
+                            owners == expected.live_owners(block).expect("in-memory query"),
                             "block {block} owners diverged after post-recovery maintenance"
                         ),
                         Err(e) => {
@@ -356,7 +473,10 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         verdict,
         steps: cfg.steps,
         crashed_mid_cp,
+        crashed_mid_commit,
         cut,
+        acked_lsn,
+        recovered_lsn,
         journal_replayed,
         device_digest: device.content_digest(),
         io: device.stats().snapshot(),
@@ -369,13 +489,17 @@ mod tests {
 
     #[test]
     fn small_seed_matrix_passes() {
-        let report = run_matrix(&(0..8u64).collect::<Vec<_>>());
+        let report = run_matrix(&(0..32u64).collect::<Vec<_>>());
         for o in &report.outcomes {
             assert!(o.passed(), "{}", o.repro_line());
         }
         assert!(
             report.mid_cp_crashes() > 0,
             "at least one scenario must crash mid-CP"
+        );
+        assert!(
+            report.mid_commit_crashes() > 0,
+            "at least one scenario must crash mid-group-commit"
         );
     }
 

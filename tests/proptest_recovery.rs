@@ -5,10 +5,11 @@
 //! consistency point, reopened from the device, and recovered — lineage
 //! metadata from the host's metadata log (a write-anywhere file system
 //! recovers snapshot metadata from its own journal), reference operations
-//! from the Backlog journal. The recovered engine must answer every query
-//! exactly like the engine that never crashed.
+//! from the on-device journal ring, group-committed before the crash and
+//! scanned back from raw device contents. The recovered engine must answer
+//! every query exactly like the engine that never crashed.
 
-use backlog::{replay_journal, BacklogConfig, BacklogEngine, Journal, LineId, Owner, SnapshotId};
+use backlog::{BacklogConfig, BacklogEngine, LineId, Owner, SnapshotId};
 use blockdev::{DeviceConfig, SimDisk};
 use proptest::prelude::*;
 
@@ -151,29 +152,35 @@ proptest! {
             }
         }
 
-        // Crash the final consistency point at device write `fault`. If the
-        // fault point lies beyond the CP's writes, the CP completes — a
-        // clean-shutdown reopen, which must also pin to the reference.
+        // Ack the whole workload with a group commit, then crash the final
+        // consistency point at device write `fault`. If the fault point
+        // lies beyond the CP's writes, the CP completes — a clean-shutdown
+        // reopen, which must also pin to the reference.
+        live.journal_sync().unwrap();
         device.fail_writes_after(fault);
         let attempt = live.consistency_point();
         device.clear_write_fault();
-        let nvram = live.journal_snapshot().unwrap();
         drop(live);
 
         let recovered = match attempt {
             Ok(_) => {
                 reference.consistency_point().unwrap();
-                BacklogEngine::open(device, config).unwrap()
+                let recovered = BacklogEngine::open(device, config).unwrap();
+                // Nothing to recover after a clean shutdown: the ring still
+                // holds the acked entries (truncation is one CP late), but
+                // every one is already covered by the completed CP.
+                let rec = recovered.replay_recovered_journal().unwrap();
+                prop_assert_eq!(rec.applied, 0, "covered entries must not re-apply");
+                recovered
             }
             Err(_) => {
                 let recovered = BacklogEngine::open(device, config).unwrap();
                 // Host recovery order: file-system metadata first (the
-                // lineage ops), then the reference-callback journal.
+                // lineage ops), then the on-device journal ring.
                 for &op in &meta_log {
                     apply_meta(&recovered, op);
                 }
-                let journal = Journal::from_bytes(&nvram.to_bytes()).unwrap();
-                replay_journal(&recovered, &journal);
+                recovered.replay_recovered_journal().unwrap();
                 recovered
             }
         };

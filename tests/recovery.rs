@@ -8,16 +8,18 @@
 //!   (tables, counters, lineage, queries);
 //! * a crash at *any* write of a CP — run pages, manifest pages, the
 //!   superblock itself — reopens to the previous durable CP;
-//! * with journaling enabled, replaying the surviving journal on top of the
-//!   reopened engine recovers the post-CP operations exactly.
+//! * with journaling enabled, the on-device journal ring recovers every
+//!   group-committed post-CP operation from raw device contents alone — no
+//!   host NVRAM handoff — including crashes at any write of a group commit
+//!   and power cuts that tear or discard the unflushed cache.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use backlog::{
-    replay_journal, BacklogConfig, BacklogEngine, BacklogError, ExpectedRef, Journal, LineId, Owner,
+use backlog::{BacklogConfig, BacklogEngine, BacklogError, ExpectedRef, LineId, Owner};
+use blockdev::{
+    Device, DeviceConfig, FaultProfile, PowerCutProfile, SimDisk, Superblock, SUPERBLOCK_PAGES,
 };
-use blockdev::{Device, DeviceConfig, PowerCutProfile, SimDisk, Superblock, SUPERBLOCK_PAGES};
 
 fn disk() -> Arc<SimDisk> {
     SimDisk::new_shared(DeviceConfig::free_latency())
@@ -220,8 +222,9 @@ fn corrupt_newest_superblock_falls_back_to_previous_generation() {
 /// The core acceptance walk: a durable CP is attempted with the device
 /// failing at write `k`, for every `k` from 0 to "the CP succeeded". After
 /// each crash the device must reopen to the *previous* durable CP, and with
-/// journaling enabled, replaying the journal must reconstruct the lost
-/// interval exactly.
+/// journaling enabled, replaying the group-committed on-device journal ring
+/// must reconstruct the lost interval exactly — from raw device contents,
+/// with no help from the host.
 #[test]
 fn fault_walk_every_write_of_a_cp_recovers_to_previous_cp_plus_journal() {
     let journaled = config().with_journaling();
@@ -231,6 +234,7 @@ fn fault_walk_every_write_of_a_cp_recovers_to_previous_cp_plus_journal() {
     let engine = BacklogEngine::create_durable(probe.clone(), journaled.clone()).unwrap();
     rich_workload(&engine);
     final_interval_ops(&engine);
+    engine.journal_sync().unwrap();
     let writes_before = probe.stats().snapshot().page_writes;
     engine.consistency_point().unwrap();
     let cp_writes = probe.stats().snapshot().page_writes - writes_before;
@@ -251,6 +255,10 @@ fn fault_walk_every_write_of_a_cp_recovers_to_previous_cp_plus_journal() {
         let engine = BacklogEngine::create_durable(device.clone(), journaled.clone()).unwrap();
         rich_workload(&engine);
         final_interval_ops(&engine);
+        // The journal fence: group-commit the interval's entries into the
+        // on-device ring before the doomed CP, as a host acknowledging the
+        // operations as stable would.
+        engine.journal_sync().unwrap();
         let generation_before = engine.superblock_generation();
         device.fail_writes_after(fail_after);
         let result = engine.consistency_point();
@@ -258,8 +266,8 @@ fn fault_walk_every_write_of_a_cp_recovers_to_previous_cp_plus_journal() {
             result.is_err(),
             "CP at fault point {fail_after} must report the device error"
         );
-        // Crash: grab the "NVRAM" journal, drop the engine, heal the device.
-        let journal = engine.journal_snapshot().unwrap();
+        // Crash: drop the engine and heal the device. Recovery gets nothing
+        // from the host — the ring in the reopened device is everything.
         drop(engine);
         device.clear_write_fault();
 
@@ -269,13 +277,17 @@ fn fault_walk_every_write_of_a_cp_recovers_to_previous_cp_plus_journal() {
             generation_before,
             "fault at write {fail_after}: must reopen to the previous durable CP"
         );
-        // Journal replay recovers the lost interval; the recovered engine
-        // answers every query exactly like the engine that never crashed.
-        let journal = Journal::from_bytes(&journal.to_bytes()).unwrap();
-        let applied = replay_journal(&reopened, &journal);
+        // The ring scan recovered the lost interval; replay reconstructs it
+        // and the recovered engine answers every query exactly like the
+        // engine that never crashed.
+        let rec = reopened.replay_recovered_journal().unwrap();
         assert!(
-            applied > 0,
+            rec.applied > 0,
             "fault at write {fail_after}: the lost interval had operations"
+        );
+        assert!(
+            rec.recovered >= rec.applied,
+            "one-late truncation keeps at least the applied band"
         );
         assert_engines_equivalent(
             &reopened,
@@ -293,6 +305,7 @@ fn fault_walk_every_write_of_a_cp_recovers_to_previous_cp_plus_journal() {
     let engine = BacklogEngine::create_durable(device.clone(), journaled.clone()).unwrap();
     rich_workload(&engine);
     final_interval_ops(&engine);
+    engine.journal_sync().unwrap();
     device.fail_writes_after(cp_writes);
     engine.consistency_point().unwrap();
     device.clear_write_fault();
@@ -364,27 +377,30 @@ fn maintenance_between_cps_never_invalidates_the_durable_cp() {
 
 #[test]
 fn journal_replay_is_idempotent_when_crash_hits_after_the_flip() {
-    // Crash "between" the superblock flip and the journal truncation: the
-    // journal still holds the flushed interval's entries, but replay must
-    // skip them (their CP is below the reopened engine's clock).
+    // The ring's truncation tail rides the superblock flip, but truncation
+    // is one CP late by design: after a CP the ring still holds the flushed
+    // interval's entries. A crash right after the flip therefore recovers
+    // them all — and replay must skip every one, because their effects are
+    // already durable in the runs.
     let device = disk();
     let journaled = config().with_journaling();
     let engine = BacklogEngine::create_durable(device.clone(), journaled.clone()).unwrap();
     for block in 0..100u64 {
         engine.add_reference(block, owner(1, block));
     }
-    // Capture the journal BEFORE the CP truncates it — this is exactly the
-    // NVRAM content if the crash landed right after the flip.
-    let stale_journal = engine.journal_snapshot().unwrap();
-    assert_eq!(stale_journal.len(), 100);
+    engine.journal_sync().unwrap();
     engine.consistency_point().unwrap();
-    assert_eq!(engine.journal_snapshot().unwrap().len(), 0, "truncated");
     let want = engine.dump_all().unwrap().refs;
-    drop(engine);
-    let (reopened, applied) =
-        BacklogEngine::open_with_journal(device, journaled, &stale_journal).unwrap();
-    assert_eq!(applied, 0, "durable entries must not be re-applied");
+    drop(engine); // crash immediately after the flip
+    let reopened = BacklogEngine::open(device, journaled).unwrap();
+    let rec = reopened.replay_recovered_journal().unwrap();
+    assert_eq!(rec.recovered, 100, "one-late truncation kept the interval");
+    assert_eq!(rec.applied, 0, "durable entries must not be re-applied");
+    assert_eq!(rec.last_lsn, 100);
     assert_eq!(reopened.dump_all().unwrap().refs, want);
+    // The stash is consumed: a second replay call finds nothing.
+    let again = reopened.replay_recovered_journal().unwrap();
+    assert_eq!((again.recovered, again.applied), (0, 0));
 }
 
 /// Satellite: reads can fail mid-`open` too (latent sector errors, a dying
@@ -459,6 +475,11 @@ fn torn_superblock_flip_recovers_previous_generation() {
         next_file: 10_000,
         next_page: 50_000,
         manifest_extents: vec![(49_000, 1)],
+        journal_file: 0,
+        journal_start: 0,
+        journal_pages: 0,
+        journal_tail_page: 0,
+        journal_tail_seq: 0,
     };
     let slot = SUPERBLOCK_PAGES[((generation + 1) % 2) as usize];
     device
@@ -471,14 +492,16 @@ fn torn_superblock_flip_recovers_previous_generation() {
 }
 
 /// Satellite: journal-tail loss under the volatile-cache model. The crash
-/// schedule the old harness could not express: the CP's pages are durable
-/// (its barriers flushed them) while the *younger* NVRAM journal tail is
-/// torn mid-entry. Recovery must take the durable CP, replay the surviving
-/// complete prefix of the journal, ignore the torn tail, and skip every
-/// entry the CP already covers — in that order.
+/// schedule the host-NVRAM harness could not express: an older ring group is
+/// durable (its sync barrier flushed it) while the *younger* group's write
+/// is torn mid-page by the power cut. Recovery must take the durable CP,
+/// replay the surviving acked group, reject the torn group by checksum, and
+/// skip every entry the CP already covers — all from the raw device.
 #[test]
 fn torn_journal_tail_replays_idempotently_over_durable_cp_pages() {
-    let journaled = config().with_journaling();
+    // Manual group commit so the test controls exactly which entries share a
+    // ring group — and therefore which entries the torn write destroys.
+    let journaled = config().with_journaling().with_journal_group_size(0);
     let device = disk();
     device.set_write_cache(true);
     let engine = BacklogEngine::create_durable(device.clone(), journaled.clone()).unwrap();
@@ -491,45 +514,55 @@ fn torn_journal_tail_replays_idempotently_over_durable_cp_pages() {
     }
     engine.consistency_point().unwrap();
     reference.consistency_point().unwrap();
-    // Interval B: journaled only; the entries after `survivors` will sit in
-    // the journal's torn tail.
+    // Interval B: journaled only, then acked by a group commit. Truncation is
+    // one CP late, so A's 120 entries ride along in the same group; at 150
+    // entries the group spans two ring pages.
     let interval_b: Vec<u64> = (200..230u64).collect();
     for &block in &interval_b {
         engine.add_reference(block, owner(7, block));
     }
-    let nvram = engine.journal_snapshot().unwrap();
-    assert_eq!(nvram.len(), interval_b.len());
+    assert_eq!(engine.journal_sync().unwrap(), 150, "B's group is acked");
+    // Interval C: a 90-entry (two-page) group whose commit write is torn.
+    // Torn writes keep a 1..7-sector prefix, so a multi-page group is
+    // guaranteed to lose at least its trailing page.
+    for block in 300..390u64 {
+        engine.add_reference(block, owner(9, block));
+    }
+    device.set_fault_profile(Some(FaultProfile {
+        write_fault: 1.0,
+        torn_write: 1.0,
+        ..FaultProfile::quiet(42)
+    }));
+    assert!(
+        engine.journal_sync().is_err(),
+        "the torn group commit must not be acked"
+    );
+    device.set_fault_profile(None);
     drop(engine);
 
-    // Power cut: everything unflushed since the CP is lost; the CP's pages —
-    // written *before* the journal tail existed — survive because the CP's
-    // barriers made them stable.
-    let report = device.power_cut(&PowerCutProfile::lose_all(0));
-    assert_eq!(report.persisted + report.torn, 0, "nothing was left cached");
+    // Power cut: every cached page vanishes. B's group survives because its
+    // sync barrier flushed the cache; C's group is a torn fragment on media.
+    device.power_cut(&PowerCutProfile::lose_all(7));
 
-    // NVRAM lost the tail mid-entry: only `survivors` entries are complete.
-    let survivors = interval_b.len() - 7;
-    let bytes = nvram.to_bytes();
-    let entry_len = bytes.len() / nvram.len();
-    let torn = &bytes[..survivors * entry_len + entry_len / 2];
-    let journal = Journal::from_bytes(torn).unwrap();
-    assert_eq!(journal.len(), survivors, "torn trailing entry is ignored");
-
-    let (recovered, applied) =
-        BacklogEngine::open_with_journal(device.clone(), journaled.clone(), &journal).unwrap();
-    assert_eq!(applied, survivors, "exactly the surviving tail replays");
-    for &block in &interval_b[..survivors] {
+    let recovered = BacklogEngine::open(device.clone(), journaled.clone()).unwrap();
+    let rec = recovered.replay_recovered_journal().unwrap();
+    assert_eq!(rec.last_lsn, 150, "scan stops at the torn group");
+    assert_eq!(rec.applied, interval_b.len(), "exactly B replays");
+    for &block in &interval_b {
         reference.add_reference(block, owner(7, block));
     }
-    assert_engines_equivalent(&recovered, &reference, 300, "after torn-tail replay");
+    assert_engines_equivalent(&recovered, &reference, 400, "after torn-tail replay");
 
-    // Idempotency pin: a second replay of the same surviving journal — and
-    // of a full pre-CP journal image — applies nothing once the entries'
-    // CPs are covered, so recovery can be retried after its own crash.
+    // Idempotency pin: after a CP covers the replayed entries, a crash and
+    // re-scan finds the torn group still on media at the next sequence —
+    // the checksum rejects it again and nothing re-applies.
     recovered.consistency_point().unwrap();
     reference.consistency_point().unwrap();
-    assert_eq!(replay_journal(&recovered, &journal), 0);
-    assert_engines_equivalent(&recovered, &reference, 300, "after double replay");
+    drop(recovered);
+    let reopened = BacklogEngine::open(device, journaled).unwrap();
+    let again = reopened.replay_recovered_journal().unwrap();
+    assert_eq!(again.applied, 0, "covered entries must not re-apply");
+    assert_engines_equivalent(&reopened, &reference, 400, "after double replay");
 }
 
 /// Satellite: a mid-CP crash where the power cut also destroys the crashed
@@ -553,21 +586,153 @@ fn power_cut_discarding_the_crashed_cps_cache_recovers_cleanly() {
             e.add_reference((i * 53) % 4_000, owner(5, i));
         }
     }
+    // Ack the doomed interval's callbacks with a group commit — its barrier
+    // makes the ring group stable even though the runs are not.
+    engine.journal_sync().unwrap();
     let generation = engine.superblock_generation();
     // Kill the final CP after two writes, then cut the power: the CP's
     // partial writes were cached and now vanish outright.
     device.fail_writes_after(2);
     assert!(engine.consistency_point().is_err());
     device.clear_write_fault();
-    let nvram = engine.journal_snapshot().unwrap();
     drop(engine);
     let cut = device.power_cut(&PowerCutProfile::lose_all(17));
     assert!(cut.lost > 0, "the dead CP left unflushed pages behind");
 
-    let (recovered, applied) = BacklogEngine::open_with_journal(device, journaled, &nvram).unwrap();
+    let recovered = BacklogEngine::open(device, journaled).unwrap();
     assert_eq!(recovered.superblock_generation(), generation);
-    assert!(applied > 0);
+    let rec = recovered.replay_recovered_journal().unwrap();
+    assert!(rec.applied > 0, "the doomed interval replays from the ring");
     assert_engines_equivalent(&recovered, &reference, 300, "after lost-cache recovery");
+}
+
+/// Tentpole: fault-walk every device write a journal group commit submits.
+/// A 100-entry group is acked first; then a 300-entry (multi-page) group
+/// commit is killed at write 0, 1, 2, ... and the power cut randomly
+/// persists, tears or discards whatever the dead commit left in the cache.
+/// Whatever survives, the acked prefix must replay from the raw device.
+#[test]
+fn fault_walk_every_journal_ring_write_preserves_the_acked_prefix() {
+    let journaled = config().with_journaling().with_journal_group_size(0);
+    let mut walked = 0u64;
+    for fail_after in 0u64.. {
+        assert!(
+            fail_after < 64,
+            "group commit writes more pages than it can"
+        );
+        let device = disk();
+        device.set_write_cache(true);
+        let engine = BacklogEngine::create_durable(device.clone(), journaled.clone()).unwrap();
+        for block in 0..100u64 {
+            engine.add_reference(block, owner(1, block));
+        }
+        assert_eq!(engine.journal_sync().unwrap(), 100, "the prefix is acked");
+        for block in 100..400u64 {
+            engine.add_reference(block, owner(2, block));
+        }
+        device.fail_writes_after(fail_after);
+        let attempt = engine.journal_sync();
+        device.clear_write_fault();
+        drop(engine);
+        // Random power-cut fates over the dead commit's cached pages.
+        device.power_cut(&PowerCutProfile {
+            seed: 0x9e37_79b9 ^ fail_after,
+            persist: 0.4,
+            torn: 0.3,
+        });
+
+        let recovered = BacklogEngine::open(device, journaled.clone()).unwrap();
+        let rec = recovered.replay_recovered_journal().unwrap();
+        assert!(
+            rec.last_lsn >= 100,
+            "fault at write {fail_after}: the acked group must survive"
+        );
+        for block in 0..100u64 {
+            assert!(
+                recovered
+                    .live_owners(block)
+                    .unwrap()
+                    .contains(&owner(1, block)),
+                "fault at write {fail_after}: acked callback for block {block} lost"
+            );
+        }
+        // The recovered engine stays fully usable.
+        recovered.consistency_point().unwrap();
+        if attempt.is_ok() {
+            assert_eq!(rec.last_lsn, 400, "an acked commit is all-or-nothing");
+            break;
+        }
+        walked += 1;
+    }
+    assert!(
+        walked >= 3,
+        "a multi-page group commit must expose several failure points, saw {walked}"
+    );
+}
+
+/// Tentpole: the ring is a *ring* — a tiny 4-page ring survives many
+/// CP cycles (the head wraps repeatedly, truncation frees the tail one CP
+/// late), recovers cleanly mid-stream, exerts backpressure when truncation
+/// cannot keep up, and drains after the CPs that make its groups redundant.
+#[test]
+fn journal_ring_wraps_across_many_cps_and_reopens() {
+    let journaled = config()
+        .with_journaling()
+        .with_journal_group_size(0)
+        .with_journal_ring_pages(4);
+    let device = disk();
+    let engine = BacklogEngine::create_durable(device.clone(), journaled.clone()).unwrap();
+    let reference = BacklogEngine::new_simulated(journaled.clone());
+
+    // Far more journaled bytes than the ring holds: 12 one-page groups
+    // through a 4-page ring, each made redundant (one CP late) by the CPs.
+    for round in 0..12u64 {
+        for i in 0..30u64 {
+            let block = round * 30 + i;
+            engine.add_reference(block, owner(1 + round, i));
+            reference.add_reference(block, owner(1 + round, i));
+        }
+        engine.journal_sync().unwrap();
+        engine.consistency_point().unwrap();
+        reference.consistency_point().unwrap();
+    }
+    drop(engine);
+    let engine = BacklogEngine::open(device, journaled).unwrap();
+    let rec = engine.replay_recovered_journal().unwrap();
+    assert_eq!(rec.applied, 0, "every surviving group is covered by a CP");
+    assert_engines_equivalent(&engine, &reference, 400, "after wrapped-ring reopen");
+
+    // Backpressure: without CPs, truncation never advances and the ring
+    // must refuse further group commits instead of overwriting its tail.
+    let mut filled = None;
+    for i in 0..20u64 {
+        for j in 0..30u64 {
+            let block = 400 + i * 30 + j;
+            engine.add_reference(block, owner(20 + i, j));
+            reference.add_reference(block, owner(20 + i, j));
+        }
+        match engine.journal_sync() {
+            Ok(_) => {}
+            Err(err) => {
+                assert!(matches!(err, BacklogError::JournalFull { .. }), "{err}");
+                filled = Some(i);
+                break;
+            }
+        }
+    }
+    assert!(
+        filled.is_some(),
+        "a 4-page ring must fill without truncation"
+    );
+    // Two CPs drain it: truncation is one CP late, so the first keeps the
+    // current interval's groups and the second frees them (and prunes the
+    // now-durable pending entries).
+    for _ in 0..2 {
+        engine.consistency_point().unwrap();
+        reference.consistency_point().unwrap();
+    }
+    engine.journal_sync().unwrap();
+    assert_engines_equivalent(&engine, &reference, 1_000, "after ring backpressure drains");
 }
 
 /// Regression (found by the `crates/sim` seed matrix, seed 0xb11a8008): a CP
@@ -654,18 +819,19 @@ fn provider_reopen_roundtrips() {
         owners.iter().any(|q| q.line == LineId(5)),
         "clone inheritance survives recovery"
     );
-    // And with a journal: post-CP callbacks are recovered.
+    // And with a journal: post-CP callbacks are recovered from the on-device
+    // ring — no host-side journal handoff.
     let journaled = config().with_journaling();
     let device2 = disk();
     let provider = BacklogProvider::create_durable(device2.clone(), journaled.clone()).unwrap();
     provider.add_reference(1, o);
     provider.consistency_point(1).unwrap();
     provider.add_reference(2, o);
-    let journal = provider.engine().journal_snapshot().unwrap();
+    provider.journal_sync().unwrap();
     drop(provider);
-    let (recovered, applied) =
-        BacklogProvider::reopen_with_journal(device2, journaled, &journal).unwrap();
-    assert_eq!(applied, 1);
+    let recovered = BacklogProvider::reopen(device2, journaled).unwrap();
+    let rec = recovered.replay_recovered_journal().unwrap();
+    assert_eq!(rec.applied, 1);
     assert_eq!(recovered.query_owners(2).unwrap(), vec![o]);
 }
 

@@ -9,7 +9,7 @@
 //! Every failure is a one-line reproduction: the assert message carries
 //! `seed=0x…`; `backlog_sim::run_seed(seed)` replays the identical schedule.
 
-use backlog_sim::{run_matrix, run_scenario, ActorMix, CrashPlan, ScenarioConfig};
+use backlog_sim::{run_matrix, run_scenario, ActorMix, CrashKind, CrashPlan, ScenarioConfig};
 use proptest::prelude::*;
 
 /// A fixed scenario with the harshest cut — every unflushed page is lost —
@@ -22,12 +22,14 @@ fn lost_write_cache_schedule_recovers() {
         partitions: 4,
         block_range: 48,
         writers: 4,
-        steps: 120,
+        steps: 115,
+        journal_group_size: 8,
         mix: ActorMix::default(),
         read_fault: 0.0,
         write_fault: 0.0,
         torn_write: 0.0,
         crash: CrashPlan {
+            kind: CrashKind::ConsistencyPoint,
             fault_after_writes: 2,
             persist: 0.0,
             torn: 0.0,
@@ -53,13 +55,15 @@ fn torn_write_schedule_recovers() {
         partitions: 2,
         block_range: 40,
         writers: 3,
-        steps: 100,
+        steps: 105,
+        journal_group_size: 6,
         mix: ActorMix::default(),
         read_fault: 0.0,
         write_fault: 0.02,
         torn_write: 1.0,
         crash: CrashPlan {
-            fault_after_writes: 1,
+            kind: CrashKind::ConsistencyPoint,
+            fault_after_writes: 2,
             persist: 0.2,
             torn: 0.8,
         },
@@ -75,11 +79,45 @@ fn torn_write_schedule_recovers() {
     );
 }
 
+/// A fixed scenario that kills a journal *group commit* mid-write and then
+/// loses every unflushed cached page: each callback acknowledged durable
+/// before the doomed commit must recover from the raw device alone.
+#[test]
+fn mid_group_commit_crash_recovers_acked_callbacks() {
+    let cfg = ScenarioConfig {
+        seed: 0x6C0_FF33,
+        partitions: 2,
+        block_range: 40,
+        writers: 3,
+        steps: 140,
+        journal_group_size: 5,
+        mix: ActorMix::default(),
+        read_fault: 0.0,
+        write_fault: 0.0,
+        torn_write: 0.0,
+        crash: CrashPlan {
+            kind: CrashKind::GroupCommit,
+            fault_after_writes: 0,
+            persist: 0.0,
+            torn: 0.0,
+        },
+        jitter: None,
+    };
+    let outcome = run_scenario(&cfg);
+    assert!(outcome.passed(), "{}", outcome.repro_line());
+    assert!(outcome.crashed_mid_commit, "{}", outcome.repro_line());
+    assert!(
+        outcome.acked_lsn > 0,
+        "the schedule must ack callbacks before the crash: {}",
+        outcome.repro_line()
+    );
+}
+
 /// A fixed seed matrix covering both crash flavors, checked in bulk the way
 /// the CI smoke job runs it.
 #[test]
 fn fixed_seed_matrix_passes() {
-    let seeds: Vec<u64> = (0..16u64).map(|i| 0x51u64 * 1_000 + i).collect();
+    let seeds: Vec<u64> = (0..32u64).map(|i| 0x51u64 * 1_000 + i).collect();
     let report = run_matrix(&seeds);
     let failures = report.failures();
     assert!(
@@ -92,6 +130,10 @@ fn fixed_seed_matrix_passes() {
             .join("\n")
     );
     assert!(report.mid_cp_crashes() > 0, "matrix never crashed mid-CP");
+    assert!(
+        report.mid_commit_crashes() > 0,
+        "matrix never crashed mid-group-commit"
+    );
 }
 
 proptest! {
