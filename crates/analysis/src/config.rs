@@ -1,0 +1,339 @@
+//! `backlint`'s declared-protocol registry, loaded from
+//! `crates/analysis/lock_tiers.toml`.
+//!
+//! The file is parsed by a deliberately small TOML-subset reader (tables,
+//! arrays-of-tables, string/integer/boolean/string-array values) — the
+//! workspace builds offline, so no external TOML crate is available, and the
+//! registry only needs that much.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One declared lock: a `Mutex`/`RwLock` field (or guard-returning method)
+/// and its tier in the acyclic hierarchy. Smaller tiers are outermost —
+/// every function must acquire in strictly ascending tier order.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    /// The field name whose `.lock()`/`.read()`/`.write()` is an
+    /// acquisition, or the method name when `is_method` (e.g. `lock_shard`).
+    pub name: String,
+    /// Restricts the declaration to files whose path ends with this suffix
+    /// (empty = any scanned file). Lets `state` mean the FileStore allocator
+    /// in `vfile.rs` and the ring state in `journal.rs`.
+    pub file_suffix: String,
+    /// For method acquisitions: require this identifier immediately before
+    /// the method call (e.g. `from_table` in `self.from_table.ws_shard(..)`),
+    /// so the three tables' shards can carry distinct tiers.
+    pub qualifier: String,
+    /// Position in the hierarchy; acquisitions must ascend.
+    pub tier: u32,
+    /// Whether the call shape is `name(...)` (method) rather than
+    /// `field.lock()`.
+    pub is_method: bool,
+    /// Guards of this lock may be held across `Completion::wait` /
+    /// `wait_read` (dedicated serialization locks that *own* the I/O they
+    /// cover, like `cp_lock` and the journal ring's `commit_lock`).
+    pub wait_ok: bool,
+    /// Re-acquiring the same lock name while one of its guards is held is
+    /// allowed (multi-partition arrays acquired in ascending index order).
+    pub allow_repeat: bool,
+}
+
+/// The whole registry: lock declarations plus the per-rule file scopes.
+#[derive(Debug, Default)]
+pub struct Config {
+    pub locks: Vec<LockDecl>,
+    /// Files the lock-order rule scans (workspace-relative suffixes).
+    pub lock_order_files: Vec<String>,
+    /// Files the panic-free rule scans.
+    pub panic_free_files: Vec<String>,
+    /// Function-name substrings marking the decode surface, where raw
+    /// indexing into byte buffers is also denied.
+    pub decode_functions: Vec<String>,
+    /// Identifier names treated as decoded byte buffers inside decode
+    /// functions (`buf[..]` is flagged, `buf.get(..)` is not).
+    pub buffer_names: Vec<String>,
+    /// Files the determinism rule scans.
+    pub determinism_files: Vec<String>,
+}
+
+impl Config {
+    /// Every file any rule wants, deduplicated (workspace-relative
+    /// suffixes).
+    pub fn all_files(&self) -> Vec<String> {
+        let mut all: Vec<String> = Vec::new();
+        for f in self
+            .lock_order_files
+            .iter()
+            .chain(&self.panic_free_files)
+            .chain(&self.determinism_files)
+        {
+            if !all.contains(f) {
+                all.push(f.clone());
+            }
+        }
+        all
+    }
+
+    /// Lock declarations applicable to `path` (a workspace-relative path).
+    pub fn locks_for<'a>(&'a self, path: &str) -> Vec<&'a LockDecl> {
+        self.locks
+            .iter()
+            .filter(|l| l.file_suffix.is_empty() || path.ends_with(&l.file_suffix))
+            .collect()
+    }
+}
+
+/// A config-file problem (missing key, bad value, unparseable line).
+#[derive(Debug)]
+pub struct ConfigError {
+    pub detail: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(detail: impl Into<String>) -> ConfigError {
+    ConfigError {
+        detail: detail.into(),
+    }
+}
+
+/// One parsed `key = value` binding.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    StrArray(Vec<String>),
+}
+
+/// Parses the registry from TOML text.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut config = Config::default();
+    // (section name, bindings) in file order; `[[lock]]` opens a fresh
+    // "lock" section each time, `[section]` a named singleton.
+    let mut sections: Vec<(String, BTreeMap<String, Value>)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line
+            .strip_prefix("[[")
+            .and_then(|r| r.strip_suffix("]]"))
+            .map(str::trim)
+        {
+            sections.push((name.to_string(), BTreeMap::new()));
+        } else if let Some(name) = line
+            .strip_prefix('[')
+            .and_then(|r| r.strip_suffix(']'))
+            .map(str::trim)
+        {
+            sections.push((name.to_string(), BTreeMap::new()));
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim().to_string();
+            let value = parse_value(line[eq + 1..].trim())
+                .map_err(|e| err(format!("line {}: {}", lineno + 1, e.detail)))?;
+            let Some((_, bindings)) = sections.last_mut() else {
+                return Err(err(format!(
+                    "line {}: binding before any section",
+                    lineno + 1
+                )));
+            };
+            bindings.insert(key, value);
+        } else {
+            return Err(err(format!("line {}: unparseable: {line}", lineno + 1)));
+        }
+    }
+
+    for (name, bindings) in sections {
+        match name.as_str() {
+            "lock" => config.locks.push(lock_decl(&bindings)?),
+            "lock_order" => {
+                config.lock_order_files = str_array(&bindings, "files")?;
+            }
+            "panic_free" => {
+                config.panic_free_files = str_array(&bindings, "files")?;
+                config.decode_functions = str_array(&bindings, "decode_functions")?;
+                config.buffer_names = str_array(&bindings, "buffer_names")?;
+            }
+            "determinism" => {
+                config.determinism_files = str_array(&bindings, "files")?;
+            }
+            other => return Err(err(format!("unknown section [{other}]"))),
+        }
+    }
+    if config.locks.is_empty() {
+        return Err(err("no [[lock]] declarations"));
+    }
+    Ok(config)
+}
+
+fn lock_decl(bindings: &BTreeMap<String, Value>) -> Result<LockDecl, ConfigError> {
+    let get_str = |key: &str| -> Result<String, ConfigError> {
+        match bindings.get(key) {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            None => Ok(String::new()),
+            _ => Err(err(format!("lock key `{key}` must be a string"))),
+        }
+    };
+    let get_bool = |key: &str| -> Result<bool, ConfigError> {
+        match bindings.get(key) {
+            Some(Value::Bool(b)) => Ok(*b),
+            None => Ok(false),
+            _ => Err(err(format!("lock key `{key}` must be a boolean"))),
+        }
+    };
+    let name = get_str("name")?;
+    if name.is_empty() {
+        return Err(err("[[lock]] missing `name`"));
+    }
+    let tier = match bindings.get("tier") {
+        Some(Value::Int(t)) if *t >= 0 => *t as u32,
+        _ => return Err(err(format!("lock `{name}` missing integer `tier`"))),
+    };
+    Ok(LockDecl {
+        name,
+        file_suffix: get_str("file")?,
+        qualifier: get_str("qualifier")?,
+        tier,
+        is_method: get_bool("method")?,
+        wait_ok: get_bool("wait_ok")?,
+        allow_repeat: get_bool("allow_repeat")?,
+    })
+}
+
+fn str_array(bindings: &BTreeMap<String, Value>, key: &str) -> Result<Vec<String>, ConfigError> {
+    match bindings.get(key) {
+        Some(Value::StrArray(v)) => Ok(v.clone()),
+        None => Ok(Vec::new()),
+        _ => Err(err(format!("key `{key}` must be an array of strings"))),
+    }
+}
+
+/// Strips a `#` comment, respecting string quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<Value, ConfigError> {
+    if let Some(rest) = text.strip_prefix('[') {
+        let body = rest
+            .strip_suffix(']')
+            .ok_or_else(|| err("unterminated array (arrays must be single-line)"))?;
+        let mut items = Vec::new();
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err(err("arrays may only hold strings")),
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let body = rest
+            .strip_suffix('"')
+            .ok_or_else(|| err(format!("unterminated string: {text}")))?;
+        return Ok(Value::Str(body.to_string()));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    text.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| err(format!("unsupported value: {text}")))
+}
+
+/// Splits an array body on commas that are outside string quotes.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    parts.push(current);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_locks_and_scopes() {
+        let text = r#"
+            # the hierarchy
+            [[lock]]
+            name = "cp_lock"        # outermost
+            file = "core/src/engine.rs"
+            tier = 10
+            wait_ok = true
+
+            [[lock]]
+            name = "lock_shard"
+            method = true
+            tier = 60
+
+            [lock_order]
+            files = ["core/src/engine.rs", "lsm/src/store.rs"]
+
+            [panic_free]
+            files = ["core/src/journal.rs"]
+            decode_functions = ["decode"]
+            buffer_names = ["buf", "bytes"]
+
+            [determinism]
+            files = ["core/src/lineage.rs"]
+        "#;
+        let c = parse(text).unwrap();
+        assert_eq!(c.locks.len(), 2);
+        assert_eq!(c.locks[0].name, "cp_lock");
+        assert_eq!(c.locks[0].tier, 10);
+        assert!(c.locks[0].wait_ok);
+        assert!(!c.locks[0].is_method);
+        assert!(c.locks[1].is_method);
+        assert_eq!(c.lock_order_files.len(), 2);
+        assert_eq!(c.buffer_names, vec!["buf", "bytes"]);
+        assert_eq!(c.all_files().len(), 4);
+        assert_eq!(c.locks_for("crates/core/src/engine.rs").len(), 2);
+        assert_eq!(c.locks_for("crates/lsm/src/store.rs").len(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("name = \"x\"").is_err(), "binding before section");
+        assert!(parse("[[lock]]\nname = \"x\"").is_err(), "missing tier");
+        assert!(parse("[nope]\nfiles = []").is_err(), "unknown section");
+        assert!(parse("[[lock]]\nname = \"x\"\ntier = \"ten\"").is_err());
+    }
+}

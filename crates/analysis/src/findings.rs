@@ -1,0 +1,286 @@
+//! Findings, suppressions, and the report `backlint check` prints.
+//!
+//! Rule 4 of the suite (*suppression discipline*): a finding may be silenced
+//! only by an inline comment
+//!
+//! ```text
+//! // backlint: allow(<rule>) — <justification>
+//! ```
+//!
+//! either trailing on the offending line or standalone on the line(s)
+//! directly above it. The justification is mandatory; the tool counts every
+//! suppression, reports each one, and flags suppressions that no longer
+//! match any finding — a suppression must never outlive the violation it
+//! excuses.
+
+use crate::lexer::Comment;
+
+/// Rule identifiers, as written inside `allow(...)`.
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_PANIC_FREE: &str = "panic-free";
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_SUPPRESSION: &str = "suppression";
+
+pub const ALL_RULES: [&str; 4] = [
+    RULE_LOCK_ORDER,
+    RULE_PANIC_FREE,
+    RULE_DETERMINISM,
+    RULE_SUPPRESSION,
+];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, file: &str, line: u32, message: String) -> Self {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub file: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Rules it allows (an `allow(a)` `allow(b)` pair in one comment).
+    pub rules: Vec<String>,
+    /// The justification text after the dash separator (empty = malformed).
+    pub justification: String,
+    /// Whether the comment stands alone on its line (covers the next line)
+    /// or trails code (covers its own line).
+    pub standalone: bool,
+    /// Findings this suppression absorbed.
+    pub used: usize,
+}
+
+/// Extracts suppressions from a file's comments. Comments that mention
+/// `backlint:` but do not parse produce [`RULE_SUPPRESSION`] findings so a
+/// typo cannot silently disable nothing.
+pub fn parse_suppressions(
+    file: &str,
+    comments: &[Comment],
+    findings: &mut Vec<Finding>,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("backlint:") else {
+            continue;
+        };
+        let body = &c.text[at + "backlint:".len()..];
+        let mut rules = Vec::new();
+        let mut rest = body;
+        let mut malformed = false;
+        loop {
+            let trimmed = rest.trim_start();
+            let Some(after_allow) = trimmed.strip_prefix("allow(") else {
+                rest = trimmed;
+                break;
+            };
+            let Some(close) = after_allow.find(')') else {
+                malformed = true;
+                rest = "";
+                break;
+            };
+            let rule = after_allow[..close].trim().to_string();
+            if !ALL_RULES.contains(&rule.as_str()) {
+                findings.push(Finding::new(
+                    RULE_SUPPRESSION,
+                    file,
+                    c.line,
+                    format!("suppression names unknown rule `{rule}`"),
+                ));
+                malformed = true;
+            }
+            rules.push(rule);
+            rest = &after_allow[close + 1..];
+        }
+        if rules.is_empty() || malformed {
+            if !malformed {
+                findings.push(Finding::new(
+                    RULE_SUPPRESSION,
+                    file,
+                    c.line,
+                    "comment mentions `backlint:` but no `allow(<rule>)` parses".to_string(),
+                ));
+            }
+            continue;
+        }
+        // Justification: everything after a dash separator.
+        let justification = ["—", "--", "-"]
+            .iter()
+            .find_map(|sep| rest.split_once(sep))
+            .map(|(_, j)| j.trim().to_string())
+            .unwrap_or_default();
+        if justification.is_empty() {
+            findings.push(Finding::new(
+                RULE_SUPPRESSION,
+                file,
+                c.line,
+                format!(
+                    "suppression for `{}` carries no justification \
+                     (syntax: `backlint: allow(<rule>) — <why this is safe>`)",
+                    rules.join(", ")
+                ),
+            ));
+            continue;
+        }
+        out.push(Suppression {
+            file: file.to_string(),
+            line: c.line,
+            rules,
+            justification,
+            standalone: c.standalone,
+            used: 0,
+        });
+    }
+    out
+}
+
+/// Applies `suppressions` to `findings`: a finding on line `F` is absorbed
+/// by a matching suppression trailing on `F`, or by a standalone suppression
+/// on a line in the contiguous block of standalone suppressions directly
+/// above `F`. Returns the findings that survive.
+pub fn apply_suppressions(
+    findings: Vec<Finding>,
+    suppressions: &mut [Suppression],
+) -> (Vec<Finding>, usize) {
+    let mut unsuppressed = Vec::new();
+    let mut absorbed = 0usize;
+    for f in findings {
+        // A malformed-suppression finding must never itself be suppressed.
+        let mut hit = None;
+        if f.rule != RULE_SUPPRESSION {
+            for (i, s) in suppressions.iter().enumerate() {
+                if s.file != f.file || !s.rules.iter().any(|r| r == f.rule) {
+                    continue;
+                }
+                let covers = if s.standalone {
+                    // Directly above, possibly stacked: every line between
+                    // the suppression and the finding must itself hold a
+                    // standalone suppression.
+                    s.line < f.line
+                        && (s.line + 1..f.line).all(|l| {
+                            suppressions
+                                .iter()
+                                .any(|o| o.file == f.file && o.line == l && o.standalone)
+                        })
+                } else {
+                    s.line == f.line
+                };
+                if covers {
+                    hit = Some(i);
+                    break;
+                }
+            }
+        }
+        match hit {
+            Some(i) => {
+                suppressions[i].used += 1;
+                absorbed += 1;
+            }
+            None => unsuppressed.push(f),
+        }
+    }
+    (unsuppressed, absorbed)
+}
+
+/// Flags suppressions that absorbed nothing — stale excuses are protocol
+/// rot.
+pub fn unused_suppression_findings(suppressions: &[Suppression]) -> Vec<Finding> {
+    suppressions
+        .iter()
+        .filter(|s| s.used == 0)
+        .map(|s| {
+            Finding::new(
+                RULE_SUPPRESSION,
+                &s.file,
+                s.line,
+                format!(
+                    "suppression for `{}` matches no finding — remove it",
+                    s.rules.join(", ")
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn sup(src: &str) -> (Vec<Suppression>, Vec<Finding>) {
+        let lexed = lex(src);
+        let mut findings = Vec::new();
+        let sups = parse_suppressions("f.rs", &lexed.comments, &mut findings);
+        (sups, findings)
+    }
+
+    #[test]
+    fn parses_well_formed_suppression() {
+        let (s, f) = sup("x(); // backlint: allow(lock-order) — try-then-block, no guard held\n");
+        assert!(f.is_empty());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].rules, vec!["lock-order"]);
+        assert_eq!(s[0].justification, "try-then-block, no guard held");
+        assert!(!s[0].standalone);
+    }
+
+    #[test]
+    fn missing_justification_is_a_finding() {
+        let (s, f) = sup("// backlint: allow(panic-free)\nx();\n");
+        assert!(s.is_empty());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RULE_SUPPRESSION);
+        assert!(f[0].message.contains("no justification"));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_finding() {
+        let (s, f) = sup("// backlint: allow(no-such-rule) — whatever\n");
+        assert!(s.is_empty());
+        assert!(f[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn suppression_matching_same_line_and_above() {
+        let mk = |line| Finding::new(RULE_PANIC_FREE, "f.rs", line, "x".into());
+        let (mut s, _) = sup("// backlint: allow(panic-free) — reason one\n\
+             // backlint: allow(determinism) — reason two\n\
+             bad();\n\
+             also_bad(); // backlint: allow(panic-free) — trailing\n");
+        // Line 3 finding: covered by the stacked standalone on line 1.
+        let (left, absorbed) = apply_suppressions(vec![mk(3), mk(4), mk(10)], &mut s);
+        assert_eq!(absorbed, 2);
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].line, 10);
+        // The determinism suppression on line 2 absorbed nothing.
+        let unused = unused_suppression_findings(&s);
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].line, 2);
+    }
+
+    #[test]
+    fn stacked_cover_requires_contiguity() {
+        let mk = |line| Finding::new(RULE_PANIC_FREE, "f.rs", line, "x".into());
+        let (mut s, _) = sup("// backlint: allow(panic-free) — reason\n\nbad();\n");
+        // Blank line between suppression (1) and finding (3): not covered.
+        let (left, absorbed) = apply_suppressions(vec![mk(3)], &mut s);
+        assert_eq!(absorbed, 0);
+        assert_eq!(left.len(), 1);
+    }
+}

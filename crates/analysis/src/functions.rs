@@ -1,0 +1,293 @@
+//! Function and test-scope extraction over the token stream.
+//!
+//! `backlint`'s rules are per-function ("guard-scope inference" needs a
+//! function boundary to reset at) and must skip test code: `#[cfg(test)]`
+//! modules and `#[test]` functions are allowed to `unwrap()` and take locks
+//! however they like.
+
+use crate::lexer::{Delim, Token, TokenKind};
+
+/// One function found in a file: its name and the token range of its body
+/// (exclusive of the braces), plus whether it lives in test code.
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    /// Token index of the body's opening brace.
+    pub body_open: usize,
+    /// Token index of the body's closing brace.
+    pub body_close: usize,
+    pub is_test: bool,
+    pub line: u32,
+}
+
+/// Everything the rules need from one file's item structure.
+#[derive(Debug)]
+pub struct Items {
+    pub functions: Vec<Function>,
+    /// Token ranges `(open_brace, close_brace)` of `#[cfg(test)] mod`
+    /// blocks — tokens inside (including `use` statements outside any
+    /// function) are test scope.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+/// All functions in `tokens`, in source order. Nested functions are listed
+/// separately (callers skip nested ranges when scanning an outer body).
+pub fn functions(tokens: &[Token]) -> Vec<Function> {
+    items(tokens).functions
+}
+
+/// Functions plus test-module regions.
+pub fn items(tokens: &[Token]) -> Items {
+    let mut out = Vec::new();
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    // Stack of (closing-is-test) test-region brace depths: token index of
+    // the close brace of each `#[cfg(test)] mod` / `#[test] fn` region.
+    let mut test_region_ends: Vec<usize> = Vec::new();
+    let mut pending_test_attr = false;
+
+    while i < tokens.len() {
+        while test_region_ends.last().is_some_and(|&end| i > end) {
+            test_region_ends.pop();
+        }
+        let t = &tokens[i];
+        match (&t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "#") => {
+                // Attribute: `#[...]` (or inner `#![...]`). Scan its tokens
+                // for `test` / `cfg(test)`.
+                let (end, is_test_attr) = scan_attribute(tokens, i);
+                if is_test_attr {
+                    pending_test_attr = true;
+                }
+                i = end;
+            }
+            (TokenKind::Ident, "mod") => {
+                // `mod name {` — if flagged as test, mark the whole block.
+                if let Some(open) = tokens.get(i + 2).filter(|t| is_open_brace(t)) {
+                    let _ = open;
+                    if pending_test_attr {
+                        if let Some(close) = matching_brace(tokens, i + 2) {
+                            test_region_ends.push(close);
+                            regions.push((i + 2, close));
+                        }
+                    }
+                }
+                pending_test_attr = false;
+                i += 1;
+            }
+            (TokenKind::Ident, "fn") => {
+                let in_test_region = !test_region_ends.is_empty();
+                let fn_is_test = pending_test_attr || in_test_region;
+                pending_test_attr = false;
+                let name = match tokens.get(i + 1) {
+                    Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                let line = tokens[i].line;
+                // Find the body's `{`, skipping the signature: balanced
+                // parens/brackets, generics, return type, where clause. A
+                // `;` first means a bodyless declaration.
+                let mut j = i + 2;
+                let mut depth = 0i32;
+                let mut body_open = None;
+                while let Some(tj) = tokens.get(j) {
+                    match tj.kind {
+                        TokenKind::Open(Delim::Paren) | TokenKind::Open(Delim::Bracket) => {
+                            depth += 1
+                        }
+                        TokenKind::Close(Delim::Paren) | TokenKind::Close(Delim::Bracket) => {
+                            depth -= 1
+                        }
+                        TokenKind::Open(Delim::Brace) if depth == 0 => {
+                            body_open = Some(j);
+                            break;
+                        }
+                        TokenKind::Punct if tj.text == ";" && depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let Some(open) = body_open else {
+                    i = j.max(i + 1);
+                    continue;
+                };
+                let Some(close) = matching_brace(tokens, open) else {
+                    i = open + 1;
+                    continue;
+                };
+                out.push(Function {
+                    name,
+                    body_open: open,
+                    body_close: close,
+                    is_test: fn_is_test,
+                    line,
+                });
+                // Continue *inside* the body so nested fns are found too.
+                i = open + 1;
+            }
+            (TokenKind::Ident, _) => {
+                // Any other item-ish ident consumes a pending attr (e.g.
+                // `#[derive(..)] struct X`), except visibility/qualifier
+                // keywords that precede `fn`.
+                if !matches!(
+                    t.text.as_str(),
+                    "pub" | "crate" | "unsafe" | "const" | "async" | "extern" | "in"
+                ) {
+                    pending_test_attr = false;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Items {
+        functions: out,
+        test_regions: regions,
+    }
+}
+
+/// Scans an attribute starting at the `#` token; returns (index past the
+/// attribute, whether it marks test code).
+fn scan_attribute(tokens: &[Token], at: usize) -> (usize, bool) {
+    let mut j = at + 1;
+    if tokens.get(j).is_some_and(|t| t.text == "!") {
+        j += 1;
+    }
+    let Some(open) = tokens
+        .get(j)
+        .filter(|t| t.kind == TokenKind::Open(Delim::Bracket))
+    else {
+        return (at + 1, false);
+    };
+    let _ = open;
+    let mut depth = 0i32;
+    let mut is_test = false;
+    let mut saw_cfg = false;
+    let mut saw_not = false;
+    while let Some(t) = tokens.get(j) {
+        match t.kind {
+            TokenKind::Open(Delim::Bracket) | TokenKind::Open(Delim::Paren) => depth += 1,
+            TokenKind::Close(Delim::Bracket) | TokenKind::Close(Delim::Paren) => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, is_test);
+                }
+            }
+            TokenKind::Ident if t.text == "cfg" => saw_cfg = true,
+            TokenKind::Ident if t.text == "not" => saw_not = true,
+            TokenKind::Ident if t.text == "test" && !saw_not => {
+                // `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, ...))]` — but
+                // not `#[cfg(not(test))]`.
+                let bare = depth == 1 && !saw_cfg;
+                if bare || saw_cfg {
+                    is_test = true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, is_test)
+}
+
+fn is_open_brace(t: &Token) -> bool {
+    t.kind == TokenKind::Open(Delim::Brace)
+}
+
+/// Index of the brace matching the open brace at `open`.
+pub fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Open(Delim::Brace) => depth += 1,
+            TokenKind::Close(Delim::Brace) => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_functions_and_skips_tests() {
+        let src = r#"
+            pub fn live_one(&self) -> u32 { 1 }
+
+            impl Foo {
+                fn method(&mut self, x: Vec<u8>) -> Result<(), E> {
+                    if x.is_empty() { return Err(E); }
+                    Ok(())
+                }
+            }
+
+            #[test]
+            fn a_test() { panic!("fine here"); }
+
+            #[cfg(test)]
+            mod tests {
+                fn helper_in_tests() {}
+                #[test]
+                fn t() {}
+            }
+        "#;
+        let lexed = lex(src);
+        let fns = functions(&lexed.tokens);
+        let by_name: Vec<(&str, bool)> = fns.iter().map(|f| (f.name.as_str(), f.is_test)).collect();
+        assert_eq!(
+            by_name,
+            vec![
+                ("live_one", false),
+                ("method", false),
+                ("a_test", true),
+                ("helper_in_tests", true),
+                ("t", true),
+            ]
+        );
+    }
+
+    #[test]
+    fn derive_attrs_do_not_poison_following_fn() {
+        let src = r#"
+            #[derive(Debug, Clone)]
+            struct S;
+            fn real() {}
+        "#;
+        let lexed = lex(src);
+        let fns = functions(&lexed.tokens);
+        assert_eq!(fns.len(), 1);
+        assert!(!fns[0].is_test);
+    }
+
+    #[test]
+    fn nested_functions_are_listed() {
+        let src = "fn outer() { fn inner() {} inner(); }";
+        let lexed = lex(src);
+        let fns = functions(&lexed.tokens);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "outer");
+        assert_eq!(fns[1].name, "inner");
+        // Inner's body is contained in outer's.
+        assert!(fns[1].body_open > fns[0].body_open);
+        assert!(fns[1].body_close < fns[0].body_close);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(feature = \"x\")] mod m { fn f() {} }";
+        let lexed = lex(src);
+        let fns = functions(&lexed.tokens);
+        assert!(!fns[0].is_test);
+    }
+}

@@ -1,0 +1,408 @@
+//! A minimal Rust tokenizer — just enough structure for `backlint`'s
+//! scope-aware scanning, with none of `syn`'s weight (the workspace builds
+//! offline; see the vendored-stand-ins note in the root manifest).
+//!
+//! The lexer strips comments, strings and char literals from the token
+//! stream (so `".lock()"` inside a string can never look like an
+//! acquisition) but *records* comments, because suppressions live in them
+//! (`// backlint: allow(<rule>) — <justification>`). Lifetimes are
+//! disambiguated from char literals so `'a>` never eats the rest of the
+//! file.
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `let`, `cp_lock`, …).
+    Ident,
+    /// A single punctuation character (`.`, `;`, `#`, …).
+    Punct,
+    /// Brace/paren/bracket — kept distinct because the scanners track depth.
+    Open(Delim),
+    Close(Delim),
+    /// String/char/number literal, contents collapsed (never matched on).
+    Literal,
+    /// A lifetime such as `'a` (skipped by every rule).
+    Lifetime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    Paren,
+    Brace,
+    Bracket,
+}
+
+/// A comment the lexer saw, kept for suppression parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    /// Whether the comment is the first non-whitespace on its line (a
+    /// standalone comment suppresses the line below; a trailing comment
+    /// suppresses its own line).
+    pub standalone: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Unterminated constructs simply end the file — backlint
+/// only ever runs over sources the compiler already accepted, so error
+/// recovery is not worth carrying.
+pub fn lex(src: &str) -> LexedFile {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_has_token = false;
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_has_token = false;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    standalone: !line_has_token,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let standalone = !line_has_token;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    text: src[start..i.min(b.len())].to_string(),
+                    line: start_line,
+                    standalone,
+                });
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                tokens.push(tok(TokenKind::Literal, "\"…\"", line));
+                line_has_token = true;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                i = skip_raw_or_byte_string(b, i, &mut line);
+                tokens.push(tok(TokenKind::Literal, "\"…\"", line));
+                line_has_token = true;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if is_lifetime(b, i) {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    tokens.push(tok(TokenKind::Lifetime, &src[start..i], line));
+                } else {
+                    i += 1; // opening quote
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1; // multi-byte UTF-8 char payloads
+                    }
+                    i += 1; // closing quote
+                    tokens.push(tok(TokenKind::Literal, "'…'", line));
+                }
+                line_has_token = true;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                tokens.push(tok(TokenKind::Ident, &src[start..i], line));
+                line_has_token = true;
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len()
+                    && (b[i] == b'_'
+                        || b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit()
+                        || b[i].is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                tokens.push(tok(TokenKind::Literal, "0", line));
+                line_has_token = true;
+            }
+            b'(' => push_delim(
+                &mut tokens,
+                TokenKind::Open(Delim::Paren),
+                "(",
+                line,
+                &mut i,
+            ),
+            b')' => push_delim(
+                &mut tokens,
+                TokenKind::Close(Delim::Paren),
+                ")",
+                line,
+                &mut i,
+            ),
+            b'{' => push_delim(
+                &mut tokens,
+                TokenKind::Open(Delim::Brace),
+                "{",
+                line,
+                &mut i,
+            ),
+            b'}' => push_delim(
+                &mut tokens,
+                TokenKind::Close(Delim::Brace),
+                "}",
+                line,
+                &mut i,
+            ),
+            b'[' => push_delim(
+                &mut tokens,
+                TokenKind::Open(Delim::Bracket),
+                "[",
+                line,
+                &mut i,
+            ),
+            b']' => push_delim(
+                &mut tokens,
+                TokenKind::Close(Delim::Bracket),
+                "]",
+                line,
+                &mut i,
+            ),
+            _ => {
+                let ch_len = utf8_len(c);
+                tokens.push(tok(TokenKind::Punct, &src[i..i + ch_len], line));
+                i += ch_len;
+                line_has_token = true;
+            }
+        }
+    }
+
+    LexedFile { tokens, comments }
+}
+
+fn tok(kind: TokenKind, text: &str, line: u32) -> Token {
+    Token {
+        kind,
+        text: text.to_string(),
+        line,
+    }
+}
+
+fn push_delim(tokens: &mut Vec<Token>, kind: TokenKind, text: &str, line: u32, i: &mut usize) {
+    tokens.push(tok(kind, text, line));
+    *i += 1;
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Skips a `"…"` string starting at the opening quote, returning the index
+/// past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether the `r`/`b` at `i` opens `r"…"`, `r#"…"#`, `b"…"`, `br"…"` or a
+/// byte char `b'…'`.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'\'' {
+            return true;
+        }
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+        if i < b.len() && b[i] == b'\'' {
+            // Byte char literal b'x' / b'\n'.
+            i += 1;
+            if i < b.len() && b[i] == b'\\' {
+                i += 1;
+            }
+            while i < b.len() && b[i] != b'\'' {
+                i += 1;
+            }
+            return i + 1;
+        }
+    }
+    if i < b.len() && b[i] == b'r' {
+        i += 1;
+        let mut hashes = 0;
+        while i < b.len() && b[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        loop {
+            if i >= b.len() {
+                return i;
+            }
+            if b[i] == b'\n' {
+                *line += 1;
+            }
+            if b[i] == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if b.get(i + 1 + k) != Some(&b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+    }
+    // Plain b"…".
+    skip_string(b, i, line)
+}
+
+/// `'x` is a lifetime unless it closes as a char literal (`'x'`).
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    // A lifetime is `'` + ident-start, NOT followed by a closing `'`.
+    match b.get(i + 1) {
+        Some(c) if *c == b'_' || c.is_ascii_alphabetic() => b.get(i + 2) != Some(&b'\''),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_leak_tokens() {
+        let src = r#"
+            // self.cp_lock.lock() in a comment
+            let s = "self.relocate_lock.lock()";
+            let c = '{'; let l: &'static str = "x";
+            /* block .unwrap() */ fn real() {}
+        "#;
+        let ids = idents(src);
+        assert!(ids.contains(&"real".to_string()));
+        assert!(!ids.contains(&"cp_lock".to_string()));
+        assert!(!ids.contains(&"relocate_lock".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_byte_literals() {
+        let src = r##"let a = r#"panic!("x")"#; let b2 = b"lock"; let c = b'\n'; fn f() {}"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b2", "let", "c", "fn", "f"]);
+    }
+
+    #[test]
+    fn comments_record_placement_and_line() {
+        let src = "let x = 1; // trailing\n// standalone\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].standalone);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[1].standalone);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nfn g() {}\n";
+        let lexed = lex(src);
+        let g = lexed.tokens.iter().find(|t| t.text == "g").unwrap();
+        assert_eq!(g.line, 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! `backlog-analysis` — the library behind the `backlint` binary.
+//!
+//! An offline, dependency-free static analysis pass over the workspace's
+//! Rust sources, enforcing the three protocol invariants this reproduction
+//! lives on (see `crates/analysis/lock_tiers.toml` for the registry and the
+//! README's "Static analysis" section for the full contract):
+//!
+//! 1. **lock-order** — the acyclic lock hierarchy, plus "no guard across a
+//!    device-queue wait";
+//! 2. **panic-free** — corrupt device bytes become errors, never panics, on
+//!    the decode/replay surface;
+//! 3. **determinism** — no wall-clock, entropy, or hash-order dependence in
+//!    sim-reachable encode/digest paths;
+//!
+//! and a fourth meta-rule, **suppression** discipline: only a justified
+//! `// backlint: allow(<rule>) — <why>` silences a finding, every
+//! suppression is counted and reported, and stale suppressions are
+//! themselves findings.
+
+pub mod config;
+pub mod findings;
+pub mod functions;
+pub mod lexer;
+pub mod rules;
+
+use std::path::Path;
+
+pub use config::{Config, ConfigError};
+pub use findings::{Finding, Suppression};
+
+/// Which rule families run — fixture tests prove each family live by
+/// showing its finding disappears when the family is disabled.
+#[derive(Debug, Clone, Copy)]
+pub struct Rules {
+    pub lock_order: bool,
+    pub panic_free: bool,
+    pub determinism: bool,
+}
+
+impl Default for Rules {
+    fn default() -> Self {
+        Rules {
+            lock_order: true,
+            panic_free: true,
+            determinism: true,
+        }
+    }
+}
+
+/// The outcome of a full `check` run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived suppression, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Every suppression seen, with its use count.
+    pub suppressions: Vec<Suppression>,
+    /// Findings before suppression.
+    pub total_findings: usize,
+    /// Findings absorbed by suppressions.
+    pub absorbed: usize,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Checks one file's source text. `rel_path` selects which rule scopes and
+/// lock declarations apply (suffix-matched against the config's file
+/// lists).
+pub fn check_source(
+    rel_path: &str,
+    src: &str,
+    cfg: &Config,
+    rules: &Rules,
+) -> (Vec<Finding>, Vec<Suppression>) {
+    let lexed = lexer::lex(src);
+    let items = functions::items(&lexed.tokens);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut suppressions = findings::parse_suppressions(rel_path, &lexed.comments, &mut raw);
+
+    let in_scope = |list: &[String]| list.iter().any(|f| rel_path.ends_with(f.as_str()));
+    if rules.lock_order && in_scope(&cfg.lock_order_files) {
+        let locks = cfg.locks_for(rel_path);
+        rules::lock_order::scan(rel_path, &lexed.tokens, &items.functions, &locks, &mut raw);
+    }
+    if rules.panic_free && in_scope(&cfg.panic_free_files) {
+        rules::panic_free::scan(rel_path, &lexed.tokens, &items.functions, cfg, &mut raw);
+    }
+    if rules.determinism && in_scope(&cfg.determinism_files) {
+        rules::determinism::scan(rel_path, &lexed.tokens, &items, cfg, &mut raw);
+    }
+
+    let (mut surviving, _) = findings::apply_suppressions(raw, &mut suppressions);
+    surviving.extend(findings::unused_suppression_findings(&suppressions));
+    (surviving, suppressions)
+}
+
+/// Runs the full check over a workspace rooted at `root`, using the
+/// registry at `crates/analysis/lock_tiers.toml`.
+pub fn run_check(root: &Path, rules: &Rules) -> Result<Report, ConfigError> {
+    let cfg_path = root.join("crates/analysis/lock_tiers.toml");
+    let cfg_text = std::fs::read_to_string(&cfg_path).map_err(|e| ConfigError {
+        detail: format!("cannot read {}: {e}", cfg_path.display()),
+    })?;
+    let cfg = config::parse(&cfg_text)?;
+
+    let mut report = Report::default();
+    for rel in cfg.all_files() {
+        let path = root.join(&rel);
+        let src = std::fs::read_to_string(&path).map_err(|e| ConfigError {
+            detail: format!(
+                "registry names {rel} but it cannot be read: {e} — \
+                 lock_tiers.toml must match the tree"
+            ),
+        })?;
+        let (mut file_findings, mut sups) = check_source(&rel, &src, &cfg, rules);
+        report.total_findings += file_findings.len();
+        report.absorbed += sups.iter().map(|s| s.used).sum::<usize>();
+        report.findings.append(&mut file_findings);
+        report.suppressions.append(&mut sups);
+    }
+    report.total_findings += report.absorbed;
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}

@@ -1,0 +1,100 @@
+//! `backlint` — the workspace's protocol linter.
+//!
+//! ```text
+//! cargo run -p backlog-analysis --release -- check [--root <dir>] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/config error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use backlog_analysis::{run_check, Rules};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    if cmd != "check" {
+        return usage();
+    }
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--quiet" => quiet = true,
+            _ => return usage(),
+        }
+    }
+    let root = match root.or_else(discover_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "backlint: cannot find the workspace root \
+                 (no crates/analysis/lock_tiers.toml above the current directory); \
+                 pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run_check(&root, &Rules::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("backlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    if !quiet {
+        for s in &report.suppressions {
+            println!(
+                "note: {}:{} allow({}) ×{} — {}",
+                s.file,
+                s.line,
+                s.rules.join(", "),
+                s.used,
+                s.justification,
+            );
+        }
+    }
+    println!(
+        "backlint: {} finding(s) — {} unsuppressed, {} absorbed by {} suppression(s)",
+        report.total_findings,
+        report.findings.len(),
+        report.absorbed,
+        report.suppressions.len(),
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Walks up from the current directory to the first ancestor holding the
+/// registry.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates/analysis/lock_tiers.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: backlint check [--root <workspace-dir>] [--quiet]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,277 @@
+//! Rule family 3: determinism.
+//!
+//! The simulator's whole value proposition is byte-identical replay from a
+//! seed: the same workload against the same seed must produce the same
+//! on-device image, digests included. In sim-reachable / encode / digest
+//! files this rule forbids wall-clock and entropy sources (`Instant`,
+//! `SystemTime`, `thread_rng`, `RandomState`, thread-id reads) and —
+//! because `HashMap`/`HashSet` iteration order is randomized per process —
+//! any *iteration* over a hash container. Ordered output must come from a
+//! `BTreeMap` or an explicit sort (as `device.rs` already does for its
+//! in-flight table).
+
+use std::collections::BTreeSet;
+
+use crate::config::Config;
+use crate::findings::{Finding, RULE_DETERMINISM};
+use crate::functions::Items;
+use crate::lexer::{Token, TokenKind};
+
+const FORBIDDEN_SOURCES: [&str; 4] = ["Instant", "SystemTime", "thread_rng", "RandomState"];
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+pub fn scan(
+    path: &str,
+    tokens: &[Token],
+    items: &Items,
+    _cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    let in_test = test_scope_predicate(items);
+
+    // Pass 1: names with a hash-container type, from annotations
+    // (`name: HashMap<..>`, struct fields and params alike) and direct
+    // constructions (`name = HashMap::new()`).
+    let mut hash_names: BTreeSet<String> = BTreeSet::new();
+    for i in 0..tokens.len() {
+        if in_test(i) || tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let is_hash = tokens[i].text == "HashMap" || tokens[i].text == "HashSet";
+        if !is_hash {
+            continue;
+        }
+        if let Some(name) = annotated_name(tokens, i).or_else(|| assigned_name(tokens, i)) {
+            hash_names.insert(name);
+        }
+    }
+
+    // Pass 2: violations.
+    for i in 0..tokens.len() {
+        if in_test(i) {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if FORBIDDEN_SOURCES.contains(&t.text.as_str()) {
+            findings.push(Finding::new(
+                RULE_DETERMINISM,
+                path,
+                t.line,
+                format!(
+                    "`{}` in a determinism-scoped file — wall-clock and \
+                     per-process entropy break byte-identical replay",
+                    t.text,
+                ),
+            ));
+            continue;
+        }
+        // `thread::current()` (thread-id reads).
+        if t.text == "thread"
+            && tokens.get(i + 1).is_some_and(|n| n.text == ":")
+            && tokens.get(i + 2).is_some_and(|n| n.text == ":")
+            && tokens.get(i + 3).is_some_and(|n| n.text == "current")
+        {
+            findings.push(Finding::new(
+                RULE_DETERMINISM,
+                path,
+                t.line,
+                "`thread::current()` in a determinism-scoped file — thread \
+                 identity is not replayable"
+                    .to_string(),
+            ));
+            continue;
+        }
+        if !hash_names.contains(&t.text) {
+            continue;
+        }
+        // `name.iter()` and friends.
+        if tokens.get(i + 1).is_some_and(|n| n.text == ".") {
+            if let Some(m) = tokens.get(i + 2) {
+                if ITER_METHODS.contains(&m.text.as_str())
+                    && tokens.get(i + 3).is_some_and(|n| n.text == "(")
+                {
+                    findings.push(Finding::new(
+                        RULE_DETERMINISM,
+                        path,
+                        t.line,
+                        format!(
+                            "iteration over hash container `{}` (`.{}()`) — hash \
+                             order is per-process random; use a BTreeMap or sort \
+                             the result before it can reach encoded bytes",
+                            t.text, m.text,
+                        ),
+                    ));
+                }
+            }
+        }
+        // `for k in &name {` / `for k in name {`.
+        if i >= 1 && is_for_in_target(tokens, i) {
+            findings.push(Finding::new(
+                RULE_DETERMINISM,
+                path,
+                t.line,
+                format!(
+                    "`for … in {}` iterates a hash container — hash order is \
+                     per-process random; use a BTreeMap or sort first",
+                    t.text,
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether token `i` is the container in
+/// `for … in [&[mut]] [recv.] name {`.
+fn is_for_in_target(tokens: &[Token], i: usize) -> bool {
+    if tokens.get(i + 1).is_none_or(|n| n.text != "{") {
+        return false;
+    }
+    let mut j = i.checked_sub(1);
+    // Skip a `recv.` qualifier (`self.index`, `s.index`).
+    if let Some(k) = j {
+        if tokens[k].text == "." {
+            match k.checked_sub(1) {
+                Some(r) if tokens[r].kind == TokenKind::Ident => j = r.checked_sub(1),
+                _ => return false,
+            }
+        }
+    }
+    if let Some(k) = j {
+        if tokens[k].text == "mut" {
+            j = k.checked_sub(1);
+        }
+    }
+    if let Some(k) = j {
+        if tokens[k].text == "&" {
+            j = k.checked_sub(1);
+        }
+    }
+    j.is_some_and(|k| tokens[k].text == "in")
+}
+
+/// For a `HashMap`/`HashSet` token at `i`, the name it annotates:
+/// `name : [path ::] HashMap`.
+fn annotated_name(tokens: &[Token], i: usize) -> Option<String> {
+    // Walk back over a `std::collections::` style path prefix.
+    let mut j = i;
+    loop {
+        let a = tokens.get(j.checked_sub(1)?)?;
+        let b = tokens.get(j.checked_sub(2)?)?;
+        if a.text == ":" && b.text == ":" {
+            let seg = tokens.get(j.checked_sub(3)?)?;
+            if seg.kind != TokenKind::Ident {
+                return None;
+            }
+            j -= 3;
+        } else {
+            break;
+        }
+    }
+    // Now expect `name :` right before (single colon, i.e. NOT `::`).
+    let colon = tokens.get(j.checked_sub(1)?)?;
+    if colon.text != ":" {
+        return None;
+    }
+    let before = tokens.get(j.checked_sub(2)?)?;
+    if before.text == ":" {
+        return None;
+    }
+    (before.kind == TokenKind::Ident).then(|| before.text.clone())
+}
+
+/// For a `HashMap`/`HashSet` token at `i`, the name it is assigned into:
+/// `name = HashMap::new(..)` / `name = HashMap::with_capacity(..)`.
+fn assigned_name(tokens: &[Token], i: usize) -> Option<String> {
+    let follows_ctor = tokens.get(i + 1)?.text == ":"
+        && tokens.get(i + 2)?.text == ":"
+        && matches!(
+            tokens.get(i + 3)?.text.as_str(),
+            "new" | "with_capacity" | "default" | "from_iter"
+        );
+    if !follows_ctor {
+        return None;
+    }
+    let eq = tokens.get(i.checked_sub(1)?)?;
+    if eq.text != "=" {
+        return None;
+    }
+    let name = tokens.get(i.checked_sub(2)?)?;
+    (name.kind == TokenKind::Ident).then(|| name.text.clone())
+}
+
+/// Predicate: token index is inside test scope (`#[cfg(test)] mod` region
+/// or a `#[test]` function body).
+fn test_scope_predicate(items: &Items) -> impl Fn(usize) -> bool + '_ {
+    move |i: usize| {
+        items.test_regions.iter().any(|&(s, e)| i >= s && i <= e)
+            || items
+                .functions
+                .iter()
+                .any(|f| f.is_test && i >= f.body_open && i <= f.body_close)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::items;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let its = items(&lexed.tokens);
+        let mut findings = Vec::new();
+        scan(
+            "t.rs",
+            &lexed.tokens,
+            &its,
+            &Config::default(),
+            &mut findings,
+        );
+        findings
+    }
+
+    #[test]
+    fn wall_clock_and_entropy_fire_everywhere() {
+        let f = run("use std::time::Instant;\nfn f() { let t = Instant::now(); }");
+        assert_eq!(f.len(), 2); // the use and the call site
+        let g = run("fn f() { let id = std::thread::current().id(); }");
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn hash_iteration_fires_via_annotation_and_ctor() {
+        let f = run("struct S { index: HashMap<u64, u32> }\n\
+             impl S { fn digest(&self) { for kv in &self.index {} } }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        let g = run("fn f() { let m = HashMap::new(); for x in &m {} m.iter(); }");
+        assert_eq!(g.len(), 2, "{g:?}");
+    }
+
+    #[test]
+    fn btreemap_and_sorted_access_are_clean() {
+        let f = run("struct S { index: BTreeMap<u64, u32> }\n\
+             fn f(s: &S) { for kv in &s.index {} }\n\
+             fn g(m: &HashMap<u64, u32>) { let v = m.get(&1); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_scope_is_exempt() {
+        let f = run(
+            "#[cfg(test)]\nmod tests {\n use std::time::Instant;\n fn h() { Instant::now(); }\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

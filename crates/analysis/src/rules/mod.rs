@@ -1,0 +1,71 @@
+//! The three source-level rule families. Suppression discipline (family
+//! four) lives in [`crate::findings`] because it applies to the other
+//! three's output rather than to tokens.
+
+pub mod determinism;
+pub mod lock_order;
+pub mod panic_free;
+
+use crate::functions::Function;
+
+/// Token ranges `[start, end)` belonging to function `fi` itself, excluding
+/// the bodies of functions nested inside it (each nested `fn` is scanned as
+/// its own unit, so scanning it here would double-report). Nested bodies are
+/// brace-balanced, so splicing them out keeps depth tracking consistent.
+pub fn own_ranges(funcs: &[Function], fi: usize) -> Vec<(usize, usize)> {
+    let f = &funcs[fi];
+    let mut nested: Vec<(usize, usize)> = funcs
+        .iter()
+        .enumerate()
+        .filter(|(j, g)| *j != fi && g.body_open > f.body_open && g.body_close < f.body_close)
+        .map(|(_, g)| (g.body_open, g.body_close))
+        .collect();
+    nested.sort_unstable();
+    // Keep only outermost nested ranges (a fn inside a nested fn is already
+    // covered by the nested fn's range).
+    let mut outer: Vec<(usize, usize)> = Vec::new();
+    for (s, e) in nested {
+        match outer.last() {
+            Some(&(_, pe)) if e <= pe => {}
+            _ => outer.push((s, e)),
+        }
+    }
+    let mut ranges = Vec::new();
+    let mut cursor = f.body_open + 1;
+    for (s, e) in outer {
+        if s > cursor {
+            ranges.push((cursor, s));
+        }
+        cursor = e + 1;
+    }
+    if f.body_close > cursor {
+        ranges.push((cursor, f.body_close));
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::functions;
+    use crate::lexer::{lex, TokenKind};
+
+    #[test]
+    fn own_ranges_exclude_nested_bodies() {
+        let src = "fn outer() { a(); fn inner() { b(); } c(); }";
+        let lexed = lex(src);
+        let fns = functions(&lexed.tokens);
+        let ranges = own_ranges(&fns, 0);
+        let idents: Vec<&str> = ranges
+            .iter()
+            .flat_map(|&(s, e)| &lexed.tokens[s..e])
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(idents.contains(&"a"));
+        assert!(idents.contains(&"c"));
+        assert!(!idents.contains(&"b"));
+        // `fn inner` signature tokens remain (harmless), body excluded.
+        assert!(idents.contains(&"inner"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Rule family 2: panic-free recovery.
+//!
+//! On the decode/replay surface, bytes come from the device and may be torn,
+//! truncated, or bit-flipped — every panic site is a crash the simulator
+//! hasn't found yet. In scoped files (outside test code) this rule denies
+//! `unwrap()`, `expect(..)`, and the panicking macros, and — inside
+//! functions whose names mark them as decoders — raw `buf[..]` indexing on
+//! registered buffer names, because the index bound came from the very bytes
+//! being decoded. Decoders must use `.get(..)` and return
+//! `BacklogError::Recovery` (or `Option`/`CorruptRun`) instead.
+
+use crate::config::Config;
+use crate::findings::{Finding, RULE_PANIC_FREE};
+use crate::functions::Function;
+use crate::lexer::{Token, TokenKind};
+use crate::rules::own_ranges;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn scan(
+    path: &str,
+    tokens: &[Token],
+    funcs: &[Function],
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    for fi in 0..funcs.len() {
+        let f = &funcs[fi];
+        if f.is_test {
+            continue;
+        }
+        let is_decoder = cfg
+            .decode_functions
+            .iter()
+            .any(|d| f.name.contains(d.as_str()));
+        for (start, end) in own_ranges(funcs, fi) {
+            for i in start..end {
+                let t = &tokens[i];
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                let prev_dot = i > 0 && tokens[i - 1].text == ".";
+                let next = tokens.get(i + 1).map(|n| n.text.as_str());
+                match t.text.as_str() {
+                    "unwrap" | "expect" if prev_dot && next == Some("(") => {
+                        findings.push(Finding::new(
+                            RULE_PANIC_FREE,
+                            path,
+                            t.line,
+                            format!(
+                                "`{}` calls `.{}()` on the recovery surface — corrupt \
+                                 device bytes must become an error, not a panic",
+                                f.name, t.text,
+                            ),
+                        ));
+                    }
+                    m if PANIC_MACROS.contains(&m) && next == Some("!") => {
+                        findings.push(Finding::new(
+                            RULE_PANIC_FREE,
+                            path,
+                            t.line,
+                            format!(
+                                "`{}` invokes `{m}!` on the recovery surface — corrupt \
+                                 device bytes must become an error, not a panic",
+                                f.name,
+                            ),
+                        ));
+                    }
+                    b if is_decoder
+                        && next == Some("[")
+                        && cfg.buffer_names.iter().any(|n| n == b) =>
+                    {
+                        findings.push(Finding::new(
+                            RULE_PANIC_FREE,
+                            path,
+                            t.line,
+                            format!(
+                                "decoder `{}` indexes `{b}[..]` directly — the bound \
+                                 came from decoded bytes; use `.get(..)` and return a \
+                                 recovery error",
+                                f.name,
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::functions;
+    use crate::lexer::lex;
+
+    fn cfg() -> Config {
+        Config {
+            decode_functions: vec!["decode".into(), "read_group".into()],
+            buffer_names: vec!["buf".into(), "bytes".into()],
+            ..Config::default()
+        }
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let fns = functions(&lexed.tokens);
+        let mut findings = Vec::new();
+        scan("t.rs", &lexed.tokens, &fns, &cfg(), &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unwrap_expect_and_macros_fire() {
+        let f = run(
+            "fn replay(x: Option<u8>) { let a = x.unwrap(); let b = x.expect(\"b\"); panic!(\"c\"); }",
+        );
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn indexing_only_fires_in_decoders() {
+        let bad = run("fn decode(buf: &[u8]) -> u8 { buf[0] }");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("indexes"));
+        // Same shape in an encoder: writing at fixed offsets is fine.
+        let ok = run("fn encode(buf: &mut [u8]) { buf[0] = 1; }");
+        assert!(ok.is_empty(), "{ok:?}");
+        // Field access through self counts too.
+        let through_self = run("fn decode(&self) -> u8 { self.buf[self.n] }");
+        assert_eq!(through_self.len(), 1);
+    }
+
+    #[test]
+    fn get_based_access_is_clean() {
+        let f = run("fn decode(buf: &[u8]) -> Option<u8> { buf.get(0).copied() }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let f =
+            run("#[cfg(test)]\nmod tests { fn h(buf: &[u8]) { buf[0]; x.unwrap(); panic!(); } }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

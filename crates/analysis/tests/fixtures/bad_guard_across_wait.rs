@@ -1,0 +1,18 @@
+//! Known-bad fixture: holds an `inner` guard (not `wait_ok`) across a
+//! device-queue `wait` call. Never compiled; only scanned by backlint's
+//! tests.
+
+impl Flusher {
+    pub fn flush(&self) {
+        let guard = self.inner.lock();
+        self.completion.wait();
+        drop(guard);
+    }
+
+    pub fn flush_under_io_lock(&self) {
+        // `io_lock` is declared `wait_ok`: it owns the I/O it covers.
+        let guard = self.io_lock.lock();
+        self.completion.wait();
+        drop(guard);
+    }
+}

@@ -1,0 +1,18 @@
+//! Known-bad fixture for the determinism rule: hash-order iteration and a
+//! wall-clock read on an encode path. Never compiled; only scanned by
+//! backlint's tests.
+
+pub struct Table {
+    entries: HashMap<u64, u64>,
+}
+
+impl Table {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let stamp = Instant::now();
+        for (k, v) in self.entries.iter() {
+            out.extend_from_slice(&k.to_be_bytes());
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        let _ = stamp;
+    }
+}

@@ -1,0 +1,22 @@
+//! Known-bad fixture: acquires `inner` (tier 20) and then nests `outer`
+//! (tier 10) under it — a descending acquisition the lock-order rule must
+//! flag. Never compiled; only scanned by backlint's tests.
+
+pub struct Tables {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+impl Tables {
+    pub fn ascending_is_fine(&self) -> u32 {
+        let o = self.outer.lock();
+        let i = self.inner.lock();
+        *o + *i
+    }
+
+    pub fn descending_is_not(&self) -> u32 {
+        let i = self.inner.lock();
+        let o = self.outer.lock();
+        *i + *o
+    }
+}

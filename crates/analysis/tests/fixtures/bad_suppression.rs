@@ -1,0 +1,15 @@
+//! Known-bad fixture for suppression discipline: an allow with no
+//! justification, and a justified allow that suppresses nothing. Never
+//! compiled; only scanned by backlint's tests.
+
+pub fn quiet(&self) {
+    // backlint: allow(lock-order)
+    let i = self.inner.lock();
+    drop(i);
+}
+
+pub fn stale(&self) {
+    // backlint: allow(determinism) — nothing here ever needed this
+    let x = 1;
+    let _ = x;
+}

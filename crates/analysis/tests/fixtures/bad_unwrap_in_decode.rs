@@ -1,0 +1,12 @@
+//! Known-bad fixture for the panic-free rule: an `unwrap`, an `expect`, a
+//! `panic!` and raw indexing on a decoded buffer, all on a recovery path.
+//! Never compiled; only scanned by backlint's tests.
+
+pub fn decode(buf: &[u8]) -> Header {
+    let magic = buf[0];
+    let len = u32::from_be_bytes(buf.get(1..5).unwrap().try_into().expect("four bytes"));
+    if magic != MAGIC {
+        panic!("bad magic {magic}");
+    }
+    Header { magic, len }
+}

@@ -1,0 +1,40 @@
+//! Clean fixture: ascending lock order, bounds-checked decoding, sorted
+//! iteration. Every rule family scans this file and must stay silent.
+//! Never compiled; only scanned by backlint's tests.
+
+pub struct Tables {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+    entries: BTreeMap<u64, u64>,
+}
+
+impl Tables {
+    pub fn ascending(&self) -> u32 {
+        let o = self.outer.lock();
+        let i = self.inner.lock();
+        *o + *i
+    }
+
+    pub fn scoped(&self) -> u32 {
+        let total;
+        {
+            let i = self.inner.lock();
+            total = *i;
+        }
+        let o = self.outer.lock();
+        total + *o
+    }
+}
+
+pub fn decode(buf: &[u8]) -> Option<Header> {
+    let magic = *buf.first()?;
+    let len = u32::from_be_bytes(buf.get(1..5)?.try_into().ok()?);
+    Some(Header { magic, len })
+}
+
+pub fn encode(entries: &BTreeMap<u64, u64>, out: &mut Vec<u8>) {
+    for (k, v) in entries.iter() {
+        out.extend_from_slice(&k.to_be_bytes());
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+}

@@ -1,6 +1,7 @@
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+// backlint: allow(determinism) — wall-clock time is used for latency emulation only; it never reaches encoded bytes
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -307,6 +308,7 @@ struct IoSlot {
     /// When this slot's last operation ends on the simulated clock.
     sim_end_ns: u64,
     /// When it ends on the wall clock (latency emulation only).
+    // backlint: allow(determinism) — wall-clock deadline drives sleep-based latency emulation only
     wall_end: Option<Instant>,
 }
 
@@ -569,6 +571,7 @@ impl SimDisk {
     /// "In flight" is purely a timing fiction on top of that: the ticket
     /// advances the simulated clock to the operation's finish time and drops
     /// it from the in-flight count, nothing else.
+    // backlint: allow(determinism) — the returned deadline only delays completion delivery on the wall clock
     fn dispatch(&self, page: PageNo, bytes: usize) -> (Option<Instant>, Box<dyn FnOnce() + Send>) {
         let mut sched = self.sched.lock();
         let mut ns = self.config.latency.access_ns(sched.last_page, page, bytes);
@@ -594,6 +597,7 @@ impl SimDisk {
         let end_sim = start_sim + ns;
         slot.sim_end_ns = end_sim;
         let wall_deadline = if ns > 0 && self.emulate_latency.load(Ordering::Relaxed) {
+            // backlint: allow(determinism) — wall-clock read feeds latency emulation, not simulated state
             let now = Instant::now();
             let start = match slot.wall_end {
                 Some(prev) if prev > now => prev,

@@ -32,6 +32,10 @@
 //! unfenced concurrent callbacks. That closes the ordering gap the in-memory
 //! journal used to have.
 
+// Decode-surface module: recovery paths must return errors, never panic
+// (enforced by `backlint` panic-free and audited by clippy here).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
@@ -107,10 +111,18 @@ impl JournalEntry {
                 ),
             });
         }
-        let rec = crate::record::CombinedRecord::decode(&buf[1..1 + 48]);
+        let (tag, body) = match (buf.first(), buf.get(1..1 + 48)) {
+            (Some(&tag), Some(body)) => (tag, body),
+            _ => {
+                return Err(BacklogError::Recovery {
+                    detail: "journal entry truncated".to_string(),
+                })
+            }
+        };
+        let rec = crate::record::CombinedRecord::decode(body);
         let owner = rec.identity.owner();
         let block = rec.identity.block;
-        match buf[0] {
+        match tag {
             1 => Ok(JournalEntry::Add {
                 block,
                 owner,
@@ -203,10 +215,8 @@ impl Journal {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut entries = Vec::new();
         let mut at = 0;
-        while at + JournalEntry::ENCODED_LEN <= bytes.len() {
-            entries.push(JournalEntry::decode(
-                &bytes[at..at + JournalEntry::ENCODED_LEN],
-            )?);
+        while let Some(chunk) = bytes.get(at..at + JournalEntry::ENCODED_LEN) {
+            entries.push(JournalEntry::decode(chunk)?);
             at += JournalEntry::ENCODED_LEN;
         }
         Ok(Journal { entries })
@@ -520,12 +530,13 @@ impl JournalRing {
         let mut st = self.state.lock();
         match outcome {
             Ok(()) => {
-                let last = spans.last().expect("at least one chunk");
-                st.head = if last.offset + last.pages == self.pages {
-                    0
-                } else {
-                    last.offset + last.pages
-                };
+                if let Some(last) = spans.last() {
+                    st.head = if last.offset + last.pages == self.pages {
+                        0
+                    } else {
+                        last.offset + last.pages
+                    };
+                }
                 st.next_seq = first_seq + spans.len() as u64;
                 st.durable_lsn = first_lsn + batch.len() as u64 - 1;
                 st.live.extend(spans);
@@ -681,13 +692,16 @@ fn read_group(
         Err(blockdev::DeviceError::UnwrittenPage { .. }) => return Ok(None),
         Err(e) => return Err(e.into()),
     };
-    if &buf[0..8] != GROUP_MAGIC {
+    if buf.get(0..8) != Some(&GROUP_MAGIC[..]) {
         return Ok(None);
     }
-    if u64::from_be_bytes(buf[16..24].try_into().unwrap()) != seq {
+    if group_u64(&buf, 16) != Some(seq) {
         return Ok(None);
     }
-    let count = u32::from_be_bytes(buf[32..36].try_into().unwrap()) as usize;
+    let count = match group_u32(&buf, 32) {
+        Some(c) => c as usize,
+        None => return Ok(None),
+    };
     if count == 0 || count > MAX_GROUP_ENTRIES {
         return Ok(None);
     }
@@ -703,20 +717,37 @@ fn read_group(
             Err(e) => return Err(e.into()),
         }
     }
-    let checksum = u64::from_be_bytes(buf[8..16].try_into().unwrap());
-    if fnv1a64(&buf[16..len]) != checksum {
-        return Ok(None);
+    let checksum = group_u64(&buf, 8);
+    match buf.get(16..len) {
+        Some(span) if checksum == Some(fnv1a64(span)) => {}
+        _ => return Ok(None),
     }
-    let first_lsn = u64::from_be_bytes(buf[24..32].try_into().unwrap());
+    let Some(first_lsn) = group_u64(&buf, 24) else {
+        return Ok(None);
+    };
     let mut entries = Vec::with_capacity(count);
     for i in 0..count {
         let at = GROUP_HEADER_LEN + i * JournalEntry::ENCODED_LEN;
-        match JournalEntry::decode(&buf[at..at + JournalEntry::ENCODED_LEN]) {
-            Ok(e) => entries.push(e),
-            Err(_) => return Ok(None),
+        match buf
+            .get(at..at + JournalEntry::ENCODED_LEN)
+            .map(JournalEntry::decode)
+        {
+            Some(Ok(e)) => entries.push(e),
+            _ => return Ok(None),
         }
     }
     Ok(Some((first_lsn, entries, gp)))
+}
+
+/// Bounds-checked big-endian u32 read from a group buffer; `None` means the
+/// group is too short to be valid.
+fn group_u32(buf: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_be_bytes(buf.get(at..at + 4)?.try_into().ok()?))
+}
+
+/// Bounds-checked big-endian u64 read from a group buffer.
+fn group_u64(buf: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_be_bytes(buf.get(at..at + 8)?.try_into().ok()?))
 }
 
 /// Replays journal entries into an engine whose on-disk state is at the last
@@ -813,6 +844,7 @@ fn raw_presence(engine: &BacklogEngine, block: BlockNo, owner: Owner) -> Result<
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::config::BacklogConfig;
@@ -884,6 +916,59 @@ mod tests {
             Journal::from_bytes(&bytes),
             Err(crate::BacklogError::Recovery { .. })
         ));
+    }
+
+    #[test]
+    fn flipped_group_bytes_are_rejected_not_panicked_on() {
+        let disk = Arc::new(SimDisk::new(DeviceConfig::free_latency()));
+        let entries = vec![
+            JournalEntry::Add {
+                block: 1,
+                owner: Owner::block(1, 0, LineId::ROOT),
+                cp: 3,
+            },
+            JournalEntry::Remove {
+                block: 2,
+                owner: Owner::block(1, 1, LineId::ROOT),
+                cp: 3,
+            },
+        ];
+        let good = encode_group(7, 11, &entries);
+        assert_eq!(good.len(), PAGE_SIZE);
+        // Flip a bit in every checksummed byte in turn: recovery must treat
+        // each corruption as end-of-ring, never panic or misdecode.
+        let payload_len = GROUP_HEADER_LEN + entries.len() * JournalEntry::ENCODED_LEN;
+        for i in 0..payload_len {
+            let mut buf = good.clone();
+            buf[i] ^= 0x80;
+            disk.write_page(0, &buf).unwrap();
+            let got = read_group(disk.as_ref(), 0, 1, 0, 7).unwrap();
+            assert!(got.is_none(), "flip at byte {i} went undetected");
+        }
+        // The pristine group still reads back.
+        disk.write_page(0, &good).unwrap();
+        let (first_lsn, got, gp) = read_group(disk.as_ref(), 0, 1, 0, 7).unwrap().unwrap();
+        assert_eq!((first_lsn, gp), (11, 1));
+        assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn torn_multi_page_group_is_ignored() {
+        let disk = Arc::new(SimDisk::new(DeviceConfig::free_latency()));
+        let owner = Owner::block(1, 0, LineId::ROOT);
+        let entries: Vec<JournalEntry> = (0..100)
+            .map(|i| JournalEntry::Add {
+                block: i,
+                owner,
+                cp: 3,
+            })
+            .collect();
+        let buf = encode_group(7, 11, &entries);
+        assert_eq!(buf.len(), 2 * PAGE_SIZE);
+        // The crash tore the group: only its first page reached the device,
+        // so the header advertises entries that live on an unwritten page.
+        disk.write_page(0, &buf[..PAGE_SIZE]).unwrap();
+        assert!(read_group(disk.as_ref(), 0, 2, 0, 7).unwrap().is_none());
     }
 
     #[test]

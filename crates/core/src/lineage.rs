@@ -8,6 +8,10 @@
 //! expansion and for masking deleted snapshots out of query results, and
 //! everything maintenance needs to decide which records can be purged.
 
+// Decode-surface module: recovery paths must return errors, never panic
+// (enforced by `backlint` panic-free and audited by clippy here).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use parking_lot::Mutex;
@@ -366,8 +370,10 @@ impl LineageTable {
     /// the mutex-guarded zombie set is touched. Queries never consult
     /// zombies — they matter solely to maintenance purge decisions.
     pub fn prune_zombies(&self) -> usize {
-        let zombies: Vec<SnapshotId> = self.zombies.lock().iter().copied().collect();
-        let dead: Vec<SnapshotId> = zombies
+        // Candidate order does not matter: the filter below is a pure
+        // predicate and removal from the set is order-insensitive.
+        let candidates: Vec<SnapshotId> = self.zombies.lock().iter().copied().collect();
+        let dead: Vec<SnapshotId> = candidates
             .into_iter()
             .filter(|z| {
                 !self
@@ -395,10 +401,11 @@ impl LineageTable {
         let put_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_be_bytes());
         put_u32(out, self.next_line);
         put_u64(out, self.current_cp);
-        let mut lines: Vec<&LineInfo> = self.lines.values().collect();
-        lines.sort_by_key(|l| l.id);
-        put_u32(out, lines.len() as u32);
-        for l in lines {
+        // backlint: allow(determinism) — sorted by line id immediately below
+        let mut sorted_lines: Vec<&LineInfo> = self.lines.values().collect();
+        sorted_lines.sort_by_key(|l| l.id);
+        put_u32(out, sorted_lines.len() as u32);
+        for l in sorted_lines {
             put_u32(out, l.id.0);
             match l.parent {
                 Some(p) => {
@@ -411,6 +418,7 @@ impl LineageTable {
             put_u64(out, l.created_at);
             out.push(l.deleted as u8);
         }
+        // backlint: allow(determinism) — sorted by line id immediately below
         let mut versions: Vec<(&LineId, &BTreeSet<CpNumber>)> = self.live_versions.iter().collect();
         versions.sort_by_key(|(l, _)| **l);
         put_u32(out, versions.len() as u32);
@@ -421,22 +429,23 @@ impl LineageTable {
                 put_u64(out, v);
             }
         }
-        let zombies = self.zombies();
-        put_u32(out, zombies.len() as u32);
-        for z in zombies {
+        let sorted_zombies = self.zombies();
+        put_u32(out, sorted_zombies.len() as u32);
+        for z in sorted_zombies {
             put_u32(out, z.line.0);
             put_u64(out, z.version);
         }
         // Clone associations, preserving each parent's creation order (the
         // order `clones_of` reports).
+        // backlint: allow(determinism) — sorted by snapshot id immediately below
         let mut clones: Vec<(&SnapshotId, &Vec<LineId>)> = self.clones_of.iter().collect();
         clones.sort_by_key(|(s, _)| **s);
         put_u32(out, clones.len() as u32);
-        for (snap, lines) in clones {
+        for (snap, clone_lines) in clones {
             put_u32(out, snap.line.0);
             put_u64(out, snap.version);
-            put_u32(out, lines.len() as u32);
-            for l in lines {
+            put_u32(out, clone_lines.len() as u32);
+            for l in clone_lines {
                 put_u32(out, l.0);
             }
         }
@@ -546,6 +555,7 @@ impl LineageTable {
             return true;
         }
         // A deleted clone may itself have been cloned.
+        // backlint: allow(determinism) — existence check; iteration order cannot change the result
         self.clones_of.iter().any(|(snap, clones)| {
             snap.line == line && clones.iter().any(|&c| self.has_live_descendants(c))
         })
@@ -553,6 +563,7 @@ impl LineageTable {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,3 +1,7 @@
+// Decode-surface module: recovery paths must return errors, never panic
+// (enforced by `backlint` panic-free and audited by clippy here).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -379,7 +383,7 @@ impl<R: Record> Run<R> {
         let mut page_no = self.root_page;
         loop {
             let page = self.read_page(page_no)?;
-            let (kind, count) = parse_header(&page)?;
+            let (kind, count) = parse_header(&page, R::ENCODED_LEN)?;
             match kind {
                 KIND_LEAF => {
                     // Binary search within the leaf for the first record >= key.
@@ -388,7 +392,7 @@ impl<R: Record> Run<R> {
                     while lo < hi {
                         let mid = (lo + hi) / 2;
                         let start = PAGE_HEADER + mid * R::ENCODED_LEN;
-                        let rec = R::decode(&page[start..start + R::ENCODED_LEN]);
+                        let rec = R::decode(entry_bytes(&page, start, R::ENCODED_LEN, page_no)?);
                         if rec.partition_key() < key {
                             lo = mid + 1;
                         } else {
@@ -411,7 +415,7 @@ impl<R: Record> Run<R> {
                     while lo < hi {
                         let mid = (lo + hi) / 2;
                         let start = PAGE_HEADER + mid * entry_len;
-                        let rec = R::decode(&page[start..start + R::ENCODED_LEN]);
+                        let rec = R::decode(entry_bytes(&page, start, R::ENCODED_LEN, page_no)?);
                         if rec.partition_key() < key {
                             chosen = mid;
                             lo = mid + 1;
@@ -420,9 +424,12 @@ impl<R: Record> Run<R> {
                         }
                     }
                     let start = PAGE_HEADER + chosen * entry_len;
-                    let child_bytes: [u8; 8] = page[start + R::ENCODED_LEN..start + entry_len]
-                        .try_into()
-                        .unwrap();
+                    let child_bytes: [u8; 8] =
+                        entry_bytes(&page, start + R::ENCODED_LEN, 8, page_no)?
+                            .try_into()
+                            .map_err(|_| LsmError::CorruptRun {
+                                detail: format!("malformed child pointer at page {page_no}"),
+                            })?;
                     page_no = u64::from_be_bytes(child_bytes);
                 }
                 other => {
@@ -487,7 +494,7 @@ pub struct RunRangeIter<'a, R: Record> {
 impl<R: Record> RunRangeIter<'_, R> {
     fn load_page(&mut self) -> Result<bool> {
         let page = self.run.read_page(self.leaf)?;
-        let (kind, count) = parse_header(&page)?;
+        let (kind, count) = parse_header(&page, R::ENCODED_LEN)?;
         if kind != KIND_LEAF {
             return Err(LsmError::CorruptRun {
                 detail: format!("expected leaf at page {}", self.leaf),
@@ -516,10 +523,21 @@ impl<R: Record> Iterator for RunRangeIter<'_, R> {
                     return Some(Err(e));
                 }
             }
-            let (page, count) = self.page.as_ref().expect("leaf page loaded");
+            let Some((page, count)) = self.page.as_ref() else {
+                self.done = true;
+                return Some(Err(LsmError::CorruptRun {
+                    detail: format!("leaf page {} not loaded", self.leaf),
+                }));
+            };
             if self.index < *count {
                 let start = PAGE_HEADER + self.index * R::ENCODED_LEN;
-                let rec = R::decode(&page[start..start + R::ENCODED_LEN]);
+                let rec = match entry_bytes(page, start, R::ENCODED_LEN, self.leaf) {
+                    Ok(bytes) => R::decode(bytes),
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                };
                 self.index += 1;
                 let key = rec.partition_key();
                 if key > self.max {
@@ -680,7 +698,9 @@ impl<R: Record> RunBuilder<R> {
     /// surface here; the caller abandons the build on any error.
     fn append_pipelined(&mut self, buf: &[u8]) -> Result<()> {
         while self.pending_io.len() >= self.max_pending_io {
-            let oldest = self.pending_io.pop_front().expect("len checked");
+            let Some(oldest) = self.pending_io.pop_front() else {
+                break;
+            };
             oldest.wait()?;
         }
         let f = self.files.open(self.file)?;
@@ -823,17 +843,54 @@ fn set_header(buf: &mut [u8], kind: u8, count: usize) {
     buf[3] = 0;
 }
 
-fn parse_header(buf: &[u8]) -> Result<(u8, usize)> {
-    if buf.len() < PAGE_HEADER {
+/// Parses a run-page header, validating the entry count against the page
+/// length for the page's kind (`record_len` bytes per leaf entry, plus a
+/// child pointer for internal entries). The count is a decoded u16 — on a
+/// corrupt page it can claim up to 65535 entries, so it must never drive
+/// slicing without this check. Unknown kinds pass through for the caller to
+/// reject with page context.
+fn parse_header(buf: &[u8], record_len: usize) -> Result<(u8, usize)> {
+    let (head, kind) = match (buf.get(0..2), buf.get(2)) {
+        (Some(head), Some(&kind)) => (head, kind),
+        _ => {
+            return Err(LsmError::CorruptRun {
+                detail: "page shorter than header".into(),
+            })
+        }
+    };
+    let count = u16::from_be_bytes([head[0], head[1]]) as usize;
+    let entry_len = match kind {
+        KIND_LEAF => record_len,
+        KIND_INTERNAL => record_len + 8,
+        _ => return Ok((kind, count)),
+    };
+    if count
+        .checked_mul(entry_len)
+        .is_none_or(|body| PAGE_HEADER + body > buf.len())
+    {
         return Err(LsmError::CorruptRun {
-            detail: "page shorter than header".into(),
+            detail: format!(
+                "page header claims {count} entries of {entry_len} bytes, more \
+                 than fit in {} bytes",
+                buf.len()
+            ),
         });
     }
-    let count = u16::from_be_bytes([buf[0], buf[1]]) as usize;
-    Ok((buf[2], count))
+    Ok((kind, count))
+}
+
+/// Bounds-checked view of one entry's bytes. With the header count
+/// validated a miss is impossible, but a corrupt page must surface as an
+/// error, never as a slice panic mid-scan.
+fn entry_bytes(page: &[u8], start: usize, len: usize, page_no: u64) -> Result<&[u8]> {
+    page.get(start..start + len)
+        .ok_or_else(|| LsmError::CorruptRun {
+            detail: format!("entry out of page bounds at page {page_no}"),
+        })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::record::test_support::TestRec;
@@ -868,6 +925,38 @@ mod tests {
         assert_eq!(run.len(), 10);
         assert_eq!(run.min_key(), 0);
         assert_eq!(run.max_key(), 18);
+        assert_eq!(run.scan_all().unwrap(), recs);
+    }
+
+    #[test]
+    fn corrupt_page_header_is_an_error_not_a_panic() {
+        let disk = SimDisk::new_shared(DeviceConfig::free_latency());
+        let fs = Arc::new(FileStore::new(disk.clone()));
+        let recs: Vec<TestRec> = (0..10u64).map(|k| TestRec::new(k * 2, k)).collect();
+        let run = Run::build(&fs, &recs, &BloomConfig::default())
+            .unwrap()
+            .unwrap();
+        let meta = fs.file_meta(run.file_id()).unwrap();
+        assert_eq!(meta.len_pages, 1, "test assumes a single-page run");
+        let page_no = meta.extents[0].0;
+        let good = disk.read_page(page_no).unwrap();
+
+        // A flipped count claiming 65535 entries: an unvalidated count
+        // would drive slicing straight off the end of the page.
+        let mut bad = good.clone();
+        bad[0] = 0xff;
+        bad[1] = 0xff;
+        disk.write_page(page_no, &bad).unwrap();
+        assert!(matches!(run.scan_all(), Err(LsmError::CorruptRun { .. })));
+
+        // A flipped kind byte is rejected with page context.
+        let mut bad = good.clone();
+        bad[2] = 7;
+        disk.write_page(page_no, &bad).unwrap();
+        assert!(matches!(run.scan_all(), Err(LsmError::CorruptRun { .. })));
+
+        // The pristine page still scans.
+        disk.write_page(page_no, &good).unwrap();
         assert_eq!(run.scan_all().unwrap(), recs);
     }
 

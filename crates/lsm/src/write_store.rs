@@ -299,6 +299,7 @@ impl<R: Record> ShardedWriteStore<R> {
             Some(guard) => guard,
             None => {
                 self.device.stats().record_lock_contention();
+                // backlint: allow(lock-order) — try-then-block fallback: this arm runs only when try_lock returned None, so no shard guard is held
                 shard.lock()
             }
         }
