@@ -124,6 +124,29 @@ fn suppression_discipline_is_live() {
 }
 
 #[test]
+fn obs_files_are_determinism_scoped_in_the_shipped_registry() {
+    // Parse the *shipped* registry, not the fixture one: this test proves
+    // the obs crate is actually inside the determinism scope backlint
+    // enforces on the live tree.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("lock_tiers.toml");
+    let shipped =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let cfg = config::parse(&shipped).expect("shipped registry parses");
+    let bad = fixture("bad_wallclock_in_obs.rs");
+
+    // The same source trips the rule under an obs-scoped path…
+    let (hits, _) = check_source("crates/obs/src/recorder.rs", &bad, &cfg, &Rules::default());
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, RULE_DETERMINISM);
+    assert!(hits[0].message.contains("Instant"), "{}", hits[0].message);
+
+    // …and is ignored under clock.rs, the single file deliberately left
+    // out of scope so `MonotonicClock` can wrap `Instant`.
+    let (clock_hits, _) = check_source("crates/obs/src/clock.rs", &bad, &cfg, &Rules::default());
+    assert!(clock_hits.is_empty(), "{clock_hits:?}");
+}
+
+#[test]
 fn clean_fixture_stays_clean() {
     assert!(findings("clean.rs", &Rules::default()).is_empty());
 }

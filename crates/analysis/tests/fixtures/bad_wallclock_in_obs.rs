@@ -1,0 +1,11 @@
+//! Known-bad fixture: a wall-clock read inside an observability file.
+//!
+//! The determinism rule must flag the `Instant` below when this source is
+//! checked under an obs-scoped path (`crates/obs/src/recorder.rs`), and
+//! must stay silent for `crates/obs/src/clock.rs` — the one file allowed
+//! to wrap the wall clock behind the `Clock` trait.
+
+pub fn stamp_event() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

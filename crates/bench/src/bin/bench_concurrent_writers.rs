@@ -32,6 +32,7 @@ use std::time::Instant;
 
 use backlog::{BacklogConfig, BacklogEngine, LineId, Owner, WriteBatch};
 use blockdev::{Device, DeviceConfig, FileStore, LatencyModel, SimDisk, PAGE_SIZE};
+use obs::{validate_bench_report, BenchReport, HistogramSnapshot};
 
 /// A uniform-latency device: every page access costs the same, no seek
 /// penalty — the shape of a flash device or striped array where concurrent
@@ -61,6 +62,8 @@ struct Measurement {
     runs_created: u32,
     max_in_flight: u64,
     completed_async_ops: u64,
+    /// Per-operation modeled device service-time distribution.
+    service_hist: HistogramSnapshot,
     from_table: Vec<backlog::FromRecord>,
 }
 
@@ -133,6 +136,7 @@ fn run(cfg: &Config, threads: usize) -> Measurement {
         runs_created,
         max_in_flight: snap.max_in_flight,
         completed_async_ops: snap.completed_async_ops,
+        service_hist: disk.stats().service_ns(),
         from_table: engine.from_table().scan_disk().expect("scan failed"),
     }
 }
@@ -159,8 +163,15 @@ fn main() {
         }
     };
 
+    let mut report = BenchReport::new("concurrent_writers");
+    report.config_bool("smoke", smoke);
+    report.config_u64("partitions", u64::from(cfg.partitions));
+    report.config_u64("ops_per_round", cfg.ops_per_round);
+    report.config_u64("rounds", cfg.rounds);
+    report.config_u64("ns_per_page", cfg.ns_per_page);
+    report.config_u64("batch_len", cfg.batch_len as u64);
+
     let total_ops = cfg.ops_per_round * cfg.rounds;
-    let mut entries: Vec<String> = Vec::new();
     let mut serial_total_ns = 0u64;
     let mut reference: Option<Vec<backlog::FromRecord>> = None;
     for &threads in cfg.thread_counts {
@@ -174,24 +185,44 @@ fn main() {
             None => reference = Some(m.from_table),
             Some(r) => assert_eq!(*r, m.from_table, "thread counts diverged"),
         }
-        entries.push(format!(
-            "  \"writers_{}p_{threads}t\": {{ \"block_ops\": {total_ops}, \"wall_ns\": {wall_ns}, \
-\"callback_wall_ns\": {}, \"cp_flush_wall_ns\": {}, \"ops_per_sec\": {:.1}, \
-\"throughput_vs_1t\": {:.2}, \"runs_created\": {}, \"lock_contentions\": {}, \
-\"max_in_flight\": {}, \"completed_async_ops\": {} }}",
-            cfg.partitions,
-            m.callback_ns,
-            m.flush_ns,
+        let key = format!("writers_{}p_{threads}t", cfg.partitions);
+        report
+            .metrics
+            .counter(format!("{key}_block_ops"), total_ops);
+        report.metrics.counter(format!("{key}_wall_ns"), wall_ns);
+        report
+            .metrics
+            .counter(format!("{key}_callback_wall_ns"), m.callback_ns);
+        report
+            .metrics
+            .counter(format!("{key}_cp_flush_wall_ns"), m.flush_ns);
+        report.metrics.gauge(
+            format!("{key}_ops_per_sec"),
             total_ops as f64 * 1e9 / wall_ns as f64,
+        );
+        report.metrics.gauge(
+            format!("{key}_throughput_vs_1t"),
             serial_total_ns as f64 / wall_ns as f64,
-            m.runs_created,
-            m.contentions,
-            m.max_in_flight,
-            m.completed_async_ops,
-        ));
+        );
+        report
+            .metrics
+            .counter(format!("{key}_runs_created"), u64::from(m.runs_created));
+        report
+            .metrics
+            .counter(format!("{key}_lock_contentions"), m.contentions);
+        report
+            .metrics
+            .gauge(format!("{key}_max_in_flight"), m.max_in_flight as f64);
+        report
+            .metrics
+            .counter(format!("{key}_completed_async_ops"), m.completed_async_ops);
+        report.metrics.histogram_snapshot(
+            format!("backlog_device_service_ns_{threads}t"),
+            m.service_hist,
+        );
     }
 
-    println!("{{");
-    println!("{}", entries.join(",\n"));
-    println!("}}");
+    let json = report.to_json();
+    validate_bench_report(&json).expect("schema-valid bench report");
+    println!("{json}");
 }

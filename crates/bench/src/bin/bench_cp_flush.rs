@@ -18,6 +18,11 @@
 //! Every configuration must also produce an identical `From` table — a cheap
 //! determinism check for the async write path.
 //!
+//! Output is a `backscope-bench-v1` document (see `obs::report`): the
+//! per-configuration wall clocks as counters, plus the engine's per-CP-phase
+//! latency histograms (prepare/flush/barrier/flip/retire, p50/p99/max)
+//! merged across every configuration.
+//!
 //! Run with `cargo run --release --bin bench_cp_flush`; pass `--smoke` for
 //! the tiny CI configuration.
 
@@ -26,6 +31,7 @@ use std::time::Instant;
 
 use backlog::{BacklogConfig, BacklogEngine, LineId, Owner, WriteBatch};
 use blockdev::{Device, DeviceConfig, LatencyModel, SimDisk, PAGE_SIZE};
+use obs::{validate_bench_report, BenchReport, Histogram};
 
 /// A uniform-latency device: every page access costs the same, no seek
 /// penalty — the shape of a flash device where concurrent requests overlap
@@ -59,9 +65,33 @@ struct Measurement {
     from_table: Vec<backlog::FromRecord>,
 }
 
+/// Per-CP-phase latency histograms merged across every configuration.
+#[derive(Default)]
+struct PhaseAgg {
+    total: Histogram,
+    prepare: Histogram,
+    flush: Histogram,
+    barrier: Histogram,
+    flip: Histogram,
+    retire: Histogram,
+}
+
+impl PhaseAgg {
+    fn absorb(&self, engine: &BacklogEngine) {
+        let o = engine.obs();
+        self.total.merge_from(&o.cp_flush_ns);
+        self.prepare.merge_from(&o.cp_phase_prepare);
+        self.flush.merge_from(&o.cp_phase_flush);
+        self.barrier.merge_from(&o.cp_phase_barrier);
+        self.flip.merge_from(&o.cp_phase_flip);
+        self.retire.merge_from(&o.cp_phase_retire);
+    }
+}
+
 /// Loads the workload (emulation off), then times `rounds` durable CPs with
-/// emulation on.
-fn run(cfg: &Config, depth: usize, threads: usize) -> Measurement {
+/// emulation on. Timing is left enabled so the engine's CP-phase histograms
+/// capture real wall-clock nanoseconds; `agg` accumulates them.
+fn run(cfg: &Config, depth: usize, threads: usize, agg: &PhaseAgg) -> Measurement {
     let block_space = cfg.ops_per_round * cfg.rounds;
     let disk = SimDisk::new_shared(
         DeviceConfig::free_latency()
@@ -70,9 +100,7 @@ fn run(cfg: &Config, depth: usize, threads: usize) -> Measurement {
     );
     let engine = BacklogEngine::create_durable(
         disk.clone() as Arc<dyn Device>,
-        BacklogConfig::partitioned(cfg.partitions, block_space)
-            .without_timing()
-            .with_cp_flush_threads(threads),
+        BacklogConfig::partitioned(cfg.partitions, block_space).with_cp_flush_threads(threads),
     )
     .expect("durable create");
     let mut cp_wall_ns = 0u64;
@@ -113,6 +141,7 @@ fn run(cfg: &Config, depth: usize, threads: usize) -> Measurement {
              was in flight"
         );
     }
+    agg.absorb(&engine);
     Measurement {
         cp_wall_ns,
         cp_pages_written: cp_pages,
@@ -146,13 +175,21 @@ fn main() {
         }
     };
 
-    let mut entries: Vec<String> = Vec::new();
+    let mut report = BenchReport::new("cp_flush");
+    report.config_bool("smoke", smoke);
+    report.config_u64("partitions", u64::from(cfg.partitions));
+    report.config_u64("ops_per_round", cfg.ops_per_round);
+    report.config_u64("rounds", cfg.rounds);
+    report.config_u64("ns_per_page", cfg.ns_per_page);
+    report.config_f64("min_speedup", cfg.min_speedup);
+
+    let agg = PhaseAgg::default();
     let mut reference: Option<Vec<backlog::FromRecord>> = None;
     for &threads in cfg.thread_counts {
         let mut depth1_ns = 0u64;
         let mut deepest: Option<(usize, u64)> = None;
         for &depth in cfg.depths {
-            let m = run(&cfg, depth, threads);
+            let m = run(&cfg, depth, threads, &agg);
             if depth == 1 {
                 depth1_ns = m.cp_wall_ns;
             }
@@ -163,16 +200,23 @@ fn main() {
                 None => reference = Some(m.from_table),
                 Some(r) => assert_eq!(*r, m.from_table, "configurations diverged"),
             }
-            entries.push(format!(
-                "  \"cp_flush_d{depth}_{threads}t\": {{ \"cp_wall_ns\": {}, \
-\"cp_pages_written\": {}, \"speedup_vs_d1\": {:.2}, \"max_in_flight\": {}, \
-\"completed_async_ops\": {} }}",
-                m.cp_wall_ns,
-                m.cp_pages_written,
+            let key = format!("cp_flush_d{depth}_{threads}t");
+            report
+                .metrics
+                .counter(format!("{key}_wall_ns"), m.cp_wall_ns);
+            report
+                .metrics
+                .counter(format!("{key}_pages_written"), m.cp_pages_written);
+            report.metrics.gauge(
+                format!("{key}_speedup_vs_d1"),
                 depth1_ns as f64 / m.cp_wall_ns as f64,
-                m.max_in_flight,
-                m.completed_async_ops,
-            ));
+            );
+            report
+                .metrics
+                .gauge(format!("{key}_max_in_flight"), m.max_in_flight as f64);
+            report
+                .metrics
+                .counter(format!("{key}_completed_async_ops"), m.completed_async_ops);
         }
         if cfg.min_speedup > 0.0 {
             let (depth, deep_ns) = deepest.expect("at least one depth ran");
@@ -186,7 +230,25 @@ fn main() {
         }
     }
 
-    println!("{{");
-    println!("{}", entries.join(",\n"));
-    println!("}}");
+    // Per-CP-phase latency distributions, merged across configurations.
+    report.metrics.histogram("backlog_cp_flush_ns", &agg.total);
+    report
+        .metrics
+        .histogram("backlog_cp_phase_prepare_ns", &agg.prepare);
+    report
+        .metrics
+        .histogram("backlog_cp_phase_flush_ns", &agg.flush);
+    report
+        .metrics
+        .histogram("backlog_cp_phase_barrier_ns", &agg.barrier);
+    report
+        .metrics
+        .histogram("backlog_cp_phase_flip_ns", &agg.flip);
+    report
+        .metrics
+        .histogram("backlog_cp_phase_retire_ns", &agg.retire);
+
+    let json = report.to_json();
+    validate_bench_report(&json).expect("schema-valid bench report");
+    println!("{json}");
 }

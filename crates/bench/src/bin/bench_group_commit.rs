@@ -30,6 +30,7 @@ use std::time::Instant;
 
 use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
 use blockdev::{DeviceConfig, LatencyModel, SimDisk, PAGE_SIZE};
+use obs::{validate_bench_report, BenchReport, HistogramSnapshot};
 
 /// A uniform-latency device: every page access costs the same, no seek
 /// penalty — the shape of a flash device or striped array where concurrent
@@ -61,7 +62,7 @@ fn run_baseline(cfg: &Config) -> u64 {
     );
     let engine = BacklogEngine::create_durable(
         disk.clone(),
-        BacklogConfig::partitioned(cfg.partitions, cfg.baseline_ops).without_timing(),
+        BacklogConfig::partitioned(cfg.partitions, cfg.baseline_ops),
     )
     .expect("durable create");
     disk.set_latency_emulation(true);
@@ -77,8 +78,9 @@ fn run_baseline(cfg: &Config) -> u64 {
 
 /// `threads` writers over one shared ring, group-committing every
 /// `cfg.group` callbacks. Returns the wall-clock for making every callback
-/// durable.
-fn run_group_commit(cfg: &Config, threads: usize) -> u64 {
+/// durable plus the engine's per-group-commit latency distribution
+/// (coalesce through ack, real nanoseconds — timing stays enabled).
+fn run_group_commit(cfg: &Config, threads: usize) -> (u64, HistogramSnapshot) {
     let total = cfg.ops_per_writer * threads as u64;
     let disk = SimDisk::new_shared(
         DeviceConfig::free_latency().with_latency(uniform_latency(cfg.ns_per_page)),
@@ -87,7 +89,6 @@ fn run_group_commit(cfg: &Config, threads: usize) -> u64 {
     // writer's ack cadence; the ring is sized for the whole run since no CP
     // advances truncation here.
     let config = BacklogConfig::partitioned(cfg.partitions, total)
-        .without_timing()
         .with_journaling()
         .with_journal_group_size(0)
         .with_journal_ring_pages(total / 64 + 64);
@@ -116,7 +117,7 @@ fn run_group_commit(cfg: &Config, threads: usize) -> u64 {
         total,
         "{threads}t: every callback must be acknowledged durable"
     );
-    wall_ns
+    (wall_ns, engine.obs().group_commit_ns.snapshot())
 }
 
 fn main() {
@@ -141,32 +142,49 @@ fn main() {
         }
     };
 
+    let mut report = BenchReport::new("group_commit");
+    report.config_bool("smoke", smoke);
+    report.config_u64("partitions", u64::from(cfg.partitions));
+    report.config_u64("baseline_ops", cfg.baseline_ops);
+    report.config_u64("ops_per_writer", cfg.ops_per_writer);
+    report.config_u64("group", cfg.group);
+    report.config_u64("ns_per_page", cfg.ns_per_page);
+
     let baseline_ns = run_baseline(&cfg);
     let baseline_ops_per_sec = cfg.baseline_ops as f64 * 1e9 / baseline_ns as f64;
-    let mut entries = vec![format!(
-        "  \"cp_per_callback_baseline\": {{ \"callbacks\": {}, \"wall_ns\": {baseline_ns}, \
-\"durable_callbacks_per_sec\": {baseline_ops_per_sec:.1} }}",
-        cfg.baseline_ops,
-    )];
+    report
+        .metrics
+        .counter("cp_per_callback_baseline_wall_ns", baseline_ns);
+    report.metrics.gauge(
+        "cp_per_callback_baseline_durable_callbacks_per_sec",
+        baseline_ops_per_sec,
+    );
 
     let mut speedup_at_max_threads = 0.0f64;
     for &threads in cfg.thread_counts {
         let total = cfg.ops_per_writer * threads as u64;
-        let wall_ns = run_group_commit(&cfg, threads);
+        let (wall_ns, commit_hist) = run_group_commit(&cfg, threads);
         let ops_per_sec = total as f64 * 1e9 / wall_ns as f64;
         let speedup = ops_per_sec / baseline_ops_per_sec;
         speedup_at_max_threads = speedup;
-        entries.push(format!(
-            "  \"group_commit_{threads}t\": {{ \"callbacks\": {total}, \"group\": {}, \
-\"wall_ns\": {wall_ns}, \"durable_callbacks_per_sec\": {ops_per_sec:.1}, \
-\"speedup_vs_cp_baseline\": {speedup:.1} }}",
-            cfg.group,
-        ));
+        let key = format!("group_commit_{threads}t");
+        report.metrics.counter(format!("{key}_callbacks"), total);
+        report.metrics.counter(format!("{key}_wall_ns"), wall_ns);
+        report
+            .metrics
+            .gauge(format!("{key}_durable_callbacks_per_sec"), ops_per_sec);
+        report
+            .metrics
+            .gauge(format!("{key}_speedup_vs_cp_baseline"), speedup);
+        // The per-group-commit latency distribution (coalesce → ack).
+        report
+            .metrics
+            .histogram_snapshot(format!("backlog_group_commit_ns_{threads}t"), commit_hist);
     }
 
-    println!("{{");
-    println!("{}", entries.join(",\n"));
-    println!("}}");
+    let json = report.to_json();
+    validate_bench_report(&json).expect("schema-valid bench report");
+    println!("{json}");
 
     // Acceptance gate: group commit must amortize the barrier — at the
     // widest writer count it has to beat a CP per callback by 5x or more.

@@ -28,6 +28,7 @@ use std::time::Instant;
 use backlog::BacklogEngine;
 use backlog_bench::{maintenance_db_config, maintenance_db_on};
 use blockdev::{Device, DeviceConfig, FileStore, LatencyModel, SimDisk, PAGE_SIZE};
+use obs::{validate_bench_report, BenchReport};
 
 /// A uniform-latency device: every page access costs the same, no seek
 /// penalty — the shape of a flash device or striped array where concurrent
@@ -69,7 +70,13 @@ fn main() {
             (20_000, 10_000, 8, 1_000_000, &[1, 2, 4])
         };
 
-    let mut entries: Vec<String> = Vec::new();
+    let mut out = BenchReport::new("maintenance_parallel");
+    out.config_bool("smoke", smoke);
+    out.config_u64("live", live);
+    out.config_u64("dead", dead);
+    out.config_u64("partitions", u64::from(partitions));
+    out.config_u64("ns_per_page", ns_per_page);
+
     let mut serial_ns = 0u64;
     let mut reference: Option<(Vec<_>, Vec<_>)> = None;
     for &threads in thread_counts {
@@ -94,15 +101,30 @@ fn main() {
             None => reference = Some(tables),
             Some(r) => assert_eq!(*r, tables, "thread counts diverged"),
         }
-        entries.push(format!(
-            "  \"maintenance_{partitions}p_{threads}t\": {{ \"records_processed\": {}, \
-\"wall_ns\": {wall_ns}, \"speedup_vs_1t\": {:.2}, \"purged_records\": {}, \
-\"combined_records\": {}, \"filestore_lock_contentions\": {contentions} }}",
-            live + 2 * dead,
+        let key = format!("maintenance_{partitions}p_{threads}t");
+        out.metrics
+            .counter(format!("{key}_records_processed"), live + 2 * dead);
+        out.metrics.counter(format!("{key}_wall_ns"), wall_ns);
+        out.metrics.gauge(
+            format!("{key}_speedup_vs_1t"),
             serial_ns as f64 / wall_ns as f64,
-            report.purged_records,
-            report.combined_records,
-        ));
+        );
+        out.metrics
+            .counter(format!("{key}_purged_records"), report.purged_records);
+        out.metrics
+            .counter(format!("{key}_combined_records"), report.combined_records);
+        out.metrics
+            .counter(format!("{key}_filestore_lock_contentions"), contentions);
+        // The per-partition rebuild-pass distribution (observability-clock
+        // units) and the device's contended-lock wait distribution.
+        out.metrics.histogram_snapshot(
+            format!("backlog_maintenance_partition_ns_{threads}t"),
+            engine.obs().maintenance_partition_ns.snapshot(),
+        );
+        out.metrics.histogram_snapshot(
+            format!("backlog_device_lock_wait_ns_{threads}t"),
+            disk.stats().lock_wait_ns(),
+        );
     }
 
     // Query throughput while a rebuild is in flight: readers on their own
@@ -146,13 +168,17 @@ fn main() {
         queries_during > 0,
         "queries must proceed while the rebuild is in flight"
     );
-    entries.push(format!(
-        "  \"queries_during_{concurrent_threads}t_rebuild\": {{ \"queries_completed\": \
-{queries_during}, \"rebuild_wall_ns\": {maintenance_ns}, \"queries_per_sec\": {:.1} }}",
+    let key = format!("queries_during_{concurrent_threads}t_rebuild");
+    out.metrics
+        .counter(format!("{key}_queries_completed"), queries_during);
+    out.metrics
+        .counter(format!("{key}_rebuild_wall_ns"), maintenance_ns);
+    out.metrics.gauge(
+        format!("{key}_queries_per_sec"),
         queries_during as f64 * 1e9 / maintenance_ns as f64,
-    ));
+    );
 
-    println!("{{");
-    println!("{}", entries.join(",\n"));
-    println!("}}");
+    let json = out.to_json();
+    validate_bench_report(&json).expect("schema-valid bench report");
+    println!("{json}");
 }

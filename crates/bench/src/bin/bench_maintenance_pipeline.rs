@@ -15,9 +15,11 @@
 use std::time::Instant;
 
 use backlog_bench::maintenance_db;
+use obs::{validate_bench_report, BenchReport};
 
 fn main() {
-    let mut entries: Vec<String> = Vec::new();
+    let mut out = BenchReport::new("maintenance_pipeline");
+    out.config_u64("sizes", 4);
     for &(live, dead, partitions) in &[
         (10_000u64, 5_000u64, 1u32),
         (30_000, 15_000, 1),
@@ -52,19 +54,27 @@ fn main() {
         assert_eq!(after.purged_records, before.purged_records);
 
         let records = live + 2 * dead;
-        entries.push(format!(
-            "  \"maintenance_{live}live_{dead}dead_{partitions}p\": {{ \"records_processed\": {records}, \
-\"before_ns\": {before_ns}, \"after_ns\": {after_ns}, \"speedup\": {:.2}, \
-\"before_peak_resident_records\": {}, \"after_peak_resident_records\": {}, \
-\"purged_records\": {}, \"combined_records\": {} }}",
-            before_ns as f64 / after_ns as f64,
+        let key = format!("maintenance_{live}live_{dead}dead_{partitions}p");
+        out.metrics
+            .counter(format!("{key}_records_processed"), records);
+        out.metrics.counter(format!("{key}_before_ns"), before_ns);
+        out.metrics.counter(format!("{key}_after_ns"), after_ns);
+        out.metrics
+            .gauge(format!("{key}_speedup"), before_ns as f64 / after_ns as f64);
+        out.metrics.counter(
+            format!("{key}_before_peak_resident_records"),
             before.peak_resident_records,
+        );
+        out.metrics.counter(
+            format!("{key}_after_peak_resident_records"),
             after.peak_resident_records,
-            after.purged_records,
-            after.combined_records,
-        ));
+        );
+        out.metrics
+            .counter(format!("{key}_purged_records"), after.purged_records);
+        out.metrics
+            .counter(format!("{key}_combined_records"), after.combined_records);
     }
-    println!("{{");
-    println!("{}", entries.join(",\n"));
-    println!("}}");
+    let json = out.to_json();
+    validate_bench_report(&json).expect("schema-valid bench report");
+    println!("{json}");
 }

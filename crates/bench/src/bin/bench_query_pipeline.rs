@@ -19,6 +19,7 @@ use backlog::{
 };
 use blockdev::Device;
 use lsm::{LsmTable, Record, TableConfig};
+use obs::{validate_bench_report, BenchReport};
 
 fn ident(block: u64, inode: u64, line: u32) -> RefIdentity {
     RefIdentity::new(block, Owner::block(inode, 0, LineId(line)))
@@ -101,7 +102,8 @@ impl Record for Rec {
 
 fn main() {
     let samples = 9;
-    let mut entries: Vec<String> = Vec::new();
+    let mut out = BenchReport::new("query_pipeline");
+    out.config_u64("samples", samples as u64);
 
     for (label, identities, churn) in [
         ("join_10k_identities_x8", 10_000u64, 8u64),
@@ -115,11 +117,12 @@ fn main() {
             reference::join_from_to(&froms, &tos),
             "implementations must agree"
         );
-        entries.push(format!(
-            "  \"{label}\": {{ \"records\": {}, \"before_ns\": {before}, \"after_ns\": {after}, \"speedup\": {:.2} }}",
-            froms.len() + tos.len(),
-            before as f64 / after as f64
-        ));
+        out.metrics
+            .counter(format!("{label}_records"), (froms.len() + tos.len()) as u64);
+        out.metrics.counter(format!("{label}_before_ns"), before);
+        out.metrics.counter(format!("{label}_after_ns"), after);
+        out.metrics
+            .gauge(format!("{label}_speedup"), before as f64 / after as f64);
     }
 
     for (label, depth, fan_out, ids) in [
@@ -138,10 +141,11 @@ fn main() {
             reference::expand_inheritance(initial.clone(), &lineage),
             "implementations must agree"
         );
-        entries.push(format!(
-            "  \"{label}\": {{ \"initial_records\": {ids}, \"before_ns\": {before}, \"after_ns\": {after}, \"speedup\": {:.2} }}",
-            before as f64 / after as f64
-        ));
+        out.metrics.counter(format!("{label}_initial_records"), ids);
+        out.metrics.counter(format!("{label}_before_ns"), before);
+        out.metrics.counter(format!("{label}_after_ns"), after);
+        out.metrics
+            .gauge(format!("{label}_speedup"), before as f64 / after as f64);
     }
 
     // Streaming query I/O: page reads for a point query against one large
@@ -163,12 +167,19 @@ fn main() {
         table.scan_all().expect("scan failed");
         let scan_reads = disk.stats().snapshot().page_reads - before_reads;
         let point_ns = median_ns(samples, || table.query_range(250_000, 250_000));
-        entries.push(format!(
-            "  \"streaming_point_query_500k_run\": {{ \"point_query_page_reads\": {point_reads}, \"full_scan_page_reads\": {scan_reads}, \"point_query_ns\": {point_ns} }}"
-        ));
+        out.metrics.counter(
+            "streaming_point_query_500k_run_point_query_page_reads",
+            point_reads,
+        );
+        out.metrics.counter(
+            "streaming_point_query_500k_run_full_scan_page_reads",
+            scan_reads,
+        );
+        out.metrics
+            .counter("streaming_point_query_500k_run_point_query_ns", point_ns);
     }
 
-    println!("{{");
-    println!("{}", entries.join(",\n"));
-    println!("}}");
+    let json = out.to_json();
+    validate_bench_report(&json).expect("schema-valid bench report");
+    println!("{json}");
 }

@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use backlog::{BacklogConfig, BacklogEngine, LineId, Owner};
 use blockdev::{Device, DeviceConfig, SimDisk};
+use obs::{validate_bench_report, BenchReport};
 
 struct Config {
     partitions: u32,
@@ -72,7 +73,11 @@ fn main() {
         }
     };
 
-    let mut entries: Vec<String> = Vec::new();
+    let mut out = BenchReport::new("recovery");
+    out.config_bool("smoke", smoke);
+    out.config_u64("partitions", u64::from(cfg.partitions));
+    out.config_u64("ops_per_cp", cfg.ops_per_cp);
+    out.config_u64("opens", u64::from(cfg.opens));
     for &records in cfg.record_counts {
         let device = SimDisk::new_shared(DeviceConfig::free_latency());
         let config = BacklogConfig::partitioned(cfg.partitions, records).without_timing();
@@ -106,17 +111,23 @@ fn main() {
                 "spot query diverged"
             );
         }
-        entries.push(format!(
-            "  \"recovery_{records}r_{}p\": {{ \"records\": {records}, \"db_bytes\": {db_bytes}, \
-\"runs\": {run_count}, \"manifest_pages_read\": {manifest_pages_read}, \
-\"open_wall_ns\": {best_ns}, \"open_ms\": {:.3}, \"records_per_open_sec\": {:.0} }}",
-            cfg.partitions,
-            best_ns as f64 / 1e6,
+        let key = format!("recovery_{records}r_{}p", cfg.partitions);
+        out.metrics.counter(format!("{key}_records"), records);
+        out.metrics.counter(format!("{key}_db_bytes"), db_bytes);
+        out.metrics
+            .counter(format!("{key}_runs"), u64::from(run_count));
+        out.metrics
+            .counter(format!("{key}_manifest_pages_read"), manifest_pages_read);
+        out.metrics.counter(format!("{key}_open_wall_ns"), best_ns);
+        out.metrics
+            .gauge(format!("{key}_open_ms"), best_ns as f64 / 1e6);
+        out.metrics.gauge(
+            format!("{key}_records_per_open_sec"),
             records as f64 * 1e9 / best_ns as f64,
-        ));
+        );
     }
 
-    println!("{{");
-    println!("{}", entries.join(",\n"));
-    println!("}}");
+    let json = out.to_json();
+    validate_bench_report(&json).expect("schema-valid bench report");
+    println!("{json}");
 }

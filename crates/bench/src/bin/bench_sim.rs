@@ -10,6 +10,7 @@
 use std::time::Instant;
 
 use backlog_sim::run_matrix;
+use obs::{validate_bench_report, BenchReport};
 
 /// Base of the fixed matrix. Arbitrary but frozen: CI runs the same
 /// schedules on every PR, so a regression in any of them bisects cleanly.
@@ -30,24 +31,45 @@ fn main() {
         eprintln!("{} failing scenario(s):", failures.len());
         for outcome in &failures {
             eprintln!("  {}", outcome.repro_line());
+            // The flight-recorder tail: the last events on the live engine
+            // before the crash, oldest first.
+            let tail = outcome.trace_timeline();
+            if !tail.is_empty() {
+                eprintln!("{tail}");
+            }
         }
         std::process::exit(1);
     }
 
-    let scenarios = report.outcomes.len();
-    let scenarios_per_sec = scenarios as f64 * 1e9 / wall_ns as f64;
-    println!("{{");
-    println!(
-        "  \"sim_{scenarios}seeds\": {{ \"scenarios\": {scenarios}, \"steps\": {}, \
-\"mid_cp_crashes\": {}, \"mid_commit_crashes\": {}, \"torn_pages\": {}, \"lost_pages\": {}, \
-\"wall_ms\": {:.1}, \"scenarios_per_sec\": {:.1} }}",
-        report.total_steps(),
-        report.mid_cp_crashes(),
-        report.mid_commit_crashes(),
-        report.torn_pages(),
-        report.lost_pages(),
-        wall_ns as f64 / 1e6,
-        scenarios_per_sec,
-    );
-    println!("}}");
+    // Fingerprint of every scenario's trace-event stream: events are
+    // stamped by the deterministic tick clock, so this value is a pure
+    // function of the seed list — any cross-run difference means the
+    // simulator lost determinism with the recorder armed.
+    let trace_fingerprint = report
+        .outcomes
+        .iter()
+        .fold(0u64, |acc, o| acc.rotate_left(1) ^ o.trace_digest);
+    let trace_events: u64 = report.outcomes.iter().map(|o| o.trace_events).sum();
+
+    let scenarios = report.outcomes.len() as u64;
+    let mut out = BenchReport::new("sim");
+    out.config_bool("smoke", smoke);
+    out.config_u64("seeds", scenarios);
+    out.metrics.counter("scenarios", scenarios);
+    out.metrics.counter("steps", report.total_steps());
+    out.metrics
+        .counter("mid_cp_crashes", report.mid_cp_crashes() as u64);
+    out.metrics
+        .counter("mid_commit_crashes", report.mid_commit_crashes() as u64);
+    out.metrics.counter("torn_pages", report.torn_pages());
+    out.metrics.counter("lost_pages", report.lost_pages());
+    out.metrics.counter("trace_events", trace_events);
+    out.metrics.counter("trace_fingerprint", trace_fingerprint);
+    out.metrics.counter("wall_ns", wall_ns);
+    out.metrics
+        .gauge("scenarios_per_sec", scenarios as f64 * 1e9 / wall_ns as f64);
+
+    let json = out.to_json();
+    validate_bench_report(&json).expect("schema-valid bench report");
+    println!("{json}");
 }

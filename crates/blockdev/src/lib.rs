@@ -56,7 +56,8 @@ mod completion;
 mod device;
 mod error;
 mod latency;
-mod stats;
+/// I/O counters, latency histograms, and engine-installable trace hooks.
+pub mod stats;
 mod superblock;
 mod vfile;
 

@@ -1,10 +1,33 @@
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use obs::{spans, Clock, FlightRecorder, Histogram, HistogramSnapshot};
+
+/// Lock id tagging [`LOCK_WAIT`](spans::LOCK_WAIT) marks from the file
+/// store's allocation lock.
+pub const LOCK_ID_FILE_STORE: u64 = 1;
+/// Lock id tagging [`LOCK_WAIT`](spans::LOCK_WAIT) marks from LSM write
+/// buffer shards.
+pub const LOCK_ID_WRITE_SHARD: u64 = 2;
+
+/// Observability hooks an engine installs on a device's stats (at most
+/// once): contended lock acquisitions are marked in the flight recorder
+/// and their waits measured on the engine's observability clock.
+#[derive(Debug)]
+struct StatsObs {
+    recorder: Arc<FlightRecorder>,
+    clock: Arc<dyn Clock>,
+}
 
 /// Atomic I/O counters attached to a device.
 ///
 /// Counters are monotonically increasing; experiments take a
 /// [`snapshot`](IoStats::snapshot) before and after a phase and subtract the
 /// two with [`IoStatsSnapshot::delta_since`] to attribute cost to that phase.
+/// Alongside the scalar counters the stats keep two lock-free latency
+/// histograms: per-operation modeled device service time (the
+/// submit-to-complete gap the scalar `device_ns` only sums) and
+/// contended-lock wait time.
 #[derive(Debug, Default)]
 pub struct IoStats {
     page_reads: AtomicU64,
@@ -32,6 +55,15 @@ pub struct IoStats {
     /// ([`PageCache::read_pages`](crate::PageCache::read_pages)): a batch of
     /// `n` misses submitted in one round saves `n - 1` serial trips.
     batched_reads_saved: AtomicU64,
+    /// Distribution of per-operation modeled service times (every sample
+    /// also lands in the `device_ns` sum).
+    service_ns_hist: Histogram,
+    /// Distribution of contended-lock wait times, in observability-clock
+    /// units (empty until [`attach_obs`](IoStats::attach_obs) supplies a
+    /// clock).
+    lock_wait_ns_hist: Histogram,
+    /// Engine-installed trace hooks (absent for bare devices in tests).
+    obs: OnceLock<StatsObs>,
 }
 
 impl IoStats {
@@ -60,17 +92,53 @@ impl IoStats {
     /// Records a write barrier (flush).
     pub fn record_flush(&self) {
         self.flushes.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.recorder.mark(spans::DEV_FLUSH, 0, 0);
+        }
     }
 
-    /// Adds simulated device busy time in nanoseconds.
+    /// Adds simulated device busy time in nanoseconds. The sample also
+    /// lands in the per-operation service-time histogram.
     pub fn record_device_ns(&self, ns: u64) {
         self.device_ns.fetch_add(ns, Ordering::Relaxed);
+        self.service_ns_hist.record(ns);
     }
 
     /// Records one contended acquisition of a state lock (the acquiring
     /// thread found the lock held and blocked).
     pub fn record_lock_contention(&self) {
         self.lock_contentions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Installs trace hooks; first caller wins when several engines share
+    /// the same device.
+    pub fn attach_obs(&self, recorder: Arc<FlightRecorder>, clock: Arc<dyn Clock>) {
+        let _ = self.obs.set(StatsObs { recorder, clock });
+    }
+
+    /// Reads the attached observability clock, or 0 when no engine has
+    /// attached hooks yet (bare devices in tests).
+    pub fn obs_now(&self) -> u64 {
+        self.obs.get().map_or(0, |o| o.clock.now_ns())
+    }
+
+    /// Records a contended-lock wait of `ns` observability-clock units,
+    /// tagged with a caller-chosen lock id in the flight recorder.
+    pub fn record_lock_wait(&self, lock_id: u64, ns: u64) {
+        self.lock_wait_ns_hist.record(ns);
+        if let Some(o) = self.obs.get() {
+            o.recorder.mark(spans::LOCK_WAIT, lock_id, ns);
+        }
+    }
+
+    /// Snapshot of the per-operation device service-time histogram.
+    pub fn service_ns(&self) -> HistogramSnapshot {
+        self.service_ns_hist.snapshot()
+    }
+
+    /// Snapshot of the contended-lock wait-time histogram.
+    pub fn lock_wait_ns(&self) -> HistogramSnapshot {
+        self.lock_wait_ns_hist.snapshot()
     }
 
     /// Raises the in-flight high-water mark to at least `in_flight`.
@@ -122,6 +190,8 @@ impl IoStats {
         self.max_in_flight.store(0, Ordering::Relaxed);
         self.completed_async_ops.store(0, Ordering::Relaxed);
         self.batched_reads_saved.store(0, Ordering::Relaxed);
+        self.service_ns_hist.clear();
+        self.lock_wait_ns_hist.clear();
     }
 }
 

@@ -131,8 +131,15 @@ impl FileStore {
         if let Some(guard) = self.state.try_lock() {
             return guard;
         }
-        self.device.stats().record_lock_contention();
-        self.state.lock()
+        let stats = self.device.stats();
+        stats.record_lock_contention();
+        let wait_t0 = stats.obs_now();
+        let guard = self.state.lock();
+        stats.record_lock_wait(
+            crate::stats::LOCK_ID_FILE_STORE,
+            stats.obs_now().saturating_sub(wait_t0),
+        );
+        guard
     }
 
     /// Creates a new, empty file and returns a handle to it.

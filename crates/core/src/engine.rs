@@ -8,6 +8,7 @@ use blockdev::{
     Superblock, FIRST_DATA_PAGE, PAGE_SIZE,
 };
 use lsm::{LsmTable, PartitionSnapshot, Record, TableConfig};
+use obs::{spans, Histogram, MetricSet};
 use parking_lot::{Mutex, RwLock};
 
 use crate::batch::{RefOp, WriteBatch};
@@ -17,9 +18,10 @@ use crate::journal::{Journal, JournalEntry, JournalRing, JournalRingStats};
 use crate::lineage::LineageTable;
 use crate::maintenance::{join_and_purge_streaming, reference, JoinPurgeStats};
 use crate::manifest::{self, ManifestTables};
+use crate::observe::EngineObs;
 use crate::query::{assemble_query, QueryResult};
 use crate::record::{CombinedRecord, FromRecord, RefIdentity, ToRecord};
-use crate::stats::{BacklogStats, CpReport, IoDelta, MaintenanceReport};
+use crate::stats::{BacklogStats, CpPhaseNs, CpReport, IoDelta, MaintenanceReport};
 use crate::types::{BlockNo, CpNumber, LineId, Owner, SnapshotId};
 
 /// The log-structured back-reference engine (the paper's *Backlog*).
@@ -159,6 +161,9 @@ pub struct BacklogEngine {
     /// Per-shard replicas of the current CP number, so the scalar callback
     /// path stamps records without touching the lineage read-lock at all.
     cp_cache: CpCache,
+    /// Flight recorder, observability clock and latency histograms (see
+    /// [`EngineObs`]); the source behind [`metrics`](Self::metrics).
+    obs: EngineObs,
 }
 
 /// Which journal backend this engine logs callbacks to.
@@ -169,6 +174,20 @@ enum EngineJournal {
     Memory(Mutex<Journal>),
     /// On-device group-commit ring; survives a power cut on its own.
     Ring(JournalRing),
+}
+
+/// Records the elapsed observability-clock time into a histogram when
+/// dropped, so error returns out of an instrumented scope still sample.
+struct HistogramOnDrop<'a> {
+    hist: &'a Histogram,
+    obs: &'a EngineObs,
+    t0: u64,
+}
+
+impl Drop for HistogramOnDrop<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.obs.now().saturating_sub(self.t0));
+    }
 }
 
 /// Entries recovered from the on-device ring at open, stashed until the
@@ -330,6 +349,11 @@ impl BacklogEngine {
             .journaling
             .then(|| EngineJournal::Memory(Mutex::new(Journal::new())));
         let cp_cache = CpCache::new(config.partitioning.partition_count(), 1);
+        let obs = EngineObs::new(config.track_timing);
+        files
+            .device()
+            .stats()
+            .attach_obs(obs.recorder().clone(), obs.clock());
         BacklogEngine {
             files,
             config,
@@ -346,6 +370,7 @@ impl BacklogEngine {
             journal,
             recovered_journal: Mutex::new(None),
             cp_cache,
+            obs,
         }
     }
 
@@ -383,11 +408,27 @@ impl BacklogEngine {
                 &engine.config,
             )?));
         }
+        if let Some(EngineJournal::Ring(ring)) = &engine.journal {
+            ring.attach_obs(
+                engine.obs.recorder().clone(),
+                engine.obs.clock(),
+                engine.obs.group_commit_ns.clone(),
+            );
+        }
         let lineage = engine.lineage.read().clone();
         let stats = engine.stats();
         {
             let mut interval = engine.cp_lock.lock();
-            engine.write_durable_cp(&mut interval, &lineage, &stats, &[], &[], &[], Vec::new())?;
+            engine.write_durable_cp(
+                &mut interval,
+                &lineage,
+                &stats,
+                &[],
+                &[],
+                &[],
+                Vec::new(),
+                &mut CpPhaseNs::default(),
+            )?;
         }
         Ok(engine)
     }
@@ -533,6 +574,18 @@ impl BacklogEngine {
             config.partitioning.partition_count(),
             m.lineage.current_cp(),
         );
+        let obs = EngineObs::new(config.track_timing);
+        if let Some(EngineJournal::Ring(ring)) = &journal {
+            ring.attach_obs(
+                obs.recorder().clone(),
+                obs.clock(),
+                obs.group_commit_ns.clone(),
+            );
+        }
+        files
+            .device()
+            .stats()
+            .attach_obs(obs.recorder().clone(), obs.clock());
         let interval = CpInterval {
             block_ops: m.stats.block_ops,
             pruned: m.stats.pruned_adds + m.stats.pruned_removes,
@@ -557,6 +610,7 @@ impl BacklogEngine {
             journal,
             recovered_journal: Mutex::new(recovered),
             cp_cache,
+            obs,
         })
     }
 
@@ -653,6 +707,22 @@ impl BacklogEngine {
         }
     }
 
+    /// The engine's observability bundle: the flight recorder, its clock
+    /// and the latency histograms behind [`metrics`](Self::metrics).
+    pub fn obs(&self) -> &EngineObs {
+        &self.obs
+    }
+
+    /// Assembles the unified metrics registry: every engine counter,
+    /// device counter and journal-ring gauge plus the latency histogram
+    /// family, as one named, typed [`MetricSet`] ready for the text or
+    /// JSON exporter.
+    pub fn metrics(&self) -> MetricSet {
+        let journal = self.journal_ring_stats();
+        self.obs
+            .registry(&self.stats(), self.device().stats(), journal.as_ref())
+    }
+
     /// The current global consistency-point number.
     pub fn current_cp(&self) -> CpNumber {
         self.lineage.read().current_cp()
@@ -682,6 +752,7 @@ impl BacklogEngine {
     /// the next [`consistency_point`](Self::consistency_point).
     pub fn add_reference(&self, block: BlockNo, owner: Owner) {
         let start = self.now();
+        let t0 = self.obs.now();
         let identity = RefIdentity::new(block, owner);
         let pidx = self.config.partitioning.partition_of(block);
         let pruned;
@@ -728,6 +799,9 @@ impl BacklogEngine {
         if want_commit {
             self.auto_commit();
         }
+        self.obs
+            .callback_ns
+            .record(self.obs.now().saturating_sub(t0));
         let ns = self.elapsed_ns(start);
         if ns != 0 {
             self.counters.callback_ns.fetch_add(ns, Ordering::Relaxed);
@@ -741,6 +815,7 @@ impl BacklogEngine {
     /// the next consistency point.
     pub fn remove_reference(&self, block: BlockNo, owner: Owner) {
         let start = self.now();
+        let t0 = self.obs.now();
         let identity = RefIdentity::new(block, owner);
         let pidx = self.config.partitioning.partition_of(block);
         let pruned;
@@ -777,6 +852,9 @@ impl BacklogEngine {
         if want_commit {
             self.auto_commit();
         }
+        self.obs
+            .callback_ns
+            .record(self.obs.now().saturating_sub(t0));
         let ns = self.elapsed_ns(start);
         if ns != 0 {
             self.counters.callback_ns.fetch_add(ns, Ordering::Relaxed);
@@ -799,6 +877,7 @@ impl BacklogEngine {
             return;
         }
         let start = self.now();
+        let t0 = self.obs.now();
         let mut adds = 0u64;
         let mut removes = 0u64;
         let mut pruned = 0u64;
@@ -887,6 +966,20 @@ impl BacklogEngine {
         if want_commit {
             self.auto_commit();
         }
+        // One histogram sample and one trace mark per batch — the whole
+        // point of `apply` is amortizing per-operation overhead, and that
+        // covers the observability overhead too (a = operations applied).
+        self.obs
+            .callback_ns
+            .record(self.obs.now().saturating_sub(t0));
+        self.obs
+            .recorder()
+            .mark(spans::CALLBACK, batch.len() as u64, pruned);
+        if matches!(self.journal, Some(EngineJournal::Ring(_))) {
+            self.obs
+                .recorder()
+                .mark(spans::JOURNAL_APPEND, batch.len() as u64, 0);
+        }
         let ns = self.elapsed_ns(start);
         if ns != 0 {
             self.counters.callback_ns.fetch_add(ns, Ordering::Relaxed);
@@ -937,6 +1030,9 @@ impl BacklogEngine {
         let start = self.now();
         let cp = self.lineage.read().current_cp();
         let threads = threads.max(1);
+        let cp_t0 = self.obs.now();
+        let mut cp_span = self.obs.recorder().span(spans::CP_TOTAL, cp);
+        let mut phases = CpPhaseNs::default();
 
         // Prepare-then-commit: each table's flush is *built* here (runs on
         // the device, records staged but still query-visible in the write
@@ -954,12 +1050,16 @@ impl BacklogEngine {
         // (and, for a durable engine, the manifest appends) through one
         // shared queue at full depth. All completions drain through a single
         // wait before the one pre-flip barrier — not one wait-all per table.
+        let prep_t0 = self.obs.now();
+        let prep_span = self.obs.recorder().span(spans::CP_PREPARE, cp);
         let mut from_prep = self.from_table.prepare_flush_async(threads)?;
         let mut to_prep = self.to_table.prepare_flush_async(threads)?;
         let mut combined_prep = self.combined_table.prepare_flush_async(threads)?;
         let mut pending: Vec<Completion> = from_prep.take_pending_io();
         pending.extend(to_prep.take_pending_io());
         pending.extend(combined_prep.take_pending_io());
+        drop(prep_span);
+        phases.prepare = self.obs.now().saturating_sub(prep_t0);
 
         // Durability: write the CP manifest and flip the superblock before
         // declaring the CP. The manifest records the *advanced* CP clock (a
@@ -983,13 +1083,18 @@ impl BacklogEngine {
                 &to_prep.run_metas(),
                 &combined_prep.run_metas(),
                 pending,
+                &mut phases,
             )?;
         } else {
             // Non-durable: no manifest to overlap with, but the flush I/O
             // still has to land before the runs become query-visible.
+            let flush_t0 = self.obs.now();
+            let flush_span = self.obs.recorder().span(spans::CP_FLUSH, cp);
             for completion in pending {
                 completion.wait()?;
             }
+            drop(flush_span);
+            phases.flush = self.obs.now().saturating_sub(flush_t0);
         }
         let from_flush = from_prep.commit();
         let to_flush = to_prep.commit();
@@ -1027,7 +1132,11 @@ impl BacklogEngine {
                 .saturating_sub(interval.io.lock_contentions),
             callback_ns: callback_ns_now.saturating_sub(interval.callback_ns),
             flush_ns,
+            phases,
         };
+        self.obs
+            .record_cp(self.obs.now().saturating_sub(cp_t0), &phases);
+        cp_span.set_b(report.pages_written);
 
         interval.block_ops = ops_now;
         interval.pruned = pruned_now;
@@ -1102,8 +1211,12 @@ impl BacklogEngine {
         pending_to: &[(u32, lsm::RunMeta)],
         pending_combined: &[(u32, lsm::RunMeta)],
         pending_io: Vec<Completion>,
+        phases: &mut CpPhaseNs,
     ) -> Result<()> {
         let mut pending_io = pending_io;
+        let cp = lineage.current_cp();
+        let flush_t0 = self.obs.now();
+        let flush_span = self.obs.recorder().span(spans::CP_FLUSH, cp);
         // Hold snapshots of every partition until the end: their `Arc`s pin
         // the referenced run files against a concurrent rebuild commit
         // deleting them between manifest encode and superblock flip.
@@ -1173,6 +1286,8 @@ impl BacklogEngine {
                 return Err(e.into());
             }
         }
+        drop(flush_span);
+        phases.flush = self.obs.now().saturating_sub(flush_t0);
         let extents = self.files.file_meta(mid)?.extents;
         // The cursor is sampled after the manifest write, so every file id
         // and extent the manifest (or the superblock) references lies below
@@ -1212,10 +1327,16 @@ impl BacklogEngine {
         // could persist the flip but lose (or tear) what it references. One
         // barrier covers everything because the drain above already proved
         // every write reached the device.
+        let barrier_t0 = self.obs.now();
+        let barrier_span = self.obs.recorder().span(spans::CP_BARRIER, cp);
         if let Err(e) = self.device().flush() {
             let _ = self.files.delete(mid);
             return Err(e.into());
         }
+        drop(barrier_span);
+        phases.barrier = self.obs.now().saturating_sub(barrier_t0);
+        let flip_t0 = self.obs.now();
+        let flip_span = self.obs.recorder().span(spans::CP_FLIP, cp);
         if let Err(e) = sb.write_to(&**self.device()) {
             let _ = self.files.delete(mid);
             return Err(e.into());
@@ -1227,8 +1348,12 @@ impl BacklogEngine {
         // which is safe whichever superblock survives; a retried CP writes a
         // fresh manifest at a higher generation.
         self.device().flush().map_err(BacklogError::from)?;
+        drop(flip_span);
+        phases.flip = self.obs.now().saturating_sub(flip_t0);
         // The flip is durable: everything the previous generation kept
         // pinned is now garbage.
+        let retire_t0 = self.obs.now();
+        let retire_span = self.obs.recorder().span(spans::CP_RETIRE, cp);
         interval.sb_generation = sb.generation;
         if let Some(old) = interval.manifest_file.replace(mid) {
             let _ = self.files.delete(old);
@@ -1240,6 +1365,8 @@ impl BacklogEngine {
         if let Some(EngineJournal::Ring(ring)) = &self.journal {
             ring.commit_truncate(journal_through);
         }
+        drop(retire_span);
+        phases.retire = self.obs.now().saturating_sub(retire_t0);
         Ok(())
     }
 
@@ -1384,10 +1511,13 @@ impl BacklogEngine {
     pub fn query_range(&self, min: BlockNo, max: BlockNo) -> Result<QueryResult> {
         let io_before = self.io_snapshot();
         let start = self.now();
+        let query_t0 = self.obs.now();
+        let _query_span = self.obs.recorder().span(spans::QUERY_TOTAL, min);
         // Hold shared guards for the touched partitions so a concurrent
         // rebuild commit (which takes them exclusively) cannot interleave
         // between the three per-table reads. Ascending order, matching every
         // other multi-partition acquisition.
+        let tables_span = self.obs.recorder().span(spans::QUERY_TABLES, min);
         let guards: Vec<_> = self
             .config
             .partitioning
@@ -1398,14 +1528,20 @@ impl BacklogEngine {
         let tos = self.to_table.query_range(min, max)?;
         let combined = self.combined_table.query_range(min, max)?;
         drop(guards);
+        drop(tables_span);
         // The lineage lock is taken only after the partition guards are
         // released, keeping the lock hierarchy acyclic.
+        let assemble_span = self.obs.recorder().span(spans::QUERY_ASSEMBLE, min);
         let refs = {
             let lineage = self.lineage.read();
             assemble_query(&froms, &tos, &combined, &lineage)
         };
+        drop(assemble_span);
         let io = IoDelta::between(&io_before, &self.io_snapshot());
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        self.obs
+            .query_ns
+            .record(self.obs.now().saturating_sub(query_t0));
         Ok(QueryResult {
             refs,
             io_reads: io.reads,
@@ -1500,6 +1636,8 @@ impl BacklogEngine {
     pub fn maintenance_parallel(&self, threads: usize) -> Result<MaintenanceReport> {
         let io_before = self.io_snapshot();
         let start = self.now();
+        let maint_t0 = self.obs.now();
+        let _maint_span = self.obs.recorder().span(spans::MAINT_TOTAL, 0);
         let bytes_before = self.database_disk_bytes();
         let runs_before = self.run_count();
         let partitions = self.config.partitioning.partition_count();
@@ -1570,6 +1708,9 @@ impl BacklogEngine {
         self.counters
             .maintenance_ns
             .fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.obs
+            .maintenance_ns
+            .record(self.obs.now().saturating_sub(maint_t0));
         Ok(report)
     }
 
@@ -1610,6 +1751,8 @@ impl BacklogEngine {
         }
         let io_before = self.io_snapshot();
         let start = self.now();
+        let maint_t0 = self.obs.now();
+        let _maint_span = self.obs.recorder().span(spans::MAINT_TOTAL, 0);
         let bytes_before = self.database_disk_bytes();
         let mut runs_merged = 0;
         let mut totals = JoinPurgeStats::default();
@@ -1642,6 +1785,9 @@ impl BacklogEngine {
         self.counters
             .maintenance_ns
             .fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.obs
+            .maintenance_ns
+            .record(self.obs.now().saturating_sub(maint_t0));
         Ok(Some(report))
     }
 
@@ -1699,6 +1845,7 @@ impl BacklogEngine {
     pub fn maintenance_partition(&self, partition: u32) -> Result<MaintenanceReport> {
         let io_before = self.io_snapshot();
         let start = self.now();
+        let maint_t0 = self.obs.now();
         let bytes_before = self.database_disk_bytes();
         let runs_before = self.from_table.partition_run_count(partition)
             + self.to_table.partition_run_count(partition)
@@ -1726,6 +1873,9 @@ impl BacklogEngine {
         self.counters
             .maintenance_ns
             .fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.obs
+            .maintenance_ns
+            .record(self.obs.now().saturating_sub(maint_t0));
         Ok(report)
     }
 
@@ -1746,6 +1896,16 @@ impl BacklogEngine {
         pidx: u32,
         lineage: &LineageTable,
     ) -> Result<JoinPurgeStats> {
+        let pass_t0 = self.obs.now();
+        let _pass_span = self
+            .obs
+            .recorder()
+            .span(spans::MAINT_PARTITION, pidx as u64);
+        let _pass_hist = HistogramOnDrop {
+            hist: &self.obs.maintenance_partition_ns,
+            obs: &self.obs,
+            t0: pass_t0,
+        };
         // One rebuild of a given partition at a time: two passes rebuilding
         // the same partition from the same snapshot would each survive the
         // other's commit and duplicate the partition's records.

@@ -37,10 +37,11 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use blockdev::{fnv1a64, Device, FileId, PageNo, PAGE_SIZE};
 use lsm::Record;
+use obs::{Clock, FlightRecorder, Histogram};
 use parking_lot::Mutex;
 
 use crate::engine::BacklogEngine;
@@ -360,6 +361,19 @@ pub struct JournalRing {
     /// held across the I/O, *not* while appending.
     commit_lock: Mutex<()>,
     state: Mutex<RingState>,
+    /// Observability hooks the owning engine installs after construction
+    /// (set at most once; absent for rings driven directly in tests).
+    obs: OnceLock<RingObs>,
+}
+
+/// The engine-supplied observability hooks a ring records group commits
+/// through: trace spans for coalesce/write/barrier/ack plus the shared
+/// group-commit latency histogram.
+#[derive(Debug)]
+struct RingObs {
+    recorder: Arc<FlightRecorder>,
+    clock: Arc<dyn Clock>,
+    commit_ns: Arc<Histogram>,
 }
 
 impl JournalRing {
@@ -386,7 +400,25 @@ impl JournalRing {
                 pending: Vec::new(),
                 live: VecDeque::new(),
             }),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Installs the engine's observability hooks: group commits record
+    /// coalesce/write/barrier spans, an ack mark carrying the durable LSN,
+    /// and a sample in the shared group-commit histogram. A second call is
+    /// ignored (the first engine to adopt the ring wins).
+    pub fn attach_obs(
+        &self,
+        recorder: Arc<FlightRecorder>,
+        clock: Arc<dyn Clock>,
+        commit_ns: Arc<Histogram>,
+    ) {
+        let _ = self.obs.set(RingObs {
+            recorder,
+            clock,
+            commit_ns,
+        });
     }
 
     /// The ring's virtual-file id (recorded in the superblock).
@@ -462,8 +494,13 @@ impl JournalRing {
     /// tail), or the device error that failed the group write.
     pub fn sync(&self) -> Result<u64> {
         let _committer = self.commit_lock.lock();
+        let obs = self.obs.get();
+        let commit_t0 = obs.map_or(0, |o| o.clock.now_ns());
         // Lay out the chunks under the state lock, then release it for the
-        // I/O so appenders are never blocked behind device writes.
+        // I/O so appenders are never blocked behind device writes. The
+        // coalesce span closes when the guard drops — including on the
+        // nothing-pending and ring-full early returns.
+        let coalesce_span = obs.map(|o| o.recorder.span(obs::spans::GC_COALESCE, 0));
         let (batch, first_lsn, first_seq, chunks) = {
             let mut st = self.state.lock();
             if st.pending.is_empty() {
@@ -501,7 +538,9 @@ impl JournalRing {
             let batch = std::mem::take(&mut st.pending);
             (batch, first_lsn, st.next_seq, chunks)
         };
+        drop(coalesce_span);
 
+        let write_span = obs.map(|o| o.recorder.span(obs::spans::GC_WRITE, first_lsn));
         let mut completions = Vec::new();
         let mut spans = Vec::with_capacity(chunks.len());
         for (ci, &(off, from, to)) in chunks.iter().enumerate() {
@@ -523,10 +562,13 @@ impl JournalRing {
                 max_cp: chunk.iter().map(JournalEntry::cp).max().unwrap_or(0),
             });
         }
+        drop(write_span);
+        let barrier_span = obs.map(|o| o.recorder.span(obs::spans::GC_BARRIER, first_lsn));
         let outcome = completions
             .drain(..)
             .try_for_each(|c| c.wait())
             .and_then(|_| self.device.submit_flush().wait());
+        drop(barrier_span);
         let mut st = self.state.lock();
         match outcome {
             Ok(()) => {
@@ -540,6 +582,12 @@ impl JournalRing {
                 st.next_seq = first_seq + spans.len() as u64;
                 st.durable_lsn = first_lsn + batch.len() as u64 - 1;
                 st.live.extend(spans);
+                if let Some(o) = obs {
+                    o.recorder
+                        .mark(obs::spans::GC_ACK, st.durable_lsn, batch.len() as u64);
+                    o.commit_ns
+                        .record(o.clock.now_ns().saturating_sub(commit_t0));
+                }
                 Ok(st.durable_lsn)
             }
             Err(e) => {
@@ -663,6 +711,7 @@ impl JournalRing {
                 pending: Vec::new(),
                 live,
             }),
+            obs: OnceLock::new(),
         };
         Ok(RecoveredRing {
             ring,

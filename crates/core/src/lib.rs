@@ -71,6 +71,7 @@ pub mod journal;
 pub mod lineage;
 pub mod maintenance;
 mod manifest;
+pub mod observe;
 pub mod query;
 mod record;
 mod stats;
@@ -85,8 +86,9 @@ pub use journal::{
     replay as replay_journal, Journal, JournalEntry, JournalRing, JournalRingStats, RecoveredRing,
 };
 pub use lineage::{LineInfo, LineageTable};
+pub use observe::EngineObs;
 pub use query::{BackRef, QueryResult};
 pub use record::{CombinedRecord, FromRecord, RefIdentity, ToRecord};
-pub use stats::{BacklogStats, CpReport, IoDelta, MaintenanceReport};
+pub use stats::{BacklogStats, CpPhaseNs, CpReport, IoDelta, MaintenanceReport};
 pub use types::{BlockNo, CpNumber, FileOffset, InodeNo, LineId, Owner, SnapshotId, CP_INFINITY};
 pub use verify::{verify, ExpectedRef, VerifyReport};

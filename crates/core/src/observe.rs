@@ -1,0 +1,370 @@
+//! The engine's observability bundle and the metric adapters that feed
+//! the unified registry.
+//!
+//! [`EngineObs`] owns the engine's flight recorder, its observability
+//! clock, and the log-bucketed latency histograms that replace the old
+//! lossy `*_ns` sums (which remain, untouched, for compatibility).
+//! Every engine carries one; `BacklogEngine::metrics` assembles the
+//! full registry from it plus the existing counter surfaces.
+//!
+//! Timing source: engines created with timing enabled stamp events from
+//! a wall-clock; engines created via `BacklogConfig::without_timing`
+//! (the simulator) stamp from a deterministic tick counter, so a trace
+//! dump is a pure function of the event sequence and byte-identical
+//! across runs of the same seed.
+
+use std::sync::Arc;
+
+use blockdev::{IoStats, IoStatsSnapshot};
+use obs::{Clock, FlightRecorder, Histogram, MetricSet, MonotonicClock, TickClock};
+
+use crate::journal::JournalRingStats;
+use crate::stats::{BacklogStats, CpPhaseNs, CpReport, MaintenanceReport};
+
+/// Flight-recorder lanes (writer threads round-robin onto these).
+const RECORDER_LANES: usize = 8;
+/// Slots per lane; the recorder keeps the last `LANES * SLOTS` events.
+const RECORDER_SLOTS_PER_LANE: usize = 1024;
+
+/// Observability state attached to a `BacklogEngine`: the clock, the
+/// flight recorder, and one histogram per instrumented path.
+///
+/// All histograms are lock-free and record durations in the clock's
+/// unit (nanoseconds, or ticks under the simulator). The per-callback
+/// histogram is the distribution-valued counterpart of the scalar
+/// `BacklogStats::micros_per_block_op` mean.
+#[derive(Debug)]
+pub struct EngineObs {
+    clock: Arc<dyn Clock>,
+    recorder: Arc<FlightRecorder>,
+    /// One add/remove/apply callback, end to end.
+    pub callback_ns: Histogram,
+    /// One whole CP flush (all phases).
+    pub cp_flush_ns: Histogram,
+    /// CP phase: kicking off the per-table prepare flushes.
+    pub cp_phase_prepare: Histogram,
+    /// CP phase: pipelined table + manifest writes and their drain.
+    pub cp_phase_flush: Histogram,
+    /// CP phase: the single pre-flip flush barrier.
+    pub cp_phase_barrier: Histogram,
+    /// CP phase: superblock flip + post-flip hardening.
+    pub cp_phase_flip: Histogram,
+    /// CP phase: manifest/freed-block/journal retirement.
+    pub cp_phase_retire: Histogram,
+    /// One whole maintenance run.
+    pub maintenance_ns: Histogram,
+    /// One partition's rebuild pass within a maintenance run.
+    pub maintenance_partition_ns: Histogram,
+    /// One back-reference query, end to end.
+    pub query_ns: Histogram,
+    /// One journal group commit (coalesce through ack). Shared with the
+    /// journal ring, which records into it from `sync`.
+    pub group_commit_ns: Arc<Histogram>,
+}
+
+impl EngineObs {
+    /// Creates the bundle. `track_timing` selects the wall-clock; sim
+    /// engines pass `false` and get the deterministic tick clock.
+    pub fn new(track_timing: bool) -> EngineObs {
+        let clock: Arc<dyn Clock> = if track_timing {
+            Arc::new(MonotonicClock::new())
+        } else {
+            Arc::new(TickClock::new())
+        };
+        let recorder = Arc::new(FlightRecorder::new(
+            clock.clone(),
+            RECORDER_LANES,
+            RECORDER_SLOTS_PER_LANE,
+        ));
+        EngineObs {
+            clock,
+            recorder,
+            callback_ns: Histogram::new(),
+            cp_flush_ns: Histogram::new(),
+            cp_phase_prepare: Histogram::new(),
+            cp_phase_flush: Histogram::new(),
+            cp_phase_barrier: Histogram::new(),
+            cp_phase_flip: Histogram::new(),
+            cp_phase_retire: Histogram::new(),
+            maintenance_ns: Histogram::new(),
+            maintenance_partition_ns: Histogram::new(),
+            query_ns: Histogram::new(),
+            group_commit_ns: Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Current observability-clock reading.
+    pub fn now(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// The clock events are stamped with.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.clock.clone()
+    }
+
+    /// The engine's flight recorder.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Records one CP's total duration and its per-phase breakdown.
+    pub fn record_cp(&self, total: u64, phases: &CpPhaseNs) {
+        self.cp_flush_ns.record(total);
+        self.cp_phase_prepare.record(phases.prepare);
+        self.cp_phase_flush.record(phases.flush);
+        self.cp_phase_barrier.record(phases.barrier);
+        self.cp_phase_flip.record(phases.flip);
+        self.cp_phase_retire.record(phases.retire);
+    }
+
+    /// The engine-layer histogram family as a metric set.
+    pub fn histogram_metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.histogram("backlog_callback_ns", &self.callback_ns);
+        set.histogram("backlog_cp_flush_ns", &self.cp_flush_ns);
+        set.histogram("backlog_cp_phase_prepare_ns", &self.cp_phase_prepare);
+        set.histogram("backlog_cp_phase_flush_ns", &self.cp_phase_flush);
+        set.histogram("backlog_cp_phase_barrier_ns", &self.cp_phase_barrier);
+        set.histogram("backlog_cp_phase_flip_ns", &self.cp_phase_flip);
+        set.histogram("backlog_cp_phase_retire_ns", &self.cp_phase_retire);
+        set.histogram("backlog_maintenance_ns", &self.maintenance_ns);
+        set.histogram(
+            "backlog_maintenance_partition_ns",
+            &self.maintenance_partition_ns,
+        );
+        set.histogram("backlog_query_ns", &self.query_ns);
+        set.histogram("backlog_group_commit_ns", &self.group_commit_ns);
+        set
+    }
+
+    /// Assembles the engine's full registry: engine counters, device
+    /// counters and latency histograms, journal ring state, and the
+    /// engine histogram family.
+    pub fn registry(
+        &self,
+        stats: &BacklogStats,
+        io: &IoStats,
+        journal: Option<&JournalRingStats>,
+    ) -> MetricSet {
+        let mut set = stats_metrics(stats);
+        set.extend(io_metrics(&io.snapshot()));
+        set.histogram_snapshot("backlog_device_service_ns", io.service_ns());
+        set.histogram_snapshot("backlog_device_lock_wait_ns", io.lock_wait_ns());
+        if let Some(j) = journal {
+            set.extend(journal_metrics(j));
+        }
+        set.extend(self.histogram_metrics());
+        set.counter(
+            "backlog_trace_events_dropped_total",
+            self.recorder.dropped(),
+        );
+        set
+    }
+}
+
+/// [`BacklogStats`] as registry metrics.
+pub fn stats_metrics(s: &BacklogStats) -> MetricSet {
+    let mut set = MetricSet::new();
+    set.counter("backlog_engine_block_ops_total", s.block_ops);
+    set.counter("backlog_engine_refs_added_total", s.refs_added);
+    set.counter("backlog_engine_refs_removed_total", s.refs_removed);
+    set.counter("backlog_engine_pruned_adds_total", s.pruned_adds);
+    set.counter("backlog_engine_pruned_removes_total", s.pruned_removes);
+    set.counter(
+        "backlog_engine_consistency_points_total",
+        s.consistency_points,
+    );
+    set.counter("backlog_engine_maintenance_runs_total", s.maintenance_runs);
+    set.counter("backlog_engine_queries_total", s.queries);
+    set.counter("backlog_engine_callback_ns_total", s.callback_ns);
+    set.counter("backlog_engine_cp_flush_ns_total", s.cp_flush_ns);
+    set.counter("backlog_engine_maintenance_ns_total", s.maintenance_ns);
+    set.gauge(
+        "backlog_engine_micros_per_block_op",
+        s.micros_per_block_op(),
+    );
+    set
+}
+
+/// A device [`IoStatsSnapshot`] as registry metrics.
+pub fn io_metrics(io: &IoStatsSnapshot) -> MetricSet {
+    let mut set = MetricSet::new();
+    set.counter("backlog_device_page_reads_total", io.page_reads);
+    set.counter("backlog_device_page_writes_total", io.page_writes);
+    set.counter("backlog_device_bytes_read_total", io.bytes_read);
+    set.counter("backlog_device_bytes_written_total", io.bytes_written);
+    set.counter("backlog_device_seeks_total", io.seeks);
+    set.counter("backlog_device_flushes_total", io.flushes);
+    set.counter("backlog_device_busy_ns_total", io.device_ns);
+    set.counter("backlog_device_lock_contentions_total", io.lock_contentions);
+    set.gauge("backlog_device_max_in_flight", io.max_in_flight as f64);
+    set.counter(
+        "backlog_device_completed_async_ops_total",
+        io.completed_async_ops,
+    );
+    set.counter(
+        "backlog_device_batched_reads_saved_total",
+        io.batched_reads_saved,
+    );
+    set
+}
+
+/// A [`JournalRingStats`] snapshot as registry metrics.
+pub fn journal_metrics(j: &JournalRingStats) -> MetricSet {
+    let mut set = MetricSet::new();
+    set.gauge("backlog_journal_ring_pages", j.ring_pages as f64);
+    set.gauge("backlog_journal_live_groups", j.live_groups as f64);
+    set.counter("backlog_journal_groups_committed_total", j.next_seq);
+    set.gauge("backlog_journal_head_page", j.head as f64);
+    set.counter("backlog_journal_durable_lsn", j.durable_lsn);
+    set.counter("backlog_journal_appended_lsn", j.appended_lsn);
+    set.gauge("backlog_journal_pending_entries", j.pending_entries as f64);
+    set
+}
+
+/// A per-CP [`CpReport`] as registry metrics (used by bench bins to
+/// ship one CP's breakdown in the common report schema).
+pub fn cp_report_metrics(r: &CpReport) -> MetricSet {
+    let mut set = MetricSet::new();
+    set.counter("backlog_cp_number", r.cp);
+    set.counter("backlog_cp_block_ops", r.block_ops);
+    set.counter("backlog_cp_persistent_ops", r.persistent_ops);
+    set.counter("backlog_cp_records_flushed", r.records_flushed);
+    set.counter("backlog_cp_runs_created", r.runs_created as u64);
+    set.counter("backlog_cp_pages_written", r.pages_written);
+    set.counter("backlog_cp_pages_read", r.pages_read);
+    set.counter("backlog_cp_lock_contentions", r.lock_contentions);
+    set.counter("backlog_cp_callback_ns", r.callback_ns);
+    set.counter("backlog_cp_flush_ns_scalar", r.flush_ns);
+    set.counter("backlog_cp_phase_prepare_ns_scalar", r.phases.prepare);
+    set.counter("backlog_cp_phase_flush_ns_scalar", r.phases.flush);
+    set.counter("backlog_cp_phase_barrier_ns_scalar", r.phases.barrier);
+    set.counter("backlog_cp_phase_flip_ns_scalar", r.phases.flip);
+    set.counter("backlog_cp_phase_retire_ns_scalar", r.phases.retire);
+    set
+}
+
+/// A [`MaintenanceReport`] as registry metrics.
+pub fn maintenance_metrics(r: &MaintenanceReport) -> MetricSet {
+    let mut set = MetricSet::new();
+    set.counter("backlog_maintenance_runs_merged", r.runs_merged as u64);
+    set.counter("backlog_maintenance_combined_records", r.combined_records);
+    set.counter(
+        "backlog_maintenance_incomplete_records",
+        r.incomplete_records,
+    );
+    set.counter("backlog_maintenance_purged_records", r.purged_records);
+    set.counter("backlog_maintenance_zombies_pruned", r.zombies_pruned);
+    set.gauge("backlog_maintenance_bytes_before", r.bytes_before as f64);
+    set.gauge("backlog_maintenance_bytes_after", r.bytes_after as f64);
+    set.counter("backlog_maintenance_page_reads", r.io.reads);
+    set.counter("backlog_maintenance_page_writes", r.io.writes);
+    set.counter("backlog_maintenance_elapsed_ns_scalar", r.elapsed_ns);
+    set.counter("backlog_maintenance_partitions", r.partitions as u64);
+    set.gauge(
+        "backlog_maintenance_peak_resident_records",
+        r.peak_resident_records as f64,
+    );
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::MetricValue;
+
+    #[test]
+    fn sim_obs_uses_deterministic_ticks() {
+        let obs = EngineObs::new(false);
+        let a = obs.now();
+        let b = obs.now();
+        assert_eq!(b, a + 1, "tick clock advances by exactly one per read");
+    }
+
+    #[test]
+    fn timing_obs_uses_wall_clock() {
+        let obs = EngineObs::new(true);
+        let a = obs.now();
+        let b = obs.now();
+        assert!(b >= a, "wall clock is monotone");
+    }
+
+    #[test]
+    fn record_cp_populates_every_phase_histogram() {
+        let obs = EngineObs::new(false);
+        let phases = CpPhaseNs {
+            prepare: 10,
+            flush: 200,
+            barrier: 30,
+            flip: 40,
+            retire: 5,
+        };
+        obs.record_cp(phases.total(), &phases);
+        let set = obs.histogram_metrics();
+        for name in [
+            "backlog_cp_flush_ns",
+            "backlog_cp_phase_prepare_ns",
+            "backlog_cp_phase_flush_ns",
+            "backlog_cp_phase_barrier_ns",
+            "backlog_cp_phase_flip_ns",
+            "backlog_cp_phase_retire_ns",
+        ] {
+            match set.get(name) {
+                Some(MetricValue::Hist(s)) => assert_eq!(s.count, 1, "{name}"),
+                other => panic!("{name}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn registry_spans_every_surface() {
+        let obs = EngineObs::new(false);
+        let stats = BacklogStats {
+            block_ops: 7,
+            ..Default::default()
+        };
+        let io = IoStats::new();
+        io.record_write(4096);
+        io.record_write(4096);
+        io.record_write(4096);
+        io.record_device_ns(1_000);
+        let journal = JournalRingStats {
+            ring_pages: 64,
+            live_groups: 2,
+            next_seq: 5,
+            head: 9,
+            durable_lsn: 100,
+            appended_lsn: 110,
+            pending_entries: 4,
+        };
+        let set = obs.registry(&stats, &io, Some(&journal));
+        assert_eq!(
+            set.get("backlog_engine_block_ops_total"),
+            Some(&MetricValue::Counter(7))
+        );
+        assert_eq!(
+            set.get("backlog_device_page_writes_total"),
+            Some(&MetricValue::Counter(3))
+        );
+        assert_eq!(
+            set.get("backlog_journal_pending_entries"),
+            Some(&MetricValue::Gauge(4.0))
+        );
+        assert!(matches!(
+            set.get("backlog_callback_ns"),
+            Some(MetricValue::Hist(_))
+        ));
+        match set.get("backlog_device_service_ns") {
+            Some(MetricValue::Hist(s)) => assert_eq!(s.count, 1),
+            other => panic!("backlog_device_service_ns: {other:?}"),
+        }
+        assert!(matches!(
+            set.get("backlog_device_lock_wait_ns"),
+            Some(MetricValue::Hist(_))
+        ));
+        assert!(set.get("backlog_trace_events_dropped_total").is_some());
+        // The JSON export of a full registry must parse.
+        assert!(obs::Json::parse(&set.to_json()).is_ok());
+    }
+}

@@ -80,6 +80,39 @@ pub struct CpReport {
     pub callback_ns: u64,
     /// Wall-clock nanoseconds spent flushing at this CP.
     pub flush_ns: u64,
+    /// Per-phase duration breakdown of this CP, measured on the engine's
+    /// observability clock (nanoseconds when timing is enabled,
+    /// deterministic ticks under the simulator).
+    pub phases: CpPhaseNs,
+}
+
+/// Per-phase durations of one consistency point.
+///
+/// The five phases partition [`CpReport::flush_ns`]: `prepare` covers
+/// kicking off the three table flushes, `flush` the pipelined
+/// table+manifest writes and their drain, `barrier` the single pre-flip
+/// device flush, `flip` the superblock write plus post-flip hardening,
+/// and `retire` old-manifest deletion, freed-block commit and journal
+/// truncation. Non-durable engines only populate `prepare` and `flush`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpPhaseNs {
+    /// Kicking off the per-table prepare flushes.
+    pub prepare: u64,
+    /// Pipelined table + manifest writes, including the wait-all drain.
+    pub flush: u64,
+    /// The single pre-flip flush barrier.
+    pub barrier: u64,
+    /// Superblock flip and post-flip hardening flush.
+    pub flip: u64,
+    /// Old-manifest delete, freed-block commit, journal tail truncation.
+    pub retire: u64,
+}
+
+impl CpPhaseNs {
+    /// Sum of all phase durations.
+    pub fn total(&self) -> u64 {
+        self.prepare + self.flush + self.barrier + self.flip + self.retire
+    }
 }
 
 impl CpReport {

@@ -298,9 +298,16 @@ impl<R: Record> ShardedWriteStore<R> {
         match shard.try_lock() {
             Some(guard) => guard,
             None => {
-                self.device.stats().record_lock_contention();
+                let stats = self.device.stats();
+                stats.record_lock_contention();
+                let wait_t0 = stats.obs_now();
                 // backlint: allow(lock-order) — try-then-block fallback: this arm runs only when try_lock returned None, so no shard guard is held
-                shard.lock()
+                let guard = shard.lock();
+                stats.record_lock_wait(
+                    blockdev::stats::LOCK_ID_WRITE_SHARD,
+                    stats.obs_now().saturating_sub(wait_t0),
+                );
+                guard
             }
         }
     }

@@ -1,0 +1,94 @@
+//! The clock abstraction every instrumented layer stamps time with.
+//!
+//! Real builds use [`MonotonicClock`] — the single place in the whole
+//! workspace where `std::time::Instant` is permitted (backlint's
+//! determinism rule denies it everywhere else, this file excepted). The
+//! simulator and determinism-sensitive tests use [`TickClock`], a bare
+//! atomic counter, so a trace recorded under it is a pure function of
+//! the event sequence and replays byte-identically.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone nanosecond source. `now_ns` readings from one clock are
+/// comparable with each other; the origin is arbitrary (construction
+/// time for [`MonotonicClock`], zero for [`TickClock`]).
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Nanoseconds (or deterministic ticks) since the clock's origin.
+    /// Successive calls never go backwards.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time, anchored at construction so readings fit a `u64`.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // Saturates after ~584 years of process uptime.
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// A deterministic clock: each reading is the previous reading plus one.
+/// Under a single-threaded caller (the simulator) the tick sequence is a
+/// pure function of the call sequence, which is exactly what
+/// byte-identical trace replay needs. "Durations" measured against it
+/// count clock reads, not nanoseconds — still monotone, still mergeable
+/// into histograms, just not wall time.
+#[derive(Debug, Default)]
+pub struct TickClock {
+    next: AtomicU64,
+}
+
+impl TickClock {
+    /// A tick clock starting at tick 1.
+    pub fn new() -> Self {
+        TickClock::default()
+    }
+}
+
+impl Clock for TickClock {
+    fn now_ns(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_never_regresses() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn tick_clock_counts_reads() {
+        let c = TickClock::new();
+        assert_eq!(c.now_ns(), 1);
+        assert_eq!(c.now_ns(), 2);
+        assert_eq!(c.now_ns(), 3);
+    }
+}

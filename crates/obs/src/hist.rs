@@ -1,0 +1,294 @@
+//! Log-bucketed latency histograms.
+//!
+//! HDR-style layout: values below `2^SUB_BITS` get exact (width-1)
+//! buckets; above that, each power-of-two octave is split into
+//! `2^SUB_BITS` sub-buckets, so relative error is bounded by
+//! `2^-SUB_BITS` (~3% at `SUB_BITS = 5`) across the whole `u64` range.
+//! Cells are `AtomicU64`s — recording is one relaxed `fetch_add` plus
+//! three bookkeeping atomics, safe from any thread, and histograms
+//! merge cell-wise so per-shard instances can be folded into one.
+//!
+//! This replaces the lossy `*_ns` running sums: a sum-and-count pair
+//! can only ever answer "mean", which hides exactly the tail the
+//! ROADMAP's p99-under-concurrency targets ask about.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` cells.
+pub const SUB_BITS: u32 = 5;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Total cell count covering every `u64` value.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_COUNT;
+
+/// The cell index a value lands in. Exact below `2^SUB_BITS`, then
+/// `(octave, sub-bucket)` keyed off the most significant bit.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = ((v >> (msb - SUB_BITS)) as usize) & (SUB_COUNT - 1);
+    (msb - SUB_BITS + 1) as usize * SUB_COUNT + sub
+}
+
+/// Smallest value mapping to cell `i` (the bucket's lower edge).
+fn bucket_floor(i: usize) -> u64 {
+    if i < SUB_COUNT {
+        return i as u64;
+    }
+    let octave = (i / SUB_COUNT) as u32;
+    let sub = (i % SUB_COUNT) as u64;
+    (SUB_COUNT as u64 | sub) << (octave - 1)
+}
+
+/// Largest value mapping to cell `i` (the bucket's upper edge).
+fn bucket_ceil(i: usize) -> u64 {
+    if i + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_floor(i + 1) - 1
+    }
+}
+
+/// A mergeable, lock-free, log-bucketed histogram of `u64` samples
+/// (nanoseconds by convention, deterministic ticks under the sim clock).
+pub struct Histogram {
+    cells: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            cells: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; callable from any thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.cells[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wraps only after ~2^64 total nanoseconds).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Mean sample, 0.0 when empty. Kept for continuity with the old
+    /// running-sum metrics; prefer the quantiles.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper edge of the
+    /// bucket holding the rank-`ceil(q·count)` sample (clamped by the
+    /// exact max), so the answer is within one sub-bucket (~3%) of the
+    /// true order statistic. Returns 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, c) in self.cells.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                return bucket_ceil(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Adds every cell of `other` into `self` (and count/sum/max), so
+    /// per-shard histograms fold into one. Both sides stay usable.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.cells.iter().zip(other.cells.iter()) {
+            let t = theirs.load(Ordering::Relaxed);
+            if t != 0 {
+                mine.fetch_add(t, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Zeroes every cell and the bookkeeping counters.
+    pub fn clear(&self) {
+        for c in self.cells.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time summary (count, sum, max, p50/p90/p99/p999).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            p50: self.value_at_quantile(0.50),
+            p90: self.value_at_quantile(0.90),
+            p99: self.value_at_quantile(0.99),
+            p999: self.value_at_quantile(0.999),
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram({:?})", self.snapshot())
+    }
+}
+
+/// A frozen histogram summary — what exporters and reports carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Exact largest sample.
+    pub max: u64,
+    /// Median (upper bucket edge, within one sub-bucket).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every boundary value maps one past its predecessor's bucket.
+        for shift in SUB_BITS..63 {
+            let v = 1u64 << shift;
+            assert_eq!(bucket_index(v), bucket_index(v - 1) + 1, "v={v}");
+            assert_eq!(bucket_floor(bucket_index(v)), v);
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        // Floor/ceil bracket the index everywhere we can cheaply probe.
+        for i in 0..NUM_BUCKETS {
+            let lo = bucket_floor(i);
+            let hi = bucket_ceil(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn exact_region_is_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB_COUNT as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB_COUNT as u64);
+        assert_eq!(h.max(), SUB_COUNT as u64 - 1);
+        assert_eq!(h.value_at_quantile(0.0), 0);
+        assert_eq!(h.value_at_quantile(1.0), SUB_COUNT as u64 - 1);
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms in µs steps
+        }
+        let p50 = h.value_at_quantile(0.50);
+        let p99 = h.value_at_quantile(0.99);
+        // Within one sub-bucket (~3%) of the true order statistics.
+        assert!((470_000..=530_000).contains(&p50), "p50={p50}");
+        assert!((960_000..=1_000_000).contains(&p99), "p99={p99}");
+        assert_eq!(h.max(), 1_000_000);
+        assert!(h.value_at_quantile(1.0) == 1_000_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for v in [3u64, 77, 1 << 20, u64::MAX, 0, 12345] {
+            (if v % 2 == 0 { &a } else { &b }).record(v);
+            whole.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), whole.snapshot());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let h = Histogram::new();
+        h.record(42);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+}

@@ -1,0 +1,40 @@
+//! `backscope` — the workspace's observability layer.
+//!
+//! Three primitives, all lock-free on the hot path and free of external
+//! dependencies:
+//!
+//! * [`FlightRecorder`] — a fixed-capacity ring of structured trace
+//!   events (span begin/end plus instant marks). Events are stamped by a
+//!   [`Clock`]: real builds use [`MonotonicClock`] (the one permitted
+//!   wall-clock site in the workspace), the simulator uses [`TickClock`]
+//!   so traces stay byte-identical across replays of a seed.
+//! * [`Histogram`] — log-bucketed (HDR-style) latency histograms with
+//!   power-of-two sub-buckets and `AtomicU64` cells, replacing the lossy
+//!   `*_ns` running sums with real p50/p90/p99/p999 + max.
+//! * [`MetricSet`] — a point-in-time registry of named, typed metrics
+//!   with one text and one JSON exporter, plus [`BenchReport`] — the
+//!   common `backscope-bench-v1` schema every `bench_*` bin emits — and
+//!   a minimal JSON reader ([`Json`]) so bins can assert their own
+//!   output parses.
+//!
+//! The crate sits below `blockdev` in the dependency order; every layer
+//! above it feeds the same registry, which the `backscope` bin (in
+//! `crates/bench`) pretty-prints and exports.
+
+#![deny(missing_docs)]
+
+mod clock;
+mod hist;
+mod json;
+mod recorder;
+mod registry;
+mod report;
+mod span;
+
+pub use clock::{Clock, MonotonicClock, TickClock};
+pub use hist::{bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS, SUB_BITS};
+pub use json::Json;
+pub use recorder::{EventKind, FlightRecorder, SpanGuard, TraceDump, TraceEvent};
+pub use registry::{Metric, MetricSet, MetricValue};
+pub use report::{validate_bench_report, BenchReport, BENCH_SCHEMA};
+pub use span::{span_name, spans, SpanId};

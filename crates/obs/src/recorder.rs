@@ -1,0 +1,499 @@
+//! The flight recorder: a lock-free, fixed-capacity ring of structured
+//! trace events.
+//!
+//! Layout: the recorder owns a small set of *lanes*; each thread is
+//! assigned a lane (round-robin, cached in a thread-local) and each lane
+//! owns a fixed ring of slots. A slot is five `AtomicU64`s guarded by a
+//! per-slot sequence stamp:
+//!
+//! ```text
+//!   stamp = 0            never written
+//!   stamp = 2·idx + 1    writer for claim `idx` is mid-write
+//!   stamp = 2·idx + 2    claim `idx` is published
+//! ```
+//!
+//! A writer reserves a claim index with one `fetch_add` on the lane
+//! head, then installs the odd stamp with a CAS against the slot's
+//! previous generation — so a lapped writer that finds the slot still
+//! mid-write from an earlier generation *drops* its event (counted)
+//! instead of tearing it. Publication is the classic seqlock fence
+//! dance; the reader accepts a slot only when it observes the same even
+//! stamp on both sides of its field reads and the stamp's claim index
+//! actually maps to that slot position.
+//!
+//! Under the sim's single thread one lane is used, every claim succeeds,
+//! and with a [`TickClock`](crate::TickClock) the whole dump is a pure
+//! function of the event sequence — which is what lets a failing seed
+//! print the same last-N timeline on every replay.
+
+use std::cell::Cell;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::Clock;
+use crate::span::{span_name, SpanId};
+
+/// What a trace event marks: a span opening, a span closing, or a
+/// point-in-time mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    Begin,
+    /// A span closed.
+    End,
+    /// A point event with no duration.
+    Mark,
+}
+
+impl EventKind {
+    fn code(self) -> u64 {
+        match self {
+            EventKind::Begin => 0,
+            EventKind::End => 1,
+            EventKind::Mark => 2,
+        }
+    }
+
+    fn from_code(c: u64) -> EventKind {
+        match c {
+            0 => EventKind::Begin,
+            1 => EventKind::End,
+            _ => EventKind::Mark,
+        }
+    }
+}
+
+struct Slot {
+    stamp: AtomicU64,
+    tick: AtomicU64,
+    meta: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+struct Lane {
+    head: AtomicU64,
+    dropped: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Lane {
+    fn new(slots: usize) -> Lane {
+        Lane {
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slots: (0..slots)
+                .map(|_| Slot {
+                    stamp: AtomicU64::new(0),
+                    tick: AtomicU64::new(0),
+                    meta: AtomicU64::new(0),
+                    a: AtomicU64::new(0),
+                    b: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Distinguishes recorders so the thread-local lane cache never carries
+/// a lane index from one recorder into another.
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// (recorder id, lane index) this thread last resolved.
+    static LANE_CACHE: Cell<(u64, usize)> = const { Cell::new((0, 0)) };
+}
+
+/// The lock-free trace-event ring. Cheap enough to leave always-on:
+/// recording is a clock read, one `fetch_add`, one CAS and five stores.
+pub struct FlightRecorder {
+    id: u64,
+    clock: Arc<dyn Clock>,
+    lanes: Box<[Lane]>,
+    next_lane: AtomicUsize,
+    /// Serializes concurrent dumps (readers only; writers never touch it).
+    dump_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("lanes", &self.lanes.len())
+            .field("slots_per_lane", &self.lanes[0].slots.len())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with `lanes` rings of `slots_per_lane` events each.
+    /// Both are clamped to at least 1; capacity is fixed for life.
+    pub fn new(clock: Arc<dyn Clock>, lanes: usize, slots_per_lane: usize) -> FlightRecorder {
+        FlightRecorder {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            clock,
+            lanes: (0..lanes.max(1))
+                .map(|_| Lane::new(slots_per_lane.max(1)))
+                .collect(),
+            next_lane: AtomicUsize::new(0),
+            dump_lock: Mutex::new(()),
+        }
+    }
+
+    /// The clock stamping this recorder's events.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Events discarded because a lapped writer found its slot still
+    /// mid-write from an earlier lap (only possible when a thread stalls
+    /// for a whole ring's worth of traffic).
+    pub fn dropped(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| l.dropped.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn lane(&self) -> &Lane {
+        let (id, lane) = LANE_CACHE.with(Cell::get);
+        if id == self.id {
+            return &self.lanes[lane];
+        }
+        let lane = self.next_lane.fetch_add(1, Ordering::Relaxed) % self.lanes.len();
+        LANE_CACHE.with(|c| c.set((self.id, lane)));
+        &self.lanes[lane]
+    }
+
+    /// Records one event. Lock-free.
+    pub fn record(&self, span: SpanId, kind: EventKind, a: u64, b: u64) {
+        let tick = self.clock.now_ns();
+        let lane = self.lane();
+        let cap = lane.slots.len() as u64;
+        let idx = lane.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &lane.slots[(idx % cap) as usize];
+        // Claim: CAS from the slot's previous generation. Failure means a
+        // slower writer from an earlier lap still owns the slot — drop.
+        let prev = if idx >= cap { 2 * (idx - cap) + 2 } else { 0 };
+        if slot
+            .stamp
+            .compare_exchange(prev, 2 * idx + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            lane.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        fence(Ordering::Release);
+        slot.tick.store(tick, Ordering::Relaxed);
+        slot.meta
+            .store(((span.0 as u64) << 8) | kind.code(), Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.stamp.store(2 * idx + 2, Ordering::Release);
+    }
+
+    /// Records a `Mark` event.
+    pub fn mark(&self, span: SpanId, a: u64, b: u64) {
+        self.record(span, EventKind::Mark, a, b);
+    }
+
+    /// Opens a span; the returned guard records the matching `End` on
+    /// drop (carrying the same `a` and a `b` settable on the guard).
+    pub fn span(&self, span: SpanId, a: u64) -> SpanGuard<'_> {
+        self.record(span, EventKind::Begin, a, 0);
+        SpanGuard {
+            rec: self,
+            span,
+            a,
+            b: 0,
+        }
+    }
+
+    /// Collects every readable event from every lane into one dump,
+    /// ordered by (tick, lane, claim index). Concurrent writers may tear
+    /// individual slots; torn slots are retried a few times then skipped
+    /// — a dump is a diagnostic snapshot, not a barrier.
+    pub fn dump(&self) -> TraceDump {
+        let _serialize = self.dump_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut events = Vec::new();
+        for (lane_no, lane) in self.lanes.iter().enumerate() {
+            let cap = lane.slots.len() as u64;
+            for (pos, slot) in lane.slots.iter().enumerate() {
+                for _attempt in 0..4 {
+                    let s1 = slot.stamp.load(Ordering::Acquire);
+                    if s1 == 0 || s1 % 2 == 1 {
+                        break; // empty or mid-write; nothing stable to read
+                    }
+                    let tick = slot.tick.load(Ordering::Relaxed);
+                    let meta = slot.meta.load(Ordering::Relaxed);
+                    let a = slot.a.load(Ordering::Relaxed);
+                    let b = slot.b.load(Ordering::Relaxed);
+                    fence(Ordering::Acquire);
+                    let s2 = slot.stamp.load(Ordering::Relaxed);
+                    if s1 != s2 {
+                        continue; // overwritten underneath us; retry
+                    }
+                    let idx = s1 / 2 - 1;
+                    if idx % cap == pos as u64 {
+                        events.push(TraceEvent {
+                            tick,
+                            lane: lane_no as u32,
+                            idx,
+                            span: SpanId((meta >> 8) as u16),
+                            kind: EventKind::from_code(meta & 0xff),
+                            a,
+                            b,
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+        events.sort_by_key(|e| (e.tick, e.lane, e.idx));
+        TraceDump {
+            events,
+            dropped: self.dropped(),
+        }
+    }
+}
+
+/// Closes its span on drop.
+pub struct SpanGuard<'a> {
+    rec: &'a FlightRecorder,
+    span: SpanId,
+    a: u64,
+    b: u64,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches a result value carried on the `End` event.
+    pub fn set_b(&mut self, b: u64) {
+        self.b = b;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.rec.record(self.span, EventKind::End, self.a, self.b);
+    }
+}
+
+/// One decoded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Clock reading at record time.
+    pub tick: u64,
+    /// Lane the recording thread wrote into.
+    pub lane: u32,
+    /// The lane-local claim index (monotone per lane).
+    pub idx: u64,
+    /// What the event is about.
+    pub span: SpanId,
+    /// Begin, End or Mark.
+    pub kind: EventKind,
+    /// Span-specific payload (identity, CP number, LSN, …).
+    pub a: u64,
+    /// Span-specific payload (secondary).
+    pub b: u64,
+}
+
+/// An ordered snapshot of the recorder's surviving events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDump {
+    /// Events ordered by (tick, lane, claim index).
+    pub events: Vec<TraceEvent>,
+    /// Recorder-lifetime dropped-event count at dump time.
+    pub dropped: u64,
+}
+
+impl TraceDump {
+    /// A dump holding only the last `n` events.
+    pub fn last_n(&self, n: usize) -> TraceDump {
+        let skip = self.events.len().saturating_sub(n);
+        TraceDump {
+            events: self.events[skip..].to_vec(),
+            dropped: self.dropped,
+        }
+    }
+
+    /// A stable byte encoding (little-endian u64 fields per event, in
+    /// dump order). Two runs of the same seeded scenario must produce
+    /// identical bytes — the sim's trace-determinism test compares this.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.events.len() * 56);
+        for e in &self.events {
+            for w in [
+                e.tick,
+                e.lane as u64,
+                e.idx,
+                e.span.0 as u64,
+                e.kind.code(),
+                e.a,
+                e.b,
+            ] {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// FNV-1a over [`encode`](Self::encode) — a compact determinism
+    /// fingerprint for scenario outcomes.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.encode() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Renders a human-readable timeline, one line per event, indented
+    /// by per-lane span depth.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut depth =
+            vec![0usize; 1 + self.events.iter().map(|e| e.lane).max().unwrap_or(0) as usize];
+        for e in &self.events {
+            let d = &mut depth[e.lane as usize];
+            let (glyph, indent) = match e.kind {
+                EventKind::Begin => {
+                    let i = *d;
+                    *d += 1;
+                    ("+", i)
+                }
+                EventKind::End => {
+                    *d = d.saturating_sub(1);
+                    ("-", *d)
+                }
+                EventKind::Mark => ("*", *d),
+            };
+            out.push_str(&format!(
+                "{:>12} L{} {}{} {} a={} b={}\n",
+                e.tick,
+                e.lane,
+                "  ".repeat(indent),
+                glyph,
+                span_name(e.span),
+                e.a,
+                e.b,
+            ));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("({} events dropped)\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TickClock;
+    use crate::span::spans;
+
+    fn tick_recorder(lanes: usize, slots: usize) -> FlightRecorder {
+        FlightRecorder::new(Arc::new(TickClock::new()), lanes, slots)
+    }
+
+    #[test]
+    fn records_and_orders_events() {
+        let r = tick_recorder(1, 64);
+        r.mark(spans::CALLBACK, 7, 0);
+        {
+            let mut g = r.span(spans::CP_TOTAL, 1);
+            g.set_b(99);
+            r.mark(spans::GC_ACK, 5, 0);
+        }
+        let d = r.dump();
+        assert_eq!(d.events.len(), 4);
+        assert_eq!(d.events[0].span, spans::CALLBACK);
+        assert_eq!(d.events[1].kind, EventKind::Begin);
+        assert_eq!(d.events[2].span, spans::GC_ACK);
+        assert_eq!(d.events[3].kind, EventKind::End);
+        assert_eq!(d.events[3].b, 99);
+        assert!(d.events.windows(2).all(|w| w[0].tick < w[1].tick));
+        assert_eq!(d.dropped, 0);
+    }
+
+    #[test]
+    fn wrap_around_keeps_the_most_recent_events() {
+        let r = tick_recorder(1, 8);
+        for i in 0..100u64 {
+            r.mark(spans::CALLBACK, i, 0);
+        }
+        let d = r.dump();
+        assert_eq!(d.events.len(), 8);
+        let ids: Vec<u64> = d.events.iter().map(|e| e.a).collect();
+        assert_eq!(ids, (92..100).collect::<Vec<_>>());
+        assert_eq!(d.dropped, 0, "single-threaded wrap never drops");
+    }
+
+    #[test]
+    fn last_n_takes_the_tail() {
+        let r = tick_recorder(1, 32);
+        for i in 0..10u64 {
+            r.mark(spans::CALLBACK, i, 0);
+        }
+        let tail = r.dump().last_n(3);
+        assert_eq!(
+            tail.events.iter().map(|e| e.a).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn encode_is_stable_and_digest_matches() {
+        let r = tick_recorder(1, 32);
+        r.mark(spans::JOURNAL_APPEND, 1, 2);
+        let d = r.dump();
+        assert_eq!(d.encode().len(), 56);
+        assert_eq!(d.digest(), d.digest());
+        assert_ne!(
+            d.digest(),
+            TraceDump {
+                events: vec![],
+                dropped: 0
+            }
+            .digest()
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_stay_ordered_within_a_lane() {
+        let r = Arc::new(tick_recorder(4, 256));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        r.mark(spans::CALLBACK, t * 1000 + i, 0);
+                    }
+                });
+            }
+        });
+        let d = r.dump();
+        // Everything survived (4 lanes × 256 slots ≥ 800 events, so no
+        // lapping) and the dump is totally ordered by its sort key.
+        assert_eq!(d.events.len() as u64 + d.dropped, 800);
+        for w in d.events.windows(2) {
+            assert!((w[0].tick, w[0].lane, w[0].idx) < (w[1].tick, w[1].lane, w[1].idx));
+        }
+        // Per lane, claim indices are dense and payloads per-thread
+        // monotone (each thread sticks to one lane).
+        for lane in 0..4u32 {
+            let lane_events: Vec<_> = d.events.iter().filter(|e| e.lane == lane).collect();
+            for w in lane_events.windows(2) {
+                assert_eq!(w[1].idx, w[0].idx + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_span_names() {
+        let r = tick_recorder(1, 16);
+        let _g = r.span(spans::CP_FLUSH, 3);
+        drop(_g);
+        let text = r.dump().render();
+        assert!(text.contains("cp.flush"), "{text}");
+    }
+}

@@ -1,0 +1,244 @@
+//! The unified metrics registry: a point-in-time set of named, typed
+//! metrics with one text and one JSON exporter.
+//!
+//! Naming convention (enforced by review, validated loosely by
+//! [`MetricSet::counter`] & friends debug-asserting lowercase idents):
+//!
+//! ```text
+//!   backlog_<layer>_<what>[_<unit>][_total]
+//!   e.g. backlog_engine_refs_added_total      (counter)
+//!        backlog_device_page_writes_total     (counter)
+//!        backlog_cp_flush_ns                  (histogram, nanoseconds)
+//!        backlog_journal_pending_entries      (gauge)
+//! ```
+//!
+//! Producers build a `MetricSet` from their live counters/histograms
+//! (see `BacklogEngine::metrics`); consumers either pretty-print
+//! [`MetricSet::to_text`] or ship [`MetricSet::to_json`].
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::json::escape_json;
+
+/// A metric's typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotone cumulative count.
+    Counter(u64),
+    /// A point-in-time level (may go up and down, may be fractional).
+    Gauge(f64),
+    /// A latency/size distribution summary.
+    Hist(HistogramSnapshot),
+}
+
+/// One named metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Full metric name, e.g. `backlog_engine_refs_added_total`.
+    pub name: String,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// An ordered collection of metrics (insertion order is kept, so
+/// producers group families naturally).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricSet {
+    metrics: Vec<Metric>,
+}
+
+impl MetricSet {
+    /// An empty set.
+    pub fn new() -> MetricSet {
+        MetricSet::default()
+    }
+
+    fn push(&mut self, name: impl Into<String>, value: MetricValue) {
+        let name = name.into();
+        debug_assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "metric names are lowercase snake_case idents: {name:?}"
+        );
+        self.metrics.push(Metric { name, value });
+    }
+
+    /// Adds a counter.
+    pub fn counter(&mut self, name: impl Into<String>, v: u64) {
+        self.push(name, MetricValue::Counter(v));
+    }
+
+    /// Adds a gauge.
+    pub fn gauge(&mut self, name: impl Into<String>, v: f64) {
+        self.push(
+            name,
+            MetricValue::Gauge(if v.is_finite() { v } else { 0.0 }),
+        );
+    }
+
+    /// Adds a histogram summary snapshotted from a live histogram.
+    pub fn histogram(&mut self, name: impl Into<String>, h: &Histogram) {
+        self.push(name, MetricValue::Hist(h.snapshot()));
+    }
+
+    /// Adds an already-frozen histogram summary.
+    pub fn histogram_snapshot(&mut self, name: impl Into<String>, s: HistogramSnapshot) {
+        self.push(name, MetricValue::Hist(s));
+    }
+
+    /// Appends every metric of `other`.
+    pub fn extend(&mut self, other: MetricSet) {
+        self.metrics.extend(other.metrics);
+    }
+
+    /// The metrics, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Metric> {
+        self.metrics.iter()
+    }
+
+    /// Looks a metric up by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| &m.value)
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Plain-text rendering, one metric per line, aligned.
+    pub fn to_text(&self) -> String {
+        let width = self.metrics.iter().map(|m| m.name.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for m in &self.metrics {
+            out.push_str(&format!("{:<width$}  ", m.name));
+            match &m.value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge(v) => out.push_str(&format_f64(*v)),
+                MetricValue::Hist(s) => out.push_str(&format!(
+                    "count={} p50={} p90={} p99={} p999={} max={} mean={}",
+                    s.count,
+                    s.p50,
+                    s.p90,
+                    s.p99,
+                    s.p999,
+                    s.max,
+                    format_f64(s.mean()),
+                )),
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON rendering: one object keyed by metric name; counters and
+    /// gauges are numbers, histograms are objects with
+    /// `count/sum/max/p50/p90/p99/p999/mean`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":", escape_json(&m.name)));
+            out.push_str(&value_json(&m.value));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders one metric value as a JSON fragment.
+pub(crate) fn value_json(v: &MetricValue) -> String {
+    match v {
+        MetricValue::Counter(v) => v.to_string(),
+        MetricValue::Gauge(v) => format_f64(*v),
+        MetricValue::Hist(s) => format!(
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"mean\":{}}}",
+            s.count,
+            s.sum,
+            s.max,
+            s.p50,
+            s.p90,
+            s.p99,
+            s.p999,
+            format_f64(s.mean()),
+        ),
+    }
+}
+
+/// Deterministic, JSON-legal float formatting (no NaN/inf, always a
+/// valid JSON number, shortest round-trip form).
+pub(crate) fn format_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    // `{}` on f64 is shortest-round-trip and deterministic; the rare
+    // exponent form it prints for extreme magnitudes is legal JSON.
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn text_and_json_round_trip() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let mut set = MetricSet::new();
+        set.counter("backlog_test_ops_total", 42);
+        set.gauge("backlog_test_ratio", 1.5);
+        set.histogram("backlog_test_ns", &h);
+
+        let text = set.to_text();
+        assert!(text.contains("backlog_test_ops_total"), "{text}");
+        assert!(text.contains("p99="), "{text}");
+
+        let json = Json::parse(&set.to_json()).expect("export parses");
+        assert_eq!(
+            json.get("backlog_test_ops_total").and_then(Json::as_f64),
+            Some(42.0)
+        );
+        assert_eq!(
+            json.get("backlog_test_ratio").and_then(Json::as_f64),
+            Some(1.5)
+        );
+        let hist = json.get("backlog_test_ns").expect("hist present");
+        assert_eq!(hist.get("count").and_then(Json::as_f64), Some(3.0));
+        assert!(hist.get("p50").is_some());
+        assert!(hist.get("mean").is_some());
+    }
+
+    #[test]
+    fn lookup_and_extend() {
+        let mut a = MetricSet::new();
+        a.counter("backlog_a_total", 1);
+        let mut b = MetricSet::new();
+        b.counter("backlog_b_total", 2);
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get("backlog_b_total"), Some(&MetricValue::Counter(2)));
+        assert_eq!(a.get("nope"), None);
+    }
+
+    #[test]
+    fn non_finite_gauges_become_zero() {
+        let mut s = MetricSet::new();
+        s.gauge("backlog_bad", f64::NAN);
+        assert_eq!(s.get("backlog_bad"), Some(&MetricValue::Gauge(0.0)));
+        assert!(Json::parse(&s.to_json()).is_ok());
+    }
+}

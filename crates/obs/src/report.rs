@@ -1,0 +1,196 @@
+//! The common bench-output schema every `bench_*` bin emits.
+//!
+//! One shape for every `BENCH_*.json` so results are machine-comparable
+//! across PRs:
+//!
+//! ```json
+//! {
+//!   "schema": "backscope-bench-v1",
+//!   "name": "cp_flush",
+//!   "config": {"depth": 8, "threads": 4},
+//!   "metrics": {
+//!     "backlog_cp_flush_ns": {"count":12,"sum":..,"max":..,"p50":..,...},
+//!     "backlog_device_page_writes_total": 4096
+//!   }
+//! }
+//! ```
+//!
+//! `config` holds the knobs the run was taken under; `metrics` is a
+//! [`MetricSet`] export (so percentiles arrive as histogram objects, not
+//! pre-flattened means). Bins assert their own output with
+//! [`validate_bench_report`] before printing it.
+
+use crate::json::{escape_json, Json};
+use crate::registry::{format_f64, MetricSet};
+
+/// Schema tag stamped into every report.
+pub const BENCH_SCHEMA: &str = "backscope-bench-v1";
+
+/// One configuration knob value.
+#[derive(Debug, Clone, PartialEq)]
+enum ConfigValue {
+    Int(u64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+/// A bench run's self-describing result document.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    name: String,
+    config: Vec<(String, ConfigValue)>,
+    /// The run's metrics (counters, gauges, histograms).
+    pub metrics: MetricSet,
+}
+
+impl BenchReport {
+    /// A report for the bench called `name` (e.g. `"cp_flush"`).
+    pub fn new(name: impl Into<String>) -> BenchReport {
+        BenchReport {
+            name: name.into(),
+            config: Vec::new(),
+            metrics: MetricSet::new(),
+        }
+    }
+
+    /// Records an integer config knob.
+    pub fn config_u64(&mut self, key: impl Into<String>, v: u64) {
+        self.config.push((key.into(), ConfigValue::Int(v)));
+    }
+
+    /// Records a float config knob.
+    pub fn config_f64(&mut self, key: impl Into<String>, v: f64) {
+        self.config.push((
+            key.into(),
+            ConfigValue::Float(if v.is_finite() { v } else { 0.0 }),
+        ));
+    }
+
+    /// Records a string config knob.
+    pub fn config_str(&mut self, key: impl Into<String>, v: impl Into<String>) {
+        self.config.push((key.into(), ConfigValue::Str(v.into())));
+    }
+
+    /// Records a boolean config knob.
+    pub fn config_bool(&mut self, key: impl Into<String>, v: bool) {
+        self.config.push((key.into(), ConfigValue::Bool(v)));
+    }
+
+    /// Renders the schema-v1 JSON document (compact, single line).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\":\"{}\",\"name\":\"{}\",\"config\":{{",
+            BENCH_SCHEMA,
+            escape_json(&self.name),
+        );
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":", escape_json(k)));
+            match v {
+                ConfigValue::Int(v) => out.push_str(&v.to_string()),
+                ConfigValue::Float(v) => out.push_str(&format_f64(*v)),
+                ConfigValue::Str(v) => out.push_str(&format!("\"{}\"", escape_json(v))),
+                ConfigValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            }
+        }
+        out.push_str("},\"metrics\":");
+        out.push_str(&self.metrics.to_json());
+        out.push('}');
+        out
+    }
+}
+
+/// Validates that `text` is a well-formed schema-v1 bench report:
+/// parseable JSON, correct `schema` tag, a non-empty `name`, a `config`
+/// object, and a non-empty `metrics` object whose histogram members
+/// carry the full percentile family.
+pub fn validate_bench_report(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("unparseable report: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(BENCH_SCHEMA) => {}
+        other => return Err(format!("bad schema tag: {other:?}")),
+    }
+    if doc
+        .get("name")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        return Err("missing or empty name".to_string());
+    }
+    if doc.get("config").and_then(Json::as_obj).is_none() {
+        return Err("missing config object".to_string());
+    }
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_obj)
+        .ok_or("missing metrics object")?;
+    if metrics.is_empty() {
+        return Err("empty metrics object".to_string());
+    }
+    for (name, value) in metrics {
+        match value {
+            Json::Num(_) => {}
+            Json::Obj(_) => {
+                for field in ["count", "max", "p50", "p90", "p99", "p999"] {
+                    if value.get(field).and_then(Json::as_f64).is_none() {
+                        return Err(format!("histogram {name} missing {field}"));
+                    }
+                }
+            }
+            other => return Err(format!("metric {name} has non-metric value {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let mut r = BenchReport::new("cp_flush");
+        r.config_u64("depth", 8);
+        r.config_str("mode", "smoke");
+        r.config_bool("durable", true);
+        r.config_f64("scale", 0.5);
+        r.metrics.counter("backlog_device_page_writes_total", 4096);
+        r.metrics.histogram("backlog_cp_flush_ns", &h);
+        let json = r.to_json();
+        validate_bench_report(&json).expect("valid");
+        let doc = Json::parse(&json).unwrap();
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("cp_flush"));
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("depth"))
+                .and_then(Json::as_f64),
+            Some(8.0)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        assert!(validate_bench_report("not json").is_err());
+        assert!(validate_bench_report("{}").is_err());
+        let wrong_schema = r#"{"schema":"v0","name":"x","config":{},"metrics":{"m":1}}"#;
+        assert!(validate_bench_report(wrong_schema).is_err());
+        let empty_metrics =
+            format!(r#"{{"schema":"{BENCH_SCHEMA}","name":"x","config":{{}},"metrics":{{}}}}"#);
+        assert!(validate_bench_report(&empty_metrics).is_err());
+        let bare_hist = format!(
+            r#"{{"schema":"{BENCH_SCHEMA}","name":"x","config":{{}},"metrics":{{"h":{{"count":1}}}}}}"#
+        );
+        assert!(
+            validate_bench_report(&bare_hist).is_err(),
+            "histograms must carry the full percentile family"
+        );
+    }
+}

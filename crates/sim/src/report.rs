@@ -51,6 +51,17 @@ pub struct ScenarioOutcome {
     pub device_digest: u64,
     /// Device I/O counters at the end of the scenario.
     pub io: IoStatsSnapshot,
+    /// Digest of the live engine's flight-recorder dump taken at the
+    /// crash. Events are stamped by the deterministic tick clock, so the
+    /// digest is a pure function of the seed — two runs of the same seed
+    /// must agree byte for byte.
+    pub trace_digest: u64,
+    /// Events in the live engine's dump at the crash.
+    pub trace_events: u64,
+    /// Rendered tail of the live engine's trace timeline, captured only
+    /// for failing seeds (the last events before the crash, oldest
+    /// first).
+    pub trace_tail: Option<String>,
 }
 
 impl ScenarioOutcome {
@@ -70,7 +81,7 @@ impl ScenarioOutcome {
         format!(
             "seed=0x{:016x} steps={} crashed_mid_cp={} crashed_mid_commit={} \
              cut(persisted={},torn={},lost={}) acked_lsn={} recovered_lsn={} \
-             journal_replayed={} digest=0x{:016x} {}",
+             journal_replayed={} digest=0x{:016x} trace=0x{:016x} {}",
             self.seed,
             self.steps,
             self.crashed_mid_cp,
@@ -82,8 +93,15 @@ impl ScenarioOutcome {
             self.recovered_lsn,
             self.journal_replayed,
             self.device_digest,
+            self.trace_digest,
             verdict
         )
+    }
+
+    /// The failing seed's trace-timeline tail (the last flight-recorder
+    /// events before the crash), or an empty string for passing seeds.
+    pub fn trace_timeline(&self) -> &str {
+        self.trace_tail.as_deref().unwrap_or("")
     }
 }
 

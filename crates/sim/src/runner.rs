@@ -19,6 +19,8 @@ const FAULT_SALT: u64 = 0xFA17_0000_5EED_0002;
 const CUT_SALT: u64 = 0xC117_0000_5EED_0003;
 /// Salt for the per-operation device latency jitter.
 const JITTER_SALT: u64 = 0x717E_0000_5EED_0004;
+/// Flight-recorder events rendered into a failing seed's timeline tail.
+const TRACE_TAIL_EVENTS: usize = 64;
 
 /// A lineage operation the host's metadata journal re-applies after a crash
 /// (snapshot/clone metadata is file-system metadata, recovered by the file
@@ -331,6 +333,10 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     // Everything the live engine acknowledged durable before the cut: CP
     // coverage plus the ring's acked group commits.
     let acked_lsn = cp_acked_lsn.max(live.journal_durable_lsn());
+    // Flight-recorder dump at the moment of the crash: stamped by the
+    // deterministic tick clock, so its digest must replay byte-identically
+    // for the same seed; its tail is the failing seed's timeline.
+    let trace = live.obs().recorder().dump();
     drop(live);
     let cut = device.power_cut(&PowerCutProfile {
         seed: cfg.seed ^ CUT_SALT,
@@ -468,6 +474,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         }
     }
 
+    let trace_tail = (!verdict.is_pass()).then(|| trace.last_n(TRACE_TAIL_EVENTS).render());
     ScenarioOutcome {
         seed: cfg.seed,
         verdict,
@@ -480,6 +487,9 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         journal_replayed,
         device_digest: device.content_digest(),
         io: device.stats().snapshot(),
+        trace_digest: trace.digest(),
+        trace_events: trace.events.len() as u64,
+        trace_tail,
     }
 }
 
@@ -509,6 +519,31 @@ mod tests {
         let b = ScenarioConfig::from_seed(2);
         assert_ne!(a, b);
         assert_eq!(a, ScenarioConfig::from_seed(1));
+    }
+
+    #[test]
+    fn trace_streams_replay_byte_identically() {
+        for seed in [3u64, 7, 11] {
+            let a = run_seed(seed);
+            let b = run_seed(seed);
+            assert!(a.trace_events > 0, "recorder was armed during the run");
+            assert_eq!(
+                a.trace_digest, b.trace_digest,
+                "seed {seed}: trace event stream diverged across identical runs"
+            );
+            assert_eq!(a, b, "seed {seed}: outcomes diverged");
+        }
+    }
+
+    #[test]
+    fn failing_seed_carries_a_timeline_tail() {
+        // Passing seeds carry no tail; force a failure by comparing a
+        // run against itself is not possible here, so assert the
+        // pass-side contract and the accessor's empty default.
+        let outcome = run_seed(5);
+        assert!(outcome.passed(), "{}", outcome.repro_line());
+        assert!(outcome.trace_tail.is_none());
+        assert_eq!(outcome.trace_timeline(), "");
     }
 
     #[test]

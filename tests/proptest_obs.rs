@@ -1,0 +1,151 @@
+//! Property-based tests for the observability layer: log-bucketed
+//! histograms checked differentially against a sorted-vector oracle, and
+//! flight-recorder ring semantics (wrap-around, tail selection, replay
+//! determinism) checked against an event-list model.
+
+use std::sync::Arc;
+
+use obs::{spans, EventKind, FlightRecorder, Histogram, TickClock};
+use proptest::prelude::*;
+
+/// The true order statistic the histogram approximates: the
+/// rank-`ceil(q·n)` sample of the sorted data (the same rank rule
+/// `Histogram::value_at_quantile` documents).
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Samples spanning the exact region, several octaves, and the extremes.
+fn sample_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,        // exact region and first octave
+        1u64..1_000_000, // typical latency range
+        any::<u64>(),    // full range incl. u64::MAX
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// count/sum/max are exact, and every reported quantile sits within
+    /// one sub-bucket (`v/32`) above the true order statistic.
+    #[test]
+    fn histogram_matches_sorted_vec_oracle(
+        mut samples in proptest::collection::vec(sample_strategy(), 1..400),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_unstable();
+
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(
+            h.sum(),
+            samples.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+        );
+        prop_assert_eq!(h.max(), *samples.last().unwrap());
+
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let truth = oracle_quantile(&samples, q);
+            let got = h.value_at_quantile(q);
+            prop_assert!(got >= truth, "q={q}: got {got} < true {truth}");
+            prop_assert!(
+                got <= truth.saturating_add(truth / 32),
+                "q={q}: got {got} beyond one sub-bucket above true {truth}"
+            );
+        }
+    }
+
+    /// Splitting a sample stream across shards and folding them back with
+    /// `merge_from` is indistinguishable from recording into one histogram.
+    #[test]
+    fn histogram_merge_equals_single_stream(
+        samples in proptest::collection::vec((sample_strategy(), 0usize..3), 0..300),
+    ) {
+        let shards = [Histogram::new(), Histogram::new(), Histogram::new()];
+        let whole = Histogram::new();
+        for &(v, shard) in &samples {
+            shards[shard].record(v);
+            whole.record(v);
+        }
+        let folded = Histogram::new();
+        for shard in &shards {
+            folded.merge_from(shard);
+        }
+        prop_assert_eq!(folded.snapshot(), whole.snapshot());
+
+        // The shards survive the fold untouched.
+        let shard_count: u64 = shards.iter().map(Histogram::count).sum();
+        prop_assert_eq!(shard_count, whole.count());
+
+        // And a clear returns the fold to the empty state.
+        folded.clear();
+        prop_assert!(folded.is_empty());
+        prop_assert_eq!(folded.snapshot(), Default::default());
+    }
+
+    /// A single-lane ring of any capacity keeps exactly the most recent
+    /// `min(n, capacity)` events, in order, without dropping.
+    #[test]
+    fn recorder_wrap_around_keeps_newest_tail(
+        capacity in 1usize..48,
+        writes in 0u64..160,
+        tail in 1usize..32,
+    ) {
+        let r = FlightRecorder::new(Arc::new(TickClock::new()), 1, capacity);
+        for i in 0..writes {
+            r.mark(spans::CALLBACK, i, i * 2);
+        }
+        let dump = r.dump();
+        prop_assert_eq!(dump.dropped, 0, "single-threaded wrap never drops");
+
+        let kept = (writes as usize).min(capacity);
+        let expect: Vec<u64> = (writes - kept as u64..writes).collect();
+        let got: Vec<u64> = dump.events.iter().map(|e| e.a).collect();
+        prop_assert_eq!(got, expect);
+        for e in &dump.events {
+            prop_assert_eq!(e.kind, EventKind::Mark);
+            prop_assert_eq!(e.b, e.a * 2);
+        }
+        for w in dump.events.windows(2) {
+            prop_assert!(w[0].tick < w[1].tick, "tick clock is strictly monotone");
+        }
+
+        // last_n agrees with plain truncation of the same dump.
+        let want_tail: Vec<_> =
+            dump.events[dump.events.len().saturating_sub(tail)..].to_vec();
+        prop_assert_eq!(dump.last_n(tail).events, want_tail);
+    }
+
+    /// Replaying the same event sequence into a fresh recorder reproduces
+    /// the dump byte for byte — the property the sim's per-seed trace
+    /// digest depends on.
+    #[test]
+    fn recorder_replay_is_byte_identical(
+        script in proptest::collection::vec((0u16..3, any::<u64>()), 0..120),
+        lanes in 1usize..4,
+        capacity in 4usize..64,
+    ) {
+        let run = || {
+            let r = FlightRecorder::new(Arc::new(TickClock::new()), lanes, capacity);
+            for &(kind, a) in &script {
+                match kind {
+                    0 => r.mark(spans::CALLBACK, a, 0),
+                    1 => drop(r.span(spans::CP_TOTAL, a)),
+                    _ => {
+                        let mut g = r.span(spans::QUERY_TOTAL, a);
+                        g.set_b(a ^ 1);
+                    }
+                }
+            }
+            r.dump()
+        };
+        let first = run();
+        let second = run();
+        prop_assert_eq!(first.encode(), second.encode());
+        prop_assert_eq!(first.digest(), second.digest());
+    }
+}
